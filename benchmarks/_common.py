@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper on scaled
+instances (see DESIGN.md for the substitution rationale) and prints the rows it
+produces so the run log doubles as the experiment record in EXPERIMENTS.md.
+The modules use the ``benchmark`` fixture of pytest-benchmark with a single
+round: the quantity of interest is the experiment output, the wall-clock time
+of the run is only reported for orientation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+# Benchmarks run the whole pipeline once; repeating it would only slow CI down.
+PEDANTIC_KWARGS = {"rounds": 1, "iterations": 1, "warmup_rounds": 0}
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, **PEDANTIC_KWARGS)
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a small fixed-width table (the benchmark's reproduction of a paper table)."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    print()
+
+
+def render_decomposition_bitmap(
+    labels: Sequence[str], variables: Sequence[int], chosen: Sequence[int], per_line: int = 16
+) -> str:
+    """Render a decomposition set as a bitmap over labelled state variables.
+
+    This is the textual analogue of the paper's Figures 1-4: each state cell is
+    shown with a marker when it belongs to the decomposition set.
+    """
+    chosen_set = set(chosen)
+    lines: list[str] = []
+    for start in range(0, len(variables), per_line):
+        chunk = list(zip(labels[start : start + per_line], variables[start : start + per_line]))
+        lines.append(" ".join(f"{label}" for label, _ in chunk))
+        lines.append(" ".join(("#" if var in chosen_set else ".").center(len(label)) for label, var in chunk))
+    return "\n".join(lines)
+
+
+def format_count(value: float) -> str:
+    """Format large cost values compactly (e.g. ``3.77e+10``)."""
+    return f"{value:.3e}"

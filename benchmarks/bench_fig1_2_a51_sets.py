@@ -1,0 +1,67 @@
+"""Figures 1, 2a, 2b — the A5/1 decomposition sets S1, S2, S3 as variable bitmaps.
+
+The paper's figures display which of the 64 A5/1 state variables belong to each
+decomposition set (S1: manual, S2: simulated annealing, S3: tabu search).  This
+benchmark produces the same artefact for the scaled A5/1: a bitmap over the
+register cells (``#`` = variable in the set, ``.`` = not in the set), one per
+method, so the distribution of chosen variables across the three registers can
+be compared with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_table, render_decomposition_bitmap, run_once
+from repro.ciphers import A51
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.problems import make_inversion_instance
+
+SAMPLE_SIZE = 15
+MAX_EVALUATIONS = 50
+
+
+def _manual_reference_set(instance) -> list[int]:
+    chosen: list[int] = []
+    for reg_vars in instance.register_vars.values():
+        take = max(1, (2 * len(reg_vars)) // 3)
+        chosen.extend(reg_vars[:take])
+    return sorted(chosen)
+
+
+def _run_experiment():
+    instance = make_inversion_instance(A51.scaled("tiny"), keystream_length=30, seed=1)
+    pdsat = PDSAT(instance, sample_size=SAMPLE_SIZE, cost_measure="propagations", seed=2)
+    sets = {"Fig. 1  S1 (manual)": _manual_reference_set(instance)}
+    annealing = pdsat.estimate(
+        method="annealing", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS)
+    )
+    tabu = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS))
+    sets["Fig. 2a S2 (annealing)"] = annealing.best_decomposition
+    sets["Fig. 2b S3 (tabu)"] = tabu.best_decomposition
+    return instance, sets
+
+
+def test_fig1_2_a51_decomposition_bitmaps(benchmark):
+    """Reproduce Figures 1/2a/2b: which state variables each method selects."""
+    instance, sets = run_once(benchmark, _run_experiment)
+    labels = instance.generator.state_variable_labels()
+
+    rows = []
+    for title, chosen in sets.items():
+        print(f"\n--- {title} ({len(chosen)} of {len(instance.start_set)} state variables) ---")
+        print(render_decomposition_bitmap(labels, instance.start_set, chosen))
+        per_register = {
+            reg: len(set(chosen) & set(vars_)) for reg, vars_ in instance.register_vars.items()
+        }
+        rows.append([title, len(chosen)] + [per_register[reg] for reg in instance.register_vars])
+
+    print_table(
+        "Figures 1, 2a, 2b — variables per register",
+        ["set", "total"] + list(instance.register_vars),
+        rows,
+    )
+
+    # Every set must be a subset of the state variables and non-trivial.
+    for chosen in sets.values():
+        assert set(chosen) <= set(instance.start_set)
+        assert chosen

@@ -1,0 +1,92 @@
+"""Figure 4 — the decomposition set found by PDSAT for Grain cryptanalysis.
+
+Paper: tabu search over the 160 Grain state variables (80 NFSR + 80 LFSR) finds
+a decomposition set of 69 variables with predicted time 4.368e20 seconds, and —
+the interesting structural observation — *every* chosen variable belongs to the
+LFSR.
+
+Reproduction: tabu search on the scaled Grain (8+8 state bits).  Besides the
+bitmap, the benchmark reports the NFSR/LFSR split of the chosen variables and
+compares the found set against the two wholesale single-register guesses.
+
+Scale caveat (recorded in EXPERIMENTS.md): the paper's "LFSR only" structure is
+a full-scale property — guessing the 80-bit autonomous LFSR turns every output
+equation into an almost-linear equation over NFSR bits, while guessing the NFSR
+leaves an 80-bit LFSR to search.  With an 8-bit LFSR the first few keystream
+equations pin the LFSR by propagation regardless, so at this scale guessing the
+NFSR register is measurably *cheaper* (F(NFSR) < F(LFSR)) and the search has no
+reason to prefer LFSR cells.  The benchmark therefore checks the claims that do
+transfer: the search selects a strict subset of the state and its predicted
+cost improves on both single-register reference sets.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import (
+    format_count,
+    print_table,
+    render_decomposition_bitmap,
+    run_once,
+)
+from repro.ciphers import Grain
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.core.predictive import PredictiveFunction
+from repro.problems import make_inversion_instance
+
+PAPER_SET_SIZE = 69
+PAPER_STATE_SIZE = 160
+PAPER_F_BEST = 4.368e20
+
+SAMPLE_SIZE = 20
+MAX_EVALUATIONS = 150
+
+
+def _run_experiment():
+    instance = make_inversion_instance(Grain.scaled("tiny"), keystream_length=20, seed=2)
+    pdsat = PDSAT(instance, sample_size=SAMPLE_SIZE, cost_measure="propagations", seed=2)
+    report = pdsat.estimate(
+        method="tabu", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS)
+    )
+    reference = PredictiveFunction(
+        instance.cnf, sample_size=SAMPLE_SIZE, cost_measure="propagations", seed=2
+    )
+    f_lfsr = reference.evaluate(instance.register_vars["LFSR"]).value
+    f_nfsr = reference.evaluate(instance.register_vars["NFSR"]).value
+    return instance, report, f_lfsr, f_nfsr
+
+
+def test_fig4_grain_decomposition_set(benchmark):
+    """Reproduce Figure 4: the Grain decomposition set found by tabu search."""
+    instance, report, f_lfsr, f_nfsr = run_once(benchmark, _run_experiment)
+    chosen = report.best_decomposition
+    labels = instance.generator.state_variable_labels()
+
+    print(f"\ninstance: {instance.summary()}")
+    print(f"F_best = {format_count(report.best_value)} (paper: {format_count(PAPER_F_BEST)} s)")
+    print(
+        f"|X_best| = {len(chosen)} of {len(instance.start_set)} state variables "
+        f"(paper: {PAPER_SET_SIZE} of {PAPER_STATE_SIZE})"
+    )
+    print(render_decomposition_bitmap(labels, instance.start_set, chosen))
+
+    nfsr_vars = set(instance.register_vars["NFSR"])
+    lfsr_vars = set(instance.register_vars["LFSR"])
+    nfsr_chosen = len(set(chosen) & nfsr_vars)
+    lfsr_chosen = len(set(chosen) & lfsr_vars)
+    print_table(
+        "Figure 4 — chosen variables per Grain register (paper: 0 NFSR / 69 LFSR)",
+        ["register", "register size", "chosen", "F(whole register)"],
+        [
+            ["NFSR", len(nfsr_vars), nfsr_chosen, format_count(f_nfsr)],
+            ["LFSR", len(lfsr_vars), lfsr_chosen, format_count(f_lfsr)],
+        ],
+    )
+
+    # Qualitative shape that transfers to this scale: the search selects a
+    # strict subset of the state and its prediction beats both wholesale
+    # single-register guesses (the paper's set likewise beats guessing either
+    # full register).  The LFSR-only concentration itself is full-scale
+    # structure; the measured F(LFSR)/F(NFSR) values above document why.
+    assert 0 < len(chosen) < len(instance.start_set)
+    assert report.best_value <= min(f_lfsr, f_nfsr)

@@ -1,0 +1,79 @@
+"""Monte Carlo convergence — the core statistical claim behind equation (3).
+
+The method rests on the main formula of the Monte Carlo method: the sample mean
+of N observations of ξ_{C,A}(X̃) approaches E[ξ] with error ~ σ/√N, so
+F = 2^d · mean approaches the true total cost t_{C,A}(X̃).  The paper uses this
+implicitly (its estimates are trusted because N is large); this benchmark makes
+the claim explicit on a scaled instance where the ground truth is computable:
+
+* compute the exact t_{C,A}(X̃) by solving all 2^d sub-problems,
+* compute F for growing sample sizes N,
+* report the relative error and the CLT confidence interval for each N, and
+  check that the interval width shrinks like 1/√N.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks._common import format_count, print_table, run_once
+from repro.ciphers import Bivium
+from repro.core.predictive import PredictiveFunction
+from repro.problems import make_inversion_instance
+
+DECOMPOSITION_SIZE = 8
+SAMPLE_SIZES = [10, 25, 50, 100, 200]
+
+
+def _run_experiment():
+    instance = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=26, seed=3)
+    decomposition = instance.start_set[:DECOMPOSITION_SIZE]
+
+    truth_evaluator = PredictiveFunction(instance.cnf, sample_size=1, seed=0)
+    truth, costs = truth_evaluator.exhaustive_value(decomposition)
+
+    estimates = []
+    for sample_size in SAMPLE_SIZES:
+        evaluator = PredictiveFunction(instance.cnf, sample_size=sample_size, seed=11)
+        estimates.append(evaluator.evaluate(decomposition))
+    return instance, decomposition, truth, estimates
+
+
+def test_montecarlo_convergence(benchmark):
+    """F converges to the exhaustive ground truth as the sample grows."""
+    instance, decomposition, truth, estimates = run_once(benchmark, _run_experiment)
+
+    rows = []
+    for result in estimates:
+        low, high = result.confidence_interval
+        error = abs(result.value - truth) / truth
+        rows.append(
+            [
+                result.sample_size,
+                format_count(result.value),
+                format_count(truth),
+                f"{100 * error:.1f}%",
+                f"[{format_count(low)}, {format_count(high)}]",
+            ]
+        )
+    print(f"\ninstance: {instance.summary()}")
+    print(f"decomposition: {len(decomposition)} variables, 2^d = {2 ** len(decomposition)}")
+    print_table(
+        "Monte Carlo convergence of the predictive function",
+        ["N", "F estimate", "true t_C,A", "relative error", "95% CI"],
+        rows,
+    )
+
+    # The confidence interval shrinks roughly like 1/sqrt(N).
+    widths = [est.estimate.half_width for est in estimates]
+    assert widths[-1] < widths[0]
+    expected_shrink = math.sqrt(SAMPLE_SIZES[0] / SAMPLE_SIZES[-1])
+    assert widths[-1] <= widths[0] * expected_shrink * 3.0
+
+    # The largest sample is within 50% of the ground truth, and the truth lies
+    # inside (a slightly widened) final confidence interval.
+    final = estimates[-1]
+    assert abs(final.value - truth) / truth <= 0.5
+    low, high = final.confidence_interval
+    slack = 0.25 * truth
+    assert low - slack <= truth <= high + slack

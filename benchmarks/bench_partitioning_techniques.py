@@ -1,0 +1,126 @@
+"""Ablation — classical partitioning techniques vs. the paper's decomposition families.
+
+Section 2 of the paper motivates decomposition-set partitionings by noting that
+for the classical constructions (guiding path, scattering, lookahead /
+cube-and-conquer) "it is hard in general case to estimate the time required to
+solve an original problem".  This benchmark makes that claim quantitative on a
+scaled inversion instance:
+
+* build one partitioning with each technique (comparable part counts);
+* solve *every* part to obtain the true total cost ``t_{C,A}``;
+* estimate the total cost of each partitioning from uniform random samples of
+  its parts (the direct analogue of the paper's predictive function);
+* report the number of parts, the imbalance (hardest part / mean part) and the
+  relative estimation error.
+
+Expected shape: the minterm (decomposition-family) partitioning has the most
+balanced parts and the smallest estimation error, because its parts are
+identically distributed by construction; the guiding-path and scattering parts
+span orders of magnitude in difficulty, which inflates the estimator variance.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import format_count, print_table, run_once
+from repro.ciphers import Bivium
+from repro.partitioning import (
+    CubeAndConquerConfig,
+    CubePartitioning,
+    GuidingPathConfig,
+    ScatteringConfig,
+    guiding_path_partitioning,
+    lookahead_partitioning,
+    scattering_partitioning,
+)
+from repro.problems import make_inversion_instance
+from repro.sat.cdcl import CDCLSolver
+
+#: Decomposition-set size for the minterm partitioning (2^6 = 64 parts).
+DECOMPOSITION_SIZE = 6
+SAMPLE_SIZE = 16
+NUM_ESTIMATE_SEEDS = 5
+
+
+def _estimation_error(partitioning, solver, true_total: float) -> float:
+    """Mean relative error of the uniform-sampling estimate over several seeds."""
+    errors = []
+    for seed in range(NUM_ESTIMATE_SEEDS):
+        estimate = partitioning.estimate_total_cost(
+            solver, sample_size=SAMPLE_SIZE, seed=seed
+        )
+        errors.append(abs(estimate.mean - true_total) / true_total)
+    return sum(errors) / len(errors)
+
+
+def _run_experiment():
+    instance = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=26, seed=5)
+    cnf = instance.cnf
+    solver = CDCLSolver()
+
+    family_vars = list(instance.start_set)[-DECOMPOSITION_SIZE:]
+    partitionings = [
+        CubePartitioning.from_decomposition_set(cnf, family_vars),
+        guiding_path_partitioning(cnf, GuidingPathConfig(path_length=6)),
+        lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=64, max_depth=10)),
+    ]
+    scattering = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=8))
+
+    rows = []
+    errors = {}
+    for partitioning in partitionings:
+        report = partitioning.solve_all(solver)
+        error = _estimation_error(partitioning, CDCLSolver(), report.total_cost)
+        errors[partitioning.technique] = error
+        rows.append(
+            (
+                partitioning.technique,
+                len(partitioning),
+                format_count(report.total_cost),
+                f"{report.imbalance:.1f}",
+                f"{error * 100:.0f}%",
+            )
+        )
+
+    # Scattering parts are formula+clauses (not plain cubes); solve and report
+    # the same quantities, estimating by uniformly sampling parts.
+    scatter_report = scattering.solve_all(solver)
+    scatter_costs = scatter_report.costs
+    scatter_errors = []
+    import random
+
+    for seed in range(NUM_ESTIMATE_SEEDS):
+        rng = random.Random(seed)
+        sampled = [scatter_costs[rng.randrange(len(scatter_costs))] for _ in range(SAMPLE_SIZE)]
+        estimate = sum(sampled) / len(sampled) * len(scatter_costs)
+        scatter_errors.append(abs(estimate - scatter_report.total_cost) / scatter_report.total_cost)
+    scatter_error = sum(scatter_errors) / len(scatter_errors)
+    errors["scattering"] = scatter_error
+    rows.append(
+        (
+            "scattering",
+            len(scattering),
+            format_count(scatter_report.total_cost),
+            f"{scatter_report.imbalance:.1f}",
+            f"{scatter_error * 100:.0f}%",
+        )
+    )
+    return instance, rows, errors
+
+
+def test_partitioning_techniques_comparison(benchmark):
+    """Compare estimability and balance of the four partitioning techniques."""
+    instance, rows, errors = run_once(benchmark, _run_experiment)
+
+    print(f"\ninstance: {instance.summary()}")
+    print_table(
+        "Partitioning techniques — balance and estimability",
+        ["technique", "parts", "true total cost", "imbalance", "estimation error"],
+        rows,
+    )
+
+    family_error = errors["decomposition family"]
+    other_errors = [err for name, err in errors.items() if name != "decomposition family"]
+    # Qualitative shape (the paper's motivation): the uniform-sampling estimate
+    # is most reliable for the minterm partitioning.  We require it to be no
+    # worse than the worst classical technique by a clear margin.
+    assert family_error <= max(other_errors) + 0.05

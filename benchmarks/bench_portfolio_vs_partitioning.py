@@ -1,0 +1,110 @@
+"""Ablation — the portfolio approach vs. the partitioning approach (paper introduction).
+
+The paper's introduction contrasts the two dominant styles of parallel SAT
+solving.  A portfolio runs differently-configured copies of the solver on the
+whole instance and finishes when the luckiest copy does; a partitioning splits
+the instance into independent sub-problems and divides the work.  For the hard
+cryptanalysis instances the paper targets, a portfolio of ``M`` similar CDCL
+configurations rarely helps by more than a small factor, whereas a partitioning
+onto ``M`` cores divides the work almost perfectly — this is why the paper (and
+PDSAT, and SAT@home) take the partitioning route.
+
+Reproduction on a scaled Bivium instance with ``M = 8`` virtual cores:
+
+* the portfolio side runs eight diversified CDCL configurations on the full
+  instance; its virtual wall-clock is the cost of the fastest member;
+* the partitioning side takes the tabu-search decomposition set, solves the
+  whole decomposition family and schedules it on eight virtual cores.
+
+Reported: wall-clock of both, the speed-up of each over a single default solver
+run, and the portfolio's wasted (redundant) work.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import format_count, print_table, run_once
+from repro.ciphers import Bivium
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.portfolio import PortfolioSolver, default_portfolio
+from repro.problems import make_inversion_instance
+from repro.runner.cluster import simulate_makespan
+from repro.sat.cdcl import CDCLSolver
+
+NUM_CORES = 8
+SAMPLE_SIZE = 20
+MAX_EVALUATIONS = 220
+
+
+def _run_experiment():
+    instance = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=26, seed=3)
+    cost_measure = "propagations"
+
+    # Reference: one default sequential solver on the full instance.
+    sequential = CDCLSolver().solve(instance.cnf)
+    sequential_cost = sequential.stats.cost(cost_measure)
+
+    # Portfolio side: M diversified configurations on the full instance.
+    portfolio = PortfolioSolver(default_portfolio()[:NUM_CORES], cost_measure=cost_measure)
+    portfolio_result = portfolio.solve(instance.cnf)
+
+    # Partitioning side: tabu-search decomposition set, full family on M cores.
+    pdsat = PDSAT(instance, sample_size=SAMPLE_SIZE, cost_measure=cost_measure, seed=6)
+    estimation = pdsat.estimate(
+        method="tabu", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS)
+    )
+    solving = pdsat.solve_family(estimation.best_decomposition)
+    cluster = simulate_makespan(solving.costs, NUM_CORES)
+
+    return {
+        "instance": instance,
+        "sequential_cost": sequential_cost,
+        "portfolio": portfolio_result,
+        "estimation": estimation,
+        "cluster": cluster,
+    }
+
+
+def test_portfolio_vs_partitioning(benchmark):
+    """The partitioning approach divides the work; the portfolio only races configurations."""
+    data = run_once(benchmark, _run_experiment)
+    instance = data["instance"]
+    portfolio = data["portfolio"]
+    cluster = data["cluster"]
+    sequential_cost = data["sequential_cost"]
+
+    portfolio_speedup = (
+        sequential_cost / portfolio.virtual_parallel_cost
+        if portfolio.virtual_parallel_cost
+        else float("inf")
+    )
+    partitioning_speedup = sequential_cost / cluster.makespan if cluster.makespan else float("inf")
+
+    print(f"\ninstance: {instance.summary()}")
+    print_table(
+        f"Portfolio vs. partitioning on {NUM_CORES} virtual cores (costs in propagations)",
+        ["approach", "wall-clock", "speed-up vs 1 solver", "total work"],
+        [
+            ["single CDCL (reference)", format_count(sequential_cost), "1.0", format_count(sequential_cost)],
+            [
+                f"portfolio of {len(portfolio.runs)}",
+                format_count(portfolio.virtual_parallel_cost),
+                f"{portfolio_speedup:.2f}",
+                format_count(portfolio.total_work),
+            ],
+            [
+                f"partitioning (|set|={len(data['estimation'].best_decomposition)})",
+                format_count(cluster.makespan),
+                f"{partitioning_speedup:.2f}",
+                format_count(cluster.total_work),
+            ],
+        ],
+    )
+
+    # Qualitative shapes. (1) Both parallel approaches decide the instance.
+    assert portfolio.status.value in ("SAT", "UNSAT")
+    # (2) The portfolio cannot beat its best member by definition; its speed-up
+    #     over one solver stays modest (bounded by the diversity of the members).
+    assert portfolio.virtual_parallel_cost >= min(run.cost for run in portfolio.runs)
+    # (3) The partitioning divides the work with reasonable efficiency.
+    assert cluster.efficiency >= 0.3

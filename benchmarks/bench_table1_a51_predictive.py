@@ -1,0 +1,91 @@
+"""Table 1 — decomposition sets for A5/1 cryptanalysis and their predictive-function values.
+
+Paper: three decomposition sets over the 64 A5/1 state bits —
+
+* S1 (31 variables), constructed manually from algorithmic features of A5/1,
+  F = 4.45140e8 s;
+* S2 (31 variables), found by simulated annealing, F = 4.78318e8 s;
+* S3 (32 variables), found by tabu search, F = 4.64428e8 s.
+
+The qualitative claim: the automatically found sets are competitive with the
+manually engineered "reference" set (same order of magnitude, within ~7%).
+
+Reproduction: a scaled A5/1 (15 state bits, see DESIGN.md).  The analogue of S1
+is the manual strategy "take the clock-controlling prefix of every register"
+(the classic manual guess for A5/1); S2 and S3 are produced by the two
+metaheuristics starting from the full-state SUPBS.  Costs are measured in
+solver propagations, so absolute values are not comparable with the paper's
+seconds — the comparison of interest is *between the three sets*.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import format_count, print_table, run_once
+from repro.ciphers import A51
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.problems import make_inversion_instance
+
+#: Paper values (seconds on one core of the "Academician V.M. Matrosov" cluster).
+PAPER_VALUES = {"S1 (manual)": 4.45140e8, "S2 (annealing)": 4.78318e8, "S3 (tabu)": 4.64428e8}
+
+SAMPLE_SIZE = 20
+MAX_EVALUATIONS = 70
+
+
+def _manual_reference_set(instance) -> list[int]:
+    """The S1 analogue: the first ~2/3 of every register (clock-section guess)."""
+    chosen: list[int] = []
+    for reg_vars in instance.register_vars.values():
+        take = max(1, (2 * len(reg_vars)) // 3)
+        chosen.extend(reg_vars[:take])
+    return sorted(chosen)
+
+
+def _run_experiment():
+    instance = make_inversion_instance(A51.scaled("tiny"), keystream_length=30, seed=1)
+    pdsat = PDSAT(instance, sample_size=SAMPLE_SIZE, cost_measure="propagations", seed=1)
+
+    manual = _manual_reference_set(instance)
+    manual_result = pdsat.evaluate_decomposition(manual)
+
+    annealing_report = pdsat.estimate(
+        method="annealing", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS)
+    )
+    tabu_report = pdsat.estimate(
+        method="tabu", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS)
+    )
+    return instance, {
+        "S1 (manual)": (sorted(manual), manual_result.value),
+        "S2 (annealing)": (annealing_report.best_decomposition, annealing_report.best_value),
+        "S3 (tabu)": (tabu_report.best_decomposition, tabu_report.best_value),
+    }
+
+
+def test_table1_a51_decomposition_sets(benchmark):
+    """Reproduce Table 1: F(S1), F(S2), F(S3) for (scaled) A5/1."""
+    instance, measured = run_once(benchmark, _run_experiment)
+
+    rows = [
+        [
+            name,
+            len(measured[name][0]),
+            format_count(measured[name][1]),
+            format_count(PAPER_VALUES[name]),
+        ]
+        for name in PAPER_VALUES
+    ]
+    print(f"\ninstance: {instance.summary()}")
+    print_table(
+        "Table 1 — A5/1 decomposition sets (scaled reproduction)",
+        ["set", "|set|", "F (propagations, measured)", "F (seconds, paper)"],
+        rows,
+    )
+
+    values = {name: value for name, (_, value) in measured.items()}
+    # Qualitative shape of Table 1: all three sets are of the same order of
+    # magnitude and the automatically found sets are competitive with the
+    # manual reference set.
+    assert max(values.values()) <= 30 * min(values.values())
+    assert values["S3 (tabu)"] <= values["S1 (manual)"] * 3
+    assert values["S2 (annealing)"] <= values["S1 (manual)"] * 10

@@ -1,0 +1,138 @@
+"""Table 3 — solving weakened Bivium / Grain instances: prediction vs. reality.
+
+Paper protocol: for each weakened problem (Bivium16/14/12, Grain44/42/40, where
+K trailing cells of the second register are known) PDSAT
+
+1. minimises the predictive function on instance 1 of a 3-instance series,
+2. reports ``F_best`` for 1 core and its extrapolation to 480 cores,
+3. solves the *whole* decomposition family of all 3 instances on 480 cores and
+   reports the measured times, which deviate from the prediction by ~8% on
+   average.
+
+Reproduction (scaled Bivium: 21 state bits, scaled Grain: 16 state bits; the
+cluster is simulated by the makespan model of :mod:`repro.runner.cluster`):
+the same protocol with K scaled proportionally, 3 instances per problem, and
+16 simulated cores in place of 480.  Costs are deterministic solver
+propagations instead of seconds.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import format_count, print_table, run_once
+from repro.ciphers import Bivium, Grain
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.problems import make_instance_series
+
+#: (paper problem, our generator, our K, paper F_best on 1 core [s]).
+PROBLEMS = [
+    ("Bivium16", Bivium.scaled("tiny"), 8, 1.65e7),
+    ("Bivium14", Bivium.scaled("tiny"), 7, 6.84e7),
+    ("Bivium12", Bivium.scaled("tiny"), 6, 2.63e8),
+    ("Grain44", Grain.scaled("tiny"), 6, 1.60e7),
+    ("Grain42", Grain.scaled("tiny"), 5, 6.05e7),
+    ("Grain40", Grain.scaled("tiny"), 4, 2.52e8),
+]
+
+CORES = 16
+SAMPLE_SIZE = 30
+MAX_EVALUATIONS = 40
+MAX_FAMILY_BITS = 10
+INSTANCES_PER_PROBLEM = 3
+
+
+def _run_problem(name, generator, known_bits, seed_base):
+    series = make_instance_series(
+        generator,
+        count=INSTANCES_PER_PROBLEM,
+        known_bits=known_bits,
+        first_seed=seed_base,
+    )
+    leader = PDSAT(series[0], sample_size=SAMPLE_SIZE, cost_measure="propagations", seed=1)
+    estimation = leader.estimate(
+        method="tabu", stopping=StoppingCriteria(max_evaluations=MAX_EVALUATIONS)
+    )
+    decomposition = estimation.best_decomposition
+    if len(decomposition) > MAX_FAMILY_BITS:
+        decomposition = decomposition[:MAX_FAMILY_BITS]
+    # Predict for the decomposition that is actually solved (the paper predicts
+    # for X_best and solves X_best; truncation only happens at our scale).
+    prediction = leader.evaluate_decomposition(decomposition)
+
+    totals, makespans = [], []
+    for instance in series:
+        runner = PDSAT(instance, sample_size=SAMPLE_SIZE, cost_measure="propagations", seed=1)
+        solving = runner.solve_family(decomposition)
+        totals.append(solving.total_cost)
+        makespans.append(solving.makespan_on_cores(CORES).makespan)
+    return {
+        "name": name,
+        "known_bits": known_bits,
+        "decomposition_size": len(decomposition),
+        "predicted_1core": prediction.value,
+        "predicted_parallel": prediction.value / CORES,
+        "totals": totals,
+        "makespans": makespans,
+    }
+
+
+def _run_experiment():
+    results = []
+    for index, (name, generator, known_bits, _) in enumerate(PROBLEMS):
+        results.append(_run_problem(name, generator, known_bits, seed_base=10 * index))
+    return results
+
+
+def test_table3_weakened_bivium_grain(benchmark):
+    """Reproduce Table 3: predicted vs. measured solving cost of weakened problems."""
+    results = run_once(benchmark, _run_experiment)
+
+    rows = []
+    deviations = []
+    for result, (paper_name, _, _, paper_1core) in zip(results, PROBLEMS):
+        mean_total = sum(result["totals"]) / len(result["totals"])
+        deviation = abs(result["predicted_1core"] - mean_total) / mean_total
+        deviations.append(deviation)
+        rows.append(
+            [
+                result["name"],
+                result["known_bits"],
+                result["decomposition_size"],
+                format_count(result["predicted_1core"]),
+                format_count(result["predicted_parallel"]),
+                " ".join(format_count(t) for t in result["totals"]),
+                " ".join(format_count(m) for m in result["makespans"]),
+                f"{100 * deviation:.1f}%",
+                format_count(paper_1core),
+            ]
+        )
+
+    print_table(
+        f"Table 3 — weakened problems: prediction vs. solving ({CORES} simulated cores)",
+        [
+            "problem",
+            "K",
+            "|X̃|",
+            "F_best 1 core",
+            f"F_best {CORES} cores",
+            "measured total (3 inst.)",
+            f"measured makespan {CORES} cores",
+            "deviation",
+            "paper F 1 core [s]",
+        ],
+        rows,
+    )
+    mean_deviation = sum(deviations) / len(deviations)
+    print(f"mean |prediction - measured| / measured = {100 * mean_deviation:.1f}% (paper: ~8%)")
+
+    # Qualitative claims: predictions are within a factor ~3 of the measured
+    # totals (the paper achieves ~8% with N up to 1e5; our N is 30), and within
+    # every cipher the cost grows as K shrinks (weaker weakening = harder).
+    for result in results:
+        mean_total = sum(result["totals"]) / len(result["totals"])
+        assert 0.25 <= result["predicted_1core"] / mean_total <= 4.0
+    bivium = [r for r in results if r["name"].startswith("Bivium")]
+    grain = [r for r in results if r["name"].startswith("Grain")]
+    for family in (bivium, grain):
+        mean_costs = [sum(r["totals"]) / len(r["totals"]) for r in family]
+        assert mean_costs[0] <= mean_costs[-1] * 1.5  # hardest problem is not the most-weakened one

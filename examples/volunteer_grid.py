@@ -1,0 +1,75 @@
+"""Volunteer computing — processing a decomposition family the SAT@home way.
+
+Section 4.2 of the paper solved full-scale A5/1 cryptanalysis instances in the
+SAT@home volunteer project: the decomposition family was packaged into work
+units and crunched by donated, part-time, heterogeneous machines over several
+months.  This example reproduces the workflow end to end on a scaled A5/1:
+
+1. build the inversion instance and find a decomposition set with tabu search,
+2. process the whole decomposition family to get per-sub-problem costs,
+3. replay those costs on a simulated dedicated cluster and on a simulated
+   BOINC-style volunteer grid (heterogeneous speeds, 40% availability,
+   replication, lost results),
+4. compare predicted time, cluster makespan and volunteer campaign duration.
+
+Run with::
+
+    python examples/volunteer_grid.py
+"""
+
+from __future__ import annotations
+
+from repro.ciphers import A51
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.problems import make_inversion_instance
+from repro.runner.cluster import simulate_makespan
+from repro.runner.volunteer import VolunteerGridConfig, simulate_volunteer_grid
+
+
+def main() -> None:
+    # ------------------------------------------------------------ the instance
+    instance = make_inversion_instance(A51.scaled("tiny"), keystream_length=30, seed=2026)
+    print("Instance:", instance.summary())
+
+    # ------------------------------------------- find a good decomposition set
+    pdsat = PDSAT(instance, sample_size=20, cost_measure="propagations", seed=3)
+    estimation = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=80))
+    print("\nEstimating mode:")
+    print(" ", estimation.summary())
+
+    # ------------------------------------------------ process the whole family
+    solving = pdsat.solve_family(estimation.best_decomposition)
+    print("\nSolving mode:")
+    print(" ", solving.summary())
+    print(f"  predicted total cost: {estimation.best_value:.4g}")
+    print(f"  measured total cost:  {solving.total_cost:.4g}")
+
+    # ------------------------------------------------------- dedicated cluster
+    cores = 32
+    cluster = simulate_makespan(solving.costs, cores)
+    print(f"\nDedicated cluster ({cores} cores):")
+    print(f"  makespan {cluster.makespan:.4g}, efficiency {cluster.efficiency:.2f}")
+
+    # ------------------------------------------------------------ SAT@home-style grid
+    config = VolunteerGridConfig(
+        num_hosts=cores,
+        availability=0.4,     # volunteers crunch less than half the time
+        failure_rate=0.1,     # some results never come back
+        redundancy=2,         # BOINC-style replication
+        quorum=1,
+        speed_spread=3.0,     # heterogeneous hosts
+        seed=11,
+    )
+    grid = simulate_volunteer_grid(solving.costs, config)
+    print(f"\nVolunteer grid ({config.num_hosts} hosts, {config.availability:.0%} availability):")
+    print(" ", grid.summary())
+    print(f"  campaign is {grid.campaign_duration / cluster.makespan:.1f}x the cluster makespan")
+    print(
+        "  (the paper paid the same kind of overhead: ~5 months in SAT@home for a "
+        "family a dedicated cluster could process in weeks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

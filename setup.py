@@ -1,0 +1,8 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` (PEP 660) needs ``wheel``; this shim lets
+``python setup.py develop`` work as a fallback in offline environments.
+"""
+from setuptools import setup
+
+setup()

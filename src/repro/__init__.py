@@ -1,0 +1,88 @@
+"""repro — Monte Carlo search for SAT partitionings.
+
+A from-scratch Python reproduction of
+
+    A. Semenov, O. Zaikin,
+    "Using Monte Carlo Method for Searching Partitionings of Hard Variants of
+    Boolean Satisfiability Problem", PaCT 2015 (arXiv:1507.00862).
+
+The package contains everything the method depends on:
+
+* complete, deterministic SAT solvers — CDCL, DPLL, lookahead — plus WalkSAT
+  and SatELite-style preprocessing (:mod:`repro.sat`),
+* a circuit-to-CNF encoder and the cipher circuits of the paper's evaluation —
+  A5/1, Bivium, Grain — plus scaled variants (:mod:`repro.encoder`,
+  :mod:`repro.ciphers`, :mod:`repro.problems`),
+* the Monte Carlo predictive function and its minimisation by simulated
+  annealing, tabu search, hill climbing and a genetic algorithm
+  (:mod:`repro.core`),
+* the classical partitioning techniques the paper compares against — guiding
+  path, scattering, cube-and-conquer (:mod:`repro.partitioning`) — and the
+  portfolio approach (:mod:`repro.portfolio`),
+* a simulated cluster, a simulated SAT@home-style volunteer grid and a process
+  pool for processing decomposition families (:mod:`repro.runner`),
+* Monte Carlo statistics: CLT and bootstrap intervals, sequential and
+  stratified sampling (:mod:`repro.stats`).
+
+Quickstart::
+
+    from repro.ciphers import Geffe
+    from repro.core import PDSAT
+    from repro.core.optimizer import StoppingCriteria
+    from repro.problems import make_inversion_instance
+
+    instance = make_inversion_instance(Geffe.tiny(), seed=1)
+    pdsat = PDSAT(instance, sample_size=30)
+    report = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=40))
+    print(report.summary())
+"""
+
+from repro.core import (
+    PDSAT,
+    DecompositionFamily,
+    DecompositionSet,
+    EstimationReport,
+    GeneticMinimizer,
+    HillClimbingMinimizer,
+    PredictionResult,
+    PredictiveFunction,
+    SearchSpace,
+    SimulatedAnnealingMinimizer,
+    SolvingReport,
+    TabuSearchMinimizer,
+)
+from repro.problems import (
+    make_instance_series,
+    make_inversion_instance,
+    make_random_keystream_instance,
+    weaken_instance,
+)
+from repro.sat import CNF, parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.sat.cdcl import CDCLSolver
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "CNF",
+    "CDCLSolver",
+    "DecompositionSet",
+    "DecompositionFamily",
+    "PredictiveFunction",
+    "PredictionResult",
+    "SearchSpace",
+    "SimulatedAnnealingMinimizer",
+    "TabuSearchMinimizer",
+    "HillClimbingMinimizer",
+    "GeneticMinimizer",
+    "PDSAT",
+    "EstimationReport",
+    "SolvingReport",
+    "make_inversion_instance",
+    "make_instance_series",
+    "make_random_keystream_instance",
+    "weaken_instance",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+]

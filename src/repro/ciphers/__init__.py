@@ -1,0 +1,41 @@
+"""Keystream generators used in the paper's evaluation.
+
+Each cipher is implemented twice:
+
+* as a plain bit-level **simulator** (used to generate keystream fragments for
+  the cryptanalysis instances and as ground truth), and
+* as a **circuit builder** producing a :class:`repro.encoder.circuit.Circuit`
+  that is Tseitin-encoded into CNF (the TRANSALG role).
+
+The two implementations are cross-checked against each other in the test suite
+(`tests/test_ciphers_*.py`): for random states, evaluating the circuit must
+reproduce the simulator's keystream bit for bit.
+
+Full-size A5/1, Bivium, Trivium and Grain v1 are provided, together with scaled
+variants whose register lengths are reduced so that the inversion sub-problems
+are solvable by the pure-Python CDCL solver within milliseconds.  The scaling
+preserves the structural features the paper's method interacts with: several
+registers, nonlinear mixing, and a state that forms a unit-propagation backdoor
+of the encoding.
+"""
+
+from repro.ciphers.a5_1 import A51
+from repro.ciphers.bivium import Bivium, Trivium, TriviumLike
+from repro.ciphers.geffe import Geffe
+from repro.ciphers.grain import Grain, GrainLike
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.ciphers.lfsr import LFSR, lfsr_step, nfsr_step
+
+__all__ = [
+    "KeystreamGenerator",
+    "A51",
+    "Bivium",
+    "Trivium",
+    "TriviumLike",
+    "Grain",
+    "GrainLike",
+    "Geffe",
+    "LFSR",
+    "lfsr_step",
+    "nfsr_step",
+]

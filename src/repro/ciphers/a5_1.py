@@ -1,0 +1,132 @@
+"""The A5/1 keystream generator (GSM encryption).
+
+A5/1 consists of three LFSRs of lengths 19, 22 and 23 bits (64 state bits in
+total) with irregular *majority clocking*: at every step the majority value of
+the three clocking taps is computed, and only the registers whose clocking tap
+agrees with the majority are stepped.  The output bit is the XOR of the three
+register output cells.
+
+Bit convention: within each register, cell 0 is where the feedback bit enters
+and cell ``length - 1`` is the output cell; clocking-tap indices follow the
+standard numbering of the A5/1 literature under this convention.
+
+The paper attacks the 64-bit state given 114 bits of keystream (one GSM burst).
+A Python CDCL solver cannot solve the full problem, so :meth:`A51.scaled`
+provides structurally identical generators with shorter registers; the
+partitioning experiments in ``benchmarks/`` use those.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.encoder.circuit import Circuit, Signal
+
+
+class A51(KeystreamGenerator):
+    """A5/1 with configurable register lengths, taps and clocking taps."""
+
+    name = "A5/1"
+
+    #: Full-size parameters: register lengths, feedback taps, clocking-tap indices.
+    FULL_LENGTHS = (19, 22, 23)
+    FULL_TAPS = ((13, 16, 17, 18), (20, 21), (7, 20, 21, 22))
+    FULL_CLOCK_BITS = (8, 10, 10)
+
+    def __init__(
+        self,
+        lengths: Sequence[int] = FULL_LENGTHS,
+        taps: Sequence[Sequence[int]] = FULL_TAPS,
+        clock_bits: Sequence[int] = FULL_CLOCK_BITS,
+    ):
+        if len(lengths) != 3 or len(taps) != 3 or len(clock_bits) != 3:
+            raise ValueError("A5/1 requires exactly three registers")
+        self.lengths = tuple(int(n) for n in lengths)
+        self.taps = tuple(tuple(int(t) for t in tap) for tap in taps)
+        self.clock_bits = tuple(int(c) for c in clock_bits)
+        for length, tap, clock in zip(self.lengths, self.taps, self.clock_bits):
+            if length < 3:
+                raise ValueError("registers must have at least 3 cells")
+            if any(not 0 <= t < length for t in tap):
+                raise ValueError(f"feedback taps {tap} outside register of length {length}")
+            if not 0 <= clock < length:
+                raise ValueError(f"clocking tap {clock} outside register of length {length}")
+
+    # ------------------------------------------------------------------ variants
+    @classmethod
+    def full(cls) -> "A51":
+        """The real 64-bit-state A5/1."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, size: str = "small") -> "A51":
+        """Scaled-down variants preserving the three-register majority-clocked structure.
+
+        ``"tiny"`` has 15 state bits, ``"small"`` 24, ``"medium"`` 33.  Taps sit
+        near the output end of each register (as in the full cipher) and the
+        clocking taps near the middle.
+        """
+        presets = {
+            "tiny": ((4, 5, 6), ((2, 3), (3, 4), (2, 4, 5)), (2, 2, 3)),
+            "small": ((7, 8, 9), ((4, 5, 6), (5, 6, 7), (3, 6, 7, 8)), (3, 4, 4)),
+            "medium": ((10, 11, 12), ((6, 8, 9), (8, 9, 10), (5, 9, 10, 11)), (5, 5, 6)),
+        }
+        if size not in presets:
+            raise ValueError(f"unknown preset {size!r}; choose from {sorted(presets)}")
+        lengths, taps, clock_bits = presets[size]
+        return cls(lengths, taps, clock_bits)
+
+    # ----------------------------------------------------------------- structure
+    def registers(self) -> dict[str, int]:
+        """Three registers named ``R1``, ``R2``, ``R3``."""
+        return {"R1": self.lengths[0], "R2": self.lengths[1], "R3": self.lengths[2]}
+
+    def default_keystream_length(self) -> int:
+        """Roughly two state-lengths of keystream (the paper uses 114 for 64 state bits)."""
+        return 2 * self.state_size - self.state_size // 4
+
+    # ---------------------------------------------------------------- simulation
+    def keystream_from_state(self, state: Sequence[int], length: int) -> list[int]:
+        """Majority-clocked simulation producing ``length`` output bits."""
+        regs = [list(bits) for bits in self.split_state(state).values()]
+        output: list[int] = []
+        for _ in range(length):
+            clock_vals = [regs[i][self.clock_bits[i]] for i in range(3)]
+            majority = int(sum(clock_vals) >= 2)
+            for i in range(3):
+                if clock_vals[i] == majority:
+                    feedback = 0
+                    for tap in self.taps[i]:
+                        feedback ^= regs[i][tap]
+                    regs[i] = [feedback] + regs[i][:-1]
+            output.append(regs[0][-1] ^ regs[1][-1] ^ regs[2][-1])
+        return output
+
+    # ------------------------------------------------------------------ circuit
+    def build_circuit(self, length: int) -> Circuit:
+        """Circuit with input groups ``R1``/``R2``/``R3`` and output group ``keystream``."""
+        circuit = Circuit(name=f"A51[{','.join(map(str, self.lengths))}]x{length}")
+        regs: list[list[Signal]] = [
+            circuit.add_input_group(name, reg_len)
+            for name, reg_len in self.registers().items()
+        ]
+        keystream: list[Signal] = []
+        for _ in range(length):
+            clock_sigs = [regs[i][self.clock_bits[i]] for i in range(3)]
+            majority = circuit.maj(*clock_sigs)
+            new_regs: list[list[Signal]] = []
+            for i in range(3):
+                moves = circuit.not_(circuit.xor(clock_sigs[i], majority))
+                feedback = circuit.xor(*(regs[i][t] for t in self.taps[i]))
+                shifted = [feedback] + regs[i][:-1]
+                new_regs.append(
+                    [
+                        circuit.mux(moves, shifted[j], regs[i][j])
+                        for j in range(self.lengths[i])
+                    ]
+                )
+            regs = new_regs
+            keystream.append(circuit.xor(regs[0][-1], regs[1][-1], regs[2][-1]))
+        circuit.set_output_group("keystream", keystream)
+        return circuit

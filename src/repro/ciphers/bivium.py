@@ -1,0 +1,221 @@
+"""Trivium-family keystream generators: Trivium, Bivium, and scaled variants.
+
+Trivium (De Cannière & Preneel) keeps a 288-bit state split into three shift
+registers of lengths 93, 84 and 111.  Bivium (Raddum's reduced variant, the one
+attacked in the paper and in Eibach et al.) keeps only the first two registers,
+i.e. a 177-bit state.  Every step produces one keystream bit and feeds one new
+bit into each register.
+
+The implementation is a generic :class:`TriviumLike` parameterised by register
+lengths and tap positions; :class:`Bivium` and :class:`Trivium` instantiate the
+standard parameters and provide ``scaled()`` constructors whose tap positions
+are placed proportionally to the originals.  The scaled variants keep the
+defining structural features — two (or three) registers, a quadratic AND term
+per feedback, cross-register coupling — which is what the decomposition-set
+search interacts with.
+
+Register convention: within register ``j``, cell ``0`` holds the *newest* bit
+(the one inserted most recently) and cell ``L_j - 1`` the oldest; the standard
+specification's 1-based position ``p`` corresponds to cell ``p - 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.encoder.circuit import Circuit, Signal
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Parameters of one Trivium-like register.
+
+    ``t_tap`` and the last cell form the linear output pair; ``and_taps`` is the
+    quadratic feedback pair; ``dest_extra_tap`` is the extra linear tap located
+    in the *destination* register (the register this register's feedback bit is
+    inserted into).  All positions are 1-based, as in the cipher specifications.
+    """
+
+    length: int
+    t_tap: int
+    and_taps: tuple[int, int]
+    dest_extra_tap: int
+
+    def __post_init__(self) -> None:
+        if self.length < 4:
+            raise ValueError("Trivium-like registers need at least 4 cells")
+        for pos in (self.t_tap, *self.and_taps):
+            if not 1 <= pos <= self.length:
+                raise ValueError(f"tap position {pos} outside register of length {self.length}")
+
+
+class TriviumLike(KeystreamGenerator):
+    """Generic Trivium-style generator over an arbitrary number of registers."""
+
+    name = "Trivium-like"
+
+    def __init__(self, specs: Sequence[RegisterSpec]):
+        if len(specs) < 2:
+            raise ValueError("need at least two registers")
+        self.specs = tuple(specs)
+        for j, spec in enumerate(self.specs):
+            dest = self.specs[(j + 1) % len(self.specs)]
+            if not 1 <= spec.dest_extra_tap <= dest.length:
+                raise ValueError(
+                    f"dest_extra_tap {spec.dest_extra_tap} outside destination register "
+                    f"of length {dest.length}"
+                )
+
+    # ----------------------------------------------------------------- structure
+    def registers(self) -> dict[str, int]:
+        """Registers named ``A``, ``B``, ``C``, ... in feed order."""
+        names = "ABCDEFGH"
+        return {names[j]: spec.length for j, spec in enumerate(self.specs)}
+
+    def default_keystream_length(self) -> int:
+        """Slightly more than one state length (the paper uses 200 bits for 177 state bits)."""
+        return self.state_size + max(8, self.state_size // 8)
+
+    # ---------------------------------------------------------------- simulation
+    def keystream_from_state(self, state: Sequence[int], length: int) -> list[int]:
+        """Bit-level simulation of ``length`` steps."""
+        regs = [list(bits) for bits in self.split_state(state).values()]
+        out: list[int] = []
+        k = len(self.specs)
+        for _ in range(length):
+            t_lin = []
+            t_full = []
+            for j, spec in enumerate(self.specs):
+                reg = regs[j]
+                dest = regs[(j + 1) % k]
+                lin = reg[spec.t_tap - 1] ^ reg[spec.length - 1]
+                quad = reg[spec.and_taps[0] - 1] & reg[spec.and_taps[1] - 1]
+                extra = dest[spec.dest_extra_tap - 1]
+                t_lin.append(lin)
+                t_full.append(lin ^ quad ^ extra)
+            z = 0
+            for lin in t_lin:
+                z ^= lin
+            out.append(z)
+            # Simultaneous update: register (j+1) receives t_full[j] at cell 0.
+            new_regs = []
+            for j in range(k):
+                src = (j - 1) % k
+                new_regs.append([t_full[src]] + regs[j][:-1])
+            regs = new_regs
+        return out
+
+    # ------------------------------------------------------------------ circuit
+    def build_circuit(self, length: int) -> Circuit:
+        """Circuit with one input group per register and output group ``keystream``."""
+        circuit = Circuit(name=f"{self.name}x{length}")
+        regs: list[list[Signal]] = [
+            circuit.add_input_group(name, reg_len)
+            for name, reg_len in self.registers().items()
+        ]
+        k = len(self.specs)
+        keystream: list[Signal] = []
+        for _ in range(length):
+            t_lin: list[Signal] = []
+            t_full: list[Signal] = []
+            for j, spec in enumerate(self.specs):
+                reg = regs[j]
+                dest = regs[(j + 1) % k]
+                lin = circuit.xor(reg[spec.t_tap - 1], reg[spec.length - 1])
+                quad = circuit.and_(reg[spec.and_taps[0] - 1], reg[spec.and_taps[1] - 1])
+                extra = dest[spec.dest_extra_tap - 1]
+                t_lin.append(lin)
+                t_full.append(circuit.xor(lin, quad, extra))
+            keystream.append(circuit.xor(*t_lin))
+            new_regs: list[list[Signal]] = []
+            for j in range(k):
+                src = (j - 1) % k
+                new_regs.append([t_full[src]] + regs[j][:-1])
+            regs = new_regs
+        circuit.set_output_group("keystream", keystream)
+        return circuit
+
+
+def _scale_position(position: int, original_length: int, new_length: int) -> int:
+    """Map a 1-based tap position proportionally into a shorter register."""
+    scaled = max(1, min(new_length, round(position * new_length / original_length)))
+    return scaled
+
+
+def _scaled_specs(
+    full_specs: Sequence[RegisterSpec], new_lengths: Sequence[int]
+) -> list[RegisterSpec]:
+    """Scale a full specification down to ``new_lengths``, keeping taps distinct."""
+    if len(new_lengths) != len(full_specs):
+        raise ValueError("need one new length per register")
+    specs: list[RegisterSpec] = []
+    for j, (full, new_len) in enumerate(zip(full_specs, new_lengths)):
+        dest_full = full_specs[(j + 1) % len(full_specs)]
+        dest_new_len = new_lengths[(j + 1) % len(new_lengths)]
+        t_tap = _scale_position(full.t_tap, full.length, new_len)
+        if t_tap >= new_len:  # keep it distinct from the last cell
+            t_tap = new_len - 1
+        a1 = _scale_position(full.and_taps[0], full.length, new_len)
+        a2 = _scale_position(full.and_taps[1], full.length, new_len)
+        if a1 == a2:
+            a2 = min(new_len, a1 + 1) if a1 < new_len else a1 - 1
+        extra = _scale_position(full.dest_extra_tap, dest_full.length, dest_new_len)
+        specs.append(RegisterSpec(new_len, t_tap, (a1, a2), extra))
+    return specs
+
+
+class Bivium(TriviumLike):
+    """Bivium-B: the two-register reduction of Trivium (177 state bits full size)."""
+
+    name = "Bivium"
+
+    FULL_SPECS = (
+        RegisterSpec(length=93, t_tap=66, and_taps=(91, 92), dest_extra_tap=78),
+        RegisterSpec(length=84, t_tap=69, and_taps=(82, 83), dest_extra_tap=69),
+    )
+
+    def __init__(self, specs: Sequence[RegisterSpec] | None = None):
+        super().__init__(specs or self.FULL_SPECS)
+
+    @classmethod
+    def full(cls) -> "Bivium":
+        """The standard 177-bit-state Bivium."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, size: str = "small") -> "Bivium":
+        """Scaled Bivium: ``"tiny"`` (21 state bits), ``"small"`` (30), ``"medium"`` (44)."""
+        lengths = {"tiny": (11, 10), "small": (16, 14), "medium": (23, 21)}
+        if size not in lengths:
+            raise ValueError(f"unknown preset {size!r}; choose from {sorted(lengths)}")
+        return cls(_scaled_specs(cls.FULL_SPECS, lengths[size]))
+
+
+class Trivium(TriviumLike):
+    """Full Trivium (288 state bits) and scaled variants."""
+
+    name = "Trivium"
+
+    FULL_SPECS = (
+        RegisterSpec(length=93, t_tap=66, and_taps=(91, 92), dest_extra_tap=78),
+        RegisterSpec(length=84, t_tap=69, and_taps=(82, 83), dest_extra_tap=87),
+        RegisterSpec(length=111, t_tap=66, and_taps=(109, 110), dest_extra_tap=69),
+    )
+
+    def __init__(self, specs: Sequence[RegisterSpec] | None = None):
+        super().__init__(specs or self.FULL_SPECS)
+
+    @classmethod
+    def full(cls) -> "Trivium":
+        """The standard 288-bit-state Trivium."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, size: str = "small") -> "Trivium":
+        """Scaled Trivium: ``"tiny"`` (30 state bits), ``"small"`` (45)."""
+        lengths = {"tiny": (10, 9, 11), "small": (15, 14, 16)}
+        if size not in lengths:
+            raise ValueError(f"unknown preset {size!r}; choose from {sorted(lengths)}")
+        return cls(_scaled_specs(cls.FULL_SPECS, lengths[size]))

@@ -1,0 +1,89 @@
+"""The Geffe generator: a small classical combiner, used as the quickstart cipher.
+
+The Geffe generator combines three LFSRs with a multiplexer:
+``z = (x1 AND x2) XOR (NOT x1 AND x3)`` where ``x_i`` is the output bit of
+register ``i``.  It is cryptographically weak (correlation attacks break it
+easily) but is ideal as a didactic target: the state is small, the encoding is
+tiny, and the whole partitioning pipeline — backdoor start set, predictive
+function, tabu search, solving mode — runs in seconds.  The quickstart example
+and many integration tests use it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.encoder.circuit import Circuit, Signal
+
+
+class Geffe(KeystreamGenerator):
+    """Geffe generator over three configurable Fibonacci LFSRs."""
+
+    name = "Geffe"
+
+    #: Default register lengths and primitive-ish feedback taps.
+    DEFAULT_LENGTHS = (7, 8, 9)
+    DEFAULT_TAPS = ((6, 5), (7, 5, 4, 3), (8, 4))
+
+    def __init__(
+        self,
+        lengths: Sequence[int] = DEFAULT_LENGTHS,
+        taps: Sequence[Sequence[int]] = DEFAULT_TAPS,
+    ):
+        if len(lengths) != 3 or len(taps) != 3:
+            raise ValueError("Geffe requires exactly three registers")
+        self.lengths = tuple(int(n) for n in lengths)
+        self.taps = tuple(tuple(int(t) for t in tap) for tap in taps)
+        for length, tap in zip(self.lengths, self.taps):
+            if length < 2:
+                raise ValueError("registers must have at least 2 cells")
+            if any(not 0 <= t < length for t in tap):
+                raise ValueError(f"taps {tap} outside register of length {length}")
+
+    @classmethod
+    def tiny(cls) -> "Geffe":
+        """A 12-state-bit variant for the fastest tests."""
+        return cls((3, 4, 5), ((2, 1), (3, 2), (4, 1)))
+
+    # ----------------------------------------------------------------- structure
+    def registers(self) -> dict[str, int]:
+        """Three registers named ``L1`` (selector), ``L2`` and ``L3``."""
+        return {"L1": self.lengths[0], "L2": self.lengths[1], "L3": self.lengths[2]}
+
+    # ---------------------------------------------------------------- simulation
+    def keystream_from_state(self, state: Sequence[int], length: int) -> list[int]:
+        """Simulate ``length`` output bits."""
+        regs = [list(bits) for bits in self.split_state(state).values()]
+        out: list[int] = []
+        for _ in range(length):
+            outputs = []
+            for i in range(3):
+                feedback = 0
+                for tap in self.taps[i]:
+                    feedback ^= regs[i][tap]
+                outputs.append(regs[i][-1])
+                regs[i] = [feedback] + regs[i][:-1]
+            x1, x2, x3 = outputs
+            out.append((x1 & x2) ^ ((1 - x1) & x3))
+        return out
+
+    # ------------------------------------------------------------------ circuit
+    def build_circuit(self, length: int) -> Circuit:
+        """Circuit with input groups ``L1``/``L2``/``L3`` and output group ``keystream``."""
+        circuit = Circuit(name=f"Geffe[{','.join(map(str, self.lengths))}]x{length}")
+        regs: list[list[Signal]] = [
+            circuit.add_input_group(name, reg_len)
+            for name, reg_len in self.registers().items()
+        ]
+        keystream: list[Signal] = []
+        for _ in range(length):
+            outputs: list[Signal] = []
+            for i in range(3):
+                feedback = circuit.xor(*(regs[i][t] for t in self.taps[i]))
+                outputs.append(regs[i][-1])
+                regs[i] = [feedback] + regs[i][:-1]
+            x1, x2, x3 = outputs
+            keystream.append(circuit.mux(x1, x2, x3))
+        circuit.set_output_group("keystream", keystream)
+        return circuit

@@ -1,0 +1,272 @@
+"""The Grain keystream generator (Grain v1) and scaled variants.
+
+Grain v1 (Hell, Johansson & Meier) combines an 80-bit LFSR ``s`` and an 80-bit
+NFSR ``b``.  At step ``i``:
+
+* LFSR feedback:  ``s_{i+80} = s_{i+62} + s_{i+51} + s_{i+38} + s_{i+23} + s_{i+13} + s_i``
+* NFSR feedback:  ``b_{i+80} = s_i + g(b_i, ..., b_{i+63})`` where ``g`` is the
+  degree-6 polynomial of the specification,
+* output: ``z_i = Σ_{k∈A} b_{i+k} + h(s_{i+3}, s_{i+25}, s_{i+46}, s_{i+64}, b_{i+63})``
+  with ``A = {1, 2, 4, 10, 31, 43, 56}``.
+
+The paper attacks the 160-bit register state after initialisation, so the
+encoding here exposes the two registers (input groups ``LFSR`` and ``NFSR``)
+and omits the initialisation phase, exactly as in Section 4.3 of the paper.
+
+The generic :class:`GrainLike` class is parameterised by register lengths, the
+linear taps, the NFSR monomials, the filter-function monomials and the output
+taps; :class:`Grain` instantiates the real Grain v1 parameters and
+``Grain.scaled()`` provides reduced-register variants that keep the LFSR+NFSR
+structure and a nonlinear filter — including the property the paper observes in
+Figure 4, namely that decomposition variables concentrate in the LFSR.
+
+Register convention: index ``j`` of a register list holds bit ``x_{i+j}`` of
+the specification, i.e. index 0 is the oldest bit and new bits are appended at
+the end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.encoder.circuit import Circuit, Signal
+
+#: A monomial over the two registers: tuple of ("s" | "b", index) factors.
+Monomial = tuple[tuple[str, int], ...]
+
+
+class GrainLike(KeystreamGenerator):
+    """Generic Grain-style generator: one LFSR, one NFSR, a nonlinear filter."""
+
+    name = "Grain-like"
+
+    def __init__(
+        self,
+        lfsr_len: int,
+        nfsr_len: int,
+        lfsr_taps: Sequence[int],
+        nfsr_linear_taps: Sequence[int],
+        nfsr_monomials: Sequence[Sequence[int]],
+        filter_monomials: Sequence[Monomial],
+        output_nfsr_taps: Sequence[int],
+    ):
+        self.lfsr_len = int(lfsr_len)
+        self.nfsr_len = int(nfsr_len)
+        self.lfsr_taps = tuple(int(t) for t in lfsr_taps)
+        self.nfsr_linear_taps = tuple(int(t) for t in nfsr_linear_taps)
+        self.nfsr_monomials = tuple(tuple(int(i) for i in mono) for mono in nfsr_monomials)
+        self.filter_monomials = tuple(
+            tuple((reg, int(i)) for reg, i in mono) for mono in filter_monomials
+        )
+        self.output_nfsr_taps = tuple(int(t) for t in output_nfsr_taps)
+        self._validate()
+
+    def _validate(self) -> None:
+        for tap in self.lfsr_taps:
+            if not 0 <= tap < self.lfsr_len:
+                raise ValueError(f"LFSR tap {tap} outside register of length {self.lfsr_len}")
+        for tap in self.nfsr_linear_taps + tuple(i for m in self.nfsr_monomials for i in m):
+            if not 0 <= tap < self.nfsr_len:
+                raise ValueError(f"NFSR tap {tap} outside register of length {self.nfsr_len}")
+        for mono in self.filter_monomials:
+            for reg, idx in mono:
+                limit = self.lfsr_len if reg == "s" else self.nfsr_len
+                if reg not in ("s", "b"):
+                    raise ValueError(f"filter monomial register must be 's' or 'b', got {reg!r}")
+                if not 0 <= idx < limit:
+                    raise ValueError(f"filter tap {reg}{idx} outside its register")
+        for tap in self.output_nfsr_taps:
+            if not 0 <= tap < self.nfsr_len:
+                raise ValueError(f"output tap {tap} outside NFSR of length {self.nfsr_len}")
+
+    # ----------------------------------------------------------------- structure
+    def registers(self) -> dict[str, int]:
+        """Two registers: the nonlinear ``NFSR`` and the linear ``LFSR``."""
+        return {"NFSR": self.nfsr_len, "LFSR": self.lfsr_len}
+
+    def default_keystream_length(self) -> int:
+        """One state length (the paper uses 160 keystream bits for 160 state bits)."""
+        return self.state_size
+
+    # ---------------------------------------------------------------- simulation
+    def keystream_from_state(self, state: Sequence[int], length: int) -> list[int]:
+        """Bit-level simulation of ``length`` output bits."""
+        split = self.split_state(state)
+        nfsr = list(split["NFSR"])
+        lfsr = list(split["LFSR"])
+        out: list[int] = []
+        for _ in range(length):
+            z = 0
+            for tap in self.output_nfsr_taps:
+                z ^= nfsr[tap]
+            for mono in self.filter_monomials:
+                term = 1
+                for reg, idx in mono:
+                    term &= lfsr[idx] if reg == "s" else nfsr[idx]
+                z ^= term
+            out.append(z)
+
+            lfsr_fb = 0
+            for tap in self.lfsr_taps:
+                lfsr_fb ^= lfsr[tap]
+            nfsr_fb = lfsr[0]
+            for tap in self.nfsr_linear_taps:
+                nfsr_fb ^= nfsr[tap]
+            for mono in self.nfsr_monomials:
+                term = 1
+                for idx in mono:
+                    term &= nfsr[idx]
+                nfsr_fb ^= term
+
+            lfsr = lfsr[1:] + [lfsr_fb]
+            nfsr = nfsr[1:] + [nfsr_fb]
+        return out
+
+    # ------------------------------------------------------------------ circuit
+    def build_circuit(self, length: int) -> Circuit:
+        """Circuit with input groups ``NFSR``/``LFSR`` and output group ``keystream``."""
+        circuit = Circuit(name=f"{self.name}x{length}")
+        nfsr: list[Signal] = circuit.add_input_group("NFSR", self.nfsr_len)
+        lfsr: list[Signal] = circuit.add_input_group("LFSR", self.lfsr_len)
+        keystream: list[Signal] = []
+        for _ in range(length):
+            terms: list[Signal] = [nfsr[tap] for tap in self.output_nfsr_taps]
+            for mono in self.filter_monomials:
+                factors = [lfsr[idx] if reg == "s" else nfsr[idx] for reg, idx in mono]
+                terms.append(circuit.and_(*factors) if len(factors) > 1 else factors[0])
+            keystream.append(circuit.xor(*terms) if len(terms) > 1 else terms[0])
+
+            lfsr_fb = circuit.xor(*(lfsr[tap] for tap in self.lfsr_taps))
+            nfsr_terms: list[Signal] = [lfsr[0]]
+            nfsr_terms.extend(nfsr[tap] for tap in self.nfsr_linear_taps)
+            for mono in self.nfsr_monomials:
+                factors = [nfsr[idx] for idx in mono]
+                nfsr_terms.append(circuit.and_(*factors) if len(factors) > 1 else factors[0])
+            nfsr_fb = circuit.xor(*nfsr_terms)
+
+            lfsr = lfsr[1:] + [lfsr_fb]
+            nfsr = nfsr[1:] + [nfsr_fb]
+        circuit.set_output_group("keystream", keystream)
+        return circuit
+
+
+class Grain(GrainLike):
+    """Grain v1 with the standard 80+80-bit registers, plus scaled variants."""
+
+    name = "Grain"
+
+    #: Grain v1 specification constants.
+    V1_LFSR_TAPS = (62, 51, 38, 23, 13, 0)
+    V1_NFSR_LINEAR_TAPS = (62, 60, 52, 45, 37, 33, 28, 21, 14, 9, 0)
+    V1_NFSR_MONOMIALS = (
+        (63, 60),
+        (37, 33),
+        (15, 9),
+        (60, 52, 45),
+        (33, 28, 21),
+        (63, 45, 28, 9),
+        (60, 52, 37, 33),
+        (63, 60, 21, 15),
+        (63, 60, 52, 45, 37),
+        (33, 28, 21, 15, 9),
+        (52, 45, 37, 33, 28, 21),
+    )
+    V1_FILTER_MONOMIALS: tuple[Monomial, ...] = (
+        (("s", 25),),
+        (("b", 63),),
+        (("s", 3), ("s", 64)),
+        (("s", 46), ("s", 64)),
+        (("s", 64), ("b", 63)),
+        (("s", 3), ("s", 25), ("s", 46)),
+        (("s", 3), ("s", 46), ("s", 64)),
+        (("s", 3), ("s", 46), ("b", 63)),
+        (("s", 25), ("s", 46), ("b", 63)),
+        (("s", 46), ("s", 64), ("b", 63)),
+    )
+    V1_OUTPUT_NFSR_TAPS = (1, 2, 4, 10, 31, 43, 56)
+
+    def __init__(self):
+        super().__init__(
+            lfsr_len=80,
+            nfsr_len=80,
+            lfsr_taps=self.V1_LFSR_TAPS,
+            nfsr_linear_taps=self.V1_NFSR_LINEAR_TAPS,
+            nfsr_monomials=self.V1_NFSR_MONOMIALS,
+            filter_monomials=self.V1_FILTER_MONOMIALS,
+            output_nfsr_taps=self.V1_OUTPUT_NFSR_TAPS,
+        )
+
+    @classmethod
+    def full(cls) -> "Grain":
+        """The real Grain v1 (160 state bits)."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, size: str = "small") -> GrainLike:
+        """Scaled Grain-like generators: ``"tiny"`` (16 state bits), ``"small"`` (26), ``"medium"`` (40).
+
+        Each variant keeps one LFSR, one NFSR with quadratic/cubic monomials,
+        a nonlinear filter mixing both registers, and several NFSR output taps.
+        """
+        if size == "tiny":
+            gen = GrainLike(
+                lfsr_len=8,
+                nfsr_len=8,
+                lfsr_taps=(6, 4, 2, 0),
+                nfsr_linear_taps=(6, 3, 0),
+                nfsr_monomials=((5, 2), (6, 4, 1)),
+                filter_monomials=(
+                    (("s", 2),),
+                    (("b", 6),),
+                    (("s", 1), ("s", 5)),
+                    (("s", 4), ("b", 6)),
+                ),
+                output_nfsr_taps=(1, 3, 5),
+            )
+        elif size == "small":
+            gen = GrainLike(
+                lfsr_len=13,
+                nfsr_len=13,
+                lfsr_taps=(10, 8, 6, 4, 2, 0),
+                nfsr_linear_taps=(10, 9, 7, 5, 3, 1, 0),
+                nfsr_monomials=((11, 10), (6, 5), (10, 8, 7), (5, 4, 3)),
+                filter_monomials=(
+                    (("s", 4),),
+                    (("b", 10),),
+                    (("s", 1), ("s", 11)),
+                    (("s", 8), ("s", 11)),
+                    (("s", 11), ("b", 10)),
+                    (("s", 1), ("s", 8), ("b", 10)),
+                ),
+                output_nfsr_taps=(1, 2, 4, 7, 9),
+            )
+        elif size == "medium":
+            gen = GrainLike(
+                lfsr_len=20,
+                nfsr_len=20,
+                lfsr_taps=(15, 13, 9, 6, 3, 0),
+                nfsr_linear_taps=(15, 14, 13, 11, 9, 8, 7, 5, 3, 2, 0),
+                nfsr_monomials=(
+                    (16, 15),
+                    (9, 8),
+                    (4, 2),
+                    (15, 13, 11),
+                    (8, 7, 5),
+                    (16, 11, 7, 2),
+                ),
+                filter_monomials=(
+                    (("s", 6),),
+                    (("b", 16),),
+                    (("s", 1), ("s", 16)),
+                    (("s", 11), ("s", 16)),
+                    (("s", 16), ("b", 16)),
+                    (("s", 1), ("s", 6), ("s", 11)),
+                    (("s", 1), ("s", 11), ("b", 16)),
+                ),
+                output_nfsr_taps=(1, 2, 4, 10, 13, 17),
+            )
+        else:
+            raise ValueError(f"unknown preset {size!r}; choose from ['medium', 'small', 'tiny']")
+        gen.name = f"Grain-{size}"
+        return gen

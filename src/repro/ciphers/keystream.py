@@ -1,0 +1,100 @@
+"""Common interface of keystream generators.
+
+The cryptanalysis problems in the paper all have the same shape: the unknown is
+the generator's internal *state* at the end of the initialisation phase (the
+paper omits initialisation from the encodings, Section 4.3), the known data is
+a fragment of keystream, and the SAT instance asks for a state producing that
+fragment.  The :class:`KeystreamGenerator` base class captures exactly that
+shape so the problem-generation and partitioning layers are cipher-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections.abc import Sequence
+
+from repro.encoder.circuit import Circuit
+from repro.encoder.encoding import Encoding
+from repro.encoder.tseitin import tseitin_encode
+
+
+class KeystreamGenerator(abc.ABC):
+    """A keystream generator whose internal state is the cryptanalytic unknown."""
+
+    #: Human-readable cipher name (e.g. ``"A5/1"``, ``"Bivium"``).
+    name: str = "generator"
+
+    # ----------------------------------------------------------------- structure
+    @abc.abstractmethod
+    def registers(self) -> dict[str, int]:
+        """Register layout: mapping from register name to its length in bits."""
+
+    @property
+    def state_size(self) -> int:
+        """Total number of unknown state bits."""
+        return sum(self.registers().values())
+
+    def default_keystream_length(self) -> int:
+        """Keystream length used by default for inversion instances.
+
+        The paper uses a fragment "comparable to the total length of the shift
+        registers"; a small multiple of the state size is a safe default.
+        """
+        return self.state_size
+
+    # ---------------------------------------------------------------- simulation
+    @abc.abstractmethod
+    def keystream_from_state(self, state: Sequence[int], length: int) -> list[int]:
+        """Bit-level simulation: produce ``length`` keystream bits from a state."""
+
+    def random_state(self, seed: int = 0) -> list[int]:
+        """A uniformly random state (deterministic in ``seed``)."""
+        rng = random.Random(seed)
+        return [rng.randint(0, 1) for _ in range(self.state_size)]
+
+    # ------------------------------------------------------------------ circuits
+    @abc.abstractmethod
+    def build_circuit(self, length: int) -> Circuit:
+        """Build the circuit mapping the state input group(s) to ``length`` keystream bits.
+
+        The circuit must declare one input group per register (using the names
+        from :meth:`registers`) and a single output group named ``"keystream"``.
+        """
+
+    def encode(self, length: int | None = None) -> Encoding:
+        """Tseitin-encode the generator circuit for ``length`` keystream bits."""
+        length = length if length is not None else self.default_keystream_length()
+        circuit = self.build_circuit(length)
+        return tseitin_encode(circuit, name=f"{self.name}-{length}")
+
+    # ------------------------------------------------------------------- helpers
+    def split_state(self, state: Sequence[int]) -> dict[str, list[int]]:
+        """Split a flat state bit list into per-register bit lists."""
+        state = list(state)
+        if len(state) != self.state_size:
+            raise ValueError(
+                f"{self.name} expects {self.state_size} state bits, got {len(state)}"
+            )
+        result: dict[str, list[int]] = {}
+        offset = 0
+        for reg_name, reg_len in self.registers().items():
+            result[reg_name] = state[offset : offset + reg_len]
+            offset += reg_len
+        return result
+
+    def circuit_keystream(self, state: Sequence[int], length: int) -> list[int]:
+        """Evaluate the circuit on a concrete state (differential-testing helper)."""
+        circuit = self.build_circuit(length)
+        return circuit.output_bits("keystream", self.split_state(state))
+
+    def state_variable_labels(self) -> list[str]:
+        """Human-readable labels of the state bits (``"R1[0]"``, ...), in order."""
+        labels: list[str] = []
+        for reg_name, reg_len in self.registers().items():
+            labels.extend(f"{reg_name}[{i}]" for i in range(reg_len))
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        regs = ", ".join(f"{k}={v}" for k, v in self.registers().items())
+        return f"{type(self).__name__}({regs})"

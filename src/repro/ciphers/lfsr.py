@@ -1,0 +1,88 @@
+"""Linear and nonlinear feedback shift register building blocks.
+
+Registers are represented as Python lists of bits (for simulation) or lists of
+circuit signals (for encoding).  Two stepping conventions exist in the cipher
+literature; this module uses the *Fibonacci, newest-bit-at-index-0* convention
+for :class:`LFSR` (used by A5/1 and Geffe), while the Trivium/Grain builders
+manage their own register conventions directly.
+
+All functions are polymorphic over bits and circuit signals: the ``ops``
+argument supplies ``xor``/``and`` callables, and :data:`BIT_OPS` provides the
+plain-integer versions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+
+def _xor_bits(*bits: int) -> int:
+    return sum(bits) % 2
+
+
+def _and_bits(*bits: int) -> int:
+    return int(all(bits))
+
+
+#: Operations on plain integer bits (simulation).
+BIT_OPS: dict[str, Callable[..., int]] = {"xor": _xor_bits, "and": _and_bits}
+
+
+def lfsr_step(state: list, taps: Sequence[int], xor: Callable[..., object] = _xor_bits) -> tuple[list, object]:
+    """One Fibonacci LFSR step.
+
+    The feedback bit is the XOR of the cells at ``taps``; the register shifts
+    towards higher indices with the feedback entering at index 0.  Returns the
+    new state and the *output* bit (the cell that fell off the end).
+    """
+    feedback = xor(*(state[t] for t in taps)) if len(taps) > 1 else state[taps[0]]
+    output = state[-1]
+    return [feedback] + list(state[:-1]), output
+
+
+def nfsr_step(
+    state: list,
+    feedback_fn: Callable[[list], object],
+) -> tuple[list, object]:
+    """One nonlinear FSR step: ``feedback_fn`` computes the new bit from the state."""
+    feedback = feedback_fn(list(state))
+    output = state[-1]
+    return [feedback] + list(state[:-1]), output
+
+
+@dataclass
+class LFSR:
+    """A concrete Fibonacci LFSR over integer bits, mainly for simulation and tests."""
+
+    length: int
+    taps: tuple[int, ...]
+    state: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.state:
+            self.state = [0] * self.length
+        if len(self.state) != self.length:
+            raise ValueError(f"state must have {self.length} bits")
+        for tap in self.taps:
+            if not 0 <= tap < self.length:
+                raise ValueError(f"tap {tap} outside register of length {self.length}")
+
+    def load(self, bits: Sequence[int]) -> None:
+        """Load the register with ``bits`` (index 0 first)."""
+        if len(bits) != self.length:
+            raise ValueError(f"expected {self.length} bits, got {len(bits)}")
+        self.state = [int(b) & 1 for b in bits]
+
+    def clock(self) -> int:
+        """Advance the register one step and return the output bit."""
+        self.state, output = lfsr_step(self.state, self.taps)
+        return output
+
+    def run(self, steps: int) -> list[int]:
+        """Clock ``steps`` times and return the output bits."""
+        return [self.clock() for _ in range(steps)]
+
+    def period_upper_bound(self) -> int:
+        """The maximum possible period, ``2**length - 1``."""
+        return (1 << self.length) - 1

@@ -1,0 +1,345 @@
+"""Command-line interface (a small, single-machine PDSAT).
+
+The sub-commands mirror PDSAT's modes plus instance generation and a few
+utilities around the rest of the library:
+
+* ``generate``  — build a keystream-inversion instance for one of the bundled
+  ciphers and write it as DIMACS;
+* ``estimate``  — run the estimating mode (predictive-function minimisation by
+  tabu search, simulated annealing, hill climbing or a genetic algorithm);
+* ``solve``     — run the solving mode on a generated instance with a given (or
+  freshly estimated) decomposition set;
+* ``simplify``  — apply the SatELite-style preprocessor to an instance and
+  report how much the encoding shrinks;
+* ``partition`` — build a classical partitioning (guiding path, scattering or
+  cube-and-conquer) of an instance and summarise it;
+* ``portfolio`` — race the diversified CDCL portfolio on an instance.
+
+Examples::
+
+    repro-sat generate --cipher geffe-tiny --seed 1 --output geffe.cnf
+    repro-sat estimate --cipher bivium-small --seed 1 --method tabu --max-evaluations 60
+    repro-sat solve --cipher geffe-tiny --seed 1 --decomposition-size 10 --cores 8
+    repro-sat simplify --cipher bivium-tiny --seed 1
+    repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
+    repro-sat portfolio --cipher bivium-tiny --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.ciphers import A51, Bivium, Geffe, Grain, Trivium
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.problems import make_inversion_instance
+from repro.sat.dimacs import write_dimacs_file
+
+#: Metaheuristics accepted by ``estimate`` / ``solve``.
+METHOD_CHOICES = ("tabu", "annealing", "hillclimb", "genetic")
+
+#: Cipher presets addressable from the command line.
+CIPHER_PRESETS: dict[str, object] = {
+    "geffe-tiny": lambda: Geffe.tiny(),
+    "geffe": lambda: Geffe(),
+    "a51-tiny": lambda: A51.scaled("tiny"),
+    "a51-small": lambda: A51.scaled("small"),
+    "a51-full": lambda: A51.full(),
+    "bivium-tiny": lambda: Bivium.scaled("tiny"),
+    "bivium-small": lambda: Bivium.scaled("small"),
+    "bivium-full": lambda: Bivium.full(),
+    "trivium-tiny": lambda: Trivium.scaled("tiny"),
+    "grain-tiny": lambda: Grain.scaled("tiny"),
+    "grain-small": lambda: Grain.scaled("small"),
+    "grain-full": lambda: Grain.full(),
+}
+
+
+def _make_generator(name: str) -> KeystreamGenerator:
+    try:
+        factory = CIPHER_PRESETS[name]
+    except KeyError:
+        choices = ", ".join(sorted(CIPHER_PRESETS))
+        raise SystemExit(f"unknown cipher {name!r}; choose one of: {choices}")
+    return factory()  # type: ignore[operator]
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cipher", default="geffe-tiny", help="cipher preset (see --list-ciphers)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="secret-state seed")
+    parser.add_argument(
+        "--keystream-length", type=int, default=None, help="observed keystream bits"
+    )
+    parser.add_argument(
+        "--known-bits",
+        type=int,
+        default=0,
+        help="weakening: number of revealed trailing cells of the last register",
+    )
+
+
+def _build_instance(args: argparse.Namespace):
+    generator = _make_generator(args.cipher)
+    return make_inversion_instance(
+        generator,
+        keystream_length=args.keystream_length,
+        seed=args.seed,
+        known_bits=args.known_bits,
+    )
+
+
+def _cmd_list_ciphers(_: argparse.Namespace) -> int:
+    for name in sorted(CIPHER_PRESETS):
+        generator = _make_generator(name)
+        print(f"{name:14s} state = {generator.state_size:4d} bits, registers = {generator.registers()}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    instance = _build_instance(args)
+    print(instance.summary())
+    if args.output:
+        write_dimacs_file(instance.cnf, args.output)
+        print(f"wrote DIMACS to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    instance = _build_instance(args)
+    print(instance.summary())
+    pdsat = PDSAT(
+        instance,
+        sample_size=args.sample_size,
+        cost_measure=args.cost_measure,
+        seed=args.seed,
+    )
+    stopping = StoppingCriteria(
+        max_evaluations=args.max_evaluations, max_seconds=args.max_seconds
+    )
+    report = pdsat.estimate(method=args.method, stopping=stopping)
+    print(report.summary())
+    print(f"X_best = {report.best_decomposition}")
+    if args.cores > 1:
+        print(f"predicted on {args.cores} cores: {report.predicted_on_cores(args.cores):.4g}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = _build_instance(args)
+    print(instance.summary())
+    pdsat = PDSAT(
+        instance,
+        sample_size=args.sample_size,
+        cost_measure=args.cost_measure,
+        seed=args.seed,
+    )
+    if args.decomposition:
+        decomposition = [int(v) for v in args.decomposition.split(",")]
+    else:
+        stopping = StoppingCriteria(
+            max_evaluations=args.max_evaluations, max_seconds=args.max_seconds
+        )
+        report = pdsat.estimate(method=args.method, stopping=stopping)
+        print(report.summary())
+        decomposition = report.best_decomposition
+        if args.decomposition_size and len(decomposition) > args.decomposition_size:
+            decomposition = decomposition[: args.decomposition_size]
+    if len(decomposition) > args.max_family_bits:
+        raise SystemExit(
+            f"decomposition of size {len(decomposition)} would create 2^{len(decomposition)} "
+            f"sub-problems; pass --max-family-bits to allow it"
+        )
+    solving = pdsat.solve_family(decomposition, stop_on_sat=args.stop_on_sat)
+    print(solving.summary())
+    simulation = solving.makespan_on_cores(args.cores)
+    print(
+        f"makespan on {args.cores} simulated cores: {simulation.makespan:.4g} "
+        f"(efficiency {simulation.efficiency:.2f})"
+    )
+    for model in solving.satisfying_models:
+        state = instance.state_from_model(model)
+        if instance.verify_state(state):
+            print(f"recovered state verified: {''.join(map(str, state))}")
+            break
+    return 0
+
+
+def _cmd_simplify(args: argparse.Namespace) -> int:
+    from repro.sat.simplify import SimplifyConfig, simplify_cnf
+
+    instance = _build_instance(args)
+    print(instance.summary())
+    frozen = frozenset(instance.start_set) if args.freeze_state else frozenset()
+    result = simplify_cnf(
+        instance.cnf,
+        SimplifyConfig(
+            blocked_clause_elimination=args.blocked_clauses,
+            max_growth=args.max_growth,
+            frozen=frozen,
+        ),
+    )
+    if result.unsat:
+        print("the instance was refuted by preprocessing")
+        return 0
+    print(
+        f"variables in use: {len(instance.cnf.variables())} -> {len(result.cnf.variables())}, "
+        f"clauses: {instance.cnf.num_clauses} -> {result.cnf.num_clauses}"
+    )
+    print(
+        f"eliminated variables: {result.num_eliminated_variables}, "
+        f"subsumed: {result.removed_subsumed}, strengthened: {result.strengthened}, "
+        f"blocked removed: {result.removed_blocked}"
+    )
+    if args.output:
+        write_dimacs_file(result.cnf, args.output)
+        print(f"wrote simplified DIMACS to {args.output}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.partitioning import (
+        CubeAndConquerConfig,
+        GuidingPathConfig,
+        ScatteringConfig,
+        guiding_path_partitioning,
+        lookahead_partitioning,
+        scattering_partitioning,
+    )
+    from repro.sat.cdcl import CDCLSolver
+
+    instance = _build_instance(args)
+    print(instance.summary())
+    if args.technique == "guiding-path":
+        partitioning = guiding_path_partitioning(
+            instance.cnf, GuidingPathConfig(path_length=args.parts - 1)
+        )
+    elif args.technique == "scattering":
+        partitioning = scattering_partitioning(
+            instance.cnf, ScatteringConfig(num_subproblems=args.parts)
+        )
+    else:
+        partitioning = lookahead_partitioning(
+            instance.cnf, CubeAndConquerConfig(max_cubes=args.parts)
+        )
+    print(partitioning.summary())
+    if args.solve:
+        report = partitioning.solve_all(CDCLSolver(), cost_measure=args.cost_measure)
+        print(
+            f"solved {len(report.costs)} parts: total cost {report.total_cost:.4g} "
+            f"({args.cost_measure}), {report.num_sat} satisfiable, "
+            f"imbalance x{report.imbalance:.1f}"
+        )
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.portfolio import PortfolioSolver, default_portfolio
+
+    instance = _build_instance(args)
+    print(instance.summary())
+    members = default_portfolio()[: args.members]
+    result = PortfolioSolver(members, cost_measure=args.cost_measure).solve(instance.cnf)
+    print(result.summary())
+    for run in sorted(result.runs, key=lambda r: r.cost):
+        print(f"  {run.configuration.name:18s} {run.result.status.value:7s} {run.cost:.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sat",
+        description="Monte Carlo search for SAT partitionings (Semenov & Zaikin, PaCT 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list-ciphers", help="list the bundled cipher presets")
+    list_parser.set_defaults(func=_cmd_list_ciphers)
+
+    generate = sub.add_parser("generate", help="generate an inversion instance (DIMACS)")
+    _add_instance_arguments(generate)
+    generate.add_argument("--output", default=None, help="write the CNF to this DIMACS file")
+    generate.set_defaults(func=_cmd_generate)
+
+    estimate = sub.add_parser("estimate", help="run the estimating mode")
+    _add_instance_arguments(estimate)
+    estimate.add_argument("--method", choices=METHOD_CHOICES, default="tabu")
+    estimate.add_argument("--sample-size", type=int, default=50)
+    estimate.add_argument("--cost-measure", default="propagations")
+    estimate.add_argument("--max-evaluations", type=int, default=60)
+    estimate.add_argument("--max-seconds", type=float, default=None)
+    estimate.add_argument("--cores", type=int, default=1)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    solve = sub.add_parser("solve", help="run the solving mode")
+    _add_instance_arguments(solve)
+    solve.add_argument("--method", choices=METHOD_CHOICES, default="tabu")
+    solve.add_argument("--sample-size", type=int, default=50)
+    solve.add_argument("--cost-measure", default="propagations")
+    solve.add_argument("--max-evaluations", type=int, default=40)
+    solve.add_argument("--max-seconds", type=float, default=None)
+    solve.add_argument(
+        "--decomposition",
+        default=None,
+        help="comma-separated variable list; omit to estimate one first",
+    )
+    solve.add_argument(
+        "--decomposition-size",
+        type=int,
+        default=None,
+        help="truncate the estimated decomposition to this many variables",
+    )
+    solve.add_argument("--max-family-bits", type=int, default=16)
+    solve.add_argument("--stop-on-sat", action="store_true")
+    solve.add_argument("--cores", type=int, default=8)
+    solve.set_defaults(func=_cmd_solve)
+
+    simplify = sub.add_parser("simplify", help="preprocess an instance (SatELite-style)")
+    _add_instance_arguments(simplify)
+    simplify.add_argument("--output", default=None, help="write the simplified CNF to this DIMACS file")
+    simplify.add_argument("--blocked-clauses", action="store_true", help="also run blocked clause elimination")
+    simplify.add_argument("--max-growth", type=int, default=0, help="BVE clause-growth bound")
+    simplify.add_argument(
+        "--no-freeze-state",
+        dest="freeze_state",
+        action="store_false",
+        help="allow eliminating the register-state (decomposition) variables",
+    )
+    simplify.set_defaults(func=_cmd_simplify, freeze_state=True)
+
+    partition = sub.add_parser(
+        "partition", help="build a classical partitioning (guiding path / scattering / cubes)"
+    )
+    _add_instance_arguments(partition)
+    partition.add_argument(
+        "--technique",
+        choices=("guiding-path", "scattering", "cube-and-conquer"),
+        default="guiding-path",
+    )
+    partition.add_argument("--parts", type=int, default=8, help="target number of parts")
+    partition.add_argument("--solve", action="store_true", help="also solve every part")
+    partition.add_argument("--cost-measure", default="propagations")
+    partition.set_defaults(func=_cmd_partition)
+
+    portfolio = sub.add_parser("portfolio", help="race the diversified CDCL portfolio")
+    _add_instance_arguments(portfolio)
+    portfolio.add_argument("--members", type=int, default=8, help="number of portfolio members")
+    portfolio.add_argument("--cost-measure", default="propagations")
+    portfolio.set_defaults(func=_cmd_portfolio)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-sat`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

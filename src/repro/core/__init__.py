@@ -1,0 +1,46 @@
+"""The paper's core contribution.
+
+* :mod:`repro.core.decomposition` — decomposition sets and the decomposition
+  family ``Δ_C(X̃)`` (the SAT partitioning induced by a variable subset);
+* :mod:`repro.core.predictive` — the Monte Carlo predictive function
+  ``F_{C,A}(X̃) = 2^d · (1/N)·Σ ζ_j`` with CLT confidence intervals;
+* :mod:`repro.core.search_space` — the search space ``ℜ = 2^{X̃_start}`` of
+  χ-vectors and its Hamming neighbourhoods;
+* :mod:`repro.core.annealing` / :mod:`repro.core.tabu` — Algorithms 1 and 2
+  (simulated annealing and tabu search minimisation of the predictive function);
+* :mod:`repro.core.hillclimb` / :mod:`repro.core.genetic` — ablation baseline
+  (greedy descent) and extension (genetic algorithm) over the same space;
+* :mod:`repro.core.baselines` — reference decomposition strategies used in the
+  Table 2 comparison;
+* :mod:`repro.core.pdsat` — PDSAT-style orchestration: the *estimating mode*
+  (find a good decomposition set) and the *solving mode* (process the whole
+  decomposition family, optionally on a simulated multi-core cluster).
+"""
+
+from repro.core.annealing import AnnealingConfig, SimulatedAnnealingMinimizer
+from repro.core.decomposition import DecompositionFamily, DecompositionSet
+from repro.core.genetic import GeneticConfig, GeneticMinimizer
+from repro.core.hillclimb import HillClimbConfig, HillClimbingMinimizer
+from repro.core.pdsat import PDSAT, EstimationReport, SolvingReport
+from repro.core.predictive import PredictionResult, PredictiveFunction
+from repro.core.search_space import SearchSpace
+from repro.core.tabu import TabuConfig, TabuSearchMinimizer
+
+__all__ = [
+    "DecompositionSet",
+    "DecompositionFamily",
+    "PredictiveFunction",
+    "PredictionResult",
+    "SearchSpace",
+    "SimulatedAnnealingMinimizer",
+    "AnnealingConfig",
+    "TabuSearchMinimizer",
+    "TabuConfig",
+    "HillClimbingMinimizer",
+    "HillClimbConfig",
+    "GeneticMinimizer",
+    "GeneticConfig",
+    "PDSAT",
+    "EstimationReport",
+    "SolvingReport",
+]

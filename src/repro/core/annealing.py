@@ -1,0 +1,172 @@
+"""Simulated annealing minimisation of the predictive function (Algorithm 1).
+
+The algorithm walks the search space ``ℜ = 2^{X̃_start}``; from the current
+centre ``χ_center`` it draws unchecked points of the radius-``ρ`` neighbourhood
+and accepts a transition with the Metropolis probability
+
+    Pr{χ̃ → χ | χ} = 1                          if F(χ̃) < F(χ)
+                   = exp(−(F(χ̃) − F(χ)) / T)   otherwise,
+
+with a geometric cooling schedule ``T_{i+1} = Q·T_i``.  When the whole
+neighbourhood is checked without any accepted transition the radius grows.
+
+Two deliberate implementation notes relative to the paper's pseudocode:
+
+* the pseudocode overwrites ``⟨χ_best, F_best⟩`` on *every* accepted transition
+  (including uphill ones); here that pair is called the *current centre*, and
+  the genuinely best point ever seen is tracked separately and returned as the
+  result — both are exposed on :class:`~repro.core.optimizer.MinimizationResult`;
+* because the magnitude of ``F`` varies by orders of magnitude across
+  instances, the temperature can be interpreted either in absolute ``F`` units
+  (the paper) or relative to the current value (default); see
+  :class:`AnnealingConfig.temperature_mode`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.optimizer import (
+    BaseMinimizer,
+    MinimizationResult,
+    StoppingCriteria,
+    VisitedPoint,
+)
+from repro.core.predictive import PredictiveFunction
+from repro.core.search_space import SearchPoint, SearchSpace
+
+
+@dataclass
+class AnnealingConfig:
+    """Parameters of the simulated-annealing schedule."""
+
+    initial_temperature: float = 0.5
+    cooling_factor: float = 0.95
+    min_temperature: float = 1e-3
+    temperature_mode: str = "relative"  # "relative" or "absolute"
+    max_radius: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cooling_factor < 1.0:
+            raise ValueError("cooling_factor must be in (0, 1)")
+        if self.temperature_mode not in ("relative", "absolute"):
+            raise ValueError("temperature_mode must be 'relative' or 'absolute'")
+        if self.initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+
+
+class SimulatedAnnealingMinimizer(BaseMinimizer):
+    """Algorithm 1 of the paper."""
+
+    def __init__(
+        self,
+        evaluator: PredictiveFunction,
+        search_space: SearchSpace,
+        config: AnnealingConfig | None = None,
+        stopping: StoppingCriteria | None = None,
+    ):
+        super().__init__(evaluator, search_space, stopping)
+        self.config = config or AnnealingConfig()
+
+    # ------------------------------------------------------------------ internals
+    def _accept(self, new_value: float, current_value: float, temperature: float, rng: random.Random) -> bool:
+        """The Metropolis acceptance test (``PointAccepted`` of the pseudocode)."""
+        if new_value < current_value:
+            return True
+        if temperature <= 0:
+            return False
+        if self.config.temperature_mode == "relative":
+            if current_value == 0:
+                return False
+            delta = (new_value - current_value) / abs(current_value)
+        else:
+            delta = new_value - current_value
+        try:
+            probability = math.exp(-delta / temperature)
+        except OverflowError:  # pragma: no cover - extremely small temperature
+            return False
+        return rng.random() < probability
+
+    # -------------------------------------------------------------------- public
+    def minimize(self, start_point: SearchPoint | None = None) -> MinimizationResult:
+        """Run simulated annealing from ``start_point`` (default: the full base set)."""
+        config = self.config
+        rng = random.Random(config.seed)
+        started_at = time.perf_counter()
+        self._begin_run()
+
+        center = start_point if start_point is not None else self.space.start_point()
+        if not center:
+            raise ValueError("the start point must be non-empty")
+        center_result = self._evaluate(center)
+        center_value = center_result.value
+
+        best_point, best_value, best_result = center, center_value, center_result
+        trajectory = [VisitedPoint(center, center_value, True, 0)]
+        checked: set[SearchPoint] = {center}
+        temperature = config.initial_temperature
+        stop_reason: str | None = None
+
+        while stop_reason is None:
+            limit = self._stop_reason(started_at)
+            if limit is not None:
+                stop_reason = limit
+                break
+            if temperature < config.min_temperature:
+                stop_reason = "temperature_limit"
+                break
+
+            improved_center = False
+            radius = 1
+            # Inner loop: explore the neighbourhood of the current centre until
+            # some transition is accepted (paper's "until bestValueUpdated").
+            while not improved_center and stop_reason is None:
+                limit = self._stop_reason(started_at)
+                if limit is not None:
+                    stop_reason = limit
+                    break
+                candidates = list(self.space.unchecked_neighbors(center, checked, radius))
+                if not candidates:
+                    if radius >= min(config.max_radius, self.space.dimension):
+                        stop_reason = "search_space_exhausted"
+                        break
+                    radius += 1
+                    temperature *= config.cooling_factor
+                    continue
+                candidate = rng.choice(candidates)
+                result = self._evaluate(candidate)
+                value = result.value
+                checked.add(candidate)
+                accepted = self._accept(value, center_value, temperature, rng)
+                trajectory.append(
+                    VisitedPoint(candidate, value, value < best_value, len(trajectory))
+                )
+                if value < best_value:
+                    best_point, best_value, best_result = candidate, value, result
+                if accepted:
+                    center, center_value = candidate, value
+                    improved_center = True
+                # The paper grows the radius only when the neighbourhood is
+                # exhausted without an accepted transition; cool on every probe.
+                temperature *= config.cooling_factor
+                if temperature < config.min_temperature and not improved_center:
+                    stop_reason = "temperature_limit"
+
+        if stop_reason is None:  # pragma: no cover - defensive
+            stop_reason = "temperature_limit"
+
+        return MinimizationResult(
+            best_point=best_point,
+            best_value=best_value,
+            best_prediction=best_result,
+            final_center=center,
+            num_evaluations=self._run_evaluations(),
+            num_subproblem_solves=self._run_subproblem_solves(),
+            wall_time=time.perf_counter() - started_at,
+            trajectory=trajectory,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,92 @@
+"""Baseline decomposition strategies.
+
+The Table 2 comparison of the paper puts the tabu-search-found decomposition
+set against two prior approaches:
+
+* the fixed strategies of Eibach, Pilz & Völkel ("Attacking Bivium Using SAT
+  Solvers"), the best of which fixes the **last 45 cells of the second shift
+  register** — reproduced here by :func:`last_register_cells`;
+* the CryptoMiniSat-style estimates of Soos et al., which amount to estimating
+  over whatever variables the solver happens to branch on — approximated here
+  by :func:`most_active_variables` (the top-k variables by conflict activity of
+  a probing solver run), plus :func:`random_decomposition` as a sanity floor.
+
+All baselines return plain variable lists so they can be fed to
+:class:`~repro.core.predictive.PredictiveFunction` exactly like the points
+found by the metaheuristics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.problems.inversion import InversionInstance
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.formula import CNF
+from repro.sat.solver import Solver, SolverBudget
+
+
+def last_register_cells(instance: InversionInstance, count: int, register: str | None = None) -> list[int]:
+    """The Eibach-style fixed strategy: the last ``count`` cells of one register.
+
+    ``register`` defaults to the last declared register of the generator (the
+    second shift register for Bivium, matching the strategy of the paper's
+    Table 2 reference).
+    """
+    reg_names = list(instance.generator.registers())
+    reg = register if register is not None else reg_names[-1]
+    if reg not in instance.register_vars:
+        raise KeyError(f"unknown register {reg!r}")
+    reg_vars = instance.register_vars[reg]
+    if count > len(reg_vars):
+        raise ValueError(f"register {reg!r} has only {len(reg_vars)} cells")
+    return list(reg_vars[-count:])
+
+
+def first_register_cells(instance: InversionInstance, count: int, register: str | None = None) -> list[int]:
+    """The first ``count`` cells of one register (another fixed strategy)."""
+    reg_names = list(instance.generator.registers())
+    reg = register if register is not None else reg_names[0]
+    reg_vars = instance.register_vars[reg]
+    if count > len(reg_vars):
+        raise ValueError(f"register {reg!r} has only {len(reg_vars)} cells")
+    return list(reg_vars[:count])
+
+
+def full_start_set(instance: InversionInstance) -> list[int]:
+    """The whole state (the SUPBS start point ``X̃_start`` itself)."""
+    return list(instance.free_start_variables or instance.start_set)
+
+
+def random_decomposition(
+    candidates: Sequence[int], size: int, seed: int = 0
+) -> list[int]:
+    """A uniformly random subset of ``candidates`` of the given size."""
+    if size > len(candidates):
+        raise ValueError(f"cannot pick {size} variables out of {len(candidates)}")
+    rng = random.Random(seed)
+    return sorted(rng.sample(list(candidates), size))
+
+
+def most_active_variables(
+    cnf: CNF,
+    candidates: Sequence[int],
+    size: int,
+    solver: Solver | None = None,
+    probe_conflicts: int = 2000,
+) -> list[int]:
+    """Top-``size`` candidate variables by conflict activity of a probing run.
+
+    A budgeted CDCL run on the full instance accumulates VSIDS activity; the
+    candidates with the highest activity approximate "the variables the solver
+    likes to branch on", which is the spirit of the CryptoMiniSat-based
+    estimates the paper compares against in Table 2.
+    """
+    if size > len(candidates):
+        raise ValueError(f"cannot pick {size} variables out of {len(candidates)}")
+    solver = solver if solver is not None else CDCLSolver()
+    result = solver.solve(cnf, budget=SolverBudget(max_conflicts=probe_conflicts))
+    activity = result.conflict_activity
+    ranked = sorted(candidates, key=lambda v: (-activity.get(v, 0.0), v))
+    return sorted(ranked[:size])

@@ -1,0 +1,188 @@
+"""Genetic-algorithm minimisation of the predictive function (extension).
+
+The paper's authors later explored evolutionary algorithms for the same search
+problem (the follow-up literature on "inverse backdoor sets"); this module adds
+a compact genetic algorithm as an optional third metaheuristic so the ablation
+benchmark can compare population-based search against the paper's two
+trajectory-based algorithms under the same evaluation budget.
+
+Individuals are χ-vectors over the base set (represented as frozensets, like
+every other point of :class:`~repro.core.search_space.SearchSpace`).  The
+operators are standard: tournament selection, uniform crossover, per-bit
+mutation, and elitism.  The evaluator's memoisation means re-visiting an old
+individual costs nothing, mirroring the role of the tabu lists.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.optimizer import (
+    BaseMinimizer,
+    MinimizationResult,
+    StoppingCriteria,
+    VisitedPoint,
+)
+from repro.core.predictive import PredictiveFunction
+from repro.core.search_space import SearchPoint, SearchSpace
+
+
+@dataclass
+class GeneticConfig:
+    """Parameters of the genetic algorithm."""
+
+    population_size: int = 12
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.05
+    elite_count: int = 2
+    max_generations: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if not 1 <= self.tournament_size <= self.population_size:
+            raise ValueError("tournament_size must be between 1 and population_size")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elite_count < self.population_size:
+            raise ValueError("elite_count must be smaller than the population")
+        if self.max_generations < 1:
+            raise ValueError("max_generations must be at least 1")
+
+
+class GeneticMinimizer(BaseMinimizer):
+    """A generational GA over decomposition sets."""
+
+    def __init__(
+        self,
+        evaluator: PredictiveFunction,
+        search_space: SearchSpace,
+        config: GeneticConfig | None = None,
+        stopping: StoppingCriteria | None = None,
+    ):
+        super().__init__(evaluator, search_space, stopping)
+        self.config = config or GeneticConfig()
+
+    # ------------------------------------------------------------------ operators
+    def _initial_population(self, start_point: SearchPoint, rng: random.Random) -> list[SearchPoint]:
+        """The start point plus random perturbations of it."""
+        base = list(self.space.base_variables)
+        population = [start_point]
+        while len(population) < self.config.population_size:
+            individual = {
+                var
+                for var in base
+                if (var in start_point) != (rng.random() < 0.25)  # flip ~25% of bits
+            }
+            if individual:
+                population.append(frozenset(individual))
+        return population
+
+    def _tournament(
+        self, population: list[SearchPoint], values: dict[SearchPoint, float], rng: random.Random
+    ) -> SearchPoint:
+        """Pick the best of a random tournament."""
+        contenders = [population[rng.randrange(len(population))] for _ in range(self.config.tournament_size)]
+        return min(contenders, key=lambda p: (values[p], sorted(p)))
+
+    def _crossover(self, first: SearchPoint, second: SearchPoint, rng: random.Random) -> SearchPoint:
+        """Uniform crossover over the base variables."""
+        child = {
+            var
+            for var in self.space.base_variables
+            if (var in (first if rng.random() < 0.5 else second))
+        }
+        return frozenset(child)
+
+    def _mutate(self, individual: SearchPoint, rng: random.Random) -> SearchPoint:
+        """Flip each membership bit independently with the mutation rate."""
+        mutated = set(individual)
+        for var in self.space.base_variables:
+            if rng.random() < self.config.mutation_rate:
+                if var in mutated:
+                    mutated.discard(var)
+                else:
+                    mutated.add(var)
+        return frozenset(mutated)
+
+    # -------------------------------------------------------------------- public
+    def minimize(self, start_point: SearchPoint | None = None) -> MinimizationResult:
+        """Run the GA seeded with ``start_point`` (default: the full base set)."""
+        started_at = time.perf_counter()
+        self._begin_run()
+        rng = random.Random(self.config.seed)
+        start = start_point if start_point is not None else self.space.start_point()
+        if not start:
+            raise ValueError("the start point must be non-empty")
+
+        population = self._initial_population(start, rng)
+        values: dict[SearchPoint, float] = {}
+        trajectory: list[VisitedPoint] = []
+        best_point: SearchPoint | None = None
+        best_value = float("inf")
+        best_result = None
+        stop_reason: str | None = None
+
+        def evaluate(point: SearchPoint) -> float | None:
+            nonlocal best_point, best_value, best_result, stop_reason
+            if stop_reason is not None:
+                return None
+            limit = self._stop_reason(started_at)
+            if limit is not None:
+                stop_reason = limit
+                return None
+            result = self._evaluate(point)
+            value = result.value
+            improved = value < best_value
+            if point not in values:
+                trajectory.append(VisitedPoint(point, value, improved, len(trajectory)))
+            values[point] = value
+            if improved:
+                best_point, best_value, best_result = point, value, result
+            return value
+
+        for individual in population:
+            evaluate(individual)
+
+        generation = 0
+        while stop_reason is None and generation < self.config.max_generations:
+            generation += 1
+            ranked = sorted(
+                (p for p in population if p in values), key=lambda p: (values[p], sorted(p))
+            )
+            next_population: list[SearchPoint] = ranked[: self.config.elite_count]
+            while len(next_population) < self.config.population_size and stop_reason is None:
+                parent_a = self._tournament(ranked, values, rng)
+                parent_b = self._tournament(ranked, values, rng)
+                if rng.random() < self.config.crossover_rate:
+                    child = self._crossover(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                child = self._mutate(child, rng)
+                if not child:
+                    child = frozenset({rng.choice(list(self.space.base_variables))})
+                evaluate(child)
+                next_population.append(child)
+            population = next_population
+
+        if stop_reason is None:
+            stop_reason = "max_generations"
+        assert best_point is not None and best_result is not None
+
+        return MinimizationResult(
+            best_point=best_point,
+            best_value=best_value,
+            best_prediction=best_result,
+            final_center=best_point,
+            num_evaluations=self._run_evaluations(),
+            num_subproblem_solves=self._run_subproblem_solves(),
+            wall_time=time.perf_counter() - started_at,
+            trajectory=trajectory,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,135 @@
+"""Shared infrastructure of the predictive-function minimisers.
+
+Both metaheuristics (simulated annealing, Algorithm 1; tabu search, Algorithm 2)
+walk the search space of decomposition sets evaluating the predictive function
+at each visited point.  This module holds what they share: the result record,
+the evaluation-budget bookkeeping, and a tiny base class wiring the evaluator,
+the search space and the stopping conditions together.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.predictive import PredictionResult, PredictiveFunction
+from repro.core.search_space import SearchPoint, SearchSpace
+
+
+@dataclass
+class VisitedPoint:
+    """One step of the minimisation trajectory."""
+
+    point: SearchPoint
+    value: float
+    is_improvement: bool
+    index: int
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of a predictive-function minimisation run.
+
+    ``best_point`` / ``best_value`` always refer to the best (lowest-``F``)
+    point seen during the whole run; ``final_center`` is where the walk ended,
+    which for simulated annealing may differ because of probabilistic uphill
+    acceptance.
+    """
+
+    best_point: SearchPoint
+    best_value: float
+    best_prediction: PredictionResult
+    final_center: SearchPoint
+    num_evaluations: int
+    num_subproblem_solves: int
+    wall_time: float
+    trajectory: list[VisitedPoint] = field(default_factory=list)
+    stop_reason: str = ""
+
+    @property
+    def best_decomposition(self) -> list[int]:
+        """The best decomposition set as a sorted variable list."""
+        return sorted(self.best_point)
+
+    def summary(self) -> str:
+        """One-line report of the run."""
+        return (
+            f"best F = {self.best_value:.4g} with |X̃| = {len(self.best_point)} "
+            f"after {self.num_evaluations} evaluations "
+            f"({self.num_subproblem_solves} sub-problem solves, {self.wall_time:.1f}s); "
+            f"stopped: {self.stop_reason}"
+        )
+
+
+@dataclass
+class StoppingCriteria:
+    """Limits shared by both minimisers.
+
+    The paper ran PDSAT for a fixed wall-clock day; here the evaluation-count
+    limit is the primary budget because it is hardware-independent.
+    """
+
+    max_evaluations: int | None = 200
+    max_seconds: float | None = None
+    max_subproblem_solves: int | None = None
+
+    def exceeded(self, evaluations: int, subproblem_solves: int, started_at: float) -> str | None:
+        """Return the name of the exceeded limit, or ``None``.
+
+        ``evaluations`` and ``subproblem_solves`` are the counts consumed by the
+        *current* minimisation run (not the evaluator's lifetime totals, which
+        may include earlier runs sharing the same memoised evaluator).
+        """
+        if self.max_evaluations is not None and evaluations >= self.max_evaluations:
+            return "max_evaluations"
+        if (
+            self.max_subproblem_solves is not None
+            and subproblem_solves >= self.max_subproblem_solves
+        ):
+            return "max_subproblem_solves"
+        if self.max_seconds is not None and time.perf_counter() - started_at >= self.max_seconds:
+            return "max_seconds"
+        return None
+
+
+class BaseMinimizer:
+    """Common plumbing of the two metaheuristics."""
+
+    def __init__(
+        self,
+        evaluator: PredictiveFunction,
+        search_space: SearchSpace,
+        stopping: StoppingCriteria | None = None,
+    ):
+        self.evaluator = evaluator
+        self.space = search_space
+        self.stopping = stopping or StoppingCriteria()
+        self._eval_offset = 0
+        self._solve_offset = 0
+
+    def _begin_run(self) -> None:
+        """Record the evaluator's counters so per-run budgets start from zero."""
+        self._eval_offset = self.evaluator.num_evaluations
+        self._solve_offset = self.evaluator.num_subproblem_solves
+
+    def _run_evaluations(self) -> int:
+        """Distinct points evaluated since :meth:`_begin_run`."""
+        return self.evaluator.num_evaluations - self._eval_offset
+
+    def _run_subproblem_solves(self) -> int:
+        """Sub-problem solver calls since :meth:`_begin_run`."""
+        return self.evaluator.num_subproblem_solves - self._solve_offset
+
+    def _stop_reason(self, started_at: float) -> str | None:
+        """Check the per-run stopping criteria."""
+        return self.stopping.exceeded(
+            self._run_evaluations(), self._run_subproblem_solves(), started_at
+        )
+
+    def _evaluate(self, point: SearchPoint) -> PredictionResult:
+        """Evaluate the predictive function at ``point`` (memoised by the evaluator)."""
+        return self.evaluator.evaluate(self.space.to_decomposition(point))
+
+    def minimize(self, start_point: SearchPoint | None = None) -> MinimizationResult:
+        """Run the minimisation; implemented by subclasses."""
+        raise NotImplementedError

@@ -1,0 +1,276 @@
+"""The Monte Carlo predictive function ``F_{C,A}(X̃)``.
+
+Given a CNF ``C``, a complete deterministic solver ``A`` and a decomposition
+set ``X̃`` of size ``d``, the total sequential time to process the whole
+decomposition family is ``t_{C,A}(X̃) = 2^d · E[ξ_{C,A}(X̃)]`` (equation (2) of
+the paper), where ``ξ`` is the cost of a uniformly random sub-instance.  The
+predictive function estimates the expectation from a random sample of ``N``
+assignments:
+
+    F_{C,A}(X̃) = 2^d · (1/N) · Σ_{j=1..N} ζ_j                     (5)
+
+``ζ_j`` being the measured cost of sub-instance ``C[X̃/α_j]``.  The evaluator
+below implements exactly that, with three practical extensions:
+
+* the *cost measure* is pluggable — wall-clock seconds (the paper's choice) or
+  deterministic solver counters (conflicts / propagations / a weighted mix),
+  the latter giving machine-independent, exactly reproducible estimates;
+* every evaluation also returns the CLT confidence interval of ``F`` via
+  :mod:`repro.stats.montecarlo`;
+* evaluations are memoised per decomposition set, and per-variable conflict
+  activity is accumulated across evaluations (the tabu search restart heuristic
+  consumes it).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.decomposition import DecompositionFamily, DecompositionSet
+from repro.sat.assignment import Assignment
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.formula import CNF
+from repro.sat.solver import Solver, SolverBudget, SolverStatus
+from repro.stats.montecarlo import MonteCarloEstimate, sample_statistics
+
+
+@dataclass
+class SampleObservation:
+    """Cost and outcome of one sampled sub-instance."""
+
+    assignment_bits: tuple[int, ...]
+    cost: float
+    status: SolverStatus
+    wall_time: float
+
+
+@dataclass
+class PredictionResult:
+    """The value of the predictive function at one point of the search space."""
+
+    decomposition: DecompositionSet
+    sample_size: int
+    cost_measure: str
+    observations: list[SampleObservation] = field(default_factory=list)
+    estimate: MonteCarloEstimate | None = None
+    wall_time: float = 0.0
+    conflict_activity: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def d(self) -> int:
+        """Number of decomposition variables."""
+        return self.decomposition.d
+
+    @property
+    def mean_cost(self) -> float:
+        """Sample mean of the per-sub-instance cost (the estimate of ``E[ξ]``)."""
+        assert self.estimate is not None
+        return self.estimate.mean
+
+    @property
+    def value(self) -> float:
+        """``F_{C,A}(X̃) = 2^d · mean`` — the predicted total sequential cost."""
+        return float(self.decomposition.num_subproblems) * self.mean_cost
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """CLT confidence interval of ``F`` (scaled from the interval of the mean)."""
+        assert self.estimate is not None
+        scaled = self.estimate.scaled(float(self.decomposition.num_subproblems))
+        return scaled.interval
+
+    def value_on_cores(self, cores: int) -> float:
+        """Idealised prediction for ``cores`` parallel workers (perfect speed-up).
+
+        The paper computes ``F`` for one CPU core and divides by the core count
+        when extrapolating to the cluster (Table 3, "480 cores" column); the
+        makespan simulation in :mod:`repro.runner.cluster` refines this.
+        """
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        return self.value / cores
+
+    def activity_of(self, variables: Iterable[int]) -> float:
+        """Total conflict activity of ``variables`` accumulated in this evaluation."""
+        return sum(self.conflict_activity.get(v, 0.0) for v in variables)
+
+    def summary(self) -> str:
+        """One-line report used by the CLI and benchmarks."""
+        low, high = self.confidence_interval
+        return (
+            f"F = {self.value:.4g} ({self.cost_measure}, d = {self.d}, N = {self.sample_size}, "
+            f"95% CI [{low:.4g}, {high:.4g}])"
+        )
+
+
+class PredictiveFunction:
+    """Evaluator of the predictive function for a fixed CNF and solver.
+
+    Parameters
+    ----------
+    cnf:
+        The SAT instance being partitioned.
+    solver:
+        A complete, deterministic solver implementing the
+        :class:`repro.sat.solver.Solver` protocol (defaults to
+        :class:`~repro.sat.cdcl.CDCLSolver`).
+    sample_size:
+        ``N``, the number of sampled sub-instances per evaluation.
+    cost_measure:
+        ``"wall_time"`` (the paper) or one of the deterministic measures
+        ``"conflicts"`` / ``"propagations"`` / ``"decisions"`` / ``"weighted"``.
+    seed:
+        Seed of the sampling RNG.  The per-point sample is derived
+        deterministically from this seed and the decomposition set, so repeated
+        evaluations of the same point are identical and memoisable.
+    substitution_mode:
+        ``"assumptions"`` passes the sampled assignment to the solver as
+        assumption literals (cheap); ``"units"`` builds ``C ∧ units`` explicitly
+        (closer to how PDSAT shipped sub-instances to worker processes).
+    subproblem_budget:
+        Optional per-sub-instance :class:`~repro.sat.solver.SolverBudget`.
+        Sub-instances that exceed it count with the cost accumulated so far and
+        are flagged UNKNOWN; estimates are then lower bounds.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        solver: Solver | None = None,
+        sample_size: int = 100,
+        cost_measure: str = "propagations",
+        seed: int = 0,
+        substitution_mode: str = "assumptions",
+        subproblem_budget: SolverBudget | None = None,
+        confidence_level: float = 0.95,
+    ):
+        if substitution_mode not in ("assumptions", "units"):
+            raise ValueError("substitution_mode must be 'assumptions' or 'units'")
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        self.cnf = cnf
+        self.solver: Solver = solver if solver is not None else CDCLSolver()
+        self.sample_size = sample_size
+        self.cost_measure = cost_measure
+        self.seed = seed
+        self.substitution_mode = substitution_mode
+        self.subproblem_budget = subproblem_budget
+        self.confidence_level = confidence_level
+
+        self._cache: dict[frozenset[int], PredictionResult] = {}
+        #: Conflict activity accumulated over every sub-instance ever solved;
+        #: the tabu search getNewCenter heuristic reads this.
+        self.accumulated_activity: dict[int, float] = {}
+        #: Total number of sub-instance solver calls (cache misses only).
+        self.num_subproblem_solves = 0
+
+    # ------------------------------------------------------------------ evaluate
+    def evaluate(self, decomposition: DecompositionSet | Iterable[int]) -> PredictionResult:
+        """Evaluate ``F`` at a decomposition set (memoised)."""
+        dec = (
+            decomposition
+            if isinstance(decomposition, DecompositionSet)
+            else DecompositionSet.of(decomposition)
+        )
+        if dec.d == 0:
+            raise ValueError("cannot evaluate the empty decomposition set")
+        key = dec.as_frozenset()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        start = time.perf_counter()
+        rng = random.Random((self.seed, tuple(dec.variables)).__hash__())
+        sample = dec.random_sample(self.sample_size, rng)
+        observations: list[SampleObservation] = []
+        activity: dict[int, float] = {}
+        for assignment in sample:
+            observation, sub_activity = self._solve_subproblem(assignment, dec)
+            observations.append(observation)
+            for var, act in sub_activity.items():
+                activity[var] = activity.get(var, 0.0) + act
+                self.accumulated_activity[var] = self.accumulated_activity.get(var, 0.0) + act
+
+        estimate = sample_statistics([obs.cost for obs in observations], self.confidence_level)
+        result = PredictionResult(
+            decomposition=dec,
+            sample_size=self.sample_size,
+            cost_measure=self.cost_measure,
+            observations=observations,
+            estimate=estimate,
+            wall_time=time.perf_counter() - start,
+            conflict_activity=activity,
+        )
+        self._cache[key] = result
+        return result
+
+    def __call__(self, decomposition: DecompositionSet | Iterable[int]) -> float:
+        """Shorthand returning just the value of ``F``."""
+        return self.evaluate(decomposition).value
+
+    def is_cached(self, decomposition: DecompositionSet | Iterable[int]) -> bool:
+        """True when the point has already been evaluated."""
+        dec = (
+            decomposition
+            if isinstance(decomposition, DecompositionSet)
+            else DecompositionSet.of(decomposition)
+        )
+        return dec.as_frozenset() in self._cache
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of distinct points evaluated so far."""
+        return len(self._cache)
+
+    def cached_results(self) -> list[PredictionResult]:
+        """All memoised evaluations (the optimizers' search history)."""
+        return list(self._cache.values())
+
+    # ------------------------------------------------------------------ internals
+    def _solve_subproblem(
+        self, assignment: Assignment, dec: DecompositionSet
+    ) -> tuple[SampleObservation, dict[int, float]]:
+        self.num_subproblem_solves += 1
+        if self.substitution_mode == "assumptions":
+            result = self.solver.solve(
+                self.cnf, assumptions=assignment.to_literals(), budget=self.subproblem_budget
+            )
+        else:
+            family = DecompositionFamily(self.cnf, dec)
+            sub = family.subproblem(assignment, as_units=True)
+            result = self.solver.solve(sub, budget=self.subproblem_budget)
+        observation = SampleObservation(
+            assignment_bits=assignment.bits_for(list(dec.variables)),
+            cost=result.stats.cost(self.cost_measure),
+            status=result.status,
+            wall_time=result.stats.wall_time,
+        )
+        return observation, result.conflict_activity
+
+    # ----------------------------------------------------------------- exhaustive
+    def exhaustive_value(
+        self, decomposition: DecompositionSet | Iterable[int], max_subproblems: int = 1 << 14
+    ) -> tuple[float, list[float]]:
+        """The true ``t_{C,A}(X̃)``: solve all ``2^d`` sub-instances and sum their costs.
+
+        Only feasible for small ``d``; used by the Monte Carlo convergence
+        benchmark and by the solving mode's ground truth in tests.  Returns the
+        total cost and the per-sub-instance cost list.
+        """
+        dec = (
+            decomposition
+            if isinstance(decomposition, DecompositionSet)
+            else DecompositionSet.of(decomposition)
+        )
+        if dec.num_subproblems > max_subproblems:
+            raise ValueError(
+                f"2^{dec.d} sub-problems exceed the max_subproblems={max_subproblems} safety limit"
+            )
+        costs: list[float] = []
+        for assignment in dec.all_assignments():
+            observation, _ = self._solve_subproblem(assignment, dec)
+            costs.append(observation.cost)
+        return sum(costs), costs

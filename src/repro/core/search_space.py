@@ -1,0 +1,118 @@
+"""The search space ``ℜ`` of decomposition sets and its neighbourhood structure.
+
+A point of the search space is a subset of a fixed *base set* of variables
+(the paper's ``X̃_start``; for cryptographic instances, the circuit-input /
+register-state variables, so ``ℜ = 2^{X̃_start}``).  Points are represented by
+frozensets of variable indices — equivalent to the paper's binary vectors
+``χ = (χ_1, ..., χ_n)`` restricted to the base set.
+
+The neighbourhood ``N_ρ(χ)`` contains every point at Hamming distance between 1
+and ``ρ`` from ``χ`` (flipping up to ``ρ`` membership bits), excluding the
+empty set, which does not describe a valid partitioning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.decomposition import DecompositionSet
+
+SearchPoint = frozenset[int]
+
+
+class SearchSpace:
+    """Subsets of a base variable list with Hamming-ball neighbourhoods."""
+
+    def __init__(self, base_variables: Sequence[int]):
+        base = sorted(set(int(v) for v in base_variables))
+        if not base:
+            raise ValueError("the base set must not be empty")
+        if any(v <= 0 for v in base):
+            raise ValueError("variables must be positive integers")
+        self.base_variables: tuple[int, ...] = tuple(base)
+
+    # ------------------------------------------------------------------- points
+    @property
+    def dimension(self) -> int:
+        """Number of base variables (the length of the χ vector)."""
+        return len(self.base_variables)
+
+    @property
+    def size(self) -> int:
+        """Number of points, ``2^n`` (including the invalid empty set)."""
+        return 1 << self.dimension
+
+    def start_point(self) -> SearchPoint:
+        """The paper's ``χ_start``: the full base set ``X̃_start``."""
+        return frozenset(self.base_variables)
+
+    def point(self, variables: Iterable[int]) -> SearchPoint:
+        """Build a point, validating that it only uses base variables."""
+        pt = frozenset(int(v) for v in variables)
+        extra = pt - set(self.base_variables)
+        if extra:
+            raise ValueError(f"variables {sorted(extra)} are not in the base set")
+        return pt
+
+    def contains(self, point: SearchPoint) -> bool:
+        """True when every variable of ``point`` belongs to the base set."""
+        return point <= set(self.base_variables)
+
+    def to_decomposition(self, point: SearchPoint) -> DecompositionSet:
+        """Convert a point to a :class:`~repro.core.decomposition.DecompositionSet`."""
+        return DecompositionSet.of(point)
+
+    def to_chi_vector(self, point: SearchPoint) -> tuple[int, ...]:
+        """The paper's binary vector ``χ`` over the base variables (1 = in the set)."""
+        return tuple(int(v in point) for v in self.base_variables)
+
+    def from_chi_vector(self, chi: Sequence[int]) -> SearchPoint:
+        """Inverse of :meth:`to_chi_vector`."""
+        if len(chi) != self.dimension:
+            raise ValueError(f"χ must have length {self.dimension}, got {len(chi)}")
+        return frozenset(v for v, bit in zip(self.base_variables, chi) if bit)
+
+    def hamming_distance(self, a: SearchPoint, b: SearchPoint) -> int:
+        """Number of membership bits on which two points differ."""
+        return len(a.symmetric_difference(b))
+
+    # ------------------------------------------------------------- neighbourhoods
+    def neighborhood(self, point: SearchPoint, radius: int = 1) -> Iterator[SearchPoint]:
+        """Yield ``N_ρ(point)``: all valid points within Hamming distance ``radius``.
+
+        Points are produced in deterministic order: first by distance, then by
+        the sorted tuple of flipped variables.  The empty set is skipped.
+        """
+        if radius < 1:
+            raise ValueError("radius must be at least 1")
+        if not self.contains(point):
+            raise ValueError("point is not contained in this search space")
+        for distance in range(1, radius + 1):
+            for flips in itertools.combinations(self.base_variables, distance):
+                neighbor = point.symmetric_difference(flips)
+                if neighbor:
+                    yield frozenset(neighbor)
+
+    def neighborhood_size(self, point: SearchPoint, radius: int = 1) -> int:
+        """Number of points in ``N_ρ(point)`` (accounting for the excluded empty set)."""
+        from math import comb
+
+        total = sum(comb(self.dimension, dist) for dist in range(1, radius + 1))
+        if len(point) <= radius:
+            total -= 1  # the empty set would be reachable but is excluded
+        return total
+
+    def is_neighborhood_checked(
+        self, point: SearchPoint, checked: set[SearchPoint], radius: int = 1
+    ) -> bool:
+        """True when every point of ``N_ρ(point)`` is in ``checked``."""
+        return all(neighbor in checked for neighbor in self.neighborhood(point, radius))
+
+    def unchecked_neighbors(
+        self, point: SearchPoint, checked: set[SearchPoint], radius: int = 1
+    ) -> Iterator[SearchPoint]:
+        """The not-yet-checked part of ``N_ρ(point)`` in deterministic order."""
+        for neighbor in self.neighborhood(point, radius):
+            if neighbor not in checked:
+                yield neighbor

@@ -1,0 +1,170 @@
+"""Tabu search minimisation of the predictive function (Algorithm 2).
+
+The tabu search keeps two lists of already-evaluated points:
+
+* ``L1`` — checked points whose whole radius-1 neighbourhood has been checked;
+* ``L2`` — checked points that still have unchecked neighbours.
+
+The walk repeatedly checks the whole neighbourhood of the current centre.  If a
+better-than-best point is found it becomes the new centre; otherwise a new
+centre is taken from ``L2`` with the ``getNewCenter`` heuristic: the paper
+chooses the point whose decomposition variables have the largest *total
+conflict activity* accumulated by the CDCL solver while solving sampled
+sub-problems.  The predictive-function evaluator records exactly that activity
+(:attr:`repro.core.predictive.PredictiveFunction.accumulated_activity`).
+
+Because every value of ``F`` is expensive, evaluated points are never
+re-evaluated (the evaluator memoises them) — this is the paper's motivation for
+tabu lists: "the use of tabu lists makes it possible to significantly increase
+the number of points of the search space processed per time unit".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.optimizer import (
+    BaseMinimizer,
+    MinimizationResult,
+    StoppingCriteria,
+    VisitedPoint,
+)
+from repro.core.predictive import PredictiveFunction
+from repro.core.search_space import SearchPoint, SearchSpace
+
+
+@dataclass
+class TabuConfig:
+    """Parameters of the tabu search."""
+
+    radius: int = 1
+    #: ``"activity"`` reproduces the paper's conflict-activity heuristic;
+    #: ``"best_value"`` picks the L2 point with the lowest F; ``"fifo"`` takes
+    #: the oldest L2 point.  The alternatives exist for the ablation benchmark.
+    new_center_heuristic: str = "activity"
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise ValueError("radius must be at least 1")
+        if self.new_center_heuristic not in ("activity", "best_value", "fifo"):
+            raise ValueError(
+                "new_center_heuristic must be 'activity', 'best_value' or 'fifo'"
+            )
+
+
+class TabuSearchMinimizer(BaseMinimizer):
+    """Algorithm 2 of the paper."""
+
+    def __init__(
+        self,
+        evaluator: PredictiveFunction,
+        search_space: SearchSpace,
+        config: TabuConfig | None = None,
+        stopping: StoppingCriteria | None = None,
+    ):
+        super().__init__(evaluator, search_space, stopping)
+        self.config = config or TabuConfig()
+
+    # ------------------------------------------------------------------ internals
+    def _mark_point(
+        self,
+        point: SearchPoint,
+        checked: set[SearchPoint],
+        l1: list[SearchPoint],
+        l2: list[SearchPoint],
+    ) -> None:
+        """``markPointInTabuLists``: move points between L2 and L1 as neighbourhoods fill up."""
+        checked.add(point)
+        if point not in l1 and point not in l2:
+            l2.append(point)
+        # Adding ``point`` may have completed the neighbourhood of some L2 points.
+        still_open: list[SearchPoint] = []
+        for other in l2:
+            if self.space.is_neighborhood_checked(other, checked, self.config.radius):
+                l1.append(other)
+            else:
+                still_open.append(other)
+        l2[:] = still_open
+
+    def _get_new_center(
+        self, l2: list[SearchPoint], values: dict[SearchPoint, float]
+    ) -> SearchPoint:
+        """``getNewCenter``: pick the next centre among checked points with open neighbourhoods."""
+        heuristic = self.config.new_center_heuristic
+        if heuristic == "fifo":
+            return l2[0]
+        if heuristic == "best_value":
+            return min(l2, key=lambda p: (values.get(p, float("inf")), sorted(p)))
+        activity = self.evaluator.accumulated_activity
+        return max(
+            l2,
+            key=lambda p: (sum(activity.get(v, 0.0) for v in p), [-v for v in sorted(p)]),
+        )
+
+    # -------------------------------------------------------------------- public
+    def minimize(self, start_point: SearchPoint | None = None) -> MinimizationResult:
+        """Run the tabu search from ``start_point`` (default: the full base set)."""
+        started_at = time.perf_counter()
+        self._begin_run()
+        center = start_point if start_point is not None else self.space.start_point()
+        if not center:
+            raise ValueError("the start point must be non-empty")
+
+        center_result = self._evaluate(center)
+        best_point, best_value, best_result = center, center_result.value, center_result
+        values: dict[SearchPoint, float] = {center: center_result.value}
+        trajectory = [VisitedPoint(center, center_result.value, True, 0)]
+
+        checked: set[SearchPoint] = set()
+        l1: list[SearchPoint] = []
+        l2: list[SearchPoint] = []
+        self._mark_point(center, checked, l1, l2)
+
+        stop_reason: str | None = None
+        while stop_reason is None:
+            best_value_updated = False
+            # Check the whole neighbourhood of the current centre.
+            while stop_reason is None:
+                limit = self._stop_reason(started_at)
+                if limit is not None:
+                    stop_reason = limit
+                    break
+                unchecked = next(
+                    self.space.unchecked_neighbors(center, checked, self.config.radius), None
+                )
+                if unchecked is None:
+                    break  # neighbourhood fully checked
+                result = self._evaluate(unchecked)
+                value = result.value
+                values[unchecked] = value
+                self._mark_point(unchecked, checked, l1, l2)
+                improved = value < best_value
+                trajectory.append(VisitedPoint(unchecked, value, improved, len(trajectory)))
+                if improved:
+                    best_point, best_value, best_result = unchecked, value, result
+                    best_value_updated = True
+            if stop_reason is not None:
+                break
+            if best_value_updated:
+                center = best_point
+            else:
+                if not l2:
+                    stop_reason = "l2_empty"
+                    break
+                center = self._get_new_center(l2, values)
+
+        if stop_reason is None:  # pragma: no cover - defensive
+            stop_reason = "l2_empty"
+
+        return MinimizationResult(
+            best_point=best_point,
+            best_value=best_value,
+            best_prediction=best_result,
+            final_center=center,
+            num_evaluations=self._run_evaluations(),
+            num_subproblem_solves=self._run_subproblem_solves(),
+            wall_time=time.perf_counter() - started_at,
+            trajectory=trajectory,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,28 @@
+"""Circuit-to-CNF encoder (the library's substitute for TRANSALG).
+
+The original paper produced its SAT instances with TRANSALG, a translator from
+procedural descriptions of discrete functions to CNF.  Here the same role is
+played by a small Boolean-circuit intermediate representation plus a Tseitin
+transformation:
+
+* :mod:`repro.encoder.circuit` — gate-level circuit IR with named input /
+  output groups;
+* :mod:`repro.encoder.tseitin` — the Tseitin transformation producing an
+  :class:`~repro.encoder.encoding.Encoding` (a CNF together with the mapping
+  from circuit signals to CNF variables);
+* :mod:`repro.encoder.bitvec` — convenience bit-vector operations used by the
+  cipher circuit builders in :mod:`repro.ciphers`.
+"""
+
+from repro.encoder.circuit import Circuit, Gate, GateKind, Signal
+from repro.encoder.encoding import Encoding
+from repro.encoder.tseitin import tseitin_encode
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateKind",
+    "Signal",
+    "Encoding",
+    "tseitin_encode",
+]

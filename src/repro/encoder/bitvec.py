@@ -1,0 +1,54 @@
+"""Bit-vector helpers on top of the circuit IR.
+
+Cipher circuits manipulate registers as lists of signals.  These helpers keep
+the cipher builders in :mod:`repro.ciphers` short and readable: XOR over a
+subset of taps, shifting a register, packing integers to bit lists and back.
+Bit order conventions follow the cipher specifications (documented per cipher).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.encoder.circuit import Circuit, Signal
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Little-endian bit list of ``value`` (bit 0 first), exactly ``width`` bits."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= 1 << width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int | bool]) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian)."""
+    return sum((1 << i) for i, bit in enumerate(bits) if bit)
+
+
+def xor_taps(circuit: Circuit, register: Sequence[Signal], taps: Sequence[int]) -> Signal:
+    """XOR of the register cells at the given tap positions."""
+    if not taps:
+        raise ValueError("need at least one tap position")
+    return circuit.xor(*(register[t] for t in taps)) if len(taps) > 1 else register[taps[0]]
+
+
+def shift_in(register: list[Signal], new_bit: Signal) -> list[Signal]:
+    """Shift the register towards higher indices and insert ``new_bit`` at index 0.
+
+    Register cell ``i`` of the result holds the old cell ``i - 1``; the last
+    cell falls off.  This matches the "cell 0 is the newest bit" convention
+    used by the cipher builders.
+    """
+    return [new_bit] + list(register[:-1])
+
+
+def shift_append(register: list[Signal], new_bit: Signal) -> list[Signal]:
+    """Shift towards lower indices and append ``new_bit`` at the end.
+
+    Register cell ``i`` of the result holds the old cell ``i + 1``; cell 0
+    falls off.  This is the convention of the Trivium/Bivium and Grain
+    specifications where state bit ``s_1`` is the oldest.
+    """
+    return list(register[1:]) + [new_bit]

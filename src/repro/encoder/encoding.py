@@ -1,0 +1,70 @@
+"""The result of encoding a circuit to CNF.
+
+An :class:`Encoding` bundles the CNF with the bookkeeping the partitioning
+machinery needs: which CNF variables correspond to which circuit input groups
+(those are the candidate decomposition variables / the SUPBS start set) and
+which correspond to the outputs (those get fixed to the observed keystream).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.sat.assignment import Assignment
+from repro.sat.formula import CNF
+
+
+@dataclass
+class Encoding:
+    """A CNF together with its signal-to-variable mapping."""
+
+    cnf: CNF
+    signal_to_var: dict[int, int]
+    input_vars: dict[str, list[int]] = field(default_factory=dict)
+    output_vars: dict[str, list[int]] = field(default_factory=dict)
+    name: str = "encoding"
+
+    def vars_of_group(self, group: str) -> list[int]:
+        """CNF variables of a named input or output group."""
+        if group in self.input_vars:
+            return list(self.input_vars[group])
+        if group in self.output_vars:
+            return list(self.output_vars[group])
+        raise KeyError(f"unknown signal group {group!r}")
+
+    def all_input_vars(self) -> list[int]:
+        """All input-group variables in declaration order."""
+        return [v for group in self.input_vars.values() for v in group]
+
+    def fix_group(self, group: str, bits: Sequence[int | bool]) -> CNF:
+        """Return a copy of the CNF with the group's variables fixed to ``bits``.
+
+        This is how an *inversion instance* is built: fix the keystream output
+        group to the observed bits and leave the key/state inputs free.
+        """
+        variables = self.vars_of_group(group)
+        if len(bits) != len(variables):
+            raise ValueError(
+                f"group {group!r} has {len(variables)} variables, got {len(bits)} bits"
+            )
+        assignment = Assignment.from_bits(variables, bits)
+        return self.cnf.with_unit_clauses(assignment.values)
+
+    def assignment_for_group(self, group: str, bits: Sequence[int | bool]) -> Assignment:
+        """Assignment mapping the group's CNF variables to ``bits``."""
+        return Assignment.from_bits(self.vars_of_group(group), bits)
+
+    def decode_group(self, group: str, model: dict[int, bool]) -> list[int]:
+        """Read a group's bits back out of a SAT model."""
+        return [int(model[v]) for v in self.vars_of_group(group)]
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        groups = ", ".join(
+            f"{name}[{len(vars_)}]" for name, vars_ in {**self.input_vars, **self.output_vars}.items()
+        )
+        return (
+            f"{self.name}: {self.cnf.num_vars} vars, {self.cnf.num_clauses} clauses, "
+            f"groups: {groups}"
+        )

@@ -1,0 +1,138 @@
+"""Tseitin transformation from circuits to CNF.
+
+Every non-trivial gate gets a fresh CNF variable and a set of clauses that make
+the variable equivalent to the gate function of its operand variables.  The
+transformation is equisatisfiable with the circuit's input/output relation and,
+crucially for the paper's method, the input variables form a Strong
+Unit-Propagation Backdoor Set: once all inputs are fixed, unit propagation
+derives the value of every internal gate and output.
+
+XOR gates with many operands are decomposed into a chain of binary XORs so that
+the clause count stays linear (2-operand XOR costs 4 clauses).
+"""
+
+from __future__ import annotations
+
+from repro.encoder.circuit import FALSE, TRUE, Circuit, GateKind
+from repro.encoder.encoding import Encoding
+from repro.sat.formula import CNF
+
+
+def tseitin_encode(circuit: Circuit, name: str | None = None) -> Encoding:
+    """Encode ``circuit`` into CNF via the Tseitin transformation."""
+    cnf = CNF()
+    signal_to_var: dict[int, int] = {}
+
+    # Constants get dedicated variables fixed by unit clauses.  This is mildly
+    # wasteful (constant folding in the circuit builder removes most of them)
+    # but keeps the per-gate encoding uniform.
+    true_var = cnf.new_var()
+    cnf.add_clause((true_var,))
+    false_var = cnf.new_var()
+    cnf.add_clause((-false_var,))
+    signal_to_var[TRUE] = true_var
+    signal_to_var[FALSE] = false_var
+
+    def var_of(signal: int) -> int:
+        return signal_to_var[signal]
+
+    for signal, gate in circuit.gates():
+        if signal in (TRUE, FALSE):
+            continue
+        kind = gate.kind
+        if kind is GateKind.INPUT:
+            signal_to_var[signal] = cnf.new_var()
+            continue
+        if kind is GateKind.NOT:
+            # No new variable: reuse the operand with flipped polarity via a
+            # dedicated variable plus equivalence clauses (keeps mapping total).
+            out = cnf.new_var()
+            a = var_of(gate.operands[0])
+            cnf.add_clauses([(-out, -a), (out, a)])
+            signal_to_var[signal] = out
+            continue
+        if kind is GateKind.AND:
+            out = cnf.new_var()
+            ops = [var_of(op) for op in gate.operands]
+            for a in ops:
+                cnf.add_clause((-out, a))
+            cnf.add_clause(tuple([out] + [-a for a in ops]))
+            signal_to_var[signal] = out
+            continue
+        if kind is GateKind.OR:
+            out = cnf.new_var()
+            ops = [var_of(op) for op in gate.operands]
+            for a in ops:
+                cnf.add_clause((out, -a))
+            cnf.add_clause(tuple([-out] + ops))
+            signal_to_var[signal] = out
+            continue
+        if kind is GateKind.XOR:
+            ops = [var_of(op) for op in gate.operands]
+            acc = ops[0]
+            for operand in ops[1:]:
+                acc = _encode_binary_xor(cnf, acc, operand)
+            signal_to_var[signal] = acc
+            continue
+        if kind is GateKind.MAJ:
+            out = cnf.new_var()
+            a, b, c = (var_of(op) for op in gate.operands)
+            # out <-> at least two of {a, b, c}
+            cnf.add_clauses(
+                [
+                    (-out, a, b),
+                    (-out, a, c),
+                    (-out, b, c),
+                    (out, -a, -b),
+                    (out, -a, -c),
+                    (out, -b, -c),
+                ]
+            )
+            signal_to_var[signal] = out
+            continue
+        if kind is GateKind.MUX:
+            out = cnf.new_var()
+            sel, then_v, else_v = (var_of(op) for op in gate.operands)
+            # out <-> (sel ? then : else)
+            cnf.add_clauses(
+                [
+                    (-sel, -then_v, out),
+                    (-sel, then_v, -out),
+                    (sel, -else_v, out),
+                    (sel, else_v, -out),
+                ]
+            )
+            signal_to_var[signal] = out
+            continue
+        raise ValueError(f"cannot encode gate kind {kind}")  # pragma: no cover
+
+    input_vars = {
+        group: [signal_to_var[s] for s in signals]
+        for group, signals in circuit.input_groups.items()
+    }
+    output_vars = {
+        group: [signal_to_var[s] for s in signals]
+        for group, signals in circuit.output_groups.items()
+    }
+    cnf.comments.append(f"tseitin encoding of circuit {circuit.name!r}")
+    return Encoding(
+        cnf=cnf,
+        signal_to_var=signal_to_var,
+        input_vars=input_vars,
+        output_vars=output_vars,
+        name=name or circuit.name,
+    )
+
+
+def _encode_binary_xor(cnf: CNF, a: int, b: int) -> int:
+    """Add a fresh variable ``out`` with ``out <-> a XOR b``; return it."""
+    out = cnf.new_var()
+    cnf.add_clauses(
+        [
+            (-out, a, b),
+            (-out, -a, -b),
+            (out, -a, b),
+            (out, a, -b),
+        ]
+    )
+    return out

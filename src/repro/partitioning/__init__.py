@@ -1,0 +1,54 @@
+"""Classical SAT-partitioning techniques the paper compares its approach against.
+
+Section 2 of the paper lists the established ways of constructing a
+partitioning of a SAT instance — "a scattering procedure, a guiding path
+solver, lookahead solver and a number of other techniques" (citing Hyvärinen's
+thesis) — and argues that, unlike the decomposition-family partitionings built
+from a decomposition set, these make it *hard to estimate the total solving
+time in advance*.  This package implements those classical techniques so the
+claim can be examined experimentally:
+
+* :mod:`repro.partitioning.cubes` — the common representation: a partitioning
+  as a set of *cubes* (partial assignments), with validity checking, solving
+  and Monte Carlo cost estimation;
+* :mod:`repro.partitioning.guiding_path` — guiding-path partitionings obtained
+  by splitting off the untried branches of a sequential solver's decision path;
+* :mod:`repro.partitioning.scattering` — the scattering procedure, which peels
+  off sub-formulas covering a prescribed fraction of the search space;
+* :mod:`repro.partitioning.lookahead_partition` — cube-and-conquer style
+  partitionings built by recursive lookahead splitting.
+
+The decomposition-family partitioning of the paper corresponds to the special
+case where every cube assigns the *same* set of variables; that regularity is
+exactly what makes the uniform-sampling estimator of
+:mod:`repro.core.predictive` unbiased.  The benchmark
+``benchmarks/bench_partitioning_techniques.py`` compares the techniques on the
+scaled cryptanalysis instances.
+"""
+
+from repro.partitioning.cubes import Cube, CubePartitioning, PartitioningCostReport
+from repro.partitioning.guiding_path import GuidingPathConfig, guiding_path_partitioning
+from repro.partitioning.lookahead_partition import (
+    CubeAndConquerConfig,
+    lookahead_partitioning,
+)
+from repro.partitioning.scattering import (
+    ScatteringConfig,
+    ScatteringPart,
+    ScatteringPartitioning,
+    scattering_partitioning,
+)
+
+__all__ = [
+    "Cube",
+    "CubePartitioning",
+    "PartitioningCostReport",
+    "guiding_path_partitioning",
+    "GuidingPathConfig",
+    "scattering_partitioning",
+    "ScatteringConfig",
+    "ScatteringPart",
+    "ScatteringPartitioning",
+    "lookahead_partitioning",
+    "CubeAndConquerConfig",
+]

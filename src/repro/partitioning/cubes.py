@@ -1,0 +1,253 @@
+"""Cube partitionings: the common representation of classical partitioning techniques.
+
+A *cube* is a conjunction of literals; a *cube partitioning* of a CNF ``C`` is a
+set of cubes ``G_1, ..., G_s`` such that any two cubes are mutually inconsistent
+and ``C`` is equivalent to ``(C ∧ G_1) ∨ ... ∨ (C ∧ G_s)`` — exactly the
+definition at the start of Section 2 of the paper.  The decomposition families
+of :mod:`repro.core.decomposition` are the special case where every cube is a
+minterm over the same decomposition set; guiding-path, scattering and
+cube-and-conquer partitionings produce cubes of varying length, which is what
+makes their total solving time hard to estimate by uniform sampling.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.sat.formula import CNF
+from repro.sat.solver import Solver, SolverBudget, SolverStatus
+from repro.stats.montecarlo import MonteCarloEstimate, sample_statistics
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A conjunction of literals (one branch of a partitioning)."""
+
+    literals: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        seen: dict[int, int] = {}
+        for lit in self.literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            var = abs(lit)
+            if var in seen and seen[var] != lit:
+                raise ValueError(f"cube assigns variable {var} both polarities")
+            seen[var] = lit
+
+    @classmethod
+    def of(cls, literals: Iterable[int]) -> "Cube":
+        """Build a cube, sorting literals by variable for a canonical form."""
+        return cls(tuple(sorted(set(literals), key=abs)))
+
+    @property
+    def variables(self) -> tuple[int, ...]:
+        """Variables constrained by the cube."""
+        return tuple(abs(lit) for lit in self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def conflicts_with(self, other: "Cube") -> bool:
+        """True when the two cubes assign some variable opposite values."""
+        mine = {abs(lit): lit for lit in self.literals}
+        return any(mine.get(abs(lit), lit) != lit for lit in other.literals)
+
+    def negation_clause(self) -> tuple[int, ...]:
+        """The clause ``¬cube`` (used for coverage checking and scattering)."""
+        return tuple(-lit for lit in self.literals)
+
+    def extended(self, literal: int) -> "Cube":
+        """The cube extended by one more literal."""
+        return Cube.of(self.literals + (literal,))
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(lit) for lit in self.literals) if self.literals else "⊤"
+
+
+@dataclass
+class PartitioningCostReport:
+    """Measured cost of processing every cube of a partitioning."""
+
+    costs: list[float] = field(default_factory=list)
+    statuses: list[SolverStatus] = field(default_factory=list)
+    cost_measure: str = "propagations"
+    wall_time: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        """Total sequential cost over all cubes (the quantity the paper estimates)."""
+        return sum(self.costs)
+
+    @property
+    def num_sat(self) -> int:
+        """Number of satisfiable cubes."""
+        return sum(1 for status in self.statuses if status is SolverStatus.SAT)
+
+    @property
+    def max_cost(self) -> float:
+        """Cost of the hardest cube (a lower bound on any parallel makespan)."""
+        return max(self.costs) if self.costs else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Ratio of the hardest cube to the mean cube cost (1.0 = perfectly balanced)."""
+        if not self.costs or self.total_cost == 0:
+            return 1.0
+        return self.max_cost / (self.total_cost / len(self.costs))
+
+
+class CubePartitioning:
+    """A partitioning of a CNF into cubes, with checking, solving and estimation."""
+
+    def __init__(self, cnf: CNF, cubes: Sequence[Cube | Iterable[int]], technique: str = ""):
+        self.cnf = cnf
+        self.cubes: list[Cube] = [
+            cube if isinstance(cube, Cube) else Cube.of(cube) for cube in cubes
+        ]
+        if not self.cubes:
+            raise ValueError("a partitioning must contain at least one cube")
+        self.technique = technique
+
+    @classmethod
+    def from_decomposition_set(
+        cls, cnf: CNF, variables: Iterable[int]
+    ) -> "CubePartitioning":
+        """The paper's decomposition family Δ_C(X̃) expressed as a cube partitioning.
+
+        Every cube is a minterm over ``variables`` (so the partitioning is
+        uniform by construction); the number of cubes is ``2^d``, which bounds
+        the practical size of ``variables`` to ~20.
+        """
+        ordered = sorted(set(int(v) for v in variables))
+        if not ordered:
+            raise ValueError("the decomposition set must not be empty")
+        if len(ordered) > 24:
+            raise ValueError(
+                f"2^{len(ordered)} cubes is too large to materialise explicitly"
+            )
+        cubes = []
+        for bits in range(1 << len(ordered)):
+            cubes.append(
+                Cube.of(
+                    var if (bits >> position) & 1 else -var
+                    for position, var in enumerate(ordered)
+                )
+            )
+        return cls(cnf, cubes, technique="decomposition family")
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    @property
+    def cube_lengths(self) -> list[int]:
+        """Number of literals per cube (constant for decomposition families)."""
+        return [len(cube) for cube in self.cubes]
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every cube assigns the same set of variables (paper's case)."""
+        first = set(self.cubes[0].variables)
+        return all(set(cube.variables) == first for cube in self.cubes)
+
+    # ------------------------------------------------------------------ validity
+    def pairwise_inconsistent(self) -> bool:
+        """Check that any two distinct cubes conflict on some variable.
+
+        Quadratic in the number of cubes; intended for the moderate cube counts
+        produced by the techniques in this package.
+        """
+        for i, first in enumerate(self.cubes):
+            for second in self.cubes[i + 1 :]:
+                if not first.conflicts_with(second):
+                    return False
+        return True
+
+    def covers_formula(self, solver: Solver) -> bool:
+        """Check that every model of ``C`` satisfies some cube.
+
+        Equivalent to ``C ∧ ¬G_1 ∧ ... ∧ ¬G_s`` being unsatisfiable, which is
+        what is checked (one solver call on the augmented formula).
+        """
+        augmented = self.cnf.copy()
+        for cube in self.cubes:
+            clause = cube.negation_clause()
+            if not clause:
+                return True  # the empty cube covers everything
+            augmented.add_clause(clause)
+        result = solver.solve(augmented)
+        if not result.is_decided:
+            raise RuntimeError("solver returned UNKNOWN during the coverage check")
+        return result.is_unsat
+
+    def is_valid_partitioning(self, solver: Solver) -> bool:
+        """Both partitioning properties of Section 2: disjointness and coverage."""
+        return self.pairwise_inconsistent() and self.covers_formula(solver)
+
+    # ------------------------------------------------------------------- solving
+    def solve_all(
+        self,
+        solver: Solver,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+    ) -> PartitioningCostReport:
+        """Solve every cube and record the per-cube cost (the ground truth ``t_{C,A}``)."""
+        report = PartitioningCostReport(cost_measure=cost_measure)
+        start = time.perf_counter()
+        for cube in self.cubes:
+            result = solver.solve(self.cnf, assumptions=list(cube), budget=budget)
+            report.costs.append(result.stats.cost(cost_measure))
+            report.statuses.append(result.status)
+            if stop_on_sat and result.is_sat:
+                break
+        report.wall_time = time.perf_counter() - start
+        return report
+
+    # ---------------------------------------------------------------- estimation
+    def estimate_total_cost(
+        self,
+        solver: Solver,
+        sample_size: int,
+        cost_measure: str = "propagations",
+        seed: int = 0,
+        budget: SolverBudget | None = None,
+        confidence_level: float = 0.95,
+    ) -> MonteCarloEstimate:
+        """Monte Carlo estimate of the total cost by uniform sampling of *cubes*.
+
+        For a uniform (decomposition-family) partitioning this is exactly the
+        paper's estimator ``F``.  For irregular partitionings the estimator is
+        still unbiased for ``s · E[cost of a uniformly chosen cube]`` — but the
+        variance is typically much larger because cube costs vary over orders of
+        magnitude with the cube length, which is the quantitative content of the
+        paper's remark that such partitionings are hard to estimate.  The
+        benchmark ``bench_partitioning_techniques.py`` measures this effect.
+        """
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        rng = random.Random(seed)
+        costs: list[float] = []
+        for _ in range(sample_size):
+            cube = self.cubes[rng.randrange(len(self.cubes))]
+            result = solver.solve(self.cnf, assumptions=list(cube), budget=budget)
+            costs.append(result.stats.cost(cost_measure))
+        per_cube = sample_statistics(costs, confidence_level)
+        return per_cube.scaled(float(len(self.cubes)))
+
+    def summary(self) -> str:
+        """One-line description used by benchmarks."""
+        lengths = self.cube_lengths
+        return (
+            f"{self.technique or 'partitioning'}: {len(self.cubes)} cubes, "
+            f"length min/mean/max = {min(lengths)}/{sum(lengths) / len(lengths):.1f}/{max(lengths)}"
+        )

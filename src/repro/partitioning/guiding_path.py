@@ -1,0 +1,104 @@
+"""Guiding-path partitioning.
+
+The guiding-path scheme (Zhang's PSATO, later grid solvers) splits a SAT
+instance along the decision path of a sequential solver: if the solver's
+current path assigns the decision literals ``l_1, ..., l_k``, the untried
+branches form the partitioning
+
+    ¬l_1,   l_1 ∧ ¬l_2,   l_1 ∧ l_2 ∧ ¬l_3,   ...,   l_1 ∧ ... ∧ l_k.
+
+Each cube hands one "remaining" branch of the search tree to a different
+worker.  The cubes are pairwise inconsistent by construction and cover the
+whole assignment space, so they always form a valid partitioning — but their
+lengths (and therefore their difficulty) differ wildly, which is precisely why
+the paper's uniform-sampling time estimation does not transfer to them.
+
+The decision literals are chosen here the same way a simple solver would pick
+them: either by occurrence count (``heuristic="occurrences"``) or by lookahead
+scores (``heuristic="lookahead"``), always after closing the formula under unit
+propagation so the path does not waste splits on forced variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partitioning.cubes import Cube, CubePartitioning
+from repro.sat.formula import CNF
+from repro.sat.lookahead import rank_variables_by_lookahead
+from repro.sat.preprocessing import unit_propagate
+
+
+@dataclass
+class GuidingPathConfig:
+    """Parameters of the guiding-path construction."""
+
+    #: Length of the guiding path (the partitioning has ``path_length + 1`` cubes).
+    path_length: int = 8
+    #: ``"occurrences"`` or ``"lookahead"``.
+    heuristic: str = "occurrences"
+    #: Polarity given to the decision literals along the path.
+    positive_branch_first: bool = True
+
+    def __post_init__(self) -> None:
+        if self.path_length < 1:
+            raise ValueError("path_length must be at least 1")
+        if self.heuristic not in ("occurrences", "lookahead"):
+            raise ValueError("heuristic must be 'occurrences' or 'lookahead'")
+
+
+def _occurrence_ranking(cnf: CNF, forbidden: set[int]) -> list[int]:
+    """Free variables ranked by how many clauses mention them."""
+    counts: dict[int, int] = {}
+    for clause in cnf.clauses:
+        for lit in clause:
+            var = abs(lit)
+            if var not in forbidden:
+                counts[var] = counts.get(var, 0) + 1
+    return sorted(counts, key=lambda v: (-counts[v], v))
+
+
+def guiding_path_partitioning(
+    cnf: CNF, config: GuidingPathConfig | None = None
+) -> CubePartitioning:
+    """Build a guiding-path partitioning of ``cnf``.
+
+    The decision path follows the configured branching heuristic on the
+    unit-propagated formula; variables fixed by propagation never appear on the
+    path.  If fewer free variables remain than ``path_length``, the path is
+    truncated accordingly.
+    """
+    config = config or GuidingPathConfig()
+    propagation = unit_propagate(cnf)
+    if propagation.conflict or propagation.simplified is None:
+        # Trivially unsatisfiable formula: any two complementary cubes are a
+        # valid (if pointless) partitioning.
+        first_var = min(cnf.variables() or {1})
+        return CubePartitioning(
+            cnf, [Cube.of([first_var]), Cube.of([-first_var])], technique="guiding_path"
+        )
+    simplified = propagation.simplified
+    forbidden = propagation.fixed_variables
+
+    if config.heuristic == "lookahead":
+        ranked = rank_variables_by_lookahead(simplified)
+        ranked = [v for v in ranked if v not in forbidden]
+    else:
+        ranked = _occurrence_ranking(simplified, forbidden)
+    path_vars = ranked[: config.path_length]
+    if not path_vars:
+        # Degenerate instance: everything is forced; a single empty-prefix cube
+        # (split on the first variable) keeps the partitioning well-formed.
+        first_var = min(cnf.variables() or {1})
+        return CubePartitioning(
+            cnf, [Cube.of([first_var]), Cube.of([-first_var])], technique="guiding_path"
+        )
+
+    sign = 1 if config.positive_branch_first else -1
+    path = [sign * var for var in path_vars]
+
+    cubes: list[Cube] = []
+    for depth, literal in enumerate(path):
+        cubes.append(Cube.of(path[:depth] + [-literal]))
+    cubes.append(Cube.of(path))
+    return CubePartitioning(cnf, cubes, technique="guiding_path")

@@ -1,0 +1,264 @@
+"""The scattering procedure for constructing SAT partitionings.
+
+Scattering (Hyvärinen, Junttila & Niemelä) builds a partitioning of ``C`` into
+``s`` sub-formulas by peeling off constrained slices one at a time.  At step
+``i`` a conjunction of literals ``K_i = l_{i,1} ∧ ... ∧ l_{i,k_i}`` is chosen
+and the ``i``-th subproblem becomes
+
+    C ∧ ¬K_1 ∧ ... ∧ ¬K_{i-1} ∧ K_i,
+
+while the last (``s``-th) subproblem carries all the negations and no positive
+slice.  With ``k_i`` literals the slice covers a ``2^{-k_i}`` fraction of the
+remaining assignment space, so ``k_i`` is chosen to make subproblem ``i`` cover
+roughly ``1/(s - i + 1)`` of what is left — the classical scattering ratio.
+
+Unlike a decomposition family, the parts are not plain cubes: the carried
+negations ``¬K_j`` are *clauses*, so a part is "the original formula plus some
+clauses plus some assumptions".  :class:`ScatteringPartitioning` represents
+exactly that.  The parts differ wildly in how constrained they are, which is
+why the paper's uniform-sampling runtime estimator does not transfer to
+scattering partitionings; ``bench_partitioning_techniques.py`` measures the
+consequences.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.partitioning.cubes import PartitioningCostReport
+from repro.sat.formula import CNF, Clause
+from repro.sat.lookahead import rank_variables_by_lookahead
+from repro.sat.preprocessing import unit_propagate
+from repro.sat.solver import Solver, SolverBudget
+
+
+@dataclass
+class ScatteringConfig:
+    """Parameters of the scattering construction."""
+
+    #: Number of subproblems to produce.
+    num_subproblems: int = 8
+    #: ``"occurrences"`` or ``"lookahead"`` — how slice literals are chosen.
+    heuristic: str = "occurrences"
+    #: Polarity of the slice literals.
+    positive_literals: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_subproblems < 2:
+            raise ValueError("num_subproblems must be at least 2")
+        if self.heuristic not in ("occurrences", "lookahead"):
+            raise ValueError("heuristic must be 'occurrences' or 'lookahead'")
+
+
+@dataclass(frozen=True)
+class ScatteringPart:
+    """One subproblem of a scattering partitioning.
+
+    The subproblem is ``C`` extended with ``extra_clauses`` (the negations of
+    earlier slices) under the assumption literals ``slice_literals`` (this
+    part's own slice; empty for the final part).
+    """
+
+    index: int
+    slice_literals: tuple[int, ...]
+    extra_clauses: tuple[Clause, ...]
+
+    def formula(self, cnf: CNF) -> CNF:
+        """The part's formula: ``cnf`` plus the carried negation clauses."""
+        part = cnf.copy()
+        for clause in self.extra_clauses:
+            part.add_clause(clause)
+        return part
+
+    def __str__(self) -> str:
+        positive = " ∧ ".join(str(lit) for lit in self.slice_literals) or "⊤"
+        return f"part {self.index}: {len(self.extra_clauses)} negation clauses ∧ {positive}"
+
+
+@dataclass
+class ScatteringPartitioning:
+    """A scattering partitioning: ordered parts that are disjoint and exhaustive.
+
+    Validity holds by construction: part ``i`` asserts ``K_i`` while every later
+    part carries the clause ``¬K_i``, so two distinct parts are mutually
+    inconsistent, and the union of "``K_1``", "``¬K_1 ∧ K_2``", ...,
+    "``¬K_1 ∧ ... ∧ ¬K_{s-1}``" covers every assignment.
+    """
+
+    cnf: CNF
+    parts: list[ScatteringPart] = field(default_factory=list)
+    technique: str = "scattering"
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __iter__(self) -> Iterator[ScatteringPart]:
+        return iter(self.parts)
+
+    @property
+    def slice_sizes(self) -> list[int]:
+        """Number of slice literals per part (0 for the final remainder part)."""
+        return [len(part.slice_literals) for part in self.parts]
+
+    def coverage_fractions(self) -> list[float]:
+        """Nominal fraction of the assignment space each part covers."""
+        fractions: list[float] = []
+        remaining = 1.0
+        for part in self.parts[:-1]:
+            fraction = remaining * 2.0 ** (-len(part.slice_literals))
+            fractions.append(fraction)
+            remaining -= fraction
+        fractions.append(remaining)
+        return fractions
+
+    def pairwise_inconsistent(self) -> bool:
+        """Explicitly re-check the by-construction disjointness (used in tests)."""
+        for i, earlier in enumerate(self.parts):
+            if not earlier.slice_literals:
+                continue
+            negation = tuple(-lit for lit in earlier.slice_literals)
+            for later in self.parts[i + 1 :]:
+                if negation not in later.extra_clauses:
+                    return False
+        return True
+
+    def covers_formula(self, solver: Solver | None = None) -> bool:
+        """Check that every assignment belongs to some part.
+
+        Coverage is unconditional for a well-formed scattering: an assignment
+        belongs to the part of the *first* slice it satisfies, or to the final
+        remainder part when it satisfies none.  What can break it is a
+        malformed construction — a sliced part whose negation clause is missing
+        from every later part, or a final part that does not carry all the
+        negations — so that is what is verified structurally.  The ``solver``
+        argument is accepted for API symmetry with
+        :meth:`repro.partitioning.cubes.CubePartitioning.covers_formula` and is
+        not needed.
+        """
+        del solver  # structural check only; see the docstring
+        if self.parts[-1].slice_literals:
+            return False
+        expected: list[Clause] = []
+        for part in self.parts:
+            if tuple(part.extra_clauses) != tuple(expected):
+                return False
+            if part.slice_literals:
+                expected.append(tuple(-lit for lit in part.slice_literals))
+        return True
+
+    # ------------------------------------------------------------------- solving
+    def solve_all(
+        self,
+        solver: Solver,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+    ) -> PartitioningCostReport:
+        """Solve every part and record per-part costs."""
+        report = PartitioningCostReport(cost_measure=cost_measure)
+        start = time.perf_counter()
+        for part in self.parts:
+            result = solver.solve(
+                part.formula(self.cnf),
+                assumptions=list(part.slice_literals),
+                budget=budget,
+            )
+            report.costs.append(result.stats.cost(cost_measure))
+            report.statuses.append(result.status)
+            if stop_on_sat and result.is_sat:
+                break
+        report.wall_time = time.perf_counter() - start
+        return report
+
+    def summary(self) -> str:
+        """One-line description used by benchmarks."""
+        sizes = self.slice_sizes
+        return (
+            f"scattering: {len(self.parts)} parts, slice sizes "
+            f"{sizes} (fractions {[f'{f:.2f}' for f in self.coverage_fractions()]})"
+        )
+
+
+def _slice_sizes(num_subproblems: int) -> list[int]:
+    """Number of literals per slice so part ``i`` covers ~1/(s-i+1) of what remains."""
+    sizes: list[int] = []
+    for index in range(num_subproblems - 1):
+        remaining = num_subproblems - index
+        sizes.append(max(1, round(math.log2(remaining))))
+    return sizes
+
+
+def _ranked_variables(cnf: CNF, heuristic: str, exclude: set[int]) -> list[int]:
+    """Free variables of ``cnf`` ranked by the configured heuristic."""
+    if heuristic == "lookahead":
+        ranked = rank_variables_by_lookahead(cnf)
+    else:
+        counts: dict[int, int] = {}
+        for clause in cnf.clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        ranked = sorted(counts, key=lambda v: (-counts[v], v))
+    return [v for v in ranked if v not in exclude]
+
+
+def scattering_partitioning(
+    cnf: CNF, config: ScatteringConfig | None = None
+) -> ScatteringPartitioning:
+    """Build a scattering partitioning of ``cnf`` with ``config.num_subproblems`` parts."""
+    config = config or ScatteringConfig()
+    propagation = unit_propagate(cnf)
+    if propagation.conflict or propagation.simplified is None:
+        first_var = min(cnf.variables() or {1})
+        parts = [
+            ScatteringPart(index=0, slice_literals=(first_var,), extra_clauses=()),
+            ScatteringPart(index=1, slice_literals=(), extra_clauses=((-first_var,),)),
+        ]
+        return ScatteringPartitioning(cnf, parts)
+
+    simplified = propagation.simplified
+    exclude = set(propagation.fixed_variables)
+    ranked = _ranked_variables(simplified, config.heuristic, exclude)
+    if not ranked:
+        first_var = min(cnf.variables() or {1})
+        parts = [
+            ScatteringPart(index=0, slice_literals=(first_var,), extra_clauses=()),
+            ScatteringPart(index=1, slice_literals=(), extra_clauses=((-first_var,),)),
+        ]
+        return ScatteringPartitioning(cnf, parts)
+
+    # Degrade gracefully when the formula has fewer free variables than the
+    # requested fan-out needs (grid schedulers do the same: they produce as many
+    # parts as the formula supports).
+    num_subproblems = config.num_subproblems
+    sizes = _slice_sizes(num_subproblems)
+    while num_subproblems > 2 and sum(sizes) > len(ranked):
+        num_subproblems -= 1
+        sizes = _slice_sizes(num_subproblems)
+    sizes = sizes if sum(sizes) <= len(ranked) else [1] * min(len(ranked), num_subproblems - 1)
+
+    sign = 1 if config.positive_literals else -1
+    parts: list[ScatteringPart] = []
+    negation_clauses: list[Clause] = []
+    cursor = 0
+    for index, size in enumerate(sizes):
+        slice_literals = tuple(sign * var for var in ranked[cursor : cursor + size])
+        cursor += size
+        parts.append(
+            ScatteringPart(
+                index=index,
+                slice_literals=slice_literals,
+                extra_clauses=tuple(negation_clauses),
+            )
+        )
+        negation_clauses.append(tuple(-lit for lit in slice_literals))
+    parts.append(
+        ScatteringPart(
+            index=len(sizes),
+            slice_literals=(),
+            extra_clauses=tuple(negation_clauses),
+        )
+    )
+    return ScatteringPartitioning(cnf, parts)

@@ -1,0 +1,17 @@
+"""Cryptanalysis problem generation (keystream inversion as SAT)."""
+
+from repro.problems.inversion import (
+    InversionInstance,
+    make_instance_series,
+    make_inversion_instance,
+    make_random_keystream_instance,
+    weaken_instance,
+)
+
+__all__ = [
+    "InversionInstance",
+    "make_inversion_instance",
+    "make_instance_series",
+    "make_random_keystream_instance",
+    "weaken_instance",
+]

@@ -1,0 +1,260 @@
+"""Keystream-inversion SAT instances.
+
+An *inversion instance* for a keystream generator is the SAT question "which
+internal state produces this observed keystream fragment?".  This module turns
+a :class:`~repro.ciphers.keystream.KeystreamGenerator` plus a secret state into
+such an instance:
+
+* the generator circuit is Tseitin-encoded,
+* the keystream output variables are fixed to the observed bits,
+* the state variables (the paper's ``X̃_start``, a Strong UP Backdoor Set) are
+  recorded as the natural starting decomposition set,
+* optionally, some state variables are fixed to their true values — the paper's
+  *weakened* problems BiviumK / GrainK, where K trailing cells of the second
+  register are known.
+
+Instances remember the secret state so tests and experiments can verify
+recovered keys, but nothing in the solving pipeline reads it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ciphers.keystream import KeystreamGenerator
+from repro.encoder.encoding import Encoding
+from repro.sat.assignment import Assignment
+from repro.sat.formula import CNF
+
+
+@dataclass
+class InversionInstance:
+    """A keystream-inversion SAT instance with its metadata."""
+
+    generator: KeystreamGenerator
+    encoding: Encoding
+    cnf: CNF
+    keystream: list[int]
+    start_set: list[int]
+    register_vars: dict[str, list[int]] = field(default_factory=dict)
+    known_assignment: Assignment = field(default_factory=Assignment)
+    secret_state: list[int] | None = None
+    name: str = "inversion"
+
+    @property
+    def free_start_variables(self) -> list[int]:
+        """Start-set variables that are not fixed by the weakening."""
+        return [v for v in self.start_set if v not in self.known_assignment]
+
+    def state_from_model(self, model: dict[int, bool]) -> list[int]:
+        """Extract the recovered register state (flat bit list) from a SAT model."""
+        bits: list[int] = []
+        for name in self.generator.registers():
+            bits.extend(int(model[v]) for v in self.register_vars[name])
+        return bits
+
+    def verify_state(self, state: list[int]) -> bool:
+        """Check that ``state`` reproduces the observed keystream."""
+        produced = self.generator.keystream_from_state(state, len(self.keystream))
+        return produced == self.keystream
+
+    def summary(self) -> str:
+        """One-line description used by the CLI and benchmark reports."""
+        return (
+            f"{self.name}: {self.cnf.num_vars} vars, {self.cnf.num_clauses} clauses, "
+            f"|start set| = {len(self.start_set)}, known = {len(self.known_assignment)}, "
+            f"keystream = {len(self.keystream)} bits"
+        )
+
+
+def make_inversion_instance(
+    generator: KeystreamGenerator,
+    keystream_length: int | None = None,
+    seed: int = 0,
+    known_bits: int = 0,
+    known_register: str | None = None,
+    known_from_end: bool = True,
+    name: str | None = None,
+) -> InversionInstance:
+    """Build an inversion instance from a random secret state.
+
+    Parameters
+    ----------
+    generator:
+        The keystream generator under attack.
+    keystream_length:
+        Number of observed keystream bits (defaults to the generator's
+        :meth:`~repro.ciphers.keystream.KeystreamGenerator.default_keystream_length`).
+    seed:
+        Seed of the secret state (instances with different seeds form a series).
+    known_bits:
+        Number of state bits revealed to the attacker (the ``K`` of the paper's
+        weakened BiviumK / GrainK problems).  ``0`` gives the unweakened
+        problem.
+    known_register:
+        Which register the known bits come from.  Defaults to the *last*
+        declared register (for Bivium that is the second shift register, as in
+        the paper).
+    known_from_end:
+        Reveal the trailing cells of the chosen register (paper's convention)
+        rather than the leading ones.
+    """
+    length = keystream_length if keystream_length is not None else generator.default_keystream_length()
+    secret_state = generator.random_state(seed)
+    keystream = generator.keystream_from_state(secret_state, length)
+
+    encoding = generator.encode(length)
+    cnf = encoding.fix_group("keystream", keystream)
+
+    register_vars = {reg: encoding.vars_of_group(reg) for reg in generator.registers()}
+    start_set = [v for reg in generator.registers() for v in register_vars[reg]]
+
+    known = Assignment()
+    if known_bits:
+        split_state = generator.split_state(secret_state)
+        reg_names = list(generator.registers())
+        reg = known_register if known_register is not None else reg_names[-1]
+        if reg not in register_vars:
+            raise KeyError(f"unknown register {reg!r}")
+        reg_vars = register_vars[reg]
+        reg_bits = split_state[reg]
+        if known_bits > len(reg_vars):
+            raise ValueError(
+                f"register {reg!r} has only {len(reg_vars)} cells, cannot reveal {known_bits}"
+            )
+        if known_from_end:
+            chosen_vars = reg_vars[-known_bits:]
+            chosen_bits = reg_bits[-known_bits:]
+        else:
+            chosen_vars = reg_vars[:known_bits]
+            chosen_bits = reg_bits[:known_bits]
+        known = Assignment.from_bits(chosen_vars, chosen_bits)
+        cnf = cnf.with_unit_clauses(known.values)
+
+    instance_name = name or _default_name(generator, known_bits, seed)
+    return InversionInstance(
+        generator=generator,
+        encoding=encoding,
+        cnf=cnf,
+        keystream=list(keystream),
+        start_set=start_set,
+        register_vars=register_vars,
+        known_assignment=known,
+        secret_state=list(secret_state),
+        name=instance_name,
+    )
+
+
+def weaken_instance(instance: InversionInstance, known_bits: int, known_register: str | None = None) -> InversionInstance:
+    """Return a weakened copy of ``instance`` with ``known_bits`` revealed state bits.
+
+    The secret state, keystream and encoding are reused; only the unit clauses
+    revealing state bits change.  Revealing bits of an already-weakened
+    instance re-derives the weakening from scratch (it is not cumulative).
+    """
+    if instance.secret_state is None:
+        raise ValueError("cannot weaken an instance whose secret state is unknown")
+    generator = instance.generator
+    split_state = generator.split_state(instance.secret_state)
+    reg_names = list(generator.registers())
+    reg = known_register if known_register is not None else reg_names[-1]
+    reg_vars = instance.register_vars[reg]
+    reg_bits = split_state[reg]
+    if known_bits > len(reg_vars):
+        raise ValueError(
+            f"register {reg!r} has only {len(reg_vars)} cells, cannot reveal {known_bits}"
+        )
+    chosen_vars = reg_vars[-known_bits:] if known_bits else []
+    chosen_bits = reg_bits[-known_bits:] if known_bits else []
+    known = Assignment.from_bits(chosen_vars, chosen_bits)
+    cnf = instance.encoding.fix_group("keystream", instance.keystream)
+    cnf = cnf.with_unit_clauses(known.values)
+    return InversionInstance(
+        generator=generator,
+        encoding=instance.encoding,
+        cnf=cnf,
+        keystream=list(instance.keystream),
+        start_set=list(instance.start_set),
+        register_vars=dict(instance.register_vars),
+        known_assignment=known,
+        secret_state=list(instance.secret_state),
+        name=f"{instance.name} [K={known_bits}]",
+    )
+
+
+def make_random_keystream_instance(
+    generator: KeystreamGenerator,
+    keystream_length: int | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> InversionInstance:
+    """Build an inversion instance for a *uniformly random* keystream fragment.
+
+    Unlike :func:`make_inversion_instance`, the keystream is not produced by any
+    secret state, so when the fragment is longer than the generator's state the
+    instance is unsatisfiable with overwhelming probability.  This is the
+    "wrong key guess" regime that dominates the work of processing a
+    decomposition family, and the natural input for experiments that need a
+    hard refutation (e.g. the portfolio-vs-partitioning comparison).
+    ``secret_state`` is ``None`` on the returned instance.
+    """
+    length = keystream_length if keystream_length is not None else generator.default_keystream_length()
+    rng = random.Random(seed)
+    keystream = [rng.randint(0, 1) for _ in range(length)]
+
+    encoding = generator.encode(length)
+    cnf = encoding.fix_group("keystream", keystream)
+    register_vars = {reg: encoding.vars_of_group(reg) for reg in generator.registers()}
+    start_set = [v for reg in generator.registers() for v in register_vars[reg]]
+    instance_name = name or f"{_default_name(generator, 0, seed)} (random keystream)"
+    return InversionInstance(
+        generator=generator,
+        encoding=encoding,
+        cnf=cnf,
+        keystream=keystream,
+        start_set=start_set,
+        register_vars=register_vars,
+        known_assignment=Assignment(),
+        secret_state=None,
+        name=instance_name,
+    )
+
+
+def make_instance_series(
+    generator: KeystreamGenerator,
+    count: int,
+    keystream_length: int | None = None,
+    known_bits: int = 0,
+    first_seed: int = 0,
+) -> list[InversionInstance]:
+    """Build ``count`` instances differing only in the secret state.
+
+    This mirrors the paper's protocol of solving three instances per weakened
+    problem (Table 3): the decomposition set is searched on instance 1 and then
+    reused for the whole series.
+    """
+    return [
+        make_inversion_instance(
+            generator,
+            keystream_length=keystream_length,
+            seed=first_seed + i,
+            known_bits=known_bits,
+            name=f"{_default_name(generator, known_bits, first_seed + i)} (inst. {i + 1})",
+        )
+        for i in range(count)
+    ]
+
+
+def _default_name(
+    generator: KeystreamGenerator,
+    known_bits: int,
+    seed: int | None,
+    base: str | None = None,
+) -> str:
+    stem = base or generator.name
+    if known_bits:
+        stem = f"{stem}{known_bits}"
+    if seed is not None:
+        stem = f"{stem} seed={seed}"
+    return stem

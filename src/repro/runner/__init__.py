@@ -1,0 +1,34 @@
+"""Parallel processing of decomposition families.
+
+The paper processed decomposition families on an MPI cluster (PDSAT) and in the
+SAT@home volunteer project.  This subpackage provides the local analogues:
+
+* :mod:`repro.runner.cluster` — a *simulated* cluster: given the measured
+  per-sub-problem costs, compute the makespan on ``M`` virtual cores under a
+  dynamic (FIFO work-queue) or LPT scheduler.  This is how the "480 cores"
+  columns of Table 3 are reproduced without 480 physical cores.
+* :mod:`repro.runner.volunteer` — a *simulated* BOINC-style volunteer grid
+  (heterogeneous, intermittently available, replicated hosts), the analogue of
+  SAT@home used to reproduce the Section 4.2 experiments.
+* :mod:`repro.runner.pool` — a real ``multiprocessing`` pool for actually
+  solving many sub-problems in parallel on the local machine.
+"""
+
+from repro.runner.cluster import ClusterSimulation, simulate_makespan
+from repro.runner.pool import solve_family_parallel
+from repro.runner.volunteer import (
+    VolunteerGridConfig,
+    VolunteerHost,
+    VolunteerSimulation,
+    simulate_volunteer_grid,
+)
+
+__all__ = [
+    "ClusterSimulation",
+    "simulate_makespan",
+    "solve_family_parallel",
+    "VolunteerGridConfig",
+    "VolunteerHost",
+    "VolunteerSimulation",
+    "simulate_volunteer_grid",
+]

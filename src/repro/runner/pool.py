@@ -1,0 +1,83 @@
+"""Real parallel solving of decomposition families with ``multiprocessing``.
+
+The simulated cluster (:mod:`repro.runner.cluster`) is what the benchmarks use
+— it is deterministic and does not depend on the local core count — but users
+who want to actually burn their cores on a family can use
+:func:`solve_family_parallel`.  Workers receive the CNF once (via the process
+fork / pickling) and solve one assumption vector per task, exactly like PDSAT's
+computing processes receive sub-problems from the leader.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.sat.cdcl import CDCLConfig, CDCLSolver
+from repro.sat.formula import CNF
+from repro.sat.solver import SolverStatus
+
+
+@dataclass
+class ParallelSolveOutcome:
+    """Outcome of solving one sub-problem in a worker process."""
+
+    assumptions: tuple[int, ...]
+    status: SolverStatus
+    cost: float
+    wall_time: float
+    model: dict[int, bool] | None = None
+
+
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _init_worker(cnf: CNF, cost_measure: str, keep_models: bool) -> None:
+    _WORKER_STATE["cnf"] = cnf
+    _WORKER_STATE["cost_measure"] = cost_measure
+    _WORKER_STATE["keep_models"] = keep_models
+    _WORKER_STATE["solver"] = CDCLSolver(CDCLConfig())
+
+
+def _solve_one(assumptions: tuple[int, ...]) -> ParallelSolveOutcome:
+    cnf: CNF = _WORKER_STATE["cnf"]  # type: ignore[assignment]
+    solver: CDCLSolver = _WORKER_STATE["solver"]  # type: ignore[assignment]
+    cost_measure: str = _WORKER_STATE["cost_measure"]  # type: ignore[assignment]
+    keep_models: bool = _WORKER_STATE["keep_models"]  # type: ignore[assignment]
+    result = solver.solve(cnf, assumptions=list(assumptions))
+    return ParallelSolveOutcome(
+        assumptions=tuple(assumptions),
+        status=result.status,
+        cost=result.stats.cost(cost_measure),
+        wall_time=result.stats.wall_time,
+        model=result.model if (keep_models and result.is_sat) else None,
+    )
+
+
+def solve_family_parallel(
+    cnf: CNF,
+    assumption_vectors: Sequence[Sequence[int]],
+    processes: int | None = None,
+    cost_measure: str = "propagations",
+    keep_models: bool = True,
+) -> list[ParallelSolveOutcome]:
+    """Solve ``cnf`` under each assumption vector using a process pool.
+
+    Results are returned in the order of ``assumption_vectors``.  With
+    ``processes=1`` everything runs in the calling process (useful in tests and
+    on platforms where spawning is expensive).
+    """
+    tasks = [tuple(int(lit) for lit in vec) for vec in assumption_vectors]
+    if processes is not None and processes < 1:
+        raise ValueError("processes must be at least 1")
+    if processes == 1 or len(tasks) <= 1:
+        _init_worker(cnf, cost_measure, keep_models)
+        return [_solve_one(task) for task in tasks]
+
+    with multiprocessing.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(cnf, cost_measure, keep_models),
+    ) as pool:
+        return pool.map(_solve_one, tasks)

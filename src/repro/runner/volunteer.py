@@ -1,0 +1,236 @@
+"""A BOINC-style volunteer-computing grid simulation (the SAT@home substrate).
+
+Section 4.2 of the paper solves ten A5/1 cryptanalysis instances in the
+volunteer computing project SAT@home over about five months at an average
+throughput of roughly two teraflops.  A volunteer grid differs from a dedicated
+cluster in three ways that matter for processing a decomposition family:
+
+* hosts are **heterogeneous** — their speeds span an order of magnitude;
+* hosts are **unreliable** — they are only intermittently available and some
+  work units are never returned, so the server re-issues them after a deadline;
+* work units are **replicated** — each is sent to several hosts and accepted
+  once a quorum of results agrees (BOINC's standard validation).
+
+:func:`simulate_volunteer_grid` is a discrete-event simulation of exactly that
+pull-style scheduling, driven by the measured per-sub-problem costs of a
+decomposition family.  It produces campaign duration, effective throughput and
+overhead factors that can be compared against the dedicated-cluster makespan of
+:func:`repro.runner.cluster.simulate_makespan` — the reproduction of the
+paper's "cluster vs. SAT@home" experiment pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VolunteerGridConfig:
+    """Parameters of the simulated volunteer grid."""
+
+    #: Number of volunteer hosts attached to the project.
+    num_hosts: int = 100
+    #: Mean host speed relative to the reference core that measured the costs.
+    mean_speed: float = 1.0
+    #: Spread of host speeds (log-uniform in [mean/spread, mean*spread]).
+    speed_spread: float = 3.0
+    #: Fraction of wall-clock time a host is actually crunching (duty cycle).
+    availability: float = 0.4
+    #: Probability that a dispatched work unit is never returned by the host.
+    failure_rate: float = 0.1
+    #: How many copies of each work unit are dispatched (BOINC replication).
+    redundancy: int = 2
+    #: How many returned results are needed to accept a work unit.
+    quorum: int = 1
+    #: Work-unit deadline, as a multiple of the mean work-unit cost; results
+    #: later than this are treated as lost and the work unit is re-issued.
+    deadline_factor: float = 20.0
+    #: Seed of the grid's randomness (host speeds, failures).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1:
+            raise ValueError("num_hosts must be at least 1")
+        if self.mean_speed <= 0:
+            raise ValueError("mean_speed must be positive")
+        if self.speed_spread < 1.0:
+            raise ValueError("speed_spread must be at least 1")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        if self.redundancy < 1:
+            raise ValueError("redundancy must be at least 1")
+        if not 1 <= self.quorum <= self.redundancy:
+            raise ValueError("quorum must be between 1 and redundancy")
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+
+
+@dataclass
+class VolunteerHost:
+    """One volunteer machine."""
+
+    host_id: int
+    speed: float
+    availability: float
+
+    def effective_rate(self) -> float:
+        """Work units of cost per unit of wall-clock time this host delivers."""
+        return self.speed * self.availability
+
+
+@dataclass
+class VolunteerSimulation:
+    """Outcome of a volunteer-grid campaign over one decomposition family."""
+
+    campaign_duration: float
+    total_work: float
+    dispatched_results: int
+    lost_results: int
+    reissued_work_units: int
+    host_count: int
+    config: VolunteerGridConfig
+    completed_at: list[float] = field(default_factory=list)
+
+    @property
+    def effective_throughput(self) -> float:
+        """Average useful work per unit of wall-clock time over the campaign."""
+        if self.campaign_duration == 0:
+            return float("inf")
+        return self.total_work / self.campaign_duration
+
+    @property
+    def replication_overhead(self) -> float:
+        """Dispatched results per work unit (≥ redundancy; grows with re-issues)."""
+        work_units = len(self.completed_at) or 1
+        return self.dispatched_results / work_units
+
+    def summary(self) -> str:
+        """One-line report used by the benchmark and examples."""
+        return (
+            f"volunteer grid: {self.host_count} hosts, campaign {self.campaign_duration:.3g}, "
+            f"throughput {self.effective_throughput:.3g}, "
+            f"overhead ×{self.replication_overhead:.2f}, {self.reissued_work_units} re-issues"
+        )
+
+
+def _build_hosts(config: VolunteerGridConfig, rng: random.Random) -> list[VolunteerHost]:
+    """Draw the host population (log-uniform speeds, configured duty cycle)."""
+    hosts = []
+    for host_id in range(config.num_hosts):
+        exponent = rng.uniform(-1.0, 1.0)
+        speed = config.mean_speed * (config.speed_spread**exponent)
+        hosts.append(VolunteerHost(host_id=host_id, speed=speed, availability=config.availability))
+    return hosts
+
+
+def simulate_volunteer_grid(
+    costs: Sequence[float],
+    config: VolunteerGridConfig | None = None,
+) -> VolunteerSimulation:
+    """Simulate processing one work unit per cost value on a volunteer grid.
+
+    ``costs`` are per-sub-problem costs measured on the reference core (the
+    same inputs :func:`repro.runner.cluster.simulate_makespan` takes).  The
+    simulation is a discrete-event loop over host-completion events: idle hosts
+    pull the next pending work-unit copy, results arrive after
+    ``cost / (speed · availability)``, lost results are re-issued after the
+    deadline.  The campaign ends when every work unit has reached its quorum.
+    """
+    config = config or VolunteerGridConfig()
+    jobs = [float(c) for c in costs]
+    if not jobs:
+        raise ValueError("costs must not be empty")
+    if any(cost < 0 for cost in jobs):
+        raise ValueError("job costs must be non-negative")
+
+    rng = random.Random(config.seed)
+    hosts = _build_hosts(config, rng)
+    mean_cost = sum(jobs) / len(jobs)
+    deadline = config.deadline_factor * max(mean_cost, 1e-12)
+
+    # Server-side state per work unit.
+    successes = [0] * len(jobs)
+    outstanding = [0] * len(jobs)
+    completed = [False] * len(jobs)
+    completed_at = [0.0] * len(jobs)
+    pending: list[int] = []
+    for index in range(len(jobs)):
+        pending.extend([index] * config.redundancy)
+        outstanding[index] = config.redundancy
+
+    dispatched = 0
+    lost = 0
+    reissued = 0
+    remaining = len(jobs)
+
+    #: Event queue of (time, host_index) host-becomes-idle events.
+    events: list[tuple[float, int]] = [(0.0, host.host_id) for host in hosts]
+    heapq.heapify(events)
+    #: Per-host in-flight work: (work unit index, will_succeed, finish_time).
+    in_flight: dict[int, tuple[int, bool, float]] = {}
+    now = 0.0
+
+    def next_pending_index() -> int | None:
+        while pending:
+            index = pending.pop(0)
+            if not completed[index]:
+                return index
+            outstanding[index] -= 1
+        return None
+
+    while remaining > 0 and events:
+        now, host_id = heapq.heappop(events)
+        host = hosts[host_id]
+
+        # Deliver the host's previous result, if any.
+        if host_id in in_flight:
+            index, success, _finish = in_flight.pop(host_id)
+            outstanding[index] -= 1
+            if success and not completed[index]:
+                successes[index] += 1
+                if successes[index] >= config.quorum:
+                    completed[index] = True
+                    completed_at[index] = now
+                    remaining -= 1
+            elif not success:
+                lost += 1
+            if not completed[index] and successes[index] + outstanding[index] < config.quorum:
+                # Not enough copies still in the field: re-issue.
+                pending.append(index)
+                outstanding[index] += 1
+                reissued += 1
+
+        if remaining == 0:
+            break
+
+        # The host asks the server for new work (BOINC pull model).
+        index = next_pending_index()
+        if index is None:
+            # Nothing to hand out right now: the host checks back one deadline later.
+            if any(not done for done in completed):
+                heapq.heappush(events, (now + deadline * 0.1, host_id))
+            continue
+        dispatched += 1
+        will_succeed = rng.random() >= config.failure_rate
+        duration = jobs[index] / max(host.effective_rate(), 1e-12)
+        if not will_succeed:
+            duration = deadline  # the server only notices at the deadline
+        in_flight[host_id] = (index, will_succeed, now + duration)
+        heapq.heappush(events, (now + duration, host_id))
+
+    campaign = max((t for t, done in zip(completed_at, completed) if done), default=now)
+    return VolunteerSimulation(
+        campaign_duration=campaign,
+        total_work=sum(jobs),
+        dispatched_results=dispatched,
+        lost_results=lost,
+        reissued_work_units=reissued,
+        host_count=config.num_hosts,
+        config=config,
+        completed_at=[t for t, done in zip(completed_at, completed) if done],
+    )

@@ -1,0 +1,118 @@
+"""Assignments (models) over Boolean variables.
+
+An :class:`Assignment` is a thin wrapper over ``dict[int, bool]`` with helpers
+for the operations the partitioning machinery needs: conversion to unit
+clauses, restriction to a variable subset, bit-tuple round trips (the paper's
+``α ∈ {0,1}^d`` vectors) and pretty printing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Assignment:
+    """A (partial or total) assignment of Boolean variables."""
+
+    values: dict[int, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for var in self.values:
+            if var <= 0:
+                raise ValueError(f"variables must be positive, got {var}")
+
+    # -------------------------------------------------------------- factories
+    @classmethod
+    def from_literals(cls, literals: Iterable[int]) -> "Assignment":
+        """Build an assignment from signed literals (``+v`` -> True, ``-v`` -> False)."""
+        values: dict[int, bool] = {}
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            var = abs(lit)
+            value = lit > 0
+            if var in values and values[var] != value:
+                raise ValueError(f"conflicting literals for variable {var}")
+            values[var] = value
+        return cls(values)
+
+    @classmethod
+    def from_bits(cls, variables: Sequence[int], bits: Sequence[int | bool]) -> "Assignment":
+        """Build an assignment that maps ``variables[i]`` to ``bool(bits[i])``.
+
+        This is the paper's ``X̃ / (α_1, ..., α_d)`` substitution.
+        """
+        if len(variables) != len(bits):
+            raise ValueError(
+                f"got {len(variables)} variables but {len(bits)} bits"
+            )
+        return cls({var: bool(bit) for var, bit in zip(variables, bits)})
+
+    @classmethod
+    def from_model(cls, model: Sequence[bool]) -> "Assignment":
+        """Build a total assignment from a model indexed by ``var - 1``."""
+        return cls({i + 1: bool(v) for i, v in enumerate(model)})
+
+    # ------------------------------------------------------------------ views
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+    def __contains__(self, var: int) -> bool:
+        return var in self.values
+
+    def __getitem__(self, var: int) -> bool:
+        return self.values[var]
+
+    def get(self, var: int, default: bool | None = None) -> bool | None:
+        """Value of ``var`` or ``default`` when unassigned."""
+        return self.values.get(var, default)
+
+    def items(self):
+        """Iterate over ``(var, value)`` pairs."""
+        return self.values.items()
+
+    def variables(self) -> list[int]:
+        """Sorted list of assigned variables."""
+        return sorted(self.values)
+
+    # ------------------------------------------------------------ conversions
+    def to_literals(self) -> list[int]:
+        """Signed-literal view, sorted by variable index."""
+        return [var if value else -var for var, value in sorted(self.values.items())]
+
+    def to_unit_clauses(self) -> list[tuple[int]]:
+        """Unit clauses encoding the assignment (for CDCL assumptions/decomposition)."""
+        return [(lit,) for lit in self.to_literals()]
+
+    def bits_for(self, variables: Sequence[int]) -> tuple[int, ...]:
+        """Project onto ``variables`` and return the 0/1 tuple (paper's α vector)."""
+        try:
+            return tuple(int(self.values[var]) for var in variables)
+        except KeyError as exc:
+            raise KeyError(f"variable {exc.args[0]} is not assigned") from exc
+
+    def restrict(self, variables: Iterable[int]) -> "Assignment":
+        """Restriction of the assignment to the given variable subset."""
+        keep = set(variables)
+        return Assignment({var: val for var, val in self.values.items() if var in keep})
+
+    def update(self, other: Mapping[int, bool] | "Assignment") -> "Assignment":
+        """Return a new assignment extended/overridden by ``other``."""
+        merged = dict(self.values)
+        items = other.items() if isinstance(other, Assignment) else other.items()
+        for var, value in items:
+            merged[int(var)] = bool(value)
+        return Assignment(merged)
+
+    def agrees_with(self, other: "Assignment") -> bool:
+        """True when the two assignments assign no variable opposite values."""
+        small, big = (self, other) if len(self) <= len(other) else (other, self)
+        return all(big.get(var, val) == val for var, val in small.items())
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(f"{v}={int(b)}" for v, b in sorted(self.values.items())) + "}"

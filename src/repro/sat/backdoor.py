@@ -1,0 +1,137 @@
+"""Strong Unit-Propagation Backdoor Sets (SUPBS).
+
+A set of variables ``B`` is a *Strong Unit-Propagation Backdoor Set* for a CNF
+``C`` when, for every assignment of ``B``, unit propagation alone decides the
+residual formula (either derives a conflict or satisfies every clause).  The
+paper (Section 3) uses the circuit-input variables of the encoded function as a
+SUPBS: substituting them makes every sub-problem trivially solvable by the CDCL
+preprocessing, and that set is the natural *starting point* ``X̃_start`` of the
+predictive-function minimisation as well as the reduced search space ``2^X̃_in``.
+
+For the scaled ciphers in this library the input/state variables do form a
+SUPBS (the encoding is a Tseitin translation of a circuit whose gates are
+functionally determined by their inputs), and the verifier below checks that
+property exhaustively for small sets or by sampling for larger ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.sat.formula import CNF
+from repro.sat.preprocessing import unit_propagate
+
+
+@dataclass
+class BackdoorCheckResult:
+    """Result of a (possibly sampled) SUPBS verification."""
+
+    is_backdoor: bool
+    checked_assignments: int
+    counterexample: dict[int, bool] | None = None
+
+
+def _decided_by_up(cnf: CNF, assignment: dict[int, bool]) -> bool:
+    """True when unit propagation from ``assignment`` decides the formula."""
+    result = unit_propagate(cnf, assignment)
+    if result.conflict:
+        return True
+    assert result.simplified is not None
+    return result.simplified.num_clauses == 0
+
+
+def is_strong_up_backdoor(
+    cnf: CNF,
+    variables: Sequence[int],
+    max_assignments: int | None = 4096,
+    seed: int = 0,
+) -> BackdoorCheckResult:
+    """Check whether ``variables`` is a Strong UP Backdoor Set of ``cnf``.
+
+    When ``2^|variables|`` exceeds ``max_assignments`` the check samples that
+    many random assignments instead of enumerating all of them; a sampled check
+    can only certify failure (via a counterexample), success is then "no
+    counterexample found among the sampled assignments".
+
+    Set ``max_assignments=None`` to force exhaustive checking.
+    """
+    variables = list(variables)
+    d = len(variables)
+    exhaustive = max_assignments is None or (d <= 30 and 2**d <= max_assignments)
+
+    if exhaustive:
+        assignments_iter = (
+            dict(zip(variables, bits)) for bits in itertools.product([False, True], repeat=d)
+        )
+        total = 2**d
+    else:
+        rng = random.Random(seed)
+        total = int(max_assignments)
+
+        def _sampled():
+            for _ in range(total):
+                yield {v: rng.random() < 0.5 for v in variables}
+
+        assignments_iter = _sampled()
+
+    checked = 0
+    for assignment in assignments_iter:
+        checked += 1
+        if not _decided_by_up(cnf, assignment):
+            return BackdoorCheckResult(False, checked, counterexample=assignment)
+    return BackdoorCheckResult(True, checked)
+
+
+def greedy_backdoor_extension(
+    cnf: CNF,
+    seed_variables: Sequence[int],
+    candidate_variables: Sequence[int] | None = None,
+    max_size: int | None = None,
+    samples_per_check: int = 64,
+    seed: int = 0,
+) -> list[int]:
+    """Greedily grow ``seed_variables`` towards a (sampled) SUPBS.
+
+    At each step the candidate variable whose addition maximises the fraction of
+    sampled assignments decided by unit propagation is added, until either every
+    sampled assignment is decided or ``max_size`` is reached.  This is a cheap
+    constructive heuristic used when the natural circuit-input set is not known
+    (e.g. for DIMACS instances supplied by the user).
+    """
+    rng = random.Random(seed)
+    current = list(dict.fromkeys(seed_variables))
+    candidates = [
+        v for v in (candidate_variables or sorted(cnf.variables())) if v not in current
+    ]
+    limit = max_size if max_size is not None else cnf.num_vars
+
+    def decided_fraction(variables: list[int]) -> float:
+        if not variables:
+            return 0.0
+        hits = 0
+        for _ in range(samples_per_check):
+            assignment = {v: rng.random() < 0.5 for v in variables}
+            if _decided_by_up(cnf, assignment):
+                hits += 1
+        return hits / samples_per_check
+
+    while len(current) < limit:
+        if decided_fraction(current) == 1.0:
+            break
+        best_var = None
+        best_score = -1.0
+        for var in candidates:
+            score = decided_fraction(current + [var])
+            if score > best_score:
+                best_score = score
+                best_var = var
+        if best_var is None:
+            break
+        current.append(best_var)
+        candidates.remove(best_var)
+        if best_score == 1.0:
+            break
+    return current

@@ -1,0 +1,13 @@
+"""Conflict-Driven Clause Learning solver.
+
+This is the library's stand-in for MiniSat: a complete, deterministic CDCL
+solver with two-watched-literal propagation, first-UIP clause learning, VSIDS
+branching, phase saving, Luby restarts and activity-based learned-clause
+deletion.  It reports per-run work counters and per-variable conflict activity,
+both of which the partitioning search in :mod:`repro.core` relies on.
+"""
+
+from repro.sat.cdcl.luby import luby
+from repro.sat.cdcl.solver import CDCLConfig, CDCLSolver
+
+__all__ = ["CDCLSolver", "CDCLConfig", "luby"]

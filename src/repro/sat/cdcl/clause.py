@@ -1,0 +1,32 @@
+"""Internal clause representation used by the CDCL solver.
+
+A :class:`WatchedClause` is mutable: the watched-literal scheme reorders the
+literal list so that the two watched literals always sit at positions 0 and 1.
+Learned clauses additionally carry an activity score used by the clause-database
+reduction heuristic (clauses that participate in recent conflict analyses are
+kept, stale ones are removed).
+"""
+
+from __future__ import annotations
+
+
+class WatchedClause:
+    """A clause as stored inside :class:`~repro.sat.cdcl.solver.CDCLSolver`."""
+
+    __slots__ = ("lits", "learnt", "activity", "lbd")
+
+    def __init__(self, lits: list[int], learnt: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = lbd
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __iter__(self):
+        return iter(self.lits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "learnt" if self.learnt else "problem"
+        return f"WatchedClause({self.lits}, {kind})"

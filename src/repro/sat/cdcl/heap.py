@@ -1,0 +1,109 @@
+"""Indexed max-heap ordered by variable activity (the VSIDS order heap).
+
+MiniSat keeps undecided variables in a binary heap keyed by their activity so
+that the next branching variable can be extracted in ``O(log n)`` and activity
+bumps can percolate the variable up in ``O(log n)``.  This module is a direct
+Python port of that data structure: an array-based binary heap with an
+``indices`` side table so membership tests and ``decrease``/``increase`` key
+operations are constant / logarithmic time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class ActivityHeap:
+    """Max-heap of variable indices keyed by an external activity array."""
+
+    def __init__(self, activity: list[float]):
+        # ``activity`` is shared with the solver and indexed by variable (1-based);
+        # index 0 is unused padding.
+        self._activity = activity
+        self._heap: list[int] = []
+        self._indices: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._indices
+
+    def is_empty(self) -> bool:
+        """True when no variable is queued."""
+        return not self._heap
+
+    # ------------------------------------------------------------------ heap ops
+    def _less(self, a: int, b: int) -> bool:
+        # Max-heap on activity; ties broken by smaller variable index for determinism.
+        act = self._activity
+        if act[a] != act[b]:
+            return act[a] > act[b]
+        return a < b
+
+    def _swap(self, i: int, j: int) -> None:
+        heap = self._heap
+        heap[i], heap[j] = heap[j], heap[i]
+        self._indices[heap[i]] = i
+        self._indices[heap[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        heap = self._heap
+        while i > 0:
+            parent = (i - 1) >> 1
+            if self._less(heap[i], heap[parent]):
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        heap = self._heap
+        size = len(heap)
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            best = i
+            if left < size and self._less(heap[left], heap[best]):
+                best = left
+            if right < size and self._less(heap[right], heap[best]):
+                best = right
+            if best == i:
+                break
+            self._swap(i, best)
+            i = best
+
+    # ------------------------------------------------------------------ public
+    def push(self, var: int) -> None:
+        """Insert a variable (no-op when already present)."""
+        if var in self._indices:
+            return
+        self._heap.append(var)
+        self._indices[var] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self) -> int:
+        """Remove and return the variable with the highest activity."""
+        if not self._heap:
+            raise IndexError("pop from an empty ActivityHeap")
+        top = self._heap[0]
+        last = self._heap.pop()
+        del self._indices[top]
+        if self._heap:
+            self._heap[0] = last
+            self._indices[last] = 0
+            self._sift_down(0)
+        return top
+
+    def update(self, var: int) -> None:
+        """Restore the heap property after ``var``'s activity increased."""
+        idx = self._indices.get(var)
+        if idx is not None:
+            self._sift_up(idx)
+
+    def rebuild(self, variables: Iterable[int]) -> None:
+        """Rebuild the heap from scratch over ``variables`` (used after rescaling)."""
+        self._heap = list(variables)
+        self._indices = {var: i for i, var in enumerate(self._heap)}
+        for i in range(len(self._heap) // 2 - 1, -1, -1):
+            self._sift_down(i)

@@ -1,0 +1,35 @@
+"""The Luby restart sequence.
+
+The Luby sequence ``1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...`` is the standard
+universal restart strategy used by MiniSat-family solvers.  ``luby(i)`` returns
+the ``i``-th element (1-based); solvers multiply it by a base interval to get
+the number of conflicts allowed before the next restart.
+"""
+
+from __future__ import annotations
+
+
+def luby(i: int) -> int:
+    """Return the ``i``-th element of the Luby sequence (``i`` >= 1).
+
+    Uses the classical closed-form recurrence: if ``i = 2^k - 1`` the value is
+    ``2^(k-1)``; otherwise recurse on ``i - 2^(k-1) + 1`` for the largest ``k``
+    with ``2^(k-1) - 1 < i``.
+    """
+    if i < 1:
+        raise ValueError("Luby sequence is defined for i >= 1")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+def luby_sequence(length: int) -> list[int]:
+    """Return the first ``length`` elements of the Luby sequence."""
+    return [luby(i) for i in range(1, length + 1)]

@@ -1,0 +1,111 @@
+"""DIMACS CNF reader and writer.
+
+The DIMACS format is the lingua franca of SAT solving; supporting it lets the
+library exchange instances with external tools (and lets users feed their own
+instances into the partitioning search).  The parser is forgiving about the
+quirks found in the wild: missing or inconsistent ``p cnf`` headers, clauses
+spanning several lines, ``%``-terminated files produced by some generators.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.sat.formula import CNF
+
+
+class DimacsError(ValueError):
+    """Raised when a DIMACS document cannot be parsed."""
+
+
+def parse_dimacs(text: str, strict: bool = False) -> CNF:
+    """Parse DIMACS CNF from a string.
+
+    Parameters
+    ----------
+    text:
+        The DIMACS document.
+    strict:
+        When true, require a ``p cnf`` header and verify that the declared
+        number of variables and clauses matches the content.
+    """
+    comments: list[str] = []
+    clauses: list[tuple[int, ...]] = []
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    current: list[int] = []
+
+    for raw_line in io.StringIO(text):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            comments.append(line[1:].strip())
+            continue
+        if line.startswith("%"):
+            break
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise DimacsError(f"malformed problem line: {line!r}")
+            try:
+                declared_vars = int(fields[2])
+                declared_clauses = int(fields[3])
+            except ValueError as exc:
+                raise DimacsError(f"malformed problem line: {line!r}") from exc
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"unexpected token {token!r}") from exc
+            if lit == 0:
+                clauses.append(tuple(current))
+                current = []
+            else:
+                current.append(lit)
+
+    if current:
+        # Clause without trailing 0 — accept it unless strict.
+        if strict:
+            raise DimacsError("last clause is missing its terminating 0")
+        clauses.append(tuple(current))
+
+    if strict:
+        if declared_vars is None or declared_clauses is None:
+            raise DimacsError("missing 'p cnf' header")
+        if declared_clauses != len(clauses):
+            raise DimacsError(
+                f"header declares {declared_clauses} clauses but {len(clauses)} were found"
+            )
+        max_var = max((abs(l) for clause in clauses for l in clause), default=0)
+        if max_var > declared_vars:
+            raise DimacsError(
+                f"header declares {declared_vars} variables but variable {max_var} is used"
+            )
+
+    num_vars = declared_vars or 0
+    return CNF(clauses, num_vars=num_vars, comments=comments)
+
+
+def parse_dimacs_file(path: str | Path, strict: bool = False) -> CNF:
+    """Parse a DIMACS CNF file from disk."""
+    return parse_dimacs(Path(path).read_text(), strict=strict)
+
+
+def write_dimacs(cnf: CNF, include_comments: bool = True) -> str:
+    """Serialise a CNF to a DIMACS string."""
+    lines: list[str] = []
+    if include_comments:
+        for comment in cnf.comments:
+            lines.append(f"c {comment}")
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_file(cnf: CNF, path: str | Path, include_comments: bool = True) -> None:
+    """Write a CNF to a DIMACS file."""
+    Path(path).write_text(write_dimacs(cnf, include_comments=include_comments))

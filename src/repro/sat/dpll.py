@@ -1,0 +1,162 @@
+"""A plain DPLL solver (baseline).
+
+The Davis–Putnam–Logemann–Loveland procedure with unit propagation, pure
+literal elimination and a most-occurrences branching rule.  It is orders of
+magnitude slower than the CDCL solver on structured instances but is easy to
+audit, which makes it the reference implementation against which the CDCL
+solver is cross-checked in the test suite, and a secondary choice of the
+algorithm ``A`` in ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.sat.formula import CNF, normalize_clause
+from repro.sat.solver import SolveResult, SolverBudget, SolverStats, SolverStatus
+
+
+class BudgetExhausted(Exception):
+    """Internal control-flow exception raised when the budget is spent."""
+
+
+class DPLLSolver:
+    """Recursive DPLL solver implementing the :class:`repro.sat.solver.Solver` protocol."""
+
+    def __init__(self, use_pure_literals: bool = True):
+        self.use_pure_literals = use_pure_literals
+
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        budget: SolverBudget | None = None,
+    ) -> SolveResult:
+        """Solve ``cnf`` under ``assumptions``; see :class:`repro.sat.solver.Solver`."""
+        start = time.perf_counter()
+        self._budget = budget or SolverBudget()
+        self._stats = SolverStats()
+        self._start_time = start
+        self._num_vars = cnf.num_vars
+
+        clauses: list[tuple[int, ...]] = []
+        ok = True
+        for clause in cnf.clauses:
+            norm = normalize_clause(clause)
+            if norm is None:
+                continue
+            if not norm:
+                ok = False
+                break
+            clauses.append(norm)
+        for lit in assumptions:
+            clauses.append((lit,))
+
+        status = SolverStatus.UNSAT
+        model: dict[int, bool] | None = None
+        if ok:
+            try:
+                found = self._dpll(clauses, {})
+            except BudgetExhausted:
+                found = None
+            if found is None:
+                status = SolverStatus.UNKNOWN
+            elif found:
+                status = SolverStatus.SAT
+                model = dict(self._model)
+                for var in range(1, self._num_vars + 1):
+                    model.setdefault(var, False)
+        self._stats.wall_time = time.perf_counter() - start
+        return SolveResult(status=status, model=model, stats=self._stats)
+
+    # ------------------------------------------------------------------ internals
+    def _check_budget(self) -> None:
+        budget = self._budget
+        if budget.max_decisions is not None and self._stats.decisions >= budget.max_decisions:
+            raise BudgetExhausted
+        if budget.max_propagations is not None and self._stats.propagations >= budget.max_propagations:
+            raise BudgetExhausted
+        if budget.max_conflicts is not None and self._stats.conflicts >= budget.max_conflicts:
+            raise BudgetExhausted
+        if budget.max_seconds is not None:
+            if time.perf_counter() - self._start_time >= budget.max_seconds:
+                raise BudgetExhausted
+
+    def _simplify(
+        self, clauses: list[tuple[int, ...]], assignment: dict[int, bool]
+    ) -> tuple[list[tuple[int, ...]] | None, dict[int, bool]]:
+        """Unit propagation (and pure literals) to a fixed point.
+
+        Returns ``(clauses, assignment)`` or ``(None, assignment)`` on conflict.
+        """
+        clauses = list(clauses)
+        assignment = dict(assignment)
+        changed = True
+        while changed:
+            changed = False
+            new_clauses: list[tuple[int, ...]] = []
+            unit: int | None = None
+            for clause in clauses:
+                satisfied = False
+                remaining: list[int] = []
+                for lit in clause:
+                    var = abs(lit)
+                    if var in assignment:
+                        if assignment[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        remaining.append(lit)
+                if satisfied:
+                    continue
+                if not remaining:
+                    self._stats.conflicts += 1
+                    return None, assignment
+                if len(remaining) == 1 and unit is None:
+                    unit = remaining[0]
+                new_clauses.append(tuple(remaining))
+            clauses = new_clauses
+            if unit is not None:
+                assignment[abs(unit)] = unit > 0
+                self._stats.propagations += 1
+                self._check_budget()
+                changed = True
+                continue
+            if self.use_pure_literals and clauses:
+                polarity: dict[int, int] = {}
+                for clause in clauses:
+                    for lit in clause:
+                        var = abs(lit)
+                        polarity[var] = polarity.get(var, 0) | (1 if lit > 0 else 2)
+                for var, mask in polarity.items():
+                    if mask in (1, 2) and var not in assignment:
+                        assignment[var] = mask == 1
+                        self._stats.propagations += 1
+                        changed = True
+                        break
+        return clauses, assignment
+
+    def _dpll(self, clauses: list[tuple[int, ...]], assignment: dict[int, bool]) -> bool | None:
+        self._check_budget()
+        clauses, assignment = self._simplify(clauses, assignment)
+        if clauses is None:
+            return False
+        if not clauses:
+            self._model = assignment
+            return True
+
+        # Branch on the most frequently occurring variable (MOMS-lite heuristic).
+        counts: Counter[int] = Counter()
+        for clause in clauses:
+            for lit in clause:
+                counts[abs(lit)] += 1
+        var = max(counts, key=lambda v: (counts[v], -v))
+
+        self._stats.decisions += 1
+        for value in (True, False):
+            result = self._dpll(clauses, {**assignment, var: value})
+            if result:
+                return True
+        return False

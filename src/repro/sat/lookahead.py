@@ -1,0 +1,417 @@
+"""A lookahead SAT solver and lookahead-based variable scoring.
+
+Lookahead solvers (march, OKsolver, the lookahead part of cube-and-conquer) pick
+branching variables by *probing*: for every candidate variable ``v`` they
+propagate both ``v = 0`` and ``v = 1`` and measure how much each propagation
+simplifies the formula.  Variables whose both branches simplify the formula a
+lot make good splitting variables; variables for which one branch fails
+immediately are *failed literals* and can be assigned outright.
+
+The paper mentions lookahead solvers as one of the classical ways of
+constructing SAT partitionings (Section 2, citing Hyvärinen's thesis).  This
+module provides
+
+* :class:`LookaheadSolver` — a complete DPLL-style solver whose branching rule
+  is the lookahead measure below (it implements the common
+  :class:`repro.sat.solver.Solver` protocol, so it can serve as the algorithm
+  ``A`` of the predictive function in ablations), and
+* :func:`lookahead_scores` / :func:`rank_variables_by_lookahead` — the scoring
+  primitive reused by :mod:`repro.partitioning.lookahead_partition` to build
+  cube-and-conquer style partitionings that the Monte Carlo approach is
+  compared against.
+
+The measure is the classic weighted count of clauses shortened by each branch,
+combined with the product rule ``score(v) = left · right + left + right`` so
+that variables simplifying *both* branches are preferred.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.sat.formula import CNF, normalize_clause
+from repro.sat.solver import SolveResult, SolverBudget, SolverStats, SolverStatus
+
+#: Weight of a clause reduced to length ``k`` during a lookahead probe.  Shorter
+#: clauses constrain the search more, so they get exponentially larger weights
+#: (the march_eq weighting scheme, truncated at length 5).
+_REDUCTION_WEIGHTS = {0: 64.0, 1: 32.0, 2: 8.0, 3: 2.0, 4: 1.0}
+
+
+class _Conflict(Exception):
+    """Internal: raised when propagation derives the empty clause."""
+
+
+class _BudgetExhausted(Exception):
+    """Internal: raised when the solver budget is spent."""
+
+
+@dataclass
+class LookaheadProbe:
+    """Outcome of probing one variable at the current node.
+
+    ``positive_score`` / ``negative_score`` measure how much assigning the
+    variable true / false simplifies the formula; ``failed_positive`` /
+    ``failed_negative`` flag branches that are refuted by unit propagation
+    alone.  A variable with both branches failed proves the node unsatisfiable.
+    """
+
+    variable: int
+    positive_score: float
+    negative_score: float
+    failed_positive: bool = False
+    failed_negative: bool = False
+
+    @property
+    def is_failed_literal(self) -> bool:
+        """True when at least one branch is refuted by propagation."""
+        return self.failed_positive or self.failed_negative
+
+    @property
+    def is_contradiction(self) -> bool:
+        """True when both branches are refuted (the node is UNSAT)."""
+        return self.failed_positive and self.failed_negative
+
+    @property
+    def combined_score(self) -> float:
+        """The product-rule score used to rank branching variables."""
+        return (
+            self.positive_score * self.negative_score
+            + self.positive_score
+            + self.negative_score
+        )
+
+
+class _Propagator:
+    """Clause database with counter-based unit propagation for lookahead probing.
+
+    The representation favours cheap copies of the assignment (propagation
+    trails are undone explicitly), because lookahead probes assign and retract
+    the same variables over and over.
+    """
+
+    def __init__(self, cnf: CNF, stats: SolverStats):
+        self.stats = stats
+        self.clauses: list[tuple[int, ...]] = []
+        self.occurrences: dict[int, list[int]] = {}
+        self.assignment: dict[int, bool] = {}
+        self.trail: list[int] = []
+        self.num_vars = cnf.num_vars
+        self._contradictory = False
+
+        units: list[int] = []
+        for clause in cnf.clauses:
+            norm = normalize_clause(clause)
+            if norm is None:
+                continue
+            if not norm:
+                self._contradictory = True
+                return
+            if len(norm) == 1:
+                units.append(norm[0])
+            index = len(self.clauses)
+            self.clauses.append(norm)
+            for lit in norm:
+                self.occurrences.setdefault(lit, []).append(index)
+        try:
+            for lit in units:
+                self.enqueue(lit)
+        except _Conflict:
+            self._contradictory = True
+
+    @property
+    def contradictory(self) -> bool:
+        """True when the root level is already refuted."""
+        return self._contradictory
+
+    # ------------------------------------------------------------------ queries
+    def value(self, lit: int) -> bool | None:
+        """Value of a literal under the current assignment (``None`` = unassigned)."""
+        assigned = self.assignment.get(abs(lit))
+        if assigned is None:
+            return None
+        return assigned if lit > 0 else not assigned
+
+    def unassigned_variables(self) -> list[int]:
+        """Variables that occur in some clause and are still unassigned."""
+        seen: set[int] = set()
+        for clause in self.clauses:
+            for lit in clause:
+                var = abs(lit)
+                if var not in self.assignment:
+                    seen.add(var)
+        return sorted(seen)
+
+    def all_clauses_satisfied(self) -> bool:
+        """True when every clause contains a literal assigned true."""
+        return all(
+            any(self.value(lit) is True for lit in clause) for clause in self.clauses
+        )
+
+    # ------------------------------------------------------------- trail control
+    def mark(self) -> int:
+        """Return a trail position to rewind to."""
+        return len(self.trail)
+
+    def backtrack(self, mark: int) -> None:
+        """Undo every assignment made after ``mark``."""
+        while len(self.trail) > mark:
+            var = self.trail.pop()
+            del self.assignment[var]
+
+    def enqueue(self, lit: int, reduction_score: list[float] | None = None) -> None:
+        """Assign a literal true and propagate to a fixed point.
+
+        ``reduction_score`` — when given, accumulates the weighted count of
+        clause shortenings caused by this propagation (the lookahead measure).
+        Raises :class:`_Conflict` if the propagation derives the empty clause.
+        """
+        queue = [lit]
+        while queue:
+            current = queue.pop()
+            value = self.value(current)
+            if value is True:
+                continue
+            if value is False:
+                raise _Conflict
+            var = abs(current)
+            self.assignment[var] = current > 0
+            self.trail.append(var)
+            self.stats.propagations += 1
+            # Clauses containing the falsified literal may shrink or become unit.
+            for index in self.occurrences.get(-current, ()):
+                clause = self.clauses[index]
+                unassigned: list[int] = []
+                satisfied = False
+                for other in clause:
+                    other_value = self.value(other)
+                    if other_value is True:
+                        satisfied = True
+                        break
+                    if other_value is None:
+                        unassigned.append(other)
+                if satisfied:
+                    continue
+                if reduction_score is not None:
+                    weight = _REDUCTION_WEIGHTS.get(len(unassigned), 0.5)
+                    reduction_score[0] += weight
+                if not unassigned:
+                    self.stats.conflicts += 1
+                    raise _Conflict
+                if len(unassigned) == 1:
+                    queue.append(unassigned[0])
+
+
+def _probe_variable(propagator: _Propagator, variable: int) -> LookaheadProbe:
+    """Probe both polarities of ``variable`` at the propagator's current node."""
+    scores: list[float] = []
+    failed: list[bool] = []
+    for positive in (True, False):
+        mark = propagator.mark()
+        accumulator = [0.0]
+        try:
+            propagator.enqueue(variable if positive else -variable, accumulator)
+            failed.append(False)
+        except _Conflict:
+            failed.append(True)
+        finally:
+            propagator.backtrack(mark)
+        scores.append(accumulator[0])
+    return LookaheadProbe(
+        variable=variable,
+        positive_score=scores[0],
+        negative_score=scores[1],
+        failed_positive=failed[0],
+        failed_negative=failed[1],
+    )
+
+
+def lookahead_scores(
+    cnf: CNF,
+    candidates: Sequence[int] | None = None,
+    assumptions: Sequence[int] = (),
+) -> list[LookaheadProbe]:
+    """Probe every candidate variable of ``cnf`` once and return the probes.
+
+    ``candidates`` defaults to every unassigned variable after propagating the
+    ``assumptions``.  Contradictory inputs return an empty list.  The probes are
+    returned in candidate order; use :func:`rank_variables_by_lookahead` for the
+    ranking used by partitioning.
+    """
+    stats = SolverStats()
+    propagator = _Propagator(cnf, stats)
+    if propagator.contradictory:
+        return []
+    try:
+        for lit in assumptions:
+            propagator.enqueue(lit)
+    except _Conflict:
+        return []
+    if candidates is None:
+        pool: Sequence[int] = propagator.unassigned_variables()
+    else:
+        pool = [v for v in candidates if propagator.value(v) is None]
+    return [_probe_variable(propagator, var) for var in pool]
+
+
+def rank_variables_by_lookahead(
+    cnf: CNF,
+    candidates: Sequence[int] | None = None,
+    assumptions: Sequence[int] = (),
+) -> list[int]:
+    """Candidate variables sorted by decreasing lookahead score.
+
+    Failed-literal variables come first (their score is effectively infinite:
+    assigning them is forced, so splitting on them is free), then the product
+    rule decides; ties break on the variable index for determinism.
+    """
+    probes = lookahead_scores(cnf, candidates, assumptions)
+    return [
+        probe.variable
+        for probe in sorted(
+            probes,
+            key=lambda p: (not p.is_failed_literal, -p.combined_score, p.variable),
+        )
+    ]
+
+
+class LookaheadSolver:
+    """A complete DPLL solver with lookahead branching and failed-literal detection.
+
+    Parameters
+    ----------
+    max_probe_variables:
+        Probe at most this many candidate variables per node (the candidates
+        with the most occurrences are probed first); keeps the cubic worst case
+        of full lookahead in check on larger formulas.
+    """
+
+    def __init__(self, max_probe_variables: int = 64):
+        if max_probe_variables < 1:
+            raise ValueError("max_probe_variables must be at least 1")
+        self.max_probe_variables = max_probe_variables
+
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        budget: SolverBudget | None = None,
+    ) -> SolveResult:
+        """Solve ``cnf`` under ``assumptions``; see :class:`repro.sat.solver.Solver`."""
+        start = time.perf_counter()
+        stats = SolverStats()
+        self._budget = budget or SolverBudget()
+        self._start_time = start
+        self._stats = stats
+
+        propagator = _Propagator(cnf, stats)
+        status = SolverStatus.UNSAT
+        model: dict[int, bool] | None = None
+        contradictory = propagator.contradictory
+        if not contradictory:
+            try:
+                for lit in assumptions:
+                    propagator.enqueue(lit)
+            except _Conflict:
+                contradictory = True
+
+        if not contradictory:
+            try:
+                found = self._search(propagator)
+            except _BudgetExhausted:
+                found = None
+            if found is None:
+                status = SolverStatus.UNKNOWN
+            elif found:
+                status = SolverStatus.SAT
+                model = dict(propagator.assignment)
+                for var in range(1, cnf.num_vars + 1):
+                    model.setdefault(var, False)
+
+        stats.wall_time = time.perf_counter() - start
+        return SolveResult(status=status, model=model, stats=stats)
+
+    # ------------------------------------------------------------------ internals
+    def _check_budget(self) -> None:
+        budget = self._budget
+        stats = self._stats
+        if budget.max_decisions is not None and stats.decisions >= budget.max_decisions:
+            raise _BudgetExhausted
+        if budget.max_conflicts is not None and stats.conflicts >= budget.max_conflicts:
+            raise _BudgetExhausted
+        if (
+            budget.max_propagations is not None
+            and stats.propagations >= budget.max_propagations
+        ):
+            raise _BudgetExhausted
+        if budget.max_seconds is not None:
+            if time.perf_counter() - self._start_time >= budget.max_seconds:
+                raise _BudgetExhausted
+
+    def _candidates(self, propagator: _Propagator) -> list[int]:
+        """The most frequently occurring unassigned variables, capped for cost."""
+        counts: dict[int, int] = {}
+        for clause in propagator.clauses:
+            if any(propagator.value(lit) is True for lit in clause):
+                continue
+            for lit in clause:
+                if propagator.value(lit) is None:
+                    var = abs(lit)
+                    counts[var] = counts.get(var, 0) + 1
+        ranked = sorted(counts, key=lambda v: (-counts[v], v))
+        return ranked[: self.max_probe_variables]
+
+    def _search(self, propagator: _Propagator) -> bool | None:
+        self._check_budget()
+        candidates = self._candidates(propagator)
+        if not candidates:
+            return propagator.all_clauses_satisfied()
+
+        # Lookahead phase: probe candidates, assigning failed literals as we go.
+        best: LookaheadProbe | None = None
+        index = 0
+        while index < len(candidates):
+            variable = candidates[index]
+            index += 1
+            if propagator.value(variable) is not None:
+                continue
+            probe = _probe_variable(propagator, variable)
+            if probe.is_contradiction:
+                self._stats.conflicts += 1
+                return False
+            if probe.is_failed_literal:
+                forced = -variable if probe.failed_positive else variable
+                try:
+                    propagator.enqueue(forced)
+                except _Conflict:
+                    return False
+                continue
+            if best is None or probe.combined_score > best.combined_score:
+                best = probe
+
+        if best is None:
+            # Everything was forced; recurse to re-evaluate the residual formula.
+            return self._search(propagator)
+
+        # Branch on the best variable, trying the more constrained polarity first.
+        first_positive = best.positive_score >= best.negative_score
+        self._stats.decisions += 1
+        self._stats.max_decision_level = max(
+            self._stats.max_decision_level, self._stats.decisions
+        )
+        for positive in (first_positive, not first_positive):
+            mark = propagator.mark()
+            try:
+                propagator.enqueue(best.variable if positive else -best.variable)
+                result = self._search(propagator)
+            except _Conflict:
+                self._stats.conflicts += 1
+                result = False
+            if result:
+                return True
+            propagator.backtrack(mark)
+            if result is None:
+                return None
+        return False

@@ -1,0 +1,124 @@
+"""Formula preprocessing: unit propagation closure and pure-literal elimination.
+
+These transformations are used in three places:
+
+* the backdoor-set verifier (:mod:`repro.sat.backdoor`) needs the unit
+  propagation closure to check the Strong Unit-Propagation Backdoor property;
+* the decomposition machinery simplifies sub-instances before handing them to
+  the solver, mirroring what MiniSat's preprocessing did for PDSAT;
+* tests use them as small, independently verifiable building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.formula import CNF
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of running unit propagation to a fixed point."""
+
+    conflict: bool
+    assignment: dict[int, bool] = field(default_factory=dict)
+    simplified: CNF | None = None
+
+    @property
+    def fixed_variables(self) -> set[int]:
+        """Variables whose value is forced by unit propagation."""
+        return set(self.assignment)
+
+
+def unit_propagate(cnf: CNF, assignment: dict[int, bool] | None = None) -> PropagationResult:
+    """Run Boolean constraint propagation to a fixed point.
+
+    Parameters
+    ----------
+    cnf:
+        Input formula.
+    assignment:
+        Optional initial partial assignment (e.g. a decomposition-set
+        substitution); it is included in the returned closure.
+
+    Returns
+    -------
+    PropagationResult
+        ``conflict`` is True when propagation derives the empty clause.  When
+        there is no conflict, ``assignment`` holds the propagation closure and
+        ``simplified`` the residual formula (satisfied clauses removed,
+        falsified literals deleted).
+    """
+    values: dict[int, bool] = dict(assignment or {})
+    clauses = [tuple(c) for c in cnf.clauses]
+
+    changed = True
+    while changed:
+        changed = False
+        residual: list[tuple[int, ...]] = []
+        for clause in clauses:
+            satisfied = False
+            remaining: list[int] = []
+            for lit in clause:
+                var = abs(lit)
+                if var in values:
+                    if values[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(lit)
+            if satisfied:
+                continue
+            if not remaining:
+                return PropagationResult(conflict=True, assignment=values)
+            if len(remaining) == 1:
+                lit = remaining[0]
+                values[abs(lit)] = lit > 0
+                changed = True
+            else:
+                residual.append(tuple(remaining))
+        clauses = residual
+
+    simplified = CNF(list(clauses), cnf.num_vars)
+    return PropagationResult(conflict=False, assignment=values, simplified=simplified)
+
+
+def pure_literal_elimination(cnf: CNF) -> tuple[CNF, dict[int, bool]]:
+    """Repeatedly satisfy pure literals; returns the reduced CNF and the choices made.
+
+    A literal is pure when its variable occurs with a single polarity; setting
+    it to satisfy all its clauses preserves satisfiability.
+    """
+    clauses = [tuple(c) for c in cnf.clauses]
+    choices: dict[int, bool] = {}
+    while True:
+        polarity: dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                var = abs(lit)
+                polarity[var] = polarity.get(var, 0) | (1 if lit > 0 else 2)
+        pure = {var: mask == 1 for var, mask in polarity.items() if mask in (1, 2)}
+        if not pure:
+            break
+        choices.update(pure)
+        clauses = [
+            clause
+            for clause in clauses
+            if not any(abs(lit) in pure and pure[abs(lit)] == (lit > 0) for lit in clause)
+        ]
+    return CNF(list(clauses), cnf.num_vars), choices
+
+
+def simplify(cnf: CNF) -> tuple[CNF, dict[int, bool], bool]:
+    """Unit propagation followed by pure-literal elimination.
+
+    Returns ``(reduced_cnf, forced_assignment, conflict)``.
+    """
+    prop = unit_propagate(cnf)
+    if prop.conflict:
+        return cnf, prop.assignment, True
+    assert prop.simplified is not None
+    reduced, pure = pure_literal_elimination(prop.simplified)
+    forced = dict(prop.assignment)
+    forced.update(pure)
+    return reduced, forced, False

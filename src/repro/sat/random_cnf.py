@@ -1,0 +1,115 @@
+"""Random CNF generators.
+
+Used by tests and by the Monte Carlo convergence benchmark: uniform random
+k-SAT around the phase-transition density produces sub-problems with a wide
+runtime spread, which is exactly the regime where the variance-reduction
+properties of the predictive function matter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sat.formula import CNF
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int = 0,
+) -> CNF:
+    """Generate a uniform random k-SAT instance.
+
+    Each clause picks ``k`` distinct variables uniformly at random and negates
+    each independently with probability 1/2.
+    """
+    if k > num_vars:
+        raise ValueError(f"clause width k={k} exceeds num_vars={num_vars}")
+    rng = random.Random(seed)
+    variables = list(range(1, num_vars + 1))
+    clauses: list[tuple[int, ...]] = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, k)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        clauses.append(clause)
+    cnf = CNF(clauses, num_vars)
+    cnf.comments.append(f"random {k}-SAT n={num_vars} m={num_clauses} seed={seed}")
+    return cnf
+
+
+def random_ksat_at_ratio(num_vars: int, ratio: float = 4.26, k: int = 3, seed: int = 0) -> CNF:
+    """Random k-SAT with ``m = round(ratio * n)`` clauses (4.26 is the 3-SAT threshold)."""
+    return random_ksat(num_vars, round(ratio * num_vars), k=k, seed=seed)
+
+
+def planted_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int = 0,
+) -> tuple[CNF, dict[int, bool]]:
+    """Generate a satisfiable k-SAT instance with a planted solution.
+
+    Every clause is filtered to be satisfied by a hidden random assignment,
+    which is returned alongside the formula so tests can verify that solvers
+    find *some* model (not necessarily the planted one).
+    """
+    if k > num_vars:
+        raise ValueError(f"clause width k={k} exceeds num_vars={num_vars}")
+    rng = random.Random(seed)
+    planted = {v: rng.random() < 0.5 for v in range(1, num_vars + 1)}
+    variables = list(range(1, num_vars + 1))
+    clauses: list[tuple[int, ...]] = []
+    while len(clauses) < num_clauses:
+        chosen = rng.sample(variables, k)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        if any(planted[abs(lit)] == (lit > 0) for lit in clause):
+            clauses.append(clause)
+    cnf = CNF(clauses, num_vars)
+    cnf.comments.append(f"planted {k}-SAT n={num_vars} m={num_clauses} seed={seed}")
+    return cnf, planted
+
+
+def random_unsat_core(num_vars: int, seed: int = 0) -> CNF:
+    """A small unsatisfiable formula: a planted pigeonhole-style chain plus contradiction.
+
+    Generates an instance that is unsatisfiable by construction (it contains
+    ``x`` and ``¬x`` chained through implications), useful for UNSAT-path tests
+    without relying on a solver to certify unsatisfiability.
+    """
+    rng = random.Random(seed)
+    if num_vars < 2:
+        raise ValueError("need at least 2 variables")
+    order = list(range(1, num_vars + 1))
+    rng.shuffle(order)
+    clauses: list[tuple[int, ...]] = [(order[0],)]
+    for a, b in zip(order, order[1:]):
+        clauses.append((-a, b))  # a -> b
+    clauses.append((-order[-1],))
+    return CNF(clauses, num_vars)
+
+
+def pigeonhole(holes: int) -> CNF:
+    """The pigeonhole principle PHP(holes+1, holes) — canonically hard for resolution.
+
+    Variable ``p(i, j)`` (pigeon ``i`` in hole ``j``) is numbered
+    ``i * holes + j + 1`` for ``i in range(holes + 1)``, ``j in range(holes)``.
+    The formula is unsatisfiable and its difficulty grows super-polynomially,
+    which makes it a convenient knob for "hard sub-problem" tests.
+    """
+    if holes < 1:
+        raise ValueError("need at least one hole")
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    clauses: list[tuple[int, ...]] = []
+    for i in range(pigeons):
+        clauses.append(tuple(var(i, j) for j in range(holes)))
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append((-var(i1, j), -var(i2, j)))
+    return CNF(clauses, pigeons * holes)

@@ -1,0 +1,91 @@
+"""WalkSAT stochastic local search.
+
+WalkSAT is *incomplete*: it can find satisfying assignments quickly but can
+never prove unsatisfiability, and it is randomised.  The paper explicitly
+requires the sub-solver ``A`` to be complete and deterministic, so WalkSAT is
+**not** used by the predictive-function machinery; it exists as a contrast
+solver for the ablation study ("what goes wrong if A is randomised?") and as a
+quick model finder in tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Sequence
+
+from repro.sat.formula import CNF
+from repro.sat.solver import SolveResult, SolverBudget, SolverStats, SolverStatus
+
+
+class WalkSATSolver:
+    """WalkSAT with the classic noise parameter (Selman, Kautz & Cohen)."""
+
+    def __init__(self, noise: float = 0.5, max_flips: int = 100_000, max_tries: int = 10, seed: int = 0):
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be within [0, 1]")
+        self.noise = noise
+        self.max_flips = max_flips
+        self.max_tries = max_tries
+        self.seed = seed
+
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        budget: SolverBudget | None = None,
+    ) -> SolveResult:
+        """Search for a model; returns SAT or UNKNOWN (never UNSAT)."""
+        start = time.perf_counter()
+        rng = random.Random(self.seed)
+        stats = SolverStats()
+        budget = budget or SolverBudget()
+
+        clauses = [tuple(c) for c in cnf.clauses]
+        forced = {abs(lit): lit > 0 for lit in assumptions}
+        num_vars = cnf.num_vars
+
+        for _ in range(self.max_tries):
+            assignment = {
+                v: forced.get(v, rng.random() < 0.5) for v in range(1, num_vars + 1)
+            }
+            for _ in range(self.max_flips):
+                if budget.max_seconds is not None and time.perf_counter() - start > budget.max_seconds:
+                    stats.wall_time = time.perf_counter() - start
+                    return SolveResult(SolverStatus.UNKNOWN, stats=stats)
+                unsat = [c for c in clauses if not _clause_satisfied(c, assignment)]
+                if not unsat:
+                    stats.wall_time = time.perf_counter() - start
+                    return SolveResult(SolverStatus.SAT, model=assignment, stats=stats)
+                clause = rng.choice(unsat)
+                flippable = [lit for lit in clause if abs(lit) not in forced]
+                if not flippable:
+                    break  # the forced assumptions falsify this clause permanently
+                if rng.random() < self.noise:
+                    lit = rng.choice(flippable)
+                else:
+                    lit = min(
+                        flippable,
+                        key=lambda l: _break_count(abs(l), clauses, assignment),
+                    )
+                var = abs(lit)
+                assignment[var] = not assignment[var]
+                stats.decisions += 1
+        stats.wall_time = time.perf_counter() - start
+        return SolveResult(SolverStatus.UNKNOWN, stats=stats)
+
+
+def _clause_satisfied(clause: tuple[int, ...], assignment: dict[int, bool]) -> bool:
+    return any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+
+
+def _break_count(var: int, clauses: list[tuple[int, ...]], assignment: dict[int, bool]) -> int:
+    """Number of currently satisfied clauses that flipping ``var`` would break."""
+    flipped = dict(assignment)
+    flipped[var] = not flipped[var]
+    broken = 0
+    for clause in clauses:
+        if any(abs(lit) == var for lit in clause):
+            if _clause_satisfied(clause, assignment) and not _clause_satisfied(clause, flipped):
+                broken += 1
+    return broken

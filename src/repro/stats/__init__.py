@@ -1,0 +1,39 @@
+"""Monte Carlo estimation statistics.
+
+:mod:`repro.stats.montecarlo` implements the classical fixed-``N`` machinery
+the paper uses (sample statistics, CLT confidence intervals, required sample
+size); :mod:`repro.stats.sampling` adds bootstrap intervals, sequential
+(adaptive) estimation and stratified sampling as practical refinements.
+"""
+
+from repro.stats.montecarlo import (
+    MonteCarloEstimate,
+    confidence_interval,
+    estimate_mean,
+    normal_cdf,
+    normal_quantile,
+    required_sample_size,
+    sample_statistics,
+)
+from repro.stats.sampling import (
+    SequentialEstimate,
+    StratifiedEstimate,
+    bootstrap_confidence_interval,
+    sequential_estimate,
+    stratified_estimate,
+)
+
+__all__ = [
+    "MonteCarloEstimate",
+    "confidence_interval",
+    "estimate_mean",
+    "normal_cdf",
+    "normal_quantile",
+    "required_sample_size",
+    "sample_statistics",
+    "SequentialEstimate",
+    "sequential_estimate",
+    "StratifiedEstimate",
+    "stratified_estimate",
+    "bootstrap_confidence_interval",
+]

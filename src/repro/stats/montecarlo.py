@@ -1,0 +1,155 @@
+"""Classical Monte Carlo estimation of an expected value (Metropolis & Ulam).
+
+Section 2 of the paper bases the predictive function on the main formula of the
+Monte Carlo method: for i.i.d. observations ``ζ_1..ζ_N`` of a random variable
+``ξ`` with finite mean and variance,
+
+    Pr[ | (1/N)·Σ ζ_j − E[ξ] | < δ_γ·σ/√N ] = γ,      γ = Φ(δ_γ),
+
+where ``Φ`` is the normal CDF.  This module provides the sample statistics, the
+CLT confidence interval, and the inverse question ("how many observations are
+needed for a target relative accuracy?"), independent of anything SAT-specific.
+The normal quantile is computed with a rational approximation so the module has
+no dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal cumulative distribution function Φ."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse of Φ (the probit function) via the Acklam rational approximation.
+
+    Accurate to about 1.15e-9 over (0, 1), which is far more than the
+    sample-size calculations here need.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be strictly between 0 and 1")
+    # Coefficients of Acklam's approximation.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+@dataclass
+class MonteCarloEstimate:
+    """Sample statistics of a Monte Carlo experiment."""
+
+    sample_size: int
+    mean: float
+    variance: float
+    confidence_level: float = 0.95
+
+    @property
+    def std_dev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean, ``σ/√N``."""
+        if self.sample_size == 0:
+            return float("inf")
+        return self.std_dev / math.sqrt(self.sample_size)
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the CLT confidence interval at ``confidence_level``."""
+        if self.sample_size == 0:
+            return float("inf")
+        delta = normal_quantile(0.5 + self.confidence_level / 2.0)
+        return delta * self.std_error
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The CLT confidence interval for the expected value."""
+        return self.mean - self.half_width, self.mean + self.half_width
+
+    @property
+    def relative_error(self) -> float:
+        """Half-width divided by the mean (∞ when the mean is 0)."""
+        if self.mean == 0:
+            return float("inf")
+        return self.half_width / abs(self.mean)
+
+    def scaled(self, factor: float) -> "MonteCarloEstimate":
+        """Estimate of ``factor · ξ`` (mean and std scale linearly, variance quadratically)."""
+        return MonteCarloEstimate(
+            sample_size=self.sample_size,
+            mean=self.mean * factor,
+            variance=self.variance * factor * factor,
+            confidence_level=self.confidence_level,
+        )
+
+
+def sample_statistics(observations: Sequence[float], confidence_level: float = 0.95) -> MonteCarloEstimate:
+    """Compute mean and (unbiased) variance of a sample."""
+    n = len(observations)
+    if n == 0:
+        raise ValueError("cannot compute statistics of an empty sample")
+    mean = sum(observations) / n
+    if n == 1:
+        variance = 0.0
+    else:
+        variance = sum((x - mean) ** 2 for x in observations) / (n - 1)
+    return MonteCarloEstimate(n, mean, variance, confidence_level)
+
+
+def estimate_mean(observations: Sequence[float], confidence_level: float = 0.95) -> float:
+    """Point estimate of the expected value (the sample mean)."""
+    return sample_statistics(observations, confidence_level).mean
+
+
+def confidence_interval(
+    observations: Sequence[float], confidence_level: float = 0.95
+) -> tuple[float, float]:
+    """CLT confidence interval for the expected value from a sample."""
+    return sample_statistics(observations, confidence_level).interval
+
+
+def required_sample_size(
+    std_dev: float,
+    absolute_error: float,
+    confidence_level: float = 0.95,
+) -> int:
+    """Observations needed so the CLT half-width is below ``absolute_error``.
+
+    Derived from ``δ_γ·σ/√N ≤ ε``, i.e. ``N ≥ (δ_γ·σ/ε)²``.
+    """
+    if absolute_error <= 0:
+        raise ValueError("absolute_error must be positive")
+    if std_dev < 0:
+        raise ValueError("std_dev must be non-negative")
+    if std_dev == 0:
+        return 1
+    delta = normal_quantile(0.5 + confidence_level / 2.0)
+    return max(1, math.ceil((delta * std_dev / absolute_error) ** 2))

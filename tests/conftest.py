@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import Geffe
+from repro.problems import make_inversion_instance
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.dpll import DPLLSolver
+from repro.sat.formula import CNF
+
+
+@pytest.fixture
+def cdcl() -> CDCLSolver:
+    """A fresh CDCL solver with default configuration."""
+    return CDCLSolver()
+
+
+@pytest.fixture
+def dpll() -> DPLLSolver:
+    """A fresh DPLL solver (reference implementation)."""
+    return DPLLSolver()
+
+
+@pytest.fixture
+def tiny_sat_cnf() -> CNF:
+    """A small satisfiable CNF with a unique model: x1=T, x2=F, x3=T."""
+    return CNF([(1,), (-2,), (3,), (-1, -2, 3)])
+
+
+@pytest.fixture
+def tiny_unsat_cnf() -> CNF:
+    """A minimal unsatisfiable CNF."""
+    return CNF([(1, 2), (1, -2), (-1, 2), (-1, -2)])
+
+
+@pytest.fixture
+def geffe_instance():
+    """A Geffe-tiny inversion instance used by several integration-level tests."""
+    return make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=5)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.sat.assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.assignment import Assignment
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_variables(self):
+        with pytest.raises(ValueError):
+            Assignment({0: True})
+
+    def test_from_literals(self):
+        a = Assignment.from_literals([3, -5])
+        assert a[3] is True
+        assert a[5] is False
+
+    def test_from_literals_conflict(self):
+        with pytest.raises(ValueError):
+            Assignment.from_literals([2, -2])
+
+    def test_from_literals_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Assignment.from_literals([0])
+
+    def test_from_bits(self):
+        a = Assignment.from_bits([4, 7, 9], [1, 0, 1])
+        assert a.values == {4: True, 7: False, 9: True}
+
+    def test_from_bits_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Assignment.from_bits([1, 2], [1])
+
+    def test_from_model(self):
+        a = Assignment.from_model([True, False, True])
+        assert a.values == {1: True, 2: False, 3: True}
+
+
+class TestViews:
+    def test_len_contains_get(self):
+        a = Assignment({1: True, 2: False})
+        assert len(a) == 2
+        assert 1 in a
+        assert 3 not in a
+        assert a.get(3) is None
+        assert a.get(3, True) is True
+
+    def test_variables_sorted(self):
+        a = Assignment({5: True, 2: False})
+        assert a.variables() == [2, 5]
+
+    def test_str(self):
+        assert str(Assignment({2: True, 1: False})) == "{1=0, 2=1}"
+
+
+class TestConversions:
+    def test_to_literals(self):
+        a = Assignment({3: False, 1: True})
+        assert a.to_literals() == [1, -3]
+
+    def test_to_unit_clauses(self):
+        a = Assignment({2: True})
+        assert a.to_unit_clauses() == [(2,)]
+
+    def test_bits_for(self):
+        a = Assignment({1: True, 2: False, 3: True})
+        assert a.bits_for([3, 2, 1]) == (1, 0, 1)
+
+    def test_bits_for_missing_variable(self):
+        with pytest.raises(KeyError):
+            Assignment({1: True}).bits_for([1, 2])
+
+    def test_restrict(self):
+        a = Assignment({1: True, 2: False, 3: True})
+        assert a.restrict([1, 3]).values == {1: True, 3: True}
+
+    def test_update_overrides(self):
+        a = Assignment({1: True})
+        b = a.update({1: False, 2: True})
+        assert b.values == {1: False, 2: True}
+        assert a.values == {1: True}
+
+    def test_update_accepts_assignment(self):
+        merged = Assignment({1: True}).update(Assignment({2: False}))
+        assert merged.values == {1: True, 2: False}
+
+
+class TestAgreement:
+    def test_agrees_with_disjoint(self):
+        assert Assignment({1: True}).agrees_with(Assignment({2: False}))
+
+    def test_agrees_with_same(self):
+        assert Assignment({1: True}).agrees_with(Assignment({1: True, 2: False}))
+
+    def test_disagrees(self):
+        assert not Assignment({1: True}).agrees_with(Assignment({1: False}))

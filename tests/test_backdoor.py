@@ -1,0 +1,63 @@
+"""Tests for Strong Unit-Propagation Backdoor Set verification."""
+
+from __future__ import annotations
+
+from repro.ciphers import Geffe
+from repro.problems import make_inversion_instance
+from repro.sat.backdoor import greedy_backdoor_extension, is_strong_up_backdoor
+from repro.sat.formula import CNF
+
+
+class TestIsStrongUPBackdoor:
+    def test_chain_formula_backdoor(self):
+        # Fixing x1 decides the implication chain by unit propagation.
+        cnf = CNF([(-1, 2), (-2, 3), (-3, 4)])
+        result = is_strong_up_backdoor(cnf, [1])
+        # x1 = False leaves non-unit clauses untouched, so {1} alone is NOT a backdoor.
+        assert not result.is_backdoor
+        assert result.counterexample is not None
+
+    def test_full_variable_set_is_always_backdoor(self):
+        cnf = CNF([(1, 2), (-1, 3), (2, -3)])
+        result = is_strong_up_backdoor(cnf, [1, 2, 3])
+        assert result.is_backdoor
+        assert result.checked_assignments == 8
+
+    def test_exhaustive_check_counts_assignments(self):
+        cnf = CNF([(1, 2)])
+        result = is_strong_up_backdoor(cnf, [1, 2], max_assignments=None)
+        assert result.checked_assignments == 4
+
+    def test_sampled_check_for_large_sets(self):
+        cnf = CNF([tuple(range(1, 35))])
+        result = is_strong_up_backdoor(cnf, list(range(1, 35)), max_assignments=64, seed=1)
+        assert result.checked_assignments == 64
+
+    def test_cipher_state_is_backdoor(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=0)
+        result = is_strong_up_backdoor(instance.cnf, instance.start_set, max_assignments=128)
+        assert result.is_backdoor
+
+    def test_counterexample_is_reported(self):
+        cnf = CNF([(1, 2, 3)])
+        result = is_strong_up_backdoor(cnf, [1])
+        assert not result.is_backdoor
+        assert set(result.counterexample) == {1}
+
+
+class TestGreedyExtension:
+    def test_extends_to_cover_chain(self):
+        cnf = CNF([(1, 2, 3), (-1, -2), (-2, -3)])
+        extended = greedy_backdoor_extension(cnf, [], max_size=3, samples_per_check=32, seed=0)
+        assert 1 <= len(extended) <= 3
+        assert set(extended) <= {1, 2, 3}
+
+    def test_respects_max_size(self):
+        cnf = CNF([(1, 2, 3, 4, 5)])
+        extended = greedy_backdoor_extension(cnf, [], max_size=2, samples_per_check=16, seed=0)
+        assert len(extended) <= 2
+
+    def test_seed_variables_are_kept(self):
+        cnf = CNF([(1, 2), (3, 4)])
+        extended = greedy_backdoor_extension(cnf, [2], max_size=4, samples_per_check=16, seed=0)
+        assert 2 in extended

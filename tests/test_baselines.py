@@ -1,0 +1,84 @@
+"""Tests for the baseline decomposition strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import Bivium
+from repro.core.baselines import (
+    first_register_cells,
+    full_start_set,
+    last_register_cells,
+    most_active_variables,
+    random_decomposition,
+)
+from repro.problems import make_inversion_instance
+
+
+@pytest.fixture(scope="module")
+def bivium_instance():
+    return make_inversion_instance(Bivium.scaled("tiny"), keystream_length=24, seed=0)
+
+
+class TestFixedStrategies:
+    def test_last_register_cells_default_register(self, bivium_instance):
+        chosen = last_register_cells(bivium_instance, 5)
+        assert chosen == bivium_instance.register_vars["B"][-5:]
+
+    def test_last_register_cells_explicit_register(self, bivium_instance):
+        chosen = last_register_cells(bivium_instance, 4, register="A")
+        assert chosen == bivium_instance.register_vars["A"][-4:]
+
+    def test_last_register_cells_too_many(self, bivium_instance):
+        with pytest.raises(ValueError):
+            last_register_cells(bivium_instance, 100)
+
+    def test_unknown_register(self, bivium_instance):
+        with pytest.raises(KeyError):
+            last_register_cells(bivium_instance, 2, register="Z")
+
+    def test_first_register_cells(self, bivium_instance):
+        chosen = first_register_cells(bivium_instance, 3)
+        assert chosen == bivium_instance.register_vars["A"][:3]
+
+    def test_first_register_cells_too_many(self, bivium_instance):
+        with pytest.raises(ValueError):
+            first_register_cells(bivium_instance, 100)
+
+    def test_full_start_set(self, bivium_instance):
+        assert full_start_set(bivium_instance) == bivium_instance.start_set
+
+    def test_full_start_set_excludes_known(self):
+        weakened = make_inversion_instance(
+            Bivium.scaled("tiny"), keystream_length=24, seed=0, known_bits=4
+        )
+        chosen = full_start_set(weakened)
+        assert len(chosen) == len(weakened.start_set) - 4
+        assert not set(chosen) & set(weakened.known_assignment)
+
+
+class TestRandomAndActivity:
+    def test_random_decomposition_size_and_membership(self, bivium_instance):
+        chosen = random_decomposition(bivium_instance.start_set, 6, seed=1)
+        assert len(chosen) == 6
+        assert set(chosen) <= set(bivium_instance.start_set)
+
+    def test_random_decomposition_deterministic(self, bivium_instance):
+        a = random_decomposition(bivium_instance.start_set, 6, seed=2)
+        b = random_decomposition(bivium_instance.start_set, 6, seed=2)
+        assert a == b
+
+    def test_random_decomposition_too_large(self, bivium_instance):
+        with pytest.raises(ValueError):
+            random_decomposition(bivium_instance.start_set, 1000)
+
+    def test_most_active_variables(self, bivium_instance):
+        chosen = most_active_variables(
+            bivium_instance.cnf, bivium_instance.start_set, 5, probe_conflicts=100
+        )
+        assert len(chosen) == 5
+        assert set(chosen) <= set(bivium_instance.start_set)
+
+    def test_most_active_variables_too_many(self, bivium_instance):
+        with pytest.raises(ValueError):
+            most_active_variables(bivium_instance.cnf, bivium_instance.start_set, 10_000)

@@ -1,0 +1,59 @@
+"""Tests for the bit-vector helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoder.bitvec import bits_to_int, int_to_bits, shift_append, shift_in, xor_taps
+from repro.encoder.circuit import Circuit
+
+
+class TestIntBits:
+    def test_round_trip(self):
+        for value in (0, 1, 5, 127, 200):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_little_endian(self):
+        assert int_to_bits(1, 4) == [1, 0, 0, 0]
+        assert int_to_bits(8, 4) == [0, 0, 0, 1]
+
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+
+class TestShifts:
+    def test_shift_in(self):
+        assert shift_in([1, 2, 3], 9) == [9, 1, 2]
+
+    def test_shift_append(self):
+        assert shift_append([1, 2, 3], 9) == [2, 3, 9]
+
+    def test_shift_preserves_length(self):
+        register = [0, 1, 0, 1]
+        assert len(shift_in(register, 1)) == 4
+        assert len(shift_append(register, 1)) == 4
+
+
+class TestXorTaps:
+    def test_single_tap_is_identity(self):
+        circuit = Circuit()
+        reg = circuit.add_input_group("r", 3)
+        assert xor_taps(circuit, reg, [1]) == reg[1]
+
+    def test_multi_tap_semantics(self):
+        circuit = Circuit()
+        reg = circuit.add_input_group("r", 4)
+        out = xor_taps(circuit, reg, [0, 2, 3])
+        values = circuit.evaluate({"r": [1, 0, 1, 1]})
+        assert values[out] == (1 ^ 1 ^ 1 == 1)
+
+    def test_empty_taps_rejected(self):
+        circuit = Circuit()
+        reg = circuit.add_input_group("r", 2)
+        with pytest.raises(ValueError):
+            xor_taps(circuit, reg, [])

@@ -1,0 +1,171 @@
+"""Tests for the Boolean circuit IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encoder.circuit import FALSE, TRUE, Circuit, Gate, GateKind
+
+
+class TestGate:
+    def test_not_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.NOT, (1, 2))
+
+    def test_maj_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.MAJ, (1, 2))
+
+    def test_and_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.AND, (1,))
+
+
+class TestInputsOutputs:
+    def test_input_group_allocates_signals(self):
+        circuit = Circuit()
+        signals = circuit.add_input_group("key", 4)
+        assert len(signals) == 4
+        assert circuit.input_groups == {"key": signals}
+
+    def test_duplicate_group_rejected(self):
+        circuit = Circuit()
+        circuit.add_input_group("key", 2)
+        with pytest.raises(ValueError):
+            circuit.add_input_group("key", 2)
+
+    def test_inputs_in_declaration_order(self):
+        circuit = Circuit()
+        a = circuit.add_input_group("a", 2)
+        b = circuit.add_input_group("b", 1)
+        assert circuit.inputs() == a + b
+
+    def test_output_group_validates_signals(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.set_output_group("out", [99])
+
+    def test_unknown_input_group_in_evaluate(self):
+        circuit = Circuit()
+        circuit.add_input_group("a", 1)
+        with pytest.raises(KeyError):
+            circuit.evaluate({"b": [0]})
+
+    def test_wrong_width_in_evaluate(self):
+        circuit = Circuit()
+        circuit.add_input_group("a", 2)
+        with pytest.raises(ValueError):
+            circuit.evaluate({"a": [0]})
+
+
+class TestConstantFolding:
+    def test_not_of_constants(self):
+        circuit = Circuit()
+        assert circuit.not_(TRUE) == FALSE
+        assert circuit.not_(FALSE) == TRUE
+
+    def test_double_negation(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_group("a", 1)
+        assert circuit.not_(circuit.not_(a)) == a
+
+    def test_and_folding(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_group("a", 1)
+        assert circuit.and_(a, TRUE) == a
+        assert circuit.and_(a, FALSE) == FALSE
+        assert circuit.and_(TRUE, TRUE) == TRUE
+
+    def test_or_folding(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_group("a", 1)
+        assert circuit.or_(a, FALSE) == a
+        assert circuit.or_(a, TRUE) == TRUE
+        assert circuit.or_(FALSE, FALSE) == FALSE
+
+    def test_xor_folding(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_group("a", 1)
+        assert circuit.xor(a, FALSE) == a
+        assert circuit.xor(FALSE, FALSE) == FALSE
+        assert circuit.xor(TRUE, FALSE) == TRUE
+        # XOR with TRUE is a negation of the signal.
+        negated = circuit.xor(a, TRUE)
+        values = circuit.evaluate({"a": [1]})
+        assert values[negated] is False
+
+    def test_mux_folding(self):
+        circuit = Circuit()
+        a = circuit.add_input_group("a", 2)
+        assert circuit.mux(TRUE, a[0], a[1]) == a[0]
+        assert circuit.mux(FALSE, a[0], a[1]) == a[1]
+        assert circuit.mux(a[0], a[1], a[1]) == a[1]
+
+    def test_maj_folding_with_constants(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_group("a", 1)
+        assert circuit.maj(TRUE, TRUE, a) == TRUE
+        assert circuit.maj(FALSE, FALSE, a) == FALSE
+        assert circuit.maj(TRUE, FALSE, a) == a
+
+
+class TestEvaluation:
+    def test_gate_semantics(self):
+        circuit = Circuit()
+        a, b, c = circuit.add_input_group("in", 3)
+        gates = {
+            "and": circuit.and_(a, b),
+            "or": circuit.or_(a, b),
+            "xor": circuit.xor(a, b),
+            "not": circuit.not_(a),
+            "maj": circuit.maj(a, b, c),
+            "mux": circuit.mux(a, b, c),
+        }
+        for bits in ((0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)):
+            values = circuit.evaluate({"in": bits})
+            x, y, z = (bool(v) for v in bits)
+            assert values[gates["and"]] == (x and y)
+            assert values[gates["or"]] == (x or y)
+            assert values[gates["xor"]] == (x != y)
+            assert values[gates["not"]] == (not x)
+            assert values[gates["maj"]] == (int(x) + int(y) + int(z) >= 2)
+            assert values[gates["mux"]] == (y if x else z)
+
+    def test_multi_operand_gates(self):
+        circuit = Circuit()
+        ins = circuit.add_input_group("in", 4)
+        wide_xor = circuit.xor(*ins)
+        wide_and = circuit.and_(*ins)
+        values = circuit.evaluate({"in": [1, 1, 1, 0]})
+        assert values[wide_xor] is True
+        assert values[wide_and] is False
+
+    def test_output_bits(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        circuit.set_output_group("out", [circuit.xor(a, b), circuit.and_(a, b)])
+        assert circuit.output_bits("out", {"in": [1, 1]}) == [0, 1]
+
+    def test_evaluate_by_signal_dict(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        g = circuit.or_(a, b)
+        values = circuit.evaluate({a: True, b: False})
+        assert values[g] is True
+
+    def test_missing_input_raises(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        circuit.or_(a, b)
+        with pytest.raises(ValueError):
+            circuit.evaluate({a: True})
+
+    def test_stats_counts_gates(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        circuit.and_(a, b)
+        circuit.xor(a, b)
+        stats = circuit.stats()
+        assert stats["input"] == 2
+        assert stats["and"] == 1
+        assert stats["xor"] == 1

@@ -1,0 +1,193 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import CIPHER_PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.cipher == "geffe-tiny"
+        assert args.method == "tabu"
+
+    def test_unknown_cipher_rejected_at_runtime(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--cipher", "enigma"])
+
+
+class TestCommands:
+    def test_list_ciphers(self, capsys):
+        assert main(["list-ciphers"]) == 0
+        output = capsys.readouterr().out
+        for name in CIPHER_PRESETS:
+            assert name in output
+
+    def test_generate_writes_dimacs(self, tmp_path, capsys):
+        out = tmp_path / "instance.cnf"
+        assert main(["generate", "--cipher", "geffe-tiny", "--seed", "1", "--output", str(out)]) == 0
+        assert out.exists()
+        text = out.read_text()
+        assert text.startswith("c") or text.startswith("p")
+        assert "p cnf" in text
+
+    def test_generate_without_output(self, capsys):
+        assert main(["generate", "--cipher", "geffe-tiny"]) == 0
+        assert "start set" in capsys.readouterr().out
+
+    def test_estimate_command(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "1",
+                "--sample-size",
+                "10",
+                "--max-evaluations",
+                "8",
+                "--cores",
+                "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "F_best" in output
+        assert "X_best" in output
+        assert "predicted on 4 cores" in output
+
+    def test_solve_command_with_explicit_decomposition(self, capsys):
+        from repro.ciphers import Geffe
+        from repro.problems import make_inversion_instance
+
+        instance = make_inversion_instance(Geffe.tiny(), seed=1)
+        decomposition = ",".join(str(v) for v in instance.start_set[:5])
+        code = main(
+            [
+                "solve",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "1",
+                "--decomposition",
+                decomposition,
+                "--cores",
+                "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sub-problems" in output
+        assert "makespan" in output
+
+    def test_solve_command_estimates_when_no_decomposition(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "2",
+                "--sample-size",
+                "10",
+                "--max-evaluations",
+                "6",
+                "--decomposition-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "solved" in capsys.readouterr().out
+
+    def test_solve_family_size_guard(self):
+        from repro.ciphers import Geffe
+        from repro.problems import make_inversion_instance
+
+        instance = make_inversion_instance(Geffe(), seed=0)
+        decomposition = ",".join(str(v) for v in instance.start_set)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve",
+                    "--cipher",
+                    "geffe",
+                    "--seed",
+                    "0",
+                    "--decomposition",
+                    decomposition,
+                    "--max-family-bits",
+                    "10",
+                ]
+            )
+
+
+class TestNewCommands:
+    def test_simplify_command(self, capsys):
+        code = main(["simplify", "--cipher", "geffe-tiny", "--seed", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "variables in use" in output
+        assert "eliminated variables" in output
+
+    def test_simplify_writes_dimacs(self, tmp_path, capsys):
+        target = tmp_path / "simplified.cnf"
+        code = main(
+            ["simplify", "--cipher", "geffe-tiny", "--seed", "1", "--output", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        assert target.read_text().startswith("c") or "p cnf" in target.read_text()
+
+    @pytest.mark.parametrize("technique", ["guiding-path", "scattering", "cube-and-conquer"])
+    def test_partition_command(self, technique, capsys):
+        code = main(
+            [
+                "partition",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "2",
+                "--technique",
+                technique,
+                "--parts",
+                "4",
+                "--solve",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "solved" in output
+        assert "satisfiable" in output
+
+    def test_portfolio_command(self, capsys):
+        code = main(["portfolio", "--cipher", "geffe-tiny", "--seed", "3", "--members", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "portfolio of 3" in output
+        assert "SAT" in output
+
+    def test_estimate_accepts_new_methods(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "1",
+                "--method",
+                "hillclimb",
+                "--sample-size",
+                "6",
+                "--max-evaluations",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "hillclimb" in capsys.readouterr().out

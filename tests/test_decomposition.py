@@ -1,0 +1,130 @@
+"""Tests for decomposition sets and decomposition families."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decomposition import DecompositionFamily, DecompositionSet
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.formula import CNF
+from repro.sat.random_cnf import random_ksat
+
+
+class TestDecompositionSet:
+    def test_of_sorts_and_deduplicates(self):
+        dec = DecompositionSet.of([5, 2, 2, 9])
+        assert dec.variables == (2, 5, 9)
+
+    def test_rejects_duplicates_in_constructor(self):
+        with pytest.raises(ValueError):
+            DecompositionSet((1, 1))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DecompositionSet((0, 2))
+
+    def test_d_and_num_subproblems(self):
+        dec = DecompositionSet.of([1, 2, 3])
+        assert dec.d == 3
+        assert dec.num_subproblems == 8
+
+    def test_membership_and_iteration(self):
+        dec = DecompositionSet.of([4, 7])
+        assert 4 in dec
+        assert 5 not in dec
+        assert list(dec) == [4, 7]
+        assert len(dec) == 2
+
+    def test_assignment_from_bits(self):
+        dec = DecompositionSet.of([3, 8])
+        assignment = dec.assignment_from_bits([1, 0])
+        assert assignment.values == {3: True, 8: False}
+
+    def test_random_assignment_uses_only_set_variables(self):
+        dec = DecompositionSet.of([2, 5, 6])
+        assignment = dec.random_assignment(random.Random(0))
+        assert set(assignment.variables()) == {2, 5, 6}
+
+    def test_random_sample_size(self):
+        dec = DecompositionSet.of([1, 2])
+        sample = dec.random_sample(10, random.Random(1))
+        assert len(sample) == 10
+
+    def test_all_assignments_enumeration(self):
+        dec = DecompositionSet.of([1, 2])
+        assignments = list(dec.all_assignments())
+        assert len(assignments) == 4
+        bit_vectors = {a.bits_for([1, 2]) for a in assignments}
+        assert bit_vectors == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_with_and_without_variable(self):
+        dec = DecompositionSet.of([1, 3])
+        assert dec.with_variable(2).variables == (1, 2, 3)
+        assert dec.with_variable(1) is dec
+        assert dec.without_variable(3).variables == (1,)
+        assert dec.without_variable(9) is dec
+
+    def test_frozenset_view_and_str(self):
+        dec = DecompositionSet.of([2, 1])
+        assert dec.as_frozenset() == frozenset({1, 2})
+        assert str(dec) == "{1, 2}"
+
+
+class TestDecompositionFamily:
+    def test_rejects_out_of_range_variables(self):
+        cnf = CNF([(1, 2)])
+        with pytest.raises(ValueError):
+            DecompositionFamily(cnf, [5])
+
+    def test_len_is_two_to_the_d(self):
+        cnf = CNF([(1, 2, 3)])
+        assert len(DecompositionFamily(cnf, [1, 2])) == 4
+
+    def test_subproblem_as_units(self):
+        cnf = CNF([(1, 2)])
+        family = DecompositionFamily(cnf, [1])
+        assignment = DecompositionSet.of([1]).assignment_from_bits([0])
+        sub = family.subproblem(assignment, as_units=True)
+        assert (-1,) in sub.clauses
+        assert sub.num_clauses == 2
+
+    def test_subproblem_syntactic(self):
+        cnf = CNF([(1, 2)])
+        family = DecompositionFamily(cnf, [1])
+        assignment = DecompositionSet.of([1]).assignment_from_bits([0])
+        sub = family.subproblem(assignment, as_units=False)
+        assert sub.clauses == [(2,)]
+
+    def test_subproblems_enumeration(self):
+        cnf = CNF([(1, 2, 3)])
+        family = DecompositionFamily(cnf, [1, 2])
+        subs = list(family.subproblems())
+        assert len(subs) == 4
+
+    def test_partitioning_property_on_random_cnf(self):
+        cnf = random_ksat(12, 40, seed=0)
+        family = DecompositionFamily(cnf, [1, 2, 3])
+        assert family.check_partitioning(CDCLSolver())
+
+    def test_partitioning_property_on_unsat_cnf(self):
+        cnf = CNF([(1, 2), (1, -2), (-1, 2), (-1, -2)])
+        family = DecompositionFamily(cnf, [1])
+        assert family.check_partitioning(CDCLSolver())
+
+    def test_check_refuses_huge_families(self):
+        cnf = random_ksat(40, 80, seed=0)
+        family = DecompositionFamily(cnf, list(range(1, 31)))
+        with pytest.raises(ValueError):
+            family.check_partitioning(CDCLSolver(), max_subproblems=1024)
+
+    def test_union_of_models_covers_original(self):
+        # Every model of the original CNF appears in exactly one sub-problem.
+        cnf = CNF([(1, 2), (-2, 3)])
+        family = DecompositionFamily(cnf, [2])
+        solver = CDCLSolver()
+        sat_subproblems = [
+            assignment for assignment, sub in family.subproblems() if solver.solve(sub).is_sat
+        ]
+        assert len(sat_subproblems) >= 1

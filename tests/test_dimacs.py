@@ -1,0 +1,101 @@
+"""Unit tests for repro.sat.dimacs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.dimacs import DimacsError, parse_dimacs, parse_dimacs_file, write_dimacs, write_dimacs_file
+from repro.sat.formula import CNF
+
+
+SIMPLE = """c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+
+class TestParse:
+    def test_parses_clauses(self):
+        cnf = parse_dimacs(SIMPLE)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (2, 3)]
+
+    def test_preserves_comments(self):
+        cnf = parse_dimacs(SIMPLE)
+        assert cnf.comments == ["a comment"]
+
+    def test_clause_spanning_lines(self):
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_multiple_clauses_on_one_line(self):
+        cnf = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert cnf.clauses == [(1,), (-2,)]
+
+    def test_percent_terminator(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 2 0\n%\n0\n")
+        assert cnf.clauses == [(1, 2)]
+
+    def test_missing_header_tolerated_when_not_strict(self):
+        cnf = parse_dimacs("1 2 0\n-1 0\n")
+        assert cnf.num_vars == 2
+        assert cnf.num_clauses == 2
+
+    def test_missing_final_zero_tolerated_when_not_strict(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 2\n")
+        assert cnf.clauses == [(1, 2)]
+
+    def test_strict_requires_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n", strict=True)
+
+    def test_strict_checks_clause_count(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 2\n1 2 0\n", strict=True)
+
+    def test_strict_checks_variable_bound(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 5 0\n", strict=True)
+
+    def test_strict_rejects_missing_terminator(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 2\n", strict=True)
+
+    def test_malformed_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf x y\n")
+
+    def test_non_integer_token(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 foo 0\n")
+
+    def test_empty_document(self):
+        cnf = parse_dimacs("")
+        assert cnf.num_vars == 0
+        assert cnf.num_clauses == 0
+
+
+class TestWrite:
+    def test_round_trip(self):
+        original = CNF([(1, -2), (2, 3), (-3,)], comments=["hello"])
+        text = write_dimacs(original)
+        parsed = parse_dimacs(text, strict=True)
+        assert parsed.clauses == original.clauses
+        assert parsed.num_vars == original.num_vars
+        assert parsed.comments == ["hello"]
+
+    def test_header_counts(self):
+        text = write_dimacs(CNF([(1, 2)], num_vars=5))
+        assert "p cnf 5 1" in text
+
+    def test_without_comments(self):
+        text = write_dimacs(CNF([(1,)], comments=["secret"]), include_comments=False)
+        assert "secret" not in text
+
+    def test_file_round_trip(self, tmp_path):
+        cnf = CNF([(1, 2), (-1, -2)])
+        path = tmp_path / "instance.cnf"
+        write_dimacs_file(cnf, path)
+        loaded = parse_dimacs_file(path, strict=True)
+        assert loaded.clauses == cnf.clauses

@@ -1,0 +1,164 @@
+"""Unit tests for repro.sat.formula."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.formula import CNF, lit_to_var, neg, normalize_clause, var_to_lit
+
+
+class TestLiteralHelpers:
+    def test_neg_flips_sign(self):
+        assert neg(3) == -3
+        assert neg(-7) == 7
+
+    def test_neg_rejects_zero(self):
+        with pytest.raises(ValueError):
+            neg(0)
+
+    def test_lit_to_var(self):
+        assert lit_to_var(5) == 5
+        assert lit_to_var(-5) == 5
+
+    def test_lit_to_var_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lit_to_var(0)
+
+    def test_var_to_lit_polarities(self):
+        assert var_to_lit(4) == 4
+        assert var_to_lit(4, positive=False) == -4
+
+    def test_var_to_lit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            var_to_lit(0)
+        with pytest.raises(ValueError):
+            var_to_lit(-2)
+
+
+class TestNormalizeClause:
+    def test_deduplicates(self):
+        assert normalize_clause([1, 1, 2]) == (1, 2)
+
+    def test_detects_tautology(self):
+        assert normalize_clause([1, -1, 3]) is None
+
+    def test_empty_clause(self):
+        assert normalize_clause([]) == ()
+
+    def test_sorted_by_variable(self):
+        assert normalize_clause([-3, 1, 2]) == (1, 2, -3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize_clause([1, 0, 2])
+
+
+class TestCNFConstruction:
+    def test_infers_num_vars(self):
+        cnf = CNF([(1, -5), (2, 3)])
+        assert cnf.num_vars == 5
+
+    def test_explicit_num_vars_can_exceed_max(self):
+        cnf = CNF([(1, 2)], num_vars=10)
+        assert cnf.num_vars == 10
+
+    def test_explicit_num_vars_raised_to_max(self):
+        cnf = CNF([(1, 7)], num_vars=3)
+        assert cnf.num_vars == 7
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            CNF([(1, 0)])
+
+    def test_add_clause_updates_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause((4, -9))
+        assert cnf.num_vars == 9
+        assert cnf.num_clauses == 1
+
+    def test_add_clauses(self):
+        cnf = CNF()
+        cnf.add_clauses([(1,), (2, -3)])
+        assert cnf.num_clauses == 2
+
+    def test_new_var_is_fresh(self):
+        cnf = CNF([(1, 2)])
+        v = cnf.new_var()
+        assert v == 3
+        assert cnf.num_vars == 3
+
+    def test_len_and_iter(self):
+        clauses = [(1, 2), (-1, 3)]
+        cnf = CNF(clauses)
+        assert len(cnf) == 2
+        assert list(cnf) == [(1, 2), (-1, 3)]
+
+    def test_equality(self):
+        assert CNF([(1, 2)]) == CNF([(1, 2)])
+        assert CNF([(1, 2)]) != CNF([(2, 1)])
+
+    def test_copy_is_independent(self):
+        cnf = CNF([(1, 2)])
+        clone = cnf.copy()
+        clone.add_clause((3,))
+        assert cnf.num_clauses == 1
+        assert clone.num_clauses == 2
+
+    def test_variables(self):
+        cnf = CNF([(1, -4), (2,)], num_vars=9)
+        assert cnf.variables() == {1, 2, 4}
+
+
+class TestCNFAssign:
+    def test_assign_satisfies_clause(self):
+        cnf = CNF([(1, 2), (-1, 3)])
+        reduced = cnf.assign({1: True})
+        assert reduced.clauses == [(3,)]
+
+    def test_assign_removes_falsified_literal(self):
+        cnf = CNF([(1, 2)])
+        reduced = cnf.assign({1: False})
+        assert reduced.clauses == [(2,)]
+
+    def test_assign_can_produce_empty_clause(self):
+        cnf = CNF([(1, 2)])
+        reduced = cnf.assign({1: False, 2: False})
+        assert reduced.clauses == [()]
+
+    def test_assign_preserves_numbering(self):
+        cnf = CNF([(1, 2), (3, 4)])
+        reduced = cnf.assign({1: True})
+        assert reduced.num_vars == 4
+
+    def test_with_unit_clauses(self):
+        cnf = CNF([(1, 2)])
+        extended = cnf.with_unit_clauses({2: False, 3: True})
+        assert (-2,) in extended.clauses
+        assert (3,) in extended.clauses
+        assert extended.num_clauses == 3
+
+    def test_with_unit_clauses_does_not_mutate_original(self):
+        cnf = CNF([(1, 2)])
+        cnf.with_unit_clauses({1: True})
+        assert cnf.num_clauses == 1
+
+
+class TestCNFModels:
+    def test_is_satisfied_by_dict(self):
+        cnf = CNF([(1, -2), (2, 3)])
+        assert cnf.is_satisfied_by({1: True, 2: False, 3: True})
+        assert not cnf.is_satisfied_by({1: False, 2: True, 3: False})
+
+    def test_is_satisfied_by_sequence(self):
+        cnf = CNF([(1, -2), (2, 3)])
+        assert cnf.is_satisfied_by([True, False, True])
+
+    def test_falsified_clauses(self):
+        cnf = CNF([(1,), (-1, 2), (2,)])
+        falsified = cnf.falsified_clauses({1: True, 2: False})
+        assert falsified == [(-1, 2), (2,)]
+
+    def test_restrict_to_clauses(self):
+        cnf = CNF([(1, 2), (3,), (-1,)])
+        units = cnf.restrict_to_clauses(lambda c: len(c) == 1)
+        assert units.clauses == [(3,), (-1,)]

@@ -1,0 +1,161 @@
+"""Tests for the hill-climbing baseline and the genetic-algorithm extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.genetic import GeneticConfig, GeneticMinimizer
+from repro.core.hillclimb import HillClimbConfig, HillClimbingMinimizer
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.core.predictive import PredictiveFunction
+from repro.core.search_space import SearchSpace
+
+
+@pytest.fixture
+def evaluator(geffe_instance):
+    return PredictiveFunction(
+        geffe_instance.cnf, sample_size=8, cost_measure="propagations", seed=1
+    )
+
+
+@pytest.fixture
+def space(geffe_instance):
+    return SearchSpace(geffe_instance.start_set)
+
+
+class TestHillClimbing:
+    def test_steepest_descent_improves_on_start(self, evaluator, space):
+        minimizer = HillClimbingMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=60)
+        )
+        start = space.start_point()
+        start_value = evaluator.evaluate(start).value
+        result = minimizer.minimize(start)
+        assert result.best_value <= start_value
+        assert set(result.best_point) <= set(start)
+
+    def test_first_improvement_strategy(self, evaluator, space):
+        minimizer = HillClimbingMinimizer(
+            evaluator,
+            space,
+            config=HillClimbConfig(strategy="first"),
+            stopping=StoppingCriteria(max_evaluations=40),
+        )
+        result = minimizer.minimize()
+        assert result.num_evaluations <= 41
+        assert result.stop_reason in ("local_minimum", "max_evaluations")
+
+    def test_stops_at_local_minimum(self, evaluator, space):
+        minimizer = HillClimbingMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=10_000)
+        )
+        result = minimizer.minimize()
+        assert result.stop_reason == "local_minimum"
+        # At a local minimum no radius-1 neighbour is better.
+        checked = {p.point for p in result.trajectory}
+        assert space.is_neighborhood_checked(result.final_center, checked, radius=1)
+
+    def test_rejects_empty_start_point(self, evaluator, space):
+        minimizer = HillClimbingMinimizer(evaluator, space)
+        with pytest.raises(ValueError):
+            minimizer.minimize(frozenset())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HillClimbConfig(strategy="middle")
+        with pytest.raises(ValueError):
+            HillClimbConfig(radius=0)
+
+    def test_budget_is_respected(self, evaluator, space):
+        minimizer = HillClimbingMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=5)
+        )
+        result = minimizer.minimize()
+        assert result.num_evaluations <= 6
+
+
+class TestGenetic:
+    def test_finds_a_point_at_least_as_good_as_start(self, evaluator, space):
+        minimizer = GeneticMinimizer(
+            evaluator,
+            space,
+            config=GeneticConfig(population_size=8, max_generations=4, seed=3),
+            stopping=StoppingCriteria(max_evaluations=80),
+        )
+        start = space.start_point()
+        start_value = evaluator.evaluate(start).value
+        result = minimizer.minimize(start)
+        assert result.best_value <= start_value
+        assert result.best_point
+
+    def test_deterministic_given_seed(self, geffe_instance):
+        def run():
+            evaluator = PredictiveFunction(
+                geffe_instance.cnf, sample_size=6, cost_measure="propagations", seed=2
+            )
+            space = SearchSpace(geffe_instance.start_set)
+            minimizer = GeneticMinimizer(
+                evaluator,
+                space,
+                config=GeneticConfig(population_size=6, max_generations=3, seed=5),
+                stopping=StoppingCriteria(max_evaluations=50),
+            )
+            return minimizer.minimize()
+
+        first, second = run(), run()
+        assert first.best_point == second.best_point
+        assert first.best_value == second.best_value
+
+    def test_budget_is_respected(self, evaluator, space):
+        minimizer = GeneticMinimizer(
+            evaluator,
+            space,
+            config=GeneticConfig(population_size=6, max_generations=50, seed=1),
+            stopping=StoppingCriteria(max_evaluations=20),
+        )
+        result = minimizer.minimize()
+        assert result.num_evaluations <= 21
+        assert result.stop_reason == "max_evaluations"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneticConfig(population_size=1)
+        with pytest.raises(ValueError):
+            GeneticConfig(tournament_size=99)
+        with pytest.raises(ValueError):
+            GeneticConfig(crossover_rate=1.5)
+        with pytest.raises(ValueError):
+            GeneticConfig(mutation_rate=-0.1)
+        with pytest.raises(ValueError):
+            GeneticConfig(elite_count=12, population_size=12)
+        with pytest.raises(ValueError):
+            GeneticConfig(max_generations=0)
+
+    def test_rejects_empty_start_point(self, evaluator, space):
+        minimizer = GeneticMinimizer(evaluator, space)
+        with pytest.raises(ValueError):
+            minimizer.minimize(frozenset())
+
+
+class TestPDSATMethodDispatch:
+    def test_hillclimb_method(self, geffe_instance):
+        pdsat = PDSAT(geffe_instance, sample_size=6, seed=4)
+        report = pdsat.estimate(
+            method="hillclimb", stopping=StoppingCriteria(max_evaluations=25)
+        )
+        assert report.method == "hillclimb"
+        assert report.best_decomposition
+
+    def test_genetic_method(self, geffe_instance):
+        pdsat = PDSAT(geffe_instance, sample_size=6, seed=4)
+        report = pdsat.estimate(
+            method="genetic", stopping=StoppingCriteria(max_evaluations=25)
+        )
+        assert report.method == "genetic"
+        assert report.best_decomposition
+
+    def test_unknown_method_rejected(self, geffe_instance):
+        pdsat = PDSAT(geffe_instance, sample_size=6)
+        with pytest.raises(ValueError):
+            pdsat.estimate(method="brute_force")

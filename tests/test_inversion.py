@@ -1,0 +1,177 @@
+"""Tests for keystream-inversion instance generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import Bivium, Geffe, Grain
+from repro.problems import make_instance_series, make_inversion_instance, weaken_instance
+from repro.sat.cdcl import CDCLSolver
+
+
+class TestInstanceConstruction:
+    def test_basic_fields(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=0)
+        assert instance.cnf.num_clauses > 0
+        assert len(instance.keystream) == 20
+        assert len(instance.start_set) == 12
+        assert len(instance.known_assignment) == 0
+        assert instance.secret_state is not None
+
+    def test_secret_state_produces_keystream(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=1)
+        assert instance.verify_state(instance.secret_state)
+
+    def test_default_keystream_length_used(self):
+        generator = Geffe.tiny()
+        instance = make_inversion_instance(generator, seed=0)
+        assert len(instance.keystream) == generator.default_keystream_length()
+
+    def test_instance_is_satisfiable_and_recovers_valid_state(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=2)
+        result = CDCLSolver().solve(instance.cnf)
+        assert result.is_sat
+        state = instance.state_from_model(result.model)
+        assert instance.verify_state(state)
+
+    def test_secret_state_satisfies_encoding(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=3)
+        assumptions = []
+        split = instance.generator.split_state(instance.secret_state)
+        for reg, bits in split.items():
+            for var, bit in zip(instance.register_vars[reg], bits):
+                assumptions.append(var if bit else -var)
+        result = CDCLSolver().solve(instance.cnf, assumptions=assumptions)
+        assert result.is_sat
+
+    def test_register_vars_cover_start_set(self):
+        instance = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=24, seed=0)
+        flat = [v for reg in instance.generator.registers() for v in instance.register_vars[reg]]
+        assert flat == instance.start_set
+
+    def test_different_seeds_give_different_keystream(self):
+        a = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=0)
+        b = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=1)
+        assert a.keystream != b.keystream
+
+    def test_name_contains_seed(self):
+        instance = make_inversion_instance(Geffe.tiny(), seed=9)
+        assert "seed=9" in instance.name
+
+    def test_summary_mentions_sizes(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=0)
+        summary = instance.summary()
+        assert "start set" in summary
+        assert "20 bits" in summary
+
+
+class TestWeakening:
+    def test_known_bits_fix_last_register_cells(self):
+        generator = Bivium.scaled("tiny")
+        instance = make_inversion_instance(generator, keystream_length=24, seed=0, known_bits=4)
+        assert len(instance.known_assignment) == 4
+        last_register_vars = instance.register_vars["B"]
+        assert set(instance.known_assignment) == set(last_register_vars[-4:])
+
+    def test_known_bits_match_secret_state(self):
+        generator = Bivium.scaled("tiny")
+        instance = make_inversion_instance(generator, keystream_length=24, seed=1, known_bits=5)
+        split = generator.split_state(instance.secret_state)
+        expected_bits = split["B"][-5:]
+        observed = [int(instance.known_assignment[v]) for v in instance.register_vars["B"][-5:]]
+        assert observed == expected_bits
+
+    def test_free_start_variables_exclude_known(self):
+        instance = make_inversion_instance(
+            Bivium.scaled("tiny"), keystream_length=24, seed=0, known_bits=3
+        )
+        assert len(instance.free_start_variables) == len(instance.start_set) - 3
+
+    def test_weakened_instance_still_satisfiable(self):
+        instance = make_inversion_instance(
+            Grain.scaled("tiny"), keystream_length=20, seed=0, known_bits=4
+        )
+        result = CDCLSolver().solve(instance.cnf)
+        assert result.is_sat
+
+    def test_known_register_can_be_chosen(self):
+        instance = make_inversion_instance(
+            Bivium.scaled("tiny"), keystream_length=24, seed=0, known_bits=3, known_register="A"
+        )
+        assert set(instance.known_assignment) <= set(instance.register_vars["A"])
+
+    def test_known_from_start(self):
+        instance = make_inversion_instance(
+            Bivium.scaled("tiny"), keystream_length=24, seed=0, known_bits=3, known_from_end=False
+        )
+        assert set(instance.known_assignment) == set(instance.register_vars["B"][:3])
+
+    def test_too_many_known_bits_rejected(self):
+        with pytest.raises(ValueError):
+            make_inversion_instance(Geffe.tiny(), seed=0, known_bits=100)
+
+    def test_weaken_existing_instance(self):
+        base = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=24, seed=2)
+        weakened = weaken_instance(base, known_bits=6)
+        assert len(weakened.known_assignment) == 6
+        assert weakened.keystream == base.keystream
+        assert weakened.secret_state == base.secret_state
+        assert weakened.cnf.num_clauses == base.cnf.num_clauses + 6
+
+    def test_weaken_name_mentions_k(self):
+        base = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=24, seed=2)
+        assert "K=6" in weaken_instance(base, known_bits=6).name
+
+    def test_paper_naming_convention(self):
+        # BiviumK: the instance name carries the weakening level K.
+        instance = make_inversion_instance(
+            Bivium.scaled("tiny"), keystream_length=24, seed=0, known_bits=9
+        )
+        assert "Bivium9" in instance.name
+
+
+class TestInstanceSeries:
+    def test_series_length_and_seeds(self):
+        series = make_instance_series(Geffe.tiny(), count=3, keystream_length=20, first_seed=10)
+        assert len(series) == 3
+        keystreams = {tuple(inst.keystream) for inst in series}
+        assert len(keystreams) == 3
+
+    def test_series_share_structure(self):
+        series = make_instance_series(Geffe.tiny(), count=2, keystream_length=20)
+        assert series[0].start_set == series[1].start_set
+        assert series[0].cnf.num_vars == series[1].cnf.num_vars
+
+    def test_series_with_weakening(self):
+        series = make_instance_series(
+            Bivium.scaled("tiny"), count=2, keystream_length=24, known_bits=4
+        )
+        assert all(len(inst.known_assignment) == 4 for inst in series)
+
+
+class TestRandomKeystreamInstance:
+    def test_longer_than_state_is_unsat(self):
+        from repro.problems import make_random_keystream_instance
+
+        instance = make_random_keystream_instance(Geffe.tiny(), keystream_length=24, seed=9)
+        assert instance.secret_state is None
+        result = CDCLSolver().solve(instance.cnf)
+        assert result.is_unsat
+
+    def test_structure_matches_planted_instance(self):
+        from repro.problems import make_random_keystream_instance
+
+        random_instance = make_random_keystream_instance(
+            Bivium.scaled("tiny"), keystream_length=26, seed=3
+        )
+        planted = make_inversion_instance(Bivium.scaled("tiny"), keystream_length=26, seed=3)
+        assert random_instance.start_set == planted.start_set
+        assert random_instance.cnf.num_vars == planted.cnf.num_vars
+        assert "random keystream" in random_instance.name
+
+    def test_deterministic_given_seed(self):
+        from repro.problems import make_random_keystream_instance
+
+        first = make_random_keystream_instance(Geffe.tiny(), keystream_length=20, seed=7)
+        second = make_random_keystream_instance(Geffe.tiny(), keystream_length=20, seed=7)
+        assert first.keystream == second.keystream

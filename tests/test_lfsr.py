@@ -1,0 +1,74 @@
+"""Tests for the LFSR/NFSR building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers.lfsr import LFSR, lfsr_step, nfsr_step
+
+
+class TestLfsrStep:
+    def test_output_is_last_cell(self):
+        state = [0, 1, 0, 1]
+        _, output = lfsr_step(state, [3])
+        assert output == 1
+
+    def test_feedback_enters_at_zero(self):
+        state = [0, 0, 0, 1]
+        new_state, _ = lfsr_step(state, [3])
+        assert new_state == [1, 0, 0, 0]
+
+    def test_feedback_is_xor_of_taps(self):
+        state = [1, 1, 0, 1]
+        new_state, _ = lfsr_step(state, [0, 1, 3])
+        assert new_state[0] == (1 ^ 1 ^ 1)
+
+    def test_nfsr_step_uses_feedback_function(self):
+        state = [1, 0, 1]
+        new_state, output = nfsr_step(state, lambda s: s[0] & s[2])
+        assert output == 1
+        assert new_state == [1, 1, 0]
+
+
+class TestLFSRClass:
+    def test_load_and_run(self):
+        reg = LFSR(4, (3, 2))
+        reg.load([1, 0, 0, 0])
+        outputs = reg.run(4)
+        assert len(outputs) == 4
+        assert all(bit in (0, 1) for bit in outputs)
+
+    def test_load_validates_length(self):
+        reg = LFSR(4, (3,))
+        with pytest.raises(ValueError):
+            reg.load([1, 0])
+
+    def test_taps_validated(self):
+        with pytest.raises(ValueError):
+            LFSR(4, (5,))
+
+    def test_zero_state_stays_zero(self):
+        reg = LFSR(5, (4, 2))
+        reg.load([0] * 5)
+        assert reg.run(10) == [0] * 10
+
+    def test_maximal_period_register(self):
+        # x^4 + x^3 + 1 is primitive: taps at cells 3 and 2 under our convention
+        # give the full period 15 for any non-zero initial state.
+        reg = LFSR(4, (3, 2))
+        reg.load([1, 0, 0, 0])
+        seen = set()
+        for _ in range(20):
+            seen.add(tuple(reg.state))
+            reg.clock()
+        assert len(seen) == 15
+        assert reg.period_upper_bound() == 15
+
+    def test_default_state_is_zero(self):
+        reg = LFSR(3, (2,))
+        assert reg.state == [0, 0, 0]
+
+    def test_clock_returns_bits(self):
+        reg = LFSR(3, (2, 1))
+        reg.load([1, 1, 0])
+        assert reg.clock() in (0, 1)

@@ -1,0 +1,129 @@
+"""Tests for the lookahead solver and lookahead variable scoring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.formula import CNF
+from repro.sat.lookahead import (
+    LookaheadSolver,
+    lookahead_scores,
+    rank_variables_by_lookahead,
+)
+from repro.sat.random_cnf import pigeonhole, planted_ksat, random_ksat
+from repro.sat.solver import SolverBudget, SolverStatus, check_model
+
+
+class TestLookaheadSolver:
+    def test_sat_on_tiny_formula(self, tiny_sat_cnf):
+        result = LookaheadSolver().solve(tiny_sat_cnf)
+        assert result.is_sat
+        assert check_model(tiny_sat_cnf, result.model)
+
+    def test_unsat_on_tiny_formula(self, tiny_unsat_cnf):
+        result = LookaheadSolver().solve(tiny_unsat_cnf)
+        assert result.is_unsat
+
+    def test_empty_formula_is_sat(self):
+        result = LookaheadSolver().solve(CNF([], num_vars=3))
+        assert result.is_sat
+        assert check_model(CNF([], num_vars=3), result.model)
+
+    def test_empty_clause_is_unsat(self):
+        result = LookaheadSolver().solve(CNF([()]))
+        assert result.is_unsat
+
+    def test_planted_instance(self):
+        cnf, planted = planted_ksat(18, 70, seed=3)
+        result = LookaheadSolver().solve(cnf)
+        assert result.is_sat
+        assert check_model(cnf, result.model)
+
+    def test_pigeonhole_unsat(self):
+        cnf = pigeonhole(3)
+        result = LookaheadSolver().solve(cnf)
+        assert result.is_unsat
+
+    def test_assumptions_restrict_models(self):
+        cnf = CNF([(1, 2), (-1, 3)])
+        result = LookaheadSolver().solve(cnf, assumptions=[1])
+        assert result.is_sat
+        assert result.model[1] is True
+        assert result.model[3] is True
+
+    def test_conflicting_assumptions_are_unsat(self):
+        cnf = CNF([(1, 2)])
+        result = LookaheadSolver().solve(cnf, assumptions=[-1, -2])
+        assert result.is_unsat
+
+    def test_budget_yields_unknown(self):
+        cnf = pigeonhole(5)
+        result = LookaheadSolver().solve(cnf, budget=SolverBudget(max_decisions=1))
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_agrees_with_cdcl_on_random_instances(self, cdcl):
+        for seed in range(6):
+            cnf = random_ksat(14, 58, seed=seed)
+            lookahead = LookaheadSolver().solve(cnf)
+            reference = cdcl.solve(cnf)
+            assert lookahead.status == reference.status
+            if lookahead.is_sat:
+                assert check_model(cnf, lookahead.model)
+
+    def test_deterministic(self):
+        cnf = random_ksat(14, 58, seed=9)
+        first = LookaheadSolver().solve(cnf)
+        second = LookaheadSolver().solve(cnf)
+        assert first.status == second.status
+        assert first.stats.decisions == second.stats.decisions
+        assert first.stats.propagations == second.stats.propagations
+
+    def test_probe_cap_validation(self):
+        with pytest.raises(ValueError):
+            LookaheadSolver(max_probe_variables=0)
+
+
+class TestLookaheadScores:
+    def test_failed_literal_detection(self):
+        # x1 must be true: probing x1=False fails immediately.
+        cnf = CNF([(1, 2), (1, -2), (3, 4)])
+        probes = {p.variable: p for p in lookahead_scores(cnf)}
+        assert probes[1].failed_negative
+        assert not probes[1].failed_positive
+
+    def test_contradiction_detected(self):
+        probes = lookahead_scores(CNF([(1, 2), (1, -2), (-1, 2), (-1, -2)]))
+        assert any(p.is_contradiction for p in probes) or probes == []
+
+    def test_unsatisfiable_root_returns_empty(self):
+        assert lookahead_scores(CNF([()])) == []
+
+    def test_candidates_are_respected(self):
+        cnf = random_ksat(10, 30, seed=1)
+        probes = lookahead_scores(cnf, candidates=[1, 2, 3])
+        assert {p.variable for p in probes} <= {1, 2, 3}
+
+    def test_ranking_prefers_balanced_splitters(self):
+        # Variable 1 appears in every clause; it should rank above variable 5,
+        # which appears only once.
+        cnf = CNF([(1, 2), (-1, 3), (1, -3), (-1, -2), (5, 4)])
+        ranking = rank_variables_by_lookahead(cnf)
+        assert ranking.index(1) < ranking.index(5)
+
+    def test_ranking_under_assumptions(self):
+        cnf = CNF([(1, 2), (-1, 3), (4, 5)])
+        ranking = rank_variables_by_lookahead(cnf, assumptions=[1])
+        assert 1 not in ranking
+        assert 3 not in ranking  # forced by the assumption
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_agrees_with_cdcl(self, seed):
+        cnf = random_ksat(10, 42, seed=seed)
+        from repro.sat.cdcl import CDCLSolver
+
+        lookahead = LookaheadSolver().solve(cnf)
+        reference = CDCLSolver().solve(cnf)
+        assert lookahead.status == reference.status

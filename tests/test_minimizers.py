@@ -1,0 +1,284 @@
+"""Tests for the simulated annealing and tabu search minimisers (Algorithms 1 and 2).
+
+Besides exercising the two metaheuristics on real (tiny) cryptanalysis
+instances, several tests use a *synthetic* predictive function with a known
+landscape so that convergence claims are checked against ground truth instead
+of solver behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import Geffe
+from repro.core.annealing import AnnealingConfig, SimulatedAnnealingMinimizer
+from repro.core.decomposition import DecompositionSet
+from repro.core.optimizer import MinimizationResult, StoppingCriteria
+from repro.core.predictive import PredictiveFunction
+from repro.core.search_space import SearchSpace
+from repro.core.tabu import TabuConfig, TabuSearchMinimizer
+from repro.problems import make_inversion_instance
+
+
+class SyntheticEvaluator:
+    """A drop-in replacement for PredictiveFunction with a known optimum.
+
+    The "value" of a point is ``2^|X̃|`` plus a penalty for every variable
+    missing from the target set — so the unique global optimum is exactly the
+    target set.  Mimics the real evaluator's public interface closely enough
+    for the minimisers (evaluate / num_evaluations / num_subproblem_solves /
+    accumulated_activity).
+    """
+
+    def __init__(self, target: set[int], base: list[int]):
+        self.target = set(target)
+        self.base = list(base)
+        self._cache: dict[frozenset[int], object] = {}
+        self.accumulated_activity = {v: float(v in self.target) for v in self.base}
+        self.num_subproblem_solves = 0
+
+    class _Result:
+        def __init__(self, dec, value):
+            self.decomposition = dec
+            self.value = value
+            self.conflict_activity: dict[int, float] = {}
+
+    def evaluate(self, decomposition):
+        dec = (
+            decomposition
+            if isinstance(decomposition, DecompositionSet)
+            else DecompositionSet.of(decomposition)
+        )
+        key = dec.as_frozenset()
+        if key not in self._cache:
+            self.num_subproblem_solves += 1
+            missing_penalty = 100.0 * len(self.target - set(dec.variables))
+            value = float(2 ** dec.d) + missing_penalty
+            self._cache[key] = self._Result(dec, value)
+        return self._cache[key]
+
+    @property
+    def num_evaluations(self):
+        return len(self._cache)
+
+
+@pytest.fixture(scope="module")
+def geffe_setup():
+    instance = make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=3)
+    evaluator = PredictiveFunction(instance.cnf, sample_size=12, seed=1)
+    space = SearchSpace(instance.start_set)
+    return instance, evaluator, space
+
+
+class TestSimulatedAnnealing:
+    def test_converges_on_synthetic_landscape(self):
+        base = list(range(1, 9))
+        target = {1, 2, 3}
+        evaluator = SyntheticEvaluator(target, base)
+        space = SearchSpace(base)
+        minimizer = SimulatedAnnealingMinimizer(
+            evaluator,
+            space,
+            config=AnnealingConfig(seed=0, min_temperature=1e-6, cooling_factor=0.99),
+            stopping=StoppingCriteria(max_evaluations=250),
+        )
+        result = minimizer.minimize()
+        assert set(result.best_point) >= target
+        assert result.best_value <= 2 ** len(base)
+
+    def test_improves_over_start_point(self, geffe_setup):
+        _, evaluator, space = geffe_setup
+        minimizer = SimulatedAnnealingMinimizer(
+            evaluator, space, config=AnnealingConfig(seed=2),
+            stopping=StoppingCriteria(max_evaluations=40),
+        )
+        result = minimizer.minimize()
+        start_value = evaluator.evaluate(space.to_decomposition(space.start_point())).value
+        assert result.best_value <= start_value
+
+    def test_result_fields(self, geffe_setup):
+        _, evaluator, space = geffe_setup
+        minimizer = SimulatedAnnealingMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=10)
+        )
+        result = minimizer.minimize()
+        assert isinstance(result, MinimizationResult)
+        assert result.num_evaluations <= 10
+        assert result.trajectory[0].point == space.start_point()
+        assert result.stop_reason
+        assert sorted(result.best_point) == result.best_decomposition
+        assert "best F" in result.summary()
+
+    def test_respects_custom_start_point(self, geffe_setup):
+        instance, evaluator, space = geffe_setup
+        start = space.point(instance.start_set[:6])
+        result = SimulatedAnnealingMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=5)
+        ).minimize(start)
+        assert result.trajectory[0].point == start
+
+    def test_empty_start_rejected(self, geffe_setup):
+        _, evaluator, space = geffe_setup
+        with pytest.raises(ValueError):
+            SimulatedAnnealingMinimizer(evaluator, space).minimize(frozenset())
+
+    def test_temperature_limit_stops(self):
+        base = list(range(1, 6))
+        evaluator = SyntheticEvaluator({1}, base)
+        minimizer = SimulatedAnnealingMinimizer(
+            evaluator,
+            SearchSpace(base),
+            config=AnnealingConfig(initial_temperature=0.01, min_temperature=0.009,
+                                   cooling_factor=0.5, seed=0),
+            stopping=StoppingCriteria(max_evaluations=10_000),
+        )
+        result = minimizer.minimize()
+        assert result.stop_reason == "temperature_limit"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingConfig(cooling_factor=1.5)
+        with pytest.raises(ValueError):
+            AnnealingConfig(temperature_mode="sideways")
+        with pytest.raises(ValueError):
+            AnnealingConfig(initial_temperature=0)
+
+    def test_absolute_temperature_mode(self):
+        base = list(range(1, 7))
+        evaluator = SyntheticEvaluator({1, 2}, base)
+        minimizer = SimulatedAnnealingMinimizer(
+            evaluator,
+            SearchSpace(base),
+            config=AnnealingConfig(temperature_mode="absolute", initial_temperature=10.0, seed=1),
+            stopping=StoppingCriteria(max_evaluations=100),
+        )
+        result = minimizer.minimize()
+        assert result.best_value < float("inf")
+
+    def test_deterministic_given_seed(self, geffe_setup):
+        instance, _, _ = geffe_setup
+        results = []
+        for _ in range(2):
+            evaluator = PredictiveFunction(instance.cnf, sample_size=10, seed=5)
+            space = SearchSpace(instance.start_set)
+            minimizer = SimulatedAnnealingMinimizer(
+                evaluator, space, config=AnnealingConfig(seed=3),
+                stopping=StoppingCriteria(max_evaluations=15),
+            )
+            results.append(minimizer.minimize())
+        assert results[0].best_point == results[1].best_point
+        assert results[0].best_value == results[1].best_value
+
+
+class TestTabuSearch:
+    def test_converges_on_synthetic_landscape(self):
+        base = list(range(1, 9))
+        target = {1, 2, 3}
+        evaluator = SyntheticEvaluator(target, base)
+        space = SearchSpace(base)
+        minimizer = TabuSearchMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=300)
+        )
+        result = minimizer.minimize()
+        assert set(result.best_point) >= target
+        assert result.best_value <= 2 ** len(base)
+
+    def test_never_reevaluates_points(self, geffe_setup):
+        _, _, space = geffe_setup
+        instance, _, _ = geffe_setup
+        evaluator = PredictiveFunction(instance.cnf, sample_size=8, seed=0)
+        minimizer = TabuSearchMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=25)
+        )
+        result = minimizer.minimize()
+        visited = [v.point for v in result.trajectory]
+        assert len(visited) == len(set(visited))
+
+    def test_improves_over_start_point(self, geffe_setup):
+        instance, _, space = geffe_setup
+        evaluator = PredictiveFunction(instance.cnf, sample_size=10, seed=2)
+        minimizer = TabuSearchMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=40)
+        )
+        result = minimizer.minimize()
+        start_value = evaluator.evaluate(space.to_decomposition(space.start_point())).value
+        assert result.best_value <= start_value
+
+    def test_small_space_terminates_by_l2_exhaustion(self):
+        base = [1, 2, 3]
+        evaluator = SyntheticEvaluator({1}, base)
+        minimizer = TabuSearchMinimizer(
+            evaluator, SearchSpace(base), stopping=StoppingCriteria(max_evaluations=10_000)
+        )
+        result = minimizer.minimize()
+        assert result.stop_reason == "l2_empty"
+        # The whole space (except the empty set) has been evaluated.
+        assert evaluator.num_evaluations == 2 ** len(base) - 1
+
+    def test_exhaustive_search_finds_global_optimum(self):
+        base = [1, 2, 3, 4]
+        target = {2, 3}
+        evaluator = SyntheticEvaluator(target, base)
+        minimizer = TabuSearchMinimizer(
+            evaluator, SearchSpace(base), stopping=StoppingCriteria(max_evaluations=10_000)
+        )
+        result = minimizer.minimize()
+        assert set(result.best_point) == target
+
+    @pytest.mark.parametrize("heuristic", ["activity", "best_value", "fifo"])
+    def test_new_center_heuristics(self, heuristic):
+        base = list(range(1, 7))
+        evaluator = SyntheticEvaluator({1, 2}, base)
+        minimizer = TabuSearchMinimizer(
+            evaluator,
+            SearchSpace(base),
+            config=TabuConfig(new_center_heuristic=heuristic),
+            stopping=StoppingCriteria(max_evaluations=120),
+        )
+        result = minimizer.minimize()
+        assert set(result.best_point) >= {1, 2}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TabuConfig(radius=0)
+        with pytest.raises(ValueError):
+            TabuConfig(new_center_heuristic="psychic")
+
+    def test_stopping_by_subproblem_budget(self, geffe_setup):
+        instance, _, space = geffe_setup
+        evaluator = PredictiveFunction(instance.cnf, sample_size=10, seed=0)
+        minimizer = TabuSearchMinimizer(
+            evaluator, space, stopping=StoppingCriteria(max_evaluations=None, max_subproblem_solves=35)
+        )
+        result = minimizer.minimize()
+        assert result.stop_reason == "max_subproblem_solves"
+
+    def test_deterministic(self, geffe_setup):
+        instance, _, _ = geffe_setup
+        outcomes = []
+        for _ in range(2):
+            evaluator = PredictiveFunction(instance.cnf, sample_size=10, seed=4)
+            minimizer = TabuSearchMinimizer(
+                evaluator,
+                SearchSpace(instance.start_set),
+                stopping=StoppingCriteria(max_evaluations=20),
+            )
+            outcomes.append(minimizer.minimize())
+        assert outcomes[0].best_point == outcomes[1].best_point
+        assert outcomes[0].best_value == outcomes[1].best_value
+
+    def test_tabu_visits_more_points_than_annealing_per_budget(self, geffe_setup):
+        # The paper prefers tabu search because it traverses more points per
+        # unit of work; with the same sub-problem budget tabu should evaluate
+        # at least as many points.
+        instance, _, _ = geffe_setup
+        budget = StoppingCriteria(max_evaluations=None, max_subproblem_solves=200)
+        tabu_eval = PredictiveFunction(instance.cnf, sample_size=10, seed=6)
+        sa_eval = PredictiveFunction(instance.cnf, sample_size=10, seed=6)
+        tabu = TabuSearchMinimizer(tabu_eval, SearchSpace(instance.start_set), stopping=budget)
+        sa = SimulatedAnnealingMinimizer(
+            sa_eval, SearchSpace(instance.start_set), config=AnnealingConfig(seed=6), stopping=budget
+        )
+        tabu_result = tabu.minimize()
+        sa_result = sa.minimize()
+        assert tabu_result.num_evaluations >= sa_result.num_evaluations

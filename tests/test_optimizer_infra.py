@@ -1,0 +1,107 @@
+"""Tests for the shared minimiser infrastructure (stopping criteria, result records)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ciphers import Geffe
+from repro.core.optimizer import (
+    BaseMinimizer,
+    MinimizationResult,
+    StoppingCriteria,
+    VisitedPoint,
+)
+from repro.core.predictive import PredictiveFunction
+from repro.core.search_space import SearchSpace
+from repro.problems import make_inversion_instance
+
+
+class TestStoppingCriteria:
+    def test_defaults(self):
+        criteria = StoppingCriteria()
+        assert criteria.max_evaluations == 200
+        assert criteria.max_seconds is None
+
+    def test_evaluation_limit(self):
+        criteria = StoppingCriteria(max_evaluations=5)
+        assert criteria.exceeded(5, 0, time.perf_counter()) == "max_evaluations"
+        assert criteria.exceeded(4, 0, time.perf_counter()) is None
+
+    def test_subproblem_limit(self):
+        criteria = StoppingCriteria(max_evaluations=None, max_subproblem_solves=100)
+        assert criteria.exceeded(1000, 100, time.perf_counter()) == "max_subproblem_solves"
+        assert criteria.exceeded(1000, 99, time.perf_counter()) is None
+
+    def test_time_limit(self):
+        criteria = StoppingCriteria(max_evaluations=None, max_seconds=0.01)
+        started = time.perf_counter() - 1.0
+        assert criteria.exceeded(0, 0, started) == "max_seconds"
+
+    def test_no_limits(self):
+        criteria = StoppingCriteria(max_evaluations=None)
+        assert criteria.exceeded(10**6, 10**6, time.perf_counter()) is None
+
+
+class TestBaseMinimizer:
+    @pytest.fixture
+    def setup(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=0)
+        evaluator = PredictiveFunction(instance.cnf, sample_size=5, seed=0)
+        space = SearchSpace(instance.start_set)
+        return instance, evaluator, space
+
+    def test_run_counters_start_at_zero(self, setup):
+        _, evaluator, space = setup
+        evaluator.evaluate(space.to_decomposition(space.start_point()))
+        minimizer = BaseMinimizer(evaluator, space)
+        minimizer._begin_run()
+        assert minimizer._run_evaluations() == 0
+        assert minimizer._run_subproblem_solves() == 0
+
+    def test_run_counters_track_new_work(self, setup):
+        instance, evaluator, space = setup
+        minimizer = BaseMinimizer(evaluator, space)
+        minimizer._begin_run()
+        minimizer._evaluate(frozenset(instance.start_set[:4]))
+        assert minimizer._run_evaluations() == 1
+        assert minimizer._run_subproblem_solves() == 5
+
+    def test_minimize_is_abstract(self, setup):
+        _, evaluator, space = setup
+        with pytest.raises(NotImplementedError):
+            BaseMinimizer(evaluator, space).minimize()
+
+
+class TestResultRecords:
+    def test_visited_point_fields(self):
+        visit = VisitedPoint(frozenset({1, 2}), 12.5, True, 3)
+        assert visit.point == frozenset({1, 2})
+        assert visit.is_improvement
+
+    def test_minimization_result_summary_and_decomposition(self):
+        from repro.core.decomposition import DecompositionSet
+        from repro.core.predictive import PredictionResult
+        from repro.stats.montecarlo import sample_statistics
+
+        prediction = PredictionResult(
+            decomposition=DecompositionSet.of([3, 1]),
+            sample_size=4,
+            cost_measure="propagations",
+            estimate=sample_statistics([1.0, 2.0, 3.0, 4.0]),
+        )
+        result = MinimizationResult(
+            best_point=frozenset({3, 1}),
+            best_value=10.0,
+            best_prediction=prediction,
+            final_center=frozenset({1}),
+            num_evaluations=7,
+            num_subproblem_solves=28,
+            wall_time=0.5,
+            stop_reason="max_evaluations",
+        )
+        assert result.best_decomposition == [1, 3]
+        summary = result.summary()
+        assert "max_evaluations" in summary
+        assert "7 evaluations" in summary

@@ -1,0 +1,329 @@
+"""Tests for the classical partitioning techniques (cubes, guiding path, scattering, cube-and-conquer)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers import Geffe
+from repro.partitioning import (
+    Cube,
+    CubeAndConquerConfig,
+    CubePartitioning,
+    GuidingPathConfig,
+    ScatteringConfig,
+    guiding_path_partitioning,
+    lookahead_partitioning,
+    scattering_partitioning,
+)
+from repro.problems import make_inversion_instance
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.formula import CNF
+from repro.sat.random_cnf import planted_ksat, random_ksat
+from repro.sat.solver import SolverStatus
+
+
+class TestCube:
+    def test_canonical_order(self):
+        assert Cube.of([3, -1, 2]).literals == (-1, 2, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Cube.of([0, 1])
+
+    def test_rejects_contradictory_literals(self):
+        with pytest.raises(ValueError):
+            Cube.of([1, -1])
+
+    def test_conflicts_with(self):
+        assert Cube.of([1, 2]).conflicts_with(Cube.of([-1, 3]))
+        assert not Cube.of([1, 2]).conflicts_with(Cube.of([2, 3]))
+
+    def test_negation_clause(self):
+        assert Cube.of([1, -2]).negation_clause() == (-1, 2)
+
+    def test_extended(self):
+        assert Cube.of([1]).extended(-3).literals == (1, -3)
+
+    def test_empty_cube_prints_top(self):
+        assert str(Cube.of([])) == "⊤"
+
+
+class TestCubePartitioning:
+    def test_minterm_partitioning_is_valid(self, cdcl):
+        cnf = random_ksat(8, 30, seed=1)
+        cubes = [
+            Cube.of([s1 * 1, s2 * 2]) for s1 in (1, -1) for s2 in (1, -1)
+        ]
+        partitioning = CubePartitioning(cnf, cubes)
+        assert partitioning.is_uniform
+        assert partitioning.is_valid_partitioning(cdcl)
+
+    def test_missing_cube_breaks_coverage(self, cdcl):
+        cnf = CNF([(1, 2, 3)])
+        partitioning = CubePartitioning(cnf, [Cube.of([1]), Cube.of([-1, 2])])
+        assert partitioning.pairwise_inconsistent()
+        assert not partitioning.covers_formula(cdcl)
+
+    def test_overlapping_cubes_detected(self):
+        cnf = CNF([(1, 2)])
+        partitioning = CubePartitioning(cnf, [Cube.of([1]), Cube.of([2])])
+        assert not partitioning.pairwise_inconsistent()
+
+    def test_requires_at_least_one_cube(self):
+        with pytest.raises(ValueError):
+            CubePartitioning(CNF([(1,)]), [])
+
+    def test_solve_all_counts_sat_cubes(self, cdcl):
+        cnf, _ = planted_ksat(10, 30, seed=4)
+        cubes = [Cube.of([1]), Cube.of([-1])]
+        report = CubePartitioning(cnf, cubes).solve_all(cdcl)
+        assert len(report.costs) == 2
+        assert report.num_sat >= 1
+        assert report.total_cost == pytest.approx(sum(report.costs))
+
+    def test_solve_all_stop_on_sat(self, cdcl):
+        cnf, _ = planted_ksat(10, 30, seed=4)
+        cubes = [Cube.of([1]), Cube.of([-1])]
+        report = CubePartitioning(cnf, cubes).solve_all(cdcl, stop_on_sat=True)
+        assert len(report.costs) <= 2
+
+    def test_estimate_total_cost_matches_exhaustive_on_uniform_cubes(self, cdcl):
+        cnf = random_ksat(9, 34, seed=6)
+        cubes = [
+            Cube.of([s1 * 1, s2 * 2, s3 * 3])
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        ]
+        partitioning = CubePartitioning(cnf, cubes)
+        exhaustive = partitioning.solve_all(cdcl).total_cost
+        estimate = partitioning.estimate_total_cost(cdcl, sample_size=64, seed=0)
+        assert estimate.mean == pytest.approx(exhaustive, rel=0.5)
+
+    def test_imbalance_of_constant_costs_is_one(self):
+        from repro.partitioning.cubes import PartitioningCostReport
+
+        report = PartitioningCostReport(costs=[5.0, 5.0, 5.0], statuses=[])
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.max_cost == 5.0
+
+
+class TestGuidingPath:
+    def test_structure_is_staircase(self):
+        cnf = random_ksat(12, 48, seed=2)
+        partitioning = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=5))
+        lengths = sorted(partitioning.cube_lengths)
+        assert lengths == [1, 2, 3, 4, 5, 5]
+
+    def test_is_valid_partitioning(self, cdcl):
+        cnf = random_ksat(12, 48, seed=2)
+        partitioning = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=4))
+        assert partitioning.is_valid_partitioning(cdcl)
+
+    def test_lookahead_heuristic(self, cdcl):
+        cnf = random_ksat(12, 48, seed=3)
+        partitioning = guiding_path_partitioning(
+            cnf, GuidingPathConfig(path_length=4, heuristic="lookahead")
+        )
+        assert partitioning.is_valid_partitioning(cdcl)
+
+    def test_path_never_uses_forced_variables(self):
+        cnf = CNF([(1,), (-1, 2), (3, 4), (3, -4), (-3, 4), (5, 6)])
+        partitioning = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=3))
+        path_vars = {abs(lit) for cube in partitioning for lit in cube}
+        assert 1 not in path_vars
+        assert 2 not in path_vars
+
+    def test_degenerate_fully_forced_formula(self, cdcl):
+        cnf = CNF([(1,), (-1, 2)])
+        partitioning = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=4))
+        assert len(partitioning) == 2
+        assert partitioning.is_valid_partitioning(cdcl)
+
+    def test_sat_preserved_across_partitioning(self, cdcl):
+        cnf, _ = planted_ksat(14, 50, seed=7)
+        partitioning = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=6))
+        report = partitioning.solve_all(cdcl)
+        assert report.num_sat >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GuidingPathConfig(path_length=0)
+        with pytest.raises(ValueError):
+            GuidingPathConfig(heuristic="nope")
+
+
+class TestScattering:
+    def test_part_count_and_fractions(self):
+        cnf = random_ksat(20, 80, seed=5)
+        partitioning = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=6))
+        assert len(partitioning) == 6
+        fractions = partitioning.coverage_fractions()
+        assert sum(fractions) == pytest.approx(1.0)
+        assert all(f > 0 for f in fractions)
+
+    def test_by_construction_disjointness(self):
+        cnf = random_ksat(20, 80, seed=5)
+        partitioning = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=5))
+        assert partitioning.pairwise_inconsistent()
+
+    def test_coverage_check(self, cdcl):
+        cnf = random_ksat(20, 80, seed=5)
+        partitioning = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=4))
+        assert partitioning.covers_formula(cdcl)
+
+    def test_sat_preserved(self, cdcl):
+        cnf, _ = planted_ksat(16, 55, seed=8)
+        partitioning = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=4))
+        report = partitioning.solve_all(cdcl)
+        assert report.num_sat >= 1
+
+    def test_unsat_preserved(self, cdcl):
+        from repro.sat.random_cnf import pigeonhole
+
+        cnf = pigeonhole(3)
+        partitioning = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=3))
+        report = partitioning.solve_all(cdcl)
+        assert report.num_sat == 0
+        assert all(status is SolverStatus.UNSAT for status in report.statuses)
+
+    def test_too_few_variables_degrades_gracefully(self, cdcl):
+        cnf = CNF([(1, 2)])
+        partitioning = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=16))
+        assert 2 <= len(partitioning) < 16
+        assert partitioning.pairwise_inconsistent()
+        assert partitioning.solve_all(cdcl).num_sat >= 1
+
+    def test_lookahead_heuristic(self, cdcl):
+        cnf = random_ksat(20, 80, seed=9)
+        partitioning = scattering_partitioning(
+            cnf, ScatteringConfig(num_subproblems=4, heuristic="lookahead")
+        )
+        assert partitioning.pairwise_inconsistent()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScatteringConfig(num_subproblems=1)
+        with pytest.raises(ValueError):
+            ScatteringConfig(heuristic="best")
+
+
+class TestCubeAndConquer:
+    def test_produces_requested_cube_count(self):
+        cnf = random_ksat(18, 70, seed=1)
+        partitioning = lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=16))
+        assert 2 <= len(partitioning) <= 16
+
+    def test_is_valid_partitioning(self, cdcl):
+        cnf = random_ksat(14, 56, seed=2)
+        partitioning = lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=12))
+        assert partitioning.is_valid_partitioning(cdcl)
+
+    def test_sat_preserved(self, cdcl):
+        cnf, _ = planted_ksat(16, 60, seed=3)
+        partitioning = lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=10))
+        report = partitioning.solve_all(cdcl)
+        assert report.num_sat >= 1
+
+    def test_depth_limit_respected(self):
+        cnf = random_ksat(18, 70, seed=4)
+        partitioning = lookahead_partitioning(
+            cnf, CubeAndConquerConfig(max_cubes=64, max_depth=3)
+        )
+        assert max(partitioning.cube_lengths) <= 3
+
+    def test_cubes_need_not_share_variables(self):
+        cnf = random_ksat(18, 70, seed=5)
+        partitioning = lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=16))
+        variable_sets = {tuple(sorted(cube.variables)) for cube in partitioning}
+        # Adaptive splitting typically produces at least two distinct variable
+        # sets; equality would mean it degenerated into a decomposition family.
+        assert len(variable_sets) >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CubeAndConquerConfig(max_cubes=1)
+        with pytest.raises(ValueError):
+            CubeAndConquerConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            CubeAndConquerConfig(max_probe_variables=0)
+
+
+class TestOnCryptanalysisInstance:
+    def test_all_techniques_preserve_satisfiability(self, cdcl):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=20, seed=11)
+        cnf = instance.cnf
+
+        guiding = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=4))
+        scattering = scattering_partitioning(cnf, ScatteringConfig(num_subproblems=4))
+        cubes = lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=8, max_depth=6))
+
+        assert guiding.solve_all(cdcl).num_sat >= 1
+        assert scattering.solve_all(cdcl).num_sat >= 1
+        assert cubes.solve_all(cdcl).num_sat >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    path_length=st.integers(min_value=1, max_value=6),
+)
+def test_property_guiding_path_is_always_a_valid_partitioning(seed, path_length):
+    cnf = random_ksat(10, 40, seed=seed)
+    partitioning = guiding_path_partitioning(cnf, GuidingPathConfig(path_length=path_length))
+    assert partitioning.pairwise_inconsistent()
+    assert partitioning.covers_formula(CDCLSolver())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_subproblems=st.integers(min_value=2, max_value=8),
+)
+def test_property_scattering_preserves_satisfiability(seed, num_subproblems):
+    cnf = random_ksat(12, 44, seed=seed)
+    solver = CDCLSolver()
+    reference = solver.solve(cnf)
+    partitioning = scattering_partitioning(
+        cnf, ScatteringConfig(num_subproblems=num_subproblems)
+    )
+    report = partitioning.solve_all(CDCLSolver())
+    assert (report.num_sat >= 1) == reference.is_sat
+
+
+class TestFromDecompositionSet:
+    def test_builds_all_minterms(self, cdcl):
+        cnf = random_ksat(8, 30, seed=12)
+        partitioning = CubePartitioning.from_decomposition_set(cnf, [3, 1, 5])
+        assert len(partitioning) == 8
+        assert partitioning.is_uniform
+        assert partitioning.is_valid_partitioning(cdcl)
+
+    def test_deduplicates_and_sorts_variables(self):
+        cnf = CNF([(1, 2, 3)])
+        partitioning = CubePartitioning.from_decomposition_set(cnf, [2, 2, 1])
+        assert len(partitioning) == 4
+        assert all(set(cube.variables) == {1, 2} for cube in partitioning)
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError):
+            CubePartitioning.from_decomposition_set(CNF([(1,)]), [])
+
+    def test_rejects_oversized_set(self):
+        with pytest.raises(ValueError):
+            CubePartitioning.from_decomposition_set(CNF([(1,)]), list(range(1, 30)))
+
+    def test_matches_decomposition_family_subproblems(self, cdcl):
+        from repro.core.decomposition import DecompositionSet
+
+        cnf, _ = planted_ksat(10, 32, seed=13)
+        variables = [2, 4, 7]
+        partitioning = CubePartitioning.from_decomposition_set(cnf, variables)
+        family = DecompositionSet.of(variables)
+        family_bits = {assignment.bits_for(variables) for assignment in family.all_assignments()}
+        cube_bits = {
+            tuple(int(lit > 0) for lit in sorted(cube.literals, key=abs)) for cube in partitioning
+        }
+        assert family_bits == cube_bits

@@ -1,0 +1,119 @@
+"""Tests for the PDSAT facade (estimating mode + solving mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import Geffe
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT
+from repro.problems import make_inversion_instance
+from repro.sat.solver import SolverStatus
+
+
+@pytest.fixture(scope="module")
+def pdsat():
+    instance = make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=5)
+    return PDSAT(instance, sample_size=15, seed=2)
+
+
+class TestEstimatingMode:
+    def test_tabu_estimation(self, pdsat):
+        report = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=25))
+        assert report.best_value > 0
+        assert set(report.best_decomposition) <= set(pdsat.instance.start_set)
+        assert report.method == "tabu"
+        assert "F_best" in report.summary()
+
+    def test_annealing_estimation(self, pdsat):
+        report = pdsat.estimate(method="annealing", stopping=StoppingCriteria(max_evaluations=25))
+        assert report.best_value > 0
+        assert report.method == "annealing"
+
+    def test_invalid_method(self, pdsat):
+        with pytest.raises(ValueError):
+            pdsat.estimate(method="gradient-descent")
+
+    def test_predicted_on_cores(self, pdsat):
+        report = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=10))
+        assert report.predicted_on_cores(10) == pytest.approx(report.best_value / 10)
+
+    def test_custom_start_variables(self, pdsat):
+        start = pdsat.instance.start_set[:6]
+        report = pdsat.estimate(
+            method="tabu",
+            stopping=StoppingCriteria(max_evaluations=8),
+            start_variables=start,
+        )
+        assert report.minimization.trajectory[0].point == frozenset(start)
+
+    def test_evaluate_decomposition_directly(self, pdsat):
+        result = pdsat.evaluate_decomposition(pdsat.instance.start_set[:5])
+        assert result.d == 5
+        assert result.value >= 0
+
+
+class TestSolvingMode:
+    def test_family_is_processed_completely(self, pdsat):
+        decomposition = pdsat.instance.start_set[:6]
+        report = pdsat.solve_family(decomposition)
+        assert len(report.costs) == 2**6
+        assert len(report.statuses) == 2**6
+        assert report.total_cost == pytest.approx(sum(report.costs))
+
+    def test_satisfying_subproblem_found_and_verified(self, pdsat):
+        decomposition = pdsat.instance.start_set[:6]
+        report = pdsat.solve_family(decomposition)
+        assert report.num_sat >= 1
+        assert report.first_sat_index is not None
+        recovered = pdsat.instance.state_from_model(report.satisfying_models[0])
+        assert pdsat.instance.verify_state(recovered)
+
+    def test_stop_on_sat(self, pdsat):
+        decomposition = pdsat.instance.start_set[:6]
+        report = pdsat.solve_family(decomposition, stop_on_sat=True)
+        if report.num_sat:
+            assert report.stopped_early or report.first_sat_index == len(report.costs) - 1
+            assert len(report.costs) <= 2**6
+
+    def test_cost_to_first_solution(self, pdsat):
+        decomposition = pdsat.instance.start_set[:6]
+        report = pdsat.solve_family(decomposition)
+        assert report.cost_to_first_solution <= report.total_cost
+
+    def test_unsat_statuses_dominate(self, pdsat):
+        # Only a handful of the 2^d assignments extend to the secret state.
+        decomposition = pdsat.instance.start_set[:6]
+        report = pdsat.solve_family(decomposition)
+        unsat = sum(1 for s in report.statuses if s is SolverStatus.UNSAT)
+        assert unsat > report.num_sat
+
+    def test_family_size_guard(self, pdsat):
+        with pytest.raises(ValueError):
+            pdsat.solve_family(pdsat.instance.start_set, max_subproblems=16)
+
+    def test_makespan_on_cores(self, pdsat):
+        report = pdsat.solve_family(pdsat.instance.start_set[:5])
+        simulation = report.makespan_on_cores(4)
+        assert simulation.makespan <= report.total_cost
+        assert simulation.makespan >= report.total_cost / 4
+
+    def test_summary(self, pdsat):
+        report = pdsat.solve_family(pdsat.instance.start_set[:4])
+        assert "sub-problems" in report.summary()
+
+
+class TestEndToEnd:
+    def test_estimate_then_solve_prediction_tracks_reality(self):
+        instance = make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=8)
+        pdsat = PDSAT(instance, sample_size=40, seed=1)
+        estimation, solving = pdsat.estimate_then_solve(
+            method="tabu", stopping=StoppingCriteria(max_evaluations=30)
+        )
+        assert len(solving.costs) == 2 ** len(estimation.best_decomposition)
+        # The Monte Carlo prediction should be within a factor of ~3 of the
+        # actual total cost on these tiny instances (the paper reports ~8%
+        # deviation with N = 1e4-1e5; our N is far smaller).
+        assert solving.total_cost > 0
+        ratio = estimation.best_value / solving.total_cost
+        assert 1 / 3 <= ratio <= 3

@@ -1,0 +1,107 @@
+"""Tests for the portfolio approach and the portfolio-vs-partitioning comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portfolio import (
+    PortfolioSolver,
+    SolverConfiguration,
+    compare_with_partitioning,
+    default_portfolio,
+)
+from repro.sat.cdcl import CDCLConfig
+from repro.sat.formula import CNF
+from repro.sat.random_cnf import pigeonhole, planted_ksat, random_ksat
+from repro.sat.solver import SolverBudget, SolverStatus, check_model
+
+
+class TestDefaultPortfolio:
+    def test_has_distinct_names(self):
+        members = default_portfolio()
+        assert len(members) >= 8
+        assert len({m.name for m in members}) == len(members)
+
+    def test_builds_independent_solvers(self):
+        member = default_portfolio()[0]
+        assert member.build_solver() is not member.build_solver()
+
+
+class TestPortfolioSolver:
+    def test_sat_instance(self):
+        cnf, _ = planted_ksat(16, 60, seed=2)
+        result = PortfolioSolver().solve(cnf)
+        assert result.status is SolverStatus.SAT
+        winner = result.winner
+        assert winner is not None
+        assert check_model(cnf, winner.result.model)
+
+    def test_unsat_instance(self):
+        result = PortfolioSolver().solve(pigeonhole(3))
+        assert result.status is SolverStatus.UNSAT
+
+    def test_all_members_agree(self):
+        cnf = random_ksat(14, 60, seed=3)
+        result = PortfolioSolver().solve(cnf)
+        statuses = {run.result.status for run in result.runs if run.result.is_decided}
+        assert len(statuses) == 1
+
+    def test_virtual_parallel_cost_is_minimum_over_decided(self):
+        cnf = random_ksat(14, 60, seed=4)
+        result = PortfolioSolver().solve(cnf)
+        decided_costs = [run.cost for run in result.runs if run.result.is_decided]
+        assert result.virtual_parallel_cost == min(decided_costs)
+
+    def test_total_work_capped_at_winner_cost(self):
+        cnf = random_ksat(14, 60, seed=5)
+        result = PortfolioSolver().solve(cnf)
+        cap = result.virtual_parallel_cost
+        assert result.total_work <= cap * len(result.runs) + 1e-9
+
+    def test_budget_gives_unknown(self):
+        cnf = pigeonhole(5)
+        result = PortfolioSolver().solve(cnf, budget=SolverBudget(max_conflicts=5))
+        assert result.status is SolverStatus.UNKNOWN
+        assert result.winner is None
+        assert result.virtual_parallel_cost == float("inf")
+
+    def test_assumptions_are_passed_through(self):
+        cnf = CNF([(1, 2)])
+        result = PortfolioSolver().solve(cnf, assumptions=[-1])
+        assert result.status is SolverStatus.SAT
+        assert result.winner.result.model[2] is True
+
+    def test_custom_configuration_list(self):
+        members = [SolverConfiguration("only", CDCLConfig())]
+        cnf, _ = planted_ksat(10, 30, seed=6)
+        result = PortfolioSolver(members).solve(cnf)
+        assert len(result.runs) == 1
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioSolver([])
+
+    def test_summary_names_the_winner(self):
+        cnf, _ = planted_ksat(10, 30, seed=7)
+        result = PortfolioSolver().solve(cnf)
+        assert result.winner.configuration.name in result.summary()
+
+
+class TestComparison:
+    def test_comparison_on_inversion_instance(self, geffe_instance):
+        decomposition = list(geffe_instance.start_set)[-6:]
+        comparison = compare_with_partitioning(
+            geffe_instance.cnf, decomposition, num_cores=8
+        )
+        assert comparison.portfolio.status is SolverStatus.SAT
+        assert comparison.partitioning_makespan > 0
+        assert comparison.partitioning_total_work >= comparison.partitioning_makespan
+        assert comparison.speedup_of_partitioning > 0
+
+    def test_comparison_respects_core_count(self, geffe_instance):
+        decomposition = list(geffe_instance.start_set)[-4:]
+        comparison = compare_with_partitioning(
+            geffe_instance.cnf, decomposition, num_cores=3
+        )
+        assert comparison.num_cores == 3
+        assert len(comparison.portfolio.runs) <= 3

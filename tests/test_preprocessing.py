@@ -1,0 +1,95 @@
+"""Tests for unit propagation and pure-literal elimination."""
+
+from __future__ import annotations
+
+from repro.sat.formula import CNF
+from repro.sat.preprocessing import pure_literal_elimination, simplify, unit_propagate
+
+
+class TestUnitPropagation:
+    def test_propagates_chain(self):
+        cnf = CNF([(1,), (-1, 2), (-2, 3)])
+        result = unit_propagate(cnf)
+        assert not result.conflict
+        assert result.assignment == {1: True, 2: True, 3: True}
+        assert result.simplified.num_clauses == 0
+
+    def test_detects_conflict(self):
+        cnf = CNF([(1,), (-1, 2), (-2,)])
+        result = unit_propagate(cnf)
+        assert result.conflict
+
+    def test_initial_assignment_is_used(self):
+        cnf = CNF([(-1, 2)])
+        result = unit_propagate(cnf, {1: True})
+        assert result.assignment[2] is True
+
+    def test_initial_assignment_kept_in_closure(self):
+        cnf = CNF([(1, 2)])
+        result = unit_propagate(cnf, {3: False})
+        assert result.assignment[3] is False
+
+    def test_no_units_leaves_formula_untouched(self):
+        cnf = CNF([(1, 2), (-1, -2)])
+        result = unit_propagate(cnf)
+        assert not result.conflict
+        assert result.assignment == {}
+        assert result.simplified.clauses == [(1, 2), (-1, -2)]
+
+    def test_satisfied_clauses_removed(self):
+        cnf = CNF([(1,), (1, 2, 3), (-1, 2)])
+        result = unit_propagate(cnf)
+        assert result.assignment == {1: True, 2: True}
+        assert result.simplified.num_clauses == 0
+
+    def test_fixed_variables_property(self):
+        cnf = CNF([(4,), (-4, 7)])
+        result = unit_propagate(cnf)
+        assert result.fixed_variables == {4, 7}
+
+
+class TestPureLiterals:
+    def test_pure_positive(self):
+        cnf = CNF([(1, 2), (1, -2)])
+        reduced, choices = pure_literal_elimination(cnf)
+        assert choices[1] is True
+        assert reduced.num_clauses == 0
+
+    def test_pure_negative(self):
+        cnf = CNF([(-3, 2), (-3, -2)])
+        reduced, choices = pure_literal_elimination(cnf)
+        assert choices[3] is False
+
+    def test_mixed_polarity_not_pure(self):
+        cnf = CNF([(1, 2), (-1, -2)])
+        reduced, choices = pure_literal_elimination(cnf)
+        assert choices == {}
+        assert reduced.num_clauses == 2
+
+    def test_cascading_purity(self):
+        # After removing clauses satisfied by pure literal 1, variable 2 becomes pure.
+        cnf = CNF([(1, -2), (2, 3), (2, -3)])
+        reduced, choices = pure_literal_elimination(cnf)
+        assert choices[1] is True
+        assert reduced.num_clauses == 0 or 2 in choices
+
+
+class TestSimplify:
+    def test_combined_pipeline(self):
+        cnf = CNF([(1,), (-1, 2), (3, 4), (3, -4)])
+        reduced, forced, conflict = simplify(cnf)
+        assert not conflict
+        assert forced[1] is True
+        assert forced[2] is True
+        assert forced[3] is True
+        assert reduced.num_clauses == 0
+
+    def test_conflict_reported(self):
+        cnf = CNF([(1,), (-1,)])
+        _, forced, conflict = simplify(cnf)
+        assert conflict
+
+    def test_original_formula_not_mutated(self):
+        cnf = CNF([(1,), (-1, 2)])
+        simplify(cnf)
+        assert cnf.num_clauses == 2

@@ -1,0 +1,87 @@
+"""Tests for the random CNF generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.random_cnf import (
+    pigeonhole,
+    planted_ksat,
+    random_ksat,
+    random_ksat_at_ratio,
+    random_unsat_core,
+)
+
+
+class TestRandomKSat:
+    def test_shape(self):
+        cnf = random_ksat(20, 50, k=3, seed=0)
+        assert cnf.num_vars == 20
+        assert cnf.num_clauses == 50
+        assert all(len(clause) == 3 for clause in cnf.clauses)
+
+    def test_variables_in_range(self):
+        cnf = random_ksat(10, 30, seed=1)
+        assert all(1 <= abs(lit) <= 10 for clause in cnf for lit in clause)
+
+    def test_clause_variables_distinct(self):
+        cnf = random_ksat(10, 100, seed=2)
+        for clause in cnf:
+            variables = [abs(lit) for lit in clause]
+            assert len(set(variables)) == len(variables)
+
+    def test_deterministic_in_seed(self):
+        assert random_ksat(15, 40, seed=3).clauses == random_ksat(15, 40, seed=3).clauses
+
+    def test_different_seeds_differ(self):
+        assert random_ksat(15, 40, seed=3).clauses != random_ksat(15, 40, seed=4).clauses
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+
+    def test_ratio_helper(self):
+        cnf = random_ksat_at_ratio(50, ratio=4.0)
+        assert cnf.num_clauses == 200
+
+
+class TestPlantedKSat:
+    def test_planted_assignment_satisfies(self):
+        cnf, planted = planted_ksat(30, 120, seed=0)
+        assert cnf.is_satisfied_by(planted)
+
+    def test_shape(self):
+        cnf, planted = planted_ksat(25, 100, k=4, seed=5)
+        assert cnf.num_clauses == 100
+        assert len(planted) == 25
+
+    def test_rejects_wide_clauses(self):
+        with pytest.raises(ValueError):
+            planted_ksat(3, 5, k=4)
+
+
+class TestUnsatGenerators:
+    def test_unsat_core_is_unsat(self, cdcl):
+        for seed in range(3):
+            assert cdcl.solve(random_unsat_core(15, seed=seed)).is_unsat
+
+    def test_unsat_core_needs_two_vars(self):
+        with pytest.raises(ValueError):
+            random_unsat_core(1)
+
+    def test_pigeonhole_shape(self):
+        php = pigeonhole(3)
+        assert php.num_vars == 12
+        # 4 pigeon clauses + C(4,2)*3 hole clauses.
+        assert php.num_clauses == 4 + 6 * 3
+
+    def test_pigeonhole_requires_a_hole(self):
+        with pytest.raises(ValueError):
+            pigeonhole(0)
+
+    def test_pigeonhole_without_one_pigeon_is_sat(self, cdcl):
+        php = pigeonhole(3)
+        # Dropping the "pigeon 0 must be placed" clause makes it satisfiable.
+        relaxed = php.copy()
+        relaxed.clauses = relaxed.clauses[1:]
+        assert cdcl.solve(relaxed).is_sat

@@ -1,0 +1,101 @@
+"""Tests for the simulated cluster and the multiprocessing pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import Geffe
+from repro.problems import make_inversion_instance
+from repro.runner.cluster import simulate_makespan
+from repro.runner.pool import solve_family_parallel
+from repro.sat.solver import SolverStatus
+
+
+class TestMakespanSimulation:
+    def test_single_core_is_total_work(self):
+        sim = simulate_makespan([3.0, 1.0, 2.0], 1)
+        assert sim.makespan == 6.0
+        assert sim.total_work == 6.0
+        assert sim.efficiency == pytest.approx(1.0)
+
+    def test_many_cores_bounded_by_longest_job(self):
+        sim = simulate_makespan([5.0, 1.0, 1.0], 10)
+        assert sim.makespan == 5.0
+
+    def test_perfectly_divisible_work(self):
+        sim = simulate_makespan([1.0] * 8, 4)
+        assert sim.makespan == 2.0
+        assert sim.efficiency == pytest.approx(1.0)
+
+    def test_dynamic_scheduling_order_matters(self):
+        # A long job arriving last forces a worse makespan than LPT.
+        costs = [1.0, 1.0, 1.0, 9.0]
+        dynamic = simulate_makespan(costs, 2, scheduler="dynamic")
+        lpt = simulate_makespan(costs, 2, scheduler="lpt")
+        assert dynamic.makespan >= lpt.makespan
+        assert lpt.makespan == 9.0
+
+    def test_empty_job_list(self):
+        sim = simulate_makespan([], 4)
+        assert sim.makespan == 0.0
+        assert sim.total_work == 0.0
+
+    def test_makespan_bounds(self):
+        costs = [float(i % 7 + 1) for i in range(100)]
+        for cores in (1, 3, 16):
+            sim = simulate_makespan(costs, cores)
+            assert sim.makespan >= sim.ideal_makespan
+            assert sim.makespan >= max(costs)
+            assert sim.makespan <= sum(costs)
+
+    def test_core_loads_sum_to_total(self):
+        costs = [2.0, 3.0, 4.0, 5.0]
+        sim = simulate_makespan(costs, 3)
+        assert sum(sim.core_loads) == pytest.approx(sum(costs))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            simulate_makespan([-1.0], 2)
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 2, scheduler="magic")
+
+
+class TestParallelPool:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=2)
+
+    def test_sequential_fallback(self, instance):
+        vectors = [[v] for v in instance.start_set[:4]]
+        outcomes = solve_family_parallel(instance.cnf, vectors, processes=1)
+        assert len(outcomes) == 4
+        assert all(o.status in (SolverStatus.SAT, SolverStatus.UNSAT) for o in outcomes)
+
+    def test_results_in_input_order(self, instance):
+        vectors = [[instance.start_set[0]], [-instance.start_set[0]]]
+        outcomes = solve_family_parallel(instance.cnf, vectors, processes=1)
+        assert outcomes[0].assumptions == (instance.start_set[0],)
+        assert outcomes[1].assumptions == (-instance.start_set[0],)
+
+    def test_models_kept_for_sat(self, instance):
+        outcomes = solve_family_parallel(instance.cnf, [[]], processes=1)
+        assert outcomes[0].status is SolverStatus.SAT
+        assert outcomes[0].model is not None
+
+    def test_models_dropped_when_not_requested(self, instance):
+        outcomes = solve_family_parallel(instance.cnf, [[]], processes=1, keep_models=False)
+        assert outcomes[0].model is None
+
+    def test_invalid_process_count(self, instance):
+        with pytest.raises(ValueError):
+            solve_family_parallel(instance.cnf, [[1]], processes=0)
+
+    def test_two_worker_processes(self, instance):
+        # Keep this small: spawning processes is slow but exercises the real pool.
+        vectors = [[v] for v in instance.start_set[:4]]
+        parallel = solve_family_parallel(instance.cnf, vectors, processes=2)
+        sequential = solve_family_parallel(instance.cnf, vectors, processes=1)
+        assert [o.status for o in parallel] == [o.status for o in sequential]
+        assert [o.cost for o in parallel] == [o.cost for o in sequential]

@@ -1,0 +1,149 @@
+"""Tests for the bootstrap / sequential / stratified sampling extensions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.montecarlo import sample_statistics
+from repro.stats.sampling import (
+    bootstrap_confidence_interval,
+    sequential_estimate,
+    stratified_estimate,
+)
+
+
+class TestBootstrap:
+    def test_interval_contains_sample_mean(self):
+        rng = random.Random(1)
+        observations = [rng.expovariate(1.0) for _ in range(200)]
+        low, high = bootstrap_confidence_interval(observations, seed=2)
+        mean = sum(observations) / len(observations)
+        assert low <= mean <= high
+
+    def test_constant_sample_gives_degenerate_interval(self):
+        low, high = bootstrap_confidence_interval([3.0] * 50)
+        assert low == pytest.approx(3.0)
+        assert high == pytest.approx(3.0)
+
+    def test_interval_narrows_with_more_data(self):
+        rng = random.Random(3)
+        small = [rng.gauss(10.0, 2.0) for _ in range(20)]
+        large = small * 20
+        low_s, high_s = bootstrap_confidence_interval(small, seed=0)
+        low_l, high_l = bootstrap_confidence_interval(large, seed=0)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], confidence_level=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], num_resamples=2)
+
+    def test_deterministic_given_seed(self):
+        observations = [float(i % 7) for i in range(60)]
+        assert bootstrap_confidence_interval(observations, seed=5) == bootstrap_confidence_interval(
+            observations, seed=5
+        )
+
+
+class TestSequential:
+    def test_stops_early_on_low_variance(self):
+        result = sequential_estimate(lambda i: 5.0, target_relative_error=0.05, max_samples=500)
+        assert result.converged
+        assert result.sample_size <= 20
+        assert result.estimate.mean == pytest.approx(5.0)
+
+    def test_hits_max_samples_on_high_variance(self):
+        rng = random.Random(0)
+        result = sequential_estimate(
+            lambda i: rng.expovariate(0.001),
+            target_relative_error=0.001,
+            max_samples=100,
+        )
+        assert not result.converged
+        assert result.sample_size == 100
+
+    def test_min_samples_respected(self):
+        result = sequential_estimate(lambda i: 1.0, min_samples=30, max_samples=100)
+        assert result.sample_size >= 30
+
+    def test_draw_receives_consecutive_indices(self):
+        seen = []
+
+        def draw(i):
+            seen.append(i)
+            return float(i)
+
+        sequential_estimate(draw, target_relative_error=10.0, min_samples=5, max_samples=20)
+        assert seen[: len(seen)] == list(range(len(seen)))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            sequential_estimate(lambda i: 1.0, target_relative_error=0)
+        with pytest.raises(ValueError):
+            sequential_estimate(lambda i: 1.0, min_samples=1)
+        with pytest.raises(ValueError):
+            sequential_estimate(lambda i: 1.0, min_samples=10, max_samples=5)
+        with pytest.raises(ValueError):
+            sequential_estimate(lambda i: 1.0, batch_size=0)
+
+
+class TestStratified:
+    def test_equal_strata_match_plain_mean(self):
+        first = [1.0, 2.0, 3.0]
+        second = [4.0, 5.0, 6.0]
+        combined = stratified_estimate([first, second])
+        assert combined.mean == pytest.approx((2.0 + 5.0) / 2)
+
+    def test_variance_reduction_on_separated_strata(self):
+        rng = random.Random(7)
+        low_stratum = [rng.gauss(10.0, 1.0) for _ in range(100)]
+        high_stratum = [rng.gauss(100.0, 1.0) for _ in range(100)]
+        stratified = stratified_estimate([low_stratum, high_stratum])
+        plain = sample_statistics(low_stratum + high_stratum)
+        assert stratified.std_error < plain.std_error
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            stratified_estimate([[1.0], [2.0]], weights=[0.3, 0.3])
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            stratified_estimate([[1.0], [2.0]], weights=[1.0])
+
+    def test_empty_strata_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_estimate([])
+
+    def test_scaled_total(self):
+        combined = stratified_estimate([[2.0, 2.0], [4.0, 4.0]])
+        total = combined.scaled(8.0)
+        assert total.mean == pytest.approx(8.0 * 3.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=80),
+)
+def test_property_bootstrap_interval_brackets_the_mean(data):
+    low, high = bootstrap_confidence_interval(data, num_resamples=200, seed=1)
+    mean = sum(data) / len(data)
+    assert low <= mean + 1e-6
+    assert high >= mean - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    first=st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=40),
+    second=st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=40),
+)
+def test_property_stratified_mean_is_weighted_average(first, second):
+    combined = stratified_estimate([first, second], weights=[0.25, 0.75])
+    expected = 0.25 * (sum(first) / len(first)) + 0.75 * (sum(second) / len(second))
+    assert combined.mean == pytest.approx(expected, rel=1e-9, abs=1e-9)

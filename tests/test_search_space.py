@@ -1,0 +1,129 @@
+"""Tests for the χ-vector search space and its neighbourhoods."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.search_space import SearchSpace
+
+
+class TestConstruction:
+    def test_base_sorted_and_deduplicated(self):
+        space = SearchSpace([5, 2, 2, 9])
+        assert space.base_variables == (2, 5, 9)
+        assert space.dimension == 3
+        assert space.size == 8
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_nonpositive_variable_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([0, 1])
+
+    def test_start_point_is_full_base(self):
+        space = SearchSpace([1, 2, 3])
+        assert space.start_point() == frozenset({1, 2, 3})
+
+    def test_point_validation(self):
+        space = SearchSpace([1, 2, 3])
+        assert space.point([1, 3]) == frozenset({1, 3})
+        with pytest.raises(ValueError):
+            space.point([4])
+
+
+class TestChiVectors:
+    def test_round_trip(self):
+        space = SearchSpace([2, 4, 6, 8])
+        point = frozenset({4, 8})
+        assert space.from_chi_vector(space.to_chi_vector(point)) == point
+
+    def test_to_chi_vector_order(self):
+        space = SearchSpace([3, 1, 2])
+        assert space.to_chi_vector(frozenset({1, 3})) == (1, 0, 1)
+
+    def test_from_chi_vector_length_check(self):
+        space = SearchSpace([1, 2])
+        with pytest.raises(ValueError):
+            space.from_chi_vector([1])
+
+    def test_hamming_distance(self):
+        space = SearchSpace([1, 2, 3, 4])
+        assert space.hamming_distance(frozenset({1, 2}), frozenset({2, 3})) == 2
+        assert space.hamming_distance(frozenset({1}), frozenset({1})) == 0
+
+
+class TestNeighborhoods:
+    def test_radius_one_size(self):
+        space = SearchSpace(list(range(1, 8)))
+        point = space.start_point()
+        neighbors = list(space.neighborhood(point, radius=1))
+        assert len(neighbors) == 7
+        assert all(space.hamming_distance(point, n) == 1 for n in neighbors)
+
+    def test_radius_two_contains_radius_one(self):
+        space = SearchSpace([1, 2, 3, 4])
+        point = frozenset({1, 2})
+        r1 = set(space.neighborhood(point, radius=1))
+        r2 = set(space.neighborhood(point, radius=2))
+        assert r1 <= r2
+        assert len(r2) == space.neighborhood_size(point, 2)
+
+    def test_empty_set_excluded(self):
+        space = SearchSpace([1, 2])
+        neighbors = list(space.neighborhood(frozenset({1}), radius=1))
+        # Flipping variable 1 off would give the empty set, which is excluded;
+        # the only radius-1 neighbour is the full set.
+        assert frozenset() not in neighbors
+        assert neighbors == [frozenset({1, 2})]
+
+    def test_neighborhood_size_accounts_for_empty_exclusion(self):
+        space = SearchSpace([1, 2, 3])
+        single = frozenset({2})
+        expected = math.comb(3, 1) - 1  # flipping variable 2 off would give the empty set
+        assert space.neighborhood_size(single, 1) == expected
+        assert len(list(space.neighborhood(single, 1))) == expected
+
+    def test_deterministic_order(self):
+        space = SearchSpace([1, 2, 3, 4, 5])
+        point = frozenset({1, 2, 3})
+        assert list(space.neighborhood(point, 1)) == list(space.neighborhood(point, 1))
+
+    def test_invalid_radius(self):
+        space = SearchSpace([1, 2])
+        with pytest.raises(ValueError):
+            list(space.neighborhood(frozenset({1}), radius=0))
+
+    def test_point_outside_space_rejected(self):
+        space = SearchSpace([1, 2])
+        with pytest.raises(ValueError):
+            list(space.neighborhood(frozenset({9}), radius=1))
+
+    def test_is_neighborhood_checked(self):
+        space = SearchSpace([1, 2, 3])
+        point = space.start_point()
+        neighbors = set(space.neighborhood(point, 1))
+        assert not space.is_neighborhood_checked(point, set())
+        assert space.is_neighborhood_checked(point, neighbors)
+
+    def test_unchecked_neighbors(self):
+        space = SearchSpace([1, 2, 3])
+        point = space.start_point()
+        neighbors = list(space.neighborhood(point, 1))
+        checked = {neighbors[0]}
+        remaining = list(space.unchecked_neighbors(point, checked, 1))
+        assert neighbors[0] not in remaining
+        assert len(remaining) == len(neighbors) - 1
+
+    def test_to_decomposition(self):
+        space = SearchSpace([4, 2])
+        dec = space.to_decomposition(frozenset({2, 4}))
+        assert dec.variables == (2, 4)
+
+    def test_contains(self):
+        space = SearchSpace([1, 2, 3])
+        assert space.contains(frozenset({1, 3}))
+        assert not space.contains(frozenset({5}))

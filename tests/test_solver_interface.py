@@ -1,0 +1,86 @@
+"""Unit tests for repro.sat.solver (status, stats, budgets, results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.formula import CNF
+from repro.sat.solver import (
+    SolveResult,
+    SolverBudget,
+    SolverStats,
+    SolverStatus,
+    check_model,
+)
+
+
+class TestSolverStatus:
+    def test_values(self):
+        assert SolverStatus.SAT.value == "SAT"
+        assert SolverStatus.UNSAT.value == "UNSAT"
+        assert SolverStatus.UNKNOWN.value == "UNKNOWN"
+
+    def test_truthiness_is_forbidden(self):
+        with pytest.raises(TypeError):
+            bool(SolverStatus.SAT)
+
+
+class TestSolverBudget:
+    def test_unlimited_by_default(self):
+        assert SolverBudget().is_unlimited()
+
+    def test_any_limit_makes_it_limited(self):
+        assert not SolverBudget(max_conflicts=10).is_unlimited()
+        assert not SolverBudget(max_seconds=1.0).is_unlimited()
+
+
+class TestSolverStats:
+    def test_cost_measures(self):
+        stats = SolverStats(conflicts=3, decisions=5, propagations=100, wall_time=0.5)
+        assert stats.cost("conflicts") == 3
+        assert stats.cost("decisions") == 5
+        assert stats.cost("propagations") == 100
+        assert stats.cost("wall_time") == 0.5
+
+    def test_weighted_cost(self):
+        stats = SolverStats(conflicts=1, decisions=2, propagations=10)
+        assert stats.cost("weighted") == 10 + 10 * 1 + 2 * 2
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError):
+            SolverStats().cost("nonsense")
+
+    def test_merge_adds_counters(self):
+        a = SolverStats(conflicts=1, decisions=2, propagations=3, wall_time=0.1, max_decision_level=4)
+        b = SolverStats(conflicts=10, decisions=20, propagations=30, wall_time=0.2, max_decision_level=2)
+        merged = a.merge(b)
+        assert merged.conflicts == 11
+        assert merged.decisions == 22
+        assert merged.propagations == 33
+        assert merged.wall_time == pytest.approx(0.3)
+        assert merged.max_decision_level == 4
+
+
+class TestSolveResult:
+    def test_is_sat_unsat_flags(self):
+        assert SolveResult(SolverStatus.SAT).is_sat
+        assert SolveResult(SolverStatus.UNSAT).is_unsat
+        assert not SolveResult(SolverStatus.UNKNOWN).is_decided
+
+    def test_model_bits(self):
+        result = SolveResult(SolverStatus.SAT, model={1: True, 2: False})
+        assert result.model_bits([2, 1]) == (0, 1)
+
+    def test_model_bits_without_model(self):
+        with pytest.raises(ValueError):
+            SolveResult(SolverStatus.UNSAT).model_bits([1])
+
+
+class TestCheckModel:
+    def test_satisfying_model(self):
+        cnf = CNF([(1, -2), (2, 3)])
+        assert check_model(cnf, {1: True, 2: False, 3: True})
+
+    def test_falsifying_model(self):
+        cnf = CNF([(1,), (-1, 2)])
+        assert not check_model(cnf, {1: True, 2: False})

@@ -1,0 +1,134 @@
+"""Tests for the Tseitin transformation: the encoding must agree with circuit evaluation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.encoder.circuit import Circuit
+from repro.encoder.tseitin import tseitin_encode
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.preprocessing import unit_propagate
+
+
+def _assert_encoding_matches_circuit(circuit: Circuit, output_group: str = "out"):
+    """For every input assignment, unit propagation on the encoding must yield the circuit outputs."""
+    encoding = tseitin_encode(circuit)
+    groups = circuit.input_groups
+    widths = {name: len(signals) for name, signals in groups.items()}
+    names = list(groups)
+    for bits in itertools.product((0, 1), repeat=sum(widths.values())):
+        offset = 0
+        inputs = {}
+        for name in names:
+            inputs[name] = list(bits[offset : offset + widths[name]])
+            offset += widths[name]
+        expected = circuit.output_bits(output_group, inputs)
+        assignment = {}
+        for name in names:
+            for var, bit in zip(encoding.input_vars[name], inputs[name]):
+                assignment[var] = bool(bit)
+        propagation = unit_propagate(encoding.cnf, assignment)
+        assert not propagation.conflict
+        out_vars = encoding.output_vars[output_group]
+        derived = [int(propagation.assignment[v]) for v in out_vars]
+        assert derived == expected
+
+
+class TestSmallCircuits:
+    def test_xor_and_circuit(self):
+        circuit = Circuit("xor-and")
+        a, b, c = circuit.add_input_group("in", 3)
+        circuit.set_output_group("out", [circuit.xor(a, b, c), circuit.and_(a, b, c)])
+        _assert_encoding_matches_circuit(circuit)
+
+    def test_maj_mux_circuit(self):
+        circuit = Circuit("maj-mux")
+        a, b, c = circuit.add_input_group("in", 3)
+        circuit.set_output_group("out", [circuit.maj(a, b, c), circuit.mux(a, b, c)])
+        _assert_encoding_matches_circuit(circuit)
+
+    def test_nested_circuit(self):
+        circuit = Circuit("nested")
+        a, b, c, d = circuit.add_input_group("in", 4)
+        inner = circuit.or_(circuit.and_(a, b), circuit.and_(c, d))
+        circuit.set_output_group("out", [circuit.xor(inner, circuit.not_(a))])
+        _assert_encoding_matches_circuit(circuit)
+
+    def test_not_gate(self):
+        circuit = Circuit("not")
+        (a,) = circuit.add_input_group("in", 1)
+        circuit.set_output_group("out", [circuit.not_(a)])
+        _assert_encoding_matches_circuit(circuit)
+
+
+class TestEncodingStructure:
+    def test_inputs_are_mapped(self):
+        circuit = Circuit()
+        circuit.add_input_group("key", 3)
+        encoding = tseitin_encode(circuit)
+        assert len(encoding.input_vars["key"]) == 3
+        assert len(set(encoding.input_vars["key"])) == 3
+
+    def test_constants_are_forced(self):
+        circuit = Circuit()
+        circuit.add_input_group("key", 1)
+        encoding = tseitin_encode(circuit)
+        propagation = unit_propagate(encoding.cnf)
+        # Signal 1 is TRUE, signal 0 is FALSE.
+        assert propagation.assignment[encoding.signal_to_var[1]] is True
+        assert propagation.assignment[encoding.signal_to_var[0]] is False
+
+    def test_name_defaults_to_circuit_name(self):
+        circuit = Circuit("mycirc")
+        circuit.add_input_group("key", 1)
+        assert tseitin_encode(circuit).name == "mycirc"
+
+    def test_fix_group_produces_solvable_instance(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        circuit.set_output_group("out", [circuit.and_(a, b)])
+        encoding = tseitin_encode(circuit)
+        cnf = encoding.fix_group("out", [1])
+        result = CDCLSolver().solve(cnf)
+        assert result.is_sat
+        assert encoding.decode_group("in", result.model) == [1, 1]
+
+    def test_fix_group_wrong_width(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        circuit.set_output_group("out", [circuit.and_(a, b)])
+        encoding = tseitin_encode(circuit)
+        with pytest.raises(ValueError):
+            encoding.fix_group("out", [1, 0])
+
+    def test_unknown_group(self):
+        circuit = Circuit()
+        circuit.add_input_group("in", 1)
+        encoding = tseitin_encode(circuit)
+        with pytest.raises(KeyError):
+            encoding.vars_of_group("nope")
+
+    def test_summary_mentions_groups(self):
+        circuit = Circuit()
+        a, b = circuit.add_input_group("in", 2)
+        circuit.set_output_group("out", [circuit.xor(a, b)])
+        encoding = tseitin_encode(circuit)
+        summary = encoding.summary()
+        assert "in[2]" in summary
+        assert "out[1]" in summary
+
+    def test_all_input_vars_order(self):
+        circuit = Circuit()
+        a = circuit.add_input_group("a", 2)
+        b = circuit.add_input_group("b", 3)
+        encoding = tseitin_encode(circuit)
+        assert encoding.all_input_vars() == encoding.input_vars["a"] + encoding.input_vars["b"]
+
+    def test_assignment_for_group(self):
+        circuit = Circuit()
+        circuit.add_input_group("in", 3)
+        encoding = tseitin_encode(circuit)
+        assignment = encoding.assignment_for_group("in", [1, 0, 1])
+        assert assignment.bits_for(encoding.input_vars["in"]) == (1, 0, 1)

@@ -1,0 +1,142 @@
+"""Tests for the volunteer-computing (SAT@home-style) grid simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.cluster import simulate_makespan
+from repro.runner.volunteer import (
+    VolunteerGridConfig,
+    VolunteerSimulation,
+    simulate_volunteer_grid,
+)
+
+
+def _uniform_costs(n: int, cost: float = 10.0) -> list[float]:
+    return [cost] * n
+
+
+class TestConfigValidation:
+    def test_rejects_bad_host_count(self):
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(num_hosts=0)
+
+    def test_rejects_bad_availability(self):
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(availability=0.0)
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(availability=1.5)
+
+    def test_rejects_bad_failure_rate(self):
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(failure_rate=1.0)
+
+    def test_rejects_quorum_above_redundancy(self):
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(redundancy=1, quorum=2)
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(mean_speed=0.0)
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(speed_spread=0.5)
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            VolunteerGridConfig(deadline_factor=0.0)
+
+
+class TestSimulation:
+    def test_all_work_units_complete(self):
+        costs = _uniform_costs(50)
+        result = simulate_volunteer_grid(costs, VolunteerGridConfig(num_hosts=10, seed=1))
+        assert len(result.completed_at) == len(costs)
+        assert result.campaign_duration > 0
+        assert result.total_work == pytest.approx(sum(costs))
+
+    def test_empty_costs_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_volunteer_grid([])
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_volunteer_grid([1.0, -2.0])
+
+    def test_deterministic_given_seed(self):
+        costs = [float(1 + (i % 7)) for i in range(40)]
+        config = VolunteerGridConfig(num_hosts=12, seed=9)
+        first = simulate_volunteer_grid(costs, config)
+        second = simulate_volunteer_grid(costs, config)
+        assert first.campaign_duration == second.campaign_duration
+        assert first.dispatched_results == second.dispatched_results
+
+    def test_more_hosts_do_not_slow_the_campaign(self):
+        costs = [float(2 + (i % 5)) for i in range(120)]
+        small = simulate_volunteer_grid(costs, VolunteerGridConfig(num_hosts=5, seed=3))
+        large = simulate_volunteer_grid(costs, VolunteerGridConfig(num_hosts=50, seed=3))
+        assert large.campaign_duration <= small.campaign_duration * 1.05
+
+    def test_redundancy_increases_dispatched_results(self):
+        costs = _uniform_costs(60)
+        single = simulate_volunteer_grid(
+            costs, VolunteerGridConfig(num_hosts=20, redundancy=1, quorum=1, seed=2)
+        )
+        double = simulate_volunteer_grid(
+            costs, VolunteerGridConfig(num_hosts=20, redundancy=2, quorum=1, seed=2)
+        )
+        assert double.dispatched_results > single.dispatched_results
+        assert double.replication_overhead >= 1.5
+
+    def test_unreliable_hosts_cause_reissues(self):
+        costs = _uniform_costs(80)
+        flaky = simulate_volunteer_grid(
+            costs,
+            VolunteerGridConfig(
+                num_hosts=20, redundancy=1, quorum=1, failure_rate=0.4, seed=4
+            ),
+        )
+        assert flaky.reissued_work_units > 0
+        assert flaky.lost_results > 0
+        assert len(flaky.completed_at) == len(costs)
+
+    def test_volunteer_grid_is_slower_than_dedicated_cluster(self):
+        # Same number of "machines", but volunteers are part-time and replicated:
+        # the campaign must take longer than the dedicated-cluster makespan.
+        costs = [float(5 + (i % 11)) for i in range(200)]
+        config = VolunteerGridConfig(
+            num_hosts=16, availability=0.3, redundancy=2, quorum=1, seed=5, mean_speed=1.0
+        )
+        grid = simulate_volunteer_grid(costs, config)
+        cluster = simulate_makespan(costs, num_cores=16)
+        assert grid.campaign_duration > cluster.makespan
+
+    def test_effective_throughput_bounded_by_host_capacity(self):
+        costs = _uniform_costs(100, cost=4.0)
+        config = VolunteerGridConfig(num_hosts=10, availability=0.5, mean_speed=1.0, seed=6)
+        result = simulate_volunteer_grid(costs, config)
+        # 10 hosts at 50% duty cycle and spread speeds cannot sustainably exceed
+        # ~10 * 0.5 * max_speed work per unit time; with spread 3 the cap is 15.
+        assert result.effective_throughput <= 10 * 0.5 * 3.0 + 1e-6
+
+    def test_summary_mentions_hosts(self):
+        result = simulate_volunteer_grid(_uniform_costs(10), VolunteerGridConfig(num_hosts=4))
+        assert "4 hosts" in result.summary()
+        assert isinstance(result, VolunteerSimulation)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_jobs=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+    redundancy=st.integers(min_value=1, max_value=3),
+)
+def test_property_campaign_always_finishes(num_jobs, seed, redundancy):
+    costs = [float(1 + (i % 9)) for i in range(num_jobs)]
+    config = VolunteerGridConfig(
+        num_hosts=8, redundancy=redundancy, quorum=1, failure_rate=0.2, seed=seed
+    )
+    result = simulate_volunteer_grid(costs, config)
+    assert len(result.completed_at) == num_jobs
+    assert result.campaign_duration >= 0

@@ -1,0 +1,44 @@
+"""Tests for the WalkSAT local-search solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sat.formula import CNF
+from repro.sat.random_cnf import planted_ksat
+from repro.sat.solver import SolverStatus, check_model
+from repro.sat.walksat import WalkSATSolver
+
+
+class TestWalkSAT:
+    def test_finds_model_on_easy_instance(self):
+        cnf, _ = planted_ksat(20, 60, seed=0)
+        result = WalkSATSolver(seed=1).solve(cnf)
+        assert result.is_sat
+        assert check_model(cnf, result.model)
+
+    def test_never_reports_unsat(self, tiny_unsat_cnf):
+        result = WalkSATSolver(max_flips=200, max_tries=2, seed=0).solve(tiny_unsat_cnf)
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_respects_assumptions(self):
+        cnf = CNF([(1, 2)])
+        result = WalkSATSolver(seed=3).solve(cnf, assumptions=[-1])
+        assert result.is_sat
+        assert result.model[1] is False
+
+    def test_assumption_that_blocks_all_models(self):
+        cnf = CNF([(1,)])
+        result = WalkSATSolver(max_flips=50, max_tries=1, seed=0).solve(cnf, assumptions=[-1])
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            WalkSATSolver(noise=1.5)
+
+    def test_deterministic_given_seed(self):
+        cnf, _ = planted_ksat(15, 45, seed=2)
+        a = WalkSATSolver(seed=7).solve(cnf)
+        b = WalkSATSolver(seed=7).solve(cnf)
+        assert a.status == b.status
+        assert a.stats.decisions == b.stats.decisions

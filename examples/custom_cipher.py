@@ -7,10 +7,14 @@ Boolean circuit fits.  This example defines a small custom generator — a
 carry-like function — directly from the :class:`repro.ciphers.GrainLike`
 building blocks, and then runs the full pipeline on it:
 
-1. cross-check the bit-level simulator against the Tseitin-encoded circuit,
-2. verify that the register state is a strong unit-propagation backdoor,
-3. search for a decomposition set with simulated annealing *and* tabu search,
-4. process the best family and compare prediction with measurement.
+1. register the generator in the cipher registry with ``@register_cipher`` —
+   from then on it is addressable by name everywhere: in
+   :class:`~repro.api.InstanceSpec`, in JSON experiment configs and from the
+   ``repro-sat`` command line,
+2. cross-check the bit-level simulator against the Tseitin-encoded circuit,
+3. verify that the register state is a strong unit-propagation backdoor,
+4. search for a decomposition set with simulated annealing *and* tabu search,
+5. process the best family and compare prediction with measurement.
 
 Run with::
 
@@ -19,13 +23,19 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import (
+    Experiment,
+    ExperimentConfig,
+    InstanceSpec,
+    MinimizerSpec,
+    register_cipher,
+)
 from repro.ciphers import GrainLike
-from repro.core.optimizer import StoppingCriteria
-from repro.core.pdsat import PDSAT
-from repro.problems import make_inversion_instance
 from repro.sat.backdoor import is_strong_up_backdoor
 
 
+# ``replace=True`` keeps re-imports of this script idempotent.
+@register_cipher("summation-toy", description="toy summation generator", replace=True)
 def build_custom_generator() -> GrainLike:
     """A 9+7-bit two-register generator with a nonlinear combining function."""
     generator = GrainLike(
@@ -56,8 +66,9 @@ def main() -> None:
     assert simulated == from_circuit, "circuit encoding must reproduce the simulator"
     print(f"{generator.name}: circuit and simulator agree on 24 keystream bits")
 
-    # -------------------------------------------------------------- the instance
-    instance = make_inversion_instance(generator, keystream_length=24, seed=5)
+    # ------------------------------------------- the instance, by registry name
+    spec = InstanceSpec(cipher="summation-toy", keystream_length=24, seed=5)
+    instance = spec.build()
     print("Instance:", instance.summary())
 
     # ------------------------------------------------------ backdoor verification
@@ -67,17 +78,26 @@ def main() -> None:
 
     # ------------------------------------------------------------- the search
     for method in ("annealing", "tabu"):
-        pdsat = PDSAT(instance, sample_size=25, cost_measure="propagations", seed=2)
-        report = pdsat.estimate(method=method, stopping=StoppingCriteria(max_evaluations=120))
-        print(f"\n{method}: {report.summary()}")
+        experiment = Experiment.from_config(
+            ExperimentConfig(
+                instance=spec,
+                minimizer=MinimizerSpec(name=method, max_evaluations=120),
+                sample_size=25,
+                cost_measure="propagations",
+                seed=2,
+            )
+        )
+        estimate = experiment.estimate()
+        print(f"\n{method}: {estimate.summary}")
 
-        solving = pdsat.solve_family(report.best_decomposition)
-        deviation = abs(report.best_value - solving.total_cost) / max(solving.total_cost, 1.0)
-        print(f"  measured total cost {solving.total_cost:.4g} "
+        solving = experiment.solve(estimate.data["best_decomposition"])
+        predicted = estimate.data["best_value"]
+        measured = solving.data["total_cost"]
+        deviation = abs(predicted - measured) / max(measured, 1.0)
+        print(f"  measured total cost {measured:.4g} "
               f"(prediction off by {100 * deviation:.0f}%)")
-        if solving.satisfying_models:
-            recovered = instance.state_from_model(solving.satisfying_models[0])
-            print(f"  state recovered and verified: {instance.verify_state(recovered)}")
+        if solving.data["recovered_state"]:
+            print("  state recovered and verified: True")
 
 
 if __name__ == "__main__":

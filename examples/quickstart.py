@@ -2,16 +2,21 @@
 
 The scenario: an attacker observes a fragment of keystream produced by a Geffe
 generator and wants to recover the generator's internal state by SAT solving.
-The steps below follow the paper end to end:
+The steps below follow the paper end to end, driven through the unified
+:class:`repro.api.Experiment` facade:
 
-1. build the keystream-inversion SAT instance (the TRANSALG step),
+1. describe the experiment as a typed, JSON-round-trippable
+   :class:`~repro.api.ExperimentConfig` (cipher, minimiser, backend and cost
+   measure are all registry names),
 2. evaluate the Monte Carlo predictive function at the natural starting
    decomposition set (the register-state variables, a unit-propagation
    backdoor),
 3. search for a better decomposition set with tabu search (Algorithm 2),
-4. process the whole decomposition family (PDSAT's solving mode), recover the
-   state and compare the measured cost with the prediction,
-5. extrapolate to a parallel cluster with the makespan simulation.
+4. process the whole decomposition family (PDSAT's solving mode) through the
+   simulated-cluster backend, recover the state and compare the measured cost
+   with the prediction,
+5. re-dispatch the same family on more simulated cores just by swapping the
+   backend options.
 
 Run with::
 
@@ -20,49 +25,66 @@ Run with::
 
 from __future__ import annotations
 
-from repro.ciphers import Geffe
-from repro.core.optimizer import StoppingCriteria
-from repro.core.pdsat import PDSAT
-from repro.problems import make_inversion_instance
+from repro.api import (
+    BackendSpec,
+    Experiment,
+    ExperimentConfig,
+    InstanceSpec,
+    MinimizerSpec,
+)
+
+
+def build_config(cores: int = 8) -> ExperimentConfig:
+    """The experiment description — serialise it with ``config.to_json()``."""
+    return ExperimentConfig(
+        instance=InstanceSpec(cipher="geffe-tiny", seed=42, keystream_length=24),
+        minimizer=MinimizerSpec(name="tabu", max_evaluations=60),
+        backend=BackendSpec(name="simulated-cluster", options={"cores": cores}),
+        sample_size=50,
+        cost_measure="propagations",
+        seed=1,
+    )
 
 
 def main() -> None:
     # ------------------------------------------------------------------ step 1
-    generator = Geffe.tiny()
-    instance = make_inversion_instance(generator, keystream_length=24, seed=42)
+    config = build_config()
+    experiment = Experiment.from_config(config)
+    instance = experiment.instance
     print("Instance:", instance.summary())
     print("Observed keystream:", "".join(map(str, instance.keystream)))
 
     # ------------------------------------------------------------------ step 2
-    pdsat = PDSAT(instance, sample_size=50, cost_measure="propagations", seed=1)
-    start_prediction = pdsat.evaluate_decomposition(instance.start_set)
+    start_prediction = experiment.pdsat.evaluate_decomposition(instance.start_set)
     print("\nPredictive function at the SUPBS start set:")
     print(" ", start_prediction.summary())
 
     # ------------------------------------------------------------------ step 3
-    report = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=60))
+    estimate = experiment.estimate()
     print("\nTabu search result:")
-    print(" ", report.summary())
-    print("  best decomposition set:", report.best_decomposition)
+    print(" ", estimate.summary)
+    print("  best decomposition set:", estimate.data["best_decomposition"])
 
     # ------------------------------------------------------------------ step 4
-    solving = pdsat.solve_family(report.best_decomposition)
+    solving = experiment.solve(estimate.data["best_decomposition"])
     print("\nSolving mode (the whole decomposition family):")
-    print(" ", solving.summary())
-    deviation = abs(report.best_value - solving.total_cost) / solving.total_cost
-    print(f"  prediction vs. measured total cost: {report.best_value:.4g} vs. "
-          f"{solving.total_cost:.4g}  (deviation {100 * deviation:.1f}%)")
-
-    for model in solving.satisfying_models:
-        state = instance.state_from_model(model)
-        if instance.verify_state(state):
-            print("  recovered state:", "".join(map(str, state)))
-            print("  secret state:   ", "".join(map(str, instance.secret_state)))
-            break
+    print(" ", solving.summary)
+    predicted = estimate.data["best_value"]
+    measured = solving.data["total_cost"]
+    deviation = abs(predicted - measured) / measured
+    print(f"  prediction vs. measured total cost: {predicted:.4g} vs. "
+          f"{measured:.4g}  (deviation {100 * deviation:.1f}%)")
+    if solving.data["recovered_state"]:
+        print("  recovered state:", solving.data["recovered_state"])
+        print("  secret state:   ", "".join(map(str, instance.secret_state)))
 
     # ------------------------------------------------------------------ step 5
+    # The measured per-sub-problem costs can be re-scheduled on any virtual
+    # cluster without re-solving anything.
+    from repro.runner.cluster import simulate_makespan
+
     for cores in (8, 64):
-        simulation = solving.makespan_on_cores(cores)
+        simulation = simulate_makespan(solving.data["costs"], cores)
         print(
             f"  simulated cluster with {cores:3d} cores: makespan {simulation.makespan:.4g} "
             f"(efficiency {simulation.efficiency:.2f})"

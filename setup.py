@@ -1,8 +1,39 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the repro-sat reproduction.
 
-``pip install -e .`` (PEP 660) needs ``wheel``; this shim lets
-``python setup.py develop`` work as a fallback in offline environments.
+``pip install -e .`` exposes the ``repro-sat`` console script; in offline
+environments without the ``wheel`` package, ``python setup.py develop`` works
+as a fallback.
 """
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-sat",
+    version="1.2.0",
+    description=(
+        "Monte Carlo search for SAT partitionings "
+        "(reproduction of Semenov & Zaikin, PaCT 2015)"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="repro-sat contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-sat = repro.cli:main",
+        ]
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Mathematics",
+    ],
+)

@@ -22,21 +22,46 @@ The package contains everything the method depends on:
 * a simulated cluster, a simulated SAT@home-style volunteer grid and a process
   pool for processing decomposition families (:mod:`repro.runner`),
 * Monte Carlo statistics: CLT and bootstrap intervals, sequential and
-  stratified sampling (:mod:`repro.stats`).
+  stratified sampling (:mod:`repro.stats`),
+* the unified experiment layer — component registries, typed configs,
+  pluggable execution backends and the :class:`Experiment` facade
+  (:mod:`repro.api`).
 
-Quickstart::
+Quickstart — describe the experiment, then run it end to end::
 
-    from repro.ciphers import Geffe
-    from repro.core import PDSAT
-    from repro.core.optimizer import StoppingCriteria
-    from repro.problems import make_inversion_instance
+    from repro import Experiment, ExperimentConfig, InstanceSpec, MinimizerSpec
 
-    instance = make_inversion_instance(Geffe.tiny(), seed=1)
-    pdsat = PDSAT(instance, sample_size=30)
-    report = pdsat.estimate(method="tabu", stopping=StoppingCriteria(max_evaluations=40))
-    print(report.summary())
+    cfg = ExperimentConfig(
+        instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+        minimizer=MinimizerSpec(name="tabu", max_evaluations=40),
+        sample_size=30,
+    )
+    result = Experiment.from_config(cfg).run()   # estimate, then solve the family
+    print(result.summary)
+    print(result.data["estimate"]["best_decomposition"])
+
+Configs round-trip through JSON (``cfg.to_json()`` /
+``ExperimentConfig.from_json``), so the same experiment can be replayed from
+the command line with ``repro-sat run --config exp.json``.  The lower-level
+orchestration (:class:`PDSAT`), the solvers and the statistics toolbox remain
+importable exactly as before.
 """
 
+from repro.api import (
+    BackendSpec,
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    InstanceSpec,
+    MinimizerSpec,
+    SolverSpec,
+    register_backend,
+    register_cipher,
+    register_cost_measure,
+    register_minimizer,
+    register_partitioner,
+    register_solver,
+)
 from repro.core import (
     PDSAT,
     DecompositionFamily,
@@ -60,12 +85,25 @@ from repro.problems import (
 from repro.sat import CNF, parse_dimacs, parse_dimacs_file, write_dimacs
 from repro.sat.cdcl import CDCLSolver
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "CNF",
     "CDCLSolver",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "InstanceSpec",
+    "SolverSpec",
+    "MinimizerSpec",
+    "BackendSpec",
+    "register_cipher",
+    "register_solver",
+    "register_minimizer",
+    "register_partitioner",
+    "register_backend",
+    "register_cost_measure",
     "DecompositionSet",
     "DecompositionFamily",
     "PredictiveFunction",

@@ -1,0 +1,97 @@
+"""``repro.api`` — the unified experiment layer.
+
+This package is the canonical way to run anything in the library:
+
+* :mod:`repro.api.registry` — named registries of ciphers, solvers,
+  minimisers, partitioners, execution backends and cost measures, with
+  ``@register_*`` decorators for plugging in new components;
+* :mod:`repro.api.measures` — the registered :class:`CostMeasure` abstraction
+  shared by :class:`repro.sat.solver.SolverStats` and
+  :class:`repro.core.predictive.PredictiveFunction`;
+* :mod:`repro.api.specs` — frozen, JSON-round-trippable experiment configs;
+* :mod:`repro.api.backends` — the :class:`ExecutionBackend` protocol and the
+  ``serial`` / ``process-pool`` / ``simulated-cluster`` / ``volunteer-grid``
+  implementations;
+* :mod:`repro.api.experiment` — the :class:`Experiment` facade.
+
+Quickstart::
+
+    from repro.api import Experiment, ExperimentConfig, InstanceSpec
+
+    cfg = ExperimentConfig(instance=InstanceSpec(cipher="geffe-tiny", seed=1))
+    result = Experiment.from_config(cfg).run()
+    print(result.summary)
+
+Attribute access is lazy (PEP 562) so that low-level modules can import
+``repro.api.registry`` without dragging in the whole orchestration stack.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+#: Public name -> defining submodule.
+_EXPORTS = {
+    # registry
+    "Registry": "repro.api.registry",
+    "RegistryError": "repro.api.registry",
+    "DuplicateNameError": "repro.api.registry",
+    "UnknownNameError": "repro.api.registry",
+    "register_cipher": "repro.api.registry",
+    "register_solver": "repro.api.registry",
+    "register_minimizer": "repro.api.registry",
+    "register_partitioner": "repro.api.registry",
+    "register_backend": "repro.api.registry",
+    "get_cipher": "repro.api.registry",
+    "get_solver": "repro.api.registry",
+    "get_minimizer": "repro.api.registry",
+    "get_partitioner": "repro.api.registry",
+    "get_backend": "repro.api.registry",
+    "get_cost_measure": "repro.api.registry",
+    "list_ciphers": "repro.api.registry",
+    "list_solvers": "repro.api.registry",
+    "list_minimizers": "repro.api.registry",
+    "list_partitioners": "repro.api.registry",
+    "list_backends": "repro.api.registry",
+    "list_cost_measures": "repro.api.registry",
+    # measures
+    "CostMeasure": "repro.api.measures",
+    "register_cost_measure": "repro.api.measures",
+    "resolve_cost_measure": "repro.api.measures",
+    # specs
+    "InstanceSpec": "repro.api.specs",
+    "SolverSpec": "repro.api.specs",
+    "MinimizerSpec": "repro.api.specs",
+    "BackendSpec": "repro.api.specs",
+    "ExperimentConfig": "repro.api.specs",
+    # backends
+    "ExecutionBackend": "repro.api.backends",
+    "BackendRun": "repro.api.backends",
+    "SubproblemOutcome": "repro.api.backends",
+    "SerialBackend": "repro.api.backends",
+    "ProcessPoolBackend": "repro.api.backends",
+    "SimulatedClusterBackend": "repro.api.backends",
+    "VolunteerGridBackend": "repro.api.backends",
+    # experiment facade
+    "Experiment": "repro.api.experiment",
+    "ExperimentResult": "repro.api.experiment",
+    "ProgressEvent": "repro.api.experiment",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve public names lazily from their defining submodules (PEP 562)."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,324 @@
+"""Pluggable execution backends for processing sub-problem families.
+
+PDSAT dispatched the sub-problems of a decomposition family to MPI computing
+processes; the SAT@home campaign dispatched them to a BOINC volunteer grid.
+This module unifies the library's three bespoke substrates (serial loop,
+``multiprocessing`` pool, simulated cluster/grid) behind one
+:class:`ExecutionBackend` protocol: a backend takes a CNF and a list of
+assumption vectors and returns one :class:`SubproblemOutcome` per vector, in
+input order, plus backend-specific metadata (e.g. the simulated makespan).
+
+Because the bundled solvers are deterministic, every backend returns the exact
+same statuses and costs for the same inputs — the backends differ only in how
+the work is executed and what scheduling metadata they report.
+
+Built-in backends (registered under :mod:`repro.api.registry`):
+
+* ``serial`` — one solver, one loop, in-process;
+* ``process-pool`` — a real ``multiprocessing`` pool (``processes`` option);
+* ``simulated-cluster`` — serial solving plus the makespan simulation of
+  :mod:`repro.runner.cluster` (``cores`` / ``scheduler`` options);
+* ``volunteer-grid`` — serial solving plus the BOINC-style discrete-event
+  simulation of :mod:`repro.runner.volunteer` (grid-config options).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.api.registry import register_backend
+from repro.api.specs import SolverSpec
+from repro.sat.formula import CNF
+from repro.sat.solver import SolverBudget, SolverStatus
+
+
+@dataclass(frozen=True)
+class SubproblemOutcome:
+    """Outcome of one sub-problem of a family."""
+
+    assumptions: tuple[int, ...]
+    status: SolverStatus
+    cost: float
+    wall_time: float
+    model: dict[int, bool] | None = None
+
+
+@dataclass
+class BackendRun:
+    """Everything a backend reports about processing one family."""
+
+    backend: str
+    outcomes: list[SubproblemOutcome] = field(default_factory=list)
+    wall_time: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def statuses(self) -> list[SolverStatus]:
+        """Per-sub-problem statuses, in input order."""
+        return [outcome.status for outcome in self.outcomes]
+
+    @property
+    def costs(self) -> list[float]:
+        """Per-sub-problem costs, in input order."""
+        return [outcome.cost for outcome in self.outcomes]
+
+    @property
+    def total_cost(self) -> float:
+        """Total sequential cost over the processed sub-problems."""
+        return sum(self.costs)
+
+    @property
+    def num_sat(self) -> int:
+        """Number of satisfiable sub-problems."""
+        return sum(1 for outcome in self.outcomes if outcome.status is SolverStatus.SAT)
+
+    @property
+    def satisfying_models(self) -> list[dict[int, bool]]:
+        """Models of the satisfiable sub-problems (when the backend kept them)."""
+        return [o.model for o in self.outcomes if o.model is not None]
+
+
+#: Progress callback: ``fn(completed, total)`` after each finished sub-problem.
+ProgressFn = Callable[[int, int], None]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The one interface every execution substrate implements."""
+
+    name: str
+
+    def run(
+        self,
+        cnf: CNF,
+        assumption_vectors: Sequence[Sequence[int]],
+        solver: SolverSpec | None = None,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+        progress: ProgressFn | None = None,
+    ) -> BackendRun:
+        """Solve ``cnf`` under every assumption vector and report the outcomes."""
+        ...  # pragma: no cover
+
+
+def _solve_serially(
+    cnf: CNF,
+    assumption_vectors: Sequence[Sequence[int]],
+    solver_spec: SolverSpec,
+    cost_measure: str,
+    budget: SolverBudget | None,
+    stop_on_sat: bool,
+    progress: ProgressFn | None,
+) -> list[SubproblemOutcome]:
+    """The shared in-process loop used by every non-pool backend."""
+    solver = solver_spec.build()
+    total = len(assumption_vectors)
+    outcomes: list[SubproblemOutcome] = []
+    for index, vector in enumerate(assumption_vectors):
+        result = solver.solve(cnf, assumptions=list(vector), budget=budget)
+        outcomes.append(
+            SubproblemOutcome(
+                assumptions=tuple(int(lit) for lit in vector),
+                status=result.status,
+                cost=result.stats.cost(cost_measure),
+                wall_time=result.stats.wall_time,
+                model=result.model if result.is_sat else None,
+            )
+        )
+        if progress is not None:
+            progress(index + 1, total)
+        if stop_on_sat and result.is_sat:
+            break
+    return outcomes
+
+
+@register_backend("serial", description="one in-process solver loop")
+class SerialBackend:
+    """Solve every sub-problem sequentially in the calling process."""
+
+    name = "serial"
+
+    def run(
+        self,
+        cnf: CNF,
+        assumption_vectors: Sequence[Sequence[int]],
+        solver: SolverSpec | None = None,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+        progress: ProgressFn | None = None,
+    ) -> BackendRun:
+        """Run the family in one loop."""
+        started = time.perf_counter()
+        outcomes = _solve_serially(
+            cnf, assumption_vectors, solver or SolverSpec(), cost_measure, budget,
+            stop_on_sat, progress,
+        )
+        return BackendRun(
+            backend=self.name, outcomes=outcomes, wall_time=time.perf_counter() - started
+        )
+
+
+@register_backend("process-pool", description="multiprocessing pool on the local machine")
+class ProcessPoolBackend:
+    """Solve sub-problems in a real ``multiprocessing`` pool.
+
+    ``processes=None`` uses every core; ``processes=1`` degrades to an
+    in-process loop (handy in tests).  ``stop_on_sat`` is emulated by
+    truncating the outcome list at the first satisfiable sub-problem, which
+    reproduces exactly what the serial backend would have reported.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, processes: int | None = None):
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be at least 1")
+        self.processes = processes
+
+    def run(
+        self,
+        cnf: CNF,
+        assumption_vectors: Sequence[Sequence[int]],
+        solver: SolverSpec | None = None,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+        progress: ProgressFn | None = None,
+    ) -> BackendRun:
+        """Run the family on the pool (budgets are applied in the workers)."""
+        from repro.runner.pool import solve_family_parallel
+
+        spec = solver or SolverSpec()
+        started = time.perf_counter()
+        raw = solve_family_parallel(
+            cnf,
+            assumption_vectors,
+            processes=self.processes,
+            cost_measure=cost_measure,
+            solver=spec.name,
+            solver_options=spec.options,
+            budget=budget,
+        )
+        outcomes = [
+            SubproblemOutcome(
+                assumptions=item.assumptions,
+                status=item.status,
+                cost=item.cost,
+                wall_time=item.wall_time,
+                model=item.model,
+            )
+            for item in raw
+        ]
+        if stop_on_sat:
+            for index, outcome in enumerate(outcomes):
+                if outcome.status is SolverStatus.SAT:
+                    outcomes = outcomes[: index + 1]
+                    break
+        if progress is not None:
+            progress(len(outcomes), len(assumption_vectors))
+        return BackendRun(
+            backend=self.name,
+            outcomes=outcomes,
+            wall_time=time.perf_counter() - started,
+            metadata={"processes": self.processes},
+        )
+
+
+@register_backend(
+    "simulated-cluster", description="serial solving + makespan simulation on M cores"
+)
+class SimulatedClusterBackend:
+    """The paper's cluster numbers: solve serially, schedule onto virtual cores."""
+
+    name = "simulated-cluster"
+
+    def __init__(self, cores: int = 8, scheduler: str = "dynamic"):
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        self.cores = cores
+        self.scheduler = scheduler
+
+    def run(
+        self,
+        cnf: CNF,
+        assumption_vectors: Sequence[Sequence[int]],
+        solver: SolverSpec | None = None,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+        progress: ProgressFn | None = None,
+    ) -> BackendRun:
+        """Run the family and attach the cluster-makespan metadata."""
+        from repro.runner.cluster import simulate_makespan
+
+        started = time.perf_counter()
+        outcomes = _solve_serially(
+            cnf, assumption_vectors, solver or SolverSpec(), cost_measure, budget,
+            stop_on_sat, progress,
+        )
+        simulation = simulate_makespan(
+            [o.cost for o in outcomes], self.cores, scheduler=self.scheduler
+        )
+        return BackendRun(
+            backend=self.name,
+            outcomes=outcomes,
+            wall_time=time.perf_counter() - started,
+            metadata={
+                "cores": self.cores,
+                "scheduler": self.scheduler,
+                "makespan": simulation.makespan,
+                "efficiency": simulation.efficiency,
+                "ideal_makespan": simulation.ideal_makespan,
+            },
+        )
+
+
+@register_backend(
+    "volunteer-grid", description="serial solving + BOINC-style volunteer-grid simulation"
+)
+class VolunteerGridBackend:
+    """The SAT@home numbers: solve serially, replay the family on a volunteer grid."""
+
+    name = "volunteer-grid"
+
+    def __init__(self, **grid_options: Any):
+        from repro.runner.volunteer import VolunteerGridConfig
+
+        self.grid_config = VolunteerGridConfig(**grid_options)
+
+    def run(
+        self,
+        cnf: CNF,
+        assumption_vectors: Sequence[Sequence[int]],
+        solver: SolverSpec | None = None,
+        cost_measure: str = "propagations",
+        budget: SolverBudget | None = None,
+        stop_on_sat: bool = False,
+        progress: ProgressFn | None = None,
+    ) -> BackendRun:
+        """Run the family and attach the volunteer-campaign metadata."""
+        from repro.runner.volunteer import simulate_volunteer_grid
+
+        started = time.perf_counter()
+        outcomes = _solve_serially(
+            cnf, assumption_vectors, solver or SolverSpec(), cost_measure, budget,
+            stop_on_sat, progress,
+        )
+        simulation = simulate_volunteer_grid([o.cost for o in outcomes], self.grid_config)
+        return BackendRun(
+            backend=self.name,
+            outcomes=outcomes,
+            wall_time=time.perf_counter() - started,
+            metadata={
+                "hosts": simulation.host_count,
+                "campaign_duration": simulation.campaign_duration,
+                "effective_throughput": simulation.effective_throughput,
+                "replication_overhead": simulation.replication_overhead,
+                "reissued_work_units": simulation.reissued_work_units,
+            },
+        )

@@ -1,0 +1,383 @@
+"""The :class:`Experiment` facade — one front door for every mode of the library.
+
+An :class:`Experiment` wraps an :class:`~repro.api.specs.ExperimentConfig` and
+exposes PDSAT's modes plus the baselines the paper compares against:
+
+* :meth:`Experiment.estimate`  — estimating mode (predictive-function search);
+* :meth:`Experiment.solve`     — solving mode (process a decomposition family
+  through the configured execution backend);
+* :meth:`Experiment.run`       — estimate-then-solve end to end;
+* :meth:`Experiment.partition` — a classical partitioning baseline;
+* :meth:`Experiment.portfolio` — the diversified-portfolio baseline.
+
+Every method returns a JSON-serialisable :class:`ExperimentResult` so runs can
+be archived next to their configuration.  Progress callbacks receive
+:class:`ProgressEvent` records as phases start, advance and finish::
+
+    from repro.api import Experiment, ExperimentConfig
+
+    cfg = ExperimentConfig.from_json(open("exp.json").read())
+    result = Experiment.from_config(cfg, progress=print).run()
+    print(result.to_json())
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.registry import get_partitioner
+from repro.api.specs import ExperimentConfig
+from repro.core.decomposition import DecompositionSet
+from repro.core.optimizer import StoppingCriteria
+from repro.core.pdsat import PDSAT, EstimationReport
+from repro.sat.solver import SolverStatus
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification: a phase started, advanced or finished."""
+
+    phase: str
+    completed: int = 0
+    total: int | None = None
+    message: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" [{self.completed}/{self.total}]" if self.total else ""
+        return f"{self.phase}{suffix} {self.message}".rstrip()
+
+
+#: Progress callback signature used across the facade.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+@dataclass
+class ExperimentResult:
+    """A JSON-serialisable record of one facade call."""
+
+    kind: str
+    config: dict[str, Any]
+    status: str
+    summary: str
+    data: dict[str, Any] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation (JSON-serialisable by construction)."""
+        return {
+            "kind": self.kind,
+            "config": self.config,
+            "status": self.status,
+            "summary": self.summary,
+            "data": self.data,
+            "wall_time": self.wall_time,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the result to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class Experiment:
+    """Facade over the registries, the PDSAT orchestrator and the backends.
+
+    Parameters
+    ----------
+    config:
+        The complete experiment description.
+    progress:
+        Optional callback receiving :class:`ProgressEvent` records.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None, progress: ProgressCallback | None = None):
+        self.config = config or ExperimentConfig()
+        self.progress = progress
+        self._instance = None
+        self._pdsat: PDSAT | None = None
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def from_config(
+        cls, config: ExperimentConfig, progress: ProgressCallback | None = None
+    ) -> "Experiment":
+        """Build an experiment from a typed config (the canonical entry point)."""
+        return cls(config, progress=progress)
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, Any], progress: ProgressCallback | None = None
+    ) -> "Experiment":
+        """Build an experiment from a plain config dict."""
+        return cls(ExperimentConfig.from_dict(data), progress=progress)
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, progress: ProgressCallback | None = None
+    ) -> "Experiment":
+        """Build an experiment from a JSON config file."""
+        return cls(ExperimentConfig.from_json(Path(path).read_text()), progress=progress)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def instance(self):
+        """The materialised inversion instance (built once, cached)."""
+        if self._instance is None:
+            self._instance = self.config.instance.build()
+        return self._instance
+
+    @property
+    def pdsat(self) -> PDSAT:
+        """The PDSAT orchestrator configured from the specs (built once, cached)."""
+        if self._pdsat is None:
+            self._pdsat = PDSAT(
+                self.instance,
+                solver=self.config.solver.build(),
+                sample_size=self.config.sample_size,
+                cost_measure=self.config.cost_measure,
+                seed=self.config.seed,
+            )
+        return self._pdsat
+
+    def _emit(self, phase: str, completed: int = 0, total: int | None = None, message: str = "") -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(phase=phase, completed=completed, total=total, message=message))
+
+    # ----------------------------------------------------------- estimating mode
+    def estimate(self) -> ExperimentResult:
+        """Run the estimating mode with the configured minimiser."""
+        cfg = self.config
+        self._emit("estimate", message=f"minimizing F with {cfg.minimizer.name}")
+        started = time.perf_counter()
+        report = self._estimate_report()
+        self._emit(
+            "estimate",
+            completed=report.minimization.num_evaluations,
+            total=cfg.minimizer.max_evaluations,
+            message="done",
+        )
+        return ExperimentResult(
+            kind="estimate",
+            config=cfg.to_dict(),
+            status="OK",
+            summary=report.summary(),
+            data=self._estimation_data(report),
+            wall_time=time.perf_counter() - started,
+        )
+
+    def _estimate_report(self) -> EstimationReport:
+        cfg = self.config
+        stopping = StoppingCriteria(
+            max_evaluations=cfg.minimizer.max_evaluations,
+            max_seconds=cfg.minimizer.max_seconds,
+        )
+        return self.pdsat.estimate(
+            method=cfg.minimizer.name, stopping=stopping, **cfg.minimizer.options
+        )
+
+    @staticmethod
+    def _estimation_data(report: EstimationReport) -> dict[str, Any]:
+        return {
+            "method": report.method,
+            "best_decomposition": list(report.best_decomposition),
+            "best_value": report.best_value,
+            "cost_measure": report.cost_measure,
+            "sample_size": report.sample_size,
+            "num_evaluations": report.minimization.num_evaluations,
+            "num_subproblem_solves": report.minimization.num_subproblem_solves,
+            "stop_reason": report.minimization.stop_reason,
+        }
+
+    # -------------------------------------------------------------- solving mode
+    def solve(self, decomposition: Sequence[int] | None = None) -> ExperimentResult:
+        """Run the solving mode, dispatching the family through the backend.
+
+        ``decomposition`` overrides the configured one; when neither is given
+        the estimating mode is run first (see :meth:`run` for the combined
+        record of that flow).
+        """
+        started = time.perf_counter()
+        estimation: EstimationReport | None = None
+        if decomposition is None:
+            decomposition = self.config.decomposition
+        if decomposition is None:
+            estimation = self._estimate_report()
+            decomposition = self._truncated(estimation.best_decomposition)
+        solve_data, status, summary = self._solve_family(list(decomposition))
+        if estimation is not None:
+            solve_data["estimate"] = self._estimation_data(estimation)
+        return ExperimentResult(
+            kind="solve",
+            config=self.config.to_dict(),
+            status=status,
+            summary=summary,
+            data=solve_data,
+            wall_time=time.perf_counter() - started,
+        )
+
+    def run(self) -> ExperimentResult:
+        """Estimate-then-solve end to end (the ``repro-sat run`` flow)."""
+        cfg = self.config
+        started = time.perf_counter()
+        if cfg.decomposition is not None:
+            estimation = None
+            decomposition = list(cfg.decomposition)
+        else:
+            estimation = self._estimate_report()
+            self._emit("estimate", message=estimation.summary())
+            decomposition = self._truncated(estimation.best_decomposition)
+        solve_data, status, summary = self._solve_family(decomposition)
+        data: dict[str, Any] = {
+            "estimate": self._estimation_data(estimation) if estimation is not None else None,
+            "solve": solve_data,
+        }
+        return ExperimentResult(
+            kind="run",
+            config=cfg.to_dict(),
+            status=status,
+            summary=summary,
+            data=data,
+            wall_time=time.perf_counter() - started,
+        )
+
+    def _truncated(self, decomposition: list[int]) -> list[int]:
+        size = self.config.decomposition_size
+        if size is not None and len(decomposition) > size:
+            return decomposition[:size]
+        return decomposition
+
+    def _solve_family(self, decomposition: list[int]) -> tuple[dict[str, Any], str, str]:
+        """Dispatch the family of ``decomposition`` through the configured backend."""
+        cfg = self.config
+        if len(decomposition) > cfg.max_family_bits:
+            raise ValueError(
+                f"decomposition of size {len(decomposition)} would create "
+                f"2^{len(decomposition)} sub-problems; raise max_family_bits to allow it"
+            )
+        dec = DecompositionSet.of(decomposition)
+        vectors = [assignment.to_literals() for assignment in dec.all_assignments()]
+        backend = cfg.backend.build()
+        self._emit("solve", total=len(vectors), message=f"backend {cfg.backend.name}")
+        run = backend.run(
+            self.instance.cnf,
+            vectors,
+            solver=cfg.solver,
+            cost_measure=cfg.cost_measure,
+            stop_on_sat=cfg.stop_on_sat,
+            progress=lambda completed, total: self._emit("solve", completed, total),
+        )
+        recovered = self._recover_state(run.satisfying_models)
+        if run.num_sat > 0:
+            status = "SAT"
+        elif len(run.outcomes) == len(vectors) and all(
+            outcome.status is SolverStatus.UNSAT for outcome in run.outcomes
+        ):
+            status = "UNSAT"
+        else:
+            status = "UNKNOWN"
+        summary = (
+            f"[{self.instance.name}] {cfg.backend.name}: solved {len(run.outcomes)} "
+            f"sub-problems, {run.num_sat} SAT, total cost {run.total_cost:.4g} "
+            f"({cfg.cost_measure})"
+        )
+        data = {
+            "decomposition": sorted(dec.variables),
+            "num_subproblems": len(vectors),
+            "num_processed": len(run.outcomes),
+            "statuses": [outcome.status.value for outcome in run.outcomes],
+            "costs": run.costs,
+            "total_cost": run.total_cost,
+            "num_sat": run.num_sat,
+            "backend": cfg.backend.name,
+            "backend_metadata": run.metadata,
+            "recovered_state": recovered,
+            "wall_time": run.wall_time,
+        }
+        return data, status, summary
+
+    def _recover_state(self, models: list[dict[int, bool]]) -> str | None:
+        """Extract and verify a recovered register state from the SAT models."""
+        for model in models:
+            state = self.instance.state_from_model(model)
+            if self.instance.verify_state(state):
+                return "".join(str(bit) for bit in state)
+        return None
+
+    # ----------------------------------------------------------------- baselines
+    def partition(self, solve_parts: bool = False) -> ExperimentResult:
+        """Build a classical partitioning of the instance (optionally solve it)."""
+        cfg = self.config
+        started = time.perf_counter()
+        factory = get_partitioner(cfg.technique)
+        partitioning = factory(self.instance.cnf, cfg.parts)
+        self._emit("partition", total=len(partitioning), message=cfg.technique)
+        part_sizes = (
+            partitioning.cube_lengths
+            if hasattr(partitioning, "cube_lengths")
+            else partitioning.slice_sizes  # scattering reports slice sizes instead
+        )
+        data: dict[str, Any] = {
+            "technique": cfg.technique,
+            "num_cubes": len(partitioning),
+            "part_sizes": part_sizes,
+        }
+        status = "OK"
+        if solve_parts:
+            report = partitioning.solve_all(
+                cfg.solver.build(), cost_measure=cfg.cost_measure
+            )
+            data.update(
+                {
+                    "costs": report.costs,
+                    "total_cost": report.total_cost,
+                    "num_sat": report.num_sat,
+                    "imbalance": report.imbalance,
+                    "statuses": [s.value for s in report.statuses],
+                }
+            )
+            status = "SAT" if report.num_sat > 0 else "UNSAT"
+        return ExperimentResult(
+            kind="partition",
+            config=cfg.to_dict(),
+            status=status,
+            summary=partitioning.summary(),
+            data=data,
+            wall_time=time.perf_counter() - started,
+        )
+
+    def portfolio(self) -> ExperimentResult:
+        """Race the diversified CDCL portfolio on the instance."""
+        from repro.portfolio import PortfolioSolver, default_portfolio
+
+        cfg = self.config
+        started = time.perf_counter()
+        members = default_portfolio()[: cfg.members]
+        self._emit("portfolio", total=len(members))
+        result = PortfolioSolver(members, cost_measure=cfg.cost_measure).solve(
+            self.instance.cnf
+        )
+        data = {
+            "members": [
+                {
+                    "name": run.configuration.name,
+                    "status": run.result.status.value,
+                    "cost": run.cost,
+                }
+                for run in result.runs
+            ],
+            "virtual_parallel_cost": result.virtual_parallel_cost,
+            "total_work": result.total_work,
+            "winner": result.winner.configuration.name if result.winner else None,
+        }
+        return ExperimentResult(
+            kind="portfolio",
+            config=cfg.to_dict(),
+            status=result.status.value,
+            summary=result.summary(),
+            data=data,
+            wall_time=time.perf_counter() - started,
+        )

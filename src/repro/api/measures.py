@@ -1,0 +1,89 @@
+"""Registered cost measures: the scalar ``ζ`` of the predictive function.
+
+The Monte Carlo method measures the cost of every solved sub-instance with a
+*cost measure* applied to the solver's statistics record.  The paper uses
+wall-clock seconds; the deterministic counters (conflicts, decisions,
+propagations and a fixed weighted mix) give machine-independent, exactly
+reproducible estimates.
+
+Historically :meth:`repro.sat.solver.SolverStats.cost` and
+:class:`repro.core.predictive.PredictiveFunction` each hard-coded the measure
+names; both now dispatch through this registry, so an unknown measure raises
+the same :class:`~repro.api.registry.UnknownNameError` everywhere and new
+measures plug in with :func:`register_cost_measure`::
+
+    from repro.api import register_cost_measure
+
+    @register_cost_measure("restarts", description="number of restarts")
+    def _restarts(stats):
+        return float(stats.restarts)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.api.registry import COST_MEASURES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sat.solver import SolverStats
+
+
+@dataclass(frozen=True)
+class CostMeasure:
+    """A named scalarisation of a :class:`~repro.sat.solver.SolverStats` record."""
+
+    name: str
+    fn: Callable[[Any], float]
+    description: str = ""
+
+    def __call__(self, stats: "SolverStats") -> float:
+        """Apply the measure to a statistics record."""
+        return float(self.fn(stats))
+
+
+def register_cost_measure(name: str, *, description: str = "", replace: bool = False):
+    """Decorator registering ``fn(stats) -> float`` as the cost measure ``name``."""
+
+    def decorator(fn: Callable[[Any], float]) -> CostMeasure:
+        measure = CostMeasure(name=name, fn=fn, description=description)
+        COST_MEASURES.add(name, measure, description=description, replace=replace)
+        return measure
+
+    return decorator
+
+
+def resolve_cost_measure(name: str) -> CostMeasure:
+    """Look up a cost measure, raising the registry's consistent unknown-name error."""
+    return COST_MEASURES.get(name)
+
+
+# ------------------------------------------------------------ built-in measures
+@register_cost_measure("conflicts", description="number of conflicts")
+def _conflicts(stats: "SolverStats") -> float:
+    return float(stats.conflicts)
+
+
+@register_cost_measure("decisions", description="number of decisions")
+def _decisions(stats: "SolverStats") -> float:
+    return float(stats.decisions)
+
+
+@register_cost_measure("propagations", description="number of unit propagations")
+def _propagations(stats: "SolverStats") -> float:
+    return float(stats.propagations)
+
+
+@register_cost_measure("wall_time", description="wall-clock seconds (the paper's measure)")
+def _wall_time(stats: "SolverStats") -> float:
+    return float(stats.wall_time)
+
+
+@register_cost_measure(
+    "weighted",
+    description="propagations + 10·conflicts + 2·decisions (deterministic wall-time proxy)",
+)
+def _weighted(stats: "SolverStats") -> float:
+    return float(stats.propagations) + 10.0 * stats.conflicts + 2.0 * stats.decisions

@@ -1,0 +1,245 @@
+"""Typed experiment configuration: frozen dataclasses with JSON round-tripping.
+
+An :class:`ExperimentConfig` names every interchangeable part of a PDSAT-style
+experiment by its registry name — the cipher preset, the sub-problem solver,
+the predictive-function minimiser and the execution backend — plus the shared
+numeric knobs.  Configurations are immutable, compare by value, and round-trip
+losslessly through ``to_dict()`` / ``from_dict()`` (and JSON), so an experiment
+can be stored next to its results and replayed bit for bit::
+
+    cfg = ExperimentConfig(
+        instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+        minimizer=MinimizerSpec(name="tabu", max_evaluations=60),
+        backend=BackendSpec(name="simulated-cluster", options={"cores": 8}),
+    )
+    assert ExperimentConfig.from_dict(cfg.to_dict()) == cfg
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.api.registry import get_cipher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.problems.inversion import InversionInstance
+    from repro.sat.solver import Solver
+
+
+def _check_known_keys(cls: type, data: dict[str, Any]) -> None:
+    """Reject keys that no field of ``cls`` accepts (catches config typos)."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)}; valid keys: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Which keystream-inversion instance to build (by cipher-registry name)."""
+
+    cipher: str = "geffe-tiny"
+    seed: int = 0
+    keystream_length: int | None = None
+    known_bits: int = 0
+
+    def build(self) -> "InversionInstance":
+        """Materialise the instance through the cipher registry."""
+        from repro.problems import make_inversion_instance
+
+        generator = get_cipher(self.cipher)()
+        return make_inversion_instance(
+            generator,
+            keystream_length=self.keystream_length,
+            seed=self.seed,
+            known_bits=self.known_bits,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "InstanceSpec":
+        """Inverse of :meth:`to_dict` (unknown keys raise ``ValueError``)."""
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Which sub-problem solver to use (by solver-registry name) and its options."""
+
+    name: str = "cdcl"
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> "Solver":
+        """Instantiate a fresh solver through the solver registry."""
+        from repro.api.registry import get_solver
+
+        return get_solver(self.name)(**self.options)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SolverSpec":
+        """Inverse of :meth:`to_dict`."""
+        _check_known_keys(cls, data)
+        return cls(name=data.get("name", "cdcl"), options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class MinimizerSpec:
+    """Which metaheuristic minimises the predictive function, and its budget."""
+
+    name: str = "tabu"
+    max_evaluations: int | None = 60
+    max_seconds: float | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "max_evaluations": self.max_evaluations,
+            "max_seconds": self.max_seconds,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MinimizerSpec":
+        """Inverse of :meth:`to_dict`."""
+        _check_known_keys(cls, data)
+        return cls(
+            name=data.get("name", "tabu"),
+            max_evaluations=data.get("max_evaluations", 60),
+            max_seconds=data.get("max_seconds"),
+            options=dict(data.get("options", {})),
+        )
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Which execution backend processes sub-problem families, and its options."""
+
+    name: str = "serial"
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def build(self):
+        """Instantiate the backend through the backend registry."""
+        from repro.api.registry import get_backend
+
+        return get_backend(self.name)(**self.options)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BackendSpec":
+        """Inverse of :meth:`to_dict`."""
+        _check_known_keys(cls, data)
+        return cls(name=data.get("name", "serial"), options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete, replayable description of one PDSAT-style experiment.
+
+    The four specs name the interchangeable parts; the remaining fields are the
+    orchestration knobs shared by the estimating and solving modes plus the
+    parameters of the ``partition`` and ``portfolio`` baselines.
+    """
+
+    instance: InstanceSpec = field(default_factory=InstanceSpec)
+    solver: SolverSpec = field(default_factory=SolverSpec)
+    minimizer: MinimizerSpec = field(default_factory=MinimizerSpec)
+    backend: BackendSpec = field(default_factory=BackendSpec)
+    #: ``N``, the random-sample size per predictive-function evaluation.
+    sample_size: int = 50
+    #: Cost measure (cost-measure registry name).
+    cost_measure: str = "propagations"
+    #: Seed of the sampling RNG and the metaheuristics.
+    seed: int = 0
+    #: Explicit decomposition set for the solving mode (``None``: estimate one).
+    decomposition: tuple[int, ...] | None = None
+    #: Truncate an estimated decomposition to this many variables.
+    decomposition_size: int | None = None
+    #: Stop the solving mode at the first satisfiable sub-problem.
+    stop_on_sat: bool = False
+    #: Refuse decomposition families larger than ``2^max_family_bits``.
+    max_family_bits: int = 16
+    #: Partitioning technique for :meth:`repro.api.Experiment.partition`.
+    technique: str = "guiding-path"
+    #: Target part count for the partitioning baseline.
+    parts: int = 8
+    #: Member count for :meth:`repro.api.Experiment.portfolio`.
+    members: int = 8
+
+    def __post_init__(self) -> None:
+        if self.decomposition is not None and not isinstance(self.decomposition, tuple):
+            # Normalise lists/iterables so value equality matches round-trips.
+            object.__setattr__(self, "decomposition", tuple(int(v) for v in self.decomposition))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "instance": self.instance.to_dict(),
+            "solver": self.solver.to_dict(),
+            "minimizer": self.minimizer.to_dict(),
+            "backend": self.backend.to_dict(),
+            "sample_size": self.sample_size,
+            "cost_measure": self.cost_measure,
+            "seed": self.seed,
+            "decomposition": list(self.decomposition) if self.decomposition is not None else None,
+            "decomposition_size": self.decomposition_size,
+            "stop_on_sat": self.stop_on_sat,
+            "max_family_bits": self.max_family_bits,
+            "technique": self.technique,
+            "parts": self.parts,
+            "members": self.members,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentConfig":
+        """Build a config from a plain dict (unknown keys raise ``ValueError``)."""
+        _check_known_keys(cls, data)
+        decomposition = data.get("decomposition")
+        return cls(
+            instance=InstanceSpec.from_dict(dict(data.get("instance", {}))),
+            solver=SolverSpec.from_dict(dict(data.get("solver", {}))),
+            minimizer=MinimizerSpec.from_dict(dict(data.get("minimizer", {}))),
+            backend=BackendSpec.from_dict(dict(data.get("backend", {}))),
+            sample_size=data.get("sample_size", 50),
+            cost_measure=data.get("cost_measure", "propagations"),
+            seed=data.get("seed", 0),
+            decomposition=(
+                tuple(int(v) for v in decomposition) if decomposition is not None else None
+            ),
+            decomposition_size=data.get("decomposition_size"),
+            stop_on_sat=data.get("stop_on_sat", False),
+            max_family_bits=data.get("max_family_bits", 16),
+            technique=data.get("technique", "guiding-path"),
+            parts=data.get("parts", 8),
+            members=data.get("members", 8),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "ExperimentConfig":
+        """A copy with the given fields replaced (convenience for sweeps)."""
+        return dataclasses.replace(self, **changes)

@@ -130,3 +130,15 @@ class A51(KeystreamGenerator):
             keystream.append(circuit.xor(regs[0][-1], regs[1][-1], regs[2][-1]))
         circuit.set_output_group("keystream", keystream)
         return circuit
+
+
+# --------------------------------------------------------------- registry wiring
+from functools import partial  # noqa: E402
+
+from repro.api.registry import register_cipher  # noqa: E402  (import-time registration)
+
+register_cipher("a51-full", description="full A5/1 (64-bit state, the paper's target)")(A51.full)
+register_cipher("a51-tiny", description="scaled A5/1, tiny registers")(partial(A51.scaled, "tiny"))
+register_cipher("a51-small", description="scaled A5/1, small registers")(
+    partial(A51.scaled, "small")
+)

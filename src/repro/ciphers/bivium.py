@@ -219,3 +219,20 @@ class Trivium(TriviumLike):
         if size not in lengths:
             raise ValueError(f"unknown preset {size!r}; choose from {sorted(lengths)}")
         return cls(_scaled_specs(cls.FULL_SPECS, lengths[size]))
+
+
+# --------------------------------------------------------------- registry wiring
+from functools import partial  # noqa: E402
+
+from repro.api.registry import register_cipher  # noqa: E402  (import-time registration)
+
+register_cipher("bivium-full", description="full Bivium (177-bit state)")(Bivium.full)
+register_cipher("bivium-tiny", description="scaled Bivium, tiny registers")(
+    partial(Bivium.scaled, "tiny")
+)
+register_cipher("bivium-small", description="scaled Bivium, small registers")(
+    partial(Bivium.scaled, "small")
+)
+register_cipher("trivium-tiny", description="scaled Trivium, tiny registers")(
+    partial(Trivium.scaled, "tiny")
+)

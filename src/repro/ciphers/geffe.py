@@ -87,3 +87,12 @@ class Geffe(KeystreamGenerator):
             keystream.append(circuit.mux(x1, x2, x3))
         circuit.set_output_group("keystream", keystream)
         return circuit
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_cipher  # noqa: E402  (import-time registration)
+
+register_cipher("geffe", description="full Geffe generator (3 LFSRs, 2:1 multiplexer)")(Geffe)
+register_cipher("geffe-tiny", description="scaled Geffe (sub-problems solve in microseconds)")(
+    Geffe.tiny
+)

@@ -270,3 +270,17 @@ class Grain(GrainLike):
             raise ValueError(f"unknown preset {size!r}; choose from ['medium', 'small', 'tiny']")
         gen.name = f"Grain-{size}"
         return gen
+
+
+# --------------------------------------------------------------- registry wiring
+from functools import partial  # noqa: E402
+
+from repro.api.registry import register_cipher  # noqa: E402  (import-time registration)
+
+register_cipher("grain-full", description="full Grain v1 (160-bit state)")(Grain.full)
+register_cipher("grain-tiny", description="scaled Grain, tiny registers")(
+    partial(Grain.scaled, "tiny")
+)
+register_cipher("grain-small", description="scaled Grain, small registers")(
+    partial(Grain.scaled, "small")
+)

@@ -1,25 +1,31 @@
-"""Command-line interface (a small, single-machine PDSAT).
+"""Command-line interface: a thin argparse shell over :mod:`repro.api`.
 
-The sub-commands mirror PDSAT's modes plus instance generation and a few
-utilities around the rest of the library:
+Every sub-command builds an :class:`~repro.api.ExperimentConfig` from its flags
+and hands it to the :class:`~repro.api.Experiment` facade; cipher presets,
+metaheuristics, partitioning techniques, execution backends and cost measures
+all come from the registries, so components registered by user code are
+immediately addressable from the command line.
 
-* ``generate``  — build a keystream-inversion instance for one of the bundled
-  ciphers and write it as DIMACS;
-* ``estimate``  — run the estimating mode (predictive-function minimisation by
-  tabu search, simulated annealing, hill climbing or a genetic algorithm);
-* ``solve``     — run the solving mode on a generated instance with a given (or
-  freshly estimated) decomposition set;
-* ``simplify``  — apply the SatELite-style preprocessor to an instance and
-  report how much the encoding shrinks;
-* ``partition`` — build a classical partitioning (guiding path, scattering or
-  cube-and-conquer) of an instance and summarise it;
-* ``portfolio`` — race the diversified CDCL portfolio on an instance.
+Sub-commands:
+
+* ``list``      — show every registered component (ciphers, solvers,
+  minimizers, partitioners, backends, cost measures);
+* ``generate``  — build a keystream-inversion instance and write it as DIMACS;
+* ``estimate``  — run the estimating mode (predictive-function minimisation);
+* ``solve``     — run the solving mode on a given (or freshly estimated)
+  decomposition set through a chosen execution backend;
+* ``run``       — execute a full experiment described by a JSON config file;
+* ``simplify``  — apply the SatELite-style preprocessor to an instance;
+* ``partition`` — build a classical partitioning of an instance;
+* ``portfolio`` — race the diversified CDCL portfolio.
 
 Examples::
 
+    repro-sat list
     repro-sat generate --cipher geffe-tiny --seed 1 --output geffe.cnf
     repro-sat estimate --cipher bivium-small --seed 1 --method tabu --max-evaluations 60
     repro-sat solve --cipher geffe-tiny --seed 1 --decomposition-size 10 --cores 8
+    repro-sat run --config exp.json --output result.json
     repro-sat simplify --cipher bivium-tiny --seed 1
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
     repro-sat portfolio --cipher bivium-tiny --seed 1
@@ -30,46 +36,64 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.ciphers import A51, Bivium, Geffe, Grain, Trivium
+from repro.api import (
+    BackendSpec,
+    Experiment,
+    ExperimentConfig,
+    InstanceSpec,
+    MinimizerSpec,
+    UnknownNameError,
+)
+from repro.api.registry import (
+    BACKENDS,
+    CIPHERS,
+    COST_MEASURES,
+    MINIMIZERS,
+    PARTITIONERS,
+    SOLVERS,
+    get_cipher,
+    get_cost_measure,
+    list_ciphers,
+    list_minimizers,
+)
 from repro.ciphers.keystream import KeystreamGenerator
-from repro.core.optimizer import StoppingCriteria
-from repro.core.pdsat import PDSAT
-from repro.problems import make_inversion_instance
 from repro.sat.dimacs import write_dimacs_file
 
-#: Metaheuristics accepted by ``estimate`` / ``solve``.
-METHOD_CHOICES = ("tabu", "annealing", "hillclimb", "genetic")
 
-#: Cipher presets addressable from the command line.
-CIPHER_PRESETS: dict[str, object] = {
-    "geffe-tiny": lambda: Geffe.tiny(),
-    "geffe": lambda: Geffe(),
-    "a51-tiny": lambda: A51.scaled("tiny"),
-    "a51-small": lambda: A51.scaled("small"),
-    "a51-full": lambda: A51.full(),
-    "bivium-tiny": lambda: Bivium.scaled("tiny"),
-    "bivium-small": lambda: Bivium.scaled("small"),
-    "bivium-full": lambda: Bivium.full(),
-    "trivium-tiny": lambda: Trivium.scaled("tiny"),
-    "grain-tiny": lambda: Grain.scaled("tiny"),
-    "grain-small": lambda: Grain.scaled("small"),
-    "grain-full": lambda: Grain.full(),
-}
+def _method_choices() -> tuple[str, ...]:
+    """Metaheuristics accepted by ``estimate`` / ``solve`` (registry-backed)."""
+    return tuple(list_minimizers())
+
+
+def _cipher_presets() -> dict[str, object]:
+    """Cipher presets addressable from the command line (registry-backed)."""
+    return {name: get_cipher(name) for name in list_ciphers()}
+
+
+#: Deprecated alias kept for backward compatibility — the cipher registry is
+#: the source of truth (``repro.api.registry.CIPHERS``).
+CIPHER_PRESETS: dict[str, object] = _cipher_presets()
+
+#: Deprecated alias kept for backward compatibility — the minimizer registry is
+#: the source of truth (``repro.api.registry.MINIMIZERS``).
+METHOD_CHOICES = _method_choices()
 
 
 def _make_generator(name: str) -> KeystreamGenerator:
     try:
-        factory = CIPHER_PRESETS[name]
-    except KeyError:
-        choices = ", ".join(sorted(CIPHER_PRESETS))
-        raise SystemExit(f"unknown cipher {name!r}; choose one of: {choices}")
+        factory = get_cipher(name)
+    except UnknownNameError as error:
+        raise SystemExit(str(error)) from None
     return factory()  # type: ignore[operator]
 
 
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--cipher", default="geffe-tiny", help="cipher preset (see --list-ciphers)"
+        "--cipher",
+        default="geffe-tiny",
+        help="cipher preset from the registry (see `repro-sat list`)",
     )
     parser.add_argument("--seed", type=int, default=0, help="secret-state seed")
     parser.add_argument(
@@ -83,25 +107,63 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_instance(args: argparse.Namespace):
-    generator = _make_generator(args.cipher)
-    return make_inversion_instance(
-        generator,
-        keystream_length=args.keystream_length,
+def _instance_spec(args: argparse.Namespace) -> InstanceSpec:
+    return InstanceSpec(
+        cipher=args.cipher,
         seed=args.seed,
+        keystream_length=args.keystream_length,
         known_bits=args.known_bits,
     )
 
 
+def _experiment(args: argparse.Namespace, **overrides) -> Experiment:
+    """Build the facade from the common CLI flags plus per-command overrides."""
+    config = ExperimentConfig(
+        instance=_instance_spec(args),
+        sample_size=getattr(args, "sample_size", 50),
+        cost_measure=getattr(args, "cost_measure", "propagations"),
+        seed=args.seed,
+        **overrides,
+    )
+    try:
+        get_cost_measure(config.cost_measure)  # fail fast on a bad measure name
+        experiment = Experiment.from_config(config)
+        experiment.instance  # materialise now so bad cipher names exit cleanly
+    except UnknownNameError as error:
+        raise SystemExit(str(error)) from None
+    return experiment
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registries = {
+        "ciphers": CIPHERS,
+        "solvers": SOLVERS,
+        "minimizers": MINIMIZERS,
+        "partitioners": PARTITIONERS,
+        "backends": BACKENDS,
+        "cost-measures": COST_MEASURES,
+    }
+    selected = registries if args.kind == "all" else {args.kind: registries[args.kind]}
+    for kind, registry in selected.items():
+        print(f"{kind}:")
+        for entry in registry.entries():
+            description = f"  {entry.description}" if entry.description else ""
+            print(f"  {entry.name:18s}{description}")
+    return 0
+
+
 def _cmd_list_ciphers(_: argparse.Namespace) -> int:
-    for name in sorted(CIPHER_PRESETS):
+    for name in list_ciphers():
         generator = _make_generator(name)
-        print(f"{name:14s} state = {generator.state_size:4d} bits, registers = {generator.registers()}")
+        print(
+            f"{name:14s} state = {generator.state_size:4d} bits, "
+            f"registers = {generator.registers()}"
+        )
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    instance = _build_instance(args)
+    instance = _experiment(args).instance
     print(instance.summary())
     if args.output:
         write_dimacs_file(instance.cnf, args.output)
@@ -110,69 +172,103 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    instance = _build_instance(args)
-    print(instance.summary())
-    pdsat = PDSAT(
-        instance,
-        sample_size=args.sample_size,
-        cost_measure=args.cost_measure,
-        seed=args.seed,
+    experiment = _experiment(
+        args,
+        minimizer=MinimizerSpec(
+            name=args.method,
+            max_evaluations=args.max_evaluations,
+            max_seconds=args.max_seconds,
+        ),
     )
-    stopping = StoppingCriteria(
-        max_evaluations=args.max_evaluations, max_seconds=args.max_seconds
-    )
-    report = pdsat.estimate(method=args.method, stopping=stopping)
-    print(report.summary())
-    print(f"X_best = {report.best_decomposition}")
+    print(experiment.instance.summary())
+    result = experiment.estimate()
+    print(result.summary)
+    print(f"X_best = {result.data['best_decomposition']}")
     if args.cores > 1:
-        print(f"predicted on {args.cores} cores: {report.predicted_on_cores(args.cores):.4g}")
+        print(
+            f"predicted on {args.cores} cores: "
+            f"{result.data['best_value'] / args.cores:.4g}"
+        )
     return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    instance = _build_instance(args)
-    print(instance.summary())
-    pdsat = PDSAT(
-        instance,
-        sample_size=args.sample_size,
-        cost_measure=args.cost_measure,
-        seed=args.seed,
-    )
+    decomposition = None
     if args.decomposition:
-        decomposition = [int(v) for v in args.decomposition.split(",")]
-    else:
-        stopping = StoppingCriteria(
-            max_evaluations=args.max_evaluations, max_seconds=args.max_seconds
-        )
-        report = pdsat.estimate(method=args.method, stopping=stopping)
-        print(report.summary())
-        decomposition = report.best_decomposition
-        if args.decomposition_size and len(decomposition) > args.decomposition_size:
-            decomposition = decomposition[: args.decomposition_size]
-    if len(decomposition) > args.max_family_bits:
-        raise SystemExit(
-            f"decomposition of size {len(decomposition)} would create 2^{len(decomposition)} "
-            f"sub-problems; pass --max-family-bits to allow it"
-        )
-    solving = pdsat.solve_family(decomposition, stop_on_sat=args.stop_on_sat)
-    print(solving.summary())
-    simulation = solving.makespan_on_cores(args.cores)
-    print(
-        f"makespan on {args.cores} simulated cores: {simulation.makespan:.4g} "
-        f"(efficiency {simulation.efficiency:.2f})"
+        decomposition = tuple(int(v) for v in args.decomposition.split(","))
+    experiment = _experiment(
+        args,
+        minimizer=MinimizerSpec(
+            name=args.method,
+            max_evaluations=args.max_evaluations,
+            max_seconds=args.max_seconds,
+        ),
+        backend=BackendSpec(name=args.backend, options=_backend_options(args)),
+        decomposition=decomposition,
+        decomposition_size=args.decomposition_size,
+        stop_on_sat=args.stop_on_sat,
+        max_family_bits=args.max_family_bits,
     )
-    for model in solving.satisfying_models:
-        state = instance.state_from_model(model)
-        if instance.verify_state(state):
-            print(f"recovered state verified: {''.join(map(str, state))}")
-            break
+    print(experiment.instance.summary())
+    try:
+        result = experiment.run()
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    estimate = result.data["estimate"]
+    if estimate is not None:
+        print(
+            f"[{experiment.instance.name}] {estimate['method']}: "
+            f"F_best = {estimate['best_value']:.4g} ({estimate['cost_measure']}), "
+            f"|X_best| = {len(estimate['best_decomposition'])}"
+        )
+    solve = result.data["solve"]
+    print(result.summary)
+    metadata = solve["backend_metadata"]
+    if "makespan" in metadata:
+        print(
+            f"makespan on {metadata['cores']} simulated cores: {metadata['makespan']:.4g} "
+            f"(efficiency {metadata['efficiency']:.2f})"
+        )
+    if solve["recovered_state"]:
+        print(f"recovered state verified: {solve['recovered_state']}")
+    return 0
+
+
+def _backend_options(args: argparse.Namespace) -> dict[str, object]:
+    if args.backend == "simulated-cluster":
+        return {"cores": args.cores}
+    if args.backend == "process-pool":
+        return {"processes": args.cores}
+    return {}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    path = Path(args.config)
+    if not path.exists():
+        raise SystemExit(f"config file not found: {path}")
+    try:
+        experiment = Experiment.from_file(path, progress=print if args.verbose else None)
+    except (ValueError, KeyError) as error:
+        raise SystemExit(f"invalid experiment config {path}: {error}") from None
+    print(experiment.instance.summary())
+    try:
+        result = experiment.run()
+    except ValueError as error:  # bad component names, family-size guard, ...
+        raise SystemExit(str(error)) from None
+    print(result.summary)
+    solve = result.data["solve"]
+    if solve["recovered_state"]:
+        print(f"recovered state verified: {solve['recovered_state']}")
+    if args.output:
+        Path(args.output).write_text(result.to_json())
+        print(f"wrote result JSON to {args.output}")
     return 0
 
 
 def _cmd_simplify(args: argparse.Namespace) -> int:
     from repro.sat.simplify import SimplifyConfig, simplify_cnf
 
-    instance = _build_instance(args)
+    instance = _experiment(args).instance
     print(instance.summary())
     frozen = frozenset(instance.start_set) if args.freeze_state else frozenset()
     result = simplify_cnf(
@@ -202,51 +298,30 @@ def _cmd_simplify(args: argparse.Namespace) -> int:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    from repro.partitioning import (
-        CubeAndConquerConfig,
-        GuidingPathConfig,
-        ScatteringConfig,
-        guiding_path_partitioning,
-        lookahead_partitioning,
-        scattering_partitioning,
-    )
-    from repro.sat.cdcl import CDCLSolver
-
-    instance = _build_instance(args)
-    print(instance.summary())
-    if args.technique == "guiding-path":
-        partitioning = guiding_path_partitioning(
-            instance.cnf, GuidingPathConfig(path_length=args.parts - 1)
-        )
-    elif args.technique == "scattering":
-        partitioning = scattering_partitioning(
-            instance.cnf, ScatteringConfig(num_subproblems=args.parts)
-        )
-    else:
-        partitioning = lookahead_partitioning(
-            instance.cnf, CubeAndConquerConfig(max_cubes=args.parts)
-        )
-    print(partitioning.summary())
+    experiment = _experiment(args, technique=args.technique, parts=args.parts)
+    print(experiment.instance.summary())
+    try:
+        result = experiment.partition(solve_parts=args.solve)
+    except UnknownNameError as error:
+        raise SystemExit(str(error)) from None
+    print(result.summary)
     if args.solve:
-        report = partitioning.solve_all(CDCLSolver(), cost_measure=args.cost_measure)
         print(
-            f"solved {len(report.costs)} parts: total cost {report.total_cost:.4g} "
-            f"({args.cost_measure}), {report.num_sat} satisfiable, "
-            f"imbalance x{report.imbalance:.1f}"
+            f"solved {len(result.data['costs'])} parts: "
+            f"total cost {result.data['total_cost']:.4g} ({args.cost_measure}), "
+            f"{result.data['num_sat']} satisfiable, "
+            f"imbalance x{result.data['imbalance']:.1f}"
         )
     return 0
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
-    from repro.portfolio import PortfolioSolver, default_portfolio
-
-    instance = _build_instance(args)
-    print(instance.summary())
-    members = default_portfolio()[: args.members]
-    result = PortfolioSolver(members, cost_measure=args.cost_measure).solve(instance.cnf)
-    print(result.summary())
-    for run in sorted(result.runs, key=lambda r: r.cost):
-        print(f"  {run.configuration.name:18s} {run.result.status.value:7s} {run.cost:.4g}")
+    experiment = _experiment(args, members=args.members)
+    print(experiment.instance.summary())
+    result = experiment.portfolio()
+    print(result.summary)
+    for member in sorted(result.data["members"], key=lambda m: m["cost"]):
+        print(f"  {member['name']:18s} {member['status']:7s} {member['cost']:.4g}")
     return 0
 
 
@@ -258,8 +333,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = sub.add_parser("list-ciphers", help="list the bundled cipher presets")
-    list_parser.set_defaults(func=_cmd_list_ciphers)
+    list_cmd = sub.add_parser("list", help="list every registered component")
+    list_cmd.add_argument(
+        "--kind",
+        choices=(
+            "all",
+            "ciphers",
+            "solvers",
+            "minimizers",
+            "partitioners",
+            "backends",
+            "cost-measures",
+        ),
+        default="all",
+    )
+    list_cmd.set_defaults(func=_cmd_list)
+
+    list_ciphers_cmd = sub.add_parser(
+        "list-ciphers", help="list the cipher presets with their state sizes"
+    )
+    list_ciphers_cmd.set_defaults(func=_cmd_list_ciphers)
 
     generate = sub.add_parser("generate", help="generate an inversion instance (DIMACS)")
     _add_instance_arguments(generate)
@@ -268,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     estimate = sub.add_parser("estimate", help="run the estimating mode")
     _add_instance_arguments(estimate)
-    estimate.add_argument("--method", choices=METHOD_CHOICES, default="tabu")
+    estimate.add_argument("--method", choices=_method_choices(), default="tabu")
     estimate.add_argument("--sample-size", type=int, default=50)
     estimate.add_argument("--cost-measure", default="propagations")
     estimate.add_argument("--max-evaluations", type=int, default=60)
@@ -278,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = sub.add_parser("solve", help="run the solving mode")
     _add_instance_arguments(solve)
-    solve.add_argument("--method", choices=METHOD_CHOICES, default="tabu")
+    solve.add_argument("--method", choices=_method_choices(), default="tabu")
     solve.add_argument("--sample-size", type=int, default=50)
     solve.add_argument("--cost-measure", default="propagations")
     solve.add_argument("--max-evaluations", type=int, default=40)
@@ -296,13 +389,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--max-family-bits", type=int, default=16)
     solve.add_argument("--stop-on-sat", action="store_true")
+    solve.add_argument(
+        "--backend",
+        default="simulated-cluster",
+        help="execution backend from the registry (see `repro-sat list`)",
+    )
     solve.add_argument("--cores", type=int, default=8)
     solve.set_defaults(func=_cmd_solve)
 
+    run = sub.add_parser("run", help="run a full experiment from a JSON config file")
+    run.add_argument("--config", required=True, help="ExperimentConfig JSON file")
+    run.add_argument("--output", default=None, help="write the result JSON to this file")
+    run.add_argument("--verbose", action="store_true", help="print progress events")
+    run.set_defaults(func=_cmd_run)
+
     simplify = sub.add_parser("simplify", help="preprocess an instance (SatELite-style)")
     _add_instance_arguments(simplify)
-    simplify.add_argument("--output", default=None, help="write the simplified CNF to this DIMACS file")
-    simplify.add_argument("--blocked-clauses", action="store_true", help="also run blocked clause elimination")
+    simplify.add_argument(
+        "--output", default=None, help="write the simplified CNF to this DIMACS file"
+    )
+    simplify.add_argument(
+        "--blocked-clauses", action="store_true", help="also run blocked clause elimination"
+    )
     simplify.add_argument("--max-growth", type=int, default=0, help="BVE clause-growth bound")
     simplify.add_argument(
         "--no-freeze-state",
@@ -313,12 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     simplify.set_defaults(func=_cmd_simplify, freeze_state=True)
 
     partition = sub.add_parser(
-        "partition", help="build a classical partitioning (guiding path / scattering / cubes)"
+        "partition", help="build a classical partitioning (see `repro-sat list`)"
     )
     _add_instance_arguments(partition)
     partition.add_argument(
         "--technique",
-        choices=("guiding-path", "scattering", "cube-and-conquer"),
+        choices=tuple(PARTITIONERS.names()),
         default="guiding-path",
     )
     partition.add_argument("--parts", type=int, default=8, help="target number of parts")

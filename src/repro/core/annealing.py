@@ -170,3 +170,25 @@ class SimulatedAnnealingMinimizer(BaseMinimizer):
             trajectory=trajectory,
             stop_reason=stop_reason,
         )
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_minimizer  # noqa: E402  (import-time registration)
+
+
+@register_minimizer("annealing", description="simulated annealing (Algorithm 1)")
+def _annealing_factory(
+    evaluator: PredictiveFunction,
+    search_space: SearchSpace,
+    *,
+    stopping=None,
+    seed: int = 0,
+    config: AnnealingConfig | None = None,
+    **options,
+) -> SimulatedAnnealingMinimizer:
+    """Build a simulated-annealing minimiser; options are :class:`AnnealingConfig` fields."""
+    if config is None:
+        params = dict(options)
+        params.setdefault("seed", seed)
+        config = AnnealingConfig(**params)
+    return SimulatedAnnealingMinimizer(evaluator, search_space, config=config, stopping=stopping)

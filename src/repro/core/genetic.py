@@ -186,3 +186,25 @@ class GeneticMinimizer(BaseMinimizer):
             trajectory=trajectory,
             stop_reason=stop_reason,
         )
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_minimizer  # noqa: E402  (import-time registration)
+
+
+@register_minimizer("genetic", description="generational genetic algorithm (extension)")
+def _genetic_factory(
+    evaluator: PredictiveFunction,
+    search_space: SearchSpace,
+    *,
+    stopping=None,
+    seed: int = 0,
+    config: GeneticConfig | None = None,
+    **options,
+) -> GeneticMinimizer:
+    """Build a genetic minimiser; options are :class:`GeneticConfig` fields."""
+    if config is None:
+        params = dict(options)
+        params.setdefault("seed", seed)
+        config = GeneticConfig(**params)
+    return GeneticMinimizer(evaluator, search_space, config=config, stopping=stopping)

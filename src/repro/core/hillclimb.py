@@ -122,3 +122,24 @@ class HillClimbingMinimizer(BaseMinimizer):
             trajectory=trajectory,
             stop_reason=stop_reason or "local_minimum",
         )
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_minimizer  # noqa: E402  (import-time registration)
+
+
+@register_minimizer("hillclimb", description="greedy hill climbing (ablation baseline)")
+def _hillclimb_factory(
+    evaluator: PredictiveFunction,
+    search_space: SearchSpace,
+    *,
+    stopping=None,
+    seed: int = 0,
+    config: HillClimbConfig | None = None,
+    **options,
+) -> HillClimbingMinimizer:
+    """Build a hill-climbing minimiser; options are :class:`HillClimbConfig` fields."""
+    del seed  # greedy descent is deterministic given the evaluator's sampling seed
+    if config is None and options:
+        config = HillClimbConfig(**options)
+    return HillClimbingMinimizer(evaluator, search_space, config=config, stopping=stopping)

@@ -23,14 +23,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.annealing import AnnealingConfig, SimulatedAnnealingMinimizer
+from repro.api.registry import get_minimizer
+from repro.core.annealing import AnnealingConfig
 from repro.core.decomposition import DecompositionSet
-from repro.core.genetic import GeneticConfig, GeneticMinimizer
-from repro.core.hillclimb import HillClimbConfig, HillClimbingMinimizer
+from repro.core.genetic import GeneticConfig
+from repro.core.hillclimb import HillClimbConfig
 from repro.core.optimizer import MinimizationResult, StoppingCriteria
 from repro.core.predictive import PredictiveFunction
 from repro.core.search_space import SearchSpace
-from repro.core.tabu import TabuConfig, TabuSearchMinimizer
+from repro.core.tabu import TabuConfig
 from repro.problems.inversion import InversionInstance
 from repro.runner.cluster import ClusterSimulation, simulate_makespan
 from repro.sat.cdcl import CDCLSolver
@@ -160,43 +161,37 @@ class PDSAT:
         start_variables: list[int] | None = None,
         hillclimb_config: HillClimbConfig | None = None,
         genetic_config: GeneticConfig | None = None,
+        **minimizer_options,
     ) -> EstimationReport:
         """Run the estimating mode with the chosen metaheuristic.
 
-        ``method`` is one of ``"tabu"`` / ``"annealing"`` (the paper's two
-        algorithms), ``"hillclimb"`` (ablation baseline) or ``"genetic"``
-        (extension).
+        ``method`` is any name in the minimizer registry — ``"tabu"`` /
+        ``"annealing"`` (the paper's two algorithms), ``"hillclimb"`` (ablation
+        baseline), ``"genetic"`` (extension), or anything registered with
+        :func:`repro.api.registry.register_minimizer`.  Extra keyword arguments
+        are forwarded to the minimiser factory (they become config fields); the
+        legacy ``*_config`` keyword arguments take precedence for their method.
         """
-        if method not in ("tabu", "annealing", "hillclimb", "genetic"):
-            raise ValueError("method must be 'tabu', 'annealing', 'hillclimb' or 'genetic'")
+        factory = get_minimizer(method)
+        explicit_config = {
+            "annealing": annealing_config,
+            "tabu": tabu_config,
+            "hillclimb": hillclimb_config,
+            "genetic": genetic_config,
+        }.get(method)
         start_point = (
             self.search_space.point(start_variables)
             if start_variables is not None
             else self.search_space.start_point()
         )
-        if method == "annealing":
-            config = annealing_config or AnnealingConfig(seed=self.seed)
-            minimizer: (
-                SimulatedAnnealingMinimizer
-                | TabuSearchMinimizer
-                | HillClimbingMinimizer
-                | GeneticMinimizer
-            ) = SimulatedAnnealingMinimizer(
-                self.evaluator, self.search_space, config=config, stopping=stopping
-            )
-        elif method == "hillclimb":
-            minimizer = HillClimbingMinimizer(
-                self.evaluator, self.search_space, config=hillclimb_config, stopping=stopping
-            )
-        elif method == "genetic":
-            genetic = genetic_config or GeneticConfig(seed=self.seed)
-            minimizer = GeneticMinimizer(
-                self.evaluator, self.search_space, config=genetic, stopping=stopping
-            )
-        else:
-            minimizer = TabuSearchMinimizer(
-                self.evaluator, self.search_space, config=tabu_config, stopping=stopping
-            )
+        minimizer = factory(
+            self.evaluator,
+            self.search_space,
+            stopping=stopping,
+            seed=self.seed,
+            config=explicit_config,
+            **minimizer_options,
+        )
         result = minimizer.minimize(start_point)
         return EstimationReport(
             instance_name=self.instance.name,

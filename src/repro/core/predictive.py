@@ -29,6 +29,7 @@ import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.api.registry import get_cost_measure
 from repro.core.decomposition import DecompositionFamily, DecompositionSet
 from repro.sat.assignment import Assignment
 from repro.sat.cdcl import CDCLSolver
@@ -151,6 +152,9 @@ class PredictiveFunction:
             raise ValueError("substitution_mode must be 'assumptions' or 'units'")
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
+        # Fail fast on a bad measure with the registry's consistent error
+        # instead of deep inside the first sub-problem solve.
+        get_cost_measure(cost_measure)
         self.cnf = cnf
         self.solver: Solver = solver if solver is not None else CDCLSolver()
         self.sample_size = sample_size

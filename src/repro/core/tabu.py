@@ -168,3 +168,24 @@ class TabuSearchMinimizer(BaseMinimizer):
             trajectory=trajectory,
             stop_reason=stop_reason,
         )
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_minimizer  # noqa: E402  (import-time registration)
+
+
+@register_minimizer("tabu", description="tabu search (Algorithm 2)")
+def _tabu_factory(
+    evaluator: PredictiveFunction,
+    search_space: SearchSpace,
+    *,
+    stopping=None,
+    seed: int = 0,
+    config: TabuConfig | None = None,
+    **options,
+) -> TabuSearchMinimizer:
+    """Build a tabu-search minimiser; options are :class:`TabuConfig` fields."""
+    del seed  # the tabu walk is deterministic given the evaluator's sampling seed
+    if config is None and options:
+        config = TabuConfig(**options)
+    return TabuSearchMinimizer(evaluator, search_space, config=config, stopping=stopping)

@@ -102,3 +102,13 @@ def guiding_path_partitioning(
         cubes.append(Cube.of(path[:depth] + [-literal]))
     cubes.append(Cube.of(path))
     return CubePartitioning(cnf, cubes, technique="guiding_path")
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_partitioner  # noqa: E402  (import-time registration)
+
+
+@register_partitioner("guiding-path", description="untried branches of a decision path")
+def _guiding_path_factory(cnf: CNF, parts: int, **options) -> CubePartitioning:
+    """Build a guiding-path partitioning with ``parts`` cubes."""
+    return guiding_path_partitioning(cnf, GuidingPathConfig(path_length=parts - 1, **options))

@@ -118,3 +118,13 @@ def lookahead_partitioning(
     return CubePartitioning(
         cnf, [Cube.of(literals) for literals in leaves], technique="cube_and_conquer"
     )
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_partitioner  # noqa: E402  (import-time registration)
+
+
+@register_partitioner("cube-and-conquer", description="recursive lookahead splitting")
+def _cube_and_conquer_factory(cnf: CNF, parts: int, **options) -> CubePartitioning:
+    """Build a cube-and-conquer partitioning with at most ``parts`` cubes."""
+    return lookahead_partitioning(cnf, CubeAndConquerConfig(max_cubes=parts, **options))

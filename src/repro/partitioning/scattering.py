@@ -262,3 +262,13 @@ def scattering_partitioning(
         )
     )
     return ScatteringPartitioning(cnf, parts)
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_partitioner  # noqa: E402  (import-time registration)
+
+
+@register_partitioner("scattering", description="scattering procedure (search-space peeling)")
+def _scattering_factory(cnf: CNF, parts: int, **options) -> ScatteringPartitioning:
+    """Build a scattering partitioning with ``parts`` sub-problems."""
+    return scattering_partitioning(cnf, ScatteringConfig(num_subproblems=parts, **options))

@@ -11,12 +11,12 @@ computing processes receive sub-problems from the leader.
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
-from repro.sat.cdcl import CDCLConfig, CDCLSolver
+from repro.api.registry import get_cost_measure, get_solver
 from repro.sat.formula import CNF
-from repro.sat.solver import SolverStatus
+from repro.sat.solver import Solver, SolverBudget, SolverStatus
 
 
 @dataclass
@@ -33,19 +33,28 @@ class ParallelSolveOutcome:
 _WORKER_STATE: dict[str, object] = {}
 
 
-def _init_worker(cnf: CNF, cost_measure: str, keep_models: bool) -> None:
+def _init_worker(
+    cnf: CNF,
+    cost_measure: str,
+    keep_models: bool,
+    solver: str,
+    solver_options: Mapping[str, object],
+    budget: SolverBudget | None,
+) -> None:
     _WORKER_STATE["cnf"] = cnf
     _WORKER_STATE["cost_measure"] = cost_measure
     _WORKER_STATE["keep_models"] = keep_models
-    _WORKER_STATE["solver"] = CDCLSolver(CDCLConfig())
+    _WORKER_STATE["solver"] = get_solver(solver)(**dict(solver_options))
+    _WORKER_STATE["budget"] = budget
 
 
 def _solve_one(assumptions: tuple[int, ...]) -> ParallelSolveOutcome:
     cnf: CNF = _WORKER_STATE["cnf"]  # type: ignore[assignment]
-    solver: CDCLSolver = _WORKER_STATE["solver"]  # type: ignore[assignment]
+    solver: Solver = _WORKER_STATE["solver"]  # type: ignore[assignment]
     cost_measure: str = _WORKER_STATE["cost_measure"]  # type: ignore[assignment]
     keep_models: bool = _WORKER_STATE["keep_models"]  # type: ignore[assignment]
-    result = solver.solve(cnf, assumptions=list(assumptions))
+    budget: SolverBudget | None = _WORKER_STATE["budget"]  # type: ignore[assignment]
+    result = solver.solve(cnf, assumptions=list(assumptions), budget=budget)
     return ParallelSolveOutcome(
         assumptions=tuple(assumptions),
         status=result.status,
@@ -61,23 +70,30 @@ def solve_family_parallel(
     processes: int | None = None,
     cost_measure: str = "propagations",
     keep_models: bool = True,
+    solver: str = "cdcl",
+    solver_options: Mapping[str, object] | None = None,
+    budget: SolverBudget | None = None,
 ) -> list[ParallelSolveOutcome]:
     """Solve ``cnf`` under each assumption vector using a process pool.
 
     Results are returned in the order of ``assumption_vectors``.  With
     ``processes=1`` everything runs in the calling process (useful in tests and
-    on platforms where spawning is expensive).
+    on platforms where spawning is expensive).  ``solver`` is a solver-registry
+    name; each worker builds its own instance from ``solver_options``, exactly
+    like PDSAT's computing processes each ran their own MiniSat.
     """
     tasks = [tuple(int(lit) for lit in vec) for vec in assumption_vectors]
     if processes is not None and processes < 1:
         raise ValueError("processes must be at least 1")
+    get_cost_measure(cost_measure)  # fail fast in the parent, not in the workers
+    options = dict(solver_options or {})
     if processes == 1 or len(tasks) <= 1:
-        _init_worker(cnf, cost_measure, keep_models)
+        _init_worker(cnf, cost_measure, keep_models, solver, options, budget)
         return [_solve_one(task) for task in tasks]
 
     with multiprocessing.Pool(
         processes=processes,
         initializer=_init_worker,
-        initargs=(cnf, cost_measure, keep_models),
+        initargs=(cnf, cost_measure, keep_models, solver, options, budget),
     ) as pool:
         return pool.map(_solve_one, tasks)

@@ -492,3 +492,13 @@ class CDCLSolver:
                 self._stats.max_decision_level, self._decision_level()
             )
             self._enqueue(decision, None)
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_solver  # noqa: E402  (import-time registration)
+
+
+@register_solver("cdcl", description="conflict-driven clause learning (MiniSat-style)")
+def _cdcl_factory(**options) -> CDCLSolver:
+    """Build a CDCL solver; keyword options are :class:`CDCLConfig` fields."""
+    return CDCLSolver(CDCLConfig(**options)) if options else CDCLSolver()

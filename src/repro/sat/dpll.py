@@ -160,3 +160,13 @@ class DPLLSolver:
             if result:
                 return True
         return False
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_solver  # noqa: E402  (import-time registration)
+
+
+@register_solver("dpll", description="DPLL reference solver")
+def _dpll_factory(**options) -> DPLLSolver:
+    """Build a DPLL solver; keyword options are constructor arguments."""
+    return DPLLSolver(**options)

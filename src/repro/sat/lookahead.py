@@ -415,3 +415,13 @@ class LookaheadSolver:
             if result is None:
                 return None
         return False
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_solver  # noqa: E402  (import-time registration)
+
+
+@register_solver("lookahead", description="lookahead solver (also builds cube-and-conquer)")
+def _lookahead_factory(**options) -> LookaheadSolver:
+    """Build a lookahead solver; keyword options are constructor arguments."""
+    return LookaheadSolver(**options)

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from repro.api.registry import get_cost_measure
 from repro.sat.formula import CNF
 
 
@@ -82,21 +83,14 @@ class SolverStats:
     def cost(self, measure: str = "conflicts") -> float:
         """Return the scalar cost according to the selected measure.
 
-        Supported measures: ``"conflicts"``, ``"decisions"``, ``"propagations"``,
-        ``"wall_time"`` and ``"weighted"`` (a fixed linear combination that
-        approximates wall time but stays deterministic).
+        Measures are looked up in the cost-measure registry
+        (:mod:`repro.api.measures`); the built-ins are ``"conflicts"``,
+        ``"decisions"``, ``"propagations"``, ``"wall_time"`` and ``"weighted"``
+        (a fixed linear combination that approximates wall time but stays
+        deterministic).  An unknown measure raises
+        :class:`repro.api.registry.UnknownNameError` (a ``ValueError``).
         """
-        if measure == "conflicts":
-            return float(self.conflicts)
-        if measure == "decisions":
-            return float(self.decisions)
-        if measure == "propagations":
-            return float(self.propagations)
-        if measure == "wall_time":
-            return float(self.wall_time)
-        if measure == "weighted":
-            return float(self.propagations) + 10.0 * self.conflicts + 2.0 * self.decisions
-        raise ValueError(f"unknown cost measure: {measure!r}")
+        return get_cost_measure(measure)(self)
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Pointwise sum of two stats records (wall times add, levels take max)."""

@@ -89,3 +89,13 @@ def _break_count(var: int, clauses: list[tuple[int, ...]], assignment: dict[int,
             if _clause_satisfied(clause, assignment) and not _clause_satisfied(clause, flipped):
                 broken += 1
     return broken
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_solver  # noqa: E402  (import-time registration)
+
+
+@register_solver("walksat", description="WalkSAT local search (incomplete)")
+def _walksat_factory(**options) -> WalkSATSolver:
+    """Build a WalkSAT solver; keyword options are constructor arguments."""
+    return WalkSATSolver(**options)

@@ -49,6 +49,7 @@ importable exactly as before.
 
 from repro.api import (
     BackendSpec,
+    EstimatorSpec,
     Experiment,
     ExperimentConfig,
     ExperimentResult,
@@ -98,6 +99,7 @@ __all__ = [
     "SolverSpec",
     "MinimizerSpec",
     "BackendSpec",
+    "EstimatorSpec",
     "register_cipher",
     "register_solver",
     "register_minimizer",

@@ -64,6 +64,7 @@ _EXPORTS = {
     "SolverSpec": "repro.api.specs",
     "MinimizerSpec": "repro.api.specs",
     "BackendSpec": "repro.api.specs",
+    "EstimatorSpec": "repro.api.specs",
     "ExperimentConfig": "repro.api.specs",
     # backends
     "ExecutionBackend": "repro.api.backends",

@@ -137,9 +137,8 @@ class Experiment:
             self._pdsat = PDSAT(
                 self.instance,
                 solver=self.config.solver.build(),
-                sample_size=self.config.sample_size,
-                cost_measure=self.config.cost_measure,
                 seed=self.config.seed,
+                estimator=self.config.effective_estimator(),
             )
         return self._pdsat
 
@@ -261,12 +260,15 @@ class Experiment:
         dec = DecompositionSet.of(decomposition)
         vectors = [assignment.to_literals() for assignment in dec.all_assignments()]
         backend = cfg.backend.build()
+        # cfg.cost_measure always matches the estimator's measure (an explicit
+        # EstimatorSpec is mirrored into the legacy field at construction).
+        cost_measure = cfg.cost_measure
         self._emit("solve", total=len(vectors), message=f"backend {cfg.backend.name}")
         run = backend.run(
             self.instance.cnf,
             vectors,
             solver=cfg.solver,
-            cost_measure=cfg.cost_measure,
+            cost_measure=cost_measure,
             stop_on_sat=cfg.stop_on_sat,
             progress=lambda completed, total: self._emit("solve", completed, total),
         )
@@ -282,7 +284,7 @@ class Experiment:
         summary = (
             f"[{self.instance.name}] {cfg.backend.name}: solved {len(run.outcomes)} "
             f"sub-problems, {run.num_sat} SAT, total cost {run.total_cost:.4g} "
-            f"({cfg.cost_measure})"
+            f"({cost_measure})"
         )
         data = {
             "decomposition": sorted(dec.variables),

@@ -25,8 +25,10 @@ from typing import TYPE_CHECKING, Any
 from repro.api.registry import get_cipher
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.predictive import PredictiveFunction
     from repro.problems.inversion import InversionInstance
-    from repro.sat.solver import Solver
+    from repro.sat.formula import CNF
+    from repro.sat.solver import Solver, SolverBudget
 
 
 def _check_known_keys(cls: type, data: dict[str, Any]) -> None:
@@ -126,6 +128,86 @@ class MinimizerSpec:
 
 
 @dataclass(frozen=True)
+class EstimatorSpec:
+    """How the Monte Carlo predictive function evaluates decomposition sets.
+
+    This is the typed front door of the batched estimation engine
+    (:mod:`repro.core.predictive`): sample size, cost measure, the
+    incremental-assumption solver engine, the sample-result LRU cache and the
+    per-sample budget, all JSON-round-trippable.  ``incremental`` defaults to
+    **on** at this layer — experiment runs care about relative ordering of
+    decomposition sets, where the incremental engine's history-dependent (and
+    much cheaper) cost counters are sufficient; construct
+    :class:`~repro.core.predictive.PredictiveFunction` directly when the
+    paper's fresh-solve cost semantics are required.
+    """
+
+    sample_size: int = 50
+    cost_measure: str = "propagations"
+    substitution_mode: str = "assumptions"
+    #: Use the persistent incremental-assumption engine when the solver
+    #: supports it (solvers without the contract fall back to fresh solves).
+    incremental: bool = True
+    #: Capacity of the (decomposition set, assignment) sample cache; 0/None off.
+    sample_cache_size: int | None = 4096
+    confidence_level: float = 0.95
+    #: Per-sample solver budget; ``None`` means run every sample to completion.
+    max_conflicts_per_sample: int | None = None
+    max_seconds_per_sample: float | None = None
+
+    def budget(self) -> "SolverBudget | None":
+        """The per-sample :class:`~repro.sat.solver.SolverBudget` (or ``None``)."""
+        if self.max_conflicts_per_sample is None and self.max_seconds_per_sample is None:
+            return None
+        from repro.sat.solver import SolverBudget
+
+        return SolverBudget(
+            max_conflicts=self.max_conflicts_per_sample,
+            max_seconds=self.max_seconds_per_sample,
+        )
+
+    def build(
+        self, cnf: "CNF", solver: "Solver | None" = None, seed: int = 0
+    ) -> "PredictiveFunction":
+        """Materialise the evaluator for ``cnf``.
+
+        ``incremental=True`` silently downgrades to fresh solves when
+        ``solver`` does not implement the incremental contract (or when
+        ``substitution_mode`` is ``"units"``), so one spec works across every
+        registered solver.
+        """
+        from repro.core.predictive import PredictiveFunction, supports_incremental_solving
+        from repro.sat.cdcl import CDCLSolver
+
+        solver = solver if solver is not None else CDCLSolver()
+        return PredictiveFunction(
+            cnf,
+            solver=solver,
+            sample_size=self.sample_size,
+            cost_measure=self.cost_measure,
+            seed=seed,
+            substitution_mode=self.substitution_mode,
+            subproblem_budget=self.budget(),
+            confidence_level=self.confidence_level,
+            incremental=(
+                self.incremental
+                and supports_incremental_solving(solver, self.substitution_mode)
+            ),
+            sample_cache_size=self.sample_cache_size,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EstimatorSpec":
+        """Inverse of :meth:`to_dict` (unknown keys raise ``ValueError``)."""
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class BackendSpec:
     """Which execution backend processes sub-problem families, and its options."""
 
@@ -162,9 +244,15 @@ class ExperimentConfig:
     solver: SolverSpec = field(default_factory=SolverSpec)
     minimizer: MinimizerSpec = field(default_factory=MinimizerSpec)
     backend: BackendSpec = field(default_factory=BackendSpec)
+    #: Full estimation-engine configuration; ``None`` derives one from the
+    #: legacy ``sample_size`` / ``cost_measure`` fields (incremental engine on).
+    estimator: EstimatorSpec | None = None
     #: ``N``, the random-sample size per predictive-function evaluation.
+    #: When ``estimator`` is given this is normalised to its ``sample_size``
+    #: so serialised configs never carry contradictory values.
     sample_size: int = 50
-    #: Cost measure (cost-measure registry name).
+    #: Cost measure (cost-measure registry name); normalised from
+    #: ``estimator`` the same way.
     cost_measure: str = "propagations"
     #: Seed of the sampling RNG and the metaheuristics.
     seed: int = 0
@@ -187,6 +275,22 @@ class ExperimentConfig:
         if self.decomposition is not None and not isinstance(self.decomposition, tuple):
             # Normalise lists/iterables so value equality matches round-trips.
             object.__setattr__(self, "decomposition", tuple(int(v) for v in self.decomposition))
+        if self.estimator is not None:
+            # The estimator spec is authoritative; mirror its values into the
+            # legacy fields so archived configs never disagree with the run.
+            object.__setattr__(self, "sample_size", self.estimator.sample_size)
+            object.__setattr__(self, "cost_measure", self.estimator.cost_measure)
+
+    def effective_estimator(self) -> EstimatorSpec:
+        """The estimator spec actually used: ``estimator`` or a legacy-derived one.
+
+        When ``estimator`` is ``None`` the spec is derived from the top-level
+        ``sample_size`` / ``cost_measure`` knobs (every other estimator field
+        at its default); an explicit ``estimator`` takes precedence over both.
+        """
+        if self.estimator is not None:
+            return self.estimator
+        return EstimatorSpec(sample_size=self.sample_size, cost_measure=self.cost_measure)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
@@ -195,6 +299,7 @@ class ExperimentConfig:
             "solver": self.solver.to_dict(),
             "minimizer": self.minimizer.to_dict(),
             "backend": self.backend.to_dict(),
+            "estimator": self.estimator.to_dict() if self.estimator is not None else None,
             "sample_size": self.sample_size,
             "cost_measure": self.cost_measure,
             "seed": self.seed,
@@ -212,11 +317,15 @@ class ExperimentConfig:
         """Build a config from a plain dict (unknown keys raise ``ValueError``)."""
         _check_known_keys(cls, data)
         decomposition = data.get("decomposition")
+        estimator = data.get("estimator")
         return cls(
             instance=InstanceSpec.from_dict(dict(data.get("instance", {}))),
             solver=SolverSpec.from_dict(dict(data.get("solver", {}))),
             minimizer=MinimizerSpec.from_dict(dict(data.get("minimizer", {}))),
             backend=BackendSpec.from_dict(dict(data.get("backend", {}))),
+            estimator=(
+                EstimatorSpec.from_dict(dict(estimator)) if estimator is not None else None
+            ),
             sample_size=data.get("sample_size", 50),
             cost_measure=data.get("cost_measure", "propagations"),
             seed=data.get("seed", 0),

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.ciphers.keystream import KeystreamGenerator
+from repro.ciphers.lfsr import pack_state_columns, unpack_output_words
 from repro.encoder.circuit import Circuit, Signal
 
 
@@ -102,6 +103,43 @@ class A51(KeystreamGenerator):
                     regs[i] = [feedback] + regs[i][:-1]
             output.append(regs[0][-1] ^ regs[1][-1] ^ regs[2][-1])
         return output
+
+    def keystream_batch(self, states: Sequence[Sequence[int]], length: int) -> list[list[int]]:
+        """Bit-sliced batch simulation: all states stepped with word operations.
+
+        Registers are transposed into one integer word per cell (bit ``j`` of a
+        word is state ``j``'s cell value); majority clocking becomes
+        ``(a & b) | (a & c) | (b & c)`` on clock-tap words and the conditional
+        shift a per-state mask mux, so each of the ``length`` steps costs a
+        fixed number of word operations regardless of the batch size.
+        """
+        if not states:
+            return []
+        batch = len(states)
+        mask = (1 << batch) - 1
+        # split_state validates each state's length and owns the register
+        # slicing convention (same contract as the scalar path).
+        split = [self.split_state(state) for state in states]
+        reg_names = list(self.registers())
+        regs = [
+            pack_state_columns([s[reg_names[i]] for s in split]) for i in range(3)
+        ]
+        outputs: list[int] = []
+        for _ in range(length):
+            a, b, c = (regs[i][self.clock_bits[i]] for i in range(3))
+            majority = (a & b) | (a & c) | (b & c)
+            for i, clock_word in enumerate((a, b, c)):
+                moves = ~(clock_word ^ majority) & mask
+                feedback = 0
+                for tap in self.taps[i]:
+                    feedback ^= regs[i][tap]
+                shifted = [feedback] + regs[i][:-1]
+                regs[i] = [
+                    (shifted[j] & moves) | (regs[i][j] & ~moves)
+                    for j in range(self.lengths[i])
+                ]
+            outputs.append(regs[0][-1] ^ regs[1][-1] ^ regs[2][-1])
+        return unpack_output_words(outputs, batch)
 
     # ------------------------------------------------------------------ circuit
     def build_circuit(self, length: int) -> Circuit:

@@ -6,6 +6,15 @@ paper omits initialisation from the encodings, Section 4.3), the known data is
 a fragment of keystream, and the SAT instance asks for a state producing that
 fragment.  The :class:`KeystreamGenerator` base class captures exactly that
 shape so the problem-generation and partitioning layers are cipher-agnostic.
+
+Batch sample creation: :meth:`KeystreamGenerator.random_states` draws a whole
+batch of states at once and :meth:`KeystreamGenerator.keystream_batch`
+produces their keystreams in one call.  The base implementation simply loops,
+but ciphers can override it with a bit-sliced simulation (see
+:meth:`repro.ciphers.a5_1.A51.keystream_batch` and
+:meth:`repro.ciphers.lfsr.LFSR.run_batch`) that steps every state in the batch
+with single word operations — the fast path for multi-seed benchmark
+workloads and batched instance generation.
 """
 
 from __future__ import annotations
@@ -52,6 +61,25 @@ class KeystreamGenerator(abc.ABC):
         """A uniformly random state (deterministic in ``seed``)."""
         rng = random.Random(seed)
         return [rng.randint(0, 1) for _ in range(self.state_size)]
+
+    def random_states(self, count: int, seed: int = 0) -> list[list[int]]:
+        """A batch of uniformly random states, one per seed ``seed..seed+count-1``.
+
+        Element ``k`` equals ``random_state(seed + k)``, so batched and
+        one-at-a-time instance generation produce identical secrets.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.random_state(seed + k) for k in range(count)]
+
+    def keystream_batch(self, states: Sequence[Sequence[int]], length: int) -> list[list[int]]:
+        """Keystreams of a whole batch of states.
+
+        Equivalent to ``[keystream_from_state(s, length) for s in states]``;
+        ciphers with a bit-sliced simulation override this to step the entire
+        batch with word operations.
+        """
+        return [self.keystream_from_state(state, length) for state in states]
 
     # ------------------------------------------------------------------ circuits
     @abc.abstractmethod

@@ -9,6 +9,19 @@ manage their own register conventions directly.
 All functions are polymorphic over bits and circuit signals: the ``ops``
 argument supplies ``xor``/``and`` callables, and :data:`BIT_OPS` provides the
 plain-integer versions.
+
+Batch (bit-sliced) simulation
+-----------------------------
+
+For batch sample creation — many states pushed through the same register — the
+module also provides a *bit-sliced* path: a batch of ``W`` states is
+transposed into one arbitrary-precision integer per register cell, whose bit
+``j`` is cell's value in state ``j``.  One ``^`` on those words then steps all
+``W`` registers at once, so the per-step cost is independent of the batch size
+up to word arithmetic.  See :func:`pack_state_columns`,
+:func:`unpack_output_words` and :meth:`LFSR.run_batch`; the bit-sliced A5/1
+simulation in :meth:`repro.ciphers.a5_1.A51.keystream_batch` builds on the same
+representation.
 """
 
 from __future__ import annotations
@@ -51,6 +64,56 @@ def nfsr_step(
     return [feedback] + list(state[:-1]), output
 
 
+def pack_state_columns(states: Sequence[Sequence[int]]) -> list[int]:
+    """Transpose a batch of bit vectors into one integer word per cell.
+
+    ``states[j][i]`` becomes bit ``j`` of word ``i``.  All states must have the
+    same length; the batch may be any size (Python integers are unbounded).
+    """
+    if not states:
+        return []
+    width = len(states[0])
+    if any(len(state) != width for state in states):
+        raise ValueError("all states in a batch must have the same length")
+    words = [0] * width
+    for j, state in enumerate(states):
+        for i, bit in enumerate(state):
+            if int(bit) & 1:
+                words[i] |= 1 << j
+    return words
+
+
+def unpack_output_words(words: Sequence[int], batch_size: int) -> list[list[int]]:
+    """Inverse transpose: per-step output words back to per-state bit lists.
+
+    ``words[t]`` holds the step-``t`` output of every state in the batch;
+    the result is ``batch_size`` keystreams of ``len(words)`` bits each.
+    """
+    return [[(word >> j) & 1 for word in words] for j in range(batch_size)]
+
+
+def lfsr_run_batch(
+    taps: Sequence[int], states: Sequence[Sequence[int]], steps: int
+) -> list[list[int]]:
+    """Clock a batch of same-shape Fibonacci LFSRs ``steps`` times, bit-sliced.
+
+    Equivalent to running :func:`lfsr_step` independently on every state, but
+    each step performs ``len(taps)`` word XORs for the whole batch instead of
+    per-state Python loops.  Returns one output-bit list per input state.
+    """
+    if not states:
+        return []
+    cells = pack_state_columns(states)
+    outputs: list[int] = []
+    for _ in range(steps):
+        feedback = 0
+        for tap in taps:
+            feedback ^= cells[tap]
+        outputs.append(cells[-1])
+        cells = [feedback] + cells[:-1]
+    return unpack_output_words(outputs, len(states))
+
+
 @dataclass
 class LFSR:
     """A concrete Fibonacci LFSR over integer bits, mainly for simulation and tests."""
@@ -82,6 +145,17 @@ class LFSR:
     def run(self, steps: int) -> list[int]:
         """Clock ``steps`` times and return the output bits."""
         return [self.clock() for _ in range(steps)]
+
+    def run_batch(self, states: Sequence[Sequence[int]], steps: int) -> list[list[int]]:
+        """Bit-sliced batch run: output bits of ``steps`` clocks for every state.
+
+        Does not touch ``self.state``; every state in the batch must have
+        ``self.length`` bits.  Equivalent to ``load(s); run(steps)`` per state.
+        """
+        for state in states:
+            if len(state) != self.length:
+                raise ValueError(f"expected {self.length} bits, got {len(state)}")
+        return lfsr_run_batch(self.taps, states, steps)
 
     def period_upper_bound(self) -> int:
         """The maximum possible period, ``2**length - 1``."""

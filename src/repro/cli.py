@@ -15,6 +15,8 @@ Sub-commands:
 * ``solve``     — run the solving mode on a given (or freshly estimated)
   decomposition set through a chosen execution backend;
 * ``run``       — execute a full experiment described by a JSON config file;
+* ``bench``     — benchmark the batched Monte Carlo estimation engine against
+  the per-sample baseline and write a ``BENCH_*.json`` trajectory file;
 * ``simplify``  — apply the SatELite-style preprocessor to an instance;
 * ``partition`` — build a classical partitioning of an instance;
 * ``portfolio`` — race the diversified CDCL portfolio.
@@ -26,6 +28,7 @@ Examples::
     repro-sat estimate --cipher bivium-small --seed 1 --method tabu --max-evaluations 60
     repro-sat solve --cipher geffe-tiny --seed 1 --decomposition-size 10 --cores 8
     repro-sat run --config exp.json --output result.json
+    repro-sat bench --cipher a51-tiny --seed 3 --decomposition-size 8 --sample-size 100
     repro-sat simplify --cipher bivium-tiny --seed 1
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
     repro-sat portfolio --cipher bivium-tiny --seed 1
@@ -34,12 +37,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.api import (
     BackendSpec,
+    EstimatorSpec,
     Experiment,
     ExperimentConfig,
     InstanceSpec,
@@ -120,13 +127,18 @@ def _experiment(args: argparse.Namespace, **overrides) -> Experiment:
     """Build the facade from the common CLI flags plus per-command overrides."""
     config = ExperimentConfig(
         instance=_instance_spec(args),
-        sample_size=getattr(args, "sample_size", 50),
-        cost_measure=getattr(args, "cost_measure", "propagations"),
+        estimator=EstimatorSpec(
+            sample_size=getattr(args, "sample_size", 50),
+            cost_measure=getattr(args, "cost_measure", "propagations"),
+            incremental=not getattr(args, "no_incremental", False),
+        ),
         seed=args.seed,
         **overrides,
     )
     try:
-        get_cost_measure(config.cost_measure)  # fail fast on a bad measure name
+        # Fail fast on a bad measure name (the estimator spec is the single
+        # source of truth for the measure the run will actually use).
+        get_cost_measure(config.effective_estimator().cost_measure)
         experiment = Experiment.from_config(config)
         experiment.instance  # materialise now so bad cipher names exit cleanly
     except UnknownNameError as error:
@@ -265,6 +277,204 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _json_safe(value):
+    """Replace non-finite floats with None so the emitted JSON is RFC-8259 valid."""
+    if isinstance(value, dict):
+        return {key: _json_safe(inner) for key, inner in value.items()}
+    if isinstance(value, list):
+        return [_json_safe(inner) for inner in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _default_checkpoints(sample_size: int) -> list[int]:
+    """Doubling sample-size checkpoints ``1, 2, 4, ...`` ending at ``sample_size``."""
+    marks = []
+    n = 1
+    while n < sample_size:
+        marks.append(n)
+        n *= 2
+    marks.append(sample_size)
+    return marks
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the batched estimation engine and emit a ``BENCH_*.json`` file."""
+    import dataclasses
+
+    from repro.sat.solver import SolverStatus
+    from repro.stats.montecarlo import estimate_trajectory
+
+    if args.decomposition_size < 1:
+        raise SystemExit("--decomposition-size must be at least 1")
+    if args.sample_size < 1:
+        raise SystemExit("--sample-size must be at least 1")
+    if args.verify_batch < 0:
+        raise SystemExit("--verify-batch must be non-negative (0 skips the check)")
+    if args.checkpoints:
+        try:
+            checkpoints = [int(n) for n in args.checkpoints.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"--checkpoints must be comma-separated integers, got {args.checkpoints!r}"
+            ) from None
+        if any(n < 1 or n > args.sample_size for n in checkpoints):
+            raise SystemExit(
+                f"--checkpoints must lie in 1..{args.sample_size} (the sample size)"
+            )
+    else:
+        checkpoints = _default_checkpoints(args.sample_size)
+
+    instance = _experiment(args).instance
+    print(instance.summary())
+    decomposition = instance.start_set[: args.decomposition_size]
+    d = len(decomposition)
+    spec = EstimatorSpec(
+        sample_size=args.sample_size,
+        cost_measure=args.cost_measure,
+        incremental=not args.no_incremental,
+        sample_cache_size=args.cache_size,
+        max_conflicts_per_sample=args.max_conflicts_per_sample,
+    )
+
+    # --- the batched engine -------------------------------------------------
+    engine = spec.build(instance.cnf, seed=args.seed)
+    started = time.perf_counter()
+    engine_result = engine.evaluate(decomposition)
+    engine_time = time.perf_counter() - started
+    print(
+        f"engine:   {engine_time:8.3f}s  {engine_result.summary()}  "
+        f"({engine.num_solver_calls} solver calls, {engine.sample_cache_hits} cache hits)"
+    )
+
+    # --- the pre-batching baseline: fresh solver state per sample -----------
+    baseline_time = None
+    baseline_result = None
+    baseline = None
+    agreement = None
+    speedup = None
+    decided_pairs: list = []
+    if not args.no_baseline:
+        baseline_spec = dataclasses.replace(spec, incremental=False, sample_cache_size=None)
+        baseline = baseline_spec.build(instance.cnf, seed=args.seed)
+        started = time.perf_counter()
+        baseline_result = baseline.evaluate(decomposition)
+        baseline_time = time.perf_counter() - started
+        # Same seed and decomposition -> identical sampled assignments, so the
+        # runs can be compared observation by observation.  With a per-sample
+        # budget, retained learned clauses legitimately shift which samples
+        # finish in time, so UNKNOWNs may differ between the runs; soundness
+        # requires only that no pair of *decided* observations contradicts.
+        decided_pairs = [
+            (engine_obs.status, baseline_obs.status)
+            for engine_obs, baseline_obs in zip(
+                engine_result.observations, baseline_result.observations
+            )
+            if engine_obs.status is not SolverStatus.UNKNOWN
+            and baseline_obs.status is not SolverStatus.UNKNOWN
+        ]
+        # None (not a vacuous True) when every pair contained an UNKNOWN.
+        agreement = (
+            all(engine_s == baseline_s for engine_s, baseline_s in decided_pairs)
+            if decided_pairs
+            else None
+        )
+        speedup = baseline_time / engine_time if engine_time > 0 else float("inf")
+        print(
+            f"baseline: {baseline_time:8.3f}s  {baseline_result.summary()}"
+        )
+        print(
+            f"speedup: x{speedup:.2f}, statuses agree: {agreement} "
+            f"({len(decided_pairs)} decided pairs compared)"
+        )
+
+    # --- convergence trajectory of the engine run ---------------------------
+    costs = [obs.cost for obs in engine_result.observations]
+    trajectory = [
+        {
+            "n": est.sample_size,
+            "mean": est.mean,
+            "value": (1 << d) * est.mean,
+            "half_width": est.half_width,
+            "interval": list(est.interval),
+            "relative_error": est.relative_error,
+        }
+        for est in estimate_trajectory(costs, checkpoints)
+    ]
+
+    # --- differential check of the bit-sliced batch keystream path ----------
+    generator = instance.generator
+    states = generator.random_states(args.verify_batch, seed=args.seed)
+    started = time.perf_counter()
+    batched = generator.keystream_batch(states, len(instance.keystream))
+    batch_time = time.perf_counter() - started
+    started = time.perf_counter()
+    scalar = [generator.keystream_from_state(s, len(instance.keystream)) for s in states]
+    scalar_time = time.perf_counter() - started
+    # None (not a vacuous True) when there was nothing to compare.
+    keystream_ok = batched == scalar if states else None
+
+    def _engine_record(result, evaluator, wall_time):
+        statuses = [obs.status.value for obs in result.observations]
+        return {
+            "wall_time": wall_time,
+            "value": result.value,
+            "mean_cost": result.mean_cost,
+            "confidence_interval": list(result.confidence_interval),
+            "num_solver_calls": evaluator.num_solver_calls,
+            "sample_cache_hits": evaluator.sample_cache_hits,
+            "statuses": {status: statuses.count(status) for status in sorted(set(statuses))},
+        }
+
+    record = {
+        "kind": "montecarlo-estimation-bench",
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "instance": _instance_spec(args).to_dict(),
+        "instance_summary": instance.summary(),
+        "estimator": spec.to_dict(),
+        "decomposition": sorted(decomposition),
+        "engine": _engine_record(engine_result, engine, engine_time),
+        "baseline": (
+            _engine_record(baseline_result, baseline, baseline_time)
+            if baseline_result is not None
+            else None
+        ),
+        "speedup": speedup,
+        "statuses_agree": agreement,
+        "decided_pairs_compared": (
+            len(decided_pairs) if baseline_result is not None else None
+        ),
+        "trajectory": trajectory,
+        "batch_keystream": {
+            "batch_size": args.verify_batch,
+            "batch_time": batch_time,
+            "scalar_time": scalar_time,
+            "matches_scalar": keystream_ok,
+        },
+    }
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    base = f"BENCH_montecarlo_{args.cipher}_s{args.seed}_d{d}_N{args.sample_size}_{stamp}"
+    out_path = out_dir / f"{base}.json"
+    suffix = 1
+    while out_path.exists():  # same parameters twice within one second
+        suffix += 1
+        out_path = out_dir / f"{base}-{suffix}.json"
+    out_path.write_text(json.dumps(_json_safe(record), indent=2, allow_nan=False))
+    print(f"wrote {out_path}")
+    if keystream_ok is False:  # pragma: no cover - differential-check failure
+        raise SystemExit("batched keystream simulation disagrees with the scalar path")
+    if agreement is False:  # pragma: no cover - differential-check failure
+        raise SystemExit(
+            "incremental engine and fresh-solver baseline reached contradictory "
+            "decided statuses"
+        )
+    return 0
+
+
 def _cmd_simplify(args: argparse.Namespace) -> int:
     from repro.sat.simplify import SimplifyConfig, simplify_cnf
 
@@ -367,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--max-evaluations", type=int, default=60)
     estimate.add_argument("--max-seconds", type=float, default=None)
     estimate.add_argument("--cores", type=int, default=1)
+    estimate.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="fresh solver state per sample (the paper's cost semantics)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     solve = sub.add_parser("solve", help="run the solving mode")
@@ -395,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend from the registry (see `repro-sat list`)",
     )
     solve.add_argument("--cores", type=int, default=8)
+    solve.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="fresh solver state per estimation sample (the paper's cost semantics)",
+    )
     solve.set_defaults(func=_cmd_solve)
 
     run = sub.add_parser("run", help="run a full experiment from a JSON config file")
@@ -402,6 +622,58 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", default=None, help="write the result JSON to this file")
     run.add_argument("--verbose", action="store_true", help="print progress events")
     run.set_defaults(func=_cmd_run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the batched estimation engine (writes BENCH_*.json)",
+    )
+    _add_instance_arguments(bench)
+    bench.set_defaults(cipher="a51-tiny", seed=3)
+    bench.add_argument(
+        "--decomposition-size",
+        type=int,
+        default=8,
+        help="evaluate F on the first d start-set variables",
+    )
+    bench.add_argument("--sample-size", type=int, default=100, help="N, samples per evaluation")
+    bench.add_argument("--cost-measure", default="propagations")
+    bench.add_argument(
+        "--max-conflicts-per-sample",
+        type=int,
+        default=None,
+        help="per-sample conflict budget (UNKNOWN beyond it)",
+    )
+    bench.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="sample-result LRU cache capacity (0 disables)",
+    )
+    bench.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="run the engine without incremental-assumption solving",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the per-sample fresh-solver baseline (faster, no speedup figure)",
+    )
+    bench.add_argument(
+        "--checkpoints",
+        default=None,
+        help="comma-separated trajectory sample sizes (default: doubling up to N)",
+    )
+    bench.add_argument(
+        "--verify-batch",
+        type=int,
+        default=64,
+        help="batch size of the bit-sliced keystream differential check",
+    )
+    bench.add_argument(
+        "--output-dir", default=".", help="directory for the BENCH_*.json file"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     simplify = sub.add_parser("simplify", help="preprocess an instance (SatELite-style)")
     _add_instance_arguments(simplify)

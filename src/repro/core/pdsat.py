@@ -23,6 +23,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.api.registry import get_minimizer
 from repro.core.annealing import AnnealingConfig
 from repro.core.decomposition import DecompositionSet
@@ -36,6 +38,9 @@ from repro.problems.inversion import InversionInstance
 from repro.runner.cluster import ClusterSimulation, simulate_makespan
 from repro.sat.cdcl import CDCLSolver
 from repro.sat.solver import Solver, SolverBudget, SolverStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.specs import EstimatorSpec
 
 
 @dataclass
@@ -122,6 +127,11 @@ class PDSAT:
         :class:`~repro.core.predictive.PredictiveFunction`).
     seed:
         Seed for sampling and the metaheuristics.
+    estimator:
+        Optional :class:`~repro.api.specs.EstimatorSpec` configuring the full
+        batched estimation engine (incremental solving, sample cache,
+        per-sample budgets).  When given it overrides ``sample_size``,
+        ``cost_measure`` and ``subproblem_budget``.
     """
 
     def __init__(
@@ -132,22 +142,28 @@ class PDSAT:
         cost_measure: str = "propagations",
         seed: int = 0,
         subproblem_budget: SolverBudget | None = None,
+        estimator: "EstimatorSpec | None" = None,
     ):
         self.instance = instance
         self.solver: Solver = solver if solver is not None else CDCLSolver()
-        self.sample_size = sample_size
-        self.cost_measure = cost_measure
         self.seed = seed
-        self.subproblem_budget = subproblem_budget
-
-        self.evaluator = PredictiveFunction(
-            cnf=instance.cnf,
-            solver=self.solver,
-            sample_size=sample_size,
-            cost_measure=cost_measure,
-            seed=seed,
-            subproblem_budget=subproblem_budget,
-        )
+        if estimator is not None:
+            self.sample_size = estimator.sample_size
+            self.cost_measure = estimator.cost_measure
+            self.subproblem_budget = estimator.budget()
+            self.evaluator = estimator.build(instance.cnf, solver=self.solver, seed=seed)
+        else:
+            self.sample_size = sample_size
+            self.cost_measure = cost_measure
+            self.subproblem_budget = subproblem_budget
+            self.evaluator = PredictiveFunction(
+                cnf=instance.cnf,
+                solver=self.solver,
+                sample_size=sample_size,
+                cost_measure=cost_measure,
+                seed=seed,
+                subproblem_budget=subproblem_budget,
+            )
         base_vars = instance.free_start_variables or instance.start_set
         self.search_space = SearchSpace(base_vars)
 

@@ -20,13 +20,57 @@ below implements exactly that, with three practical extensions:
 * evaluations are memoised per decomposition set, and per-variable conflict
   activity is accumulated across evaluations (the tabu search restart heuristic
   consumes it).
+
+Batched estimation engine
+-------------------------
+
+This module is the hot path of the whole reproduction: a single estimating-mode
+run performs ``max_evaluations × N`` sub-instance solves.  Three mechanisms
+keep that loop from re-doing work, all on by default:
+
+**Incremental solving** (``incremental=True``; off by default here, on by
+default in the :class:`repro.api.EstimatorSpec` layer).  Requires
+``substitution_mode == "assumptions"`` and a solver exposing the incremental
+contract of :class:`~repro.sat.cdcl.CDCLSolver` (``load()`` +
+``solve(assumptions=...)``).  The CNF is loaded into the solver **once** and
+every sampled sub-instance is solved as an assumption vector against that
+persistent state: no re-encoding, no watch-list reconstruction, and learned
+clauses accumulate across samples (sound, because assumption-derived learned
+clauses are implied by the formula alone — decided statuses never contradict
+fresh solves, though under a per-sample budget retained clauses can shift
+which samples finish in time and hence which come back UNKNOWN).  The
+trade-off is a *history-dependent* cost measure: the same
+sub-instance solved later in the run is cheaper, so incremental ``F`` values
+systematically undershoot fresh-solver ``F`` values and are meaningful for
+*comparing* decomposition sets (which is all the metaheuristics need), not as
+absolute predictions of fresh solving time.  That is why the default at this
+level stays ``False``, preserving the paper's definition of ``ξ``.
+
+**Sample-result LRU cache** (on by default).  Solved samples are cached under
+the key *(decomposition set, assignment)* — concretely the tuple of assumption
+literals, which encodes both.  For small ``d`` a uniform sample of ``N``
+assignments collides often (``N = 100`` draws over ``2^6`` cells repeat more
+than half the time), and neighbouring search-space points re-visit
+sub-instances; hits replay the recorded observation (flagged ``cached=True``)
+instead of re-solving.  Because the bundled solvers are deterministic, a
+replayed fresh-mode cost is bit-identical to what re-solving would have
+produced, so with ``incremental=False`` the cache is a pure speedup with
+unchanged results.  The cache holds ``sample_cache_size`` entries (LRU
+eviction; ``None`` disables caching).
+
+**Per-sample budgets.**  ``subproblem_budget`` bounds each solver call
+individually — with the incremental engine the budget applies per call, not to
+the accumulated run — so one pathological sub-instance cannot stall an
+evaluation; over-budget samples count with the cost accumulated so far and are
+flagged UNKNOWN, making the estimate a lower bound.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from collections.abc import Iterable, Sequence
+from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.api.registry import get_cost_measure
@@ -35,7 +79,21 @@ from repro.sat.assignment import Assignment
 from repro.sat.cdcl import CDCLSolver
 from repro.sat.formula import CNF
 from repro.sat.solver import Solver, SolverBudget, SolverStatus
-from repro.stats.montecarlo import MonteCarloEstimate, sample_statistics
+from repro.stats.montecarlo import MonteCarloEstimate, OnlineStatistics
+
+
+def supports_incremental_solving(solver: "Solver", substitution_mode: str = "assumptions") -> bool:
+    """True when ``solver`` can drive the batched incremental-assumption engine.
+
+    The contract is duck-typed: a ``load(cnf)`` method plus a ``loaded_cnf``
+    attribute (see :class:`repro.sat.cdcl.CDCLSolver`), and assumption-based
+    substitution (the ``"units"`` mode rebuilds a CNF per sample by design).
+    """
+    return (
+        substitution_mode == "assumptions"
+        and hasattr(solver, "load")
+        and hasattr(solver, "loaded_cnf")
+    )
 
 
 @dataclass
@@ -46,6 +104,9 @@ class SampleObservation:
     cost: float
     status: SolverStatus
     wall_time: float
+    #: True when the observation was replayed from the sample-result cache
+    #: instead of being solved again.
+    cached: bool = False
 
 
 @dataclass
@@ -134,7 +195,18 @@ class PredictiveFunction:
     subproblem_budget:
         Optional per-sub-instance :class:`~repro.sat.solver.SolverBudget`.
         Sub-instances that exceed it count with the cost accumulated so far and
-        are flagged UNKNOWN; estimates are then lower bounds.
+        are flagged UNKNOWN; estimates are then lower bounds.  With the
+        incremental engine the budget bounds each solver call individually.
+    incremental:
+        Use the persistent incremental-assumption engine (see the module
+        docstring).  Off by default at this level (preserves the paper's
+        fresh-solve cost semantics); :class:`repro.api.EstimatorSpec` turns it
+        on by default.  Passing ``True`` requires
+        ``substitution_mode == "assumptions"`` and a solver with the
+        ``load``/``loaded_cnf`` incremental contract (``ValueError`` otherwise).
+    sample_cache_size:
+        Capacity of the sample-result LRU cache keyed by (decomposition set,
+        assignment); ``None`` or 0 disables it.
     """
 
     def __init__(
@@ -147,6 +219,8 @@ class PredictiveFunction:
         substitution_mode: str = "assumptions",
         subproblem_budget: SolverBudget | None = None,
         confidence_level: float = 0.95,
+        incremental: bool = False,
+        sample_cache_size: int | None = 4096,
     ):
         if substitution_mode not in ("assumptions", "units"):
             raise ValueError("substitution_mode must be 'assumptions' or 'units'")
@@ -163,13 +237,33 @@ class PredictiveFunction:
         self.substitution_mode = substitution_mode
         self.subproblem_budget = subproblem_budget
         self.confidence_level = confidence_level
+        if incremental and not supports_incremental_solving(
+            self.solver, substitution_mode
+        ):
+            raise ValueError(
+                "incremental=True requires substitution_mode='assumptions' and a "
+                "solver with the load()/loaded_cnf incremental contract"
+            )
+        self.incremental = bool(incremental)
 
         self._cache: dict[frozenset[int], PredictionResult] = {}
+        #: Sample-result LRU cache: assumption-literal tuple -> (observation,
+        #: per-variable conflict activity of the original solve).
+        self._sample_cache: OrderedDict[
+            tuple[int, ...], tuple[SampleObservation, dict[int, float]]
+        ] = OrderedDict()
+        # None/0 and negative values all mean "cache off".
+        self.sample_cache_size = max(0, int(sample_cache_size)) if sample_cache_size else 0
+        #: Sample-cache hits replayed instead of re-solving.
+        self.sample_cache_hits = 0
         #: Conflict activity accumulated over every sub-instance ever solved;
         #: the tabu search getNewCenter heuristic reads this.
         self.accumulated_activity: dict[int, float] = {}
-        #: Total number of sub-instance solver calls (cache misses only).
+        #: Logical sub-instance solves (cache replays included), the quantity
+        #: :class:`~repro.core.optimizer.StoppingCriteria` budgets against.
         self.num_subproblem_solves = 0
+        #: Actual solver invocations (sample-cache misses only).
+        self.num_solver_calls = 0
 
     # ------------------------------------------------------------------ evaluate
     def evaluate(self, decomposition: DecompositionSet | Iterable[int]) -> PredictionResult:
@@ -191,14 +285,16 @@ class PredictiveFunction:
         sample = dec.random_sample(self.sample_size, rng)
         observations: list[SampleObservation] = []
         activity: dict[int, float] = {}
+        running = OnlineStatistics()
         for assignment in sample:
             observation, sub_activity = self._solve_subproblem(assignment, dec)
             observations.append(observation)
+            running.add(observation.cost)
             for var, act in sub_activity.items():
                 activity[var] = activity.get(var, 0.0) + act
                 self.accumulated_activity[var] = self.accumulated_activity.get(var, 0.0) + act
 
-        estimate = sample_statistics([obs.cost for obs in observations], self.confidence_level)
+        estimate = running.estimate(self.confidence_level)
         result = PredictionResult(
             decomposition=dec,
             sample_size=self.sample_size,
@@ -237,11 +333,36 @@ class PredictiveFunction:
     def _solve_subproblem(
         self, assignment: Assignment, dec: DecompositionSet
     ) -> tuple[SampleObservation, dict[int, float]]:
+        literals = assignment.to_literals()
+        cache_key = tuple(literals)
         self.num_subproblem_solves += 1
+        if self.sample_cache_size:
+            hit = self._sample_cache.get(cache_key)
+            if hit is not None:
+                self._sample_cache.move_to_end(cache_key)
+                self.sample_cache_hits += 1
+                observation, sub_activity = hit
+                replay = SampleObservation(
+                    assignment_bits=observation.assignment_bits,
+                    cost=observation.cost,
+                    status=observation.status,
+                    wall_time=observation.wall_time,
+                    cached=True,
+                )
+                return replay, sub_activity
+
+        self.num_solver_calls += 1
         if self.substitution_mode == "assumptions":
-            result = self.solver.solve(
-                self.cnf, assumptions=assignment.to_literals(), budget=self.subproblem_budget
-            )
+            if self.incremental:
+                if self.solver.loaded_cnf is not self.cnf:
+                    self.solver.load(self.cnf)
+                result = self.solver.solve(
+                    assumptions=literals, budget=self.subproblem_budget
+                )
+            else:
+                result = self.solver.solve(
+                    self.cnf, assumptions=literals, budget=self.subproblem_budget
+                )
         else:
             family = DecompositionFamily(self.cnf, dec)
             sub = family.subproblem(assignment, as_units=True)
@@ -252,7 +373,17 @@ class PredictiveFunction:
             status=result.status,
             wall_time=result.stats.wall_time,
         )
-        return observation, result.conflict_activity
+        # Keep only nonzero bumps: the consumers (activity accumulation, the
+        # tabu restart heuristic) iterate items, and a dense per-variable dict
+        # retained per cache entry would dominate the cache's memory.
+        sub_activity = {
+            var: act for var, act in result.conflict_activity.items() if act > 0.0
+        }
+        if self.sample_cache_size:
+            self._sample_cache[cache_key] = (observation, sub_activity)
+            if len(self._sample_cache) > self.sample_cache_size:
+                self._sample_cache.popitem(last=False)
+        return observation, sub_activity
 
     # ----------------------------------------------------------------- exhaustive
     def exhaustive_value(

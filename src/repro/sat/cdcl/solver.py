@@ -1,4 +1,4 @@
-"""A complete, deterministic CDCL SAT solver.
+"""A complete, deterministic CDCL SAT solver with incremental assumptions.
 
 The solver follows the MiniSat architecture: two-watched-literal unit
 propagation, first-UIP conflict analysis with clause minimisation, VSIDS
@@ -8,13 +8,39 @@ randomisation so that repeated runs on the same input produce identical work
 counters — the property the paper requires of the algorithm ``A`` whose runtime
 defines the random variable ``ξ_{C,A}(X̃)``.
 
-Typical usage::
+One-shot usage (fresh solver state per call, the historical behaviour)::
 
     solver = CDCLSolver()
     result = solver.solve(cnf, assumptions=[5, -7])
     if result.is_sat:
         print(result.model)
     print(result.stats.conflicts, result.stats.wall_time)
+
+Incremental usage — the contract of the batched Monte Carlo engine
+(:class:`repro.core.predictive.PredictiveFunction`):
+
+* :meth:`CDCLSolver.load` builds the internal clause database **once**;
+  subsequent ``solve(assumptions=...)`` calls (no CNF argument) solve the same
+  formula under different assumption vectors without re-constructing watches,
+  heaps or clause objects.
+* Learned clauses, variable activities and saved phases are **retained across
+  calls**.  This is sound because assumptions are treated as decisions (never
+  as units at level 0): every learned clause is a resolvent of database
+  clauses only and is therefore implied by the formula itself, independent of
+  whichever assumptions were active when it was learned.
+* ``result.stats`` and ``result.conflict_activity`` are **per call**: counters
+  restart from zero at each ``solve`` and the activity dict reports only this
+  call's VSIDS bumps, so a :class:`~repro.sat.solver.SolverBudget` passed to
+  one call bounds only that call (per-call restart/conflict budgets).  A call
+  that exhausts its budget returns UNKNOWN and leaves the solver reusable.
+* An UNSAT answer from an assumption-based call means "UNSAT *under these
+  assumptions*"; only a conflict at decision level 0 proves the formula
+  globally unsatisfiable (after which every later call returns UNSAT
+  immediately).
+
+Passing a CNF to :meth:`CDCLSolver.solve` always re-initialises from scratch,
+which keeps the one-shot path bit-for-bit identical to the pre-incremental
+solver (and keeps repeated one-shot runs deterministic).
 """
 
 from __future__ import annotations
@@ -57,25 +83,59 @@ class CDCLSolver:
 
     def __init__(self, config: CDCLConfig | None = None):
         self.config = config or CDCLConfig()
+        #: The formula currently held in the internal clause database, or
+        #: ``None`` before the first ``load``/``solve``.  The batched Monte
+        #: Carlo engine checks this to decide whether a re-load is needed.
+        self.loaded_cnf: CNF | None = None
 
     # ------------------------------------------------------------------ public
+    def load(self, cnf: CNF) -> "CDCLSolver":
+        """Build the internal clause database for ``cnf`` (incremental entry point).
+
+        After ``load``, call :meth:`solve` without a CNF argument to solve the
+        formula under varying assumptions while retaining learned clauses,
+        activities and saved phases across calls.  Returns ``self`` so the
+        idiom ``CDCLSolver().load(cnf)`` works.
+        """
+        self._init(cnf)
+        self.loaded_cnf = cnf
+        return self
+
     def solve(
         self,
-        cnf: CNF,
+        cnf: CNF | None = None,
         assumptions: Sequence[int] = (),
         budget: SolverBudget | None = None,
     ) -> SolveResult:
-        """Solve ``cnf`` under ``assumptions`` within an optional ``budget``.
+        """Solve under ``assumptions`` within an optional per-call ``budget``.
+
+        With a ``cnf`` argument the solver re-initialises from scratch (the
+        one-shot behaviour).  With ``cnf=None`` the formula from a previous
+        :meth:`load` (or previous one-shot solve) is reused incrementally:
+        learned clauses are retained, only ``result.stats`` restarts from zero.
 
         Returns a :class:`~repro.sat.solver.SolveResult` whose status is SAT,
         UNSAT, or UNKNOWN (budget exhausted).  When SAT, ``result.model`` maps
-        every variable ``1..cnf.num_vars`` to a Boolean; variables that do not
+        every variable ``1..num_vars`` to a Boolean; variables that do not
         occur in the formula default to the solver's default phase.
         """
         start = time.perf_counter()
         self._budget = budget or SolverBudget()
         self._stats = SolverStats()
-        self._init(cnf)
+        fresh = cnf is not None
+        if fresh:
+            self.load(cnf)
+        elif self.loaded_cnf is None:
+            raise ValueError("no formula loaded: pass a CNF or call load() first")
+        else:
+            self._cancel_until(0)
+        # Snapshot bookkeeping is only consumed by the incremental activity
+        # report; keep it off the fresh path's conflict-analysis hot loop.
+        self._track_bumps = not fresh
+        self._bumped_vars.clear()
+        self._bump_snapshots.clear()
+        rescales_before = self._activity_rescales
+        var_inc_before = self._var_inc
 
         status = self._solve_internal(list(assumptions))
 
@@ -87,9 +147,38 @@ class CDCLSolver:
                     else self.config.default_phase)
                 for v in range(1, self._num_vars + 1)
             }
-        activity = {
-            v: self._activity[v] for v in range(1, self._num_vars + 1)
-        }
+        # Like stats, conflict_activity is per call: report only the bumps of
+        # this call, not the cumulative VSIDS state retained across calls.
+        # Fresh solves report the raw dense activity map over every variable
+        # (the historical contract); incremental calls report only the
+        # variables actually bumped this call, reconstructed from per-variable
+        # snapshots taken at first bump (no O(num_vars) work per sample).
+        # Deltas are normalised by the call-start var_inc so a bump in one
+        # call weighs the same as a bump in any other, and each snapshot is
+        # brought into the current frame when the 1e100 activity rescale fired
+        # after it — without those two corrections, accumulated activity would
+        # be exponentially dominated by the most recent calls, or collapse to
+        # zero in the call where the rescale happens.
+        if fresh:
+            activity = {v: self._activity[v] for v in range(1, self._num_vars + 1)}
+        else:
+            unit = var_inc_before * (
+                1e-100 ** (self._activity_rescales - rescales_before)
+            )
+            if unit <= 0.0:
+                # >= 4 rescales in one call (~18k conflicts): the unit
+                # underflowed to exactly 0.  Use the smallest positive float
+                # and rely on the cap below — such a call saturated the
+                # activity order anyway.
+                unit = 5e-324
+            activity = {}
+            for v in sorted(self._bumped_vars):
+                snap_value, snap_rescales = self._bump_snapshots[v]
+                snap_scale = 1e-100 ** (self._activity_rescales - snap_rescales)
+                delta = max(0.0, self._activity[v] - snap_value * snap_scale) / unit
+                # Keep reported activity finite: an inf would be folded into
+                # downstream accumulated sums permanently.
+                activity[v] = min(delta, 1e100)
         return SolveResult(
             status=status,
             model=model,
@@ -106,6 +195,11 @@ class CDCLSolver:
         self._reason: list[WatchedClause | None] = [None] * (n + 1)
         self._saved_phase: list[bool] = [self.config.default_phase] * (n + 1)
         self._activity: list[float] = [0.0] * (n + 1)
+        self._activity_rescales = 0
+        self._bumped_vars: set[int] = set()
+        #: var -> (activity value, rescale count) at this call's first bump.
+        self._bump_snapshots: dict[int, tuple[float, int]] = {}
+        self._track_bumps = False
         self._var_inc = 1.0
         self._cla_inc = 1.0
         self._heap = ActivityHeap(self._activity)
@@ -307,11 +401,15 @@ class CDCLSolver:
 
     # --------------------------------------------------------------- activities
     def _bump_var(self, var: int) -> None:
+        if self._track_bumps and var not in self._bumped_vars:
+            self._bumped_vars.add(var)
+            self._bump_snapshots[var] = (self._activity[var], self._activity_rescales)
         self._activity[var] += self._var_inc
         if self._activity[var] > 1e100:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            self._activity_rescales += 1
         self._heap.update(var)
 
     def _decay_var_activity(self) -> None:
@@ -400,6 +498,7 @@ class CDCLSolver:
         if not self._ok:
             return SolverStatus.UNSAT
         if self._propagate() is not None:
+            self._ok = False  # conflict at level 0: globally UNSAT
             return SolverStatus.UNSAT
         if self._num_vars == 0:
             return SolverStatus.SAT
@@ -440,6 +539,7 @@ class CDCLSolver:
                 self._stats.conflicts += 1
                 conflicts_here += 1
                 if self._decision_level() == 0:
+                    self._ok = False  # conflict below all decisions: globally UNSAT
                     return SolverStatus.UNSAT
                 learnt, bt_level = self._analyze(conflict)
                 self._cancel_until(bt_level)

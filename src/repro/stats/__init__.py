@@ -8,8 +8,10 @@ size); :mod:`repro.stats.sampling` adds bootstrap intervals, sequential
 
 from repro.stats.montecarlo import (
     MonteCarloEstimate,
+    OnlineStatistics,
     confidence_interval,
     estimate_mean,
+    estimate_trajectory,
     normal_cdf,
     normal_quantile,
     required_sample_size,
@@ -25,8 +27,10 @@ from repro.stats.sampling import (
 
 __all__ = [
     "MonteCarloEstimate",
+    "OnlineStatistics",
     "confidence_interval",
     "estimate_mean",
+    "estimate_trajectory",
     "normal_cdf",
     "normal_quantile",
     "required_sample_size",

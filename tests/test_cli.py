@@ -191,3 +191,72 @@ class TestNewCommands:
         )
         assert code == 0
         assert "hillclimb" in capsys.readouterr().out
+
+    def test_bench_writes_trajectory_file(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "bench",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "1",
+                "--decomposition-size",
+                "5",
+                "--sample-size",
+                "10",
+                "--verify-batch",
+                "8",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "statuses agree: True" in output
+        bench_files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(bench_files) == 1
+        record = json.loads(bench_files[0].read_text())
+        assert record["kind"] == "montecarlo-estimation-bench"
+        assert record["statuses_agree"] is True
+        assert record["speedup"] is not None and record["speedup"] > 0
+        assert record["batch_keystream"]["matches_scalar"] is True
+        trajectory = record["trajectory"]
+        assert trajectory[-1]["n"] == 10
+        assert trajectory[-1]["value"] == pytest.approx(record["engine"]["value"])
+
+    def test_bench_without_baseline(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--cipher",
+                "geffe-tiny",
+                "--seed",
+                "2",
+                "--decomposition-size",
+                "4",
+                "--sample-size",
+                "5",
+                "--no-baseline",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "speedup" not in capsys.readouterr().out
+
+    def test_bench_rejects_bad_decomposition_size(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "bench",
+                    "--cipher",
+                    "geffe-tiny",
+                    "--decomposition-size",
+                    "0",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )

@@ -1,0 +1,290 @@
+"""Tests for the batched Monte Carlo estimation engine.
+
+Covers the four pieces the engine is assembled from: the incremental mode of
+:class:`~repro.core.predictive.PredictiveFunction`, the sample-result LRU
+cache, the streaming statistics of :mod:`repro.stats.montecarlo`, the
+:class:`~repro.api.EstimatorSpec` configuration layer, and the bit-sliced
+batch keystream simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import EstimatorSpec, ExperimentConfig
+from repro.ciphers import A51, Geffe
+from repro.ciphers.lfsr import LFSR, lfsr_run_batch, pack_state_columns, unpack_output_words
+from repro.core.predictive import PredictiveFunction, supports_incremental_solving
+from repro.problems import make_inversion_instance
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.dpll import DPLLSolver
+from repro.stats.montecarlo import OnlineStatistics, estimate_trajectory, sample_statistics
+
+
+@pytest.fixture(scope="module")
+def geffe_instance():
+    return make_inversion_instance(Geffe.tiny(), keystream_length=24, seed=3)
+
+
+class TestIncrementalEngine:
+    def test_statuses_agree_with_fresh_baseline(self, geffe_instance):
+        decomposition = geffe_instance.start_set[:6]
+        engine = PredictiveFunction(
+            geffe_instance.cnf, sample_size=30, seed=5, incremental=True
+        )
+        baseline = PredictiveFunction(
+            geffe_instance.cnf,
+            sample_size=30,
+            seed=5,
+            incremental=False,
+            sample_cache_size=None,
+        )
+        engine_obs = engine.evaluate(decomposition).observations
+        baseline_obs = baseline.evaluate(decomposition).observations
+        assert [o.assignment_bits for o in engine_obs] == [
+            o.assignment_bits for o in baseline_obs
+        ]
+        assert [o.status for o in engine_obs] == [o.status for o in baseline_obs]
+
+    def test_engine_reuses_one_solver_state(self, geffe_instance):
+        solver = CDCLSolver()
+        engine = PredictiveFunction(
+            geffe_instance.cnf, solver=solver, sample_size=10, seed=0, incremental=True
+        )
+        engine.evaluate(geffe_instance.start_set[:5])
+        assert solver.loaded_cnf is geffe_instance.cnf
+
+    def test_incremental_requires_capable_solver(self, geffe_instance):
+        with pytest.raises(ValueError):
+            PredictiveFunction(
+                geffe_instance.cnf, solver=DPLLSolver(), incremental=True
+            )
+        with pytest.raises(ValueError):
+            PredictiveFunction(
+                geffe_instance.cnf, substitution_mode="units", incremental=True
+            )
+
+    def test_supports_incremental_solving_predicate(self):
+        assert supports_incremental_solving(CDCLSolver())
+        assert not supports_incremental_solving(DPLLSolver())
+        assert not supports_incremental_solving(CDCLSolver(), "units")
+
+    def test_engine_is_deterministic(self, geffe_instance):
+        decomposition = geffe_instance.start_set[:6]
+        runs = []
+        for _ in range(2):
+            engine = PredictiveFunction(
+                geffe_instance.cnf, sample_size=20, seed=9, incremental=True
+            )
+            runs.append(engine.evaluate(decomposition))
+        assert runs[0].value == runs[1].value
+        assert [o.cost for o in runs[0].observations] == [
+            o.cost for o in runs[1].observations
+        ]
+
+
+class TestSampleCache:
+    def test_duplicate_assignments_are_replayed(self, geffe_instance):
+        # d = 2 with N = 20 guarantees collisions: at most 4 distinct
+        # assignments exist, so at least 16 samples must be cache replays.
+        engine = PredictiveFunction(geffe_instance.cnf, sample_size=20, seed=1)
+        result = engine.evaluate(geffe_instance.start_set[:2])
+        assert engine.num_solver_calls <= 4
+        assert engine.sample_cache_hits >= 16
+        assert engine.num_subproblem_solves == 20  # logical solves, pre-cache
+        assert sum(1 for obs in result.observations if obs.cached) == engine.sample_cache_hits
+
+    def test_replayed_costs_match_fresh_costs(self, geffe_instance):
+        # With a deterministic solver and fresh (non-incremental) solves, a
+        # cache replay is bit-identical to re-solving, so the cached engine
+        # must produce exactly the uncached estimate.
+        decomposition = geffe_instance.start_set[:3]
+        cached = PredictiveFunction(geffe_instance.cnf, sample_size=25, seed=2)
+        uncached = PredictiveFunction(
+            geffe_instance.cnf, sample_size=25, seed=2, sample_cache_size=None
+        )
+        cached_result = cached.evaluate(decomposition)
+        uncached_result = uncached.evaluate(decomposition)
+        assert cached.sample_cache_hits > 0
+        assert [o.cost for o in cached_result.observations] == [
+            o.cost for o in uncached_result.observations
+        ]
+        assert cached_result.value == uncached_result.value
+
+    def test_lru_eviction_bounds_the_cache(self, geffe_instance):
+        engine = PredictiveFunction(
+            geffe_instance.cnf, sample_size=30, seed=3, sample_cache_size=4
+        )
+        engine.evaluate(geffe_instance.start_set[:6])
+        assert len(engine._sample_cache) <= 4
+
+    def test_cache_disabled(self, geffe_instance):
+        engine = PredictiveFunction(
+            geffe_instance.cnf, sample_size=15, seed=1, sample_cache_size=None
+        )
+        engine.evaluate(geffe_instance.start_set[:2])
+        assert engine.sample_cache_hits == 0
+        assert engine.num_solver_calls == 15
+
+    def test_negative_cache_size_means_disabled(self, geffe_instance):
+        engine = PredictiveFunction(
+            geffe_instance.cnf, sample_size=8, seed=1, sample_cache_size=-1
+        )
+        assert engine.sample_cache_size == 0
+        engine.evaluate(geffe_instance.start_set[:2])
+        assert engine.sample_cache_hits == 0
+        assert len(engine._sample_cache) == 0
+
+
+class TestOnlineStatistics:
+    def test_matches_two_pass_statistics(self):
+        rng = random.Random(0)
+        values = [rng.uniform(0, 100) for _ in range(257)]
+        acc = OnlineStatistics()
+        acc.add_many(values)
+        reference = sample_statistics(values)
+        assert acc.count == reference.sample_size
+        assert acc.mean == pytest.approx(reference.mean, rel=1e-9)
+        assert acc.variance == pytest.approx(reference.variance, rel=1e-9)
+
+    def test_merge_equals_sequential(self):
+        rng = random.Random(1)
+        left = [rng.gauss(10, 3) for _ in range(40)]
+        right = [rng.gauss(20, 5) for _ in range(17)]
+        a, b, both = OnlineStatistics(), OnlineStatistics(), OnlineStatistics()
+        a.add_many(left)
+        b.add_many(right)
+        both.add_many(left + right)
+        merged = a.merge(b)
+        assert merged.count == both.count
+        assert merged.mean == pytest.approx(both.mean, rel=1e-9)
+        assert merged.variance == pytest.approx(both.variance, rel=1e-9)
+
+    def test_merge_with_empty(self):
+        acc = OnlineStatistics()
+        acc.add_many([1.0, 2.0, 3.0])
+        assert OnlineStatistics().merge(acc).mean == acc.mean
+        assert acc.merge(OnlineStatistics()).variance == acc.variance
+
+    def test_empty_estimate_raises(self):
+        with pytest.raises(ValueError):
+            OnlineStatistics().estimate()
+
+    def test_trajectory_prefixes(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        trajectory = estimate_trajectory(values, [1, 3, 6])
+        assert [est.sample_size for est in trajectory] == [1, 3, 6]
+        assert trajectory[0].mean == 3.0
+        assert trajectory[1].mean == pytest.approx(sum(values[:3]) / 3)
+        assert trajectory[2].mean == pytest.approx(sum(values) / 6)
+        # Default checkpoints: every prefix.
+        assert len(estimate_trajectory(values)) == len(values)
+
+    def test_trajectory_rejects_bad_checkpoints(self):
+        with pytest.raises(ValueError):
+            estimate_trajectory([1.0, 2.0], [3])
+
+
+class TestEstimatorSpec:
+    def test_round_trip(self):
+        spec = EstimatorSpec(
+            sample_size=32,
+            cost_measure="conflicts",
+            incremental=False,
+            sample_cache_size=128,
+            max_conflicts_per_sample=500,
+        )
+        assert EstimatorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            EstimatorSpec.from_dict({"sample_sizes": 10})
+
+    def test_config_round_trip_with_estimator(self):
+        cfg = ExperimentConfig(estimator=EstimatorSpec(sample_size=12))
+        assert ExperimentConfig.from_dict(cfg.to_dict()) == cfg
+        assert ExperimentConfig.from_json(cfg.to_json()) == cfg
+
+    def test_effective_estimator_prefers_explicit_spec(self):
+        explicit = EstimatorSpec(sample_size=7, cost_measure="conflicts")
+        cfg = ExperimentConfig(estimator=explicit, sample_size=99)
+        assert cfg.effective_estimator() is explicit
+        legacy = ExperimentConfig(sample_size=99, cost_measure="decisions")
+        derived = legacy.effective_estimator()
+        assert derived.sample_size == 99
+        assert derived.cost_measure == "decisions"
+        assert derived.incremental  # the engine is on by default at this layer
+
+    def test_build_uses_incremental_for_cdcl(self, geffe_instance):
+        evaluator = EstimatorSpec(sample_size=5).build(geffe_instance.cnf, seed=1)
+        assert evaluator.incremental
+
+    def test_build_downgrades_for_incapable_solver(self, geffe_instance):
+        evaluator = EstimatorSpec(sample_size=5).build(
+            geffe_instance.cnf, solver=DPLLSolver(), seed=1
+        )
+        assert not evaluator.incremental
+
+    def test_budget_construction(self):
+        assert EstimatorSpec().budget() is None
+        budget = EstimatorSpec(max_conflicts_per_sample=100).budget()
+        assert budget is not None and budget.max_conflicts == 100
+
+
+class TestBatchKeystream:
+    @pytest.mark.parametrize("size", ["tiny", "small"])
+    def test_a51_batch_matches_scalar(self, size):
+        generator = A51.scaled(size)
+        states = generator.random_states(33, seed=4)
+        length = generator.default_keystream_length()
+        assert generator.keystream_batch(states, length) == [
+            generator.keystream_from_state(state, length) for state in states
+        ]
+
+    def test_base_class_batch_matches_scalar(self):
+        generator = Geffe.tiny()
+        states = generator.random_states(9, seed=2)
+        assert generator.keystream_batch(states, 20) == [
+            generator.keystream_from_state(state, 20) for state in states
+        ]
+
+    def test_a51_batch_rejects_wrong_length_states(self):
+        generator = A51.scaled("tiny")
+        good = generator.random_state(0)
+        with pytest.raises(ValueError):
+            generator.keystream_batch([good, good + [1]], 5)
+        with pytest.raises(ValueError):
+            generator.keystream_batch([good[:-1]], 5)
+
+    def test_random_states_match_random_state_seeds(self):
+        generator = Geffe.tiny()
+        assert generator.random_states(5, seed=10) == [
+            generator.random_state(10 + k) for k in range(5)
+        ]
+
+    def test_lfsr_run_batch_matches_run(self):
+        register = LFSR(7, (6, 5))
+        states = [[(k >> i) & 1 for i in range(7)] for k in range(1, 20)]
+        batch = register.run_batch(states, 30)
+        for state, expected in zip(states, batch):
+            register.load(state)
+            assert register.run(30) == expected
+
+    def test_pack_unpack_round_trip(self):
+        states = [[1, 0, 1], [0, 1, 1], [0, 0, 0], [1, 1, 0]]
+        words = pack_state_columns(states)
+        # Transposing back via unpack over "steps" of the word list recovers
+        # the columns.
+        assert unpack_output_words(words, len(states)) == [
+            [state[i] for i in range(3)] for state in states
+        ]
+
+    def test_pack_rejects_ragged_batches(self):
+        with pytest.raises(ValueError):
+            pack_state_columns([[1, 0], [1]])
+
+    def test_empty_batch(self):
+        assert lfsr_run_batch((0,), [], 5) == []
+        assert A51.scaled("tiny").keystream_batch([], 4) == []

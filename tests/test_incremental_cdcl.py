@@ -1,0 +1,186 @@
+"""Tests for the incremental-assumption mode of the CDCL solver.
+
+The contract under test (see the module docstring of
+:mod:`repro.sat.cdcl.solver`): one ``load()`` builds the clause database, every
+subsequent ``solve(assumptions=...)`` reuses it; statuses always agree with a
+fresh solver; learned clauses, activities and phases persist across calls while
+``stats`` restarts per call; budgets bound individual calls and leave the
+solver reusable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.formula import CNF
+from repro.sat.random_cnf import pigeonhole, planted_ksat, random_ksat
+from repro.sat.solver import SolverBudget, SolverStatus, check_model
+
+
+def _random_assumptions(rng: random.Random, num_vars: int, max_len: int = 6) -> list[int]:
+    variables = rng.sample(range(1, num_vars + 1), rng.randint(0, max_len))
+    return [v if rng.random() < 0.5 else -v for v in variables]
+
+
+class TestAgreementWithFreshSolver:
+    """Incremental solves must reach the same verdicts as one-shot solves."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat_under_random_assumptions(self, seed):
+        num_vars = 25
+        cnf = random_ksat(num_vars, 105, k=3, seed=seed)
+        incremental = CDCLSolver().load(cnf)
+        rng = random.Random(1000 + seed)
+        for _ in range(12):
+            assumptions = _random_assumptions(rng, num_vars)
+            inc_result = incremental.solve(assumptions=assumptions)
+            fresh_result = CDCLSolver().solve(cnf, assumptions=assumptions)
+            assert inc_result.status == fresh_result.status
+            if inc_result.status is SolverStatus.SAT:
+                assert check_model(cnf, inc_result.model)
+                assert all(
+                    inc_result.model[abs(lit)] is (lit > 0) for lit in assumptions
+                )
+
+    def test_planted_instance_stays_sat_without_assumptions(self):
+        cnf, _ = planted_ksat(30, 120, k=3, seed=2)
+        solver = CDCLSolver().load(cnf)
+        for _ in range(5):
+            result = solver.solve()
+            assert result.status is SolverStatus.SAT
+            assert check_model(cnf, result.model)
+
+    def test_globally_unsat_is_remembered(self):
+        cnf = CNF([(1, 2), (-1, 2), (1, -2), (-1, -2)])
+        solver = CDCLSolver().load(cnf)
+        assert solver.solve().status is SolverStatus.UNSAT
+        followup = solver.solve(assumptions=[1])
+        assert followup.status is SolverStatus.UNSAT
+        assert followup.stats.conflicts == 0  # answered from the _ok flag
+
+    def test_assumption_conflicting_with_learned_unit(self):
+        # (x1) forces x1 at level 0; assuming -1 must yield UNSAT-under-
+        # assumptions without corrupting state for the next call.
+        cnf = CNF([(1,), (1, 2), (-2, 3)])
+        solver = CDCLSolver().load(cnf)
+        assert solver.solve(assumptions=[-1]).status is SolverStatus.UNSAT
+        result = solver.solve(assumptions=[3])
+        assert result.status is SolverStatus.SAT
+        assert result.model[1] is True
+
+
+class TestStateRetention:
+    def test_learned_clauses_survive_across_calls(self):
+        cnf = random_ksat(40, 170, k=3, seed=1)
+        solver = CDCLSolver().load(cnf)
+        first = solver.solve(assumptions=[1, -2, 3])
+        assert first.stats.conflicts > 0
+        learnts_after_first = len(solver._learnts)
+        assert learnts_after_first > 0
+        second = solver.solve(assumptions=[1, -2, 3])
+        # The same sub-problem re-solved against the retained clause database
+        # needs (weakly) fewer conflicts, and the database was not rebuilt.
+        assert second.status == first.status
+        assert second.stats.conflicts <= first.stats.conflicts
+        assert len(solver._learnts) >= learnts_after_first
+
+    def test_conflict_activity_is_per_call(self):
+        # Activity (like stats) must report only the current call's bumps, not
+        # the cumulative VSIDS state retained across calls — otherwise the
+        # predictive function double-counts early samples' activity.
+        cnf = random_ksat(40, 170, k=3, seed=1)
+        solver = CDCLSolver().load(cnf)
+        first = solver.solve(assumptions=[1, -2, 3])
+        assert sum(first.stats.conflicts for _ in [0]) > 0
+        second = solver.solve(assumptions=[1, -2, 3])
+        # The repeat call resolves via retained clauses with no new conflicts,
+        # so its per-call activity must be (near) zero, not >= the first call's.
+        assert second.stats.conflicts == 0
+        assert sum(second.conflict_activity.values()) == 0.0
+
+    def test_conflict_activity_comparable_across_calls(self):
+        # Deltas are normalised by the call-start var_inc, so a bump in a late
+        # call weighs like a bump in an early call instead of exploding like
+        # (1/var_decay)^total_conflicts.
+        cnf = random_ksat(40, 170, k=3, seed=5)
+        solver = CDCLSolver().load(cnf)
+        solver._var_inc = 1e50  # as if thousands of conflicts had accumulated
+        result = solver.solve(assumptions=[1, -2, 3])
+        if result.stats.conflicts > 0:
+            assert 0 < max(result.conflict_activity.values()) < 1e6
+
+    def test_conflict_activity_survives_vsids_rescale(self):
+        # When the 1e100 activity rescale fires mid-call, the per-call delta
+        # must be computed in the rescaled frame — not clamp to all zeros.
+        cnf = random_ksat(60, 255, k=3, seed=2)
+        solver = CDCLSolver().load(cnf)
+        solver._var_inc = 9.9e99  # force a rescale on the first bump
+        result = solver.solve(assumptions=[1, -2, 3, -4, 5, -6])
+        assert solver._activity_rescales >= 1
+        if result.stats.conflicts > 0:
+            assert any(v > 0 for v in result.conflict_activity.values())
+
+    def test_stats_are_per_call(self):
+        cnf = random_ksat(30, 126, k=3, seed=4)
+        solver = CDCLSolver().load(cnf)
+        first = solver.solve()
+        second = solver.solve()
+        # A second identical call is pure propagation/decisions, not a
+        # continuation of the first call's counters.
+        assert second.stats.conflicts <= first.stats.conflicts
+        assert second.stats.propagations <= first.stats.propagations
+
+    def test_passing_a_cnf_resets_state(self):
+        sat_cnf = CNF([(1, 2)])
+        unsat_cnf = CNF([(1,), (-1,)])
+        solver = CDCLSolver()
+        assert solver.solve(unsat_cnf).status is SolverStatus.UNSAT
+        # A fresh CNF argument must rebuild from scratch, clearing the _ok flag.
+        assert solver.solve(sat_cnf).status is SolverStatus.SAT
+        assert solver.loaded_cnf is sat_cnf
+
+    def test_solve_without_load_raises(self):
+        with pytest.raises(ValueError):
+            CDCLSolver().solve(assumptions=[1])
+
+
+class TestBudgets:
+    def test_budget_limited_call_returns_unknown_then_resumes(self):
+        cnf = pigeonhole(6)
+        solver = CDCLSolver().load(cnf)
+        limited = solver.solve(budget=SolverBudget(max_conflicts=5))
+        assert limited.status is SolverStatus.UNKNOWN
+        assert limited.stats.conflicts == 5
+        # The budget bounds the call, not the solver: an unlimited follow-up
+        # call finishes the refutation (helped by the retained learnt clauses).
+        finished = solver.solve()
+        assert finished.status is SolverStatus.UNSAT
+
+    def test_budget_is_per_call_not_cumulative(self):
+        cnf = pigeonhole(5)
+        solver = CDCLSolver().load(cnf)
+        budget = SolverBudget(max_conflicts=3)
+        for _ in range(4):
+            result = solver.solve(budget=budget)
+            if result.status is SolverStatus.UNSAT:
+                break
+            assert result.status is SolverStatus.UNKNOWN
+            assert result.stats.conflicts <= 3
+
+    def test_interrupted_call_keeps_solver_consistent(self):
+        # Interleave budget-limited UNKNOWN calls with decided calls and check
+        # the verdicts still match a fresh solver.
+        cnf = random_ksat(35, 150, k=3, seed=9)
+        solver = CDCLSolver().load(cnf)
+        rng = random.Random(7)
+        for index in range(10):
+            assumptions = _random_assumptions(rng, 35)
+            if index % 2 == 0:
+                solver.solve(assumptions=assumptions, budget=SolverBudget(max_conflicts=1))
+            else:
+                inc = solver.solve(assumptions=assumptions)
+                fresh = CDCLSolver().solve(cnf, assumptions=assumptions)
+                assert inc.status == fresh.status

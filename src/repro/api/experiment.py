@@ -258,12 +258,70 @@ class Experiment:
                 f"2^{len(decomposition)} sub-problems; raise max_family_bits to allow it"
             )
         dec = DecompositionSet.of(decomposition)
+        num_vars = self.instance.cnf.num_vars
+        out_of_range = sorted(v for v in dec.variables if v > num_vars)
+        if out_of_range:
+            # Fail fast with one clean error instead of letting every
+            # sub-problem raise (and be pointlessly dispatched) in the backend.
+            raise ValueError(
+                f"decomposition variables {out_of_range} are outside the "
+                f"instance's formula (variables 1..{num_vars})"
+            )
         vectors = [assignment.to_literals() for assignment in dec.all_assignments()]
         backend = cfg.backend.build()
         # cfg.cost_measure always matches the estimator's measure (an explicit
         # EstimatorSpec is mirrored into the legacy field at construction).
         cost_measure = cfg.cost_measure
         self._emit("solve", total=len(vectors), message=f"backend {cfg.backend.name}")
+        checkpoint_kwargs: dict[str, Any] = {}
+        resumed = 0
+        if cfg.checkpoint_path is not None:
+            import inspect
+
+            from repro.runner.scheduler import SchedulerCheckpoint
+
+            run_params = inspect.signature(backend.run).parameters
+            if "checkpoint" not in run_params and not any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in run_params.values()
+            ):
+                raise ValueError(
+                    f"backend {cfg.backend.name!r} does not accept checkpoint "
+                    f"keywords; unset checkpoint_path or use a resumable backend"
+                )
+            # The fingerprint ties a checkpoint file to this exact experiment:
+            # resuming another experiment's file would silently report its
+            # results as ours (task ids are merely positional).
+            fingerprint = {
+                "instance": cfg.instance.to_dict(),
+                "decomposition": sorted(dec.variables),
+                "cost_measure": cost_measure,
+            }
+            path = Path(cfg.checkpoint_path)
+            if path.exists():
+                checkpoint = SchedulerCheckpoint.load(path)
+                stored = checkpoint.metadata.get("experiment")
+                if stored is not None and stored != fingerprint:
+                    raise ValueError(
+                        f"checkpoint {path} belongs to a different experiment "
+                        f"({stored}); delete it or point --resume elsewhere"
+                    )
+                resumed = len(checkpoint)
+                checkpoint_kwargs["checkpoint"] = checkpoint
+                self._emit(
+                    "solve",
+                    completed=resumed,
+                    total=len(vectors),
+                    message=f"resumed {resumed} sub-problems from {path}",
+                )
+
+            def save_checkpoint(chk, _path=path, _stamp=fingerprint):
+                chk.metadata["experiment"] = _stamp
+                chk.save(_path)
+
+            checkpoint_kwargs["checkpoint_sink"] = save_checkpoint
+            # Bound checkpoint I/O on huge families: a full snapshot is
+            # rewritten at most ~256 times per run (and once at the end).
+            checkpoint_kwargs["checkpoint_every"] = max(1, len(vectors) // 256)
         run = backend.run(
             self.instance.cnf,
             vectors,
@@ -271,6 +329,7 @@ class Experiment:
             cost_measure=cost_measure,
             stop_on_sat=cfg.stop_on_sat,
             progress=lambda completed, total: self._emit("solve", completed, total),
+            **checkpoint_kwargs,
         )
         recovered = self._recover_state(run.satisfying_models)
         if run.num_sat > 0:
@@ -298,6 +357,8 @@ class Experiment:
             "backend_metadata": run.metadata,
             "recovered_state": recovered,
             "wall_time": run.wall_time,
+            "checkpoint_path": cfg.checkpoint_path,
+            "resumed_subproblems": resumed,
         }
         return data, status, summary
 

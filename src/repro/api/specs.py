@@ -264,6 +264,10 @@ class ExperimentConfig:
     stop_on_sat: bool = False
     #: Refuse decomposition families larger than ``2^max_family_bits``.
     max_family_bits: int = 16
+    #: Scheduler checkpoint file for the solving mode: progress is streamed to
+    #: this JSON file and an existing file is resumed from (sub-problems it
+    #: already contains are not re-solved).  ``None`` disables checkpointing.
+    checkpoint_path: str | None = None
     #: Partitioning technique for :meth:`repro.api.Experiment.partition`.
     technique: str = "guiding-path"
     #: Target part count for the partitioning baseline.
@@ -307,6 +311,7 @@ class ExperimentConfig:
             "decomposition_size": self.decomposition_size,
             "stop_on_sat": self.stop_on_sat,
             "max_family_bits": self.max_family_bits,
+            "checkpoint_path": self.checkpoint_path,
             "technique": self.technique,
             "parts": self.parts,
             "members": self.members,
@@ -335,6 +340,7 @@ class ExperimentConfig:
             decomposition_size=data.get("decomposition_size"),
             stop_on_sat=data.get("stop_on_sat", False),
             max_family_bits=data.get("max_family_bits", 16),
+            checkpoint_path=data.get("checkpoint_path"),
             technique=data.get("technique", "guiding-path"),
             parts=data.get("parts", 8),
             members=data.get("members", 8),

@@ -28,6 +28,7 @@ Examples::
     repro-sat estimate --cipher bivium-small --seed 1 --method tabu --max-evaluations 60
     repro-sat solve --cipher geffe-tiny --seed 1 --decomposition-size 10 --cores 8
     repro-sat run --config exp.json --output result.json
+    repro-sat run --config exp.json --backend process-pool --cores 4 --resume run.ckpt
     repro-sat bench --cipher a51-tiny --seed 3 --decomposition-size 8 --sample-size 100
     repro-sat simplify --cipher bivium-tiny --seed 1
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
@@ -220,6 +221,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         decomposition_size=args.decomposition_size,
         stop_on_sat=args.stop_on_sat,
         max_family_bits=args.max_family_bits,
+        checkpoint_path=args.resume,
     )
     print(experiment.instance.summary())
     try:
@@ -235,6 +237,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     solve = result.data["solve"]
     print(result.summary)
+    if solve.get("resumed_subproblems"):
+        print(
+            f"resumed {solve['resumed_subproblems']} sub-problems from "
+            f"{solve['checkpoint_path']}"
+        )
     metadata = solve["backend_metadata"]
     if "makespan" in metadata:
         print(
@@ -262,6 +269,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         experiment = Experiment.from_file(path, progress=print if args.verbose else None)
     except (ValueError, KeyError) as error:
         raise SystemExit(f"invalid experiment config {path}: {error}") from None
+    overrides: dict[str, object] = {}
+    if args.backend is not None or args.cores is not None:
+        name = args.backend or experiment.config.backend.name
+        # Options from the config only carry over when the backend is unchanged.
+        options: dict[str, object] = (
+            dict(experiment.config.backend.options)
+            if name == experiment.config.backend.name
+            else {}
+        )
+        if args.cores is not None:
+            worker_key = {"process-pool": "processes", "simulated-cluster": "cores"}.get(name)
+            if worker_key is None:
+                raise SystemExit(
+                    f"--cores is not supported by the {name!r} backend "
+                    f"(use process-pool or simulated-cluster)"
+                )
+            options[worker_key] = args.cores
+        overrides["backend"] = BackendSpec(name=name, options=options)
+    if args.resume is not None:
+        overrides["checkpoint_path"] = args.resume
+    if overrides:
+        experiment = Experiment.from_config(
+            experiment.config.replace(**overrides),
+            progress=print if args.verbose else None,
+        )
     print(experiment.instance.summary())
     try:
         result = experiment.run()
@@ -269,6 +301,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from None
     print(result.summary)
     solve = result.data["solve"]
+    if solve.get("resumed_subproblems"):
+        print(
+            f"resumed {solve['resumed_subproblems']} sub-problems from "
+            f"{solve['checkpoint_path']}"
+        )
     if solve["recovered_state"]:
         print(f"recovered state verified: {solve['recovered_state']}")
     if args.output:
@@ -615,12 +652,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fresh solver state per estimation sample (the paper's cost semantics)",
     )
+    solve.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help=(
+            "scheduler checkpoint file: solving progress is streamed to it and "
+            "an existing file is resumed from"
+        ),
+    )
     solve.set_defaults(func=_cmd_solve)
 
     run = sub.add_parser("run", help="run a full experiment from a JSON config file")
     run.add_argument("--config", required=True, help="ExperimentConfig JSON file")
     run.add_argument("--output", default=None, help="write the result JSON to this file")
     run.add_argument("--verbose", action="store_true", help="print progress events")
+    run.add_argument(
+        "--backend",
+        default=None,
+        help="override the config's execution backend (see `repro-sat list`)",
+    )
+    run.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="worker count for the overriding backend (cores or processes)",
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help=(
+            "scheduler checkpoint file: solving progress is streamed to it and "
+            "an existing file is resumed from (completed sub-problems are not "
+            "re-solved)"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(

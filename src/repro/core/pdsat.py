@@ -229,12 +229,19 @@ class PDSAT:
         decomposition: list[int] | DecompositionSet,
         stop_on_sat: bool = False,
         max_subproblems: int = 1 << 20,
+        backend=None,
     ) -> SolvingReport:
         """Process the whole decomposition family (the paper's solving mode).
 
         With ``stop_on_sat`` the enumeration stops at the first satisfiable
         sub-problem; the paper's experiments processed the entire family to
         obtain more statistical data, which is also the default here.
+
+        ``backend`` routes the family through any
+        :class:`~repro.api.backends.ExecutionBackend` (and therefore through
+        the fault-tolerant scheduler) instead of the in-process loop; the
+        deterministic solvers make both paths report identical statuses and
+        costs.
         """
         dec = (
             decomposition
@@ -252,6 +259,25 @@ class PDSAT:
             cost_measure=self.cost_measure,
         )
         start = time.perf_counter()
+        if backend is not None:
+            run = backend.run(
+                self.instance.cnf,
+                [assignment.to_literals() for assignment in dec.all_assignments()],
+                cost_measure=self.cost_measure,
+                budget=self.subproblem_budget,
+                stop_on_sat=stop_on_sat,
+            )
+            for index, outcome in enumerate(run.outcomes):
+                report.statuses.append(outcome.status)
+                report.costs.append(outcome.cost)
+                if outcome.status is SolverStatus.SAT:
+                    if report.first_sat_index is None:
+                        report.first_sat_index = index
+                    if outcome.model is not None:
+                        report.satisfying_models.append(outcome.model)
+            report.stopped_early = stop_on_sat and report.first_sat_index is not None
+            report.wall_time = time.perf_counter() - start
+            return report
         for index, assignment in enumerate(dec.all_assignments()):
             result = self.solver.solve(
                 self.instance.cnf,
@@ -270,6 +296,43 @@ class PDSAT:
                     break
         report.wall_time = time.perf_counter() - start
         return report
+
+    # ---------------------------------------------------- scheduled estimation
+    def estimate_samples_scheduled(
+        self,
+        decomposition: list[int] | DecompositionSet,
+        executor: str = "serial",
+        sample_size: int | None = None,
+        **scheduler_options,
+    ):
+        """One predictive-function sample through the unified scheduler.
+
+        Runs the Monte Carlo sample of ``decomposition`` on the chosen
+        scheduler executor (``"serial"``, ``"thread"``, ``"process-pool"``,
+        ``"simulated-cluster"``) with this orchestrator's solver/cost
+        configuration.  The spawn-discipline seeding makes the returned
+        :class:`~repro.runner.estimation.ScheduledEstimation` statistics
+        bit-identical across executors; extra keyword arguments (``failures``,
+        ``retry``, ``checkpoint`` …) are forwarded to
+        :func:`repro.runner.estimation.estimate_family_scheduled`.
+        """
+        from repro.runner.estimation import estimate_family_scheduled
+
+        dec = (
+            decomposition
+            if isinstance(decomposition, DecompositionSet)
+            else DecompositionSet.of(decomposition)
+        )
+        return estimate_family_scheduled(
+            self.instance.cnf,
+            list(dec.variables),
+            sample_size=sample_size or self.sample_size,
+            seed=self.seed,
+            executor=executor,
+            cost_measure=self.cost_measure,
+            budget=self.subproblem_budget,
+            **scheduler_options,
+        )
 
     # --------------------------------------------------------------- end to end
     def estimate_then_solve(

@@ -113,19 +113,30 @@ class PortfolioResult:
 
 
 class PortfolioSolver:
-    """Runs every configuration on the instance and simulates the parallel race."""
+    """Runs every configuration on the instance and simulates the parallel race.
+
+    The member runs are dispatched as tasks of the unified scheduler
+    (:mod:`repro.runner.scheduler`): the default inline executor reproduces
+    the historical sequential loop bit for bit, while ``threads`` runs the
+    members on a thread pool — results are folded in member order either way,
+    so the reported portfolio is independent of the execution interleaving.
+    """
 
     def __init__(
         self,
         configurations: Sequence[SolverConfiguration] | None = None,
         cost_measure: str = "propagations",
+        threads: int | None = None,
     ):
         self.configurations = (
             default_portfolio() if configurations is None else list(configurations)
         )
         if not self.configurations:
             raise ValueError("a portfolio needs at least one configuration")
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be at least 1")
         self.cost_measure = cost_measure
+        self.threads = threads
 
     def solve(
         self,
@@ -133,19 +144,46 @@ class PortfolioSolver:
         assumptions: Sequence[int] = (),
         budget: SolverBudget | None = None,
     ) -> PortfolioResult:
-        """Run the whole portfolio on ``cnf`` (sequentially; parallelism is virtual)."""
+        """Race the portfolio on ``cnf`` through the scheduler."""
+        from repro.runner.scheduler import (
+            InlineExecutor,
+            RetryPolicy,
+            Scheduler,
+            Task,
+            TaskGraph,
+            ThreadExecutor,
+        )
+
         started = time.perf_counter()
-        outcome = PortfolioResult(cost_measure=self.cost_measure)
-        for configuration in self.configurations:
+        members = {
+            f"member-{index:03d}": configuration
+            for index, configuration in enumerate(self.configurations)
+        }
+        literals = list(assumptions)
+
+        def race_member(member_id: str) -> PortfolioMemberRun:
+            configuration = members[member_id]
             solver = configuration.build_solver()
-            result = solver.solve(cnf, assumptions=list(assumptions), budget=budget)
-            outcome.runs.append(
-                PortfolioMemberRun(
-                    configuration=configuration,
-                    result=result,
-                    cost=result.stats.cost(self.cost_measure),
-                )
+            result = solver.solve(cnf, assumptions=literals, budget=budget)
+            return PortfolioMemberRun(
+                configuration=configuration,
+                result=result,
+                cost=result.stats.cost(self.cost_measure),
             )
+
+        graph = TaskGraph(Task(task_id=member_id, payload=member_id) for member_id in members)
+        executor = (
+            ThreadExecutor(task_fn=race_member, num_workers=self.threads)
+            if self.threads is not None and self.threads > 1
+            else InlineExecutor(task_fn=race_member)
+        )
+        run = Scheduler(graph, executor, retry=RetryPolicy(max_attempts=2)).run()
+        if run.failed:
+            member_id, error = next(iter(run.failed.items()))
+            raise RuntimeError(f"portfolio member {member_id} failed: {error}")
+        outcome = PortfolioResult(
+            runs=run.values_in_order(), cost_measure=self.cost_measure
+        )
         outcome.wall_time = time.perf_counter() - started
         return outcome
 

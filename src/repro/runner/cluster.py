@@ -8,6 +8,13 @@ next sub-problem to whichever worker becomes idle), which corresponds to greedy
 list scheduling in job order; the classical LPT (longest processing time first)
 rule is also provided as the near-optimal reference.
 
+This module is a thin policy over the unified scheduler
+(:mod:`repro.runner.scheduler`): jobs become tasks whose payload is their
+cost, and a :class:`~repro.runner.scheduler.SimulatedGridExecutor` with ``M``
+unit-speed workers, a FIFO pull queue and no failure injection *is* greedy
+list scheduling — the virtual makespan it reports reproduces the classical
+min-heap computation bit for bit (ties broken by core index).
+
 The simulation reproduces the structure of the paper's Table 3: the predicted
 time on 480 cores is ``F / 480`` and the "real" time is the makespan of the
 actual per-sub-problem costs on 480 simulated cores.
@@ -15,9 +22,16 @@ actual per-sub-problem costs on 480 simulated cores.
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass
+
+from repro.runner.scheduler import (
+    RetryPolicy,
+    Scheduler,
+    SimulatedGridExecutor,
+    Task,
+    TaskGraph,
+)
 
 
 @dataclass
@@ -63,23 +77,20 @@ def simulate_makespan(
     if scheduler == "lpt":
         jobs = sorted(jobs, reverse=True)
 
-    # Greedy list scheduling with a min-heap of core finish times.
-    loads = [0.0] * num_cores
-    finish_times = [0.0] * num_cores
-    core_heap = [(0.0, i) for i in range(num_cores)]
-    heapq.heapify(core_heap)
-    for cost in jobs:
-        finish, core = heapq.heappop(core_heap)
-        finish += cost
-        loads[core] += cost
-        finish_times[core] = finish
-        heapq.heappush(core_heap, (finish, core))
+    graph = TaskGraph(
+        Task(task_id=f"job-{index:06d}", payload=cost) for index, cost in enumerate(jobs)
+    )
+    executor = SimulatedGridExecutor(task_fn=lambda cost: cost, workers=num_cores)
+    run = Scheduler(
+        graph, executor, retry=RetryPolicy(max_attempts=1), queue="fifo"
+    ).run()
 
-    makespan = max(finish_times) if jobs else 0.0
+    # With no failure injection the virtual clock stops at the last completion,
+    # which is exactly the makespan; worker loads are the per-core cost sums.
     return ClusterSimulation(
         num_cores=num_cores,
-        makespan=makespan,
+        makespan=run.makespan if jobs else 0.0,
         total_work=sum(jobs),
-        core_loads=loads,
+        core_loads=run.worker_loads or [0.0] * num_cores,
         scheduler=scheduler,
     )

@@ -1,20 +1,35 @@
-"""Real parallel solving of decomposition families with ``multiprocessing``.
+"""Real parallel solving of decomposition families on worker processes.
 
 The simulated cluster (:mod:`repro.runner.cluster`) is what the benchmarks use
 — it is deterministic and does not depend on the local core count — but users
 who want to actually burn their cores on a family can use
 :func:`solve_family_parallel`.  Workers receive the CNF once (via the process
-fork / pickling) and solve one assumption vector per task, exactly like PDSAT's
+initializer) and solve one assumption vector per task, exactly like PDSAT's
 computing processes receive sub-problems from the leader.
+
+This module is the process policy of the unified scheduler
+(:mod:`repro.runner.scheduler`): :func:`family_executor` primes a
+:class:`~repro.runner.scheduler.ProcessExecutor` with the worker state (CNF,
+solver, cost measure), and :func:`solve_family_parallel` runs the family task
+graph through the :class:`~repro.runner.scheduler.Scheduler`, which adds what
+the old bespoke pool never had — retry budgets for dying workers and results
+that are reported in task order regardless of completion order.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.api.registry import get_cost_measure, get_solver
+from repro.runner.scheduler import (
+    InlineExecutor,
+    ProcessExecutor,
+    RetryPolicy,
+    Scheduler,
+    Task,
+    TaskGraph,
+)
 from repro.sat.formula import CNF
 from repro.sat.solver import Solver, SolverBudget, SolverStatus
 
@@ -64,6 +79,55 @@ def _solve_one(assumptions: tuple[int, ...]) -> ParallelSolveOutcome:
     )
 
 
+def family_task_id(index: int) -> str:
+    """The scheduler task id of the ``index``-th sub-problem of a family.
+
+    The single source of the id format: checkpoints key results by these ids,
+    so every site that builds or looks up family tasks must go through here.
+    """
+    return f"sub-{index:06d}"
+
+
+def family_tasks(assumption_vectors: Sequence[Sequence[int]]) -> TaskGraph:
+    """One scheduler task per assumption vector (payload: the literal tuple)."""
+    return TaskGraph(
+        Task(task_id=family_task_id(index), payload=tuple(int(lit) for lit in vector))
+        for index, vector in enumerate(assumption_vectors)
+    )
+
+
+def family_executor(
+    cnf: CNF,
+    processes: int | None = None,
+    cost_measure: str = "propagations",
+    keep_models: bool = True,
+    solver: str = "cdcl",
+    solver_options: Mapping[str, object] | None = None,
+    budget: SolverBudget | None = None,
+    inline: bool = False,
+):
+    """The executor for family/estimation tasks: real processes or inline.
+
+    ``inline=True`` (or ``processes=1``) primes the worker state in the
+    calling process and returns an :class:`InlineExecutor` — bit-identical
+    results without the spawn cost, the serial policy of the scheduler.
+    """
+    initargs = (
+        cnf, cost_measure, keep_models, solver, dict(solver_options or {}), budget,
+    )
+    if inline or processes == 1:
+        _init_worker(*initargs)
+        return InlineExecutor(task_fn=_solve_one)
+    import multiprocessing
+
+    return ProcessExecutor(
+        task_fn=_solve_one,
+        num_workers=processes or multiprocessing.cpu_count(),
+        initializer=_init_worker,
+        initargs=initargs,
+    )
+
+
 def solve_family_parallel(
     cnf: CNF,
     assumption_vectors: Sequence[Sequence[int]],
@@ -73,27 +137,37 @@ def solve_family_parallel(
     solver: str = "cdcl",
     solver_options: Mapping[str, object] | None = None,
     budget: SolverBudget | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[ParallelSolveOutcome]:
-    """Solve ``cnf`` under each assumption vector using a process pool.
+    """Solve ``cnf`` under each assumption vector using the process scheduler.
 
     Results are returned in the order of ``assumption_vectors``.  With
     ``processes=1`` everything runs in the calling process (useful in tests and
     on platforms where spawning is expensive).  ``solver`` is a solver-registry
     name; each worker builds its own instance from ``solver_options``, exactly
-    like PDSAT's computing processes each ran their own MiniSat.
+    like PDSAT's computing processes each ran their own MiniSat.  Attempts on
+    workers that die are retried up to ``retry.max_attempts`` (default 3);
+    a task that exhausts its budget raises ``RuntimeError``.
     """
-    tasks = [tuple(int(lit) for lit in vec) for vec in assumption_vectors]
+    graph = family_tasks(assumption_vectors)
     if processes is not None and processes < 1:
         raise ValueError("processes must be at least 1")
     get_cost_measure(cost_measure)  # fail fast in the parent, not in the workers
-    options = dict(solver_options or {})
-    if processes == 1 or len(tasks) <= 1:
-        _init_worker(cnf, cost_measure, keep_models, solver, options, budget)
-        return [_solve_one(task) for task in tasks]
-
-    with multiprocessing.Pool(
+    executor = family_executor(
+        cnf,
         processes=processes,
-        initializer=_init_worker,
-        initargs=(cnf, cost_measure, keep_models, solver, options, budget),
-    ) as pool:
-        return pool.map(_solve_one, tasks)
+        cost_measure=cost_measure,
+        keep_models=keep_models,
+        solver=solver,
+        solver_options=solver_options,
+        budget=budget,
+        inline=processes == 1 or len(graph) <= 1,
+    )
+    run = Scheduler(graph, executor, retry=retry or RetryPolicy(max_attempts=3)).run()
+    if run.failed:
+        task_id, error = next(iter(run.failed.items()))
+        raise RuntimeError(
+            f"{len(run.failed)} sub-problems failed after retries "
+            f"(first: {task_id}: {error})"
+        )
+    return run.values_in_order()

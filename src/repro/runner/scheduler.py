@@ -1,0 +1,1044 @@
+"""Unified fault-tolerant scheduler for decomposition-family workloads.
+
+PDSAT's leader process, the SAT@home server and the library's own
+``multiprocessing`` pool are all instances of one scheduling problem: a set of
+independent (or dependency-ordered) tasks — estimation samples, partition
+sub-problems — must be dispatched to unreliable workers, retried on failure,
+deduplicated on replication, and folded into results that do not depend on the
+execution interleaving.  This module is that one scheduler; the historical
+modules :mod:`repro.runner.pool`, :mod:`repro.runner.cluster` and
+:mod:`repro.runner.volunteer` are thin policies over it.
+
+Architecture
+------------
+
+* :class:`Task` / :class:`TaskGraph` — the unit of work (an opaque picklable
+  payload plus optional dependency edges) and the validated DAG of them.
+* :class:`Executor` implementations — where attempts actually run:
+  :class:`InlineExecutor` (calling thread), :class:`ThreadExecutor`,
+  :class:`ProcessExecutor` (real processes, built in
+  :mod:`repro.runner.pool`), and :class:`SimulatedGridExecutor` — a
+  deterministic virtual-clock cluster with configurable worker speeds,
+  dispatch latency and a seeded :class:`FailureModel` injecting worker
+  crashes, stragglers and duplicated results.
+* :class:`Scheduler` — the leader loop: per-worker queues with optional
+  work-stealing, per-task retry/timeout budgets (:class:`RetryPolicy`),
+  replication/quorum (the BOINC substrate), checkpoint/resume
+  (:class:`SchedulerCheckpoint`) and early stop.
+
+Determinism contract
+--------------------
+
+Task payloads are static and task functions are pure (for the bundled solvers:
+deterministic), so an attempt's value depends only on its task — never on the
+worker, the attempt number or the virtual time.  The scheduler records exactly
+one result per task (duplicates are discarded, retries re-run the same pure
+function) and :meth:`SchedulerRun.values_in_order` reports them in task-graph
+order.  Any parallel run is therefore reproduced bit-for-bit by
+:func:`replay_serial`, and statistics folded from ``values_in_order`` are
+identical across the inline, thread, process and simulated executors — the
+invariant the deterministic simulation tests assert under ≥20% injected
+crashes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+
+# --------------------------------------------------------------------- tasks
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``payload`` is opaque to the scheduler; the executor's task function
+    receives it verbatim (it must be picklable for the process executor).
+    ``dependencies`` are ordering edges only: a task becomes dispatchable when
+    every dependency has completed, but no values flow along the edges.
+    """
+
+    task_id: str
+    payload: Any = None
+    dependencies: tuple[str, ...] = ()
+
+
+class TaskGraph:
+    """A validated DAG of tasks, iterated in insertion order."""
+
+    def __init__(self, tasks: Iterable[Task]):
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            if task.task_id in self._tasks:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            self._tasks[task.task_id] = task
+        for task in self._tasks.values():
+            for dep in task.dependencies:
+                if dep not in self._tasks:
+                    raise ValueError(
+                        f"task {task.task_id!r} depends on unknown task {dep!r}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        # Kahn's algorithm; stable in insertion order so the topological order
+        # of an edge-free graph is exactly the insertion order.
+        indegree = {tid: len(task.dependencies) for tid, task in self._tasks.items()}
+        dependants: dict[str, list[str]] = {tid: [] for tid in self._tasks}
+        for tid, task in self._tasks.items():
+            for dep in task.dependencies:
+                dependants[dep].append(tid)
+        ready = deque(tid for tid, degree in indegree.items() if degree == 0)
+        seen = 0
+        order: list[str] = []
+        while ready:
+            tid = ready.popleft()
+            order.append(tid)
+            seen += 1
+            for nxt in dependants[tid]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if seen != len(self._tasks):
+            raise ValueError("task graph contains a dependency cycle")
+        self._topological = order
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks.values())
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: str) -> Task:
+        """Look up one task by id."""
+        return self._tasks[task_id]
+
+    @property
+    def task_ids(self) -> list[str]:
+        """Task ids in insertion (result-reporting) order."""
+        return list(self._tasks)
+
+    def topological_order(self) -> list[str]:
+        """A dependency-respecting order (insertion-stable)."""
+        return list(self._topological)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry/timeout budget.
+
+    ``max_attempts`` bounds the total dispatches of one task (replicated
+    copies included); ``None`` means retry forever — the volunteer-grid
+    policy, where the server re-issues until a quorum is reached.  ``timeout``
+    is a *virtual-time* deadline per attempt, interpreted by the simulated
+    executor (crashed attempts are only noticed at the deadline, exactly like
+    a BOINC work unit); real executors bound their attempts with solver
+    budgets instead, so they ignore it.
+    """
+
+    max_attempts: int | None = 3
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1 (or None for unlimited)")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+
+# ---------------------------------------------------------------- completions
+#: Attempt outcomes an executor can report.
+OUTCOME_SUCCESS = "success"
+OUTCOME_CRASH = "crash"  # worker died / result never returned
+OUTCOME_TIMEOUT = "timeout"  # attempt exceeded its virtual deadline
+OUTCOME_ERROR = "error"  # the task function raised
+
+
+@dataclass
+class Completion:
+    """One attempt's terminal event, as reported by an executor."""
+
+    task_id: str
+    worker: int
+    outcome: str
+    value: Any = None
+    error: str | None = None
+    #: Event time: virtual seconds for the simulated executor, wall-clock
+    #: seconds since run start otherwise.
+    time: float = 0.0
+    #: Busy time the attempt occupied its worker.
+    duration: float = 0.0
+    #: False for injected duplicate deliveries, which do not free a worker.
+    frees_worker: bool = True
+    #: True for deterministic task errors (``ValueError``/``TypeError``):
+    #: re-running a pure function on bad input cannot succeed, so the
+    #: scheduler fails the task immediately instead of burning retries.
+    fatal: bool = False
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Where task attempts physically (or virtually) run.
+
+    The scheduler calls :meth:`start` only for workers it believes idle and
+    then blocks in :meth:`wait` for at least one :class:`Completion`.  An
+    executor owns the mapping from payloads to values (its task function) and
+    the clock its completions are stamped with.
+    """
+
+    name: str
+    num_workers: int
+
+    def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
+        """Begin one attempt of ``task`` on ``worker``."""
+        ...  # pragma: no cover
+
+    def wait(self) -> list[Completion]:
+        """Block until at least one attempt finishes; return its completion(s)."""
+        ...  # pragma: no cover
+
+    def close(self) -> None:
+        """Release executor resources (pools, threads)."""
+        ...  # pragma: no cover
+
+
+class InlineExecutor:
+    """Run every attempt immediately in the calling thread (the serial policy)."""
+
+    name = "inline"
+    num_workers = 1
+
+    def __init__(self, task_fn: Callable[[Any], Any]):
+        self.task_fn = task_fn
+        self._pending: deque[Completion] = deque()
+        self._started = time.perf_counter()
+        self._busy_time = 0.0
+
+    def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
+        """Execute the attempt synchronously and queue its completion."""
+        begun = time.perf_counter()
+        fatal = False
+        try:
+            value = self.task_fn(task.payload)
+            outcome, error = OUTCOME_SUCCESS, None
+        except Exception as exc:  # noqa: BLE001 - converted into a retryable event
+            value, outcome, error = None, OUTCOME_ERROR, f"{type(exc).__name__}: {exc}"
+            fatal = isinstance(exc, (ValueError, TypeError))
+        duration = time.perf_counter() - begun
+        self._busy_time += duration
+        self._pending.append(
+            Completion(
+                task_id=task.task_id,
+                worker=worker,
+                outcome=outcome,
+                value=value,
+                error=error,
+                time=time.perf_counter() - self._started,
+                duration=duration,
+                fatal=fatal,
+            )
+        )
+
+    def wait(self) -> list[Completion]:
+        """Return the completions produced by the preceding :meth:`start` calls."""
+        if not self._pending:
+            raise RuntimeError("wait() called with no attempt in flight")
+        events = list(self._pending)
+        self._pending.clear()
+        return events
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadExecutor:
+    """Attempts run on a thread pool (useful for I/O-bound task functions)."""
+
+    name = "thread"
+
+    def __init__(self, task_fn: Callable[[Any], Any], num_workers: int = 4):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.task_fn = task_fn
+        self.num_workers = num_workers
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+        self._futures: dict[Any, tuple[str, int, float]] = {}
+        self._started = time.perf_counter()
+
+    def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
+        """Submit the attempt to the thread pool."""
+        future = self._pool.submit(self.task_fn, task.payload)
+        self._futures[future] = (task.task_id, worker, time.perf_counter())
+
+    def wait(self) -> list[Completion]:
+        """Block for the first finished future(s)."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        if not self._futures:
+            raise RuntimeError("wait() called with no attempt in flight")
+        done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED)
+        events = []
+        now = time.perf_counter()
+        for future in done:
+            task_id, worker, begun = self._futures.pop(future)
+            error = future.exception()
+            events.append(
+                Completion(
+                    task_id=task_id,
+                    worker=worker,
+                    outcome=OUTCOME_SUCCESS if error is None else OUTCOME_ERROR,
+                    value=future.result() if error is None else None,
+                    error=None if error is None else f"{type(error).__name__}: {error}",
+                    time=now - self._started,
+                    duration=now - begun,
+                    fatal=isinstance(error, (ValueError, TypeError)),
+                )
+            )
+        return events
+
+    def close(self) -> None:
+        """Shut the thread pool down."""
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor:
+    """Attempts run in real worker processes (the PDSAT computing processes).
+
+    ``task_fn`` must be a module-level (picklable) function; per-worker state
+    (the CNF, the solver) is installed by ``initializer(*initargs)`` exactly
+    like :mod:`repro.runner.pool` primes its workers.  A worker process dying
+    mid-attempt surfaces as a ``crash`` completion and the pool is rebuilt, so
+    the scheduler's retry budget covers real worker loss, not only exceptions.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        task_fn: Callable[[Any], Any],
+        num_workers: int,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.task_fn = task_fn
+        self.num_workers = num_workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool = None
+        self._futures: dict[Any, tuple[str, int, float]] = {}
+        self._started = time.perf_counter()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
+        """Submit the attempt to the process pool."""
+        future = self._ensure_pool().submit(self.task_fn, task.payload)
+        self._futures[future] = (task.task_id, worker, time.perf_counter())
+
+    def wait(self) -> list[Completion]:
+        """Block for the first finished future(s); broken pools become crashes."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not self._futures:
+            raise RuntimeError("wait() called with no attempt in flight")
+        done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED)
+        events = []
+        now = time.perf_counter()
+        for future in done:
+            if future not in self._futures:
+                # Already failed as a crash when an earlier future's
+                # BrokenProcessPool handler drained the whole in-flight set.
+                continue
+            task_id, worker, begun = self._futures.pop(future)
+            fatal = False
+            try:
+                value = future.result()
+                outcome, error = OUTCOME_SUCCESS, None
+            except BrokenProcessPool as exc:
+                # The worker process died: every in-flight future is doomed,
+                # so fail them all as crashes and rebuild the pool lazily.
+                value, outcome, error = None, OUTCOME_CRASH, f"worker process died: {exc}"
+                for other in list(self._futures):
+                    other_id, other_worker, other_begun = self._futures.pop(other)
+                    events.append(
+                        Completion(
+                            task_id=other_id,
+                            worker=other_worker,
+                            outcome=OUTCOME_CRASH,
+                            error=error,
+                            time=now - self._started,
+                            duration=now - other_begun,
+                        )
+                    )
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            except Exception as exc:  # noqa: BLE001 - retryable task error
+                value, outcome, error = None, OUTCOME_ERROR, f"{type(exc).__name__}: {exc}"
+                fatal = isinstance(exc, (ValueError, TypeError))
+            events.append(
+                Completion(
+                    task_id=task_id,
+                    worker=worker,
+                    outcome=outcome,
+                    value=value,
+                    error=error,
+                    time=now - self._started,
+                    duration=now - begun,
+                    fatal=fatal,
+                )
+            )
+        return events
+
+    def close(self) -> None:
+        """Shut the process pool down."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ------------------------------------------------------- simulated execution
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Speed/availability of one simulated worker (a cluster core or a host)."""
+
+    speed: float = 1.0
+    availability: float = 1.0
+
+    def effective_rate(self) -> float:
+        """Work per unit of virtual time this worker delivers."""
+        return self.speed * self.availability
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Seeded fault injection of the deterministic simulation harness.
+
+    Faults are drawn per *attempt* from one ``random.Random(seed)`` stream in
+    dispatch order, so a simulated run is a pure function of (task graph,
+    worker profiles, failure model) — reruns reproduce the exact same crash,
+    straggler and duplicate pattern.
+    """
+
+    #: Probability an attempt crashes: the result is never returned and the
+    #: loss is only noticed at the retry deadline (BOINC semantics).
+    crash_rate: float = 0.0
+    #: Probability an attempt runs ``straggler_factor`` times slower.
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+    #: Probability a successful result is delivered twice (duplicated result).
+    duplicate_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "straggler_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be at least 1")
+
+
+class SimulatedGridExecutor:
+    """A deterministic virtual-clock cluster/grid.
+
+    Attempts *execute* the task function eagerly (the bundled solvers are
+    deterministic, so re-execution on retry reproduces the same value) but
+    *complete* on a virtual clock: the attempt occupies its worker for
+    ``duration_of(value) / worker.effective_rate() + dispatch_latency``
+    virtual seconds, stretched for injected stragglers.  Crashed attempts
+    return no value and are noticed at the retry deadline (or at the would-be
+    finish time when no deadline is set); duplicated results deliver the same
+    success twice.  With no failure model and unit-speed workers this executor
+    *is* the greedy list scheduling of the paper's cluster makespan model.
+    """
+
+    name = "simulated-grid"
+
+    def __init__(
+        self,
+        task_fn: Callable[[Any], Any],
+        workers: int | Sequence[WorkerProfile] = 1,
+        duration_of: Callable[[Any], float] | None = None,
+        dispatch_latency: float = 0.0,
+        failures: FailureModel | None = None,
+        preempt_on_timeout: bool = False,
+    ):
+        if isinstance(workers, int):
+            if workers < 1:
+                raise ValueError("workers must be at least 1")
+            profiles = [WorkerProfile() for _ in range(workers)]
+        else:
+            profiles = list(workers)
+            if not profiles:
+                raise ValueError("at least one worker profile is required")
+        if dispatch_latency < 0:
+            raise ValueError("dispatch_latency must be non-negative")
+        self.task_fn = task_fn
+        self.profiles = profiles
+        self.num_workers = len(profiles)
+        #: Virtual duration of a finished attempt; defaults to the value
+        #: itself (which must then be numeric, e.g. a per-job cost).
+        self.duration_of = duration_of or (lambda value: float(value))
+        self.dispatch_latency = dispatch_latency
+        self.failures = failures or FailureModel()
+        self.preempt_on_timeout = preempt_on_timeout
+        self._rng = random.Random(self.failures.seed)
+        self.now = 0.0
+        self._events: list[tuple[float, int, Completion]] = []
+        self._sequence = 0
+        self.worker_loads = [0.0] * self.num_workers
+        self.injected_crashes = 0
+        self.injected_stragglers = 0
+        self.injected_duplicates = 0
+
+    def _push(self, at: float, completion: Completion) -> None:
+        self._sequence += 1
+        heapq.heappush(self._events, (at, self._sequence, completion))
+
+    def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
+        """Run the attempt eagerly; schedule its completion on the virtual clock."""
+        rng = self._rng
+        crashed = self.failures.crash_rate > 0 and rng.random() < self.failures.crash_rate
+        straggles = (
+            self.failures.straggler_rate > 0
+            and rng.random() < self.failures.straggler_rate
+        )
+        duplicated = (
+            self.failures.duplicate_rate > 0
+            and rng.random() < self.failures.duplicate_rate
+        )
+
+        fatal = False
+        try:
+            value = self.task_fn(task.payload)
+            failure_free = OUTCOME_SUCCESS
+            error = None
+            duration = self.duration_of(value)
+        except Exception as exc:  # noqa: BLE001 - converted into a retryable event
+            value, error = None, f"{type(exc).__name__}: {exc}"
+            failure_free = OUTCOME_ERROR
+            duration = 0.0
+            fatal = isinstance(exc, (ValueError, TypeError))
+        rate = max(self.profiles[worker].effective_rate(), 1e-12)
+        duration = self.dispatch_latency + duration / rate
+        if straggles:
+            self.injected_stragglers += 1
+            duration *= self.failures.straggler_factor
+
+        outcome = failure_free
+        if crashed and failure_free is OUTCOME_SUCCESS:
+            self.injected_crashes += 1
+            outcome, value, error = OUTCOME_CRASH, None, "injected worker crash"
+            # The loss is only noticed at the deadline (the server's view).
+            duration = timeout if timeout is not None else duration
+        elif (
+            self.preempt_on_timeout
+            and timeout is not None
+            and duration > timeout
+            and failure_free is OUTCOME_SUCCESS
+        ):
+            outcome, value, error = OUTCOME_TIMEOUT, None, "attempt exceeded its deadline"
+            duration = timeout
+
+        finish = self.now + duration
+        self.worker_loads[worker] += duration
+        self._push(
+            finish,
+            Completion(
+                task_id=task.task_id,
+                worker=worker,
+                outcome=outcome,
+                value=value,
+                error=error,
+                time=finish,
+                duration=duration,
+                fatal=fatal,
+            ),
+        )
+        if duplicated and outcome is OUTCOME_SUCCESS:
+            self.injected_duplicates += 1
+            self._push(
+                finish + 1e-9,
+                Completion(
+                    task_id=task.task_id,
+                    worker=worker,
+                    outcome=OUTCOME_SUCCESS,
+                    value=value,
+                    time=finish + 1e-9,
+                    duration=0.0,
+                    frees_worker=False,
+                ),
+            )
+
+    def wait(self) -> list[Completion]:
+        """Advance the virtual clock to the earliest event time; return its events."""
+        if not self._events:
+            raise RuntimeError("wait() called with no attempt in flight")
+        at = self._events[0][0]
+        self.now = at
+        events = []
+        while self._events and self._events[0][0] == at:
+            events.append(heapq.heappop(self._events)[2])
+        return events
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+# ------------------------------------------------------------- checkpointing
+@dataclass
+class SchedulerCheckpoint:
+    """A JSON-serialisable snapshot of completed task results.
+
+    ``results`` maps task id to the *encoded* task value (whatever the run's
+    ``result_encoder`` produced — JSON-plain by contract).  A checkpoint knows
+    nothing about queues or in-flight attempts: resuming re-dispatches exactly
+    the tasks that are missing, which is safe because task functions are pure.
+    """
+
+    results: dict[str, Any] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.results
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict representation."""
+        return {"kind": "scheduler-checkpoint", "results": dict(self.results),
+                "metadata": dict(self.metadata)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerCheckpoint":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("kind") != "scheduler-checkpoint":
+            raise ValueError("not a scheduler checkpoint document")
+        return cls(results=dict(data.get("results", {})),
+                   metadata=dict(data.get("metadata", {})))
+
+    def save(self, path: str | Path) -> None:
+        """Write the checkpoint as a JSON document (atomically via a temp file)."""
+        target = Path(path)
+        scratch = target.with_suffix(target.suffix + ".tmp")
+        scratch.write_text(json.dumps(self.to_dict(), indent=2))
+        scratch.replace(target)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SchedulerCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ------------------------------------------------------------------- results
+@dataclass
+class TaskRecord:
+    """The accepted result of one task."""
+
+    task_id: str
+    value: Any
+    attempts: int
+    worker: int | None
+    finished_at: float
+    from_checkpoint: bool = False
+
+
+@dataclass
+class SchedulerRun:
+    """Everything one :meth:`Scheduler.run` reports."""
+
+    graph_order: list[str]
+    results: dict[str, TaskRecord] = field(default_factory=dict)
+    failed: dict[str, str] = field(default_factory=dict)
+    #: True when every task of the graph has an accepted result.
+    completed: bool = False
+    #: True when a ``stop_on`` predicate ended dispatch early.
+    stopped_early: bool = False
+    #: True when ``interrupt_after`` paused the run (resume via checkpoint).
+    interrupted: bool = False
+    #: Virtual makespan for simulated executors, wall-clock seconds otherwise.
+    makespan: float = 0.0
+    wall_time: float = 0.0
+    worker_loads: list[float] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def completed_ids(self) -> list[str]:
+        """Ids with an accepted result, in task-graph order."""
+        return [tid for tid in self.graph_order if tid in self.results]
+
+    def values_in_order(self) -> list[Any]:
+        """Accepted values in task-graph order — the deterministic fold order."""
+        return [self.results[tid].value for tid in self.graph_order if tid in self.results]
+
+    def checkpoint(
+        self, result_encoder: Callable[[Any], Any] | None = None
+    ) -> SchedulerCheckpoint:
+        """Snapshot the accepted results (encoded JSON-plain) for later resume."""
+        encode = result_encoder or (lambda value: value)
+        return SchedulerCheckpoint(
+            results={tid: encode(record.value) for tid, record in self.results.items()},
+            metadata={"completed": self.completed, "tasks": len(self.graph_order)},
+        )
+
+    def assert_invariants(self) -> None:
+        """Scheduler safety net: no lost tasks, no double-counted results.
+
+        * every graph task is accounted for: accepted, failed, or explicitly
+          left behind by an early stop/interrupt;
+        * no task is both accepted and failed;
+        * results carry no ids outside the graph (nothing invented).
+        """
+        ids = set(self.graph_order)
+        accepted = set(self.results)
+        failures = set(self.failed)
+        if not accepted <= ids or not failures <= ids:
+            raise AssertionError("scheduler reported results for unknown tasks")
+        if accepted & failures:
+            raise AssertionError("a task is both accepted and failed")
+        unaccounted = ids - accepted - failures
+        if unaccounted and not (self.stopped_early or self.interrupted):
+            raise AssertionError(f"lost tasks: {sorted(unaccounted)[:5]}...")
+        if self.completed and (failures or unaccounted):
+            raise AssertionError("run marked completed with missing tasks")
+
+
+# ----------------------------------------------------------------- scheduler
+class Scheduler:
+    """The leader loop: dispatch, retry, dedupe, checkpoint.
+
+    Parameters
+    ----------
+    graph:
+        The tasks (a :class:`TaskGraph` or any iterable of :class:`Task`).
+    executor:
+        Where attempts run.  Defaults are wired by the policy layers; the
+        scheduler itself only needs the :class:`Executor` protocol.
+    retry:
+        The per-task retry/timeout budget (:class:`RetryPolicy`).
+    queue:
+        ``"fifo"`` — one global pull queue, which with a simulated executor
+        reproduces PDSAT's dynamic work queue (greedy list scheduling) exactly;
+        ``"work-stealing"`` — per-worker deques with round-robin placement,
+        idle workers stealing from the back of the longest queue.
+    replication / quorum:
+        Dispatch every task ``replication`` times and accept it once
+        ``quorum`` successful results arrived (BOINC validation).  Surplus
+        deliveries are discarded — never double-counted.
+    checkpoint / result_decoder:
+        Resume from a :class:`SchedulerCheckpoint`: its tasks are completed
+        immediately (decoded by ``result_decoder``) and never dispatched.
+    checkpoint_sink / result_encoder / checkpoint_every:
+        Stream checkpoints out while running: after every
+        ``checkpoint_every``-th newly accepted result the sink receives a
+        fresh snapshot (e.g. ``lambda chk: chk.save(path)``).
+    stop_on:
+        Early-stop predicate ``fn(task_id, value) -> bool`` evaluated on each
+        accepted result; on True, dispatch stops and in-flight work drains.
+    interrupt_after:
+        Pause after this many newly accepted results (checkpoint/resume
+        round-trip testing; the run reports ``interrupted=True``).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph | Iterable[Task],
+        executor: Executor,
+        retry: RetryPolicy | None = None,
+        queue: str = "fifo",
+        replication: int = 1,
+        quorum: int = 1,
+        checkpoint: SchedulerCheckpoint | None = None,
+        result_decoder: Callable[[Any], Any] | None = None,
+        checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
+        result_encoder: Callable[[Any], Any] | None = None,
+        checkpoint_every: int = 1,
+        stop_on: Callable[[str, Any], bool] | None = None,
+        interrupt_after: int | None = None,
+        on_result: Callable[[str, Any], None] | None = None,
+    ):
+        self.graph = graph if isinstance(graph, TaskGraph) else TaskGraph(graph)
+        self.executor = executor
+        self.retry = retry or RetryPolicy()
+        if queue not in ("fifo", "work-stealing"):
+            raise ValueError("queue must be 'fifo' or 'work-stealing'")
+        self.queue_mode = queue
+        if replication < 1:
+            raise ValueError("replication must be at least 1")
+        if quorum < 1:
+            raise ValueError("quorum must be at least 1")
+        if quorum > replication and self.retry.max_attempts is not None:
+            # With unlimited retries the scheduler keeps re-issuing until the
+            # quorum is met, so quorum > replication is then satisfiable.
+            raise ValueError("quorum must not exceed replication unless retries are unlimited")
+        self.replication = replication
+        self.quorum = quorum
+        self.checkpoint_in = checkpoint
+        self.result_decoder = result_decoder or (lambda value: value)
+        self.checkpoint_sink = checkpoint_sink
+        self.result_encoder = result_encoder
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        self.checkpoint_every = checkpoint_every
+        self.stop_on = stop_on
+        self.interrupt_after = interrupt_after
+        self.on_result = on_result
+
+    def _reissue_if_short(
+        self, tid, accepted_count, in_flight, queued, attempts, enqueue, stats, run,
+        failure_reason: str,
+    ) -> None:
+        """Re-issue a task whose surviving copies cannot reach the quorum.
+
+        Called after any non-completing event (failure, or a success still
+        below quorum): if accepted + in-flight + queued copies fall short of
+        the quorum and the retry budget allows, a fresh copy is enqueued;
+        with copies exhausted and no budget left the task is failed.
+        """
+        shortfall = accepted_count[tid] + in_flight[tid] + queued[tid] < self.quorum
+        budget_left = (
+            self.retry.max_attempts is None
+            or attempts[tid] + queued[tid] < self.retry.max_attempts
+        )
+        if shortfall and budget_left:
+            enqueue(tid)
+            stats["retries"] += 1
+        elif shortfall and in_flight[tid] == 0 and queued[tid] == 0:
+            run.failed[tid] = failure_reason
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> SchedulerRun:
+        """Process the task graph to completion (or early stop / interrupt)."""
+        graph = self.graph
+        executor = self.executor
+        run = SchedulerRun(graph_order=graph.task_ids)
+        started = time.perf_counter()
+
+        waiting: dict[str, set[str]] = {}  # task -> unmet dependencies
+        dependants: dict[str, list[str]] = {tid: [] for tid in graph.task_ids}
+        attempts: dict[str, int] = {tid: 0 for tid in graph.task_ids}
+        accepted_count: dict[str, int] = {tid: 0 for tid in graph.task_ids}
+        in_flight: dict[str, int] = {tid: 0 for tid in graph.task_ids}
+        queued: dict[str, int] = {tid: 0 for tid in graph.task_ids}
+        busy: dict[int, str] = {}
+        stats = {
+            "dispatches": 0, "crashes": 0, "timeouts": 0, "errors": 0,
+            "retries": 0, "duplicates_discarded": 0, "steals": 0,
+            "from_checkpoint": 0,
+        }
+        stop_requested = False
+        fresh_results = 0
+
+        # Per-worker queues (work-stealing) or one shared queue (fifo).
+        num_queues = executor.num_workers if self.queue_mode == "work-stealing" else 1
+        queues: list[deque[str]] = [deque() for _ in range(num_queues)]
+        next_queue = 0
+
+        def enqueue(task_id: str) -> None:
+            nonlocal next_queue
+            queues[next_queue % num_queues].append(task_id)
+            next_queue += 1
+            queued[task_id] += 1
+
+        def pop_for(worker: int) -> str | None:
+            own = queues[worker % num_queues]
+            if own:
+                task_id = own.popleft()
+            else:
+                donor = max(
+                    (q for q in queues if q), key=len, default=None
+                )
+                if donor is None:
+                    return None
+                task_id = donor.pop()  # steal from the back
+                stats["steals"] += 1
+            queued[task_id] -= 1
+            return task_id
+
+        def complete(task_id: str, value: Any, worker: int | None, at: float,
+                     from_checkpoint: bool = False) -> None:
+            nonlocal fresh_results, stop_requested
+            run.results[task_id] = TaskRecord(
+                task_id=task_id,
+                value=value,
+                attempts=attempts[task_id],
+                worker=worker,
+                finished_at=at,
+                from_checkpoint=from_checkpoint,
+            )
+            for nxt in dependants[task_id]:
+                pending = waiting.get(nxt)
+                if pending is not None:
+                    pending.discard(task_id)
+                    if not pending:
+                        del waiting[nxt]
+                        for _ in range(self.replication):
+                            enqueue(nxt)
+            if self.on_result is not None:
+                self.on_result(task_id, value)
+            if not from_checkpoint:
+                fresh_results += 1
+                if self.checkpoint_sink is not None and (
+                    fresh_results % self.checkpoint_every == 0
+                ):
+                    self.checkpoint_sink(run.checkpoint(self.result_encoder))
+            if self.stop_on is not None and self.stop_on(task_id, value):
+                stop_requested = True
+                run.stopped_early = True
+            if (
+                self.interrupt_after is not None
+                and fresh_results >= self.interrupt_after
+            ):
+                stop_requested = True
+                run.interrupted = True
+
+        # Seed dependency bookkeeping, restore the checkpoint, fill the queues.
+        for task in graph:
+            for dep in task.dependencies:
+                dependants[dep].append(task.task_id)
+        for task in graph:
+            tid = task.task_id
+            if self.checkpoint_in is not None and tid in self.checkpoint_in:
+                attempts[tid] = 0
+                stats["from_checkpoint"] += 1
+                complete(
+                    tid,
+                    self.result_decoder(self.checkpoint_in.results[tid]),
+                    worker=None,
+                    at=0.0,
+                    from_checkpoint=True,
+                )
+                continue
+            unmet = {
+                dep for dep in task.dependencies
+                if dep not in run.results
+            }
+            if unmet:
+                waiting[tid] = unmet
+            else:
+                for _ in range(self.replication):
+                    enqueue(tid)
+
+        # ------------------------------------------------------- leader loop
+        try:
+            while True:
+                # Dispatch to idle workers in index order (matches the min-heap
+                # tie-break of classical greedy list scheduling).
+                if not stop_requested:
+                    for worker in range(executor.num_workers):
+                        if worker in busy:
+                            continue
+                        while True:
+                            task_id = pop_for(worker)
+                            if task_id is None:
+                                break
+                            # Skip stale queue entries: replicated copies of a
+                            # task that completed (or fatally failed) meanwhile.
+                            if task_id in run.results or task_id in run.failed:
+                                continue
+                            break
+                        if task_id is None:
+                            continue
+                        attempts[task_id] += 1
+                        in_flight[task_id] += 1
+                        stats["dispatches"] += 1
+                        busy[worker] = task_id
+                        executor.start(graph.task(task_id), worker, timeout=self.retry.timeout)
+                if not busy:
+                    break
+
+                for event in executor.wait():
+                    if event.frees_worker:
+                        busy.pop(event.worker, None)
+                    tid = event.task_id
+                    if event.frees_worker:
+                        in_flight[tid] = max(0, in_flight[tid] - 1)
+                    if tid in run.results:
+                        stats["duplicates_discarded"] += 1
+                        continue
+                    if event.outcome == OUTCOME_SUCCESS:
+                        accepted_count[tid] += 1
+                        if accepted_count[tid] >= self.quorum:
+                            complete(tid, event.value, event.worker, event.time)
+                        elif not stop_requested and tid not in run.failed:
+                            # Below quorum with too few copies still in the
+                            # field (e.g. quorum > replication): re-issue, or
+                            # the task would silently never complete.
+                            self._reissue_if_short(
+                                tid, accepted_count, in_flight, queued, attempts,
+                                enqueue, stats, run, "quorum not reached within the retry budget",
+                            )
+                        continue
+                    # Failed attempt: crash / timeout / error.
+                    key = {
+                        OUTCOME_CRASH: "crashes",
+                        OUTCOME_TIMEOUT: "timeouts",
+                        OUTCOME_ERROR: "errors",
+                    }.get(event.outcome, "errors")
+                    stats[key] += 1
+                    if event.fatal and tid not in run.failed:
+                        # Deterministic error on a pure task function: retrying
+                        # the same input cannot succeed, fail the task now.
+                        run.failed[tid] = event.error or event.outcome
+                        continue
+                    if stop_requested or tid in run.failed:
+                        continue
+                    self._reissue_if_short(
+                        tid, accepted_count, in_flight, queued, attempts,
+                        enqueue, stats, run, event.error or event.outcome,
+                    )
+        finally:
+            executor.close()
+        run.wall_time = time.perf_counter() - started
+        run.makespan = getattr(executor, "now", run.wall_time)
+        run.worker_loads = list(getattr(executor, "worker_loads", []))
+        run.completed = len(run.results) == len(graph)
+        stats["injected_crashes"] = getattr(executor, "injected_crashes", 0)
+        stats["injected_stragglers"] = getattr(executor, "injected_stragglers", 0)
+        stats["injected_duplicates"] = getattr(executor, "injected_duplicates", 0)
+        run.metadata = stats
+        if self.checkpoint_sink is not None and fresh_results % self.checkpoint_every:
+            self.checkpoint_sink(run.checkpoint(self.result_encoder))
+        run.assert_invariants()
+        return run
+
+
+def replay_serial(
+    graph: TaskGraph | Iterable[Task], task_fn: Callable[[Any], Any]
+) -> SchedulerRun:
+    """Reproduce any parallel run serially, bit for bit.
+
+    Runs every task of ``graph`` inline, in topological (insertion-stable)
+    order, with no retries and no failure injection.  Because task functions
+    are pure, ``replay_serial(graph, fn).values_in_order()`` equals the
+    ``values_in_order()`` of every fault-injected parallel run of the same
+    graph — the property the simulation harness tests pin down.
+    """
+    graph = graph if isinstance(graph, TaskGraph) else TaskGraph(graph)
+    ordered = TaskGraph(graph.task(tid) for tid in graph.topological_order())
+    return Scheduler(ordered, InlineExecutor(task_fn), retry=RetryPolicy(max_attempts=1)).run()

@@ -11,20 +11,36 @@ cluster in three ways that matter for processing a decomposition family:
 * work units are **replicated** — each is sent to several hosts and accepted
   once a quorum of results agrees (BOINC's standard validation).
 
-:func:`simulate_volunteer_grid` is a discrete-event simulation of exactly that
-pull-style scheduling, driven by the measured per-sub-problem costs of a
-decomposition family.  It produces campaign duration, effective throughput and
-overhead factors that can be compared against the dedicated-cluster makespan of
-:func:`repro.runner.cluster.simulate_makespan` — the reproduction of the
-paper's "cluster vs. SAT@home" experiment pair.
+All three are native features of the unified scheduler
+(:mod:`repro.runner.scheduler`), so this module is a thin policy over it:
+hosts become :class:`~repro.runner.scheduler.WorkerProfile` entries
+(log-uniform speeds, the configured duty cycle), unreliability is the
+:class:`~repro.runner.scheduler.FailureModel` crash injection with the BOINC
+deadline as the crash-detection delay (an unlimited retry budget reproduces
+the server's re-issue policy), and replication/quorum map one-to-one onto the
+scheduler's replication and quorum parameters.
+
+:func:`simulate_volunteer_grid` produces campaign duration, effective
+throughput and overhead factors that can be compared against the
+dedicated-cluster makespan of :func:`repro.runner.cluster.simulate_makespan` —
+the reproduction of the paper's "cluster vs. SAT@home" experiment pair.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+
+from repro.runner.scheduler import (
+    FailureModel,
+    RetryPolicy,
+    Scheduler,
+    SimulatedGridExecutor,
+    Task,
+    TaskGraph,
+    WorkerProfile,
+)
 
 
 @dataclass
@@ -45,8 +61,8 @@ class VolunteerGridConfig:
     redundancy: int = 2
     #: How many returned results are needed to accept a work unit.
     quorum: int = 1
-    #: Work-unit deadline, as a multiple of the mean work-unit cost; results
-    #: later than this are treated as lost and the work unit is re-issued.
+    #: Work-unit deadline, as a multiple of the mean work-unit cost; lost
+    #: results are only noticed (and the work unit re-issued) at the deadline.
     deadline_factor: float = 20.0
     #: Seed of the grid's randomness (host speeds, failures).
     seed: int = 0
@@ -135,11 +151,12 @@ def simulate_volunteer_grid(
     """Simulate processing one work unit per cost value on a volunteer grid.
 
     ``costs`` are per-sub-problem costs measured on the reference core (the
-    same inputs :func:`repro.runner.cluster.simulate_makespan` takes).  The
-    simulation is a discrete-event loop over host-completion events: idle hosts
-    pull the next pending work-unit copy, results arrive after
-    ``cost / (speed · availability)``, lost results are re-issued after the
-    deadline.  The campaign ends when every work unit has reached its quorum.
+    same inputs :func:`repro.runner.cluster.simulate_makespan` takes).  Each
+    cost becomes one scheduler task dispatched ``redundancy`` times; idle
+    hosts pull the next pending copy (BOINC's pull model is the scheduler's
+    FIFO queue), results arrive after ``cost / (speed · availability)`` on the
+    virtual clock, and lost results are noticed — and the work unit re-issued —
+    at the deadline.  The campaign ends when every work unit reaches quorum.
     """
     config = config or VolunteerGridConfig()
     jobs = [float(c) for c in costs]
@@ -153,84 +170,33 @@ def simulate_volunteer_grid(
     mean_cost = sum(jobs) / len(jobs)
     deadline = config.deadline_factor * max(mean_cost, 1e-12)
 
-    # Server-side state per work unit.
-    successes = [0] * len(jobs)
-    outstanding = [0] * len(jobs)
-    completed = [False] * len(jobs)
-    completed_at = [0.0] * len(jobs)
-    pending: list[int] = []
-    for index in range(len(jobs)):
-        pending.extend([index] * config.redundancy)
-        outstanding[index] = config.redundancy
+    graph = TaskGraph(
+        Task(task_id=f"wu-{index:06d}", payload=cost) for index, cost in enumerate(jobs)
+    )
+    executor = SimulatedGridExecutor(
+        task_fn=lambda cost: cost,
+        workers=[WorkerProfile(host.speed, host.availability) for host in hosts],
+        failures=FailureModel(crash_rate=config.failure_rate, seed=rng.getrandbits(64)),
+    )
+    run = Scheduler(
+        graph,
+        executor,
+        # The BOINC server re-issues forever; the deadline is the per-attempt
+        # budget after which a lost result is noticed.
+        retry=RetryPolicy(max_attempts=None, timeout=deadline),
+        queue="fifo",
+        replication=config.redundancy,
+        quorum=config.quorum,
+    ).run()
 
-    dispatched = 0
-    lost = 0
-    reissued = 0
-    remaining = len(jobs)
-
-    #: Event queue of (time, host_index) host-becomes-idle events.
-    events: list[tuple[float, int]] = [(0.0, host.host_id) for host in hosts]
-    heapq.heapify(events)
-    #: Per-host in-flight work: (work unit index, will_succeed, finish_time).
-    in_flight: dict[int, tuple[int, bool, float]] = {}
-    now = 0.0
-
-    def next_pending_index() -> int | None:
-        while pending:
-            index = pending.pop(0)
-            if not completed[index]:
-                return index
-            outstanding[index] -= 1
-        return None
-
-    while remaining > 0 and events:
-        now, host_id = heapq.heappop(events)
-        host = hosts[host_id]
-
-        # Deliver the host's previous result, if any.
-        if host_id in in_flight:
-            index, success, _finish = in_flight.pop(host_id)
-            outstanding[index] -= 1
-            if success and not completed[index]:
-                successes[index] += 1
-                if successes[index] >= config.quorum:
-                    completed[index] = True
-                    completed_at[index] = now
-                    remaining -= 1
-            elif not success:
-                lost += 1
-            if not completed[index] and successes[index] + outstanding[index] < config.quorum:
-                # Not enough copies still in the field: re-issue.
-                pending.append(index)
-                outstanding[index] += 1
-                reissued += 1
-
-        if remaining == 0:
-            break
-
-        # The host asks the server for new work (BOINC pull model).
-        index = next_pending_index()
-        if index is None:
-            # Nothing to hand out right now: the host checks back one deadline later.
-            if any(not done for done in completed):
-                heapq.heappush(events, (now + deadline * 0.1, host_id))
-            continue
-        dispatched += 1
-        will_succeed = rng.random() >= config.failure_rate
-        duration = jobs[index] / max(host.effective_rate(), 1e-12)
-        if not will_succeed:
-            duration = deadline  # the server only notices at the deadline
-        in_flight[host_id] = (index, will_succeed, now + duration)
-        heapq.heappush(events, (now + duration, host_id))
-
-    campaign = max((t for t, done in zip(completed_at, completed) if done), default=now)
+    completed_at = sorted(record.finished_at for record in run.results.values())
     return VolunteerSimulation(
-        campaign_duration=campaign,
+        campaign_duration=max(completed_at, default=0.0),
         total_work=sum(jobs),
-        dispatched_results=dispatched,
-        lost_results=lost,
-        reissued_work_units=reissued,
+        dispatched_results=run.metadata["dispatches"],
+        lost_results=run.metadata["crashes"],
+        reissued_work_units=run.metadata["retries"],
         host_count=config.num_hosts,
         config=config,
-        completed_at=[t for t, done in zip(completed_at, completed) if done],
+        completed_at=completed_at,
     )

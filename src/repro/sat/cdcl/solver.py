@@ -137,6 +137,12 @@ class CDCLSolver:
         rescales_before = self._activity_rescales
         var_inc_before = self._var_inc
 
+        for literal in assumptions:
+            if literal == 0 or abs(literal) > self._num_vars:
+                raise ValueError(
+                    f"assumption literal {literal} is outside the loaded "
+                    f"formula's variables 1..{self._num_vars}"
+                )
         status = self._solve_internal(list(assumptions))
 
         self._stats.wall_time = time.perf_counter() - start

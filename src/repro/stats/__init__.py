@@ -12,6 +12,7 @@ from repro.stats.montecarlo import (
     confidence_interval,
     estimate_mean,
     estimate_trajectory,
+    merge_many,
     normal_cdf,
     normal_quantile,
     required_sample_size,
@@ -21,6 +22,10 @@ from repro.stats.sampling import (
     SequentialEstimate,
     StratifiedEstimate,
     bootstrap_confidence_interval,
+    child_rng,
+    child_seed,
+    derive_child_seeds,
+    sample_bits,
     sequential_estimate,
     stratified_estimate,
 )
@@ -31,6 +36,7 @@ __all__ = [
     "confidence_interval",
     "estimate_mean",
     "estimate_trajectory",
+    "merge_many",
     "normal_cdf",
     "normal_quantile",
     "required_sample_size",
@@ -40,4 +46,8 @@ __all__ = [
     "StratifiedEstimate",
     "stratified_estimate",
     "bootstrap_confidence_interval",
+    "child_rng",
+    "child_seed",
+    "derive_child_seeds",
+    "sample_bits",
 ]

@@ -183,6 +183,35 @@ class OnlineStatistics:
             raise ValueError("cannot compute statistics of an empty sample")
         return MonteCarloEstimate(self.count, self.mean, self.variance, confidence_level)
 
+    @classmethod
+    def from_observations(cls, observations: Sequence[float]) -> "OnlineStatistics":
+        """An accumulator fed the observations in the given (serial) order.
+
+        This is the reference fold the parallel scheduler reproduces: whatever
+        order results arrive in, the accumulator is rebuilt by folding the
+        per-task observations in *task order*, so the parallel statistics are
+        bit-for-bit those of the serial run.
+        """
+        acc = cls()
+        acc.add_many(observations)
+        return acc
+
+
+def merge_many(accumulators: Sequence[OnlineStatistics]) -> OnlineStatistics:
+    """Left-fold a fixed sequence of accumulators into one.
+
+    Floating-point merging is not associative, so parallel batches must always
+    be combined in one agreed order (here: the order given, which callers keep
+    equal to batch index).  Folding per-worker accumulators in worker order
+    gives a deterministic result for any completion interleaving — though only
+    :meth:`OnlineStatistics.from_observations` in task order is bit-identical
+    to the serial stream; use ``merge_many`` when batch boundaries are stable.
+    """
+    merged = OnlineStatistics()
+    for accumulator in accumulators:
+        merged = merged.merge(accumulator)
+    return merged
+
 
 def estimate_trajectory(
     observations: Sequence[float],

@@ -15,6 +15,21 @@ by the sample-size ablation benchmark and available through the public API):
   space on the values of one chosen variable and sample each stratum
   separately; with proportional allocation the estimator's variance never
   exceeds plain Monte Carlo and shrinks when the strata differ.
+
+Seed spawn discipline
+---------------------
+
+Parallel Monte Carlo estimation must not thread one RNG through concurrently
+executing tasks: the ``j``-th draw would then depend on how many draws every
+other worker has already made, so the sampled trajectory would change with the
+execution interleaving (and with the worker count).  The functions
+:func:`derive_child_seeds` and :func:`child_rng` implement the spawn
+discipline the scheduler (:mod:`repro.runner.scheduler`) relies on instead:
+every task receives its own child seed, derived deterministically from the
+root seed via ``random.Random(seed).getrandbits(64)``, and draws from a
+private ``random.Random(child_seed)``.  Sample ``j`` therefore depends only on
+``(seed, j)`` — never on scheduling order — which is what makes parallel and
+serial estimation produce bit-identical trajectories.
 """
 
 from __future__ import annotations
@@ -24,6 +39,52 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.stats.montecarlo import MonteCarloEstimate, sample_statistics
+
+#: Bit width of spawned child seeds.  64 bits keeps the collision probability
+#: over any realistic task count negligible (~2^-24 at a billion tasks).
+CHILD_SEED_BITS = 64
+
+
+def derive_child_seeds(seed: int, count: int) -> list[int]:
+    """Spawn ``count`` independent child seeds from one root seed.
+
+    The spawn discipline is ``random.Random(seed).getrandbits(64)`` repeated:
+    child ``j`` is the ``j``-th 64-bit draw from a generator seeded with the
+    root seed alone, so the sequence is a pure function of ``seed`` —
+    independent of ``PYTHONHASHSEED``, platform, and of whichever child
+    streams are actually consumed, in which order, by which worker.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = random.Random(seed)
+    return [root.getrandbits(CHILD_SEED_BITS) for _ in range(count)]
+
+
+def child_seed(seed: int, index: int) -> int:
+    """The ``index``-th child seed of ``seed`` (see :func:`derive_child_seeds`)."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return derive_child_seeds(seed, index + 1)[index]
+
+
+def child_rng(seed: int, index: int) -> random.Random:
+    """A private RNG for task ``index``, seeded by the spawn discipline."""
+    return random.Random(child_seed(seed, index))
+
+
+def sample_bits(task_seed: int, width: int) -> tuple[int, ...]:
+    """Draw one task's uniform bit vector of length ``width`` from its child seed.
+
+    This is the per-task replacement for threading one RNG through
+    ``DecompositionSet.random_sample``: the bits of sample ``j`` are a pure
+    function of its child seed (``derive_child_seeds(root, n)[j]``), so a
+    parallel run samples exactly the assignments a serial run would,
+    regardless of completion order or worker count.
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    rng = random.Random(task_seed)
+    return tuple(rng.randint(0, 1) for _ in range(width))
 
 
 def bootstrap_confidence_interval(

@@ -377,3 +377,98 @@ class TestCliExperimentCommands:
         )
         assert code == 0
         assert "sub-problems" in capsys.readouterr().out
+
+
+class TestCheckpointResumeFlow:
+    """The --resume flag and the checkpoint_path config field, end to end."""
+
+    def _config(self, tmp_path, **overrides) -> "ExperimentConfig":
+        base = dict(
+            instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+            backend=BackendSpec(name="serial"),
+            decomposition=(1, 2, 3, 4, 5),
+        )
+        base.update(overrides)
+        return ExperimentConfig(**base)
+
+    def test_checkpoint_file_is_written_and_resumed(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        cfg = self._config(tmp_path, checkpoint_path=str(path))
+        first = Experiment.from_config(cfg).solve()
+        assert path.exists()
+        assert first.data["resumed_subproblems"] == 0
+
+        second = Experiment.from_config(cfg).solve()
+        assert second.data["resumed_subproblems"] == len(first.data["statuses"])
+        assert second.data["statuses"] == first.data["statuses"]
+        assert second.data["costs"] == first.data["costs"]
+        assert second.status == first.status
+
+    def test_partial_checkpoint_resumes_missing_subproblems_only(self, tmp_path):
+        from repro.runner.scheduler import SchedulerCheckpoint
+
+        path = tmp_path / "partial.ckpt"
+        cfg = self._config(tmp_path, checkpoint_path=str(path))
+        full = Experiment.from_config(self._config(tmp_path)).solve()
+
+        # Keep only half the sub-problems in the checkpoint, then resume.
+        Experiment.from_config(cfg).solve()
+        checkpoint = SchedulerCheckpoint.load(path)
+        kept = dict(sorted(checkpoint.results.items())[: len(checkpoint) // 2])
+        SchedulerCheckpoint(results=kept).save(path)
+
+        resumed = Experiment.from_config(cfg).solve()
+        assert resumed.data["resumed_subproblems"] == len(kept)
+        assert resumed.data["statuses"] == full.data["statuses"]
+        assert resumed.data["costs"] == full.data["costs"]
+
+    def test_checkpoint_path_round_trips_through_json(self):
+        cfg = ExperimentConfig(checkpoint_path="solve.ckpt")
+        assert ExperimentConfig.from_json(cfg.to_json()) == cfg
+
+    def test_run_cli_resume_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = self._config(tmp_path)
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(cfg.to_json())
+        checkpoint = tmp_path / "run.ckpt"
+
+        assert main(["run", "--config", str(config_path), "--resume", str(checkpoint)]) == 0
+        first = capsys.readouterr().out
+        assert checkpoint.exists()
+        assert "resumed" not in first
+
+        assert main(["run", "--config", str(config_path), "--resume", str(checkpoint)]) == 0
+        second = capsys.readouterr().out
+        assert "resumed 32 sub-problems" in second
+
+    def test_run_cli_backend_override(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = self._config(tmp_path)
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(cfg.to_json())
+        code = main(
+            [
+                "run", "--config", str(config_path),
+                "--backend", "simulated-cluster", "--cores", "4",
+            ]
+        )
+        assert code == 0
+        assert "simulated-cluster: solved" in capsys.readouterr().out
+
+    def test_solve_cli_resume_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        checkpoint = tmp_path / "solve-cli.ckpt"
+        argv = [
+            "solve", "--cipher", "geffe-tiny", "--seed", "1",
+            "--decomposition", "4,5,6", "--backend", "serial",
+            "--resume", str(checkpoint),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert checkpoint.exists()
+        assert main(argv) == 0
+        assert "resumed 8 sub-problems" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Differential fuzzing of the solver stack on seeded random CNFs.
+
+Roughly 200 random instances around (and off) the 3-SAT phase transition are
+solved three ways — fresh CDCL, reference DPLL, and the incremental CDCL
+``load()`` + ``solve(assumptions=...)`` path — and the answers must agree
+exactly.  Every claimed model is additionally checked against the formula, so
+a solver cannot "win" the agreement by being wrong in the same direction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.dpll import DPLLSolver
+from repro.sat.formula import CNF
+from repro.sat.random_cnf import planted_ksat, random_ksat, random_unsat_core
+from repro.sat.solver import SolverStatus, check_model
+
+#: (num_vars, clause ratio) grid × seeds: 3 shapes × 60 seeds = 180 uniform
+#: instances, plus 10 planted-SAT and 10 constructed-UNSAT ones below.
+UNIFORM_GRID = [(8, 3.0), (10, 4.3), (12, 5.2)]
+SEEDS_PER_SHAPE = 60
+
+
+def _uniform_instances():
+    for num_vars, ratio in UNIFORM_GRID:
+        for seed in range(SEEDS_PER_SHAPE):
+            yield random_ksat(num_vars, round(ratio * num_vars), k=3, seed=seed * 7 + num_vars)
+
+
+def _assert_agreement(cnf: CNF, assumptions: list[int], results) -> None:
+    statuses = {name: result.status for name, result in results.items()}
+    assert len(set(statuses.values())) == 1, f"solvers disagree: {statuses}"
+    for name, result in results.items():
+        if result.status is SolverStatus.SAT:
+            assert result.model is not None, f"{name} reported SAT without a model"
+            assert check_model(cnf, result.model), f"{name} returned a falsifying model"
+            for literal in assumptions:
+                assert result.model[abs(literal)] == (literal > 0), (
+                    f"{name} violated assumption {literal}"
+                )
+
+
+class TestUniformRandomAgreement:
+    def test_cdcl_dpll_and_incremental_agree_on_180_instances(self):
+        sat = unsat = 0
+        for cnf in _uniform_instances():
+            incremental = CDCLSolver().load(cnf)
+            results = {
+                "cdcl": CDCLSolver().solve(cnf),
+                "dpll": DPLLSolver().solve(cnf),
+                "incremental": incremental.solve(),
+            }
+            _assert_agreement(cnf, [], results)
+            if results["cdcl"].status is SolverStatus.SAT:
+                sat += 1
+            else:
+                unsat += 1
+        # The grid straddles the phase transition, so both outcomes must occur.
+        assert sat > 20 and unsat > 20
+
+    def test_agreement_under_random_assumptions(self):
+        # One shared incremental solver per shape: learned clauses accumulate
+        # across unrelated assumption vectors and must never flip an answer.
+        for num_vars, ratio in UNIFORM_GRID:
+            for seed in range(20):
+                cnf = random_ksat(num_vars, round(ratio * num_vars), k=3, seed=900 + seed)
+                rng = random.Random(seed)
+                variables = rng.sample(range(1, num_vars + 1), 2)
+                assumptions = [v if rng.random() < 0.5 else -v for v in variables]
+                incremental = CDCLSolver().load(cnf)
+                results = {
+                    "cdcl": CDCLSolver().solve(cnf, assumptions=assumptions),
+                    "dpll": DPLLSolver().solve(cnf, assumptions=assumptions),
+                    "incremental": incremental.solve(assumptions=assumptions),
+                }
+                _assert_agreement(cnf, assumptions, results)
+                # A second incremental call on the same solver must agree with
+                # a fresh solve as well (learned-clause soundness).
+                flipped = [-lit for lit in assumptions]
+                followup = {
+                    "cdcl": CDCLSolver().solve(cnf, assumptions=flipped),
+                    "incremental": incremental.solve(assumptions=flipped),
+                }
+                _assert_agreement(cnf, flipped, followup)
+
+
+class TestConstructedInstances:
+    def test_planted_instances_are_found_satisfiable(self):
+        for seed in range(10):
+            cnf, _planted = planted_ksat(10, 38, k=3, seed=seed)
+            results = {
+                "cdcl": CDCLSolver().solve(cnf),
+                "dpll": DPLLSolver().solve(cnf),
+                "incremental": CDCLSolver().load(cnf).solve(),
+            }
+            for name, result in results.items():
+                assert result.status is SolverStatus.SAT, f"{name} missed planted model"
+            _assert_agreement(cnf, [], results)
+
+    def test_constructed_unsat_chains_are_refuted(self):
+        for seed in range(10):
+            cnf = random_unsat_core(6 + seed, seed=seed)
+            results = {
+                "cdcl": CDCLSolver().solve(cnf),
+                "dpll": DPLLSolver().solve(cnf),
+                "incremental": CDCLSolver().load(cnf).solve(),
+            }
+            for name, result in results.items():
+                assert result.status is SolverStatus.UNSAT, f"{name} missed UNSAT"
+
+
+class TestFuzzCorpusSize:
+    def test_corpus_reaches_two_hundred_instances(self):
+        uniform = len(UNIFORM_GRID) * SEEDS_PER_SHAPE
+        assumption_runs = len(UNIFORM_GRID) * 20
+        constructed = 10 + 10
+        assert uniform + assumption_runs + constructed >= 200
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_incremental_statuses_stable_across_call_order(seed):
+    """Permuting the assumption vectors must not change any decided status."""
+    cnf = random_ksat(10, 42, k=3, seed=1000 + seed)
+    vectors = [[1], [-1], [2, 3], [-2, -3], []]
+    forward = CDCLSolver().load(cnf)
+    backward = CDCLSolver().load(cnf)
+    first = [forward.solve(assumptions=v).status for v in vectors]
+    second = list(
+        reversed([backward.solve(assumptions=v).status for v in reversed(vectors)])
+    )
+    assert first == second

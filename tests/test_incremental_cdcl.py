@@ -184,3 +184,69 @@ class TestBudgets:
                 inc = solver.solve(assumptions=assumptions)
                 fresh = CDCLSolver().solve(cnf, assumptions=assumptions)
                 assert inc.status == fresh.status
+
+
+class TestAssumptionEdgeCases:
+    """The boundary inputs of the incremental contract."""
+
+    def test_empty_assumption_list_solves_the_bare_formula(self):
+        cnf, _ = planted_ksat(20, 80, k=3, seed=4)
+        solver = CDCLSolver().load(cnf)
+        for assumptions in ([], (), None):
+            result = (
+                solver.solve() if assumptions is None
+                else solver.solve(assumptions=assumptions)
+            )
+            assert result.status is SolverStatus.SAT
+            assert check_model(cnf, result.model)
+
+    def test_mutually_contradictory_assumptions_are_unsat_not_global(self):
+        cnf, _ = planted_ksat(15, 60, k=3, seed=5)
+        solver = CDCLSolver().load(cnf)
+        contradiction = solver.solve(assumptions=[3, -3])
+        assert contradiction.status is SolverStatus.UNSAT
+        # The contradiction lived in the assumptions, not the formula: the
+        # solver must stay usable and still find the instance satisfiable.
+        recovered = solver.solve()
+        assert recovered.status is SolverStatus.SAT
+        assert check_model(cnf, recovered.model)
+
+    def test_repeated_and_redundant_assumptions_are_harmless(self):
+        cnf, _ = planted_ksat(15, 60, k=3, seed=6)
+        solver = CDCLSolver().load(cnf)
+        result = solver.solve(assumptions=[2, 2, 2])
+        fresh = CDCLSolver().solve(cnf, assumptions=[2])
+        assert result.status == fresh.status
+        if result.status is SolverStatus.SAT:
+            assert result.model[2] is True
+
+    def test_assumptions_over_unknown_variables_raise_value_error(self):
+        cnf = CNF([(1, 2), (-1, 2)])
+        solver = CDCLSolver().load(cnf)
+        with pytest.raises(ValueError, match="outside the loaded formula"):
+            solver.solve(assumptions=[5])
+        with pytest.raises(ValueError, match="outside the loaded formula"):
+            solver.solve(assumptions=[-99])
+        with pytest.raises(ValueError, match="outside the loaded formula"):
+            solver.solve(assumptions=[0])
+        # The rejected calls must not have corrupted the solver.
+        assert solver.solve(assumptions=[2]).status is SolverStatus.SAT
+
+    def test_one_shot_solve_validates_assumptions_too(self):
+        cnf = CNF([(1, 2)])
+        with pytest.raises(ValueError, match="outside the loaded formula"):
+            CDCLSolver().solve(cnf, assumptions=[7])
+
+    def test_solve_after_global_unsat_is_memoised_with_zero_work(self):
+        cnf = CNF([(1,), (-1,)], num_vars=2)
+        solver = CDCLSolver().load(cnf)
+        first = solver.solve()
+        assert first.status is SolverStatus.UNSAT
+        # Every later call — with or without assumptions — answers UNSAT from
+        # the memoised level-0 conflict without doing any search work.
+        for assumptions in ([], [2], [-2], [1, 2]):
+            again = solver.solve(assumptions=assumptions)
+            assert again.status is SolverStatus.UNSAT
+            assert again.stats.conflicts == 0
+            assert again.stats.decisions == 0
+            assert again.stats.propagations == 0

@@ -147,3 +147,82 @@ def test_property_stratified_mean_is_weighted_average(first, second):
     combined = stratified_estimate([first, second], weights=[0.25, 0.75])
     expected = 0.25 * (sum(first) / len(first)) + 0.75 * (sum(second) / len(second))
     assert combined.mean == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestSeedSpawnDiscipline:
+    """Regression pins for the parallel-estimation seed derivation.
+
+    The exact child-seed and sample-bit sequences are part of the scheduler's
+    reproducibility contract (parallel and serial estimation must sample the
+    same trajectories), so they are pinned to literal values: any change to
+    the spawn discipline is a breaking change and must fail here first.
+    """
+
+    def test_child_seeds_are_pinned(self):
+        from repro.stats.sampling import derive_child_seeds
+
+        assert derive_child_seeds(0, 4) == [
+            7106521602475165645,
+            16422101724900707500,
+            746805015404516437,
+            17809683713383489082,
+        ]
+        assert derive_child_seeds(42, 3) == [
+            2053695854357871005,
+            13679192365072849617,
+            4517457392071889495,
+        ]
+
+    def test_child_seed_indexing_matches_the_sequence(self):
+        from repro.stats.sampling import child_seed, derive_child_seeds
+
+        seeds = derive_child_seeds(7, 6)
+        assert [child_seed(7, index) for index in range(6)] == seeds
+        with pytest.raises(ValueError):
+            child_seed(7, -1)
+
+    def test_sample_bits_are_pinned(self):
+        from repro.stats.sampling import derive_child_seeds, sample_bits
+
+        bits = [sample_bits(seed, 6) for seed in derive_child_seeds(7, 3)]
+        assert bits == [
+            (1, 1, 0, 1, 1, 1),
+            (0, 0, 1, 0, 1, 0),
+            (1, 1, 1, 0, 1, 0),
+        ]
+
+    def test_estimation_task_payloads_are_pinned(self):
+        from repro.runner.estimation import estimation_tasks
+
+        graph = estimation_tasks([3, 1, 8], 4, seed=7)
+        payloads = [graph.task(task_id).payload for task_id in graph.task_ids]
+        assert payloads == [(1, 3, -8), (-1, -3, 8), (1, 3, 8), (-1, 3, -8)]
+
+    def test_child_streams_are_independent_of_consumption_order(self):
+        from repro.stats.sampling import child_rng, derive_child_seeds
+
+        seeds = derive_child_seeds(3, 5)
+        forward = [child_rng(3, index).random() for index in range(5)]
+        backward = [child_rng(3, index).random() for index in reversed(range(5))]
+        assert forward == list(reversed(backward))
+        # And re-deriving a prefix never changes earlier children.
+        assert derive_child_seeds(3, 2) == seeds[:2]
+
+    def test_validation(self):
+        from repro.stats.sampling import derive_child_seeds, sample_bits
+
+        with pytest.raises(ValueError):
+            derive_child_seeds(0, -1)
+        with pytest.raises(ValueError):
+            sample_bits(0, -2)
+
+    def test_merge_many_folds_in_given_order(self):
+        from repro.stats.montecarlo import OnlineStatistics, merge_many
+
+        batches = [[1.0, 2.0], [3.0], [4.0, 5.0, 6.0]]
+        accumulators = [OnlineStatistics.from_observations(batch) for batch in batches]
+        merged = merge_many(accumulators)
+        assert merged.count == 6
+        assert merged.mean == pytest.approx(3.5)
+        reference = OnlineStatistics.from_observations([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert merged.variance == pytest.approx(reference.variance, rel=1e-12)

@@ -6,11 +6,51 @@ produces so the run log doubles as the experiment record in EXPERIMENTS.md.
 The modules use the ``benchmark`` fixture of pytest-benchmark with a single
 round: the quantity of interest is the experiment output, the wall-clock time
 of the run is only reported for orientation.
+
+Timing protocol (perf-regression benchmarks)
+--------------------------------------------
+
+``bench_propagation.py`` and ``bench_incremental_estimation.py`` compare the
+two CDCL engines and therefore need noise-robust *relative* timings, not the
+single pipeline run above.  The protocol, implemented in
+:mod:`repro.perf.workloads` and re-exported here:
+
+* both engines run on **bit-identical inputs** in the same process;
+* engine rounds are **interleaved**, so CPU-frequency drift, thermal
+  throttling and cache effects hit both engines equally;
+* each engine reports its **best** round — microbenchmark noise is one-sided
+  (interference only ever slows a run down), so the best round is the least
+  contaminated estimate;
+* regression gating always compares the arena/legacy **speedup ratio**
+  (machine-independent), never absolute rates — see
+  :func:`repro.perf.compare_to_baseline` and the committed
+  ``benchmarks/BENCH_4.json`` baseline.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.perf import (  # noqa: F401  (re-exported timing protocol)
+    BenchProfile,
+    compare_to_baseline,
+    estimation_workload,
+    incremental_solve_workload,
+    load_baseline,
+    propagation_core_workload,
+)
+
+#: The committed perf baseline next to this module (see bench_propagation.py).
+BENCH4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
+
+
+def load_bench4_baseline() -> dict | None:
+    """The committed ``BENCH_4.json`` record, or ``None`` before the first commit."""
+    if not BENCH4_PATH.exists():
+        return None
+    return load_baseline(BENCH4_PATH)
+
 
 # Benchmarks run the whole pipeline once; repeating it would only slow CI down.
 PEDANTIC_KWARGS = {"rounds": 1, "iterations": 1, "warmup_rounds": 0}

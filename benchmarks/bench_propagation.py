@@ -1,0 +1,114 @@
+"""Propagation-core microbenchmark: flat-array arena engine vs the pre-arena engine.
+
+PR 4 rewrote the CDCL hot loop as a flat-array propagation core (clause arena,
+static binary/ternary watcher tuples, blocker literals, flat trail/reason/level
+stores).  This module is the continuous check that the rewrite keeps paying:
+
+* **propagation-core** — only the unit-propagation calls are timed, on
+  identical assumption vectors, so propagations/second compares the rewritten
+  core like-for-like (both engines propagate the same closures);
+* **incremental-solves** — full ``solve(assumptions=...)`` calls against a
+  loaded engine, the per-sample path of the batched Monte Carlo estimator;
+* the committed ``BENCH_4.json`` is the reference: the run fails when the
+  measured arena-vs-legacy speedup falls more than 25 % below any committed
+  workload ratio (machine-independent, see ``benchmarks/_common.py``).
+
+The committed baseline shows ~x3.1 propagation throughput on the A5/1
+estimation workload; the hard floors asserted here are deliberately lower so
+slow, noisy CI machines do not flake.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import (
+    BenchProfile,
+    compare_to_baseline,
+    incremental_solve_workload,
+    load_bench4_baseline,
+    print_table,
+    propagation_core_workload,
+    run_once,
+)
+from repro.api.registry import get_cipher
+from repro.perf.workloads import assumption_vectors
+from repro.problems import make_inversion_instance
+
+SEED = 3
+PROFILE = BenchProfile.smoke()
+
+
+def _run_suite():
+    a51 = make_inversion_instance(get_cipher("a51-tiny")(), seed=SEED)
+    a51_vectors = assumption_vectors(
+        list(a51.start_set), 8, PROFILE.propagation_vectors, seed=42
+    )
+    bivium = make_inversion_instance(get_cipher("bivium-tiny")(), seed=SEED)
+    bivium_vectors = assumption_vectors(
+        list(bivium.start_set), 10, PROFILE.propagation_vectors, seed=77
+    )
+    return {
+        "propagation-core/a51-tiny-d8": propagation_core_workload(
+            a51.cnf, a51_vectors, rounds=PROFILE.rounds
+        ),
+        "propagation-core/bivium-tiny-d10": propagation_core_workload(
+            bivium.cnf, bivium_vectors, rounds=PROFILE.rounds
+        ),
+        "incremental-solves/a51-tiny-d8": incremental_solve_workload(
+            a51.cnf, a51_vectors[: PROFILE.solve_vectors], rounds=PROFILE.rounds
+        ),
+    }
+
+
+def test_propagation_core_speedup(benchmark):
+    """The arena core must decisively out-propagate the pre-arena engine."""
+    workloads = run_once(benchmark, _run_suite)
+
+    rows = []
+    for name, workload in workloads.items():
+        arena = workload["arena"]
+        legacy = workload["legacy"]
+        if workload["metric"] == "propagations_per_sec":
+            rows.append(
+                [
+                    name,
+                    f"{arena['propagations_per_sec'] / 1000:.0f}k/s",
+                    f"{legacy['propagations_per_sec'] / 1000:.0f}k/s",
+                    f"x{workload['speedup']:.2f}",
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    name,
+                    f"{arena['solves_per_sec']:.0f}/s",
+                    f"{legacy['solves_per_sec']:.0f}/s",
+                    f"x{workload['speedup']:.2f}",
+                ]
+            )
+    print_table(
+        "Propagation core: arena vs legacy engine",
+        ["workload", "arena", "legacy", "speedup"],
+        rows,
+    )
+
+    # Hard floors (CI-safe; the committed BENCH_4.json records the real ~x3).
+    assert workloads["propagation-core/a51-tiny-d8"]["speedup"] >= 2.0
+    assert workloads["propagation-core/bivium-tiny-d10"]["speedup"] >= 1.8
+    assert workloads["incremental-solves/a51-tiny-d8"]["speedup"] >= 1.1
+
+    # Identical closures: the engines agree on the total propagation count
+    # (up to the handful of conflicting vectors, where visit order decides
+    # how many literals were dequeued before the conflict surfaced).
+    for name in ("propagation-core/a51-tiny-d8", "propagation-core/bivium-tiny-d10"):
+        workload = workloads[name]
+        arena_props = workload["arena"]["propagations"]
+        legacy_props = workload["legacy"]["propagations"]
+        assert abs(arena_props - legacy_props) <= max(50, 0.01 * legacy_props)
+
+    # Regression gate against the committed baseline (ratio-based).
+    baseline = load_bench4_baseline()
+    assert baseline is not None, "benchmarks/BENCH_4.json is missing"
+    regressions = compare_to_baseline(
+        {"workloads": workloads}, baseline, tolerance=0.25, require_all=False
+    )
+    assert not regressions, "\n".join(regressions)

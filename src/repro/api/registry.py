@@ -56,6 +56,7 @@ class RegistryEntry:
 _BUILTIN_MODULES = (
     "repro.ciphers",
     "repro.sat.cdcl.solver",
+    "repro.sat.cdcl.legacy",
     "repro.sat.dpll",
     "repro.sat.walksat",
     "repro.sat.lookahead",

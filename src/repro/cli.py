@@ -16,7 +16,11 @@ Sub-commands:
   decomposition set through a chosen execution backend;
 * ``run``       — execute a full experiment described by a JSON config file;
 * ``bench``     — benchmark the batched Monte Carlo estimation engine against
-  the per-sample baseline and write a ``BENCH_*.json`` trajectory file;
+  the per-sample baseline and write a ``BENCH_*.json`` trajectory file; with
+  ``--compare-baseline`` it instead runs the propagation-core perf suite
+  (:mod:`repro.perf`) and fails on a >25% arena-vs-legacy speedup regression
+  against the committed ``benchmarks/BENCH_4.json`` (``--update-baseline``
+  refreshes that file);
 * ``simplify``  — apply the SatELite-style preprocessor to an instance;
 * ``partition`` — build a classical partitioning of an instance;
 * ``portfolio`` — race the diversified CDCL portfolio.
@@ -30,6 +34,8 @@ Examples::
     repro-sat run --config exp.json --output result.json
     repro-sat run --config exp.json --backend process-pool --cores 4 --resume run.ckpt
     repro-sat bench --cipher a51-tiny --seed 3 --decomposition-size 8 --sample-size 100
+    repro-sat bench --compare-baseline
+    repro-sat bench --perf-profile full --update-baseline
     repro-sat simplify --cipher bivium-tiny --seed 1
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
     repro-sat portfolio --cipher bivium-tiny --seed 1
@@ -336,9 +342,72 @@ def _default_checkpoints(sample_size: int) -> list[int]:
     return marks
 
 
+def _cmd_perf_bench(args: argparse.Namespace) -> int:
+    """Run the propagation-core perf suite; gate against / refresh ``BENCH_4.json``."""
+    from repro.perf import (
+        BenchProfile,
+        compare_to_baseline,
+        default_baseline_path,
+        format_comparison,
+        load_baseline,
+        run_bench4,
+        write_baseline,
+    )
+
+    profile = BenchProfile.full() if args.perf_profile == "full" else BenchProfile.smoke()
+    # Validate the cheap preconditions before the multi-second suite runs.
+    if args.update_baseline is not None and profile.name != "full":
+        # The committed baseline is the reference measurement, so it must be
+        # produced by the full protocol (largest workloads, most rounds);
+        # gate runs may use the cheaper smoke profile because the ratio
+        # comparison carries a tolerance that absorbs the residual
+        # profile sensitivity.
+        raise SystemExit(
+            "--update-baseline requires --perf-profile full (the committed "
+            "baseline must hold the full measurement protocol's numbers)"
+        )
+    if not 0 <= args.tolerance < 1:
+        raise SystemExit("--tolerance must lie in [0, 1)")
+    print(f"running propagation-core perf suite ({profile.name} profile) ...")
+    record = run_bench4(profile, seed=args.seed, progress=lambda m: print(f"  {m}"))
+
+    # The gate runs against the *pre-existing* baseline before any write, so
+    # combining --compare-baseline with --update-baseline cannot compare the
+    # fresh record against itself — and a detected regression blocks the
+    # update instead of silently replacing the only good baseline.
+    if args.compare_baseline is not None:
+        path = Path(args.compare_baseline) if args.compare_baseline else default_baseline_path()
+        if not path.exists():
+            raise SystemExit(f"perf baseline not found: {path}")
+        try:
+            baseline = load_baseline(path)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        print()
+        print(format_comparison(record, baseline))
+        regressions = compare_to_baseline(record, baseline, tolerance=args.tolerance)
+        if regressions:
+            print()
+            for regression in regressions:
+                print(f"REGRESSION: {regression}")
+            if args.update_baseline is not None:
+                print("baseline NOT updated (regressions above)")
+            return 1
+        print(f"\nno perf regressions (tolerance {args.tolerance:.0%}) vs {path}")
+
+    if args.update_baseline is not None:
+        path = Path(args.update_baseline) if args.update_baseline else default_baseline_path()
+        write_baseline(record, path)
+        print(f"wrote perf baseline to {path}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark the batched estimation engine and emit a ``BENCH_*.json`` file."""
     import dataclasses
+
+    if args.compare_baseline is not None or args.update_baseline is not None:
+        return _cmd_perf_bench(args)
 
     from repro.sat.solver import SolverStatus
     from repro.stats.montecarlo import estimate_trajectory
@@ -739,6 +808,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output-dir", default=".", help="directory for the BENCH_*.json file"
+    )
+    bench.add_argument(
+        "--compare-baseline",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run the propagation-core perf suite instead and fail on a >25%% "
+            "arena-vs-legacy speedup regression against the committed "
+            "benchmarks/BENCH_4.json (or PATH)"
+        ),
+    )
+    bench.add_argument(
+        "--update-baseline",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="run the propagation-core perf suite and (re)write the baseline file",
+    )
+    bench.add_argument(
+        "--perf-profile",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="workload sizes for the perf suite (full = the committed baseline sizes)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative speedup drop before --compare-baseline fails",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -1,0 +1,52 @@
+"""Continuous performance-regression harness for the solver hot paths.
+
+The estimation mode of the reproduction performs ``max_evaluations × N``
+sub-instance solves per run, so the CDCL propagation core is the hottest code
+in the system.  This package makes its speed a *tested invariant* instead of a
+one-off claim:
+
+* :mod:`repro.perf.workloads` defines the microbenchmark suite — isolated
+  propagation-core throughput, incremental solve throughput and end-to-end
+  ξ-estimation wall time — each measured for the flat-array arena engine
+  (:class:`~repro.sat.cdcl.CDCLSolver`) *and* the frozen pre-arena reference
+  (:class:`~repro.sat.cdcl.LegacyCDCLSolver`) on identical inputs, with
+  engine rounds interleaved so CPU-frequency drift hits both equally.
+* :mod:`repro.perf.baseline` reads/writes the committed ``BENCH_4.json``
+  baseline and compares a fresh run against it.  The gate checks the
+  **arena-vs-legacy speedup ratio**, not absolute rates, so it is meaningful
+  on any machine: a >25 % drop of a ratio below its committed value fails.
+
+Entry points: ``repro-sat bench --compare-baseline`` (local + CI gate),
+``repro-sat bench --update-baseline`` (refresh the committed numbers) and
+``benchmarks/bench_propagation.py`` (the pytest harness).
+"""
+
+from repro.perf.baseline import (
+    BASELINE_SCHEMA,
+    compare_to_baseline,
+    default_baseline_path,
+    format_comparison,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.workloads import (
+    BenchProfile,
+    estimation_workload,
+    incremental_solve_workload,
+    propagation_core_workload,
+    run_bench4,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BenchProfile",
+    "compare_to_baseline",
+    "default_baseline_path",
+    "estimation_workload",
+    "format_comparison",
+    "incremental_solve_workload",
+    "load_baseline",
+    "propagation_core_workload",
+    "run_bench4",
+    "write_baseline",
+]

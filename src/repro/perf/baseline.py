@@ -1,0 +1,117 @@
+"""Reading, writing and gating against the committed ``BENCH_4.json`` baseline.
+
+The committed baseline records, per workload, the measured arena and legacy
+rates *and* their ratio (``speedup``).  Absolute rates are machine-specific,
+so the regression gate compares only the **speedup ratios**: on any machine,
+the arena engine must stay within ``tolerance`` (default 25 %) of the
+baseline's arena-vs-legacy advantage.  Both engines run in the same process
+on the same inputs, so the ratio cancels CPU speed, load and interpreter
+version — a genuine propagation-core regression (or an accidental
+de-optimisation of the hot loop) shows up as a ratio drop wherever the gate
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+BASELINE_SCHEMA = 1
+
+#: Repo-relative location of the committed baseline.
+_DEFAULT_BASELINE = Path("benchmarks") / "BENCH_4.json"
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline path, resolved against the repository root.
+
+    Falls back to the current working directory when the package is not
+    running from a source checkout (the CLI then requires an explicit path).
+    """
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / _DEFAULT_BASELINE
+        if candidate.exists():
+            return candidate
+    return _DEFAULT_BASELINE
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Load and validate a ``BENCH_4.json`` baseline document."""
+    document = json.loads(Path(path).read_text())
+    if document.get("kind") != "propagation-core-bench":
+        raise ValueError(f"{path} is not a propagation-core benchmark baseline")
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} has baseline schema {document.get('schema')!r}; "
+            f"this build reads schema {BASELINE_SCHEMA}"
+        )
+    if not isinstance(document.get("workloads"), dict):
+        raise ValueError(f"{path} has no workloads table")
+    return document
+
+
+def write_baseline(record: dict, path: str | Path) -> Path:
+    """Write a suite record as the new committed baseline (pretty JSON)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.25, require_all: bool = True
+) -> list[str]:
+    """Return the list of regressions of ``current`` against ``baseline``.
+
+    A workload regresses when its arena-vs-legacy ``speedup`` falls more than
+    ``tolerance`` below the committed value.  With ``require_all`` (the CI
+    gate's mode) workloads present in the baseline but missing from the
+    current run are reported as regressions — the gate must not silently
+    lose coverage; partial runs (e.g. the propagation-only pytest module)
+    pass ``require_all=False`` to gate just the workloads they measured.
+    Extra workloads in the current run are ignored (forward compatibility).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must lie in [0, 1)")
+    regressions: list[str] = []
+    current_workloads = current.get("workloads", {})
+    for name, committed in baseline["workloads"].items():
+        committed_speedup = committed.get("speedup")
+        if committed_speedup is None or not math.isfinite(committed_speedup):
+            continue  # nothing to gate on for this workload
+        fresh = current_workloads.get(name)
+        if fresh is None:
+            if require_all:
+                regressions.append(f"{name}: workload missing from this run")
+            continue
+        fresh_speedup = fresh.get("speedup")
+        if fresh_speedup is None or not math.isfinite(fresh_speedup):
+            regressions.append(f"{name}: no speedup measured in this run")
+            continue
+        floor = committed_speedup * (1.0 - tolerance)
+        if fresh_speedup < floor:
+            regressions.append(
+                f"{name}: speedup x{fresh_speedup:.2f} fell below "
+                f"x{floor:.2f} (committed x{committed_speedup:.2f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return regressions
+
+
+def format_comparison(current: dict, baseline: dict) -> str:
+    """Human-readable side-by-side table of current vs committed speedups."""
+    lines = [
+        f"{'workload':40s} {'committed':>10s} {'current':>10s}",
+        "-" * 62,
+    ]
+    current_workloads = current.get("workloads", {})
+    for name, committed in sorted(baseline["workloads"].items()):
+        fresh = current_workloads.get(name, {})
+        committed_speedup = committed.get("speedup")
+        fresh_speedup = fresh.get("speedup")
+        committed_text = f"x{committed_speedup:.2f}" if committed_speedup else "-"
+        fresh_text = f"x{fresh_speedup:.2f}" if fresh_speedup else "-"
+        lines.append(f"{name:40s} {committed_text:>10s} {fresh_text:>10s}")
+    return "\n".join(lines)

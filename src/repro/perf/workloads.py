@@ -1,0 +1,265 @@
+"""The solver microbenchmark suite behind ``BENCH_4.json``.
+
+Three workload families, each measured for both CDCL engines on bit-identical
+inputs:
+
+``propagation-core``
+    Drives the engines' internal propagation API directly: for every sampled
+    assumption vector, the vector is enqueued as one pseudo decision level,
+    **only the unit-propagation call is timed**, and the trail is rolled back.
+    This isolates the flat-array propagation core (the thing PR 4 rewrote)
+    from decision heuristics, conflict analysis and result packaging.  Both
+    engines propagate the same closures — their propagation counts agree
+    exactly on conflict-free vectors — so propagations/second is a clean
+    like-for-like throughput figure.
+
+``incremental-solves``
+    Full ``solve(assumptions=...)`` calls against a loaded engine — the exact
+    per-sample path of the batched Monte Carlo estimator, including conflict
+    analysis, clause learning and model construction.  Reported as
+    solves/second and propagations/second of the whole loop.
+
+``estimation``
+    End-to-end ξ-estimation wall time:
+    :class:`repro.core.predictive.PredictiveFunction` in incremental mode
+    (sample cache off, so every sample is a real solve) evaluating a fixed
+    decomposition set — the workload of ``bench_incremental_estimation.py``.
+
+Measurement protocol (shared with :mod:`benchmarks._common`): every workload
+runs ``rounds`` interleaved legacy/arena rounds (so CPU-frequency drift and
+cache effects hit both engines equally) and reports each engine's **best**
+round — the standard protocol for microbenchmarks whose noise is one-sided
+(interference only ever slows a run down).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.api.registry import get_cipher
+from repro.core.predictive import PredictiveFunction
+from repro.problems import make_inversion_instance
+from repro.sat.cdcl import CDCLSolver, LegacyCDCLSolver
+from repro.sat.cdcl.solver import _ilit
+from repro.sat.formula import CNF
+from repro.sat.solver import SolverBudget, SolverStats
+
+#: Engine registry used by the suite; "arena" is the production engine.
+ENGINES = {"arena": CDCLSolver, "legacy": LegacyCDCLSolver}
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Workload sizes for one suite run.
+
+    ``full`` is the committed baseline's measurement protocol (largest
+    workloads, most rounds); ``smoke`` is sized for the CI gate.  The gate
+    compares machine-independent speedup *ratios*, and its 25 % tolerance
+    absorbs the residual profile sensitivity of the smaller smoke workloads
+    (workloads whose ratio shifts systematically with size — the estimation
+    runs — pin that size across profiles instead, see ``smoke()``).
+    """
+
+    name: str
+    propagation_vectors: int
+    solve_vectors: int
+    estimation_samples: int
+    rounds: int
+
+    @classmethod
+    def full(cls) -> "BenchProfile":
+        return cls("full", propagation_vectors=2000, solve_vectors=150,
+                   estimation_samples=100, rounds=4)
+
+    @classmethod
+    def smoke(cls) -> "BenchProfile":
+        # estimation_samples deliberately matches the full profile: the
+        # incremental estimation speedup grows with the number of samples
+        # (learned clauses amortise over the run), so shrinking it would make
+        # smoke ratios incomparable to the committed full-profile baseline.
+        return cls("smoke", propagation_vectors=400, solve_vectors=40,
+                   estimation_samples=100, rounds=3)
+
+
+def assumption_vectors(
+    variables: list[int], d: int, count: int, seed: int
+) -> list[list[int]]:
+    """``count`` deterministic random polarity vectors over the first ``d`` variables."""
+    chosen = variables[:d]
+    rng = random.Random(seed)
+    return [[v if rng.random() < 0.5 else -v for v in chosen] for _ in range(count)]
+
+
+def _prepare(engine: str, cnf: CNF):
+    """Load ``cnf`` into a fresh engine and flush root-level propagation."""
+    solver = ENGINES[engine]().load(cnf)
+    solver._stats = SolverStats()
+    solver._budget = SolverBudget()
+    solver._propagate()
+    solver._stats = SolverStats()
+    return solver
+
+
+def _propagation_round(engine: str, cnf: CNF, vectors: list[list[int]]) -> tuple[int, float]:
+    """One propagation-core round: (propagations, seconds inside propagate)."""
+    solver = _prepare(engine, cnf)
+    convert = _ilit if engine == "arena" else (lambda lit: lit)
+    no_reason = -1 if engine == "arena" else None
+    clock = time.perf_counter
+    elapsed = 0.0
+    for vector in vectors:
+        solver._trail_lim.append(len(solver._trail))
+        for lit in vector:
+            solver._enqueue(convert(lit), no_reason)
+        start = clock()
+        solver._propagate()
+        elapsed += clock() - start
+        solver._cancel_until(0)
+    return solver._stats.propagations, elapsed
+
+
+def propagation_core_workload(
+    cnf: CNF, vectors: list[list[int]], rounds: int = 4
+) -> dict[str, object]:
+    """Isolated propagation throughput, interleaved best-of-``rounds``."""
+    best: dict[str, float] = {name: 0.0 for name in ENGINES}
+    props: dict[str, int] = {name: 0 for name in ENGINES}
+    for _ in range(rounds):
+        for name in ENGINES:  # interleave: both engines see the same drift
+            count, elapsed = _propagation_round(name, cnf, vectors)
+            props[name] = count
+            if elapsed > 0:
+                best[name] = max(best[name], count / elapsed)
+    return {
+        "metric": "propagations_per_sec",
+        "arena": {"propagations_per_sec": best["arena"], "propagations": props["arena"]},
+        "legacy": {"propagations_per_sec": best["legacy"], "propagations": props["legacy"]},
+        "speedup": best["arena"] / best["legacy"] if best["legacy"] else None,
+    }
+
+
+def _solve_round(engine: str, cnf: CNF, vectors: list[list[int]]) -> tuple[int, int, float]:
+    """One incremental-solve round: (solves, propagations, wall seconds)."""
+    solver = ENGINES[engine]().load(cnf)
+    clock = time.perf_counter
+    start = clock()
+    props = 0
+    for vector in vectors:
+        result = solver.solve(assumptions=vector)
+        props += result.stats.propagations
+    return len(vectors), props, clock() - start
+
+
+def incremental_solve_workload(
+    cnf: CNF, vectors: list[list[int]], rounds: int = 4
+) -> dict[str, object]:
+    """Full per-sample solve-call throughput, interleaved best-of-``rounds``."""
+    best_solves: dict[str, float] = {name: 0.0 for name in ENGINES}
+    best_props: dict[str, float] = {name: 0.0 for name in ENGINES}
+    for _ in range(rounds):
+        for name in ENGINES:
+            solves, props, elapsed = _solve_round(name, cnf, vectors)
+            if elapsed > 0:
+                best_solves[name] = max(best_solves[name], solves / elapsed)
+                best_props[name] = max(best_props[name], props / elapsed)
+    return {
+        "metric": "solves_per_sec",
+        "arena": {"solves_per_sec": best_solves["arena"],
+                  "propagations_per_sec": best_props["arena"]},
+        "legacy": {"solves_per_sec": best_solves["legacy"],
+                   "propagations_per_sec": best_props["legacy"]},
+        "speedup": (
+            best_solves["arena"] / best_solves["legacy"] if best_solves["legacy"] else None
+        ),
+    }
+
+
+def estimation_workload(
+    cnf: CNF,
+    decomposition: list[int],
+    sample_size: int,
+    seed: int,
+    rounds: int = 2,
+) -> dict[str, object]:
+    """End-to-end ξ-estimation wall time (incremental engine, cache off)."""
+    best: dict[str, float] = {name: float("inf") for name in ENGINES}
+    for _ in range(rounds):
+        for name in ENGINES:
+            evaluator = PredictiveFunction(
+                cnf,
+                solver=ENGINES[name](),
+                sample_size=sample_size,
+                seed=seed,
+                incremental=True,
+                sample_cache_size=None,
+            )
+            start = time.perf_counter()
+            evaluator.evaluate(decomposition)
+            best[name] = min(best[name], time.perf_counter() - start)
+    return {
+        "metric": "wall_time",
+        "arena": {"wall_time": best["arena"]},
+        "legacy": {"wall_time": best["legacy"]},
+        "speedup": best["legacy"] / best["arena"] if best["arena"] > 0 else None,
+    }
+
+
+def run_bench4(
+    profile: BenchProfile | None = None,
+    seed: int = 3,
+    progress=None,
+) -> dict[str, object]:
+    """Run the whole suite and return the ``BENCH_4.json`` record."""
+    profile = profile or BenchProfile.full()
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    workloads: dict[str, dict[str, object]] = {}
+
+    # A5/1 toy: the paper's headline workload (ternary-heavy Tseitin CNF).
+    a51 = make_inversion_instance(get_cipher("a51-tiny")(), seed=seed)
+    a51_vectors = assumption_vectors(
+        list(a51.start_set), 8, profile.propagation_vectors, seed=42
+    )
+    note("propagation-core on a51-tiny ...")
+    workloads["propagation-core/a51-tiny-d8"] = propagation_core_workload(
+        a51.cnf, a51_vectors, rounds=profile.rounds
+    )
+    note("incremental-solves on a51-tiny ...")
+    workloads["incremental-solves/a51-tiny-d8"] = incremental_solve_workload(
+        a51.cnf, a51_vectors[: profile.solve_vectors], rounds=profile.rounds
+    )
+    note("estimation on a51-tiny ...")
+    workloads["estimation/a51-tiny-d8"] = estimation_workload(
+        a51.cnf, list(a51.start_set[:8]), profile.estimation_samples,
+        seed=seed, rounds=profile.rounds,
+    )
+
+    # Bivium toy: a second cipher family so the gate is not single-instance.
+    bivium = make_inversion_instance(get_cipher("bivium-tiny")(), seed=seed)
+    bivium_vectors = assumption_vectors(
+        list(bivium.start_set), 10, profile.propagation_vectors, seed=77
+    )
+    note("propagation-core on bivium-tiny ...")
+    workloads["propagation-core/bivium-tiny-d10"] = propagation_core_workload(
+        bivium.cnf, bivium_vectors, rounds=profile.rounds
+    )
+    note("estimation on bivium-tiny ...")
+    workloads["estimation/bivium-tiny-d10"] = estimation_workload(
+        bivium.cnf, list(bivium.start_set[:10]), profile.estimation_samples,
+        seed=seed, rounds=profile.rounds,
+    )
+
+    return {
+        "kind": "propagation-core-bench",
+        "bench_id": 4,
+        "schema": 1,
+        "profile": profile.name,
+        "seed": seed,
+        "engines": {"arena": "cdcl", "legacy": "cdcl-legacy"},
+        "workloads": workloads,
+    }

@@ -1,0 +1,572 @@
+"""The pre-arena CDCL engine (object-graph clause database).
+
+This module preserves the original :class:`CDCLSolver` implementation — a
+dict-of-list two-watched-literal scheme over per-clause
+:class:`~repro.sat.cdcl.clause.WatchedClause` objects — under the name
+:class:`LegacyCDCLSolver`.  The flat-array arena engine in
+:mod:`repro.sat.cdcl.solver` replaced it as the default ``CDCLSolver``; the
+legacy engine is retained for two reasons:
+
+* **Differential testing** — ``tests/test_differential_fuzz.py`` solves the
+  seeded CNF corpus with both engines and requires bit-identical SAT/UNSAT
+  verdicts (models are additionally verified against the formula), including
+  under incremental assumption sequences.
+* **Perf regression measurement** — :mod:`repro.perf` benchmarks the arena
+  engine *against* this engine on the same workload, so the committed
+  ``BENCH_4.json`` speedups stay reproducible on any machine.
+
+It implements the exact same public contract as the arena engine (one-shot
+``solve(cnf)``, incremental ``load()`` + ``solve(assumptions=...)`` with
+learned-clause retention, per-call stats/budgets, per-call conflict activity)
+and is registered as the ``"cdcl-legacy"`` solver.  Do not extend it with new
+features; it is a frozen reference implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro.sat.cdcl.clause import WatchedClause
+from repro.sat.cdcl.config import CDCLConfig
+from repro.sat.cdcl.heap import ActivityHeap
+from repro.sat.cdcl.luby import luby
+from repro.sat.formula import CNF, normalize_clause
+from repro.sat.solver import SolveResult, SolverBudget, SolverStats, SolverStatus
+
+_UNASSIGNED = None
+
+
+class LegacyCDCLSolver:
+    """Conflict-driven clause-learning solver (MiniSat-style, object-graph storage)."""
+
+    def __init__(self, config: CDCLConfig | None = None):
+        self.config = config or CDCLConfig()
+        #: The formula currently held in the internal clause database, or
+        #: ``None`` before the first ``load``/``solve``.  The batched Monte
+        #: Carlo engine checks this to decide whether a re-load is needed.
+        self.loaded_cnf: CNF | None = None
+
+    # ------------------------------------------------------------------ public
+    def load(self, cnf: CNF) -> "LegacyCDCLSolver":
+        """Build the internal clause database for ``cnf`` (incremental entry point).
+
+        After ``load``, call :meth:`solve` without a CNF argument to solve the
+        formula under varying assumptions while retaining learned clauses,
+        activities and saved phases across calls.  Returns ``self`` so the
+        idiom ``LegacyCDCLSolver().load(cnf)`` works.
+        """
+        self._init(cnf)
+        self.loaded_cnf = cnf
+        return self
+
+    def solve(
+        self,
+        cnf: CNF | None = None,
+        assumptions: Sequence[int] = (),
+        budget: SolverBudget | None = None,
+    ) -> SolveResult:
+        """Solve under ``assumptions`` within an optional per-call ``budget``.
+
+        With a ``cnf`` argument the solver re-initialises from scratch (the
+        one-shot behaviour).  With ``cnf=None`` the formula from a previous
+        :meth:`load` (or previous one-shot solve) is reused incrementally:
+        learned clauses are retained, only ``result.stats`` restarts from zero.
+
+        Returns a :class:`~repro.sat.solver.SolveResult` whose status is SAT,
+        UNSAT, or UNKNOWN (budget exhausted).  When SAT, ``result.model`` maps
+        every variable ``1..num_vars`` to a Boolean; variables that do not
+        occur in the formula default to the solver's default phase.
+        """
+        start = time.perf_counter()
+        self._budget = budget or SolverBudget()
+        self._stats = SolverStats()
+        fresh = cnf is not None
+        if fresh:
+            self.load(cnf)
+        elif self.loaded_cnf is None:
+            raise ValueError("no formula loaded: pass a CNF or call load() first")
+        else:
+            self._cancel_until(0)
+        # Snapshot bookkeeping is only consumed by the incremental activity
+        # report; keep it off the fresh path's conflict-analysis hot loop.
+        self._track_bumps = not fresh
+        self._bumped_vars.clear()
+        self._bump_snapshots.clear()
+        rescales_before = self._activity_rescales
+        var_inc_before = self._var_inc
+
+        for literal in assumptions:
+            if literal == 0 or abs(literal) > self._num_vars:
+                raise ValueError(
+                    f"assumption literal {literal} is outside the loaded "
+                    f"formula's variables 1..{self._num_vars}"
+                )
+        status = self._solve_internal(list(assumptions))
+
+        self._stats.wall_time = time.perf_counter() - start
+        model = None
+        if status is SolverStatus.SAT:
+            model = {
+                v: (self._value[v] if self._value[v] is not _UNASSIGNED
+                    else self.config.default_phase)
+                for v in range(1, self._num_vars + 1)
+            }
+        # Like stats, conflict_activity is per call: report only the bumps of
+        # this call, not the cumulative VSIDS state retained across calls.
+        # Fresh solves report the raw dense activity map over every variable
+        # (the historical contract); incremental calls report only the
+        # variables actually bumped this call, reconstructed from per-variable
+        # snapshots taken at first bump (no O(num_vars) work per sample).
+        # Deltas are normalised by the call-start var_inc so a bump in one
+        # call weighs the same as a bump in any other, and each snapshot is
+        # brought into the current frame when the 1e100 activity rescale fired
+        # after it — without those two corrections, accumulated activity would
+        # be exponentially dominated by the most recent calls, or collapse to
+        # zero in the call where the rescale happens.
+        if fresh:
+            activity = {v: self._activity[v] for v in range(1, self._num_vars + 1)}
+        else:
+            unit = var_inc_before * (
+                1e-100 ** (self._activity_rescales - rescales_before)
+            )
+            if unit <= 0.0:
+                # >= 4 rescales in one call (~18k conflicts): the unit
+                # underflowed to exactly 0.  Use the smallest positive float
+                # and rely on the cap below — such a call saturated the
+                # activity order anyway.
+                unit = 5e-324
+            activity = {}
+            for v in sorted(self._bumped_vars):
+                snap_value, snap_rescales = self._bump_snapshots[v]
+                snap_scale = 1e-100 ** (self._activity_rescales - snap_rescales)
+                delta = max(0.0, self._activity[v] - snap_value * snap_scale) / unit
+                # Keep reported activity finite: an inf would be folded into
+                # downstream accumulated sums permanently.
+                activity[v] = min(delta, 1e100)
+        return SolveResult(
+            status=status,
+            model=model,
+            stats=self._stats,
+            conflict_activity=activity,
+        )
+
+    # -------------------------------------------------------------- initialise
+    def _init(self, cnf: CNF) -> None:
+        n = cnf.num_vars
+        self._num_vars = n
+        self._value: list[bool | None] = [_UNASSIGNED] * (n + 1)
+        self._level: list[int] = [0] * (n + 1)
+        self._reason: list[WatchedClause | None] = [None] * (n + 1)
+        self._saved_phase: list[bool] = [self.config.default_phase] * (n + 1)
+        self._activity: list[float] = [0.0] * (n + 1)
+        self._activity_rescales = 0
+        self._bumped_vars: set[int] = set()
+        #: var -> (activity value, rescale count) at this call's first bump.
+        self._bump_snapshots: dict[int, tuple[float, int]] = {}
+        self._track_bumps = False
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._heap = ActivityHeap(self._activity)
+        self._watches: dict[int, list[WatchedClause]] = {}
+        for v in range(1, n + 1):
+            self._watches[v] = []
+            self._watches[-v] = []
+            self._heap.push(v)
+        self._clauses: list[WatchedClause] = []
+        self._learnts: list[WatchedClause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._ok = True
+        self._seen: list[bool] = [False] * (n + 1)
+
+        for clause in cnf.clauses:
+            if not self._add_problem_clause(clause):
+                self._ok = False
+                return
+
+    def _add_problem_clause(self, clause: Sequence[int]) -> bool:
+        """Add an original (non-learnt) clause; returns False on immediate conflict."""
+        norm = normalize_clause(clause)
+        if norm is None:
+            return True  # tautology
+        # Remove literals already falsified at level 0 and drop clauses already
+        # satisfied at level 0.
+        filtered: list[int] = []
+        for lit in norm:
+            val = self._lit_value(lit)
+            if val is True:
+                return True
+            if val is _UNASSIGNED:
+                filtered.append(lit)
+        lits = filtered
+        if not lits:
+            return False
+        if len(lits) == 1:
+            return self._enqueue(lits[0], None)
+        wc = WatchedClause(lits, learnt=False)
+        self._clauses.append(wc)
+        self._attach(wc)
+        return True
+
+    def _attach(self, clause: WatchedClause) -> None:
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    # ----------------------------------------------------------------- values
+    def _lit_value(self, lit: int) -> bool | None:
+        val = self._value[abs(lit)]
+        if val is _UNASSIGNED:
+            return _UNASSIGNED
+        return val if lit > 0 else not val
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # -------------------------------------------------------------- propagation
+    def _enqueue(self, lit: int, reason: WatchedClause | None) -> bool:
+        val = self._lit_value(lit)
+        if val is not _UNASSIGNED:
+            return val is True
+        var = abs(lit)
+        self._value[var] = lit > 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> WatchedClause | None:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self._stats.propagations += 1
+            falsified = -p
+            watch_list = self._watches[falsified]
+            kept: list[WatchedClause] = []
+            i = 0
+            n_watch = len(watch_list)
+            conflict: WatchedClause | None = None
+            while i < n_watch:
+                clause = watch_list[i]
+                i += 1
+                lits = clause.lits
+                # Make sure the falsified literal is at position 1.
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) is True:
+                    kept.append(clause)
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting under the current assignment.
+                kept.append(clause)
+                if self._lit_value(first) is False:
+                    conflict = clause
+                    # Preserve the remaining watchers untouched.
+                    kept.extend(watch_list[i:])
+                    self._qhead = len(self._trail)
+                    break
+                self._enqueue(first, clause)
+            self._watches[falsified] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ----------------------------------------------------------------- analyse
+    def _analyze(self, conflict: WatchedClause) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns (learnt clause, backjump level)."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        counter = 0
+        p: int | None = None
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+        clause: WatchedClause | None = conflict
+        to_clear: list[int] = []
+
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 0 if p is None else 1
+            for q in clause.lits[start:]:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            clause = self._reason[abs(p)]
+            seen[abs(p)] = False
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+        learnt[0] = -p
+
+        if self.config.clause_minimization and len(learnt) > 1:
+            learnt = self._minimize(learnt)
+
+        # Compute the backjump level and put a literal of that level at index 1.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self._level[abs(learnt[1])]
+
+        for var in to_clear:
+            seen[var] = False
+        return learnt, bt_level
+
+    def _minimize(self, learnt: list[int]) -> list[int]:
+        """Cheap (non-recursive) clause minimisation.
+
+        A literal other than the asserting one can be dropped when the reason of
+        its variable is entirely subsumed by the remaining learnt literals.
+        """
+        marked = {abs(lit) for lit in learnt}
+        result = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self._reason[abs(lit)]
+            if reason is None:
+                result.append(lit)
+                continue
+            redundant = True
+            for q in reason.lits:
+                var = abs(q)
+                if var == abs(lit):
+                    continue
+                if var not in marked and self._level[var] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                result.append(lit)
+        return result
+
+    # --------------------------------------------------------------- activities
+    def _bump_var(self, var: int) -> None:
+        if self._track_bumps and var not in self._bumped_vars:
+            self._bumped_vars.add(var)
+            self._bump_snapshots[var] = (self._activity[var], self._activity_rescales)
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            self._activity_rescales += 1
+        self._heap.update(var)
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self.config.var_decay
+
+    def _bump_clause(self, clause: WatchedClause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self.config.clause_decay
+
+    # --------------------------------------------------------------- backtracking
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        target = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, target - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if self.config.phase_saving:
+                self._saved_phase[var] = self._value[var]
+            self._value[var] = _UNASSIGNED
+            self._reason[var] = None
+            self._heap.push(var)
+        del self._trail[target:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------- decide
+    def _pick_branch_var(self) -> int | None:
+        while not self._heap.is_empty():
+            var = self._heap.pop()
+            if self._value[var] is _UNASSIGNED:
+                return var
+        return None
+
+    # --------------------------------------------------------------- reduce DB
+    def _reduce_db(self) -> None:
+        """Remove roughly half of the learned clauses with the lowest activity."""
+        locked = set()
+        for var in range(1, self._num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None and reason.learnt:
+                locked.add(id(reason))
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        removed: list[WatchedClause] = []
+        kept: list[WatchedClause] = []
+        for i, clause in enumerate(self._learnts):
+            if i < keep_from and len(clause.lits) > 2 and id(clause) not in locked:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        for clause in removed:
+            self._detach(clause)
+        self._stats.deleted_clauses += len(removed)
+        self._learnts = kept
+
+    def _detach(self, clause: WatchedClause) -> None:
+        for lit in (clause.lits[0], clause.lits[1]):
+            watchers = self._watches[lit]
+            try:
+                watchers.remove(clause)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    # --------------------------------------------------------------- main loop
+    def _budget_exhausted(self, start_time: float) -> bool:
+        budget = self._budget
+        stats = self._stats
+        if budget.max_conflicts is not None and stats.conflicts >= budget.max_conflicts:
+            return True
+        if budget.max_decisions is not None and stats.decisions >= budget.max_decisions:
+            return True
+        if budget.max_propagations is not None and stats.propagations >= budget.max_propagations:
+            return True
+        if budget.max_seconds is not None and (time.perf_counter() - start_time) >= budget.max_seconds:
+            return True
+        return False
+
+    def _solve_internal(self, assumptions: list[int]) -> SolverStatus:
+        if not self._ok:
+            return SolverStatus.UNSAT
+        if self._propagate() is not None:
+            self._ok = False  # conflict at level 0: globally UNSAT
+            return SolverStatus.UNSAT
+        if self._num_vars == 0:
+            return SolverStatus.SAT
+
+        start_time = time.perf_counter()
+        max_learnts = max(
+            100.0, self.config.learntsize_factor * max(1, len(self._clauses))
+        )
+        restart_count = 0
+
+        while True:
+            restart_count += 1
+            if self.config.use_luby_restarts:
+                conflict_budget = self.config.restart_base * luby(restart_count)
+            else:
+                conflict_budget = int(self.config.restart_base * (1.5 ** (restart_count - 1)))
+            status = self._search(conflict_budget, assumptions, max_learnts, start_time)
+            if status is not None:
+                return status
+            if self._budget_exhausted(start_time):
+                return SolverStatus.UNKNOWN
+            self._stats.restarts += 1
+            max_learnts *= self.config.learntsize_inc
+            self._cancel_until(0)
+
+    def _search(
+        self,
+        conflict_budget: int,
+        assumptions: list[int],
+        max_learnts: float,
+        start_time: float,
+    ) -> SolverStatus | None:
+        """Run until the restart conflict budget is spent; None means "restart"."""
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._stats.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self._ok = False  # conflict below all decisions: globally UNSAT
+                    return SolverStatus.UNSAT
+                learnt, bt_level = self._analyze(conflict)
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = WatchedClause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._stats.learned_clauses += 1
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                if self._budget_exhausted(start_time):
+                    return SolverStatus.UNKNOWN
+                continue
+
+            # No conflict.
+            if conflicts_here >= conflict_budget:
+                return None  # restart
+            if len(self._learnts) - len(self._trail) >= max_learnts:
+                self._reduce_db()
+
+            # Assumptions first, then heap decisions.
+            decision: int | None = None
+            while self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                val = self._lit_value(lit)
+                if val is True:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if val is False:
+                    return SolverStatus.UNSAT
+                decision = lit
+                break
+            if decision is None:
+                var = self._pick_branch_var()
+                if var is None:
+                    return SolverStatus.SAT
+                phase = (
+                    self._saved_phase[var]
+                    if self.config.phase_saving
+                    else self.config.default_phase
+                )
+                decision = var if phase else -var
+            self._stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._stats.max_decision_level = max(
+                self._stats.max_decision_level, self._decision_level()
+            )
+            self._enqueue(decision, None)
+
+
+# --------------------------------------------------------------- registry wiring
+from repro.api.registry import register_solver  # noqa: E402  (import-time registration)
+
+
+@register_solver(
+    "cdcl-legacy",
+    description="pre-arena CDCL engine (object-graph storage; differential reference)",
+)
+def _cdcl_legacy_factory(**options) -> LegacyCDCLSolver:
+    """Build a legacy CDCL solver; keyword options are :class:`CDCLConfig` fields."""
+    return LegacyCDCLSolver(CDCLConfig(**options)) if options else LegacyCDCLSolver()

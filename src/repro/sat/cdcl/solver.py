@@ -1,12 +1,40 @@
-"""A complete, deterministic CDCL SAT solver with incremental assumptions.
+"""A complete, deterministic CDCL SAT solver with a flat-array propagation core.
 
-The solver follows the MiniSat architecture: two-watched-literal unit
+The solver follows the MiniSat architecture — two-watched-literal unit
 propagation, first-UIP conflict analysis with clause minimisation, VSIDS
 variable activities with exponential decay, phase saving, Luby restarts and
-activity-driven deletion of learned clauses.  It is deliberately free of any
-randomisation so that repeated runs on the same input produce identical work
-counters — the property the paper requires of the algorithm ``A`` whose runtime
-defines the random variable ``ξ_{C,A}(X̃)``.
+LBD-aware deletion of learned clauses — but stores the entire clause database
+in **flat arrays** instead of Python objects:
+
+* **Clause arena** — one shared flat int sequence holds every clause as
+  ``[size, lit0, lit1, ...]``; a clause is identified by the int32 offset
+  (*cref*) of its size slot.  There are no per-clause Python objects on the hot
+  path, no attribute lookups, and deleted clauses are compacted away by a
+  mark-free garbage collector once half the arena is garbage.  (A plain list
+  is used as the backing store rather than ``array('i')``: CPython boxes a
+  fresh int on every ``array`` read, which measured ~15 % slower end-to-end,
+  while a list of small ints shares the cached objects.)
+* **Literal indices** — literals are encoded as array indices
+  (``var·2`` for the positive, ``var·2 + 1`` for the negative literal, so
+  negation is ``idx ^ 1``), and the assignment is a flat list indexed *by
+  literal*: evaluating a literal under the current assignment is a single
+  indexed load instead of a sign test plus a conditional negation.
+* **Watcher lists with blocker literals** — each literal's watchers are a flat
+  ``[cref, blocker, cref, blocker, ...]`` int list.  The blocker is a literal
+  of the clause (MiniSat's trick): when it is already true the clause is
+  satisfied and the propagation loop skips it without touching the arena at
+  all, which is where most visits end on structured instances.
+* **Preallocated trail/reason/level stores** — the trail is a flat literal
+  list with an explicit propagation-queue head; reasons are crefs (``-1`` for
+  decisions) and levels plain ints, both indexed by variable.
+
+The engine is deliberately free of any randomisation so that repeated runs on
+the same input produce identical work counters — the property the paper
+requires of the algorithm ``A`` whose runtime defines the random variable
+``ξ_{C,A}(X̃)``.  The pre-arena engine is preserved verbatim as
+:class:`~repro.sat.cdcl.legacy.LegacyCDCLSolver` ("cdcl-legacy" in the solver
+registry); the differential fuzz suite checks both engines reach identical
+verdicts, and :mod:`repro.perf` measures the arena engine's speedup against it.
 
 One-shot usage (fresh solver state per call, the historical behaviour)::
 
@@ -22,7 +50,7 @@ Incremental usage — the contract of the batched Monte Carlo engine
 * :meth:`CDCLSolver.load` builds the internal clause database **once**;
   subsequent ``solve(assumptions=...)`` calls (no CNF argument) solve the same
   formula under different assumption vectors without re-constructing watches,
-  heaps or clause objects.
+  heaps or the arena.
 * Learned clauses, variable activities and saved phases are **retained across
   calls**.  This is sound because assumptions are treated as decisions (never
   as units at level 0): every learned clause is a resolvent of database
@@ -39,47 +67,38 @@ Incremental usage — the contract of the batched Monte Carlo engine
   immediately).
 
 Passing a CNF to :meth:`CDCLSolver.solve` always re-initialises from scratch,
-which keeps the one-shot path bit-for-bit identical to the pre-incremental
-solver (and keeps repeated one-shot runs deterministic).
+which keeps one-shot runs deterministic and bit-for-bit repeatable.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass
 
-from repro.sat.cdcl.clause import WatchedClause
+from repro.sat.cdcl.config import CDCLConfig
 from repro.sat.cdcl.heap import ActivityHeap
 from repro.sat.cdcl.luby import luby
 from repro.sat.formula import CNF, normalize_clause
 from repro.sat.solver import SolveResult, SolverBudget, SolverStats, SolverStatus
 
-
-@dataclass
-class CDCLConfig:
-    """Tunable parameters of the CDCL solver.
-
-    The defaults mirror MiniSat 2.2.  They are exposed mainly for the ablation
-    benchmarks; the partitioning experiments use the defaults throughout.
-    """
-
-    var_decay: float = 0.95
-    clause_decay: float = 0.999
-    restart_base: int = 100
-    use_luby_restarts: bool = True
-    learntsize_factor: float = 1.0 / 3.0
-    learntsize_inc: float = 1.1
-    default_phase: bool = False
-    phase_saving: bool = True
-    clause_minimization: bool = True
+#: Assignment-array states (indexed by literal): true / false / unassigned.
+_TRUE, _FALSE, _UNDEF = 1, 0, -1
+#: Reason sentinel: the variable is a decision/assumption (no reason clause).
+_NO_REASON = -1
 
 
-_UNASSIGNED = None
+def _ilit(lit: int) -> int:
+    """External DIMACS literal -> internal literal index (2v / 2v+1)."""
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
+def _elit(idx: int) -> int:
+    """Internal literal index -> external DIMACS literal."""
+    return -(idx >> 1) if idx & 1 else (idx >> 1)
 
 
 class CDCLSolver:
-    """Conflict-driven clause-learning solver (MiniSat-style)."""
+    """Conflict-driven clause-learning solver over a flat clause arena."""
 
     def __init__(self, config: CDCLConfig | None = None):
         self.config = config or CDCLConfig()
@@ -143,14 +162,15 @@ class CDCLSolver:
                     f"assumption literal {literal} is outside the loaded "
                     f"formula's variables 1..{self._num_vars}"
                 )
-        status = self._solve_internal(list(assumptions))
+        status = self._solve_internal([_ilit(lit) for lit in assumptions])
 
         self._stats.wall_time = time.perf_counter() - start
         model = None
         if status is SolverStatus.SAT:
+            values = self._values
+            default = self.config.default_phase
             model = {
-                v: (self._value[v] if self._value[v] is not _UNASSIGNED
-                    else self.config.default_phase)
+                v: (values[v << 1] == _TRUE if values[v << 1] != _UNDEF else default)
                 for v in range(1, self._num_vars + 1)
             }
         # Like stats, conflict_activity is per call: report only the bumps of
@@ -196,9 +216,11 @@ class CDCLSolver:
     def _init(self, cnf: CNF) -> None:
         n = cnf.num_vars
         self._num_vars = n
-        self._value: list[bool | None] = [_UNASSIGNED] * (n + 1)
+        #: Assignment indexed by literal index: _TRUE / _FALSE / _UNDEF.
+        self._values: list[int] = [_UNDEF] * ((n + 1) << 1)
         self._level: list[int] = [0] * (n + 1)
-        self._reason: list[WatchedClause | None] = [None] * (n + 1)
+        #: Reason cref per variable; _NO_REASON for decisions and unassigned.
+        self._reason: list[int] = [_NO_REASON] * (n + 1)
         self._saved_phase: list[bool] = [self.config.default_phase] * (n + 1)
         self._activity: list[float] = [0.0] * (n + 1)
         self._activity_rescales = 0
@@ -209,14 +231,41 @@ class CDCLSolver:
         self._var_inc = 1.0
         self._cla_inc = 1.0
         self._heap = ActivityHeap(self._activity)
-        self._watches: dict[int, list[WatchedClause]] = {}
         for v in range(1, n + 1):
-            self._watches[v] = []
-            self._watches[-v] = []
             self._heap.push(v)
-        self._clauses: list[WatchedClause] = []
-        self._learnts: list[WatchedClause] = []
-        self._trail: list[int] = []
+        #: Array-indexed watcher lists: _watches[lit] is a flat
+        #: [cref, blocker, cref, blocker, ...] int list over clauses of
+        #: length >= 3 whose watched literals include ``lit``.
+        self._watches: list[list[int]] = [[] for _ in range((n + 1) << 1)]
+        #: Binary and ternary clauses are watched on *all* their literals as
+        #: static ``(cref, other1, other2)`` tuples, indexed by the
+        #: *triggering* literal (the negation of the clause literal, so the
+        #: hot loop skips the per-literal XOR): a visit decides
+        #: satisfied/unit/conflict from the sibling values alone, with no
+        #: arena access and no watcher movement, ever.  A binary clause is
+        #: stored as ``(cref, other, 0)`` — literal index 0 belongs to the
+        #: unused variable 0 and is pinned false, which makes the ternary
+        #: visit logic collapse to exactly the binary implication rules.
+        #: The dominant Tseitin workloads (an XOR gate encodes as four
+        #: ternary clauses) never touch the arena during propagation at all.
+        #: Tuples (not flat triples) let the hot loop unpack via the C-level
+        #: ``for`` protocol.
+        self._tern_watches: list[list[tuple[int, int, int]]] = [
+            [] for _ in range((n + 1) << 1)
+        ]
+        self._values[0] = _FALSE  # the binary-clause sentinel literal
+        #: True once any clause of length >= 4 is attached; while False the
+        #: propagation loop skips the arena-backed long-clause path.
+        self._has_long = False
+        #: The clause arena.  Index 0 holds a sentinel so 0 is never a cref.
+        self._arena = [0]
+        self._clauses: list[int] = []  # problem-clause crefs, age order
+        self._learnts: list[int] = []  # learnt-clause crefs, age order
+        #: Learnt metadata keyed by cref (learnt-ness test = dict membership).
+        self._cla_activity: dict[int, float] = {}
+        self._cla_lbd: dict[int, int] = {}
+        self._wasted = 0  # arena ints freed by clause deletion, reclaimed by GC
+        self._trail: list[int] = []  # literal indices in assignment order
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._ok = True
@@ -234,133 +283,318 @@ class CDCLSolver:
             return True  # tautology
         # Remove literals already falsified at level 0 and drop clauses already
         # satisfied at level 0.
-        filtered: list[int] = []
+        values = self._values
+        lits: list[int] = []
         for lit in norm:
-            val = self._lit_value(lit)
-            if val is True:
+            idx = _ilit(lit)
+            val = values[idx]
+            if val == _TRUE:
                 return True
-            if val is _UNASSIGNED:
-                filtered.append(lit)
-        lits = filtered
+            if val == _UNDEF:
+                lits.append(idx)
         if not lits:
             return False
         if len(lits) == 1:
-            return self._enqueue(lits[0], None)
-        wc = WatchedClause(lits, learnt=False)
-        self._clauses.append(wc)
-        self._attach(wc)
+            return self._enqueue(lits[0], _NO_REASON)
+        cref = self._alloc(lits)
+        self._clauses.append(cref)
+        self._attach(cref)
         return True
 
-    def _attach(self, clause: WatchedClause) -> None:
-        self._watches[clause.lits[0]].append(clause)
-        self._watches[clause.lits[1]].append(clause)
+    def _alloc(self, lits: list[int]) -> int:
+        """Append a clause to the arena and return its cref."""
+        arena = self._arena
+        cref = len(arena)
+        arena.append(len(lits))
+        arena.extend(lits)
+        return cref
 
-    # ----------------------------------------------------------------- values
-    def _lit_value(self, lit: int) -> bool | None:
-        val = self._value[abs(lit)]
-        if val is _UNASSIGNED:
-            return _UNASSIGNED
-        return val if lit > 0 else not val
+    def _attach(self, cref: int) -> None:
+        arena = self._arena
+        size = arena[cref]
+        l0 = arena[cref + 1]
+        l1 = arena[cref + 2]
+        if size == 3:
+            l2 = arena[cref + 3]
+            self._tern_watches[l0 ^ 1].append((cref, l1, l2))
+            self._tern_watches[l1 ^ 1].append((cref, l0, l2))
+            self._tern_watches[l2 ^ 1].append((cref, l0, l1))
+            return
+        if size == 2:
+            self._tern_watches[l0 ^ 1].append((cref, l1, 0))
+            self._tern_watches[l1 ^ 1].append((cref, l0, 0))
+            return
+        self._has_long = True
+        wl = self._watches[l0]
+        wl.append(cref)
+        wl.append(l1)
+        wl = self._watches[l1]
+        wl.append(cref)
+        wl.append(l0)
 
+    def _detach(self, cref: int) -> None:
+        arena = self._arena
+        size = arena[cref]
+        if size in (2, 3):
+            for off in range(1, size + 1):
+                wl = self._tern_watches[arena[cref + off] ^ 1]
+                for i, entry in enumerate(wl):
+                    if entry[0] == cref:
+                        del wl[i]
+                        break
+            return
+        for lit in (arena[cref + 1], arena[cref + 2]):
+            wl = self._watches[lit]
+            for i in range(0, len(wl), 2):
+                if wl[i] == cref:
+                    del wl[i : i + 2]
+                    break
+
+    # -------------------------------------------------------------- propagation
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
-    # -------------------------------------------------------------- propagation
-    def _enqueue(self, lit: int, reason: WatchedClause | None) -> bool:
-        val = self._lit_value(lit)
-        if val is not _UNASSIGNED:
-            return val is True
-        var = abs(lit)
-        self._value[var] = lit > 0
-        self._level[var] = self._decision_level()
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        """Assign internal literal ``lit`` true; False when it is already false."""
+        values = self._values
+        val = values[lit]
+        if val != _UNDEF:
+            return val == _TRUE
+        var = lit >> 1
+        values[lit] = _TRUE
+        values[lit ^ 1] = _FALSE
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> WatchedClause | None:
-        """Unit propagation; returns a conflicting clause or ``None``."""
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
-            self._qhead += 1
-            self._stats.propagations += 1
-            falsified = -p
-            watch_list = self._watches[falsified]
-            kept: list[WatchedClause] = []
-            i = 0
-            n_watch = len(watch_list)
-            conflict: WatchedClause | None = None
-            while i < n_watch:
-                clause = watch_list[i]
-                i += 1
-                lits = clause.lits
-                # Make sure the falsified literal is at position 1.
-                if lits[0] == falsified:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if self._lit_value(first) is True:
-                    kept.append(clause)
-                    continue
-                # Look for a replacement watch.
-                moved = False
-                for k in range(2, len(lits)):
-                    if self._lit_value(lits[k]) is not False:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[lits[1]].append(clause)
-                        moved = True
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting cref or ``-1``.
+
+        This is the hottest loop of the whole system (every Monte Carlo sample
+        of ξ runs through it), so it is written against local aliases of the
+        flat stores with the enqueue inlined, and edits watcher lists in place
+        (read cursor ``i``, write cursor ``j``) instead of rebuilding them.
+        """
+        trail = self._trail
+        values = self._values
+        watches = self._watches
+        tern_watches = self._tern_watches
+        arena = self._arena
+        levels = self._level
+        reasons = self._reason
+        dl = len(self._trail_lim)
+        qhead = self._qhead
+        props = 0
+        confl = -1
+        # Drain the trail in segments: each pass snapshots the still-unseen
+        # suffix and iterates it with the C-level list iterator; literals
+        # enqueued during the pass land in the next segment (same FIFO order
+        # as a per-literal queue head, without per-literal len()/indexing).
+        has_long = self._has_long
+        enqueue = trail.append
+        while confl < 0 and qhead < len(trail):
+            segment = trail[qhead:]
+            qhead = len(trail)
+            props += len(segment)
+
+            if not has_long:
+                # Fast drain: every database clause is binary or ternary, so
+                # each literal is fully processed from its static watcher
+                # tuples — no arena, no watcher movement, no long-path test.
+                # MIRROR: this visit logic must stay identical to the copy in
+                # the mixed path below (a shared helper would cost a call per
+                # literal); tests/test_arena_engine.py pins the two paths to
+                # identical results by forcing _has_long on short databases.
+                for p in segment:
+                    for cref, o1, o2 in tern_watches[p]:
+                        v1 = values[o1]
+                        v2 = values[o2]
+                        if v1 == -1:
+                            if v2 != 0:  # satisfied or two non-false remain
+                                continue
+                            unit = o1  # o2 false -> o1 implied
+                        elif v1 == 1:
+                            continue
+                        elif v2 == 1:
+                            continue
+                        elif v2 == -1:
+                            unit = o2  # o1 false -> o2 implied
+                        else:  # all literals false
+                            confl = cref
+                            break
+                        var = unit >> 1
+                        values[unit] = 1
+                        values[unit ^ 1] = 0
+                        levels[var] = dl
+                        reasons[var] = cref
+                        enqueue(unit)
+                    if confl >= 0:
+                        props -= len(segment) - segment.index(p) - 1
                         break
-                if moved:
-                    continue
-                # Clause is unit or conflicting under the current assignment.
-                kept.append(clause)
-                if self._lit_value(first) is False:
-                    conflict = clause
-                    # Preserve the remaining watchers untouched.
-                    kept.extend(watch_list[i:])
-                    self._qhead = len(self._trail)
+                continue
+
+            for p in segment:
+                # Binary/ternary clauses: decided from the sibling values
+                # (lists are indexed by the triggering literal p itself;
+                # binary entries carry the pinned-false sentinel literal 0).
+                # MIRROR: identical to the fast-drain copy above — keep the
+                # two in sync (pinned by tests/test_arena_engine.py).
+                for cref, o1, o2 in tern_watches[p]:
+                    v1 = values[o1]
+                    v2 = values[o2]
+                    if v1 == -1:
+                        if v2 != 0:  # satisfied or two non-false remain
+                            continue
+                        unit = o1  # o2 false -> o1 implied
+                    elif v1 == 1:
+                        continue
+                    elif v2 == 1:
+                        continue
+                    elif v2 == -1:
+                        unit = o2  # o1 false -> o2 implied
+                    else:  # all literals false
+                        confl = cref
+                        break
+                    var = unit >> 1
+                    values[unit] = 1
+                    values[unit ^ 1] = 0
+                    levels[var] = dl
+                    reasons[var] = cref
+                    enqueue(unit)
+                if confl >= 0:
+                    props -= len(segment) - segment.index(p) - 1
                     break
-                self._enqueue(first, clause)
-            self._watches[falsified] = kept
-            if conflict is not None:
-                return conflict
-        return None
+
+                # Long clauses (>= 4 literals): classic two-watched scheme
+                # over the arena, with blocker literals and in-place watcher
+                # compaction (read cursor i, write cursor j).
+                false_lit = p ^ 1
+                wl = watches[false_lit]
+                if not wl:
+                    continue
+                i = j = 0
+                end = len(wl)
+                while i < end:
+                    cref = wl[i]
+                    blocker = wl[i + 1]
+                    if values[blocker] == 1:  # blocker true: clause satisfied
+                        if j < i:
+                            wl[j] = cref
+                            wl[j + 1] = blocker
+                        i += 2
+                        j += 2
+                        continue
+                    i += 2
+                    base = cref + 1
+                    # Move the falsified literal into the second watch slot.
+                    first = arena[base]
+                    if first == false_lit:
+                        first = arena[base + 1]
+                        arena[base] = first
+                        arena[base + 1] = false_lit
+                    if values[first] == 1:  # other watch true: keep
+                        wl[j] = cref
+                        wl[j + 1] = first
+                        j += 2
+                        continue
+                    # Look for a replacement watch among the tail literals.
+                    k = base + 2
+                    stop = base + arena[cref]
+                    while k < stop:
+                        lk = arena[k]
+                        if values[lk] != 0:  # true or unassigned: new watch
+                            arena[base + 1] = lk
+                            arena[k] = false_lit
+                            other = watches[lk]
+                            other.append(cref)
+                            other.append(first)
+                            break
+                        k += 1
+                    else:
+                        # Clause is unit or conflicting under this assignment.
+                        wl[j] = cref
+                        wl[j + 1] = first
+                        j += 2
+                        if values[first] == 0:
+                            confl = cref
+                            # Preserve the remaining watchers untouched.
+                            while i < end:
+                                wl[j] = wl[i]
+                                wl[j + 1] = wl[i + 1]
+                                i += 2
+                                j += 2
+                            break
+                        # Inlined enqueue of the implied literal.
+                        var = first >> 1
+                        values[first] = 1
+                        values[first ^ 1] = 0
+                        levels[var] = dl
+                        reasons[var] = cref
+                        enqueue(first)
+                del wl[j:]
+                if confl >= 0:
+                    props -= len(segment) - segment.index(p) - 1
+                    break
+        if confl >= 0:
+            qhead = len(trail)
+        self._qhead = qhead
+        self._stats.propagations += props
+        return confl
 
     # ----------------------------------------------------------------- analyse
-    def _analyze(self, conflict: WatchedClause) -> tuple[list[int], int]:
-        """First-UIP conflict analysis; returns (learnt clause, backjump level)."""
-        learnt: list[int] = [0]  # placeholder for the asserting literal
+    def _analyze(self, confl: int) -> tuple[list[int], int, int]:
+        """First-UIP conflict analysis.
+
+        Returns ``(learnt clause as internal literals, backjump level, LBD)``;
+        the asserting literal is at index 0 and a literal of the backjump
+        level at index 1.
+        """
+        arena = self._arena
+        trail = self._trail
+        levels = self._level
+        reasons = self._reason
         seen = self._seen
+        learnt_meta = self._cla_activity
+        learnt: list[int] = [0]  # placeholder for the asserting literal
         counter = 0
-        p: int | None = None
-        index = len(self._trail) - 1
-        current_level = self._decision_level()
-        clause: WatchedClause | None = conflict
+        p = -1  # -1 = none (first round uses the whole conflict clause)
+        index = len(trail) - 1
+        current_level = len(self._trail_lim)
+        cref = confl
         to_clear: list[int] = []
 
         while True:
-            assert clause is not None
-            if clause.learnt:
-                self._bump_clause(clause)
-            start = 0 if p is None else 1
-            for q in clause.lits[start:]:
-                var = abs(q)
-                if not seen[var] and self._level[var] > 0:
+            if cref in learnt_meta:
+                self._bump_clause(cref)
+            base = cref + 1
+            end = base + arena[cref]
+            # On reason rounds skip the implied literal p itself (p = -1 on
+            # the conflict round, which never matches a literal index).
+            for qi in range(base, end):
+                q = arena[qi]
+                if q == p:
+                    continue
+                var = q >> 1
+                if not seen[var] and levels[var] > 0:
                     seen[var] = True
                     to_clear.append(var)
                     self._bump_var(var)
-                    if self._level[var] >= current_level:
+                    if levels[var] >= current_level:
                         counter += 1
                     else:
                         learnt.append(q)
-            while not seen[abs(self._trail[index])]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self._trail[index]
-            clause = self._reason[abs(p)]
-            seen[abs(p)] = False
+            p = trail[index]
+            var_p = p >> 1
+            cref = reasons[var_p]
+            seen[var_p] = False
             index -= 1
             counter -= 1
             if counter == 0:
                 break
-        learnt[0] = -p
+        learnt[0] = p ^ 1
 
         if self.config.clause_minimization and len(learnt) > 1:
             learnt = self._minimize(learnt)
@@ -371,14 +605,18 @@ class CDCLSolver:
         else:
             max_i = 1
             for i in range(2, len(learnt)):
-                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                if levels[learnt[i] >> 1] > levels[learnt[max_i] >> 1]:
                     max_i = i
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            bt_level = self._level[abs(learnt[1])]
+            bt_level = levels[learnt[1] >> 1]
+
+        # LBD = number of distinct decision levels among the learnt literals
+        # (all currently assigned), the glue metric of the database reduction.
+        lbd = len({levels[lit >> 1] for lit in learnt})
 
         for var in to_clear:
             seen[var] = False
-        return learnt, bt_level
+        return learnt, bt_level, lbd
 
     def _minimize(self, learnt: list[int]) -> list[int]:
         """Cheap (non-recursive) clause minimisation.
@@ -386,19 +624,23 @@ class CDCLSolver:
         A literal other than the asserting one can be dropped when the reason of
         its variable is entirely subsumed by the remaining learnt literals.
         """
-        marked = {abs(lit) for lit in learnt}
+        arena = self._arena
+        levels = self._level
+        reasons = self._reason
+        marked = {lit >> 1 for lit in learnt}
         result = [learnt[0]]
         for lit in learnt[1:]:
-            reason = self._reason[abs(lit)]
-            if reason is None:
+            var = lit >> 1
+            reason = reasons[var]
+            if reason < 0:
                 result.append(lit)
                 continue
             redundant = True
-            for q in reason.lits:
-                var = abs(q)
-                if var == abs(lit):
+            for qi in range(reason + 1, reason + 1 + arena[reason]):
+                q_var = arena[qi] >> 1
+                if q_var == var:
                     continue
-                if var not in marked and self._level[var] > 0:
+                if q_var not in marked and levels[q_var] > 0:
                     redundant = False
                     break
             if not redundant:
@@ -421,11 +663,13 @@ class CDCLSolver:
     def _decay_var_activity(self) -> None:
         self._var_inc /= self.config.var_decay
 
-    def _bump_clause(self, clause: WatchedClause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
+    def _bump_clause(self, cref: int) -> None:
+        act = self._cla_activity
+        bumped = act[cref] + self._cla_inc
+        act[cref] = bumped
+        if bumped > 1e20:
             for learnt in self._learnts:
-                learnt.activity *= 1e-20
+                act[learnt] *= 1e-20
             self._cla_inc *= 1e-20
 
     def _decay_clause_activity(self) -> None:
@@ -433,58 +677,109 @@ class CDCLSolver:
 
     # --------------------------------------------------------------- backtracking
     def _cancel_until(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_lim) <= level:
             return
         target = self._trail_lim[level]
-        for i in range(len(self._trail) - 1, target - 1, -1):
-            lit = self._trail[i]
-            var = abs(lit)
-            if self.config.phase_saving:
-                self._saved_phase[var] = self._value[var]
-            self._value[var] = _UNASSIGNED
-            self._reason[var] = None
-            self._heap.push(var)
-        del self._trail[target:]
+        trail = self._trail
+        values = self._values
+        reasons = self._reason
+        saved = self._saved_phase
+        heap = self._heap
+        queued = heap._indices  # inline membership test: push is a no-op then
+        phase_saving = self.config.phase_saving
+        for i in range(len(trail) - 1, target - 1, -1):
+            lit = trail[i]
+            var = lit >> 1
+            if phase_saving:
+                saved[var] = not (lit & 1)  # even index = positive = True
+            values[lit] = _UNDEF
+            values[lit ^ 1] = _UNDEF
+            reasons[var] = _NO_REASON
+            if var not in queued:
+                heap.push(var)
+        del trail[target:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = target
 
     # ------------------------------------------------------------------- decide
     def _pick_branch_var(self) -> int | None:
-        while not self._heap.is_empty():
-            var = self._heap.pop()
-            if self._value[var] is _UNASSIGNED:
+        values = self._values
+        heap = self._heap
+        while not heap.is_empty():
+            var = heap.pop()
+            if values[var << 1] == _UNDEF:
                 return var
         return None
 
     # --------------------------------------------------------------- reduce DB
     def _reduce_db(self) -> None:
-        """Remove roughly half of the learned clauses with the lowest activity."""
-        locked = set()
-        for var in range(1, self._num_vars + 1):
-            reason = self._reason[var]
-            if reason is not None and reason.learnt:
-                locked.add(id(reason))
-        self._learnts.sort(key=lambda c: c.activity)
-        keep_from = len(self._learnts) // 2
-        removed: list[WatchedClause] = []
-        kept: list[WatchedClause] = []
-        for i, clause in enumerate(self._learnts):
-            if i < keep_from and len(clause.lits) > 2 and id(clause) not in locked:
-                removed.append(clause)
-            else:
-                kept.append(clause)
-        for clause in removed:
-            self._detach(clause)
-        self._stats.deleted_clauses += len(removed)
-        self._learnts = kept
+        """Delete the worst half of the deletable learnt clauses.
 
-    def _detach(self, clause: WatchedClause) -> None:
-        for lit in (clause.lits[0], clause.lits[1]):
-            watchers = self._watches[lit]
-            try:
-                watchers.remove(clause)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        Deletion order is LBD-first (higher LBD = weaker clause), activity
+        second, age (cref) as the deterministic tie-break.  Glue clauses
+        (LBD <= ``config.glue_lbd``), binary clauses and clauses currently
+        locked as reasons on the trail are never deleted.  Once deletions have
+        turned half the arena into garbage, the arena is compacted in place.
+        """
+        arena = self._arena
+        lbd = self._cla_lbd
+        act = self._cla_activity
+        locked = set()
+        for lit in self._trail:
+            reason = self._reason[lit >> 1]
+            if reason >= 0 and reason in act:
+                locked.add(reason)
+        # Worst first: high LBD, then low activity, then young (large cref).
+        order = sorted(self._learnts, key=lambda c: (-lbd[c], act[c], -c))
+        target = len(self._learnts) // 2
+        glue_limit = self.config.glue_lbd
+        removed: set[int] = set()
+        for cref in order:
+            if len(removed) >= target:
+                break
+            if lbd[cref] <= glue_limit or arena[cref] <= 2 or cref in locked:
+                continue
+            removed.add(cref)
+        for cref in removed:
+            self._detach(cref)
+            self._wasted += arena[cref] + 1
+            del act[cref]
+            del lbd[cref]
+        self._stats.deleted_clauses += len(removed)
+        self._learnts = [c for c in self._learnts if c not in removed]
+        if self._wasted * 2 > len(arena):
+            self._garbage_collect()
+
+    def _garbage_collect(self) -> None:
+        """Compact the arena: copy live clauses, remap crefs, rebuild watches."""
+        old = self._arena
+        new = [0]
+        remap: dict[int, int] = {}
+        for group in (self._clauses, self._learnts):
+            for slot, cref in enumerate(group):
+                size = old[cref]
+                new_cref = len(new)
+                new.append(size)
+                new.extend(old[cref + 1 : cref + 1 + size])
+                remap[cref] = new_cref
+                group[slot] = new_cref
+        self._arena = new
+        self._wasted = 0
+        self._cla_activity = {remap[c]: v for c, v in self._cla_activity.items()}
+        self._cla_lbd = {remap[c]: v for c, v in self._cla_lbd.items()}
+        reasons = self._reason
+        for lit in self._trail:
+            var = lit >> 1
+            if reasons[var] >= 0:
+                reasons[var] = remap[reasons[var]]
+        for wl in self._watches:
+            del wl[:]
+        for wl in self._tern_watches:
+            del wl[:]
+        self._has_long = False  # recomputed by the re-attach pass below
+        for group in (self._clauses, self._learnts):
+            for cref in group:
+                self._attach(cref)
 
     # --------------------------------------------------------------- main loop
     def _budget_exhausted(self, start_time: float) -> bool:
@@ -501,9 +796,10 @@ class CDCLSolver:
         return False
 
     def _solve_internal(self, assumptions: list[int]) -> SolverStatus:
+        """Run the restart loop; ``assumptions`` are internal literal indices."""
         if not self._ok:
             return SolverStatus.UNSAT
-        if self._propagate() is not None:
+        if self._propagate() >= 0:
             self._ok = False  # conflict at level 0: globally UNSAT
             return SolverStatus.UNSAT
         if self._num_vars == 0:
@@ -538,26 +834,29 @@ class CDCLSolver:
         start_time: float,
     ) -> SolverStatus | None:
         """Run until the restart conflict budget is spent; None means "restart"."""
+        values = self._values
         conflicts_here = 0
         while True:
-            conflict = self._propagate()
-            if conflict is not None:
+            confl = self._propagate()
+            if confl >= 0:
                 self._stats.conflicts += 1
                 conflicts_here += 1
-                if self._decision_level() == 0:
+                if not self._trail_lim:
                     self._ok = False  # conflict below all decisions: globally UNSAT
                     return SolverStatus.UNSAT
-                learnt, bt_level = self._analyze(conflict)
+                learnt, bt_level, lbd = self._analyze(confl)
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+                    self._enqueue(learnt[0], _NO_REASON)
                 else:
-                    clause = WatchedClause(learnt, learnt=True)
-                    self._learnts.append(clause)
+                    cref = self._alloc(learnt)
+                    self._learnts.append(cref)
+                    self._cla_activity[cref] = 0.0
+                    self._cla_lbd[cref] = lbd
                     self._stats.learned_clauses += 1
-                    self._attach(clause)
-                    self._bump_clause(clause)
-                    self._enqueue(learnt[0], clause)
+                    self._attach(cref)
+                    self._bump_clause(cref)
+                    self._enqueue(learnt[0], cref)
                 self._decay_var_activity()
                 self._decay_clause_activity()
                 if self._budget_exhausted(start_time):
@@ -571,18 +870,18 @@ class CDCLSolver:
                 self._reduce_db()
 
             # Assumptions first, then heap decisions.
-            decision: int | None = None
-            while self._decision_level() < len(assumptions):
-                lit = assumptions[self._decision_level()]
-                val = self._lit_value(lit)
-                if val is True:
+            decision = -1
+            while len(self._trail_lim) < len(assumptions):
+                lit = assumptions[len(self._trail_lim)]
+                val = values[lit]
+                if val == _TRUE:
                     self._trail_lim.append(len(self._trail))
                     continue
-                if val is False:
+                if val == _FALSE:
                     return SolverStatus.UNSAT
                 decision = lit
                 break
-            if decision is None:
+            if decision < 0:
                 var = self._pick_branch_var()
                 if var is None:
                     return SolverStatus.SAT
@@ -591,20 +890,23 @@ class CDCLSolver:
                     if self.config.phase_saving
                     else self.config.default_phase
                 )
-                decision = var if phase else -var
+                decision = (var << 1) | (0 if phase else 1)
             self._stats.decisions += 1
             self._trail_lim.append(len(self._trail))
             self._stats.max_decision_level = max(
-                self._stats.max_decision_level, self._decision_level()
+                self._stats.max_decision_level, len(self._trail_lim)
             )
-            self._enqueue(decision, None)
+            self._enqueue(decision, _NO_REASON)
 
 
 # --------------------------------------------------------------- registry wiring
 from repro.api.registry import register_solver  # noqa: E402  (import-time registration)
 
 
-@register_solver("cdcl", description="conflict-driven clause learning (MiniSat-style)")
+@register_solver("cdcl", description="conflict-driven clause learning (flat-array arena core)")
 def _cdcl_factory(**options) -> CDCLSolver:
     """Build a CDCL solver; keyword options are :class:`CDCLConfig` fields."""
     return CDCLSolver(CDCLConfig(**options)) if options else CDCLSolver()
+
+
+__all__ = ["CDCLConfig", "CDCLSolver"]

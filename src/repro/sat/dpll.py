@@ -125,6 +125,13 @@ class DPLLSolver:
                 changed = True
                 continue
             if self.use_pure_literals and clauses:
+                # The polarity scan runs only when the pass found no unit
+                # (unit passes dominate, and a polarity map built there would
+                # be discarded immediately).  Assigning a pure literal only
+                # removes clauses, which can never flip the polarity of
+                # another pure variable, so every pure literal found by one
+                # scan is assigned at once instead of re-scanning the whole
+                # clause list per literal as the previous implementation did.
                 polarity: dict[int, int] = {}
                 for clause in clauses:
                     for lit in clause:
@@ -135,7 +142,6 @@ class DPLLSolver:
                         assignment[var] = mask == 1
                         self._stats.propagations += 1
                         changed = True
-                        break
         return clauses, assignment
 
     def _dpll(self, clauses: list[tuple[int, ...]], assignment: dict[int, bool]) -> bool | None:

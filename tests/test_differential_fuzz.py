@@ -5,6 +5,12 @@ solved three ways — fresh CDCL, reference DPLL, and the incremental CDCL
 ``load()`` + ``solve(assumptions=...)`` path — and the answers must agree
 exactly.  Every claimed model is additionally checked against the formula, so
 a solver cannot "win" the agreement by being wrong in the same direction.
+
+Since PR 4 the default ``CDCLSolver`` is the flat-array arena engine and the
+pre-arena implementation survives as ``LegacyCDCLSolver``; the
+``TestArenaVsLegacyEngines`` class runs both engines over the same corpus
+(one-shot and under incremental assumption sequences) and requires
+bit-identical SAT/UNSAT verdicts.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import random
 
 import pytest
 
-from repro.sat.cdcl import CDCLSolver
+from repro.sat.cdcl import CDCLSolver, LegacyCDCLSolver
 from repro.sat.dpll import DPLLSolver
 from repro.sat.formula import CNF
 from repro.sat.random_cnf import planted_ksat, random_ksat, random_unsat_core
@@ -119,6 +125,82 @@ class TestFuzzCorpusSize:
         assumption_runs = len(UNIFORM_GRID) * 20
         constructed = 10 + 10
         assert uniform + assumption_runs + constructed >= 200
+
+
+class TestArenaVsLegacyEngines:
+    """The arena rewrite must agree verdict-for-verdict with the old engine."""
+
+    def test_engines_agree_on_the_uniform_corpus(self):
+        decided = 0
+        for cnf in _uniform_instances():
+            results = {
+                "arena": CDCLSolver().solve(cnf),
+                "legacy": LegacyCDCLSolver().solve(cnf),
+                "arena-incremental": CDCLSolver().load(cnf).solve(),
+            }
+            _assert_agreement(cnf, [], results)
+            decided += 1
+        assert decided == len(UNIFORM_GRID) * SEEDS_PER_SHAPE
+
+    def test_engines_agree_under_incremental_assumption_sequences(self):
+        # One persistent solver of each engine per instance: learned clauses
+        # accumulate independently in two different clause databases and must
+        # never make the engines disagree on any assumption vector.
+        for num_vars, ratio in UNIFORM_GRID:
+            for seed in range(10):
+                cnf = random_ksat(num_vars, round(ratio * num_vars), k=3, seed=2500 + seed)
+                arena = CDCLSolver().load(cnf)
+                legacy = LegacyCDCLSolver().load(cnf)
+                rng = random.Random(4000 + seed)
+                for _ in range(6):
+                    variables = rng.sample(range(1, num_vars + 1), rng.randint(0, 3))
+                    assumptions = [v if rng.random() < 0.5 else -v for v in variables]
+                    results = {
+                        "arena": arena.solve(assumptions=assumptions),
+                        "legacy": legacy.solve(assumptions=assumptions),
+                    }
+                    _assert_agreement(cnf, assumptions, results)
+
+    def test_engines_agree_on_constructed_instances(self):
+        for seed in range(10):
+            cnf, _planted = planted_ksat(10, 38, k=3, seed=seed)
+            assert CDCLSolver().solve(cnf).status is SolverStatus.SAT
+            assert LegacyCDCLSolver().solve(cnf).status is SolverStatus.SAT
+            core = random_unsat_core(6 + seed, seed=seed)
+            assert CDCLSolver().solve(core).status is SolverStatus.UNSAT
+            assert LegacyCDCLSolver().solve(core).status is SolverStatus.UNSAT
+
+    def test_engines_agree_off_the_ternary_fast_path(self):
+        # 4-SAT instances route through the arena engine's long-clause
+        # (blocker-literal) path, which the ternary fast drain skips.
+        for seed in range(12):
+            cnf = random_ksat(14, 130, k=4, seed=seed)
+            results = {
+                "arena": CDCLSolver().solve(cnf),
+                "legacy": LegacyCDCLSolver().solve(cnf),
+            }
+            _assert_agreement(cnf, [], results)
+
+    def test_engine_propagation_counts_agree_on_conflict_free_closures(self):
+        # Unit propagation is confluent: on a conflict-free assumption vector
+        # both engines must assign the exact same closure, so their isolated
+        # propagation counters agree *exactly* even though visit order
+        # differs.  Vectors drawn from a model of the formula can never
+        # conflict, which makes exact equality assertable.
+        from repro.perf.workloads import _propagation_round
+
+        cnf = random_ksat(30, 100, k=3, seed=9)  # under-constrained: SAT
+        model = CDCLSolver().solve(cnf).model
+        assert model is not None
+        rng = random.Random(17)
+        vectors = []
+        for _ in range(25):
+            variables = rng.sample(range(1, 31), rng.randint(1, 6))
+            vectors.append([v if model[v] else -v for v in variables])
+        arena_props, _ = _propagation_round("arena", cnf, vectors)
+        legacy_props, _ = _propagation_round("legacy", cnf, vectors)
+        assert arena_props == legacy_props
+        assert arena_props > 0
 
 
 @pytest.mark.parametrize("seed", range(5))

@@ -1,0 +1,174 @@
+"""Tests for the perf-regression harness (:mod:`repro.perf`).
+
+The benchmark *numbers* live in ``benchmarks/BENCH_4.json`` and the CI
+perf-smoke job; these tests cover the machinery — baseline I/O, the
+ratio-based regression gate, and tiny smoke runs of each workload driver so a
+refactor of the solver internals that breaks the drivers fails fast here
+rather than in CI's timing job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.registry import get_cipher
+from repro.perf import (
+    BenchProfile,
+    compare_to_baseline,
+    default_baseline_path,
+    estimation_workload,
+    format_comparison,
+    incremental_solve_workload,
+    load_baseline,
+    propagation_core_workload,
+    write_baseline,
+)
+from repro.perf.workloads import assumption_vectors
+from repro.problems import make_inversion_instance
+
+
+def _record(**speedups) -> dict:
+    return {
+        "kind": "propagation-core-bench",
+        "schema": 1,
+        "workloads": {name: {"speedup": value} for name, value in speedups.items()},
+    }
+
+
+class TestCompareToBaseline:
+    def test_no_regressions_when_current_matches(self):
+        baseline = _record(a=3.0, b=1.5)
+        assert compare_to_baseline(_record(a=3.0, b=1.5), baseline) == []
+
+    def test_improvements_pass(self):
+        baseline = _record(a=3.0)
+        assert compare_to_baseline(_record(a=4.5), baseline) == []
+
+    def test_drop_beyond_tolerance_regresses(self):
+        baseline = _record(a=3.0)
+        regressions = compare_to_baseline(_record(a=2.0), baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        assert "a" in regressions[0]
+
+    def test_drop_within_tolerance_passes(self):
+        baseline = _record(a=3.0)
+        assert compare_to_baseline(_record(a=2.4), baseline, tolerance=0.25) == []
+
+    def test_missing_workload_regresses_only_when_required(self):
+        baseline = _record(a=3.0, b=1.5)
+        current = _record(a=3.0)
+        assert compare_to_baseline(current, baseline, require_all=True)
+        assert compare_to_baseline(current, baseline, require_all=False) == []
+
+    def test_unmeasured_speedup_in_current_run_regresses(self):
+        baseline = _record(a=3.0)
+        current = {"workloads": {"a": {"speedup": None}}}
+        assert compare_to_baseline(current, baseline)
+
+    def test_baseline_without_speedup_is_skipped(self):
+        baseline = {"workloads": {"a": {"speedup": None}}}
+        assert compare_to_baseline(_record(), baseline) == []
+
+    def test_extra_current_workloads_are_ignored(self):
+        baseline = _record(a=3.0)
+        assert compare_to_baseline(_record(a=3.0, extra=0.1), baseline) == []
+
+    def test_invalid_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline(_record(), _record(), tolerance=1.5)
+
+    def test_format_comparison_lists_every_baseline_workload(self):
+        text = format_comparison(_record(a=3.1), _record(a=3.0, b=1.5))
+        assert "x3.00" in text and "x3.10" in text and "b" in text
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        record = _record(a=3.0)
+        path = write_baseline(record, tmp_path / "BENCH_4.json")
+        assert load_baseline(path)["workloads"]["a"]["speedup"] == 3.0
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "something-else", "schema": 1}))
+        with pytest.raises(ValueError, match="not a propagation-core"):
+            load_baseline(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"kind": "propagation-core-bench", "schema": 99, "workloads": {}})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_missing_workloads_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "propagation-core-bench", "schema": 1}))
+        with pytest.raises(ValueError, match="workloads"):
+            load_baseline(path)
+
+    def test_committed_baseline_exists_and_loads(self):
+        path = default_baseline_path()
+        assert path.exists(), "benchmarks/BENCH_4.json must be committed"
+        document = load_baseline(path)
+        # The PR's acceptance numbers: >= 3x propagation throughput on the
+        # A5/1 microbenchmark, >= 1.5x end-to-end estimation speedup.
+        assert document["workloads"]["propagation-core/a51-tiny-d8"]["speedup"] >= 3.0
+        assert document["workloads"]["estimation/a51-tiny-d8"]["speedup"] >= 1.5
+
+
+class TestWorkloadDrivers:
+    """Tiny smoke runs: the drivers must keep working against solver internals."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return make_inversion_instance(get_cipher("geffe-tiny")(), seed=1)
+
+    def test_assumption_vectors_are_deterministic(self, instance):
+        first = assumption_vectors(list(instance.start_set), 4, 10, seed=5)
+        second = assumption_vectors(list(instance.start_set), 4, 10, seed=5)
+        assert first == second
+        assert len(first) == 10
+        assert all(len(vector) == 4 for vector in first)
+
+    def test_propagation_core_workload_smoke(self, instance):
+        vectors = assumption_vectors(list(instance.start_set), 4, 8, seed=5)
+        workload = propagation_core_workload(instance.cnf, vectors, rounds=1)
+        assert workload["metric"] == "propagations_per_sec"
+        assert workload["arena"]["propagations_per_sec"] > 0
+        assert workload["legacy"]["propagations_per_sec"] > 0
+        assert workload["speedup"] is not None and workload["speedup"] > 0
+        # Identical inputs -> near-identical propagation closures (counts
+        # differ only on conflicting vectors, where the visit order decides
+        # how many literals were dequeued before the conflict surfaced).
+        arena_props = workload["arena"]["propagations"]
+        legacy_props = workload["legacy"]["propagations"]
+        assert abs(arena_props - legacy_props) <= max(8, 0.1 * legacy_props)
+
+    def test_incremental_solve_workload_smoke(self, instance):
+        vectors = assumption_vectors(list(instance.start_set), 4, 6, seed=5)
+        workload = incremental_solve_workload(instance.cnf, vectors, rounds=1)
+        assert workload["metric"] == "solves_per_sec"
+        assert workload["arena"]["solves_per_sec"] > 0
+        assert workload["speedup"] > 0
+
+    def test_estimation_workload_smoke(self, instance):
+        workload = estimation_workload(
+            instance.cnf, list(instance.start_set[:4]), sample_size=5, seed=1, rounds=1
+        )
+        assert workload["metric"] == "wall_time"
+        assert workload["arena"]["wall_time"] > 0
+        assert workload["legacy"]["wall_time"] > 0
+        assert workload["speedup"] > 0
+
+    def test_profiles_are_consistent(self):
+        full = BenchProfile.full()
+        smoke = BenchProfile.smoke()
+        assert full.name == "full" and smoke.name == "smoke"
+        assert smoke.propagation_vectors < full.propagation_vectors
+        # See BenchProfile.smoke: the estimation sample size must match the
+        # full profile or the gate's estimation ratios are not comparable.
+        assert smoke.estimation_samples == full.estimation_samples

@@ -38,11 +38,16 @@ from repro.perf import (  # noqa: F401  (re-exported timing protocol)
     estimation_workload,
     incremental_solve_workload,
     load_baseline,
+    preprocessing_estimation_workload,
+    preprocessing_family_differential,
     propagation_core_workload,
+    sweep_decompositions,
 )
 
-#: The committed perf baseline next to this module (see bench_propagation.py).
+#: The committed perf baselines next to this module (see bench_propagation.py
+#: and bench_preprocessing.py).
 BENCH4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
+BENCH5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
 
 
 def load_bench4_baseline() -> dict | None:
@@ -50,6 +55,13 @@ def load_bench4_baseline() -> dict | None:
     if not BENCH4_PATH.exists():
         return None
     return load_baseline(BENCH4_PATH)
+
+
+def load_bench5_baseline() -> dict | None:
+    """The committed ``BENCH_5.json`` record, or ``None`` before the first commit."""
+    if not BENCH5_PATH.exists():
+        return None
+    return load_baseline(BENCH5_PATH, suite="preprocessing")
 
 
 # Benchmarks run the whole pipeline once; repeating it would only slow CI down.

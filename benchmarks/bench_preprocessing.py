@@ -1,0 +1,159 @@
+"""CNF preprocessing microbenchmark: simplified-vs-raw ξ-estimation (BENCH_5).
+
+PR 5 added the SatELite-style preprocessing subsystem
+(:class:`repro.sat.simplify.Preprocessor`).  This module is the continuous
+check that it keeps paying where it should — and stays *safe* everywhere:
+
+* **reduction** — the weakened cipher encodings must actually shrink
+  (variables, clauses, literals) at the default growth-0 settings;
+* **estimation speedup** — fresh-solve (paper-semantics) estimation on the
+  bivium-tiny d=10 prefix must stay decisively faster simplified than raw,
+  with the one-off preprocessing wall time charged to the simplified side;
+* **differential safety** — per-sample SAT/UNSAT statuses must be identical
+  between the raw and the simplified run, whole decomposition families must
+  reach identical answers, and reconstructed models must satisfy the raw
+  formula;
+* the committed ``BENCH_5.json`` is the reference: the run fails when a
+  measured simplified-vs-raw speedup falls more than 25 % below any committed
+  workload ratio it re-measures (machine-independent ratios, see
+  ``benchmarks/_common.py``).
+
+The committed baseline shows ~x1.4 end-to-end on the bivium-tiny fresh
+workload; the hard floors asserted here are deliberately lower so slow, noisy
+CI machines do not flake.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import (
+    compare_to_baseline,
+    load_bench5_baseline,
+    preprocessing_estimation_workload,
+    preprocessing_family_differential,
+    print_table,
+    run_once,
+)
+from repro.api.registry import get_cipher
+from repro.problems import make_inversion_instance
+from repro.sat.simplify import Preprocessor
+
+SEED = 3
+
+
+def _instances():
+    bivium = make_inversion_instance(get_cipher("bivium-tiny")(), seed=SEED)
+    a51 = make_inversion_instance(get_cipher("a51-tiny")(), seed=SEED)
+    return bivium, a51
+
+
+def test_reduction_on_cipher_encodings(benchmark):
+    """Default preprocessing must shrink both weakened cipher encodings."""
+
+    def run():
+        records = {}
+        for instance in _instances():
+            result = Preprocessor().preprocess(
+                instance.cnf, frozen=frozenset(instance.start_set)
+            )
+            records[instance.name] = result.stats
+        return records
+
+    records = run_once(benchmark, run)
+    rows = [
+        [
+            name,
+            f"{stats.vars_before} -> {stats.vars_after}",
+            f"{stats.clauses_before} -> {stats.clauses_after}",
+            f"{stats.literals_before} -> {stats.literals_after}",
+            f"{stats.wall_time * 1000:.0f}ms",
+        ]
+        for name, stats in records.items()
+    ]
+    print_table(
+        "Preprocessing reduction (start set frozen)",
+        ["instance", "vars", "clauses", "literals", "wall"],
+        rows,
+    )
+    for name, stats in records.items():
+        assert stats.vars_after < stats.vars_before, name
+        assert stats.clauses_after < stats.clauses_before, name
+        assert stats.literals_after < stats.literals_before, name
+        assert stats.eliminated_variables > 0, name
+
+
+def test_fresh_estimation_speedup_and_differential(benchmark):
+    """The headline BENCH_5 workload: simplified fresh estimation wins."""
+    bivium, _ = _instances()
+    frozen = frozenset(bivium.start_set)
+    prefix = [tuple(sorted(bivium.start_set[:10]))]
+
+    def run():
+        return preprocessing_estimation_workload(
+            bivium.cnf, frozen, prefix, 600, seed=SEED, rounds=2
+        )
+
+    workload = run_once(benchmark, run)
+    print_table(
+        "Simplified vs raw fresh estimation (bivium-tiny d=10, N=600)",
+        ["raw", "simplified (incl. preprocess)", "speedup", "statuses agree"],
+        [[
+            f"{workload['raw']['wall_time']:.2f}s",
+            f"{workload['simplified']['wall_time']:.2f}s",
+            f"x{workload['speedup']:.2f}",
+            str(workload["statuses_agree"]),
+        ]],
+    )
+    # Safety is a hard invariant; speed has a CI-noise-proof floor (the
+    # committed BENCH_5.json records the real ~x1.4).
+    assert workload["statuses_agree"] is True
+    assert workload["speedup"] >= 1.05
+
+    regressions = compare_to_baseline(
+        {"workloads": {"preprocessing-estimation-fresh/bivium-tiny-d10": workload}},
+        load_bench5_baseline() or {"workloads": {}},
+        tolerance=0.25,
+        require_all=False,
+    )
+    assert not regressions, "\n".join(regressions)
+
+
+def test_family_answers_and_models_unchanged(benchmark):
+    """Whole-family solver answers and reconstructed models are invariant."""
+    bivium, a51 = _instances()
+
+    def run():
+        return {
+            "bivium-tiny-d6": preprocessing_family_differential(
+                bivium.cnf, frozenset(bivium.start_set), list(bivium.start_set[:6])
+            ),
+            "a51-tiny-d8": preprocessing_family_differential(
+                a51.cnf, frozenset(a51.start_set), list(a51.start_set[:8])
+            ),
+        }
+
+    records = run_once(benchmark, run)
+    for name, record in records.items():
+        assert record["answers_identical"] is True, name
+        assert record["models_verified"] is True, name
+
+
+def test_committed_baseline_meets_the_pr_targets():
+    """The committed BENCH_5.json itself carries the acceptance evidence."""
+    baseline = load_bench5_baseline()
+    assert baseline is not None, "benchmarks/BENCH_5.json is missing"
+    workloads = baseline["workloads"]
+    # >= 1.3x end-to-end on at least one of a51-tiny / bivium-tiny, and every
+    # committed workload must have recorded identical per-sample statuses.
+    assert any(
+        workload.get("speedup", 0) >= 1.3
+        for name, workload in workloads.items()
+        if name.startswith("preprocessing-estimation-")
+    )
+    for name, workload in workloads.items():
+        assert workload["statuses_agree"] is True, name
+    differential = baseline["differential"]
+    for name, record in differential.items():
+        if name.startswith("family/"):
+            assert record["answers_identical"] is True, name
+            assert record["models_verified"] is True, name
+    assert differential["xi-identical-with-simplify-off/bivium-tiny"] is True

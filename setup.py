@@ -12,7 +12,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-sat",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Monte Carlo search for SAT partitionings "
         "(reproduction of Semenov & Zaikin, PaCT 2015)"

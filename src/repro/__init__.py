@@ -55,12 +55,14 @@ from repro.api import (
     ExperimentResult,
     InstanceSpec,
     MinimizerSpec,
+    PreprocessorSpec,
     SolverSpec,
     register_backend,
     register_cipher,
     register_cost_measure,
     register_minimizer,
     register_partitioner,
+    register_preprocessor,
     register_solver,
 )
 from repro.core import (
@@ -86,7 +88,7 @@ from repro.problems import (
 from repro.sat import CNF, parse_dimacs, parse_dimacs_file, write_dimacs
 from repro.sat.cdcl import CDCLSolver
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -100,11 +102,13 @@ __all__ = [
     "MinimizerSpec",
     "BackendSpec",
     "EstimatorSpec",
+    "PreprocessorSpec",
     "register_cipher",
     "register_solver",
     "register_minimizer",
     "register_partitioner",
     "register_backend",
+    "register_preprocessor",
     "register_cost_measure",
     "DecompositionSet",
     "DecompositionFamily",

@@ -43,17 +43,20 @@ _EXPORTS = {
     "register_minimizer": "repro.api.registry",
     "register_partitioner": "repro.api.registry",
     "register_backend": "repro.api.registry",
+    "register_preprocessor": "repro.api.registry",
     "get_cipher": "repro.api.registry",
     "get_solver": "repro.api.registry",
     "get_minimizer": "repro.api.registry",
     "get_partitioner": "repro.api.registry",
     "get_backend": "repro.api.registry",
+    "get_preprocessor": "repro.api.registry",
     "get_cost_measure": "repro.api.registry",
     "list_ciphers": "repro.api.registry",
     "list_solvers": "repro.api.registry",
     "list_minimizers": "repro.api.registry",
     "list_partitioners": "repro.api.registry",
     "list_backends": "repro.api.registry",
+    "list_preprocessors": "repro.api.registry",
     "list_cost_measures": "repro.api.registry",
     # measures
     "CostMeasure": "repro.api.measures",
@@ -65,6 +68,7 @@ _EXPORTS = {
     "MinimizerSpec": "repro.api.specs",
     "BackendSpec": "repro.api.specs",
     "EstimatorSpec": "repro.api.specs",
+    "PreprocessorSpec": "repro.api.specs",
     "ExperimentConfig": "repro.api.specs",
     # backends
     "ExecutionBackend": "repro.api.backends",

@@ -139,6 +139,14 @@ class Experiment:
                 solver=self.config.solver.build(),
                 seed=self.config.seed,
                 estimator=self.config.effective_estimator(),
+                preprocessor=(
+                    self.config.preprocessor.build()
+                    if self.config.preprocessor is not None
+                    else None
+                ),
+                # An explicitly configured decomposition may name variables
+                # outside the start set; preprocessing must not touch them.
+                frozen_variables=self.config.decomposition,
             )
         return self._pdsat
 
@@ -258,6 +266,9 @@ class Experiment:
                 f"2^{len(decomposition)} sub-problems; raise max_family_bits to allow it"
             )
         dec = DecompositionSet.of(decomposition)
+        # With preprocessing active, every decomposition variable must have
+        # survived simplification (clean error, not silent wrong answers).
+        self.pdsat.ensure_assumable(dec.variables)
         num_vars = self.instance.cnf.num_vars
         out_of_range = sorted(v for v in dec.variables if v > num_vars)
         if out_of_range:
@@ -296,6 +307,12 @@ class Experiment:
                 "decomposition": sorted(dec.variables),
                 "cost_measure": cost_measure,
             }
+            if cfg.preprocessor is not None:
+                # Preprocessing changes per-sub-problem costs, so a checkpoint
+                # written by a preprocessed run must not resume a raw run (or
+                # vice versa).  The key is added conditionally to keep
+                # checkpoints from pre-preprocessor runs resumable.
+                fingerprint["preprocessor"] = cfg.preprocessor.to_dict()
             path = Path(cfg.checkpoint_path)
             if path.exists():
                 checkpoint = SchedulerCheckpoint.load(path)
@@ -323,7 +340,10 @@ class Experiment:
             # rewritten at most ~256 times per run (and once at the end).
             checkpoint_kwargs["checkpoint_every"] = max(1, len(vectors) // 256)
         run = backend.run(
-            self.instance.cnf,
+            # The orchestrator's working CNF: the instance encoding, or its
+            # preprocessed form when the config carries a preprocessor spec
+            # (same variable numbering, so the assumption vectors transfer).
+            self.pdsat.cnf,
             vectors,
             solver=cfg.solver,
             cost_measure=cost_measure,
@@ -364,7 +384,10 @@ class Experiment:
 
     def _recover_state(self, models: list[dict[int, bool]]) -> str | None:
         """Extract and verify a recovered register state from the SAT models."""
+        presolve = self.pdsat.presolve
         for model in models:
+            if presolve is not None:
+                model = presolve.reconstruct(model)
             state = self.instance.state_from_model(model)
             if self.instance.verify_state(state):
                 return "".join(str(bit) for bit in state)

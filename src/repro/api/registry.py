@@ -12,6 +12,8 @@ in new ones:
 * ``@register_partitioner`` — classical partitioning techniques;
 * ``@register_backend`` — execution backends (``"serial"``, ``"process-pool"``,
   ``"simulated-cluster"``, ``"volunteer-grid"``);
+* ``@register_preprocessor`` — CNF preprocessing pipelines (``"satelite"``,
+  ``"units-only"``, …);
 
 plus the matching ``get_*()`` / ``list_*()`` lookups.  The cost-measure
 registry is populated by :mod:`repro.api.measures`.
@@ -68,6 +70,7 @@ _BUILTIN_MODULES = (
     "repro.partitioning.scattering",
     "repro.partitioning.lookahead_partition",
     "repro.api.backends",
+    "repro.sat.simplify",
 )
 
 _builtins_loaded = False
@@ -186,6 +189,7 @@ SOLVERS = Registry("solver", ensure=_ensure_builtins)
 MINIMIZERS = Registry("minimizer", ensure=_ensure_builtins)
 PARTITIONERS = Registry("partitioner", ensure=_ensure_builtins)
 BACKENDS = Registry("backend", ensure=_ensure_builtins)
+PREPROCESSORS = Registry("preprocessor", ensure=_ensure_builtins)
 COST_MEASURES = Registry("cost measure", ensure=_ensure_measures)
 
 
@@ -217,6 +221,11 @@ def register_partitioner(name: str, *, description: str = "", replace: bool = Fa
 def register_backend(name: str, *, description: str = "", replace: bool = False):
     """Register an execution-backend factory ``fn(**options)`` under ``name``."""
     return BACKENDS.register(name, description=description, replace=replace)
+
+
+def register_preprocessor(name: str, *, description: str = "", replace: bool = False):
+    """Register a preprocessor factory ``fn(**options) -> Preprocessor`` under ``name``."""
+    return PREPROCESSORS.register(name, description=description, replace=replace)
 
 
 # -------------------------------------------------------------------- lookups
@@ -268,6 +277,16 @@ def get_backend(name: str):
 def list_backends() -> list[str]:
     """Sorted names of the registered execution backends."""
     return BACKENDS.names()
+
+
+def get_preprocessor(name: str):
+    """The preprocessor factory registered under ``name``."""
+    return PREPROCESSORS.get(name)
+
+
+def list_preprocessors() -> list[str]:
+    """Sorted names of the registered CNF preprocessors."""
+    return PREPROCESSORS.names()
 
 
 def get_cost_measure(name: str):

@@ -167,14 +167,20 @@ class EstimatorSpec:
         )
 
     def build(
-        self, cnf: "CNF", solver: "Solver | None" = None, seed: int = 0
+        self,
+        cnf: "CNF",
+        solver: "Solver | None" = None,
+        seed: int = 0,
+        frozen_variables=None,
     ) -> "PredictiveFunction":
         """Materialise the evaluator for ``cnf``.
 
         ``incremental=True`` silently downgrades to fresh solves when
         ``solver`` does not implement the incremental contract (or when
         ``substitution_mode`` is ``"units"``), so one spec works across every
-        registered solver.
+        registered solver.  ``frozen_variables`` is the decomposition superset
+        forwarded to preprocessing-aware solvers (see
+        :class:`~repro.core.predictive.PredictiveFunction`).
         """
         from repro.core.predictive import PredictiveFunction, supports_incremental_solving
         from repro.sat.cdcl import CDCLSolver
@@ -194,6 +200,7 @@ class EstimatorSpec:
                 and supports_incremental_solving(solver, self.substitution_mode)
             ),
             sample_cache_size=self.sample_cache_size,
+            frozen_variables=frozen_variables,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -205,6 +212,45 @@ class EstimatorSpec:
         """Inverse of :meth:`to_dict` (unknown keys raise ``ValueError``)."""
         _check_known_keys(cls, data)
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class PreprocessorSpec:
+    """Which CNF preprocessor simplifies the instance, and its options.
+
+    ``name`` is a preprocessor-registry name (``"satelite"``, ``"units-only"``
+    or anything registered with
+    :func:`repro.api.registry.register_preprocessor`); ``options`` are the
+    factory's keyword arguments (for the built-ins:
+    :class:`~repro.sat.simplify.PreprocessConfig` fields).  When an
+    :class:`ExperimentConfig` carries a ``preprocessor`` spec, the orchestrator
+    simplifies the instance CNF **once** — with the instance's start set
+    frozen, so decomposition variables stay assumable — and runs both the
+    estimating and the solving mode against the simplified formula; satisfying
+    models are reconstructed over the original variables before state
+    recovery.  Per-sample solver costs are then measured on the simplified
+    formula (a different, cheaper ξ than the raw formula's — SAT/UNSAT
+    outcomes are provably identical, see ``docs/preprocessing.md``).
+    """
+
+    name: str = "satelite"
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def build(self):
+        """Instantiate the preprocessor through the preprocessor registry."""
+        from repro.api.registry import get_preprocessor
+
+        return get_preprocessor(self.name)(**self.options)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PreprocessorSpec":
+        """Inverse of :meth:`to_dict`."""
+        _check_known_keys(cls, data)
+        return cls(name=data.get("name", "satelite"), options=dict(data.get("options", {})))
 
 
 @dataclass(frozen=True)
@@ -247,6 +293,9 @@ class ExperimentConfig:
     #: Full estimation-engine configuration; ``None`` derives one from the
     #: legacy ``sample_size`` / ``cost_measure`` fields (incremental engine on).
     estimator: EstimatorSpec | None = None
+    #: Optional CNF preprocessing applied once to the instance before the
+    #: estimating/solving modes (``None``: solve the raw encoding).
+    preprocessor: PreprocessorSpec | None = None
     #: ``N``, the random-sample size per predictive-function evaluation.
     #: When ``estimator`` is given this is normalised to its ``sample_size``
     #: so serialised configs never carry contradictory values.
@@ -304,6 +353,9 @@ class ExperimentConfig:
             "minimizer": self.minimizer.to_dict(),
             "backend": self.backend.to_dict(),
             "estimator": self.estimator.to_dict() if self.estimator is not None else None,
+            "preprocessor": (
+                self.preprocessor.to_dict() if self.preprocessor is not None else None
+            ),
             "sample_size": self.sample_size,
             "cost_measure": self.cost_measure,
             "seed": self.seed,
@@ -323,6 +375,7 @@ class ExperimentConfig:
         _check_known_keys(cls, data)
         decomposition = data.get("decomposition")
         estimator = data.get("estimator")
+        preprocessor = data.get("preprocessor")
         return cls(
             instance=InstanceSpec.from_dict(dict(data.get("instance", {}))),
             solver=SolverSpec.from_dict(dict(data.get("solver", {}))),
@@ -330,6 +383,11 @@ class ExperimentConfig:
             backend=BackendSpec.from_dict(dict(data.get("backend", {}))),
             estimator=(
                 EstimatorSpec.from_dict(dict(estimator)) if estimator is not None else None
+            ),
+            preprocessor=(
+                PreprocessorSpec.from_dict(dict(preprocessor))
+                if preprocessor is not None
+                else None
             ),
             sample_size=data.get("sample_size", 50),
             cost_measure=data.get("cost_measure", "propagations"),

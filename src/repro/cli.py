@@ -17,11 +17,15 @@ Sub-commands:
 * ``run``       — execute a full experiment described by a JSON config file;
 * ``bench``     — benchmark the batched Monte Carlo estimation engine against
   the per-sample baseline and write a ``BENCH_*.json`` trajectory file; with
-  ``--compare-baseline`` it instead runs the propagation-core perf suite
-  (:mod:`repro.perf`) and fails on a >25% arena-vs-legacy speedup regression
-  against the committed ``benchmarks/BENCH_4.json`` (``--update-baseline``
-  refreshes that file);
-* ``simplify``  — apply the SatELite-style preprocessor to an instance;
+  ``--compare-baseline`` it instead runs a perf suite (:mod:`repro.perf`) and
+  fails on a >25% speedup-ratio regression against its committed baseline:
+  ``--suite propagation`` gates the arena-vs-legacy propagation core against
+  ``benchmarks/BENCH_4.json``, ``--suite preprocessing`` gates the
+  simplified-vs-raw estimation speedup against ``benchmarks/BENCH_5.json``
+  (``--update-baseline`` refreshes the selected file);
+* ``simplify``  — apply the SatELite-style preprocessor to a cipher instance
+  or to any DIMACS file (``--input``), with per-rule reduction stats and
+  frozen-variable support;
 * ``partition`` — build a classical partitioning of an instance;
 * ``portfolio`` — race the diversified CDCL portfolio.
 
@@ -35,8 +39,10 @@ Examples::
     repro-sat run --config exp.json --backend process-pool --cores 4 --resume run.ckpt
     repro-sat bench --cipher a51-tiny --seed 3 --decomposition-size 8 --sample-size 100
     repro-sat bench --compare-baseline
+    repro-sat bench --suite preprocessing --compare-baseline
     repro-sat bench --perf-profile full --update-baseline
     repro-sat simplify --cipher bivium-tiny --seed 1
+    repro-sat simplify --input hard.cnf --frozen 1,2,3 --output hard.simplified.cnf
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
     repro-sat portfolio --cipher bivium-tiny --seed 1
 """
@@ -66,6 +72,7 @@ from repro.api.registry import (
     COST_MEASURES,
     MINIMIZERS,
     PARTITIONERS,
+    PREPROCESSORS,
     SOLVERS,
     get_cipher,
     get_cost_measure,
@@ -160,6 +167,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "minimizers": MINIMIZERS,
         "partitioners": PARTITIONERS,
         "backends": BACKENDS,
+        "preprocessors": PREPROCESSORS,
         "cost-measures": COST_MEASURES,
     }
     selected = registries if args.kind == "all" else {args.kind: registries[args.kind]}
@@ -343,17 +351,26 @@ def _default_checkpoints(sample_size: int) -> list[int]:
 
 
 def _cmd_perf_bench(args: argparse.Namespace) -> int:
-    """Run the propagation-core perf suite; gate against / refresh ``BENCH_4.json``."""
+    """Run a perf suite; gate against / refresh its committed ``BENCH_*.json``.
+
+    ``--suite propagation`` (the default) measures the arena-vs-legacy
+    propagation core against ``BENCH_4.json``; ``--suite preprocessing``
+    measures simplified-vs-raw estimation against ``BENCH_5.json``.
+    """
     from repro.perf import (
         BenchProfile,
         compare_to_baseline,
         default_baseline_path,
+        differential_failures,
         format_comparison,
         load_baseline,
         run_bench4,
+        run_bench5,
         write_baseline,
     )
 
+    suite = args.suite
+    runner = run_bench5 if suite == "preprocessing" else run_bench4
     profile = BenchProfile.full() if args.perf_profile == "full" else BenchProfile.smoke()
     # Validate the cheap preconditions before the multi-second suite runs.
     if args.update_baseline is not None and profile.name != "full":
@@ -368,21 +385,43 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         )
     if not 0 <= args.tolerance < 1:
         raise SystemExit("--tolerance must lie in [0, 1)")
-    print(f"running propagation-core perf suite ({profile.name} profile) ...")
-    record = run_bench4(profile, seed=args.seed, progress=lambda m: print(f"  {m}"))
-
-    # The gate runs against the *pre-existing* baseline before any write, so
-    # combining --compare-baseline with --update-baseline cannot compare the
-    # fresh record against itself — and a detected regression blocks the
-    # update instead of silently replacing the only good baseline.
+    # Resolve and validate the comparison baseline up front: a typo'd path
+    # must not cost a full suite run before failing.
+    baseline = None
     if args.compare_baseline is not None:
-        path = Path(args.compare_baseline) if args.compare_baseline else default_baseline_path()
+        path = (
+            Path(args.compare_baseline)
+            if args.compare_baseline
+            else default_baseline_path(suite)
+        )
         if not path.exists():
             raise SystemExit(f"perf baseline not found: {path}")
         try:
-            baseline = load_baseline(path)
+            baseline = load_baseline(path, suite=suite)
         except ValueError as error:
             raise SystemExit(str(error)) from None
+    print(f"running {suite} perf suite ({profile.name} profile) ...")
+    record = runner(profile, seed=args.seed, progress=lambda m: print(f"  {m}"))
+    # Soundness before speed: falsified differential evidence (per-sample
+    # status disagreement, family answers, model verification) fails the run
+    # outright — no tolerance applies, and no baseline gets (over)written.
+    broken = differential_failures(record)
+    if broken:
+        for failure in broken:
+            print(f"DIFFERENTIAL FAILURE: {failure}")
+        if args.update_baseline is not None:
+            print("baseline NOT updated (differential failures above)")
+        return 1
+    if baseline is None and args.update_baseline is None:
+        for name, workload in sorted(record["workloads"].items()):
+            speedup = workload.get("speedup")
+            print(f"  {name:48s} x{speedup:.2f}" if speedup else f"  {name}")
+
+    # The gate runs against the *pre-existing* baseline (loaded before any
+    # write), so combining --compare-baseline with --update-baseline cannot
+    # compare the fresh record against itself — and a detected regression
+    # blocks the update instead of silently replacing the only good baseline.
+    if baseline is not None:
         print()
         print(format_comparison(record, baseline))
         regressions = compare_to_baseline(record, baseline, tolerance=args.tolerance)
@@ -396,7 +435,11 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         print(f"\nno perf regressions (tolerance {args.tolerance:.0%}) vs {path}")
 
     if args.update_baseline is not None:
-        path = Path(args.update_baseline) if args.update_baseline else default_baseline_path()
+        path = (
+            Path(args.update_baseline)
+            if args.update_baseline
+            else default_baseline_path(suite)
+        )
         write_baseline(record, path)
         print(f"wrote perf baseline to {path}")
     return 0
@@ -406,7 +449,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark the batched estimation engine and emit a ``BENCH_*.json`` file."""
     import dataclasses
 
-    if args.compare_baseline is not None or args.update_baseline is not None:
+    if (
+        args.compare_baseline is not None
+        or args.update_baseline is not None
+        or args.suite != "propagation"
+    ):
+        # The perf suites (propagation core vs BENCH_4, preprocessing vs
+        # BENCH_5) share the gate/update machinery; a non-default --suite
+        # without baseline flags still runs the suite and prints its record.
         return _cmd_perf_bench(args)
 
     from repro.sat.solver import SolverStatus
@@ -582,34 +632,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_simplify(args: argparse.Namespace) -> int:
-    from repro.sat.simplify import SimplifyConfig, simplify_cnf
+    """Preprocess a cipher instance or an arbitrary DIMACS file.
 
-    instance = _experiment(args).instance
-    print(instance.summary())
-    frozen = frozenset(instance.start_set) if args.freeze_state else frozenset()
-    result = simplify_cnf(
-        instance.cnf,
-        SimplifyConfig(
-            blocked_clause_elimination=args.blocked_clauses,
-            max_growth=args.max_growth,
-            frozen=frozen,
-        ),
-    )
+    Every malformed input — unreadable/unparsable DIMACS, frozen ids outside
+    the formula, bad preprocessor options — exits with a clean one-line error
+    (the underlying layers raise ``ValueError``, never ``KeyError`` or
+    ``IndexError``).
+    """
+    from repro.api.registry import get_preprocessor
+    from repro.sat.dimacs import parse_dimacs_file
+
+    frozen: set[int] = set()
+    if args.input is not None:
+        path = Path(args.input)
+        if not path.exists():
+            raise SystemExit(f"DIMACS file not found: {path}")
+        try:
+            cnf = parse_dimacs_file(path, strict=args.strict)
+        except ValueError as error:  # DimacsError is a ValueError subclass
+            raise SystemExit(f"malformed DIMACS {path}: {error}") from None
+        print(f"{path}: {cnf.num_vars} vars, {cnf.num_clauses} clauses")
+    else:
+        instance = _experiment(args).instance
+        print(instance.summary())
+        cnf = instance.cnf
+        if args.freeze_state:
+            frozen.update(instance.start_set)
+    if args.frozen:
+        try:
+            frozen.update(int(v) for v in args.frozen.split(","))
+        except ValueError:
+            raise SystemExit(
+                f"--frozen must be a comma-separated variable list, got {args.frozen!r}"
+            ) from None
+
+    options: dict[str, object] = {
+        "max_growth": args.max_growth,
+        "max_occurrences": args.max_occurrences,
+        "max_resolvent_length": args.max_resolvent_length,
+        "failed_literal_probing": args.probe,
+        "blocked_clause_elimination": args.blocked_clauses,
+    }
+    try:
+        preprocessor = get_preprocessor(args.preprocessor)(**options)
+        result = preprocessor.preprocess(cnf, frozen=frozen)
+    except (TypeError, ValueError) as error:  # bad options / frozen ids / registry name
+        raise SystemExit(str(error)) from None
     if result.unsat:
         print("the instance was refuted by preprocessing")
-        return 0
-    print(
-        f"variables in use: {len(instance.cnf.variables())} -> {len(result.cnf.variables())}, "
-        f"clauses: {instance.cnf.num_clauses} -> {result.cnf.num_clauses}"
-    )
-    print(
-        f"eliminated variables: {result.num_eliminated_variables}, "
-        f"subsumed: {result.removed_subsumed}, strengthened: {result.strengthened}, "
-        f"blocked removed: {result.removed_blocked}"
-    )
+    else:
+        print(result.summary())
+        print(
+            f"reconstruction stack: {len(result.reconstruction)} entries "
+            f"({len(result.eliminated_variables)} eliminated variables, "
+            f"{len(result.fixed)} fixed)"
+        )
     if args.output:
         write_dimacs_file(result.cnf, args.output)
         print(f"wrote simplified DIMACS to {args.output}")
+    if args.stats_json:
+        Path(args.stats_json).write_text(json.dumps(result.stats.to_dict(), indent=2))
+        print(f"wrote reduction stats to {args.stats_json}")
     return 0
 
 
@@ -659,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
             "minimizers",
             "partitioners",
             "backends",
+            "preprocessors",
             "cost-measures",
         ),
         default="all",
@@ -810,15 +894,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", default=".", help="directory for the BENCH_*.json file"
     )
     bench.add_argument(
+        "--suite",
+        choices=("propagation", "preprocessing"),
+        default="propagation",
+        help=(
+            "perf suite for --compare-baseline/--update-baseline: the "
+            "propagation core (BENCH_4.json) or the CNF preprocessing "
+            "subsystem (BENCH_5.json)"
+        ),
+    )
+    bench.add_argument(
         "--compare-baseline",
         nargs="?",
         const="",
         default=None,
         metavar="PATH",
         help=(
-            "run the propagation-core perf suite instead and fail on a >25%% "
-            "arena-vs-legacy speedup regression against the committed "
-            "benchmarks/BENCH_4.json (or PATH)"
+            "run the selected perf suite instead and fail on a >25%% "
+            "speedup-ratio regression against its committed "
+            "benchmarks/BENCH_*.json (or PATH)"
         ),
     )
     bench.add_argument(
@@ -846,12 +940,52 @@ def build_parser() -> argparse.ArgumentParser:
     simplify = sub.add_parser("simplify", help="preprocess an instance (SatELite-style)")
     _add_instance_arguments(simplify)
     simplify.add_argument(
+        "--input",
+        default=None,
+        metavar="DIMACS",
+        help="preprocess this DIMACS file instead of generating a cipher instance",
+    )
+    simplify.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --input: require a consistent 'p cnf' header",
+    )
+    simplify.add_argument(
         "--output", default=None, help="write the simplified CNF to this DIMACS file"
+    )
+    simplify.add_argument(
+        "--stats-json", default=None, help="write the per-rule reduction stats to this file"
+    )
+    simplify.add_argument(
+        "--preprocessor",
+        default="satelite",
+        help="preprocessor registry name (see `repro-sat list --kind preprocessors`)",
+    )
+    simplify.add_argument(
+        "--frozen",
+        default=None,
+        metavar="VARS",
+        help="comma-separated variables that must survive simplification",
     )
     simplify.add_argument(
         "--blocked-clauses", action="store_true", help="also run blocked clause elimination"
     )
+    simplify.add_argument(
+        "--probe", action="store_true", help="also run failed-literal probing"
+    )
     simplify.add_argument("--max-growth", type=int, default=0, help="BVE clause-growth bound")
+    simplify.add_argument(
+        "--max-occurrences",
+        type=int,
+        default=20,
+        help="BVE skips variables with more occurrences than this",
+    )
+    simplify.add_argument(
+        "--max-resolvent-length",
+        type=int,
+        default=0,
+        help="reject BVE resolvents longer than this (0 = unlimited)",
+    )
     simplify.add_argument(
         "--no-freeze-state",
         dest="freeze_state",

@@ -132,6 +132,21 @@ class PDSAT:
         batched estimation engine (incremental solving, sample cache,
         per-sample budgets).  When given it overrides ``sample_size``,
         ``cost_measure`` and ``subproblem_budget``.
+    preprocessor:
+        Optional :class:`~repro.sat.simplify.Preprocessor` applied **once** to
+        the instance CNF before anything else runs, with the whole start set
+        (plus ``frozen_variables``) frozen, so every decomposition candidate
+        stays assumable.  Both modes then work on the simplified formula
+        (``self.cnf``); satisfying models are reconstructed over the original
+        variables before they are reported or used for state recovery.
+        ``self.presolve`` holds the
+        :class:`~repro.sat.simplify.PreprocessResult`.
+    frozen_variables:
+        Extra variables (beyond the start set) that later calls will use as
+        decomposition/assumption candidates — anything preprocessing must not
+        touch.  Decomposition variables outside the frozen set that
+        preprocessing eliminated or fixed raise a clean :class:`ValueError`
+        instead of silently flipping sub-problem answers.
     """
 
     def __init__(
@@ -143,29 +158,70 @@ class PDSAT:
         seed: int = 0,
         subproblem_budget: SolverBudget | None = None,
         estimator: "EstimatorSpec | None" = None,
+        preprocessor=None,
+        frozen_variables=None,
     ):
         self.instance = instance
         self.solver: Solver = solver if solver is not None else CDCLSolver()
         self.seed = seed
+        self.preprocessor = preprocessor
+        self.presolve = None
+        frozen = frozenset(instance.start_set) | frozenset(frozen_variables or ())
+        cnf = instance.cnf
+        if preprocessor is not None:
+            self.presolve = preprocessor.preprocess(cnf, frozen=frozen)
+            cnf = self.presolve.cnf
+        #: The working formula of both modes: the instance CNF, simplified
+        #: when a preprocessor was given (same variable numbering either way).
+        self.cnf = cnf
+        frozen_variables = sorted(frozen)
         if estimator is not None:
             self.sample_size = estimator.sample_size
             self.cost_measure = estimator.cost_measure
             self.subproblem_budget = estimator.budget()
-            self.evaluator = estimator.build(instance.cnf, solver=self.solver, seed=seed)
+            self.evaluator = estimator.build(
+                self.cnf, solver=self.solver, seed=seed, frozen_variables=frozen_variables
+            )
         else:
             self.sample_size = sample_size
             self.cost_measure = cost_measure
             self.subproblem_budget = subproblem_budget
             self.evaluator = PredictiveFunction(
-                cnf=instance.cnf,
+                cnf=self.cnf,
                 solver=self.solver,
                 sample_size=sample_size,
                 cost_measure=cost_measure,
                 seed=seed,
                 subproblem_budget=subproblem_budget,
+                frozen_variables=frozen_variables,
             )
         base_vars = instance.free_start_variables or instance.start_set
         self.search_space = SearchSpace(base_vars)
+
+    def _reconstructed(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Map a model of the working CNF back over the original variables."""
+        if self.presolve is not None:
+            return self.presolve.reconstruct(model)
+        return model
+
+    def ensure_assumable(self, variables) -> None:
+        """Guard: preprocessing must not have touched assumption candidates.
+
+        Assumptions are sound on every variable still present in the
+        simplified formula, but a variable *eliminated* by preprocessing (its
+        clauses were resolved away) or *fixed* outside the frozen set (its
+        clauses were dropped) would make sub-problems trivially satisfiable —
+        a silent wrong answer.  Raise the one clean error instead.
+        """
+        if self.presolve is None:
+            return
+        bad = sorted(set(variables) & self.presolve.unassumable_variables)
+        if bad:
+            raise ValueError(
+                f"decomposition variables {bad} were eliminated or fixed by "
+                f"preprocessing; pass them via frozen_variables (or the "
+                f"config's decomposition) when constructing PDSAT"
+            )
 
     # ------------------------------------------------------------ estimating mode
     def estimate(
@@ -221,6 +277,7 @@ class PDSAT:
 
     def evaluate_decomposition(self, variables: list[int]):
         """Evaluate the predictive function at an explicitly given decomposition set."""
+        self.ensure_assumable(variables)
         return self.evaluator.evaluate(DecompositionSet.of(variables))
 
     # -------------------------------------------------------------- solving mode
@@ -248,6 +305,7 @@ class PDSAT:
             if isinstance(decomposition, DecompositionSet)
             else DecompositionSet.of(decomposition)
         )
+        self.ensure_assumable(dec.variables)
         if dec.num_subproblems > max_subproblems:
             raise ValueError(
                 f"decomposition family has 2^{dec.d} sub-problems, "
@@ -261,7 +319,7 @@ class PDSAT:
         start = time.perf_counter()
         if backend is not None:
             run = backend.run(
-                self.instance.cnf,
+                self.cnf,
                 [assignment.to_literals() for assignment in dec.all_assignments()],
                 cost_measure=self.cost_measure,
                 budget=self.subproblem_budget,
@@ -274,13 +332,13 @@ class PDSAT:
                     if report.first_sat_index is None:
                         report.first_sat_index = index
                     if outcome.model is not None:
-                        report.satisfying_models.append(outcome.model)
+                        report.satisfying_models.append(self._reconstructed(outcome.model))
             report.stopped_early = stop_on_sat and report.first_sat_index is not None
             report.wall_time = time.perf_counter() - start
             return report
         for index, assignment in enumerate(dec.all_assignments()):
             result = self.solver.solve(
-                self.instance.cnf,
+                self.cnf,
                 assumptions=assignment.to_literals(),
                 budget=self.subproblem_budget,
             )
@@ -290,7 +348,7 @@ class PDSAT:
                 if report.first_sat_index is None:
                     report.first_sat_index = index
                 if result.model is not None:
-                    report.satisfying_models.append(result.model)
+                    report.satisfying_models.append(self._reconstructed(result.model))
                 if stop_on_sat:
                     report.stopped_early = True
                     break
@@ -323,8 +381,9 @@ class PDSAT:
             if isinstance(decomposition, DecompositionSet)
             else DecompositionSet.of(decomposition)
         )
+        self.ensure_assumable(dec.variables)
         return estimate_family_scheduled(
-            self.instance.cnf,
+            self.cnf,
             list(dec.variables),
             sample_size=sample_size or self.sample_size,
             seed=self.seed,

@@ -16,15 +16,27 @@ one-off claim:
   **arena-vs-legacy speedup ratio**, not absolute rates, so it is meaningful
   on any machine: a >25 % drop of a ratio below its committed value fails.
 
+Since PR 5 the package also hosts the **preprocessing** suite behind the
+committed ``BENCH_5.json``: :func:`run_bench5` measures simplified-vs-raw
+end-to-end ξ-estimation for the CNF preprocessing subsystem
+(:class:`repro.sat.simplify.Preprocessor`) and records the differential
+evidence (per-sample statuses identical, family answers identical,
+reconstructed models verified, estimates bit-identical with preprocessing
+off).  The same ratio gate applies: ``repro-sat bench --suite preprocessing
+--compare-baseline``.
+
 Entry points: ``repro-sat bench --compare-baseline`` (local + CI gate),
 ``repro-sat bench --update-baseline`` (refresh the committed numbers) and
-``benchmarks/bench_propagation.py`` (the pytest harness).
+``benchmarks/bench_propagation.py`` / ``benchmarks/bench_preprocessing.py``
+(the pytest harnesses).
 """
 
 from repro.perf.baseline import (
     BASELINE_SCHEMA,
+    SUITES,
     compare_to_baseline,
     default_baseline_path,
+    differential_failures,
     format_comparison,
     load_baseline,
     write_baseline,
@@ -33,20 +45,32 @@ from repro.perf.workloads import (
     BenchProfile,
     estimation_workload,
     incremental_solve_workload,
+    preprocessing_disabled_differential,
+    preprocessing_estimation_workload,
+    preprocessing_family_differential,
     propagation_core_workload,
     run_bench4,
+    run_bench5,
+    sweep_decompositions,
 )
 
 __all__ = [
     "BASELINE_SCHEMA",
+    "SUITES",
     "BenchProfile",
     "compare_to_baseline",
     "default_baseline_path",
+    "differential_failures",
     "estimation_workload",
     "format_comparison",
     "incremental_solve_workload",
     "load_baseline",
+    "preprocessing_disabled_differential",
+    "preprocessing_estimation_workload",
+    "preprocessing_family_differential",
     "propagation_core_workload",
     "run_bench4",
+    "run_bench5",
+    "sweep_decompositions",
     "write_baseline",
 ]

@@ -19,29 +19,37 @@ from pathlib import Path
 
 BASELINE_SCHEMA = 1
 
-#: Repo-relative location of the committed baseline.
-_DEFAULT_BASELINE = Path("benchmarks") / "BENCH_4.json"
+#: Suite name -> (record ``kind``, committed repo-relative baseline file).
+SUITES = {
+    "propagation": ("propagation-core-bench", Path("benchmarks") / "BENCH_4.json"),
+    "preprocessing": ("preprocessing-bench", Path("benchmarks") / "BENCH_5.json"),
+}
 
 
-def default_baseline_path() -> Path:
-    """The committed baseline path, resolved against the repository root.
+def default_baseline_path(suite: str = "propagation") -> Path:
+    """The committed baseline path of ``suite``, resolved against the repo root.
 
     Falls back to the current working directory when the package is not
     running from a source checkout (the CLI then requires an explicit path).
     """
+    _, relative = SUITES[suite]
     here = Path(__file__).resolve()
     for parent in here.parents:
-        candidate = parent / _DEFAULT_BASELINE
+        candidate = parent / relative
         if candidate.exists():
             return candidate
-    return _DEFAULT_BASELINE
+    return relative
 
 
-def load_baseline(path: str | Path) -> dict:
-    """Load and validate a ``BENCH_4.json`` baseline document."""
+def load_baseline(path: str | Path, suite: str = "propagation") -> dict:
+    """Load and validate a committed ``BENCH_*.json`` baseline document."""
+    expected_kind, _ = SUITES[suite]
     document = json.loads(Path(path).read_text())
-    if document.get("kind") != "propagation-core-bench":
-        raise ValueError(f"{path} is not a propagation-core benchmark baseline")
+    if document.get("kind") != expected_kind:
+        raise ValueError(
+            f"{path} is not a {expected_kind} baseline "
+            f"(kind: {document.get('kind')!r})"
+        )
     if document.get("schema") != BASELINE_SCHEMA:
         raise ValueError(
             f"{path} has baseline schema {document.get('schema')!r}; "
@@ -58,6 +66,30 @@ def write_baseline(record: dict, path: str | Path) -> Path:
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return target
+
+
+def differential_failures(record: dict) -> list[str]:
+    """Falsified differential evidence carried by a suite record.
+
+    The preprocessing suite embeds soundness evidence next to its timings:
+    per-workload ``statuses_agree`` and the ``differential`` section's
+    ``answers_identical`` / ``models_verified`` / boolean checks.  Any of them
+    being false is a correctness failure the gate must report regardless of
+    speedup ratios (records without such fields — e.g. BENCH_4's — produce no
+    failures).
+    """
+    failures: list[str] = []
+    for name, workload in record.get("workloads", {}).items():
+        if workload.get("statuses_agree") is False:
+            failures.append(f"{name}: per-sample SAT/UNSAT statuses differ")
+    for name, entry in record.get("differential", {}).items():
+        if entry is False:
+            failures.append(f"{name}: differential check failed")
+        elif isinstance(entry, dict):
+            for key in ("answers_identical", "models_verified"):
+                if entry.get(key) is False:
+                    failures.append(f"{name}: {key} is false")
+    return failures
 
 
 def compare_to_baseline(

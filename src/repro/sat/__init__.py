@@ -15,7 +15,15 @@ from repro.sat.assignment import Assignment
 from repro.sat.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs, write_dimacs_file
 from repro.sat.formula import CNF, Clause, lit_to_var, neg, var_to_lit
 from repro.sat.lookahead import LookaheadSolver, lookahead_scores, rank_variables_by_lookahead
-from repro.sat.simplify import SimplificationResult, SimplifyConfig, simplify_cnf
+from repro.sat.simplify import (
+    PreprocessConfig,
+    Preprocessor,
+    PreprocessResult,
+    PreprocessStats,
+    SimplificationResult,
+    SimplifyConfig,
+    simplify_cnf,
+)
 from repro.sat.solver import SolveResult, SolverBudget, SolverStats, SolverStatus
 
 __all__ = [
@@ -29,6 +37,10 @@ __all__ = [
     "LookaheadSolver",
     "lookahead_scores",
     "rank_variables_by_lookahead",
+    "PreprocessConfig",
+    "Preprocessor",
+    "PreprocessResult",
+    "PreprocessStats",
     "SimplifyConfig",
     "SimplificationResult",
     "simplify_cnf",

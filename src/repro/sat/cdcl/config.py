@@ -32,3 +32,14 @@ class CDCLConfig:
     #: reduction never deletes them.  Ignored by the legacy engine, whose
     #: reduction is purely activity-ordered.
     glue_lbd: int = 2
+    #: Run the SatELite-style preprocessor (:class:`repro.sat.simplify.Preprocessor`)
+    #: inside :meth:`~repro.sat.cdcl.solver.CDCLSolver.load`: the internal
+    #: clause database is built from the simplified formula, SAT models are
+    #: reconstructed back over the original variables, and variables passed via
+    #: ``load(..., frozen=...)`` are never eliminated (so they stay legal
+    #: assumption candidates — the incremental contract).  Off by default: the
+    #: simplified formula's solver counters define a *different* ξ random
+    #: variable than the paper's, and on some instances eliminating
+    #: propagation-relay variables slows the incremental engine down (see
+    #: ``docs/preprocessing.md``).  Ignored by the frozen legacy engine.
+    simplify: bool = False

@@ -48,14 +48,22 @@ class LegacyCDCLSolver:
         self.loaded_cnf: CNF | None = None
 
     # ------------------------------------------------------------------ public
-    def load(self, cnf: CNF) -> "LegacyCDCLSolver":
+    def load(self, cnf: CNF, frozen=()) -> "LegacyCDCLSolver":
         """Build the internal clause database for ``cnf`` (incremental entry point).
 
         After ``load``, call :meth:`solve` without a CNF argument to solve the
         formula under varying assumptions while retaining learned clauses,
         activities and saved phases across calls.  Returns ``self`` so the
         idiom ``LegacyCDCLSolver().load(cnf)`` works.
+
+        ``frozen`` is accepted (and range-validated) for interface parity with
+        the arena engine's preprocessing-aware ``load``; the frozen reference
+        engine never preprocesses, so the set is otherwise ignored and
+        ``CDCLConfig.simplify`` has no effect here.
         """
+        from repro.sat.simplify import validate_frozen
+
+        validate_frozen(frozen, cnf.num_vars)
         self._init(cnf)
         self.loaded_cnf = cnf
         return self

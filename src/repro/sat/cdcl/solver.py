@@ -106,17 +106,69 @@ class CDCLSolver:
         #: ``None`` before the first ``load``/``solve``.  The batched Monte
         #: Carlo engine checks this to decide whether a re-load is needed.
         self.loaded_cnf: CNF | None = None
+        #: Custom :class:`~repro.sat.simplify.Preprocessor` used when
+        #: ``config.simplify`` is on; ``None`` means the registry default.
+        self.preprocessor = None
+        #: The :class:`~repro.sat.simplify.PreprocessResult` of the last
+        #: :meth:`load` (``None`` when preprocessing is off).
+        self._presolve = None
 
     # ------------------------------------------------------------------ public
-    def load(self, cnf: CNF) -> "CDCLSolver":
+    @property
+    def presolve(self):
+        """The preprocessing record of the loaded formula (``None`` when off)."""
+        return self._presolve
+
+    @property
+    def eliminated_variables(self) -> frozenset[int]:
+        """Variables removed by preprocessing (empty when ``simplify`` is off)."""
+        return self._presolve.eliminated_variables if self._presolve is not None else frozenset()
+
+    @property
+    def unassumable_variables(self) -> frozenset[int]:
+        """Variables illegal as assumptions after preprocessing.
+
+        Eliminated variables plus non-frozen root-fixed ones — either way
+        their clauses are gone from the internal database, so an assumption
+        against them could come back SAT on a formula the original refutes.
+        Empty when ``config.simplify`` is off, and empty when preprocessing
+        refuted the formula outright (every solve then answers UNSAT, which is
+        sound under any assumptions).  The batched Monte Carlo engine checks
+        this set to decide whether a decomposition needs a re-load with an
+        enlarged frozen set.
+        """
+        if self._presolve is None or self._presolve.unsat:
+            return frozenset()
+        return self._presolve.unassumable_variables
+
+    def load(self, cnf: CNF, frozen=()) -> "CDCLSolver":
         """Build the internal clause database for ``cnf`` (incremental entry point).
 
         After ``load``, call :meth:`solve` without a CNF argument to solve the
         formula under varying assumptions while retaining learned clauses,
         activities and saved phases across calls.  Returns ``self`` so the
         idiom ``CDCLSolver().load(cnf)`` works.
+
+        With ``config.simplify`` the formula is first run through the
+        SatELite-style preprocessor; ``frozen`` names the variables that must
+        survive simplification because later ``solve(assumptions=...)`` calls
+        may constrain them (the incremental contract: pass the superset of all
+        assumption candidates, e.g. the instance's start set).  SAT models are
+        reconstructed over the original variables, so callers never see the
+        simplified formula.  Frozen ids outside ``1..cnf.num_vars`` raise
+        :class:`ValueError`; without ``config.simplify`` the argument is
+        validated and otherwise ignored.
         """
-        self._init(cnf)
+        from repro.sat.simplify import Preprocessor, validate_frozen
+
+        frozen_set = validate_frozen(frozen, cnf.num_vars)
+        if self.config.simplify:
+            preprocessor = self.preprocessor if self.preprocessor is not None else Preprocessor()
+            self._presolve = preprocessor.preprocess(cnf, frozen=frozen_set)
+            self._init(self._presolve.cnf)
+        else:
+            self._presolve = None
+            self._init(cnf)
         self.loaded_cnf = cnf
         return self
 
@@ -143,7 +195,20 @@ class CDCLSolver:
         self._stats = SolverStats()
         fresh = cnf is not None
         if fresh:
-            self.load(cnf)
+            if self.config.simplify:
+                # One-shot solve with preprocessing: the assumption variables
+                # are exactly the frozen set (validated against the incoming
+                # formula first so a bad literal gets the assumption error,
+                # not the frozen-variable one).
+                for literal in assumptions:
+                    if literal == 0 or abs(literal) > cnf.num_vars:
+                        raise ValueError(
+                            f"assumption literal {literal} is outside the loaded "
+                            f"formula's variables 1..{cnf.num_vars}"
+                        )
+                self.load(cnf, frozen=frozenset(abs(lit) for lit in assumptions))
+            else:
+                self.load(cnf)
         elif self.loaded_cnf is None:
             raise ValueError("no formula loaded: pass a CNF or call load() first")
         else:
@@ -162,6 +227,14 @@ class CDCLSolver:
                     f"assumption literal {literal} is outside the loaded "
                     f"formula's variables 1..{self._num_vars}"
                 )
+        if self._presolve is not None:
+            gone = sorted({abs(lit) for lit in assumptions} & self.unassumable_variables)
+            if gone:
+                raise ValueError(
+                    f"assumption variables {gone} were eliminated or fixed by "
+                    f"preprocessing; pass them in load(..., frozen=...) to keep "
+                    f"them assumable"
+                )
         status = self._solve_internal([_ilit(lit) for lit in assumptions])
 
         self._stats.wall_time = time.perf_counter() - start
@@ -173,6 +246,11 @@ class CDCLSolver:
                 v: (values[v << 1] == _TRUE if values[v << 1] != _UNDEF else default)
                 for v in range(1, self._num_vars + 1)
             }
+            if self._presolve is not None:
+                # Replay the preprocessor's reconstruction stack so eliminated
+                # and root-fixed variables carry values satisfying the
+                # *original* formula, not the solver's default phase.
+                model = self._presolve.reconstruct(model)
         # Like stats, conflict_activity is per call: report only the bumps of
         # this call, not the cumulative VSIDS state retained across calls.
         # Fresh solves report the raw dense activity map over every variable

@@ -472,3 +472,98 @@ class TestCheckpointResumeFlow:
         assert checkpoint.exists()
         assert main(argv) == 0
         assert "resumed 8 sub-problems" in capsys.readouterr().out
+
+
+class TestPreprocessorSpec:
+    """PR 5: the preprocessor registry and its spec/config plumbing."""
+
+    def test_registry_lookup_and_listing(self):
+        from repro.api import get_preprocessor, list_preprocessors
+
+        assert "satelite" in list_preprocessors()
+        preprocessor = get_preprocessor("satelite")()
+        assert preprocessor.config.variable_elimination is True
+
+    def test_spec_builds_with_options(self):
+        from repro.api import PreprocessorSpec
+
+        spec = PreprocessorSpec(name="satelite", options={"max_growth": 4})
+        assert spec.build().config.max_growth == 4
+
+    def test_spec_round_trips_through_config_json(self):
+        from repro.api import ExperimentConfig, InstanceSpec, PreprocessorSpec
+
+        cfg = ExperimentConfig(
+            instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+            preprocessor=PreprocessorSpec(options={"max_occurrences": 12}),
+        )
+        clone = ExperimentConfig.from_json(cfg.to_json())
+        assert clone == cfg
+        assert clone.preprocessor.options == {"max_occurrences": 12}
+        # Absent spec stays absent (and keeps old config files loadable).
+        assert ExperimentConfig.from_dict({"instance": {"cipher": "geffe-tiny"}}).preprocessor is None
+
+    def test_unknown_spec_keys_rejected(self):
+        from repro.api import PreprocessorSpec
+
+        with pytest.raises(ValueError, match="unknown PreprocessorSpec keys"):
+            PreprocessorSpec.from_dict({"name": "satelite", "growth": 1})
+
+    def test_experiment_run_with_preprocessor_recovers_the_state(self):
+        from repro.api import Experiment, ExperimentConfig, InstanceSpec, PreprocessorSpec
+        from repro.api.registry import get_cipher
+        from repro.problems import make_inversion_instance
+
+        start_set = make_inversion_instance(get_cipher("geffe-tiny")(), seed=1).start_set
+        cfg = ExperimentConfig(
+            instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+            preprocessor=PreprocessorSpec(),
+            decomposition=tuple(start_set[:6]),
+            sample_size=5,
+        )
+        raw = Experiment.from_config(cfg.replace(preprocessor=None)).run()
+        simplified = Experiment.from_config(cfg).run()
+        assert simplified.status == raw.status
+        assert simplified.data["solve"]["statuses"] == raw.data["solve"]["statuses"]
+        # The preprocessed run must still verify the recovered secret state on
+        # the *original* generator (model reconstruction end to end).
+        assert simplified.data["solve"]["recovered_state"] == raw.data["solve"]["recovered_state"]
+        assert simplified.data["solve"]["recovered_state"] is not None
+
+    def test_experiment_rejects_preprocessed_away_decomposition_variables(self):
+        from repro.api import Experiment, ExperimentConfig, InstanceSpec, PreprocessorSpec
+
+        # geffe-tiny's start set is variables 3..14; variables 1 and 2 are
+        # keystream-adjacent and get fixed/dropped by preprocessing.  Asking
+        # to decompose on them afterwards must fail loudly.
+        experiment = Experiment.from_config(
+            ExperimentConfig(
+                instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+                preprocessor=PreprocessorSpec(),
+                sample_size=5,
+            )
+        )
+        with pytest.raises(ValueError, match="eliminated or fixed by preprocessing"):
+            experiment.solve(decomposition=[1, 2])
+
+    def test_pdsat_presolve_exposed(self):
+        from repro.api.registry import get_cipher
+        from repro.core.pdsat import PDSAT
+        from repro.problems import make_inversion_instance
+        from repro.sat.simplify import Preprocessor
+
+        instance = make_inversion_instance(get_cipher("geffe-tiny")(), seed=1)
+        pdsat = PDSAT(instance, sample_size=5, preprocessor=Preprocessor())
+        assert pdsat.presolve is not None
+        assert pdsat.cnf is pdsat.presolve.cnf
+        assert pdsat.cnf.num_vars == instance.cnf.num_vars
+        # Frozen contract: no start-set variable may have been eliminated.
+        assert not (pdsat.presolve.eliminated_variables & set(instance.start_set))
+        report = pdsat.solve_family(list(instance.start_set[:5]))
+        assert report.num_sat >= 1
+        for model in report.satisfying_models:
+            state = instance.state_from_model(model)
+            if instance.verify_state(state):
+                break
+        else:
+            raise AssertionError("no reconstructed model verified the keystream")

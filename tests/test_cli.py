@@ -133,8 +133,8 @@ class TestNewCommands:
         code = main(["simplify", "--cipher", "geffe-tiny", "--seed", "1"])
         assert code == 0
         output = capsys.readouterr().out
-        assert "variables in use" in output
-        assert "eliminated variables" in output
+        assert "vars" in output
+        assert "eliminated" in output
 
     def test_simplify_writes_dimacs(self, tmp_path, capsys):
         target = tmp_path / "simplified.cnf"
@@ -363,3 +363,185 @@ class TestPerfBenchCLI:
         )
         assert code == 0
         assert load_baseline(path)["workloads"]["propagation-core/a51-tiny-d8"]["speedup"] == 3.0
+
+
+class TestSimplifyCLI:
+    """PR 5: the reworked simplify sub-command (DIMACS in/out, clean errors)."""
+
+    def test_instance_mode_prints_reduction_stats(self, capsys):
+        assert main(["simplify", "--cipher", "bivium-tiny", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "vars" in output and "eliminated" in output
+        assert "reconstruction stack" in output
+
+    def test_dimacs_input_round_trip(self, tmp_path, capsys):
+        source = tmp_path / "in.cnf"
+        source.write_text("p cnf 4 3\n1 2 0\n-1 2 3 0\n3 4 0\n")
+        target = tmp_path / "out.cnf"
+        stats = tmp_path / "stats.json"
+        assert main([
+            "simplify", "--input", str(source), "--frozen", "1,2",
+            "--output", str(target), "--stats-json", str(stats),
+        ]) == 0
+        assert target.exists()
+        assert "p cnf" in target.read_text()
+        import json as _json
+
+        record = _json.loads(stats.read_text())
+        assert record["clauses_before"] == 3
+
+    def test_malformed_dimacs_exits_with_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cnf"
+        bad.write_text("p cnf 3 1\n1 two 0\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simplify", "--input", str(bad)])
+        assert "malformed DIMACS" in str(excinfo.value)
+
+    def test_strict_header_mismatch_exits_with_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.cnf"
+        bad.write_text("p cnf 2 5\n1 2 0\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simplify", "--input", str(bad), "--strict"])
+        assert "malformed DIMACS" in str(excinfo.value)
+
+    def test_missing_input_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simplify", "--input", str(tmp_path / "nope.cnf")])
+        assert "not found" in str(excinfo.value)
+
+    def test_frozen_variable_out_of_range_exits_with_value_error_text(self, tmp_path):
+        source = tmp_path / "in.cnf"
+        source.write_text("p cnf 3 2\n1 2 0\n-1 3 0\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simplify", "--input", str(source), "--frozen", "1,9"])
+        assert "frozen variables [9]" in str(excinfo.value)
+
+    def test_unparsable_frozen_list_exits_cleanly(self, tmp_path):
+        source = tmp_path / "in.cnf"
+        source.write_text("p cnf 2 1\n1 2 0\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simplify", "--input", str(source), "--frozen", "1;2"])
+        assert "--frozen" in str(excinfo.value)
+
+    def test_unknown_preprocessor_name_exits_cleanly(self, tmp_path):
+        source = tmp_path / "in.cnf"
+        source.write_text("p cnf 2 1\n1 2 0\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simplify", "--input", str(source), "--preprocessor", "nope"])
+        assert "unknown preprocessor" in str(excinfo.value)
+
+    def test_refuted_input_reported(self, tmp_path, capsys):
+        source = tmp_path / "in.cnf"
+        source.write_text("p cnf 1 2\n1 0\n-1 0\n")
+        assert main(["simplify", "--input", str(source)]) == 0
+        assert "refuted" in capsys.readouterr().out
+
+    def test_list_includes_preprocessors(self, capsys):
+        assert main(["list", "--kind", "preprocessors"]) == 0
+        output = capsys.readouterr().out
+        assert "satelite" in output and "units-only" in output
+
+
+class TestPreprocessingSuiteCLI:
+    """The bench --suite preprocessing gate wiring (canned suite record)."""
+
+    @staticmethod
+    def _record(speedup: float) -> dict:
+        return {
+            "kind": "preprocessing-bench",
+            "bench_id": 5,
+            "schema": 1,
+            "profile": "smoke",
+            "seed": 3,
+            "preprocessor": "satelite",
+            "workloads": {
+                "preprocessing-estimation-fresh/bivium-tiny-d10": {
+                    "speedup": speedup,
+                    "statuses_agree": True,
+                }
+            },
+            "differential": {},
+        }
+
+    @pytest.fixture
+    def canned_suite(self, monkeypatch):
+        import repro.perf as perf
+
+        monkeypatch.setattr(
+            perf, "run_bench5", lambda profile, seed=3, progress=None: self._record(1.4)
+        )
+
+    def test_suite_alone_runs_and_prints_speedups(self, canned_suite, capsys):
+        assert main(["bench", "--suite", "preprocessing"]) == 0
+        output = capsys.readouterr().out
+        assert "preprocessing perf suite" in output
+        assert "x1.40" in output
+
+    def test_update_baseline_writes_bench5(self, canned_suite, tmp_path, capsys):
+        path = tmp_path / "BENCH_5.json"
+        assert main([
+            "bench", "--suite", "preprocessing", "--perf-profile", "full",
+            "--update-baseline", str(path),
+        ]) == 0
+        import json as _json
+
+        assert _json.loads(path.read_text())["kind"] == "preprocessing-bench"
+
+    def test_compare_baseline_gates_on_the_ratio(self, canned_suite, tmp_path):
+        import json as _json
+
+        good = tmp_path / "BENCH_5.json"
+        good.write_text(_json.dumps(self._record(1.3)))
+        assert main([
+            "bench", "--suite", "preprocessing", "--compare-baseline", str(good)
+        ]) == 0
+        strict = tmp_path / "BENCH_5_strict.json"
+        strict.write_text(_json.dumps(self._record(2.5)))
+        assert main([
+            "bench", "--suite", "preprocessing", "--compare-baseline", str(strict)
+        ]) == 1
+
+    def test_wrong_suite_kind_is_rejected_before_running(self, canned_suite, tmp_path, monkeypatch):
+        # A BENCH_4 file given to --suite preprocessing must fail fast, before
+        # the (expensive) suite run — the canned runner would raise if called.
+        import json as _json
+
+        import repro.perf as perf
+
+        def explode(profile, seed=3, progress=None):  # pragma: no cover
+            raise AssertionError("suite ran before baseline validation")
+
+        monkeypatch.setattr(perf, "run_bench5", explode)
+        wrong = tmp_path / "BENCH_4.json"
+        wrong.write_text(_json.dumps({"kind": "propagation-core-bench", "schema": 1,
+                                      "workloads": {}}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--suite", "preprocessing", "--compare-baseline", str(wrong)])
+        assert "preprocessing-bench" in str(excinfo.value)
+
+    def test_committed_bench5_baseline_loads(self):
+        from repro.perf import default_baseline_path, load_baseline
+
+        path = default_baseline_path("preprocessing")
+        assert path.exists(), "benchmarks/BENCH_5.json must be committed"
+        document = load_baseline(path, suite="preprocessing")
+        assert document["bench_id"] == 5
+
+    def test_gate_fails_on_broken_differential_evidence(self, tmp_path, monkeypatch):
+        # A record whose speedup is excellent but whose per-sample statuses
+        # disagree must fail the gate and refuse to write a baseline.
+        import repro.perf as perf
+
+        record = self._record(9.9)
+        record["workloads"]["preprocessing-estimation-fresh/bivium-tiny-d10"][
+            "statuses_agree"
+        ] = False
+        monkeypatch.setattr(
+            perf, "run_bench5", lambda profile, seed=3, progress=None: record
+        )
+        path = tmp_path / "BENCH_5.json"
+        assert main([
+            "bench", "--suite", "preprocessing", "--perf-profile", "full",
+            "--update-baseline", str(path),
+        ]) == 1
+        assert not path.exists()

@@ -215,3 +215,97 @@ def test_incremental_statuses_stable_across_call_order(seed):
         reversed([backward.solve(assumptions=v).status for v in reversed(vectors)])
     )
     assert first == second
+
+
+class TestPreprocessorDifferential:
+    """PR 5: the preprocessing subsystem against the whole solver stack.
+
+    Every instance of the seeded corpus (200+ CNFs: the uniform grid, the
+    planted-SAT set and the constructed-UNSAT set) is preprocessed — with a
+    couple of frozen variables, as the incremental contract prescribes — and
+    the simplified formula is solved by fresh CDCL, the legacy engine and
+    DPLL.  All three must agree with the raw formula's verdict, and every
+    model of the simplified formula must, after reconstruction, satisfy the
+    *original* formula.  A separate pass drives incremental assumption
+    sequences through ``CDCLConfig.simplify`` and requires bit-identical
+    statuses with the plain incremental engine.
+    """
+
+    @staticmethod
+    def _preprocess(cnf: CNF, frozen):
+        from repro.sat.simplify import Preprocessor
+
+        return Preprocessor(max_growth=2, max_occurrences=30).preprocess(
+            cnf, frozen=frozen
+        )
+
+    @classmethod
+    def _check_instance(cls, cnf: CNF, frozen=()):
+        raw = CDCLSolver().solve(cnf)
+        presolve = cls._preprocess(cnf, frozen)
+        if presolve.unsat:
+            assert raw.status is SolverStatus.UNSAT
+            return raw.status
+        simplified = presolve.cnf
+        results = {
+            "cdcl": CDCLSolver().solve(simplified),
+            "legacy": LegacyCDCLSolver().solve(simplified),
+            "dpll": DPLLSolver().solve(simplified),
+        }
+        for name, result in results.items():
+            assert result.status is raw.status, (
+                f"{name} on the simplified formula disagrees with the raw verdict"
+            )
+            if result.status is SolverStatus.SAT:
+                model = presolve.reconstruct(result.model)
+                full = {v: model.get(v, False) for v in range(1, cnf.num_vars + 1)}
+                assert check_model(cnf, full), (
+                    f"{name}'s reconstructed model falsifies the original formula"
+                )
+        return raw.status
+
+    def test_simplified_corpus_agreement_uniform_grid(self):
+        sat = unsat = 0
+        for index, cnf in enumerate(_uniform_instances()):
+            frozen = [1 + index % cnf.num_vars]
+            status = self._check_instance(cnf, frozen)
+            if status is SolverStatus.SAT:
+                sat += 1
+            else:
+                unsat += 1
+        assert sat > 20 and unsat > 20
+
+    def test_simplified_planted_and_constructed_instances(self):
+        for seed in range(10):
+            cnf, _planted = planted_ksat(10, 38, k=3, seed=seed)
+            assert self._check_instance(cnf, [1, 2]) is SolverStatus.SAT
+        for seed in range(10):
+            cnf = random_unsat_core(6 + seed, seed=seed)
+            assert self._check_instance(cnf) is SolverStatus.UNSAT
+
+    def test_incremental_assumption_sequences_with_frozen_variables(self):
+        from repro.sat.cdcl.config import CDCLConfig
+
+        for num_vars, ratio in UNIFORM_GRID:
+            for seed in range(10):
+                cnf = random_ksat(num_vars, round(ratio * num_vars), k=3, seed=1700 + seed)
+                rng = random.Random(seed)
+                frozen = sorted(rng.sample(range(1, num_vars + 1), 4))
+                plain = CDCLSolver().load(cnf)
+                simplifying = CDCLSolver(CDCLConfig(simplify=True)).load(cnf, frozen=frozen)
+                for _ in range(4):
+                    chosen = rng.sample(frozen, rng.randint(1, 3))
+                    assumptions = [v if rng.random() < 0.5 else -v for v in chosen]
+                    expected = plain.solve(assumptions=assumptions)
+                    got = simplifying.solve(assumptions=assumptions)
+                    assert got.status is expected.status, (cnf, assumptions)
+                    if got.status is SolverStatus.SAT:
+                        assert check_model(cnf, got.model)
+                        for literal in assumptions:
+                            assert got.model[abs(literal)] == (literal > 0)
+
+    def test_corpus_size_including_preprocessing_runs(self):
+        uniform = len(UNIFORM_GRID) * SEEDS_PER_SHAPE
+        constructed = 10 + 10
+        incremental_sequences = len(UNIFORM_GRID) * 10
+        assert uniform + constructed + incremental_sequences >= 200

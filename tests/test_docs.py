@@ -1,13 +1,17 @@
-"""Documentation checks: runnable snippets and internal links.
+"""Documentation checks: runnable snippets, internal links, reachability.
 
-Two guarantees keep ``docs/`` from rotting:
+Three guarantees keep ``docs/`` from rotting:
 
-* every fenced ``python`` block in ``docs/api-reference.md`` is executed, in
-  order, in one shared namespace (doctest-style — later blocks may use names
-  defined by earlier ones); an assertion failure or exception in a snippet
-  fails the build;
+* every fenced ``python`` block in the executable pages
+  (``api-reference.md``, ``preprocessing.md``, ``tutorial.md``) is executed,
+  in order, in one shared per-file namespace (doctest-style — later blocks
+  may use names defined by earlier ones); an assertion failure or exception
+  in a snippet fails the build;
 * every relative markdown link in ``docs/`` and ``README.md`` must point at a
-  file that exists in the repository.
+  file that exists in the repository;
+* every page in ``docs/`` must be **reachable from ``docs/index.md``** by
+  following relative links — an orphan page is a page no reader can find, so
+  it fails the build.
 
 The CI ``docs`` job runs exactly this module.
 """
@@ -25,8 +29,25 @@ DOCS_DIR = REPO_ROOT / "docs"
 #: Markdown files whose links are checked.
 LINKED_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
 
-#: Markdown files whose ``python`` blocks are executed.
-EXECUTABLE_FILES = [DOCS_DIR / "api-reference.md"]
+#: Markdown files whose ``python`` blocks are executed (each in its own
+#: namespace).  The ``cleanup`` callable undoes process-global side effects
+#: (demo registry entries) so the rest of the test session stays clean.
+def _cleanup_api_reference() -> None:
+    from repro.api.registry import CIPHERS, COST_MEASURES
+
+    CIPHERS.unregister("docs-demo-cipher")
+    COST_MEASURES.unregister("docs-demo-measure")
+
+
+EXECUTABLE_FILES = {
+    "api-reference.md": _cleanup_api_reference,
+    "preprocessing.md": None,
+    "tutorial.md": None,
+}
+
+#: Every executable page must keep a non-trivial number of runnable blocks —
+#: a page whose snippets were silently deleted would otherwise "pass".
+MIN_SNIPPETS = {"api-reference.md": 10, "preprocessing.md": 8, "tutorial.md": 5}
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 # [text](target) links, excluding images; target captured up to ) or #anchor.
@@ -37,10 +58,26 @@ def _python_blocks(path: Path) -> list[str]:
     return [match.group(1) for match in _FENCE_RE.finditer(path.read_text())]
 
 
+def _relative_links(path: Path) -> list[str]:
+    return [
+        target
+        for target in _LINK_RE.findall(path.read_text())
+        if not target.startswith(("http://", "https://", "mailto:"))
+    ]
+
+
 class TestDocsTreeExists:
     @pytest.mark.parametrize(
         "page",
-        ["index.md", "architecture.md", "paper-mapping.md", "performance.md", "api-reference.md"],
+        [
+            "index.md",
+            "architecture.md",
+            "paper-mapping.md",
+            "performance.md",
+            "preprocessing.md",
+            "tutorial.md",
+            "api-reference.md",
+        ],
     )
     def test_page_present_and_titled(self, page):
         path = DOCS_DIR / page
@@ -52,32 +89,47 @@ class TestInternalLinks:
     @pytest.mark.parametrize("path", LINKED_FILES, ids=lambda p: p.name)
     def test_relative_links_resolve(self, path):
         broken = []
-        for target in _LINK_RE.findall(path.read_text()):
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
+        for target in _relative_links(path):
             resolved = (path.parent / target).resolve()
             if not resolved.exists():
                 broken.append(target)
         assert not broken, f"{path.name}: broken relative links {broken}"
 
+    def test_no_orphan_pages(self):
+        """Every docs/*.md page must be reachable from docs/index.md."""
+        reachable: set[Path] = set()
+        frontier = [DOCS_DIR / "index.md"]
+        while frontier:
+            page = frontier.pop()
+            if page in reachable or not page.exists():
+                continue
+            reachable.add(page)
+            for target in _relative_links(page):
+                resolved = (page.parent / target).resolve()
+                if resolved.suffix == ".md" and resolved.is_relative_to(DOCS_DIR):
+                    frontier.append(resolved)
+        orphans = sorted(
+            path.name for path in DOCS_DIR.glob("*.md") if path.resolve() not in reachable
+        )
+        assert not orphans, (
+            f"orphan documentation pages (unreachable from index.md): {orphans}"
+        )
 
-class TestApiReferenceSnippets:
-    def test_snippets_execute_in_order(self):
-        blocks = _python_blocks(EXECUTABLE_FILES[0])
-        assert len(blocks) >= 10, "api-reference.md lost its runnable snippets"
+
+class TestExecutableSnippets:
+    @pytest.mark.parametrize("name", sorted(EXECUTABLE_FILES), ids=lambda n: n)
+    def test_snippets_execute_in_order(self, name):
+        path = DOCS_DIR / name
+        blocks = _python_blocks(path)
+        assert len(blocks) >= MIN_SNIPPETS[name], f"{name} lost its runnable snippets"
         namespace: dict[str, object] = {}
+        cleanup = EXECUTABLE_FILES[name]
         try:
             for index, block in enumerate(blocks, start=1):
                 try:
-                    exec(compile(block, f"api-reference.md[block {index}]", "exec"), namespace)
+                    exec(compile(block, f"{name}[block {index}]", "exec"), namespace)
                 except Exception as error:  # pragma: no cover - failure reporting
-                    pytest.fail(
-                        f"api-reference.md snippet {index} failed: {error!r}\n---\n{block}"
-                    )
+                    pytest.fail(f"{name} snippet {index} failed: {error!r}\n---\n{block}")
         finally:
-            # The snippets register demo components; keep the process-global
-            # registries clean for the rest of the test session.
-            from repro.api.registry import CIPHERS, COST_MEASURES
-
-            CIPHERS.unregister("docs-demo-cipher")
-            COST_MEASURES.unregister("docs-demo-measure")
+            if cleanup is not None:
+                cleanup()

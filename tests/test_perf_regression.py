@@ -172,3 +172,90 @@ class TestWorkloadDrivers:
         # See BenchProfile.smoke: the estimation sample size must match the
         # full profile or the gate's estimation ratios are not comparable.
         assert smoke.estimation_samples == full.estimation_samples
+
+
+class TestPreprocessingSuiteBaselines:
+    """PR 5: the preprocessing suite shares the ratio-gate machinery."""
+
+    def test_suite_kinds_are_registered(self):
+        from repro.perf import SUITES
+
+        assert SUITES["propagation"][0] == "propagation-core-bench"
+        assert SUITES["preprocessing"][0] == "preprocessing-bench"
+
+    def test_load_baseline_validates_the_suite_kind(self, tmp_path):
+        path = tmp_path / "BENCH_5.json"
+        path.write_text(json.dumps({"kind": "preprocessing-bench", "schema": 1,
+                                    "workloads": {}}))
+        assert load_baseline(path, suite="preprocessing")["workloads"] == {}
+        with pytest.raises(ValueError, match="not a propagation-core-bench"):
+            load_baseline(path)
+        other = tmp_path / "BENCH_4.json"
+        other.write_text(json.dumps({"kind": "propagation-core-bench", "schema": 1,
+                                     "workloads": {}}))
+        with pytest.raises(ValueError, match="not a preprocessing-bench"):
+            load_baseline(other, suite="preprocessing")
+
+    def test_committed_bench5_exists_and_carries_the_acceptance_numbers(self):
+        path = default_baseline_path("preprocessing")
+        assert path.exists(), "benchmarks/BENCH_5.json must be committed"
+        document = load_baseline(path, suite="preprocessing")
+        fresh = document["workloads"]["preprocessing-estimation-fresh/bivium-tiny-d10"]
+        # The PR's acceptance number: >= 1.3x end-to-end estimation speedup
+        # (simplified vs raw, preprocessing time included) on bivium-tiny.
+        assert fresh["speedup"] >= 1.3
+        assert fresh["statuses_agree"] is True
+
+    def test_preprocessing_workload_driver_smoke(self):
+        from repro.perf import preprocessing_estimation_workload
+        from repro.sat.random_cnf import planted_ksat
+
+        cnf, _ = planted_ksat(16, 55, seed=9)
+        record = preprocessing_estimation_workload(
+            cnf, frozenset([1, 2, 3, 4]), [(1, 2, 3, 4)], 10, rounds=1
+        )
+        assert record["statuses_agree"] is True
+        assert record["speedup"] is not None and record["speedup"] > 0
+        assert record["reduction"]["clauses_before"] == cnf.num_clauses
+
+    def test_family_differential_driver_smoke(self):
+        from repro.perf import preprocessing_family_differential
+        from repro.sat.random_cnf import planted_ksat
+
+        cnf, _ = planted_ksat(14, 46, seed=2)
+        record = preprocessing_family_differential(cnf, frozenset([1, 2]), [1, 2])
+        assert record["answers_identical"] is True
+        assert record["models_verified"] is True
+        assert record["num_subproblems"] == 4
+
+    def test_disabled_differential_driver_smoke(self):
+        from repro.perf import preprocessing_disabled_differential
+        from repro.sat.random_cnf import planted_ksat
+
+        cnf, _ = planted_ksat(14, 46, seed=2)
+        assert preprocessing_disabled_differential(
+            cnf, frozenset(range(1, 7)), [1, 2, 3], sample_size=8
+        ) is True
+
+    def test_differential_failures_flags_broken_evidence(self):
+        from repro.perf import differential_failures
+
+        clean = {
+            "workloads": {"w": {"speedup": 1.4, "statuses_agree": True}},
+            "differential": {
+                "family/x": {"answers_identical": True, "models_verified": True},
+                "xi-off": True,
+            },
+        }
+        assert differential_failures(clean) == []
+        broken = {
+            "workloads": {"w": {"speedup": 9.9, "statuses_agree": False}},
+            "differential": {
+                "family/x": {"answers_identical": False, "models_verified": True},
+                "xi-off": False,
+            },
+        }
+        failures = differential_failures(broken)
+        assert len(failures) == 3
+        # BENCH_4-shaped records (no differential evidence) produce nothing.
+        assert differential_failures({"workloads": {"w": {"speedup": 3.0}}}) == []

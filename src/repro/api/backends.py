@@ -156,6 +156,7 @@ class ExecutionBackend(Protocol):
         checkpoint: SchedulerCheckpoint | None = None,
         checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
         checkpoint_every: int = 1,
+        trace=None,
     ) -> BackendRun:
         """Solve ``cnf`` under every assumption vector and report the outcomes.
 
@@ -163,7 +164,9 @@ class ExecutionBackend(Protocol):
         optional resume contract: sub-problems present in ``checkpoint`` are
         not re-solved, and the sink receives an updated snapshot after every
         ``checkpoint_every``-th fresh result.  Backends that cannot support
-        resuming may ignore them, but must accept the keywords.
+        resuming may ignore them, but must accept the keywords.  ``trace`` is
+        an optional :class:`repro.trace.format.TraceWriter`: the scheduler
+        behind the backend emits its task-lifecycle events into it.
         """
         ...  # pragma: no cover
 
@@ -229,6 +232,7 @@ def _run_family_scheduler(
     checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None,
     retry: RetryPolicy | None = None,
     checkpoint_every: int = 1,
+    trace=None,
 ) -> tuple[list[SubproblemOutcome], SchedulerRun]:
     """The shared scheduler loop behind every built-in backend."""
     from repro.runner.pool import family_tasks
@@ -265,6 +269,7 @@ def _run_family_scheduler(
             else None
         ),
         on_result=on_result,
+        trace=trace,
     ).run()
     if run.failed:
         task_id, error = next(iter(run.failed.items()))
@@ -315,6 +320,7 @@ class SerialBackend:
         checkpoint: SchedulerCheckpoint | None = None,
         checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
         checkpoint_every: int = 1,
+        trace=None,
     ) -> BackendRun:
         """Run the family through the inline (serial) executor."""
         started = time.perf_counter()
@@ -322,6 +328,7 @@ class SerialBackend:
         outcomes, run = _run_family_scheduler(
             assumption_vectors, InlineExecutor(task_fn), stop_on_sat, progress,
             checkpoint, checkpoint_sink, checkpoint_every=checkpoint_every,
+            trace=trace,
         )
         return BackendRun(
             backend=self.name,
@@ -360,6 +367,7 @@ class ProcessPoolBackend:
         checkpoint: SchedulerCheckpoint | None = None,
         checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
         checkpoint_every: int = 1,
+        trace=None,
     ) -> BackendRun:
         """Run the family on the process scheduler (budgets apply in workers)."""
         from repro.runner.pool import family_executor
@@ -384,7 +392,7 @@ class ProcessPoolBackend:
         )
         outcomes, run = _run_family_scheduler(
             assumption_vectors, executor, stop_on_sat, progress, checkpoint,
-            checkpoint_sink, checkpoint_every=checkpoint_every,
+            checkpoint_sink, checkpoint_every=checkpoint_every, trace=trace,
         )
         # Worker processes return ParallelSolveOutcome records; normalise.
         pool_outcomes = [
@@ -467,6 +475,7 @@ class SimulatedClusterBackend:
         checkpoint: SchedulerCheckpoint | None = None,
         checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
         checkpoint_every: int = 1,
+        trace=None,
     ) -> BackendRun:
         """Run the family on the virtual cluster and attach makespan metadata."""
         from repro.runner.cluster import simulate_makespan
@@ -483,7 +492,7 @@ class SimulatedClusterBackend:
         outcomes, run = _run_family_scheduler(
             assumption_vectors, executor, stop_on_sat, progress,
             checkpoint, checkpoint_sink, retry=self.retry,
-            checkpoint_every=checkpoint_every,
+            checkpoint_every=checkpoint_every, trace=trace,
         )
         # The classical (fault-free) schedule of the measured costs keeps the
         # historical metadata stable and supports the LPT reference; the live
@@ -533,6 +542,7 @@ class VolunteerGridBackend:
         checkpoint: SchedulerCheckpoint | None = None,
         checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
         checkpoint_every: int = 1,
+        trace=None,
     ) -> BackendRun:
         """Run the family and attach the volunteer-campaign metadata."""
         from repro.runner.volunteer import simulate_volunteer_grid
@@ -542,6 +552,7 @@ class VolunteerGridBackend:
         outcomes, run = _run_family_scheduler(
             assumption_vectors, InlineExecutor(task_fn), stop_on_sat, progress,
             checkpoint, checkpoint_sink, checkpoint_every=checkpoint_every,
+            trace=trace,
         )
         simulation = simulate_volunteer_grid([o.cost for o in outcomes], self.grid_config)
         metadata = {

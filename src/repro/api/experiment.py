@@ -339,18 +339,49 @@ class Experiment:
             # Bound checkpoint I/O on huge families: a full snapshot is
             # rewritten at most ~256 times per run (and once at the end).
             checkpoint_kwargs["checkpoint_every"] = max(1, len(vectors) // 256)
-        run = backend.run(
-            # The orchestrator's working CNF: the instance encoding, or its
-            # preprocessed form when the config carries a preprocessor spec
-            # (same variable numbering, so the assumption vectors transfer).
-            self.pdsat.cnf,
-            vectors,
-            solver=cfg.solver,
-            cost_measure=cost_measure,
-            stop_on_sat=cfg.stop_on_sat,
-            progress=lambda completed, total: self._emit("solve", completed, total),
-            **checkpoint_kwargs,
-        )
+        trace_writer = None
+        if cfg.trace is not None:
+            import inspect
+
+            from repro.trace import TraceWriter, cnf_fingerprint
+
+            run_params = inspect.signature(backend.run).parameters
+            if "trace" not in run_params and not any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in run_params.values()
+            ):
+                raise ValueError(
+                    f"backend {cfg.backend.name!r} does not accept a trace "
+                    f"keyword; unset trace or use an instrumented backend"
+                )
+            trace_writer = TraceWriter(
+                cfg.trace,
+                kind="experiment-solve",
+                fingerprint=cnf_fingerprint(self.pdsat.cnf),
+                config={
+                    "instance": cfg.instance.to_dict(),
+                    "decomposition": sorted(dec.variables),
+                    "cost_measure": cost_measure,
+                    "backend": cfg.backend.name,
+                },
+            )
+            checkpoint_kwargs["trace"] = trace_writer
+        try:
+            run = backend.run(
+                # The orchestrator's working CNF: the instance encoding, or its
+                # preprocessed form when the config carries a preprocessor spec
+                # (same variable numbering, so the assumption vectors transfer).
+                self.pdsat.cnf,
+                vectors,
+                solver=cfg.solver,
+                cost_measure=cost_measure,
+                stop_on_sat=cfg.stop_on_sat,
+                progress=lambda completed, total: self._emit("solve", completed, total),
+                **checkpoint_kwargs,
+            )
+        finally:
+            # Close also on failure, so a crashed run leaves a readable trace.
+            if trace_writer is not None:
+                trace_writer.close()
         recovered = self._recover_state(run.satisfying_models)
         if run.num_sat > 0:
             status = "SAT"
@@ -379,6 +410,7 @@ class Experiment:
             "wall_time": run.wall_time,
             "checkpoint_path": cfg.checkpoint_path,
             "resumed_subproblems": resumed,
+            "trace_path": cfg.trace,
         }
         return data, status, summary
 

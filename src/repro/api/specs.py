@@ -317,6 +317,10 @@ class ExperimentConfig:
     #: this JSON file and an existing file is resumed from (sub-problems it
     #: already contains are not re-solved).  ``None`` disables checkpointing.
     checkpoint_path: str | None = None
+    #: Binary event-trace file for the solving mode (:mod:`repro.trace`): the
+    #: scheduler's task lifecycle is recorded here, next to the checkpoint.
+    #: ``None`` disables tracing (the zero-overhead default).
+    trace: str | None = None
     #: Partitioning technique for :meth:`repro.api.Experiment.partition`.
     technique: str = "guiding-path"
     #: Target part count for the partitioning baseline.
@@ -364,6 +368,7 @@ class ExperimentConfig:
             "stop_on_sat": self.stop_on_sat,
             "max_family_bits": self.max_family_bits,
             "checkpoint_path": self.checkpoint_path,
+            "trace": self.trace,
             "technique": self.technique,
             "parts": self.parts,
             "members": self.members,
@@ -399,6 +404,7 @@ class ExperimentConfig:
             stop_on_sat=data.get("stop_on_sat", False),
             max_family_bits=data.get("max_family_bits", 16),
             checkpoint_path=data.get("checkpoint_path"),
+            trace=data.get("trace"),
             technique=data.get("technique", "guiding-path"),
             parts=data.get("parts", 8),
             members=data.get("members", 8),

@@ -27,7 +27,12 @@ Sub-commands:
   or to any DIMACS file (``--input``), with per-rule reduction stats and
   frozen-variable support;
 * ``partition`` — build a classical partitioning of an instance;
-* ``portfolio`` — race the diversified CDCL portfolio.
+* ``portfolio`` — race the diversified CDCL portfolio;
+* ``trace``     — the observability toolkit (:mod:`repro.trace`):
+  ``trace record`` runs solve/simplify/estimate with binary event tracing,
+  ``trace stats`` summarizes a trace, ``trace diff`` compares two traces
+  (exit 1 on divergence — the CI determinism gate), ``trace export`` converts
+  one to JSONL/CSV.
 
 Examples::
 
@@ -45,6 +50,10 @@ Examples::
     repro-sat simplify --input hard.cnf --frozen 1,2,3 --output hard.simplified.cnf
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
     repro-sat portfolio --cipher bivium-tiny --seed 1
+    repro-sat trace record --cipher bivium-tiny --seed 1 --mode estimate --trace-out run.trc
+    repro-sat trace stats run.trc
+    repro-sat trace diff run.trc other.trc
+    repro-sat trace export run.trc --format csv --output run.csv
 """
 
 from __future__ import annotations
@@ -358,19 +367,29 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
     measures simplified-vs-raw estimation against ``BENCH_5.json``.
     """
     from repro.perf import (
+        SUITE_RUNNERS,
+        SUITES,
         BenchProfile,
         compare_to_baseline,
         default_baseline_path,
         differential_failures,
         format_comparison,
         load_baseline,
-        run_bench4,
-        run_bench5,
         write_baseline,
     )
 
     suite = args.suite
-    runner = run_bench5 if suite == "preprocessing" else run_bench4
+    if suite not in SUITES or suite not in SUITE_RUNNERS:
+        raise SystemExit(
+            f"unknown perf suite {suite!r}; available suites: "
+            + ", ".join(sorted(SUITES))
+        )
+    # Resolve the runner through the package namespace (not the function
+    # object captured in SUITE_RUNNERS) so monkeypatching repro.perf.run_*
+    # still swaps the implementation.
+    import repro.perf as _perf
+
+    runner = getattr(_perf, SUITE_RUNNERS[suite].__name__, SUITE_RUNNERS[suite])
     profile = BenchProfile.full() if args.perf_profile == "full" else BenchProfile.smoke()
     # Validate the cheap preconditions before the multi-second suite runs.
     if args.update_baseline is not None and profile.name != "full":
@@ -429,6 +448,9 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
             print()
             for regression in regressions:
                 print(f"REGRESSION: {regression}")
+            if getattr(args, "explain", False):
+                print()
+                _explain_regressions(regressions, seed=args.seed)
             if args.update_baseline is not None:
                 print("baseline NOT updated (regressions above)")
             return 1
@@ -443,6 +465,54 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         write_baseline(record, path)
         print(f"wrote perf baseline to {path}")
     return 0
+
+
+def _explain_regressions(regressions: list[str], seed: int) -> None:
+    """Record arena-vs-legacy traces for each regressed workload and diff them.
+
+    Every regressed workload names its cipher instance
+    (``propagation-core/a51-tiny-d8`` → ``a51-tiny``); for each distinct
+    instance the two engines re-solve it under a small conflict budget with
+    tracing on, and the trace diff pinpoints where the trajectories part —
+    turning "the ratio dropped" into an inspectable event-level divergence.
+    """
+    import tempfile
+
+    from repro.problems import make_inversion_instance
+    from repro.sat.solver import SolverBudget
+    from repro.trace import diff_traces, format_diff, record_solve
+
+    ciphers: list[str] = []
+    for regression in regressions:
+        workload = regression.split(":", 1)[0]
+        if "/" not in workload:
+            continue
+        target = workload.split("/", 1)[1]
+        head, sep, tail = target.rpartition("-d")
+        cipher = head if sep and tail.isdigit() else target
+        if cipher not in ciphers:
+            ciphers.append(cipher)
+    if not ciphers:
+        print("--explain: no workload names in the regressions to trace")
+        return
+    out_dir = Path(tempfile.mkdtemp(prefix="repro-trace-explain-"))
+    budget = SolverBudget(max_conflicts=2000)
+    for cipher in ciphers:
+        try:
+            instance = make_inversion_instance(get_cipher(cipher)(), seed=seed)
+        except UnknownNameError:
+            print(f"--explain: {cipher!r} is not a registered cipher, skipping")
+            continue
+        arena_path = out_dir / f"{cipher}.arena.trc"
+        legacy_path = out_dir / f"{cipher}.legacy.trc"
+        record_solve(instance.cnf, arena_path, solver="cdcl", budget=budget)
+        record_solve(instance.cnf, legacy_path, solver="cdcl-legacy", budget=budget)
+        print(f"--explain traces for {cipher} (budget {budget.max_conflicts} conflicts):")
+        print(f"  arena:  {arena_path}")
+        print(f"  legacy: {legacy_path}")
+        diff = diff_traces(arena_path, legacy_path)
+        print(format_diff(diff, label_a="arena", label_b="legacy"))
+        print()
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -724,6 +794,119 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_record_cnf(args: argparse.Namespace):
+    """The CNF to record plus its preferred decomposition variables."""
+    from repro.sat.dimacs import parse_dimacs_file
+
+    if args.input is not None:
+        path = Path(args.input)
+        if not path.exists():
+            raise SystemExit(f"DIMACS file not found: {path}")
+        try:
+            cnf = parse_dimacs_file(path)
+        except ValueError as error:
+            raise SystemExit(f"malformed DIMACS {path}: {error}") from None
+        print(f"{path}: {cnf.num_vars} vars, {cnf.num_clauses} clauses")
+        return cnf, list(range(1, cnf.num_vars + 1))
+    instance = _experiment(args).instance
+    print(instance.summary())
+    return instance.cnf, list(instance.start_set)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    """Record one traced run (solve / simplify / estimate) to ``--trace-out``."""
+    from repro.sat.solver import SolverBudget
+    from repro.trace import read_trace, record_estimate, record_simplify, record_solve
+
+    cnf, start_vars = _trace_record_cnf(args)
+    out = Path(args.trace_out)
+    budget = (
+        SolverBudget(max_conflicts=args.max_conflicts)
+        if args.max_conflicts is not None
+        else None
+    )
+    try:
+        if args.mode == "solve":
+            result = record_solve(cnf, out, solver=args.solver, budget=budget)
+            print(f"status: {result.status.value}")
+        elif args.mode == "simplify":
+            result = record_simplify(cnf, out)
+            print(
+                "refuted by preprocessing" if result.unsat else result.summary()
+            )
+        else:
+            variables = start_vars[: args.decomposition_size]
+            estimation = record_estimate(
+                cnf,
+                variables,
+                out,
+                sample_size=args.sample_size,
+                seed=args.sample_seed,
+                cores=args.cores,
+                budget=budget,
+            )
+            print(
+                f"F = {estimation.value:.4g} over {len(variables)} variables "
+                f"({estimation.sample_size} samples)"
+            )
+    except UnknownNameError as error:
+        raise SystemExit(str(error)) from None
+    header, events = read_trace(out)
+    size = out.stat().st_size
+    per_event = size / len(events) if events else float(size)
+    print(
+        f"wrote {out} ({header.kind}, {len(events)} events, {size} bytes, "
+        f"{per_event:.2f} bytes/event)"
+    )
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    """Summarize a trace: counts, histograms, distributions, latencies."""
+    from repro.trace import TraceError, format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"trace file not found: {args.trace}") from None
+    except TraceError as error:
+        raise SystemExit(f"unreadable trace {args.trace}: {error}") from None
+    print(json.dumps(_json_safe(summary)) if args.json else format_summary(summary))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Compare two traces; exit 1 when they diverge (CI determinism gate)."""
+    from repro.trace import TraceError, diff_traces, format_diff
+
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b)
+    except FileNotFoundError as error:
+        raise SystemExit(f"trace file not found: {error.filename}") from None
+    except TraceError as error:
+        raise SystemExit(f"unreadable trace: {error}") from None
+    print(format_diff(diff, label_a=args.trace_a, label_b=args.trace_b))
+    return 0 if diff.identical else 1
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Export a binary trace as JSONL or CSV."""
+    from repro.trace import TraceError, export_trace
+    from repro.trace.export import export_trace_string
+
+    try:
+        if args.output:
+            count = export_trace(args.trace, args.output, format=args.format)
+            print(f"exported {count} events to {args.output}")
+        else:
+            sys.stdout.write(export_trace_string(args.trace, format=args.format))
+    except FileNotFoundError:
+        raise SystemExit(f"trace file not found: {args.trace}") from None
+    except (TraceError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -895,12 +1078,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("propagation", "preprocessing"),
         default="propagation",
+        metavar="NAME",
         help=(
-            "perf suite for --compare-baseline/--update-baseline: the "
-            "propagation core (BENCH_4.json) or the CNF preprocessing "
-            "subsystem (BENCH_5.json)"
+            "perf suite for --compare-baseline/--update-baseline, enumerated "
+            "from the suite registry (repro.perf.SUITES): 'propagation' gates "
+            "the arena-vs-legacy core against BENCH_4.json, 'preprocessing' "
+            "gates the CNF preprocessing subsystem against BENCH_5.json; an "
+            "unknown name fails listing the available suites"
+        ),
+    )
+    bench.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "on a perf-gate failure, record arena-vs-legacy event traces for "
+            "each regressed workload's instance and print their trace diff"
         ),
     )
     bench.add_argument(
@@ -1013,6 +1206,80 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument("--members", type=int, default=8, help="number of portfolio members")
     portfolio.add_argument("--cost-measure", default="propagations")
     portfolio.set_defaults(func=_cmd_portfolio)
+
+    trace = sub.add_parser(
+        "trace", help="record, inspect, diff and export binary solver-event traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_record = trace_sub.add_parser(
+        "record", help="run solve/simplify/estimate with event tracing on"
+    )
+    _add_instance_arguments(trace_record)
+    trace_record.add_argument(
+        "--input",
+        default=None,
+        metavar="DIMACS",
+        help="trace this DIMACS file instead of generating a cipher instance",
+    )
+    trace_record.add_argument(
+        "--mode",
+        choices=("solve", "simplify", "estimate"),
+        default="solve",
+        help="which operation to record",
+    )
+    trace_record.add_argument(
+        "--trace-out", required=True, metavar="PATH", help="binary trace output file"
+    )
+    trace_record.add_argument(
+        "--solver",
+        default="cdcl",
+        help="solver registry name for --mode solve (cdcl, cdcl-legacy, ...)",
+    )
+    trace_record.add_argument(
+        "--max-conflicts",
+        type=int,
+        default=None,
+        help="conflict budget for the recorded solver calls",
+    )
+    trace_record.add_argument(
+        "--decomposition-size",
+        type=int,
+        default=8,
+        help="--mode estimate: sample over the first d start-set variables",
+    )
+    trace_record.add_argument(
+        "--sample-size", type=int, default=20, help="--mode estimate: samples N"
+    )
+    trace_record.add_argument(
+        "--sample-seed", type=int, default=0, help="--mode estimate: sampling seed"
+    )
+    trace_record.add_argument(
+        "--cores", type=int, default=4, help="--mode estimate: simulated cores"
+    )
+    trace_record.set_defaults(func=_cmd_trace_record)
+
+    trace_stats = trace_sub.add_parser("stats", help="summarize a recorded trace")
+    trace_stats.add_argument("trace", help="binary trace file")
+    trace_stats.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    trace_stats.set_defaults(func=_cmd_trace_stats)
+
+    trace_diff = trace_sub.add_parser(
+        "diff", help="compare two traces (exit 1 when they diverge)"
+    )
+    trace_diff.add_argument("trace_a", help="first trace file")
+    trace_diff.add_argument("trace_b", help="second trace file")
+    trace_diff.set_defaults(func=_cmd_trace_diff)
+
+    trace_export = trace_sub.add_parser("export", help="export a trace as JSONL or CSV")
+    trace_export.add_argument("trace", help="binary trace file")
+    trace_export.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl", help="output format"
+    )
+    trace_export.add_argument(
+        "--output", default=None, metavar="PATH", help="output file (default: stdout)"
+    )
+    trace_export.set_defaults(func=_cmd_trace_export)
     return parser
 
 

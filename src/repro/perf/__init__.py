@@ -42,6 +42,7 @@ from repro.perf.baseline import (
     write_baseline,
 )
 from repro.perf.workloads import (
+    SUITE_RUNNERS,
     BenchProfile,
     estimation_workload,
     incremental_solve_workload,
@@ -57,6 +58,7 @@ from repro.perf.workloads import (
 __all__ = [
     "BASELINE_SCHEMA",
     "SUITES",
+    "SUITE_RUNNERS",
     "BenchProfile",
     "compare_to_baseline",
     "default_baseline_path",

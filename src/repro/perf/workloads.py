@@ -534,3 +534,12 @@ def run_bench4(
         "engines": {"arena": "cdcl", "legacy": "cdcl-legacy"},
         "workloads": workloads,
     }
+
+
+#: Suite name -> runner, keyed identically to :data:`repro.perf.baseline.SUITES`
+#: (the CLI enumerates this mapping, so a new suite only needs entries here
+#: and in ``SUITES`` to become addressable as ``repro-sat bench --suite NAME``).
+SUITE_RUNNERS = {
+    "propagation": run_bench4,
+    "preprocessing": run_bench5,
+}

@@ -232,6 +232,7 @@ def estimate_family_scheduled(
     checkpoint_sink: Callable[[SchedulerCheckpoint], None] | None = None,
     checkpoint_every: int = 1,
     interrupt_after: int | None = None,
+    trace=None,
 ) -> ScheduledEstimation:
     """Evaluate the predictive function's sample through a scheduler executor.
 
@@ -243,7 +244,9 @@ def estimate_family_scheduled(
     the virtual makespan but never the statistics.  ``checkpoint`` /
     ``checkpoint_sink`` resume and persist partial trajectories;
     ``interrupt_after`` pauses the run after that many fresh samples (the
-    checkpoint/resume round-trip the tests exercise).
+    checkpoint/resume round-trip the tests exercise).  ``trace`` is an
+    optional :class:`repro.trace.format.TraceWriter` receiving the
+    scheduler's task-lifecycle events.
     """
     ordered = tuple(sorted(set(int(v) for v in variables)))
     graph = estimation_tasks(ordered, sample_size, seed)
@@ -259,6 +262,7 @@ def estimate_family_scheduled(
         checkpoint_sink=checkpoint_sink,
         checkpoint_every=checkpoint_every,
         interrupt_after=interrupt_after,
+        trace=trace,
     ).run()
     if run.failed:
         task_id, error = next(iter(run.failed.items()))

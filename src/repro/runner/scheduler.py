@@ -781,6 +781,7 @@ class Scheduler:
         stop_on: Callable[[str, Any], bool] | None = None,
         interrupt_after: int | None = None,
         on_result: Callable[[str, Any], None] | None = None,
+        trace=None,
     ):
         self.graph = graph if isinstance(graph, TaskGraph) else TaskGraph(graph)
         self.executor = executor
@@ -808,6 +809,9 @@ class Scheduler:
         self.stop_on = stop_on
         self.interrupt_after = interrupt_after
         self.on_result = on_result
+        #: Optional :class:`repro.trace.format.TraceWriter` receiving the task
+        #: lifecycle (``TASK_DISPATCH`` / ``TASK_COMPLETE`` / ``TASK_RETRY``).
+        self.trace = trace
 
     def _reissue_if_short(
         self, tid, accepted_count, in_flight, queued, attempts, enqueue, stats, run,
@@ -828,6 +832,8 @@ class Scheduler:
         if shortfall and budget_left:
             enqueue(tid)
             stats["retries"] += 1
+            if self.trace is not None:
+                self.trace.task_retry(tid, attempts[tid] + queued[tid])
         elif shortfall and in_flight[tid] == 0 and queued[tid] == 0:
             run.failed[tid] = failure_reason
 
@@ -967,6 +973,8 @@ class Scheduler:
                         attempts[task_id] += 1
                         in_flight[task_id] += 1
                         stats["dispatches"] += 1
+                        if self.trace is not None:
+                            self.trace.task_dispatch(task_id, stats["dispatches"])
                         busy[worker] = task_id
                         executor.start(graph.task(task_id), worker, timeout=self.retry.timeout)
                 if not busy:
@@ -976,6 +984,10 @@ class Scheduler:
                     if event.frees_worker:
                         busy.pop(event.worker, None)
                     tid = event.task_id
+                    if self.trace is not None:
+                        self.trace.task_complete(
+                            tid, event.outcome, event.time, event.duration
+                        )
                     if event.frees_worker:
                         in_flight[tid] = max(0, in_flight[tid] - 1)
                     if tid in run.results:

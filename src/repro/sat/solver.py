@@ -69,6 +69,14 @@ class SolverStats:
     ``conflicts``, ``decisions`` and ``propagations`` are deterministic for a
     deterministic solver and a fixed input, which is exactly the property the
     Monte Carlo method needs from the random variable ``ξ_{C,A}``.
+
+    ``propagations`` counts the literals **assigned by unit propagation**
+    (one per ENQUEUE trace event), not the literals dequeued from the
+    propagation queue: assignment counts are a property of the propagation
+    closure, so the CDCL engines agree on them whenever their trails agree,
+    where dequeue counts depend on which watcher-visit order first surfaces
+    a conflict.  Decision literals and the input formula's own unit clauses
+    are not propagations.
     """
 
     conflicts: int = 0

@@ -1,0 +1,275 @@
+"""Per-trace summaries: histograms, distributions and timing breakdowns.
+
+:func:`summarize_trace` folds a trace's event stream into one JSON-friendly
+dict — per-event counts plus a section per instrumented subsystem:
+
+* ``solver`` — conflict-depth and backtrack-distance histograms, learned
+  clause LBD/size distributions, restart cadence and decisions-per-conflict;
+* ``preprocessor`` — the per-round reduction timeline (variables/clauses at
+  round entry) and per-rule application totals;
+* ``scheduler`` — dispatch/outcome counts and the task-latency breakdown
+  (virtual or wall microseconds, as recorded by the executor).
+
+Sections for subsystems that emitted no events are omitted, so a pure solver
+trace summarizes to ``{"events": ..., "solver": ...}``.  The summaries are the
+payload of ``repro-sat trace stats`` and the coarse comparison layer of
+:func:`repro.trace.diff.diff_traces`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.trace.format import PRE_RULES, TraceHeader, read_trace
+
+
+def _histogram(counter: Counter) -> dict[Any, int]:
+    """A Counter as a key-sorted plain dict (stable JSON/output order)."""
+    return {key: counter[key] for key in sorted(counter)}
+
+
+def _distribution(counter: Counter) -> dict[str, Any]:
+    """Histogram plus the scalar moments the diff layer compares."""
+    total = sum(counter.values())
+    if total == 0:
+        return {"count": 0, "mean": 0.0, "min": 0, "max": 0, "histogram": {}}
+    weighted = sum(value * count for value, count in counter.items())
+    return {
+        "count": total,
+        "mean": weighted / total,
+        "min": min(counter),
+        "max": max(counter),
+        "histogram": _histogram(counter),
+    }
+
+
+def _solver_section(events) -> dict[str, Any] | None:
+    conflict_levels: Counter = Counter()
+    backtrack_distances: Counter = Counter()
+    lbds: Counter = Counter()
+    sizes: Counter = Counter()
+    restart_conflicts: list[int] = []
+    decisions = propagations = conflicts = unit_learnts = 0
+    reduce_deleted = reduce_calls = 0
+    gc_reclaimed = gc_calls = solves = 0
+    for event in events:
+        name = event.name
+        if name == "ENQUEUE":
+            propagations += 1
+        elif name == "DECIDE":
+            decisions += 1
+        elif name == "CONFLICT":
+            conflicts += 1
+            conflict_levels[event.args[0]] += 1
+        elif name == "LEARN":
+            lbd, size = event.args
+            lbds[lbd] += 1
+            sizes[size] += 1
+            if size == 1:
+                unit_learnts += 1
+        elif name == "BACKTRACK":
+            from_level, to_level = event.args
+            backtrack_distances[from_level - to_level] += 1
+        elif name == "RESTART":
+            restart_conflicts.append(event.args[0])
+        elif name == "REDUCE":
+            reduce_calls += 1
+            reduce_deleted += event.args[0]
+        elif name == "ARENA_GC":
+            gc_calls += 1
+            gc_reclaimed += event.args[0] - event.args[1]
+        elif name == "SOLVE":
+            solves += 1
+    if not (decisions or propagations or conflicts or solves):
+        return None
+    intervals = [
+        second - first
+        for first, second in zip(restart_conflicts, restart_conflicts[1:])
+    ]
+    return {
+        "solve_calls": solves,
+        "decisions": decisions,
+        "propagations": propagations,
+        "conflicts": conflicts,
+        "learned": sum(sizes.values()) - unit_learnts,
+        "unit_learnts": unit_learnts,
+        "restarts": len(restart_conflicts),
+        "decisions_per_conflict": decisions / conflicts if conflicts else 0.0,
+        "propagations_per_decision": propagations / decisions if decisions else 0.0,
+        "conflict_level": _distribution(conflict_levels),
+        "backtrack_distance": _distribution(backtrack_distances),
+        "lbd": _distribution(lbds),
+        "learnt_size": _distribution(sizes),
+        "restart_cadence": {
+            "restarts": len(restart_conflicts),
+            "conflicts_at_restart": restart_conflicts,
+            "mean_interval": (
+                sum(intervals) / len(intervals) if intervals else 0.0
+            ),
+        },
+        "reduce": {"calls": reduce_calls, "deleted": reduce_deleted},
+        "arena_gc": {"calls": gc_calls, "reclaimed_words": gc_reclaimed},
+    }
+
+
+def _preprocessor_section(events) -> dict[str, Any] | None:
+    timeline: list[dict[str, int]] = []
+    rule_totals: Counter = Counter()
+    for event in events:
+        if event.name == "PRE_ROUND":
+            round_index, num_vars, num_clauses = event.args
+            timeline.append(
+                {"round": round_index, "vars": num_vars, "clauses": num_clauses}
+            )
+        elif event.name == "PRE_RULE":
+            rule, count = event.args
+            rule_totals[rule] += count
+    if not timeline and not rule_totals:
+        return None
+    return {
+        "rounds": len(timeline),
+        "timeline": timeline,
+        "rules": {rule: rule_totals[rule] for rule in PRE_RULES if rule_totals[rule]},
+    }
+
+
+def _scheduler_section(events) -> dict[str, Any] | None:
+    dispatches = retries = 0
+    outcomes: Counter = Counter()
+    durations: list[int] = []
+    last_time_us = 0
+    for event in events:
+        if event.name == "TASK_DISPATCH":
+            dispatches += 1
+        elif event.name == "TASK_COMPLETE":
+            _, outcome, time_us, duration_us = event.args
+            outcomes[outcome] += 1
+            durations.append(duration_us)
+            last_time_us = max(last_time_us, time_us)
+        elif event.name == "TASK_RETRY":
+            retries += 1
+    if not dispatches and not outcomes:
+        return None
+    return {
+        "dispatches": dispatches,
+        "retries": retries,
+        "outcomes": {key: outcomes[key] for key in sorted(outcomes)},
+        "task_latency_us": {
+            "count": len(durations),
+            "total": sum(durations),
+            "mean": sum(durations) / len(durations) if durations else 0.0,
+            "max": max(durations, default=0),
+        },
+        "makespan_us": last_time_us,
+    }
+
+
+def summarize_trace(source, header: TraceHeader | None = None) -> dict[str, Any]:
+    """Fold a trace into a JSON-friendly summary dict.
+
+    ``source`` is a path, an open binary file, or an already-decoded event
+    list (then pass the ``header`` that came with it, or ``None``).
+    """
+    if isinstance(source, (list, tuple)):
+        events = list(source)
+    else:
+        header, events = read_trace(source)
+    summary: dict[str, Any] = {
+        # to_dict() is the on-disk blob (version lives outside it as a
+        # uvarint); re-attach it here so summaries are self-describing.
+        "header": (
+            {"version": header.version, **header.to_dict()}
+            if header is not None
+            else None
+        ),
+        "event_count": len(events),
+        "events": _histogram(Counter(event.name for event in events)),
+    }
+    for key, section in (
+        ("solver", _solver_section(events)),
+        ("preprocessor", _preprocessor_section(events)),
+        ("scheduler", _scheduler_section(events)),
+    ):
+        if section is not None:
+            summary[key] = section
+    return summary
+
+
+def _format_distribution(name: str, dist: dict[str, Any]) -> str:
+    return (
+        f"  {name}: n={dist['count']} mean={dist['mean']:.2f} "
+        f"min={dist['min']} max={dist['max']}"
+    )
+
+
+def format_summary(summary: dict[str, Any]) -> str:
+    """Render :func:`summarize_trace` output as human-readable text."""
+    lines: list[str] = []
+    header = summary.get("header")
+    if header:
+        lines.append(
+            f"trace kind={header.get('kind', '?')} "
+            f"fingerprint={header.get('fingerprint', '?')} "
+            f"version={header.get('version', '?')}"
+        )
+    lines.append(f"events: {summary['event_count']}")
+    counts = summary.get("events", {})
+    if counts:
+        lines.append(
+            "  " + "  ".join(f"{name}={count}" for name, count in counts.items())
+        )
+    solver = summary.get("solver")
+    if solver:
+        lines.append(
+            f"solver: decisions={solver['decisions']} "
+            f"propagations={solver['propagations']} "
+            f"conflicts={solver['conflicts']} learned={solver['learned']} "
+            f"restarts={solver['restarts']}"
+        )
+        lines.append(
+            f"  decisions/conflict={solver['decisions_per_conflict']:.2f} "
+            f"propagations/decision={solver['propagations_per_decision']:.2f}"
+        )
+        for key in ("conflict_level", "backtrack_distance", "lbd", "learnt_size"):
+            if solver[key]["count"]:
+                lines.append(_format_distribution(key, solver[key]))
+        cadence = solver["restart_cadence"]
+        if cadence["restarts"]:
+            lines.append(
+                f"  restarts: {cadence['restarts']} "
+                f"mean-interval={cadence['mean_interval']:.1f} conflicts"
+            )
+        if solver["reduce"]["calls"]:
+            lines.append(
+                f"  reduce: calls={solver['reduce']['calls']} "
+                f"deleted={solver['reduce']['deleted']}"
+            )
+    pre = summary.get("preprocessor")
+    if pre:
+        lines.append(f"preprocessor: rounds={pre['rounds']}")
+        for entry in pre["timeline"]:
+            lines.append(
+                f"  round {entry['round']}: vars={entry['vars']} "
+                f"clauses={entry['clauses']}"
+            )
+        if pre["rules"]:
+            lines.append(
+                "  rules: "
+                + "  ".join(f"{rule}={count}" for rule, count in pre["rules"].items())
+            )
+    sched = summary.get("scheduler")
+    if sched:
+        outcome_text = "  ".join(
+            f"{key}={count}" for key, count in sched["outcomes"].items()
+        )
+        lines.append(
+            f"scheduler: dispatches={sched['dispatches']} "
+            f"retries={sched['retries']}  {outcome_text}"
+        )
+        latency = sched["task_latency_us"]
+        lines.append(
+            f"  latency: n={latency['count']} mean={latency['mean']:.0f}us "
+            f"max={latency['max']}us  makespan={sched['makespan_us']}us"
+        )
+    return "\n".join(lines)

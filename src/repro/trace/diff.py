@@ -1,0 +1,168 @@
+"""Run-vs-run trace comparison: first divergence plus summary-stat deltas.
+
+:func:`diff_traces` compares two traces event by event.  Identically-seeded
+deterministic runs (e.g. two estimations on the simulated executor) produce
+*identical* event streams — the diff reports zero divergence, which CI uses
+as a determinism check.  When a config knob changes, the diff pinpoints the
+first divergent event (index, and both sides' view of it) and reports how the
+headline statistics moved, which turns "the run got slower" into "restarts
+began 412 conflicts earlier and mean LBD rose 0.8".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Any
+
+from repro.trace.analysis import summarize_trace
+from repro.trace.format import TraceEvent, read_trace
+
+
+#: Dotted paths into a summary dict whose values are compared scalar-wise.
+_SUMMARY_PATHS = (
+    "event_count",
+    "solver.decisions",
+    "solver.propagations",
+    "solver.conflicts",
+    "solver.learned",
+    "solver.restarts",
+    "solver.decisions_per_conflict",
+    "solver.lbd.mean",
+    "solver.learnt_size.mean",
+    "solver.conflict_level.mean",
+    "solver.backtrack_distance.mean",
+    "solver.restart_cadence.mean_interval",
+    "preprocessor.rounds",
+    "scheduler.dispatches",
+    "scheduler.retries",
+    "scheduler.makespan_us",
+    "scheduler.task_latency_us.mean",
+)
+
+
+def _lookup(summary: dict[str, Any], path: str):
+    node: Any = summary
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+@dataclass
+class TraceDiff:
+    """Result of :func:`diff_traces`.
+
+    ``identical`` is True only when both event streams match exactly —
+    same length, same events, same arguments — which for the instrumented
+    subsystems means the two runs took the same trajectory.
+    """
+
+    identical: bool
+    #: Index of the first event where the streams differ, or ``None``.
+    divergence_index: int | None = None
+    #: Both sides' event at the divergence (``None`` = that stream ended).
+    event_a: TraceEvent | None = None
+    event_b: TraceEvent | None = None
+    event_counts: tuple[int, int] = (0, 0)
+    #: Event-name -> (count_a, count_b) for names whose counts differ.
+    count_deltas: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Summary path -> (value_a, value_b) for stats that moved.
+    stat_deltas: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+    #: Header key -> (value_a, value_b) for header fields that differ.
+    header_deltas: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+
+
+def diff_traces(source_a, source_b) -> TraceDiff:
+    """Compare two traces (paths, open files, or ``(header, events)`` pairs)."""
+    if isinstance(source_a, tuple) and len(source_a) == 2:
+        header_a, events_a = source_a
+    else:
+        header_a, events_a = read_trace(source_a)
+    if isinstance(source_b, tuple) and len(source_b) == 2:
+        header_b, events_b = source_b
+    else:
+        header_b, events_b = read_trace(source_b)
+
+    divergence_index = None
+    event_a = event_b = None
+    for index, (left, right) in enumerate(zip_longest(events_a, events_b)):
+        if (
+            left is None
+            or right is None
+            or left.code != right.code
+            or left.args != right.args
+        ):
+            divergence_index, event_a, event_b = index, left, right
+            break
+
+    summary_a = summarize_trace(events_a, header_a)
+    summary_b = summarize_trace(events_b, header_b)
+    count_deltas = {}
+    for name in sorted(set(summary_a["events"]) | set(summary_b["events"])):
+        pair = (summary_a["events"].get(name, 0), summary_b["events"].get(name, 0))
+        if pair[0] != pair[1]:
+            count_deltas[name] = pair
+    stat_deltas = {}
+    for path in _SUMMARY_PATHS:
+        pair = (_lookup(summary_a, path), _lookup(summary_b, path))
+        if pair[0] != pair[1]:
+            stat_deltas[path] = pair
+    header_deltas = {}
+    dict_a = header_a.to_dict() if header_a is not None else {}
+    dict_b = header_b.to_dict() if header_b is not None else {}
+    for key in sorted(set(dict_a) | set(dict_b)):
+        if dict_a.get(key) != dict_b.get(key):
+            header_deltas[key] = (dict_a.get(key), dict_b.get(key))
+
+    return TraceDiff(
+        identical=divergence_index is None,
+        divergence_index=divergence_index,
+        event_a=event_a,
+        event_b=event_b,
+        event_counts=(len(events_a), len(events_b)),
+        count_deltas=count_deltas,
+        stat_deltas=stat_deltas,
+        header_deltas=header_deltas,
+    )
+
+
+def _describe(event: TraceEvent | None) -> str:
+    if event is None:
+        return "<end of trace>"
+    return f"{event.name}{event.args!r}"
+
+
+def format_diff(diff: TraceDiff, label_a: str = "A", label_b: str = "B") -> str:
+    """Render a :class:`TraceDiff` as human-readable text."""
+    lines: list[str] = []
+    if diff.identical:
+        lines.append(
+            f"traces identical: {diff.event_counts[0]} events, no divergence"
+        )
+    else:
+        lines.append(
+            f"traces diverge at event {diff.divergence_index} "
+            f"({diff.event_counts[0]} vs {diff.event_counts[1]} events)"
+        )
+        lines.append(f"  {label_a}: {_describe(diff.event_a)}")
+        lines.append(f"  {label_b}: {_describe(diff.event_b)}")
+    if diff.header_deltas:
+        lines.append("header deltas:")
+        for key, (left, right) in diff.header_deltas.items():
+            lines.append(f"  {key}: {left!r} -> {right!r}")
+    if diff.count_deltas:
+        lines.append("event-count deltas:")
+        for name, (left, right) in diff.count_deltas.items():
+            lines.append(f"  {name}: {left} -> {right} ({right - left:+d})")
+    if diff.stat_deltas:
+        lines.append("summary-stat deltas:")
+        for path, (left, right) in diff.stat_deltas.items():
+            if isinstance(left, float) or isinstance(right, float):
+                left_text = "n/a" if left is None else f"{left:.3f}"
+                right_text = "n/a" if right is None else f"{right:.3f}"
+            else:
+                left_text, right_text = str(left), str(right)
+            lines.append(f"  {path}: {left_text} -> {right_text}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Export a binary trace to line-oriented formats (JSONL / CSV).
+
+The binary format is the storage format; exports are for everything else —
+``jq``/pandas/spreadsheets.  Each event becomes one row with its named fields
+(from :data:`repro.trace.format.EVENT_FIELDS`); CSV uses the union of all
+field names as columns, leaving cells blank for fields an event lacks.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.trace.format import EVENT_FIELDS, read_trace
+
+FORMATS = ("jsonl", "csv")
+
+
+def _event_rows(events) -> list[dict[str, Any]]:
+    rows = []
+    for index, event in enumerate(events):
+        row: dict[str, Any] = {"index": index, "event": event.name}
+        _, fields = EVENT_FIELDS[event.code]
+        row.update(zip(fields, event.args))
+        rows.append(row)
+    return rows
+
+
+def export_trace(source, out, format: str = "jsonl") -> int:
+    """Write ``source`` (path/file/event list) to ``out`` as ``format``.
+
+    ``out`` is a text file object or a path.  Returns the number of exported
+    events.  Unknown formats raise :class:`ValueError` listing the choices.
+    """
+    if format not in FORMATS:
+        raise ValueError(
+            f"unknown export format {format!r} (choose from {', '.join(FORMATS)})"
+        )
+    if isinstance(source, (list, tuple)):
+        events = list(source)
+    else:
+        _, events = read_trace(source)
+    rows = _event_rows(events)
+
+    if hasattr(out, "write"):
+        stream, owned = out, False
+    else:
+        stream, owned = open(out, "w", encoding="utf-8", newline=""), True
+    try:
+        if format == "jsonl":
+            for row in rows:
+                stream.write(json.dumps(row, separators=(",", ":")) + "\n")
+        else:
+            columns = ["index", "event"]
+            for code in sorted(EVENT_FIELDS):
+                for name in EVENT_FIELDS[code][1]:
+                    if name not in columns:
+                        columns.append(name)
+            writer = csv.DictWriter(stream, fieldnames=columns, restval="")
+            writer.writeheader()
+            writer.writerows(rows)
+    finally:
+        if owned:
+            stream.close()
+    return len(rows)
+
+
+def export_trace_string(source, format: str = "jsonl") -> str:
+    """Like :func:`export_trace` but returning the text (CLI/stdout path)."""
+    buffer = io.StringIO(newline="")
+    export_trace(source, buffer, format=format)
+    return buffer.getvalue()

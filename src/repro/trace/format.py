@@ -1,0 +1,538 @@
+"""The binary trace format: varint event records behind a JSON header.
+
+Layout of a trace file::
+
+    magic   b"RTRC"                        (4 bytes)
+    version uvarint                        (format version, currently 1)
+    hlen    uvarint                        (byte length of the header blob)
+    header  hlen bytes of UTF-8 JSON       (kind / fingerprint / config / meta)
+    events  a sequence of records until EOF
+
+Every event record is one tag byte followed by the event's fields as
+unsigned LEB128 varints (literals are zigzag-mapped so negated DIMACS
+literals stay one or two bytes).  Two fields are **delta-encoded** against
+writer state so monotone counters stay tiny: the ``RESTART`` conflict
+counter and the ``TASK_COMPLETE`` timestamp (microseconds).  Task ids and
+outcome labels are interned through inline ``STRDEF`` records, so repeated
+task events cost a couple of bytes, not a string.
+
+The format is append-only and self-delimiting: a reader consumes records
+until end-of-file, and a file cut mid-record raises
+:class:`TraceTruncatedError` rather than yielding garbage.  Timestamps are
+deliberately absent from solver events and from the header itself — a trace
+of a deterministic run is itself deterministic, which is what makes
+run-vs-run diffing (:mod:`repro.trace.diff`) meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from collections import namedtuple
+from dataclasses import dataclass, field
+
+MAGIC = b"RTRC"
+FORMAT_VERSION = 1
+
+# ----------------------------------------------------------------- event codes
+EVENT_DECIDE = 1  #: solver decision (lit)
+EVENT_ENQUEUE = 2  #: literal assigned by unit propagation (lit)
+EVENT_CONFLICT = 3  #: conflict detected (decision level)
+EVENT_LEARN = 4  #: clause learned (lbd, size)
+EVENT_BACKTRACK = 5  #: non-chronological backjump (from_level, to_level)
+EVENT_RESTART = 6  #: restart (total conflicts so far; delta-encoded)
+EVENT_REDUCE = 7  #: learnt-database reduction (deleted, remaining)
+EVENT_ARENA_GC = 8  #: arena compaction (ints before, ints after)
+EVENT_SOLVE = 9  #: start of one solve call (seq, num_assumptions)
+EVENT_PRE_ROUND = 10  #: preprocessor round boundary (round, vars, clauses)
+EVENT_PRE_RULE = 11  #: preprocessor rule applications in a round (rule, count)
+EVENT_TASK_DISPATCH = 12  #: scheduler handed a task to a worker (task, seq)
+EVENT_TASK_COMPLETE = 13  #: task finished (task, outcome, time_us, duration_us)
+EVENT_TASK_RETRY = 14  #: task requeued after a failure (task, attempt)
+_EVENT_STRDEF = 15  # internal: string-table definition (never yielded)
+
+#: Preprocessor rule labels, indexed by the ``PRE_RULE`` rule code.  The
+#: order mirrors the counters of :class:`repro.sat.simplify.PreprocessStats`.
+PRE_RULES = (
+    "units",
+    "pure",
+    "subsumed",
+    "strengthened",
+    "eliminated",
+    "probed",
+    "failed",
+    "blocked",
+)
+
+#: name and field names per event code (drives export and analysis).
+EVENT_FIELDS: dict[int, tuple[str, tuple[str, ...]]] = {
+    EVENT_DECIDE: ("DECIDE", ("lit",)),
+    EVENT_ENQUEUE: ("ENQUEUE", ("lit",)),
+    EVENT_CONFLICT: ("CONFLICT", ("level",)),
+    EVENT_LEARN: ("LEARN", ("lbd", "size")),
+    EVENT_BACKTRACK: ("BACKTRACK", ("from_level", "to_level")),
+    EVENT_RESTART: ("RESTART", ("conflicts",)),
+    EVENT_REDUCE: ("REDUCE", ("deleted", "remaining")),
+    EVENT_ARENA_GC: ("ARENA_GC", ("before", "after")),
+    EVENT_SOLVE: ("SOLVE", ("seq", "assumptions")),
+    EVENT_PRE_ROUND: ("PRE_ROUND", ("round", "vars", "clauses")),
+    EVENT_PRE_RULE: ("PRE_RULE", ("rule", "count")),
+    EVENT_TASK_DISPATCH: ("TASK_DISPATCH", ("task", "seq")),
+    EVENT_TASK_COMPLETE: ("TASK_COMPLETE", ("task", "outcome", "time_us", "duration_us")),
+    EVENT_TASK_RETRY: ("TASK_RETRY", ("task", "attempt")),
+}
+
+#: A decoded event: integer tag, canonical name, field tuple (string-table
+#: references already resolved, delta fields already reconstructed).
+TraceEvent = namedtuple("TraceEvent", "code name args")
+
+
+class TraceError(Exception):
+    """Base class for trace format errors."""
+
+
+class TraceFormatError(TraceError):
+    """The file is not a trace (bad magic, unknown record, bad header)."""
+
+
+class TraceVersionError(TraceError):
+    """The trace was written by an unsupported format version."""
+
+
+class TraceTruncatedError(TraceError):
+    """The file ends in the middle of a record (incomplete write)."""
+
+
+def cnf_fingerprint(cnf) -> str:
+    """A short stable fingerprint of a CNF (variable count + clause list)."""
+    hasher = hashlib.sha256()
+    hasher.update(str(cnf.num_vars).encode())
+    for clause in cnf.clauses:
+        hasher.update(b"|")
+        hasher.update(",".join(map(str, clause)).encode())
+    return hasher.hexdigest()[:16]
+
+
+@dataclass
+class TraceHeader:
+    """Decoded trace header (everything before the first event record)."""
+
+    version: int = FORMAT_VERSION
+    kind: str = "solver"
+    fingerprint: str = ""
+    config: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "config": self.config,
+            "meta": self.meta,
+        }
+
+
+def _append_uvarint(buf: bytearray, n: int) -> None:
+    while n > 0x7F:
+        buf.append((n & 0x7F) | 0x80)
+        n >>= 7
+    buf.append(n)
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else ((-n) << 1) - 1
+
+
+def _unzigzag(u: int) -> int:
+    return -((u + 1) >> 1) if u & 1 else (u >> 1)
+
+
+class TraceWriter:
+    """Streaming writer: buffered varint encoding of one event per call.
+
+    Accepts a filesystem path (the file is created and owned by the writer)
+    or any binary file object (flushed but not closed on :meth:`close`).
+    The header is written immediately on construction.  Event methods append
+    to an in-memory buffer that is flushed once it passes ``buffer_limit``
+    bytes, so a million-event run performs a few hundred writes, not a
+    million.  Use as a context manager to guarantee the tail buffer lands.
+    """
+
+    def __init__(
+        self,
+        sink,
+        *,
+        kind: str = "solver",
+        fingerprint: str = "",
+        config: dict | None = None,
+        meta: dict | None = None,
+        buffer_limit: int = 1 << 16,
+    ):
+        if isinstance(sink, (str, bytes)) or hasattr(sink, "__fspath__"):
+            self._fp = open(sink, "wb")
+            self._owns_fp = True
+        else:
+            self._fp = sink
+            self._owns_fp = False
+        self.header = TraceHeader(
+            kind=kind, fingerprint=fingerprint, config=config or {}, meta=meta or {}
+        )
+        self.event_count = 0
+        self.bytes_written = 0
+        self._buf = bytearray()
+        self._limit = buffer_limit
+        self._closed = False
+        self._last_conflicts = 0
+        self._last_time_us = 0
+        self._strings: dict[str, int] = {}
+        blob = json.dumps(self.header.to_dict(), sort_keys=True).encode("utf-8")
+        head = bytearray(MAGIC)
+        _append_uvarint(head, FORMAT_VERSION)
+        _append_uvarint(head, len(blob))
+        head += blob
+        self._fp.write(bytes(head))
+        self.bytes_written += len(head)
+
+    # ------------------------------------------------------------- lifecycle
+    def flush(self) -> None:
+        if self._buf:
+            self._fp.write(bytes(self._buf))
+            self.bytes_written += len(self._buf)
+            self._buf.clear()
+        self._fp.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        if self._owns_fp:
+            self._fp.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _maybe_flush(self) -> None:
+        if len(self._buf) >= self._limit:
+            self._fp.write(bytes(self._buf))
+            self.bytes_written += len(self._buf)
+            self._buf.clear()
+
+    # ----------------------------------------------------------- solver events
+    def decide(self, lit: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_DECIDE)
+        _append_uvarint(buf, _zigzag(lit))
+        self.event_count += 1
+        self._maybe_flush()
+
+    def enqueue(self, lit: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_ENQUEUE)
+        n = (lit << 1) if lit >= 0 else ((-lit) << 1) - 1
+        while n > 0x7F:
+            buf.append((n & 0x7F) | 0x80)
+            n >>= 7
+        buf.append(n)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def enqueue_all(self, lits) -> None:
+        """Emit one ENQUEUE per literal (the solver's post-propagation batch)."""
+        buf = self._buf
+        count = 0
+        for lit in lits:
+            buf.append(EVENT_ENQUEUE)
+            n = (lit << 1) if lit >= 0 else ((-lit) << 1) - 1
+            while n > 0x7F:
+                buf.append((n & 0x7F) | 0x80)
+                n >>= 7
+            buf.append(n)
+            count += 1
+        self.event_count += count
+        self._maybe_flush()
+
+    def conflict(self, level: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_CONFLICT)
+        _append_uvarint(buf, level)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def learn(self, lbd: int, size: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_LEARN)
+        _append_uvarint(buf, lbd)
+        _append_uvarint(buf, size)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def backtrack(self, from_level: int, to_level: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_BACKTRACK)
+        _append_uvarint(buf, from_level)
+        _append_uvarint(buf, to_level)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def restart(self, total_conflicts: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_RESTART)
+        _append_uvarint(buf, _zigzag(total_conflicts - self._last_conflicts))
+        self._last_conflicts = total_conflicts
+        self.event_count += 1
+        self._maybe_flush()
+
+    def reduce(self, deleted: int, remaining: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_REDUCE)
+        _append_uvarint(buf, deleted)
+        _append_uvarint(buf, remaining)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def arena_gc(self, before: int, after: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_ARENA_GC)
+        _append_uvarint(buf, before)
+        _append_uvarint(buf, after)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def solve_begin(self, seq: int, num_assumptions: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_SOLVE)
+        _append_uvarint(buf, seq)
+        _append_uvarint(buf, num_assumptions)
+        self.event_count += 1
+        self._maybe_flush()
+
+    # ----------------------------------------------------- preprocessor events
+    def pre_round(self, round_index: int, num_vars: int, num_clauses: int) -> None:
+        buf = self._buf
+        buf.append(EVENT_PRE_ROUND)
+        _append_uvarint(buf, round_index)
+        _append_uvarint(buf, num_vars)
+        _append_uvarint(buf, num_clauses)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def pre_rule(self, rule: int | str, count: int) -> None:
+        if isinstance(rule, str):
+            rule = PRE_RULES.index(rule)
+        buf = self._buf
+        buf.append(EVENT_PRE_RULE)
+        _append_uvarint(buf, rule)
+        _append_uvarint(buf, count)
+        self.event_count += 1
+        self._maybe_flush()
+
+    # -------------------------------------------------------- scheduler events
+    def _str_ref(self, text: str) -> int:
+        ref = self._strings.get(text)
+        if ref is None:
+            ref = len(self._strings)
+            self._strings[text] = ref
+            raw = text.encode("utf-8")
+            buf = self._buf
+            buf.append(_EVENT_STRDEF)
+            _append_uvarint(buf, ref)
+            _append_uvarint(buf, len(raw))
+            buf += raw
+        return ref
+
+    def task_dispatch(self, task_id: str, seq: int) -> None:
+        ref = self._str_ref(task_id)
+        buf = self._buf
+        buf.append(EVENT_TASK_DISPATCH)
+        _append_uvarint(buf, ref)
+        _append_uvarint(buf, seq)
+        self.event_count += 1
+        self._maybe_flush()
+
+    def task_complete(
+        self, task_id: str, outcome: str, time_seconds: float, duration_seconds: float
+    ) -> None:
+        task_ref = self._str_ref(task_id)
+        outcome_ref = self._str_ref(outcome)
+        time_us = int(round(time_seconds * 1e6))
+        duration_us = max(0, int(round(duration_seconds * 1e6)))
+        buf = self._buf
+        buf.append(EVENT_TASK_COMPLETE)
+        _append_uvarint(buf, task_ref)
+        _append_uvarint(buf, outcome_ref)
+        _append_uvarint(buf, _zigzag(time_us - self._last_time_us))
+        _append_uvarint(buf, duration_us)
+        self._last_time_us = time_us
+        self.event_count += 1
+        self._maybe_flush()
+
+    def task_retry(self, task_id: str, attempt: int) -> None:
+        ref = self._str_ref(task_id)
+        buf = self._buf
+        buf.append(EVENT_TASK_RETRY)
+        _append_uvarint(buf, ref)
+        _append_uvarint(buf, attempt)
+        self.event_count += 1
+        self._maybe_flush()
+
+
+#: arity per event code for the generic decoder (STRDEF is handled inline).
+_ARITY = {
+    EVENT_DECIDE: 1,
+    EVENT_ENQUEUE: 1,
+    EVENT_CONFLICT: 1,
+    EVENT_LEARN: 2,
+    EVENT_BACKTRACK: 2,
+    EVENT_RESTART: 1,
+    EVENT_REDUCE: 2,
+    EVENT_ARENA_GC: 2,
+    EVENT_SOLVE: 2,
+    EVENT_PRE_ROUND: 3,
+    EVENT_PRE_RULE: 2,
+    EVENT_TASK_DISPATCH: 2,
+    EVENT_TASK_COMPLETE: 4,
+    EVENT_TASK_RETRY: 2,
+}
+
+
+class TraceReader:
+    """Decode a trace file: :attr:`header` plus iteration over events.
+
+    The whole file is read into memory up front (a million events is a few
+    megabytes); iteration then decodes records lazily.  Delta-encoded fields
+    are reconstructed to absolute values and string-table references are
+    resolved, so consumers only ever see plain ints and strings.
+    """
+
+    def __init__(self, source):
+        if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+            with open(source, "rb") as fp:
+                data = fp.read()
+        elif isinstance(source, io.IOBase) or hasattr(source, "read"):
+            data = source.read()
+        else:
+            raise TypeError(f"cannot read a trace from {type(source).__name__}")
+        self._data = data
+        if len(data) < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
+            raise TraceFormatError("not a trace file (bad magic)")
+        pos = len(MAGIC)
+        version, pos = self._uvarint(pos)
+        if version != FORMAT_VERSION:
+            raise TraceVersionError(
+                f"trace format version {version} is not supported "
+                f"(this reader understands version {FORMAT_VERSION})"
+            )
+        hlen, pos = self._uvarint(pos)
+        if pos + hlen > len(data):
+            raise TraceTruncatedError("trace header is cut short")
+        try:
+            blob = json.loads(data[pos : pos + hlen].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TraceFormatError(f"corrupt trace header: {error}") from error
+        self.header = TraceHeader(
+            version=version,
+            kind=blob.get("kind", "solver"),
+            fingerprint=blob.get("fingerprint", ""),
+            config=blob.get("config", {}),
+            meta=blob.get("meta", {}),
+        )
+        self._events_start = pos + hlen
+
+    def _uvarint(self, pos: int) -> tuple[int, int]:
+        data = self._data
+        size = len(data)
+        result = 0
+        shift = 0
+        while True:
+            if pos >= size:
+                raise TraceTruncatedError("trace ends inside a varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                return result, pos
+            shift += 7
+
+    def __iter__(self):
+        return self.events()
+
+    def events(self):
+        """Yield :class:`TraceEvent` records until end of file."""
+        data = self._data
+        size = len(data)
+        pos = self._events_start
+        uvarint = self._uvarint
+        names = EVENT_FIELDS
+        strings: dict[int, str] = {}
+        last_conflicts = 0
+        last_time_us = 0
+        while pos < size:
+            code = data[pos]
+            pos += 1
+            if code == _EVENT_STRDEF:
+                ref, pos = uvarint(pos)
+                nbytes, pos = uvarint(pos)
+                if pos + nbytes > size:
+                    raise TraceTruncatedError("trace ends inside a string record")
+                strings[ref] = data[pos : pos + nbytes].decode("utf-8")
+                pos += nbytes
+                continue
+            arity = _ARITY.get(code)
+            if arity is None:
+                raise TraceFormatError(f"unknown event code {code} at byte {pos - 1}")
+            args = []
+            for _ in range(arity):
+                value, pos = uvarint(pos)
+                args.append(value)
+            if code == EVENT_DECIDE or code == EVENT_ENQUEUE:
+                args[0] = _unzigzag(args[0])
+            elif code == EVENT_RESTART:
+                last_conflicts += _unzigzag(args[0])
+                args[0] = last_conflicts
+            elif code == EVENT_PRE_RULE:
+                rule = args[0]
+                args[0] = PRE_RULES[rule] if rule < len(PRE_RULES) else f"rule{rule}"
+            elif code == EVENT_TASK_DISPATCH or code == EVENT_TASK_RETRY:
+                args[0] = self._resolve(strings, args[0])
+            elif code == EVENT_TASK_COMPLETE:
+                args[0] = self._resolve(strings, args[0])
+                args[1] = self._resolve(strings, args[1])
+                last_time_us += _unzigzag(args[2])
+                args[2] = last_time_us
+            yield TraceEvent(code, names[code][0], tuple(args))
+
+    @staticmethod
+    def _resolve(strings: dict[int, str], ref: int) -> str:
+        try:
+            return strings[ref]
+        except KeyError:
+            raise TraceFormatError(f"undefined string-table reference {ref}") from None
+
+
+def read_trace(source) -> tuple[TraceHeader, list[TraceEvent]]:
+    """Decode a whole trace eagerly: ``(header, [events...])``."""
+    reader = TraceReader(source)
+    return reader.header, list(reader.events())
+
+
+__all__ = [
+    "EVENT_FIELDS",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "PRE_RULES",
+    "TraceError",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceReader",
+    "TraceTruncatedError",
+    "TraceVersionError",
+    "TraceWriter",
+    "cnf_fingerprint",
+    "read_trace",
+]

@@ -1,0 +1,132 @@
+"""One-call recording helpers: wrap solve / simplify / estimate with a trace.
+
+These are the engine behind ``repro-sat trace record``: each helper builds
+the subsystem through the registry/spec layer, opens a
+:class:`~repro.trace.format.TraceWriter` whose header fingerprints the
+instance and snapshots the configuration, runs the operation with the trace
+attached, and closes the writer (also on failure, so a crashed run leaves a
+readable partial trace).
+
+Headers carry no timestamps and solver events carry no wall-clock fields, so
+two identically-seeded deterministic runs produce **byte-identical** trace
+files — the property ``repro-sat trace diff`` checks in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.sat.formula import CNF
+from repro.trace.format import TraceWriter, cnf_fingerprint
+
+
+def _open_writer(trace_out, *, kind: str, cnf: CNF, config: dict) -> TraceWriter:
+    return TraceWriter(
+        trace_out,
+        kind=kind,
+        fingerprint=cnf_fingerprint(cnf),
+        config=config,
+        meta={"num_vars": cnf.num_vars, "num_clauses": cnf.num_clauses},
+    )
+
+
+def record_solve(
+    cnf: CNF,
+    trace_out,
+    assumptions: Sequence[int] = (),
+    solver: str = "cdcl",
+    solver_options: Mapping[str, Any] | None = None,
+    budget=None,
+):
+    """Solve ``cnf`` with the named solver, streaming events to ``trace_out``.
+
+    Returns the :class:`~repro.sat.solver.SolveResult`.  Solvers without
+    trace instrumentation (DPLL, WalkSAT) still run — their trace holds just
+    the header.
+    """
+    from repro.api.specs import SolverSpec
+
+    spec = SolverSpec(name=solver, options=dict(solver_options or {}))
+    instance = spec.build()
+    config = {
+        "solver": solver,
+        "options": dict(solver_options or {}),
+        "assumptions": [int(lit) for lit in assumptions],
+    }
+    with _open_writer(trace_out, kind="solve", cnf=cnf, config=config) as writer:
+        try:
+            return instance.solve(
+                cnf, assumptions=list(assumptions), budget=budget, trace=writer
+            )
+        except TypeError:
+            # Solver without a trace= parameter: run untraced.
+            return instance.solve(cnf, assumptions=list(assumptions), budget=budget)
+
+
+def record_simplify(
+    cnf: CNF,
+    trace_out,
+    preprocessor_options: Mapping[str, Any] | None = None,
+    frozen: Sequence[int] = (),
+):
+    """Preprocess ``cnf``, streaming per-round events to ``trace_out``.
+
+    Returns the :class:`~repro.sat.simplify.PreprocessResult`.
+    """
+    from repro.sat.simplify import Preprocessor
+
+    options = dict(preprocessor_options or {})
+    config = {
+        "preprocessor": options,
+        "frozen": sorted(int(v) for v in frozen),
+    }
+    with _open_writer(trace_out, kind="simplify", cnf=cnf, config=config) as writer:
+        return Preprocessor(**options).preprocess(cnf, frozen=frozen, trace=writer)
+
+
+def record_estimate(
+    cnf: CNF,
+    variables: Sequence[int],
+    trace_out,
+    sample_size: int = 100,
+    seed: int = 0,
+    executor: str = "simulated-cluster",
+    cost_measure: str = "propagations",
+    solver: str = "cdcl",
+    solver_options: Mapping[str, Any] | None = None,
+    budget=None,
+    cores: int = 8,
+):
+    """Run a scheduled estimation, streaming scheduler events to ``trace_out``.
+
+    Returns the :class:`~repro.runner.estimation.ScheduledEstimation`.  With
+    the (default) simulated executor the completion times are virtual, so the
+    trace is a pure function of the inputs — identically-seeded runs are
+    byte-identical.
+    """
+    from repro.runner.estimation import estimate_family_scheduled
+
+    config = {
+        "variables": sorted(int(v) for v in variables),
+        "sample_size": sample_size,
+        "seed": seed,
+        "executor": executor,
+        "cost_measure": cost_measure,
+        "solver": solver,
+        "options": dict(solver_options or {}),
+        "cores": cores,
+    }
+    with _open_writer(trace_out, kind="estimate", cnf=cnf, config=config) as writer:
+        return estimate_family_scheduled(
+            cnf,
+            variables,
+            sample_size=sample_size,
+            seed=seed,
+            executor=executor,
+            cost_measure=cost_measure,
+            solver=solver,
+            solver_options=solver_options,
+            budget=budget,
+            cores=cores,
+            trace=writer,
+        )

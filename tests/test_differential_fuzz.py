@@ -203,6 +203,59 @@ class TestArenaVsLegacyEngines:
         assert arena_props > 0
 
 
+class TestTraceStatsParity:
+    """PR 6: event traces must agree exactly with each engine's own counters.
+
+    A trace is only useful evidence if it cannot drift from the statistics the
+    rest of the system reports, so for a slice of the fuzz corpus both engines
+    are solved with tracing attached and the per-event totals are checked
+    against ``result.stats`` — propagations (ENQUEUE), decisions, conflicts,
+    restarts and non-unit learnt clauses — for the same engine.  The counters
+    are also compared *across* engines where confluence makes that sound
+    (nothing beyond verdicts is guaranteed to match under conflicts, so the
+    cross-engine check stays on the conflict-free propagation counts already
+    pinned above).
+    """
+
+    @staticmethod
+    def _solve_traced(engine_cls, cnf):
+        import io
+
+        from repro.trace.format import TraceWriter, read_trace
+
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer)
+        result = engine_cls().solve(cnf, trace=writer)
+        writer.close()
+        _, events = read_trace(io.BytesIO(buffer.getvalue()))
+        return result, events
+
+    def test_trace_event_counts_equal_stats_for_both_engines(self):
+        corpus = list(_uniform_instances())[::9]  # every 9th: 20 instances
+        assert len(corpus) >= 20
+        for cnf in corpus:
+            for name, engine_cls in (("arena", CDCLSolver), ("legacy", LegacyCDCLSolver)):
+                result, events = self._solve_traced(engine_cls, cnf)
+                counts: dict[str, int] = {}
+                learned = 0
+                for event in events:
+                    counts[event.name] = counts.get(event.name, 0) + 1
+                    if event.name == "LEARN" and event.args[1] > 1:
+                        learned += 1
+                stats = result.stats
+                expected = {
+                    "ENQUEUE": stats.propagations,
+                    "DECIDE": stats.decisions,
+                    "CONFLICT": stats.conflicts,
+                    "RESTART": stats.restarts,
+                }
+                for event_name, counter in expected.items():
+                    assert counts.get(event_name, 0) == counter, (
+                        f"{name}: {event_name} events disagree with stats on {cnf}"
+                    )
+                assert learned == stats.learned_clauses, name
+
+
 @pytest.mark.parametrize("seed", range(5))
 def test_incremental_statuses_stable_across_call_order(seed):
     """Permuting the assumption vectors must not change any decided status."""

@@ -42,12 +42,18 @@ def _cleanup_api_reference() -> None:
 EXECUTABLE_FILES = {
     "api-reference.md": _cleanup_api_reference,
     "preprocessing.md": None,
+    "tracing.md": None,
     "tutorial.md": None,
 }
 
 #: Every executable page must keep a non-trivial number of runnable blocks —
 #: a page whose snippets were silently deleted would otherwise "pass".
-MIN_SNIPPETS = {"api-reference.md": 10, "preprocessing.md": 8, "tutorial.md": 5}
+MIN_SNIPPETS = {
+    "api-reference.md": 10,
+    "preprocessing.md": 8,
+    "tracing.md": 8,
+    "tutorial.md": 5,
+}
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 # [text](target) links, excluding images; target captured up to ) or #anchor.
@@ -75,6 +81,7 @@ class TestDocsTreeExists:
             "paper-mapping.md",
             "performance.md",
             "preprocessing.md",
+            "tracing.md",
             "tutorial.md",
             "api-reference.md",
         ],

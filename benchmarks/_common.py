@@ -34,6 +34,10 @@ from pathlib import Path
 
 from repro.perf import (  # noqa: F401  (re-exported timing protocol)
     BenchProfile,
+    batch_family_differential,
+    batch_solve_workload,
+    batched_estimation_workload,
+    batched_xi_identical,
     compare_to_baseline,
     estimation_workload,
     incremental_solve_workload,
@@ -44,10 +48,11 @@ from repro.perf import (  # noqa: F401  (re-exported timing protocol)
     sweep_decompositions,
 )
 
-#: The committed perf baselines next to this module (see bench_propagation.py
-#: and bench_preprocessing.py).
+#: The committed perf baselines next to this module (see bench_propagation.py,
+#: bench_preprocessing.py and bench_batching.py).
 BENCH4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
 BENCH5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
+BENCH6_PATH = Path(__file__).resolve().parent / "BENCH_6.json"
 
 
 def load_bench4_baseline() -> dict | None:
@@ -62,6 +67,13 @@ def load_bench5_baseline() -> dict | None:
     if not BENCH5_PATH.exists():
         return None
     return load_baseline(BENCH5_PATH, suite="preprocessing")
+
+
+def load_bench6_baseline() -> dict | None:
+    """The committed ``BENCH_6.json`` record, or ``None`` before the first commit."""
+    if not BENCH6_PATH.exists():
+        return None
+    return load_baseline(BENCH6_PATH, suite="batching")
 
 
 # Benchmarks run the whole pipeline once; repeating it would only slow CI down.

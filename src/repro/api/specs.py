@@ -154,6 +154,13 @@ class EstimatorSpec:
     #: Per-sample solver budget; ``None`` means run every sample to completion.
     max_conflicts_per_sample: int | None = None
     max_seconds_per_sample: float | None = None
+    #: Samples per ``solve_batch`` call (the word-parallel lockstep engine of
+    #: :mod:`repro.sat.cdcl.batch`).  ``1`` keeps the scalar loop.  Values > 1
+    #: force fresh-solve semantics (``incremental`` is ignored — the batch
+    #: engine's contract *is* the paper's fresh ξ) and require a solver
+    #: exposing ``solve_batch``; results are bit-identical to the scalar
+    #: fresh path either way.
+    batch_size: int = 1
 
     def budget(self) -> "SolverBudget | None":
         """The per-sample :class:`~repro.sat.solver.SolverBudget` (or ``None``)."""
@@ -178,14 +185,17 @@ class EstimatorSpec:
         ``incremental=True`` silently downgrades to fresh solves when
         ``solver`` does not implement the incremental contract (or when
         ``substitution_mode`` is ``"units"``), so one spec works across every
-        registered solver.  ``frozen_variables`` is the decomposition superset
-        forwarded to preprocessing-aware solvers (see
+        registered solver.  ``batch_size > 1`` likewise implies fresh solves
+        (the batch engine's contract) and downgrades to the scalar loop for
+        solvers without ``solve_batch``.  ``frozen_variables`` is the
+        decomposition superset forwarded to preprocessing-aware solvers (see
         :class:`~repro.core.predictive.PredictiveFunction`).
         """
         from repro.core.predictive import PredictiveFunction, supports_incremental_solving
         from repro.sat.cdcl import CDCLSolver
 
         solver = solver if solver is not None else CDCLSolver()
+        batch_size = self.batch_size if hasattr(solver, "solve_batch") else 1
         return PredictiveFunction(
             cnf,
             solver=solver,
@@ -196,11 +206,13 @@ class EstimatorSpec:
             subproblem_budget=self.budget(),
             confidence_level=self.confidence_level,
             incremental=(
-                self.incremental
+                batch_size == 1
+                and self.incremental
                 and supports_incremental_solving(solver, self.substitution_mode)
             ),
             sample_cache_size=self.sample_cache_size,
             frozen_variables=frozen_variables,
+            batch_size=batch_size,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -21,7 +21,9 @@ Sub-commands:
   fails on a >25% speedup-ratio regression against its committed baseline:
   ``--suite propagation`` gates the arena-vs-legacy propagation core against
   ``benchmarks/BENCH_4.json``, ``--suite preprocessing`` gates the
-  simplified-vs-raw estimation speedup against ``benchmarks/BENCH_5.json``
+  simplified-vs-raw estimation speedup against ``benchmarks/BENCH_5.json``,
+  ``--suite batching`` gates the word-parallel ``solve_batch`` engine and the
+  zero-copy shared-memory worker protocol against ``benchmarks/BENCH_6.json``
   (``--update-baseline`` refreshes the selected file);
 * ``simplify``  — apply the SatELite-style preprocessor to a cipher instance
   or to any DIMACS file (``--input``), with per-rule reduction stats and
@@ -45,6 +47,7 @@ Examples::
     repro-sat bench --cipher a51-tiny --seed 3 --decomposition-size 8 --sample-size 100
     repro-sat bench --compare-baseline
     repro-sat bench --suite preprocessing --compare-baseline
+    repro-sat bench --suite batching --compare-baseline
     repro-sat bench --perf-profile full --update-baseline
     repro-sat simplify --cipher bivium-tiny --seed 1
     repro-sat simplify --input hard.cnf --frozen 1,2,3 --output hard.simplified.cnf
@@ -154,6 +157,7 @@ def _experiment(args: argparse.Namespace, **overrides) -> Experiment:
             sample_size=getattr(args, "sample_size", 50),
             cost_measure=getattr(args, "cost_measure", "propagations"),
             incremental=not getattr(args, "no_incremental", False),
+            batch_size=getattr(args, "batch_size", 1),
         ),
         seed=args.seed,
         **overrides,
@@ -364,7 +368,9 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
 
     ``--suite propagation`` (the default) measures the arena-vs-legacy
     propagation core against ``BENCH_4.json``; ``--suite preprocessing``
-    measures simplified-vs-raw estimation against ``BENCH_5.json``.
+    measures simplified-vs-raw estimation against ``BENCH_5.json``;
+    ``--suite batching`` measures the word-parallel ``solve_batch`` engine and
+    the zero-copy shared-memory worker protocol against ``BENCH_6.json``.
     """
     from repro.perf import (
         SUITE_RUNNERS,
@@ -476,6 +482,7 @@ def _explain_regressions(regressions: list[str], seed: int) -> None:
     tracing on, and the trace diff pinpoints where the trajectories part —
     turning "the ratio dropped" into an inspectable event-level divergence.
     """
+    import re
     import tempfile
 
     from repro.problems import make_inversion_instance
@@ -488,6 +495,8 @@ def _explain_regressions(regressions: list[str], seed: int) -> None:
         if "/" not in workload:
             continue
         target = workload.split("/", 1)[1]
+        # Batching workloads suffix the core count (…-d10-cores4).
+        target = re.sub(r"-cores\d+$", "", target)
         head, sep, tail = target.rpartition("-d")
         cipher = head if sep and tail.isdigit() else target
         if cipher not in ciphers:
@@ -844,6 +853,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
                 seed=args.sample_seed,
                 cores=args.cores,
                 budget=budget,
+                batch_size=args.batch_size,
             )
             print(
                 f"F = {estimation.value:.4g} over {len(variables)} variables "
@@ -954,6 +964,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-incremental",
         action="store_true",
         help="fresh solver state per sample (the paper's cost semantics)",
+    )
+    estimate.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="samples per word-parallel solve_batch call (1 = scalar loop; "
+        ">1 implies fresh solves, bit-identical to the scalar fresh path)",
     )
     estimate.set_defaults(func=_cmd_estimate)
 
@@ -1084,7 +1101,9 @@ def build_parser() -> argparse.ArgumentParser:
             "perf suite for --compare-baseline/--update-baseline, enumerated "
             "from the suite registry (repro.perf.SUITES): 'propagation' gates "
             "the arena-vs-legacy core against BENCH_4.json, 'preprocessing' "
-            "gates the CNF preprocessing subsystem against BENCH_5.json; an "
+            "gates the CNF preprocessing subsystem against BENCH_5.json, "
+            "'batching' gates the word-parallel solve_batch engine and the "
+            "zero-copy shared-memory worker protocol against BENCH_6.json; an "
             "unknown name fails listing the available suites"
         ),
     )
@@ -1256,6 +1275,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_record.add_argument(
         "--cores", type=int, default=4, help="--mode estimate: simulated cores"
+    )
+    trace_record.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="--mode estimate: samples per word-parallel solve_batch task",
     )
     trace_record.set_defaults(func=_cmd_trace_record)
 

@@ -244,11 +244,14 @@ class PredictiveFunction:
         incremental: bool = False,
         sample_cache_size: int | None = 4096,
         frozen_variables: Iterable[int] | None = None,
+        batch_size: int = 1,
     ):
         if substitution_mode not in ("assumptions", "units"):
             raise ValueError("substitution_mode must be 'assumptions' or 'units'")
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         # Fail fast on a bad measure with the registry's consistent error
         # instead of deep inside the first sub-problem solve.
         get_cost_measure(cost_measure)
@@ -268,6 +271,25 @@ class PredictiveFunction:
                 "solver with the load()/loaded_cnf incremental contract"
             )
         self.incremental = bool(incremental)
+        if batch_size > 1:
+            if substitution_mode != "assumptions":
+                raise ValueError(
+                    "batch_size > 1 requires substitution_mode='assumptions'"
+                )
+            if incremental:
+                raise ValueError(
+                    "batch_size > 1 requires incremental=False: the batched "
+                    "engine's contract is fresh-solve (the paper's ξ), while "
+                    "incremental costs are history-dependent"
+                )
+            if not hasattr(self.solver, "solve_batch"):
+                raise ValueError(
+                    "batch_size > 1 requires a solver exposing solve_batch "
+                    "(the arena 'cdcl' engine)"
+                )
+        #: Samples solved per ``solve_batch`` call when > 1 (the word-parallel
+        #: lockstep engine); results stay bit-identical to the scalar loop.
+        self.batch_size = int(batch_size)
         self.frozen_variables = frozenset(frozen_variables or ())
         #: Every variable ever named by an evaluated decomposition set (the
         #: "assumption candidates" of the incremental contract), seeded from
@@ -340,8 +362,11 @@ class PredictiveFunction:
         observations: list[SampleObservation] = []
         activity: dict[int, float] = {}
         running = OnlineStatistics()
-        for assignment in sample:
-            observation, sub_activity = self._solve_subproblem(assignment, dec)
+        if self.batch_size > 1:
+            solved = self._solve_subproblems_batched(sample, dec)
+        else:
+            solved = (self._solve_subproblem(a, dec) for a in sample)
+        for observation, sub_activity in solved:
             observations.append(observation)
             running.add(observation.cost)
             for var, act in sub_activity.items():
@@ -445,6 +470,103 @@ class PredictiveFunction:
             if len(self._sample_cache) > self.sample_cache_size:
                 self._sample_cache.popitem(last=False)
         return observation, sub_activity
+
+    def _solve_subproblems_batched(
+        self, sample: Iterable[Assignment], dec: DecompositionSet
+    ) -> list[tuple[SampleObservation, dict[int, float]]]:
+        """The batched twin of per-sample :meth:`_solve_subproblem` calls.
+
+        Three passes keep every observable identical to the scalar loop:
+
+        1. walk the sample in order, splitting it into cache hits, in-batch
+           duplicates and fresh rows (with the cache off, *every* sample is a
+           fresh row — the scalar loop re-solves duplicates then too);
+        2. solve the fresh rows through ``solve_batch`` in chunks of
+           ``batch_size`` (bit-identical to fresh scalar solves by the batch
+           engine's contract);
+        3. replay the sample in order, performing exactly the cache
+           insertions/promotions the scalar loop would, so LRU order, hit
+           counters and ``cached`` flags match it.
+
+        The one observable difference is deliberate and tiny: membership is
+        decided against the cache state at batch start, so a cache smaller
+        than one evaluation's distinct rows can replay an entry the scalar
+        loop would have evicted mid-evaluation — same costs either way (fresh
+        solves are deterministic), only the ``cached`` flag and the hit/solve
+        counters can shift in that corner.
+        """
+        plan: list[tuple[str, tuple[int, ...], Assignment]] = []
+        pending: set[tuple[int, ...]] = set()
+        rows: list[tuple[int, ...]] = []
+        for assignment in sample:
+            literals = tuple(assignment.to_literals())
+            self.num_subproblem_solves += 1
+            if self.sample_cache_size and (
+                literals in self._sample_cache or literals in pending
+            ):
+                plan.append(("replay", literals, assignment))
+                continue
+            if self.sample_cache_size:
+                pending.add(literals)
+            rows.append(literals)
+            plan.append(("solve", literals, assignment))
+
+        self.num_solver_calls += len(rows)
+        if self.solver.loaded_cnf is not self.cnf:
+            self.solver.load(self.cnf)
+        results = []
+        for begin in range(0, len(rows), self.batch_size):
+            results.extend(
+                self.solver.solve_batch(
+                    rows[begin : begin + self.batch_size],
+                    budget=self.subproblem_budget,
+                )
+            )
+
+        solved: list[tuple[SampleObservation, dict[int, float]]] = []
+        next_result = 0
+        for kind, literals, assignment in plan:
+            if kind == "replay":
+                hit = self._sample_cache.get(literals)
+                if hit is not None:
+                    self._sample_cache.move_to_end(literals)
+                    self.sample_cache_hits += 1
+                    observation, sub_activity = hit
+                    solved.append(
+                        (
+                            SampleObservation(
+                                assignment_bits=observation.assignment_bits,
+                                cost=observation.cost,
+                                status=observation.status,
+                                wall_time=observation.wall_time,
+                                cached=True,
+                            ),
+                            sub_activity,
+                        )
+                    )
+                    continue
+                # Evicted between batch start and now (cache smaller than the
+                # evaluation): solve it fresh like the scalar loop would have.
+                self.num_solver_calls += 1
+                result = self.solver.solve_batch([literals], budget=self.subproblem_budget)[0]
+            else:
+                result = results[next_result]
+                next_result += 1
+            observation = SampleObservation(
+                assignment_bits=assignment.bits_for(list(dec.variables)),
+                cost=result.stats.cost(self.cost_measure),
+                status=result.status,
+                wall_time=result.stats.wall_time,
+            )
+            sub_activity = {
+                var: act for var, act in result.conflict_activity.items() if act > 0.0
+            }
+            if self.sample_cache_size:
+                self._sample_cache[literals] = (observation, sub_activity)
+                if len(self._sample_cache) > self.sample_cache_size:
+                    self._sample_cache.popitem(last=False)
+            solved.append((observation, sub_activity))
+        return solved
 
     # ----------------------------------------------------------------- exhaustive
     def exhaustive_value(

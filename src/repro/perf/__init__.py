@@ -25,6 +25,16 @@ reconstructed models verified, estimates bit-identical with preprocessing
 off).  The same ratio gate applies: ``repro-sat bench --suite preprocessing
 --compare-baseline``.
 
+Since PR 7 there is a third suite behind the committed ``BENCH_6.json``:
+:func:`run_bench6` measures the word-parallel
+:meth:`~repro.sat.cdcl.CDCLSolver.solve_batch` engine and the zero-copy
+shared-memory worker protocol (:class:`~repro.sat.cdcl.image.ArenaImage`) as
+*batched vs scalar* — single-process lockstep throughput plus scheduled
+estimation samples/second at 1/4/16 process-pool cores — with differential
+evidence (statuses and per-sample costs identical, folded ξ bit-identical)
+carried alongside the timings.  Gate: ``repro-sat bench --suite batching
+--compare-baseline``.
+
 Entry points: ``repro-sat bench --compare-baseline`` (local + CI gate),
 ``repro-sat bench --update-baseline`` (refresh the committed numbers) and
 ``benchmarks/bench_propagation.py`` / ``benchmarks/bench_preprocessing.py``
@@ -44,6 +54,10 @@ from repro.perf.baseline import (
 from repro.perf.workloads import (
     SUITE_RUNNERS,
     BenchProfile,
+    batch_family_differential,
+    batch_solve_workload,
+    batched_estimation_workload,
+    batched_xi_identical,
     estimation_workload,
     incremental_solve_workload,
     preprocessing_disabled_differential,
@@ -52,6 +66,7 @@ from repro.perf.workloads import (
     propagation_core_workload,
     run_bench4,
     run_bench5,
+    run_bench6,
     sweep_decompositions,
 )
 
@@ -60,6 +75,10 @@ __all__ = [
     "SUITES",
     "SUITE_RUNNERS",
     "BenchProfile",
+    "batch_family_differential",
+    "batch_solve_workload",
+    "batched_estimation_workload",
+    "batched_xi_identical",
     "compare_to_baseline",
     "default_baseline_path",
     "differential_failures",
@@ -73,6 +92,7 @@ __all__ = [
     "propagation_core_workload",
     "run_bench4",
     "run_bench5",
+    "run_bench6",
     "sweep_decompositions",
     "write_baseline",
 ]

@@ -23,6 +23,7 @@ BASELINE_SCHEMA = 1
 SUITES = {
     "propagation": ("propagation-core-bench", Path("benchmarks") / "BENCH_4.json"),
     "preprocessing": ("preprocessing-bench", Path("benchmarks") / "BENCH_5.json"),
+    "batching": ("batching-bench", Path("benchmarks") / "BENCH_6.json"),
 }
 
 
@@ -71,17 +72,21 @@ def write_baseline(record: dict, path: str | Path) -> Path:
 def differential_failures(record: dict) -> list[str]:
     """Falsified differential evidence carried by a suite record.
 
-    The preprocessing suite embeds soundness evidence next to its timings:
-    per-workload ``statuses_agree`` and the ``differential`` section's
-    ``answers_identical`` / ``models_verified`` / boolean checks.  Any of them
-    being false is a correctness failure the gate must report regardless of
-    speedup ratios (records without such fields — e.g. BENCH_4's — produce no
-    failures).
+    The preprocessing and batching suites embed soundness evidence next to
+    their timings: per-workload ``statuses_agree`` / ``costs_identical`` /
+    ``xi_identical`` and the ``differential`` section's ``answers_identical``
+    / ``models_verified`` / boolean checks.  Any of them being false is a
+    correctness failure the gate must report regardless of speedup ratios
+    (records without such fields — e.g. BENCH_4's — produce no failures).
     """
     failures: list[str] = []
     for name, workload in record.get("workloads", {}).items():
         if workload.get("statuses_agree") is False:
             failures.append(f"{name}: per-sample SAT/UNSAT statuses differ")
+        if workload.get("costs_identical") is False:
+            failures.append(f"{name}: per-sample costs differ")
+        if workload.get("xi_identical") is False:
+            failures.append(f"{name}: folded xi statistics differ")
     for name, entry in record.get("differential", {}).items():
         if entry is False:
             failures.append(f"{name}: differential check failed")

@@ -36,11 +36,24 @@ per-sample SAT/UNSAT statuses must be identical between the raw and the
 simplified run, and the estimate must be bit-identical when preprocessing is
 disabled (proving the subsystem's plumbing changes nothing when off).
 
+Since PR 7 the module also hosts the **batching** suite behind
+``BENCH_6.json`` (:func:`run_bench6`): the word-parallel
+:meth:`~repro.sat.cdcl.CDCLSolver.solve_batch` engine
+(:mod:`repro.sat.cdcl.batch`) measured as *batched vs scalar* — first the
+single-process lockstep loop against the scalar fresh-solve loop on the same
+sampled assumption rows, then end-to-end scheduled estimation samples/second
+at 1, 4 and 16 process-pool cores, where the batched side additionally ships
+the formula as one shared read-only :class:`~repro.sat.cdcl.image.ArenaImage`
+segment (the zero-copy worker protocol).  Every workload carries differential
+evidence: per-sample statuses must agree between the batched and the scalar
+side, and the folded ξ statistics must be bit-identical.
+
 Measurement protocol (shared with :mod:`benchmarks._common`): every workload
-runs ``rounds`` interleaved legacy/arena (or raw/simplified) rounds (so
-CPU-frequency drift and cache effects hit both sides equally) and reports each
-side's **best** round — the standard protocol for microbenchmarks whose noise
-is one-sided (interference only ever slows a run down).
+runs ``rounds`` interleaved legacy/arena (or raw/simplified, or
+scalar/batched) rounds (so CPU-frequency drift and cache effects hit both
+sides equally) and reports each side's **best** round — the standard protocol
+for microbenchmarks whose noise is one-sided (interference only ever slows a
+run down).
 """
 
 from __future__ import annotations
@@ -86,6 +99,14 @@ class BenchProfile:
     #: smaller smoke sweep would be incomparable to the committed baseline.
     preprocessing_points: int = 16
     preprocessing_samples: int = 50
+    #: BENCH_6 batching-suite shape, pinned across profiles for the same
+    #: reason: the batched-vs-scalar ratio shifts systematically with how many
+    #: samples the per-run fixed costs (pool spawn, shared-image freeze, root
+    #: snapshot) amortise over, so a smaller smoke run would be incomparable
+    #: to the committed full-profile baseline.
+    batching_samples: int = 200
+    batching_batch_size: int = 64
+    batching_cores: tuple[int, ...] = (1, 4, 16)
 
     @classmethod
     def full(cls) -> "BenchProfile":
@@ -477,6 +498,234 @@ def run_bench5(
     }
 
 
+# ----------------------------------------------------------- BENCH_6 workloads
+def batch_solve_workload(
+    cnf: CNF, rows, batch_size: int, rounds: int = 2
+) -> dict[str, object]:
+    """Word-parallel ``solve_batch`` vs the scalar fresh loop, single process.
+
+    Both sides solve exactly the same sampled assumption rows with fresh-solve
+    semantics: the scalar side re-loads per call (the estimator's fresh path),
+    the batched side loads once and runs the lockstep engine in ``batch_size``
+    chunks.  Reported as samples/second and propagations/second, interleaved
+    best-of-``rounds``; ``statuses_agree`` / ``costs_identical`` carry the
+    per-sample differential evidence (statuses and propagation costs must be
+    bit-identical — the batch engine's contract).
+    """
+    best: dict[str, float] = {"scalar": 0.0, "batched": 0.0}
+    best_props: dict[str, float] = {"scalar": 0.0, "batched": 0.0}
+    scalar_results = batched_results = None
+    for _ in range(rounds):
+        solver = CDCLSolver()
+        start = time.perf_counter()
+        scalar_results = [solver.solve(cnf, assumptions=list(row)) for row in rows]
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best["scalar"] = max(best["scalar"], len(rows) / elapsed)
+            props = sum(result.stats.propagations for result in scalar_results)
+            best_props["scalar"] = max(best_props["scalar"], props / elapsed)
+
+        solver = CDCLSolver().load(cnf)
+        start = time.perf_counter()
+        batched_results = []
+        for begin in range(0, len(rows), batch_size):
+            batched_results.extend(solver.solve_batch(rows[begin : begin + batch_size]))
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best["batched"] = max(best["batched"], len(rows) / elapsed)
+            props = sum(result.stats.propagations for result in batched_results)
+            best_props["batched"] = max(best_props["batched"], props / elapsed)
+    return {
+        "metric": "samples_per_sec",
+        "samples": len(rows),
+        "batch_size": batch_size,
+        "scalar": {"samples_per_sec": best["scalar"],
+                   "propagations_per_sec": best_props["scalar"]},
+        "batched": {"samples_per_sec": best["batched"],
+                    "propagations_per_sec": best_props["batched"]},
+        "speedup": best["batched"] / best["scalar"] if best["scalar"] else None,
+        "statuses_agree": (
+            [r.status for r in scalar_results] == [r.status for r in batched_results]
+        ),
+        "costs_identical": (
+            [r.stats.propagations for r in scalar_results]
+            == [r.stats.propagations for r in batched_results]
+        ),
+    }
+
+
+def batched_estimation_workload(
+    cnf: CNF,
+    variables,
+    sample_size: int,
+    seed: int,
+    batch_size: int,
+    cores: int,
+    rounds: int = 2,
+) -> dict[str, object]:
+    """Scheduled estimation samples/second: batched+zero-copy vs scalar pool.
+
+    Both sides run :func:`repro.runner.estimation.estimate_family_scheduled`
+    on a real ``cores``-worker process pool.  The scalar side is the PR 6 path
+    (one sample per task, CNF pickled into each worker's initializer); the
+    batched side ships ``batch_size`` rows per task against one shared
+    read-only :class:`~repro.sat.cdcl.image.ArenaImage` segment.  The folded
+    statistics are required to be bit-identical (``statuses_agree`` /
+    ``xi_identical``) — only the wall clock may differ.
+    """
+    from repro.runner.estimation import estimate_family_scheduled
+
+    best: dict[str, float] = {"scalar": float("inf"), "batched": float("inf")}
+    scalar = batched = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        scalar = estimate_family_scheduled(
+            cnf, variables, sample_size=sample_size, seed=seed,
+            executor="process-pool", processes=cores, batch_size=1,
+        )
+        best["scalar"] = min(best["scalar"], time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = estimate_family_scheduled(
+            cnf, variables, sample_size=sample_size, seed=seed,
+            executor="process-pool", processes=cores, batch_size=batch_size,
+        )
+        best["batched"] = min(best["batched"], time.perf_counter() - start)
+    return {
+        "metric": "samples_per_sec",
+        "cores": cores,
+        "samples": sample_size,
+        "batch_size": batch_size,
+        "scalar": {"samples_per_sec": sample_size / best["scalar"],
+                   "wall_time": best["scalar"]},
+        "batched": {"samples_per_sec": sample_size / best["batched"],
+                    "wall_time": best["batched"]},
+        "speedup": best["scalar"] / best["batched"] if best["batched"] > 0 else None,
+        "statuses_agree": scalar.statuses == batched.statuses,
+        "xi_identical": (
+            scalar.costs == batched.costs
+            and scalar.statistics.mean == batched.statistics.mean
+        ),
+    }
+
+
+def batch_family_differential(cnf: CNF, decomposition) -> dict[str, object]:
+    """Solve a whole decomposition family batched vs scalar and compare.
+
+    Every sub-problem's SAT/UNSAT answer must be identical, and every model
+    the batch engine returns must satisfy the original formula — the
+    "solver answers are unchanged" leg of the BENCH_6 differential check
+    (the SAT leg the all-UNSAT bivium workloads cannot exercise).
+    """
+    from repro.core.decomposition import DecompositionSet
+
+    dec = DecompositionSet.of(decomposition)
+    rows = [tuple(assignment.to_literals()) for assignment in dec.all_assignments()]
+    batched = CDCLSolver().load(cnf).solve_batch(rows)
+    scalar_solver = CDCLSolver()
+    answers_identical = True
+    models_verified = True
+    for row, batch_result in zip(rows, batched):
+        scalar_result = scalar_solver.solve(cnf, assumptions=list(row))
+        if scalar_result.status is not batch_result.status:
+            answers_identical = False
+        if batch_result.is_sat:
+            model = batch_result.model
+            full = {v: model.get(v, False) for v in range(1, cnf.num_vars + 1)}
+            if not cnf.is_satisfied_by(full):
+                models_verified = False
+    return {
+        "decomposition": sorted(dec.variables),
+        "num_subproblems": dec.num_subproblems,
+        "answers_identical": answers_identical,
+        "models_verified": models_verified,
+    }
+
+
+def batched_xi_identical(
+    cnf: CNF, variables, sample_size: int, seed: int, batch_size: int
+) -> bool:
+    """ξ through the serial scheduler, batched vs scalar — must be bit-identical."""
+    from repro.runner.estimation import estimate_family_scheduled
+
+    scalar = estimate_family_scheduled(
+        cnf, variables, sample_size=sample_size, seed=seed, batch_size=1
+    )
+    batched = estimate_family_scheduled(
+        cnf, variables, sample_size=sample_size, seed=seed, batch_size=batch_size
+    )
+    return (
+        scalar.costs == batched.costs
+        and scalar.statuses == batched.statuses
+        and scalar.statistics.mean == batched.statistics.mean
+        and scalar.statistics.estimate().half_width == batched.statistics.estimate().half_width
+    )
+
+
+def run_bench6(
+    profile: BenchProfile | None = None,
+    seed: int = 3,
+    progress=None,
+) -> dict[str, object]:
+    """Run the batching suite and return the ``BENCH_6.json`` record."""
+    from repro.runner.estimation import _sample_literals
+
+    profile = profile or BenchProfile.full()
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    workloads: dict[str, dict[str, object]] = {}
+    differential: dict[str, object] = {}
+    sweep_rounds = min(2, profile.rounds)
+
+    # Bivium toy on the canonical d=10 prefix — the same instance/decomposition
+    # as BENCH_4's estimation workload and BENCH_5's headline sweep, so the
+    # three committed baselines gate one continuous story.  The sampled rows
+    # come from the estimator's own sampling discipline: the workload measures
+    # exactly the stream a real estimation run would solve.
+    bivium = make_inversion_instance(get_cipher("bivium-tiny")(), seed=seed)
+    decomposition = sorted(bivium.start_set[:10])
+    rows = list(_sample_literals(decomposition, profile.batching_samples, seed))
+
+    note("lockstep solve_batch vs scalar fresh loop on bivium-tiny ...")
+    workloads["batch-solve/bivium-tiny-d10"] = batch_solve_workload(
+        bivium.cnf, rows, profile.batching_batch_size, rounds=sweep_rounds
+    )
+
+    for cores in profile.batching_cores:
+        note(f"scheduled estimation, batched vs scalar pool, {cores} cores ...")
+        workloads[f"batch-estimation/bivium-tiny-d10-cores{cores}"] = (
+            batched_estimation_workload(
+                bivium.cnf, decomposition, profile.batching_samples, seed,
+                profile.batching_batch_size, cores, rounds=sweep_rounds,
+            )
+        )
+
+    note("xi differential on bivium-tiny ...")
+    differential["xi-identical-batched-vs-scalar/bivium-tiny-d10"] = batched_xi_identical(
+        bivium.cnf, decomposition, profile.batching_samples, seed,
+        profile.batching_batch_size,
+    )
+    # A SAT-heavy family so the model-verification leg actually fires.
+    geffe = make_inversion_instance(get_cipher("geffe-tiny")(), seed=seed)
+    note("family differential on geffe-tiny ...")
+    differential["family/geffe-tiny-d6"] = batch_family_differential(
+        geffe.cnf, list(geffe.start_set[:6])
+    )
+
+    return {
+        "kind": "batching-bench",
+        "bench_id": 6,
+        "schema": 1,
+        "profile": profile.name,
+        "seed": seed,
+        "batch_size": profile.batching_batch_size,
+        "workloads": workloads,
+        "differential": differential,
+    }
+
+
 def run_bench4(
     profile: BenchProfile | None = None,
     seed: int = 3,
@@ -542,4 +791,5 @@ def run_bench4(
 SUITE_RUNNERS = {
     "propagation": run_bench4,
     "preprocessing": run_bench5,
+    "batching": run_bench6,
 }

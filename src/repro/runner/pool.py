@@ -61,6 +61,9 @@ def _init_worker(
     _WORKER_STATE["keep_models"] = keep_models
     _WORKER_STATE["solver"] = get_solver(solver)(**dict(solver_options))
     _WORKER_STATE["budget"] = budget
+    # Re-priming invalidates any batch solver loaded for the previous formula.
+    _WORKER_STATE.pop("batch_key", None)
+    _WORKER_STATE.pop("batch_image", None)
 
 
 def _solve_one(assumptions: tuple[int, ...]) -> ParallelSolveOutcome:
@@ -77,6 +80,58 @@ def _solve_one(assumptions: tuple[int, ...]) -> ParallelSolveOutcome:
         wall_time=result.stats.wall_time,
         model=result.model if (keep_models and result.is_sat) else None,
     )
+
+
+def _batch_solver(segment: str | None):
+    """The worker's batch solver, loaded once per formula (zero-copy protocol).
+
+    ``segment`` names a :class:`~repro.sat.cdcl.image.ArenaImage` shared-memory
+    segment to attach read-only (the leader froze the clause database once;
+    every worker maps the same physical pages and rebuilds from them via
+    ``load_image`` — no CNF pickling, no per-clause normalisation).  ``None``
+    falls back to loading the CNF the initializer installed, which is what the
+    serial/simulated executors use.  The loaded solver is cached per key, so a
+    worker pays the load exactly once however many batch tasks it runs; the
+    attachment is held for the worker's lifetime (an attachment does not keep
+    an unlinked segment's name alive, so this cannot leak segments).
+    """
+    solver = _WORKER_STATE["solver"]
+    key = segment if segment is not None else "<initializer-cnf>"
+    if _WORKER_STATE.get("batch_key") != key:
+        if segment is not None:
+            from repro.sat.cdcl.image import ArenaImage
+
+            image = ArenaImage.attach(segment)
+            _WORKER_STATE["batch_image"] = image
+            solver.load_image(image)
+        else:
+            solver.load(_WORKER_STATE["cnf"])
+        _WORKER_STATE["batch_key"] = key
+    return solver
+
+
+def _solve_batch(payload: tuple[str | None, tuple[tuple[int, ...], ...]]) -> list[dict]:
+    """Solve one batch of assumption rows in the primed worker (JSON-plain rows).
+
+    The payload is ``(segment name or None, rows)`` — with a shared image the
+    whole formula rides in the segment name, shrinking per-task pickles to the
+    assumption bits.  Results come back in row order as the same plain dicts
+    the scalar sample task produces, so the leader's fold is unchanged.
+    """
+    segment, rows = payload
+    solver = _batch_solver(segment)
+    cost_measure: str = _WORKER_STATE["cost_measure"]  # type: ignore[assignment]
+    budget: SolverBudget | None = _WORKER_STATE["budget"]  # type: ignore[assignment]
+    results = solver.solve_batch([tuple(row) for row in rows], budget=budget)
+    return [
+        {
+            "assumptions": [int(lit) for lit in row],
+            "cost": result.stats.cost(cost_measure),
+            "status": result.status.value,
+            "wall_time": result.stats.wall_time,
+        }
+        for row, result in zip(rows, results)
+    ]
 
 
 def family_task_id(index: int) -> str:

@@ -313,6 +313,19 @@ class ThreadExecutor:
         self._pool.shutdown(wait=True)
 
 
+def _run_pickled_payload(task_fn: Callable[[Any], Any], blob: bytes) -> Any:
+    """Unpickle a pre-serialized task payload in the worker and run ``task_fn``.
+
+    The indirection lets :class:`ProcessExecutor` serialize each payload
+    exactly once per *task* instead of once per *attempt*: retries resubmit
+    the cached byte blob (pickling ``bytes`` is a cheap passthrough), so a
+    crashing worker never re-pays the payload serialization cost.
+    """
+    import pickle
+
+    return task_fn(pickle.loads(blob))
+
+
 class ProcessExecutor:
     """Attempts run in real worker processes (the PDSAT computing processes).
 
@@ -321,6 +334,11 @@ class ProcessExecutor:
     like :mod:`repro.runner.pool` primes its workers.  A worker process dying
     mid-attempt surfaces as a ``crash`` completion and the pool is rebuilt, so
     the scheduler's retry budget covers real worker loss, not only exceptions.
+
+    Payloads are pickled once per task (not per attempt) and shipped as byte
+    blobs via :func:`_run_pickled_payload`; the blob cache is dropped as soon
+    as a task completes for good (success or fatal error), so memory tracks
+    the in-flight set, not the whole graph.
     """
 
     name = "process-pool"
@@ -340,6 +358,7 @@ class ProcessExecutor:
         self._initargs = initargs
         self._pool = None
         self._futures: dict[Any, tuple[str, int, float]] = {}
+        self._payload_blobs: dict[str, bytes] = {}
         self._started = time.perf_counter()
 
     def _ensure_pool(self):
@@ -354,8 +373,14 @@ class ProcessExecutor:
         return self._pool
 
     def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
-        """Submit the attempt to the process pool."""
-        future = self._ensure_pool().submit(self.task_fn, task.payload)
+        """Submit the attempt to the process pool (payload pickled at most once)."""
+        import pickle
+
+        blob = self._payload_blobs.get(task.task_id)
+        if blob is None:
+            blob = pickle.dumps(task.payload, protocol=pickle.HIGHEST_PROTOCOL)
+            self._payload_blobs[task.task_id] = blob
+        future = self._ensure_pool().submit(_run_pickled_payload, self.task_fn, blob)
         self._futures[future] = (task.task_id, worker, time.perf_counter())
 
     def wait(self) -> list[Completion]:
@@ -399,6 +424,9 @@ class ProcessExecutor:
             except Exception as exc:  # noqa: BLE001 - retryable task error
                 value, outcome, error = None, OUTCOME_ERROR, f"{type(exc).__name__}: {exc}"
                 fatal = isinstance(exc, (ValueError, TypeError))
+            if outcome == OUTCOME_SUCCESS or fatal:
+                # The task will never be resubmitted: drop its cached payload.
+                self._payload_blobs.pop(task_id, None)
             events.append(
                 Completion(
                     task_id=task_id,
@@ -415,6 +443,7 @@ class ProcessExecutor:
 
     def close(self) -> None:
         """Shut the process pool down."""
+        self._payload_blobs.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

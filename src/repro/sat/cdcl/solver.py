@@ -118,6 +118,17 @@ class CDCLSolver:
         self.trace = None
         self._trace = None
         self._solve_seq = 0
+        #: The :class:`~repro.sat.cdcl.image.ArenaImage` behind the last
+        #: :meth:`load_image` (``None`` after a plain ``load``); re-loads for
+        #: the batched fresh-solve snapshot go through it when present.
+        self._image = None
+        #: Deep copy of the pristine post-load state (lazily captured by
+        #: :meth:`solve_batch`); restoring it is ~25x cheaper than re-running
+        #: ``_init`` and reproduces its output byte for byte.
+        self._root_snapshot = None
+        #: True while the internal state is exactly the post-load state (no
+        #: solve has mutated it since); guards snapshot capture.
+        self._pristine = False
 
     # ------------------------------------------------------------------ public
     @property
@@ -176,6 +187,71 @@ class CDCLSolver:
             self._presolve = None
             self._init(cnf)
         self.loaded_cnf = cnf
+        self._image = None
+        self._root_snapshot = None
+        self._pristine = True
+        return self
+
+    def load_image(self, image) -> "CDCLSolver":
+        """Rebuild the clause database from a frozen :class:`ArenaImage`.
+
+        Bit-identical to :meth:`load` on the formula the image froze — the
+        arena, cref table and root-unit trail are copied straight out of the
+        buffer, skipping per-clause normalisation entirely (the zero-copy
+        worker protocol: workers attach to one shared segment and rebuild
+        from it instead of unpickling and re-loading a CNF per task).
+        Requires ``config.simplify`` off, like :meth:`ArenaImage.freeze`.
+        """
+        if self.config.simplify:
+            raise ValueError(
+                "load_image requires config.simplify=False; preprocess the "
+                "formula before freezing it into an ArenaImage"
+            )
+        n = image.num_vars
+        self._presolve = None
+        self._num_vars = n
+        self._values = [_UNDEF] * ((n + 1) << 1)
+        self._level = [0] * (n + 1)
+        self._reason = [_NO_REASON] * (n + 1)
+        self._saved_phase = [self.config.default_phase] * (n + 1)
+        self._activity = [0.0] * (n + 1)
+        self._activity_rescales = 0
+        self._bumped_vars = set()
+        self._bump_snapshots = {}
+        self._track_bumps = False
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._heap = ActivityHeap(self._activity)
+        for v in range(1, n + 1):
+            self._heap.push(v)
+        self._watches = [[] for _ in range((n + 1) << 1)]
+        self._tern_watches = [[] for _ in range((n + 1) << 1)]
+        self._values[0] = _FALSE
+        self._has_long = False
+        self._arena = image.arena()
+        self._clauses = image.crefs()
+        self._learnts = []
+        self._cla_activity = {}
+        self._cla_lbd = {}
+        self._wasted = 0
+        self._trail = []
+        self._trail_lim = []
+        self._qhead = 0
+        self._ok = image.ok
+        self._seen = [False] * (n + 1)
+        for cref in self._clauses:
+            self._attach(cref)
+        for lit in image.root_units():
+            var = lit >> 1
+            self._values[lit] = _TRUE
+            self._values[lit ^ 1] = _FALSE
+            self._level[var] = 0
+            self._reason[var] = _NO_REASON
+            self._trail.append(lit)
+        self.loaded_cnf = image.to_cnf()
+        self._image = image
+        self._root_snapshot = None
+        self._pristine = True
         return self
 
     def solve(
@@ -205,9 +281,6 @@ class CDCLSolver:
         occur in the formula default to the solver's default phase.
         """
         start = time.perf_counter()
-        self._budget = budget or SolverBudget()
-        self._stats = SolverStats()
-        self._trace = trace if trace is not None else self.trace
         fresh = cnf is not None
         if fresh:
             if self.config.simplify:
@@ -228,6 +301,27 @@ class CDCLSolver:
             raise ValueError("no formula loaded: pass a CNF or call load() first")
         else:
             self._cancel_until(0)
+        return self._run_solve(assumptions, budget, trace, fresh, start)
+
+    def _run_solve(
+        self,
+        assumptions: Sequence[int],
+        budget: SolverBudget | None,
+        trace,
+        fresh: bool,
+        start: float,
+    ) -> SolveResult:
+        """The post-load body of :meth:`solve` (shared with the batch engine).
+
+        ``fresh`` selects the one-shot reporting contract (dense activity map,
+        no bump tracking); the batched fresh-solve fallback restores the
+        pristine root snapshot and calls this with ``fresh=True``, which makes
+        it bit-identical to ``solve(cnf, ...)`` without re-running ``_init``.
+        """
+        self._budget = budget or SolverBudget()
+        self._stats = SolverStats()
+        self._trace = trace if trace is not None else self.trace
+        self._pristine = False
         # Snapshot bookkeeping is only consumed by the incremental activity
         # report; keep it off the fresh path's conflict-analysis hot loop.
         self._track_bumps = not fresh
@@ -307,6 +401,114 @@ class CDCLSolver:
             stats=self._stats,
             conflict_activity=activity,
         )
+
+    def solve_batch(
+        self,
+        assumption_rows: Sequence[Sequence[int]],
+        cnf: CNF | None = None,
+        budget: SolverBudget | None = None,
+        trace=None,
+    ) -> list[SolveResult]:
+        """Solve many fresh assumption rows against one formula, word-parallel.
+
+        Semantically identical to ``[solve(cnf, row, ...) for row in rows]``
+        with a *fresh* solve per row (no learnt clauses or activity carry
+        across rows), but shares the root-level work: the formula is loaded
+        once, root propagation over the assumption columns runs word-wide
+        (one Python big-int bit per sample, mirroring
+        ``lfsr.pack_state_columns``/``run_batch``), and only rows that hit a
+        conflict fall back to an exact scalar solve from a restored pristine
+        snapshot.  Statuses, models, stats and conflict activity are
+        bit-identical to the scalar path; see ``tests/test_differential_fuzz.py
+        ::TestBatchedVsScalar``.
+        """
+        from repro.sat.cdcl.batch import solve_batch_rows
+
+        if cnf is not None:
+            self.load(cnf)
+        elif self.loaded_cnf is None:
+            raise ValueError("no formula loaded: pass a CNF or call load() first")
+        return solve_batch_rows(self, assumption_rows, budget=budget, trace=trace)
+
+    # --------------------------------------------------------- root snapshotting
+    _SNAPSHOT_FIELDS = (
+        # Every mutable field _init creates, except _seen (all-False between
+        # solves — _analyze restores it) and the per-call bookkeeping that
+        # _run_solve resets anyway (_budget/_stats/_trace, bump tracking).
+        "_num_vars",
+        "_values",
+        "_level",
+        "_reason",
+        "_saved_phase",
+        "_activity",
+        "_activity_rescales",
+        "_var_inc",
+        "_cla_inc",
+        "_has_long",
+        "_arena",
+        "_clauses",
+        "_learnts",
+        "_cla_activity",
+        "_cla_lbd",
+        "_wasted",
+        "_trail",
+        "_trail_lim",
+        "_qhead",
+        "_ok",
+    )
+
+    def _capture_root_state(self) -> dict:
+        """Deep-copy the pristine post-load state (~25x cheaper to restore
+        than re-running ``_init``, and byte-identical by construction)."""
+        snap = {}
+        for field in self._SNAPSHOT_FIELDS:
+            value = getattr(self, field)
+            if isinstance(value, list):
+                value = value[:]
+            elif isinstance(value, dict):
+                value = dict(value)
+            snap[field] = value
+        snap["_watches"] = [wl[:] for wl in self._watches]
+        snap["_tern_watches"] = [wl[:] for wl in self._tern_watches]
+        snap["_heap"] = self._heap._heap[:]
+        snap["_heap_indices"] = dict(self._heap._indices)
+        return snap
+
+    def _restore_root_state(self, snap: dict) -> None:
+        """Overwrite the internal state with fresh copies of ``snap``."""
+        for field in self._SNAPSHOT_FIELDS:
+            value = snap[field]
+            if isinstance(value, list):
+                value = value[:]
+            elif isinstance(value, dict):
+                value = dict(value)
+            setattr(self, field, value)
+        self._watches = [wl[:] for wl in snap["_watches"]]
+        self._tern_watches = [wl[:] for wl in snap["_tern_watches"]]
+        # The heap must index into the *restored* activity list, not the
+        # snapshot's: rebuild it around self._activity and graft the frozen
+        # order back on.
+        heap = ActivityHeap(self._activity)
+        heap._heap = snap["_heap"][:]
+        heap._indices = dict(snap["_heap_indices"])
+        self._heap = heap
+        self._seen = [False] * (self._num_vars + 1)
+        self._bumped_vars = set()
+        self._bump_snapshots = {}
+        self._track_bumps = False
+        self._pristine = True
+
+    def _ensure_root_snapshot(self) -> dict:
+        """Capture (or return) the pristine post-load snapshot, re-loading the
+        formula first if a previous solve already mutated the state."""
+        if self._root_snapshot is None:
+            if not self._pristine:
+                if self._image is not None:
+                    self.load_image(self._image)
+                else:
+                    self.load(self.loaded_cnf)
+            self._root_snapshot = self._capture_root_state()
+        return self._root_snapshot
 
     # -------------------------------------------------------------- initialise
     def _init(self, cnf: CNF) -> None:

@@ -96,13 +96,17 @@ def record_estimate(
     solver_options: Mapping[str, Any] | None = None,
     budget=None,
     cores: int = 8,
+    batch_size: int = 1,
 ):
     """Run a scheduled estimation, streaming scheduler events to ``trace_out``.
 
     Returns the :class:`~repro.runner.estimation.ScheduledEstimation`.  With
     the (default) simulated executor the completion times are virtual, so the
     trace is a pure function of the inputs — identically-seeded runs are
-    byte-identical.
+    byte-identical.  ``batch_size > 1`` routes the samples through the
+    word-parallel ``solve_batch`` engine (one task per chunk of rows); the
+    statistics — and therefore the trace — stay a pure function of the same
+    inputs plus the batch size.
     """
     from repro.runner.estimation import estimate_family_scheduled
 
@@ -115,6 +119,7 @@ def record_estimate(
         "solver": solver,
         "options": dict(solver_options or {}),
         "cores": cores,
+        "batch_size": batch_size,
     }
     with _open_writer(trace_out, kind="estimate", cnf=cnf, config=config) as writer:
         return estimate_family_scheduled(
@@ -129,4 +134,5 @@ def record_estimate(
             budget=budget,
             cores=cores,
             trace=writer,
+            batch_size=batch_size,
         )

@@ -255,6 +255,196 @@ class TestTraceStatsParity:
                     )
                 assert learned == stats.learned_clauses, name
 
+    def test_batched_trace_event_counts_equal_scalar_stats(self):
+        # PR 7: the lockstep fast path synthesises its trace events after the
+        # word-parallel propagation, so the per-row ENQUEUE/DECIDE/CONFLICT
+        # totals must still equal both the batch result's own counters and the
+        # counters of a genuine scalar solve of the same row.
+        import io
+
+        from repro.trace.format import TraceWriter, read_trace
+
+        rng = random.Random(4242)
+        for index, cnf in enumerate(list(_uniform_instances())[::11]):
+            rows = []
+            for _ in range(7):
+                variables = rng.sample(range(1, cnf.num_vars + 1), rng.randint(0, 5))
+                rows.append(tuple(v if rng.random() < 0.5 else -v for v in variables))
+            buffer = io.BytesIO()
+            writer = TraceWriter(buffer)
+            results = CDCLSolver().load(cnf).solve_batch(rows, trace=writer)
+            writer.close()
+            _, events = read_trace(io.BytesIO(buffer.getvalue()))
+            counts: dict[str, int] = {}
+            for event in events:
+                counts[event.name] = counts.get(event.name, 0) + 1
+            scalar_solver = CDCLSolver()
+            scalar_totals = {"ENQUEUE": 0, "DECIDE": 0, "CONFLICT": 0}
+            batch_totals = dict(scalar_totals)
+            for row, batch_result in zip(rows, results):
+                scalar_stats = scalar_solver.solve(cnf, assumptions=list(row)).stats
+                scalar_totals["ENQUEUE"] += scalar_stats.propagations
+                scalar_totals["DECIDE"] += scalar_stats.decisions
+                scalar_totals["CONFLICT"] += scalar_stats.conflicts
+                batch_totals["ENQUEUE"] += batch_result.stats.propagations
+                batch_totals["DECIDE"] += batch_result.stats.decisions
+                batch_totals["CONFLICT"] += batch_result.stats.conflicts
+            assert batch_totals == scalar_totals, (index, rows)
+            for event_name, total in scalar_totals.items():
+                assert counts.get(event_name, 0) == total, (index, event_name)
+
+    def test_batched_estimate_traces_are_byte_identical_across_runs(self, tmp_path):
+        # The trace-diff lane from PR 6 extends to batched runs: two
+        # identically-seeded record_estimate(batch_size=7) recordings must be
+        # byte-identical, and diff_traces must say so.
+        from repro.trace.diff import diff_traces
+        from repro.trace.record import record_estimate
+
+        cnf = random_ksat(12, 52, k=3, seed=23)
+        paths = [tmp_path / "a.trace", tmp_path / "b.trace"]
+        for path in paths:
+            with open(path, "wb") as handle:
+                record_estimate(
+                    cnf, [1, 2, 3, 4, 5], handle,
+                    sample_size=30, seed=9, batch_size=7,
+                )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        diff = diff_traces(paths[0], paths[1])
+        assert diff.identical
+
+
+class TestBatchedVsScalar:
+    """PR 7: ``solve_batch`` must be bit-identical to the scalar fresh loop.
+
+    For 200+ seeded (CNF, assumption-row) pairs — the uniform grid at and off
+    the phase transition, 4-SAT instances that exercise the long-clause
+    occurrence path, planted-SAT and constructed-UNSAT formulas — the batch
+    engine is run at batch sizes 1, 7 and 64 and every reported bit is pinned
+    to a fresh scalar ``solve(cnf, assumptions=row)``: statuses, verified
+    models, propagation/decision/conflict counters, and the estimator
+    statistics folded from the per-row costs.
+    """
+
+    BATCH_SIZES = (1, 7, 64)
+
+    @staticmethod
+    def _rows_for(cnf: CNF, seed: int, count: int) -> list[tuple[int, ...]]:
+        rng = random.Random(seed)
+        rows = []
+        for _ in range(count):
+            width = rng.randint(0, min(6, cnf.num_vars))
+            variables = rng.sample(range(1, cnf.num_vars + 1), width)
+            rows.append(tuple(v if rng.random() < 0.5 else -v for v in variables))
+        return rows
+
+    @classmethod
+    def _assert_batch_matches_scalar(cls, cnf: CNF, rows, batch_size: int) -> int:
+        from repro.stats.montecarlo import OnlineStatistics
+
+        solver = CDCLSolver().load(cnf)
+        batched = []
+        for begin in range(0, len(rows), batch_size):
+            batched.extend(solver.solve_batch(rows[begin : begin + batch_size]))
+        scalar_solver = CDCLSolver()
+        batch_fold = OnlineStatistics()
+        scalar_fold = OnlineStatistics()
+        for row, batch_result in zip(rows, batched):
+            scalar_result = scalar_solver.solve(cnf, assumptions=list(row))
+            assert batch_result.status is scalar_result.status, (cnf, row)
+            bs, ss = batch_result.stats, scalar_result.stats
+            assert bs.propagations == ss.propagations, (cnf, row)
+            assert bs.decisions == ss.decisions, (cnf, row)
+            assert bs.conflicts == ss.conflicts, (cnf, row)
+            assert bs.max_decision_level == ss.max_decision_level, (cnf, row)
+            if batch_result.status is SolverStatus.SAT:
+                assert check_model(cnf, batch_result.model), (cnf, row)
+                for literal in row:
+                    assert batch_result.model[abs(literal)] == (literal > 0)
+            batch_fold.add(float(bs.propagations))
+            scalar_fold.add(float(ss.propagations))
+        assert batch_fold.mean == scalar_fold.mean
+        assert batch_fold.estimate().half_width == scalar_fold.estimate().half_width
+        return len(rows)
+
+    def test_uniform_corpus_bit_identical_at_batch_sizes_1_and_7(self):
+        checked = 0
+        for index, cnf in enumerate(_uniform_instances()):
+            if index % 2:
+                continue  # 90 instances: every other one of the uniform grid
+            rows = self._rows_for(cnf, seed=3100 + index, count=4)
+            for batch_size in (1, 7):
+                self._assert_batch_matches_scalar(cnf, rows, batch_size)
+            checked += len(rows)
+        assert checked >= 200
+
+    def test_batch_64_and_long_clause_instances(self):
+        # 4-SAT formulas route propagation through the long-clause occurrence
+        # lists (the prefix/suffix AND-product path the ternary corpus never
+        # touches); 70 rows per instance force multi-word 64-chunking too.
+        for seed in range(4):
+            cnf = random_ksat(14, 130, k=4, seed=seed)
+            rows = self._rows_for(cnf, seed=5200 + seed, count=70)
+            self._assert_batch_matches_scalar(cnf, rows, 64)
+        cnf = random_ksat(12, 62, k=3, seed=31)
+        rows = self._rows_for(cnf, seed=5300, count=70)
+        self._assert_batch_matches_scalar(cnf, rows, 64)
+
+    def test_planted_and_constructed_instances(self):
+        for seed in range(6):
+            cnf, _planted = planted_ksat(10, 38, k=3, seed=seed)
+            rows = self._rows_for(cnf, seed=6100 + seed, count=6)
+            self._assert_batch_matches_scalar(cnf, rows, 7)
+        for seed in range(6):
+            cnf = random_unsat_core(6 + seed, seed=seed)
+            rows = self._rows_for(cnf, seed=6200 + seed, count=6)
+            self._assert_batch_matches_scalar(cnf, rows, 7)
+
+    def test_duplicate_and_contradictory_rows(self):
+        # Duplicates within a batch, duplicate literals within a row, and
+        # directly contradictory rows must all mirror the scalar placement
+        # protocol (empty levels for repeats, placement-UNSAT for x & -x).
+        cnf = random_ksat(10, 42, k=3, seed=77)
+        rows = [(1, 1, 2), (1, -1), (2, 3), (2, 3), (), (-2, -3, -2)]
+        for batch_size in self.BATCH_SIZES:
+            self._assert_batch_matches_scalar(cnf, rows, batch_size)
+
+    def test_lockstep_off_matches_lockstep_on(self):
+        # config.batch_lockstep=False routes every row through the scalar
+        # fallback — the A/B lever that isolates the lockstep engine.
+        from repro.sat.cdcl.config import CDCLConfig
+
+        cnf = random_ksat(12, 52, k=3, seed=13)
+        rows = self._rows_for(cnf, seed=7100, count=20)
+        on = CDCLSolver().load(cnf).solve_batch(rows)
+        off_solver = CDCLSolver(CDCLConfig(batch_lockstep=False))
+        off = off_solver.load(cnf).solve_batch(rows)
+        for row, a, b in zip(rows, on, off):
+            assert a.status is b.status, row
+            assert a.stats.propagations == b.stats.propagations, row
+            assert a.stats.decisions == b.stats.decisions, row
+            assert a.stats.conflicts == b.stats.conflicts, row
+            assert a.model == b.model, row
+
+    def test_folded_estimator_statistics_identical_through_the_scheduler(self):
+        from repro.runner.estimation import estimate_family_scheduled
+
+        cnf = random_ksat(12, 52, k=3, seed=19)
+        variables = [1, 2, 3, 4, 5, 6]
+        scalar = estimate_family_scheduled(
+            cnf, variables, sample_size=40, seed=5, batch_size=1
+        )
+        for batch_size in (7, 64):
+            batched = estimate_family_scheduled(
+                cnf, variables, sample_size=40, seed=5, batch_size=batch_size
+            )
+            assert batched.costs == scalar.costs
+            assert batched.statuses == scalar.statuses
+            assert batched.statistics.mean == scalar.statistics.mean
+            assert (
+                batched.statistics.estimate().half_width
+                == scalar.statistics.estimate().half_width
+            )
+
 
 @pytest.mark.parametrize("seed", range(5))
 def test_incremental_statuses_stable_across_call_order(seed):

@@ -41,6 +41,7 @@ def _cleanup_api_reference() -> None:
 
 EXECUTABLE_FILES = {
     "api-reference.md": _cleanup_api_reference,
+    "performance.md": None,
     "preprocessing.md": None,
     "tracing.md": None,
     "tutorial.md": None,
@@ -50,6 +51,7 @@ EXECUTABLE_FILES = {
 #: a page whose snippets were silently deleted would otherwise "pass".
 MIN_SNIPPETS = {
     "api-reference.md": 10,
+    "performance.md": 5,
     "preprocessing.md": 8,
     "tracing.md": 8,
     "tutorial.md": 5,

@@ -555,3 +555,96 @@ class TestReviewHardening:
                 o.status for o in serial.outcomes
             ]
             assert [o.cost for o in crashy.outcomes] == [o.cost for o in serial.outcomes]
+
+
+# --------------------------------------------------------------------------
+# PR 7: the process executor pickles each payload once, not once per attempt.
+
+class _CountingPayload:
+    """A payload that counts how many times the *leader* serialises it."""
+
+    pickles = 0
+
+    def __init__(self, value):
+        self.value = value
+
+    def __reduce__(self):
+        type(self).pickles += 1
+        return (_CountingPayload, (self.value,))
+
+
+def _flaky_first_attempt(payload):
+    """Fail the first attempt per sentinel file, succeed afterwards."""
+    import os
+
+    value, sentinel = payload.value
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("attempted")
+        raise RuntimeError("injected first-attempt failure")
+    return value
+
+
+def _fatal_on_negative(payload):
+    if payload.value < 0:
+        raise ValueError(f"fatal payload {payload.value}")
+    return payload.value
+
+
+class TestProcessExecutorSerialization:
+    """Task payloads ship as cached byte blobs: one pickle per task, ever.
+
+    The zero-copy batching path (PR 7) shrinks payloads to (segment name,
+    assumption bits) precisely so that per-task serialisation is cheap — but
+    only if the executor does not quietly re-pickle on every retry attempt.
+    These tests pin the blob-cache contract of ``ProcessExecutor``: pickle on
+    first dispatch, reuse across retries, evict on success or fatal error,
+    clear on close.
+    """
+
+    def test_payload_pickled_once_despite_retries(self, tmp_path):
+        from repro.runner.scheduler import ProcessExecutor
+
+        _CountingPayload.pickles = 0
+        tasks = [
+            Task(
+                task_id=f"flaky-{i}",
+                payload=_CountingPayload((i, str(tmp_path / f"sentinel-{i}"))),
+            )
+            for i in range(4)
+        ]
+        executor = ProcessExecutor(task_fn=_flaky_first_attempt, num_workers=2)
+        run = Scheduler(
+            TaskGraph(tasks), executor, retry=RetryPolicy(max_attempts=4)
+        ).run()
+        assert not run.failed
+        assert run.values_in_order() == [0, 1, 2, 3]
+        # Every task failed its first attempt, so dispatches > tasks ...
+        assert run.metadata["retries"] >= len(tasks)
+        # ... yet the leader serialised each payload exactly once.
+        assert _CountingPayload.pickles == len(tasks)
+        # Completed tasks evict their cached blobs (memory tracks in-flight).
+        assert executor._payload_blobs == {}
+
+    def test_blob_evicted_on_success_fatal_error_and_close(self):
+        from repro.runner.scheduler import ProcessExecutor
+
+        _CountingPayload.pickles = 0
+        tasks = [
+            Task(task_id="ok", payload=_CountingPayload(7)),
+            Task(task_id="fatal", payload=_CountingPayload(-1)),
+        ]
+        executor = ProcessExecutor(task_fn=_fatal_on_negative, num_workers=1)
+        try:
+            run = Scheduler(
+                TaskGraph(tasks), executor, retry=RetryPolicy(max_attempts=5)
+            ).run()
+        finally:
+            executor.close()
+        assert run.results["ok"].value == 7
+        assert "fatal" in run.failed and "fatal payload -1" in run.failed["fatal"]
+        # A fatal error never retries, so the one pickle per task stands and
+        # both blobs — the successful and the fatally failed one — are gone.
+        assert run.metadata["retries"] == 0
+        assert _CountingPayload.pickles == len(tasks)
+        assert executor._payload_blobs == {}

@@ -82,6 +82,7 @@ _EXPORTS = {
     "Experiment": "repro.api.experiment",
     "ExperimentResult": "repro.api.experiment",
     "ProgressEvent": "repro.api.experiment",
+    "experiment_fingerprint": "repro.api.experiment",
 }
 
 __all__ = sorted(_EXPORTS)

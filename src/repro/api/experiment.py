@@ -31,11 +31,47 @@ from pathlib import Path
 from typing import Any
 
 from repro.api.registry import get_partitioner
-from repro.api.specs import ExperimentConfig
+from repro.api.specs import ExperimentConfig, SolverSpec
 from repro.core.decomposition import DecompositionSet
 from repro.core.optimizer import StoppingCriteria
 from repro.core.pdsat import PDSAT, EstimationReport
 from repro.sat.solver import SolverStatus
+
+
+def experiment_fingerprint(
+    config: ExperimentConfig, decomposition: Sequence[int] | None = None
+) -> dict[str, Any]:
+    """The identity of an experiment's solve, as stamped into checkpoints.
+
+    A checkpoint (and, via the service layer, a cached result) may only be
+    reused by a run that would recompute the exact same per-sub-problem
+    outcomes.  The fingerprint therefore records everything that shapes those
+    outcomes: the instance encoding, the decomposition set, the cost measure,
+    and — conditionally, mirroring the ``preprocessor`` pattern so historical
+    checkpoints stay resumable — the preprocessor and solver specs.
+
+    The ``solver`` key is written only for non-default solver specs: the two
+    CDCL engines report incomparable per-sub-problem costs, so a checkpoint
+    written under ``cdcl-legacy`` must not silently resume under the arena
+    engine (and vice versa).  Default-spec checkpoints from before this key
+    existed keep resuming under the default spec unchanged.
+    """
+    fingerprint: dict[str, Any] = {
+        "instance": config.instance.to_dict(),
+        "decomposition": sorted(decomposition) if decomposition is not None else None,
+        "cost_measure": config.cost_measure,
+    }
+    if config.preprocessor is not None:
+        # Preprocessing changes per-sub-problem costs, so a checkpoint
+        # written by a preprocessed run must not resume a raw run (or
+        # vice versa).  The key is added conditionally to keep
+        # checkpoints from pre-preprocessor runs resumable.
+        fingerprint["preprocessor"] = config.preprocessor.to_dict()
+    if config.solver.to_dict() != SolverSpec().to_dict():
+        # Same conditional pattern: the engines' cost scales differ, so a
+        # non-default solver spec is part of the experiment's identity.
+        fingerprint["solver"] = config.solver.to_dict()
+    return fingerprint
 
 
 @dataclass(frozen=True)
@@ -186,9 +222,8 @@ class Experiment:
             method=cfg.minimizer.name, stopping=stopping, **cfg.minimizer.options
         )
 
-    @staticmethod
-    def _estimation_data(report: EstimationReport) -> dict[str, Any]:
-        return {
+    def _estimation_data(self, report: EstimationReport) -> dict[str, Any]:
+        data = {
             "method": report.method,
             "best_decomposition": list(report.best_decomposition),
             "best_value": report.best_value,
@@ -198,6 +233,16 @@ class Experiment:
             "num_subproblem_solves": report.minimization.num_subproblem_solves,
             "stop_reason": report.minimization.stop_reason,
         }
+        evaluator = self.pdsat.evaluator
+        requested = getattr(evaluator, "requested_batch_size", None)
+        if requested is not None and requested != evaluator.batch_size:
+            # EstimatorSpec.build downgraded batching (solver lacks
+            # solve_batch); record it so service clients and archived results
+            # show what actually ran, not just what was asked for.
+            data["batch_size"] = evaluator.batch_size
+            data["requested_batch_size"] = requested
+            data["batching_downgraded"] = True
+        return data
 
     # -------------------------------------------------------------- solving mode
     def solve(self, decomposition: Sequence[int] | None = None) -> ExperimentResult:
@@ -302,17 +347,7 @@ class Experiment:
             # The fingerprint ties a checkpoint file to this exact experiment:
             # resuming another experiment's file would silently report its
             # results as ours (task ids are merely positional).
-            fingerprint = {
-                "instance": cfg.instance.to_dict(),
-                "decomposition": sorted(dec.variables),
-                "cost_measure": cost_measure,
-            }
-            if cfg.preprocessor is not None:
-                # Preprocessing changes per-sub-problem costs, so a checkpoint
-                # written by a preprocessed run must not resume a raw run (or
-                # vice versa).  The key is added conditionally to keep
-                # checkpoints from pre-preprocessor runs resumable.
-                fingerprint["preprocessor"] = cfg.preprocessor.to_dict()
+            fingerprint = experiment_fingerprint(cfg, dec.variables)
             path = Path(cfg.checkpoint_path)
             if path.exists():
                 checkpoint = SchedulerCheckpoint.load(path)

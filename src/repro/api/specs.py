@@ -187,7 +187,10 @@ class EstimatorSpec:
         ``substitution_mode`` is ``"units"``), so one spec works across every
         registered solver.  ``batch_size > 1`` likewise implies fresh solves
         (the batch engine's contract) and downgrades to the scalar loop for
-        solvers without ``solve_batch``.  ``frozen_variables`` is the
+        solvers without ``solve_batch`` — that downgrade emits a
+        ``RuntimeWarning`` and is recorded on the returned evaluator
+        (``requested_batch_size`` vs ``batch_size``), so callers asking for
+        batching learn they did not get it.  ``frozen_variables`` is the
         decomposition superset forwarded to preprocessing-aware solvers (see
         :class:`~repro.core.predictive.PredictiveFunction`).
         """
@@ -196,7 +199,17 @@ class EstimatorSpec:
 
         solver = solver if solver is not None else CDCLSolver()
         batch_size = self.batch_size if hasattr(solver, "solve_batch") else 1
-        return PredictiveFunction(
+        if batch_size != self.batch_size:
+            import warnings
+
+            warnings.warn(
+                f"batch_size={self.batch_size} requested but solver "
+                f"{type(solver).__name__} has no solve_batch; falling back to "
+                f"the scalar loop (batch_size=1)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        evaluator = PredictiveFunction(
             cnf,
             solver=solver,
             sample_size=self.sample_size,
@@ -214,6 +227,8 @@ class EstimatorSpec:
             frozen_variables=frozen_variables,
             batch_size=batch_size,
         )
+        evaluator.requested_batch_size = self.batch_size
+        return evaluator
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation."""

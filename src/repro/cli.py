@@ -34,7 +34,15 @@ Sub-commands:
   ``trace record`` runs solve/simplify/estimate with binary event tracing,
   ``trace stats`` summarizes a trace, ``trace diff`` compares two traces
   (exit 1 on divergence — the CI determinism gate), ``trace export`` converts
-  one to JSONL/CSV.
+  one to JSONL/CSV;
+* ``serve``     — run the estimation-as-a-service job daemon
+  (:mod:`repro.service`): an async job queue over a local socket with a
+  content-addressed result cache, per-tenant quotas and checkpointed
+  restart/resume (see ``docs/service.md``);
+* ``submit`` / ``status`` / ``result`` / ``cancel`` — the matching client:
+  submit an ``ExperimentConfig`` JSON as a job (``--watch`` streams progress,
+  ``--attach-trace`` records a binary event trace), inspect jobs, fetch
+  archived results, cancel queued/running work.
 
 Examples::
 
@@ -57,6 +65,11 @@ Examples::
     repro-sat trace stats run.trc
     repro-sat trace diff run.trc other.trc
     repro-sat trace export run.trc --format csv --output run.csv
+    repro-sat serve --state-dir service-state --workers 4 --max-active-per-tenant 8
+    repro-sat submit --config exp.json --mode run --socket service-state/daemon.sock --watch
+    repro-sat status --socket service-state/daemon.sock
+    repro-sat result JOB_ID --wait --socket service-state/daemon.sock
+    repro-sat cancel JOB_ID --socket service-state/daemon.sock
 """
 
 from __future__ import annotations
@@ -917,6 +930,148 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    if args.host is not None:
+        return ServiceClient((args.host, args.port))
+    if args.socket is None:
+        raise SystemExit("no daemon address: pass --socket PATH (or --host/--port)")
+    return ServiceClient(args.socket)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the job daemon in the foreground until interrupted."""
+    from repro.service import ServiceConfig, ServiceDaemon
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_active_per_tenant=args.max_active_per_tenant,
+    )
+    daemon = ServiceDaemon(config).start()
+    print(f"repro-sat service: state in {daemon.state_dir}, listening on {daemon.address}")
+    print("press Ctrl-C (or send the shutdown op) to stop")
+    try:
+        while daemon.started:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        print("shutting down (in-flight jobs are checkpointed and re-queued)...")
+    finally:
+        daemon.shutdown()
+    print("daemon stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit an experiment config to a running daemon."""
+    from repro.api.specs import ExperimentConfig
+    from repro.service import ServiceError
+
+    path = Path(args.config)
+    if not path.exists():
+        raise SystemExit(f"config file not found: {path}")
+    try:
+        config = ExperimentConfig.from_json(path.read_text()).to_dict()
+    except (ValueError, KeyError) as error:
+        raise SystemExit(f"invalid experiment config {path}: {error}") from None
+    client = _service_client(args)
+    try:
+        outcome = client.submit(
+            args.mode,
+            config,
+            tenant=args.tenant,
+            priority=args.priority,
+            attach_trace=args.attach_trace,
+        )
+    except (ServiceError, OSError) as error:
+        raise SystemExit(f"submit failed: {error}") from None
+    job_id = outcome["job_id"]
+    if outcome["cached"]:
+        print(f"job {job_id}: cache hit ({outcome['key'][:12]}...), result is ready")
+    elif outcome["deduplicated"]:
+        print(f"job {job_id}: identical config already {outcome['state']}, coalesced")
+    else:
+        print(f"job {job_id}: {outcome['state']} (key {outcome['key'][:12]}...)")
+    if args.watch and not outcome["cached"]:
+        for message in client.watch(job_id):
+            if message.get("done"):
+                print(f"job {job_id}: {message['state']}")
+            else:
+                event = message["event"]
+                suffix = (
+                    f" [{event['completed']}/{event['total']}]" if event["total"] else ""
+                )
+                print(f"  {event['phase']}{suffix} {event['message']}".rstrip())
+    return 0
+
+
+def _cmd_job_status(args: argparse.Namespace) -> int:
+    """Show one job (or every job) known to the daemon."""
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id is not None:
+            print(json.dumps(_json_safe(client.status(args.job_id)), indent=2))
+        else:
+            for job in client.jobs(tenant=args.tenant):
+                print(
+                    f"{job['job_id']}  {job['state']:<9}  {job['mode']:<8} "
+                    f"tenant={job['tenant']} priority={job['priority']}"
+                    + (f"  error={job['error']}" if job.get("error") else "")
+                )
+    except (ServiceError, OSError) as error:
+        raise SystemExit(f"status failed: {error}") from None
+    return 0
+
+
+def _cmd_job_result(args: argparse.Namespace) -> int:
+    """Fetch a finished job's archived result JSON."""
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.wait:
+            client.wait(args.job_id, timeout=args.timeout)
+        result = client.result(args.job_id)
+    except (ServiceError, OSError, TimeoutError) as error:
+        raise SystemExit(f"result failed: {error}") from None
+    text = json.dumps(_json_safe(result), indent=2)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote result JSON to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_job_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued or running job."""
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        outcome = client.cancel(args.job_id)
+    except (ServiceError, OSError) as error:
+        raise SystemExit(f"cancel failed: {error}") from None
+    print(f"job {outcome['job_id']}: {outcome['state']}")
+    return 0
+
+
+def _add_service_address_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH", help="daemon unix-socket path"
+    )
+    parser.add_argument(
+        "--host", default=None, help="daemon TCP host (instead of --socket)"
+    )
+    parser.add_argument("--port", type=int, default=0, help="daemon TCP port")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -1305,6 +1460,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH", help="output file (default: stdout)"
     )
     trace_export.set_defaults(func=_cmd_trace_export)
+
+    serve = sub.add_parser(
+        "serve", help="run the estimation-as-a-service job daemon (docs/service.md)"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default="repro-service",
+        metavar="DIR",
+        help="journal, checkpoints, traces and result store live here",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix-socket path (default: STATE_DIR/daemon.sock)",
+    )
+    serve.add_argument(
+        "--host", default=None, help="listen on TCP instead of the unix socket"
+    )
+    serve.add_argument("--port", type=int, default=0, help="TCP port (0: ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrently running jobs"
+    )
+    serve.add_argument(
+        "--max-active-per-tenant",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant quota on queued+running jobs (default: unlimited)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment config JSON to a running daemon"
+    )
+    submit.add_argument("--config", required=True, help="ExperimentConfig JSON file")
+    submit.add_argument(
+        "--mode", choices=("estimate", "solve", "run"), default="run",
+        help="which facade mode the job runs",
+    )
+    submit.add_argument("--tenant", default="default", help="quota/ownership bucket")
+    submit.add_argument(
+        "--priority", type=int, default=0, help="higher runs first (default 0)"
+    )
+    submit.add_argument(
+        "--attach-trace",
+        action="store_true",
+        help="record a binary event trace next to the job (repro-sat trace stats ...)",
+    )
+    submit.add_argument(
+        "--watch", action="store_true", help="stream progress until the job ends"
+    )
+    _add_service_address_args(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="show a job (or all jobs) on the daemon")
+    status.add_argument("job_id", nargs="?", default=None, help="job id (default: all)")
+    status.add_argument("--tenant", default=None, help="filter the listing by tenant")
+    _add_service_address_args(status)
+    status.set_defaults(func=_cmd_job_status)
+
+    result = sub.add_parser("result", help="fetch a finished job's result JSON")
+    result.add_argument("job_id", help="job id")
+    result.add_argument("--wait", action="store_true", help="block until the job ends")
+    result.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait timeout in seconds"
+    )
+    result.add_argument("--output", default=None, metavar="PATH", help="write JSON here")
+    _add_service_address_args(result)
+    result.set_defaults(func=_cmd_job_result)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id", help="job id")
+    _add_service_address_args(cancel)
+    cancel.set_defaults(func=_cmd_job_cancel)
     return parser
 
 

@@ -290,6 +290,11 @@ class PredictiveFunction:
         #: Samples solved per ``solve_batch`` call when > 1 (the word-parallel
         #: lockstep engine); results stay bit-identical to the scalar loop.
         self.batch_size = int(batch_size)
+        #: What the caller *asked* for.  :meth:`repro.api.specs.EstimatorSpec.build`
+        #: downgrades ``batch_size`` to 1 for solvers without ``solve_batch``
+        #: and records the request here, so run metadata can report the
+        #: downgrade instead of hiding it.
+        self.requested_batch_size = self.batch_size
         self.frozen_variables = frozenset(frozen_variables or ())
         #: Every variable ever named by an evaluated decomposition set (the
         #: "assumption candidates" of the incremental contract), seeded from

@@ -41,8 +41,10 @@ concurrency suites.
 from __future__ import annotations
 
 import os
+import tempfile
 import uuid
 from array import array
+from pathlib import Path
 
 from repro.sat.formula import CNF
 
@@ -55,8 +57,94 @@ _HEADER_WORDS = 7
 SEGMENT_PREFIX = "repro-arena-"
 
 #: Where POSIX shared memory appears as files on Linux (the platforms CI runs
-#: on); :func:`list_segments` returns ``[]`` elsewhere.
+#: on).  Elsewhere the directory does not exist and :func:`list_segments`
+#: falls back to the registry file below.
 _SHM_DIR = "/dev/shm"
+
+
+def _registry_path() -> Path:
+    """The per-user sidecar file recording every segment :meth:`ArenaImage.share`
+    created.
+
+    On platforms where POSIX shared memory is not visible as files (macOS,
+    BSDs — ``/dev/shm`` is Linux-specific), segments cannot be *enumerated*,
+    only opened by name.  :meth:`ArenaImage.share` therefore appends each new
+    segment name here, and :func:`list_segments` probes the recorded names
+    via ``shared_memory.SharedMemory(name=...)`` when ``/dev/shm`` is
+    unlistable, so the leak sweepers work everywhere instead of silently
+    reporting an empty system.
+    """
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"{SEGMENT_PREFIX}registry-{uid}"
+
+
+def _registry_add(name: str) -> None:
+    """Record ``name`` in the registry (O_APPEND: atomic for short lines)."""
+    try:
+        fd = os.open(
+            _registry_path(), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600
+        )
+    except OSError:
+        return  # registry is best-effort; /dev/shm still covers Linux
+    try:
+        os.write(fd, (name + "\n").encode())
+    finally:
+        os.close(fd)
+
+
+def _registry_discard(names: set[str]) -> None:
+    """Drop ``names`` from the registry (best-effort rewrite; races are fine —
+    stale survivors are pruned by the next probe in :func:`_registry_names`)."""
+    path = _registry_path()
+    try:
+        recorded = path.read_text().split()
+    except OSError:
+        return
+    kept = [name for name in recorded if name not in names]
+    if len(kept) == len(recorded):
+        return
+    try:
+        scratch = path.with_name(f"{path.name}.{os.getpid():x}.tmp")
+        scratch.write_text("".join(f"{name}\n" for name in kept))
+        scratch.replace(path)
+    except OSError:
+        pass
+
+
+def _segment_alive(name: str) -> bool:
+    """Probe whether a shared-memory segment with ``name`` currently exists."""
+    from multiprocessing import shared_memory
+
+    try:
+        with _suppress_tracking():
+            segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return False
+    segment.close()
+    return True
+
+
+def _registry_names(prefix: str) -> list[str]:
+    """Live registered segments starting with ``prefix`` (prunes dead entries)."""
+    try:
+        recorded = _registry_path().read_text().split()
+    except OSError:
+        return []
+    seen: set[str] = set()
+    alive: list[str] = []
+    dead: set[str] = set()
+    for name in recorded:
+        if name in seen:
+            continue
+        seen.add(name)
+        if _segment_alive(name):
+            if name.startswith(prefix):
+                alive.append(name)
+        else:
+            dead.add(name)
+    if dead:
+        _registry_discard(dead)
+    return alive
 
 
 def _new_segment_name() -> str:
@@ -94,11 +182,18 @@ class _suppress_tracking:
 
 
 def list_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
-    """Names of live shared-memory segments starting with ``prefix`` (sorted)."""
+    """Names of live shared-memory segments starting with ``prefix`` (sorted).
+
+    On Linux this lists ``/dev/shm`` directly (authoritative: it also sees
+    segments created by processes that never touched the registry).  Where
+    ``/dev/shm`` is unlistable — POSIX shared memory has no portable
+    enumeration API — it falls back to probing the names recorded in the
+    per-user registry file, so leak sweeping is not a silent no-op off Linux.
+    """
     try:
         names = os.listdir(_SHM_DIR)
     except OSError:
-        return []
+        return sorted(_registry_names(prefix))
     return sorted(name for name in names if name.startswith(prefix))
 
 
@@ -122,6 +217,8 @@ def sweep_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
         segment.close()
         segment.unlink()
         reaped.append(name)
+    if reaped:
+        _registry_discard(set(reaped))
     return reaped
 
 
@@ -190,6 +287,9 @@ class ArenaImage:
         segment = shared_memory.SharedMemory(
             name=name or _new_segment_name(), create=True, size=len(payload)
         )
+        # Record the name so the sweepers can enumerate it on platforms
+        # without a listable /dev/shm (see _registry_path).
+        _registry_add(segment.name)
         segment.buf[: len(payload)] = payload
         words = memoryview(segment.buf).cast("q").toreadonly()
         return ArenaImage(words, shm=segment, owns_segment=True)
@@ -234,6 +334,7 @@ class ArenaImage:
                 shm.unlink()
             except FileNotFoundError:
                 pass
+            _registry_discard({shm.name})
 
     def __enter__(self) -> "ArenaImage":
         return self

@@ -1,0 +1,46 @@
+"""``repro.service`` — the estimation-as-a-service job layer.
+
+Everything the one-shot CLI/facade path can do, behind a long-running daemon
+(ROADMAP item 1): clients submit :class:`~repro.api.ExperimentConfig` JSON
+over a local socket, jobs run through the existing execution backends, and
+results land in a content-addressed store so identical configs are solved
+once.  The pieces:
+
+* :mod:`repro.service.jobs`   — job records, states and the priority queue;
+* :mod:`repro.service.store`  — the content-addressed result store (keys
+  derive from :func:`repro.api.experiment.experiment_fingerprint`, the same
+  identity that guards checkpoint resume);
+* :mod:`repro.service.daemon` — the daemon: worker pool, per-tenant quotas,
+  journal-backed restart/resume, graceful shutdown, socket protocol;
+* :mod:`repro.service.client` — the blocking JSONL client used by the
+  ``repro-sat submit``/``status``/``result``/``cancel`` commands.
+
+Quickstart (in-process; ``repro-sat serve`` wraps the same objects)::
+
+    from repro.service import ServiceConfig, ServiceDaemon, ServiceClient
+
+    daemon = ServiceDaemon(ServiceConfig(state_dir="service-state"))
+    daemon.start()
+    client = ServiceClient(daemon.socket_path)
+    job = client.submit("estimate", {"instance": {"cipher": "bivium-tiny"}})
+    print(client.wait(job["job_id"])["state"])
+    daemon.shutdown()
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, ServiceDaemon, ServiceError
+from repro.service.jobs import JobRecord, JobState
+from repro.service.store import ResultStore, content_key
+
+__all__ = [
+    "JobRecord",
+    "JobState",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "content_key",
+]

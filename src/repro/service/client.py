@@ -1,0 +1,128 @@
+"""The blocking JSONL client for the service daemon.
+
+One request per connection: the client connects, writes one JSON line, reads
+the response line(s) and disconnects — no connection state to resynchronise
+after either side restarts.  ``watch`` is the one streaming op: the server
+keeps the connection open and writes one line per progress event until the
+job reaches a terminal state.
+
+The address is either a unix-socket path (the default deployment) or a
+``(host, port)`` tuple for the TCP listener.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from collections.abc import Iterator
+from typing import Any
+
+from repro.service.daemon import ServiceError
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.daemon.ServiceDaemon`."""
+
+    def __init__(self, address: str | tuple[str, int], timeout: float = 60.0):
+        self.address = address
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ plumbing
+    def _connect(self) -> socket.socket:
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.address)
+        return sock
+
+    def _request(self, op: str, **params: Any) -> dict[str, Any]:
+        with self._connect() as sock:
+            sock.sendall((json.dumps({"op": op, **params}) + "\n").encode())
+            reader = sock.makefile("rb")
+            line = reader.readline()
+        if not line:
+            raise ServiceError(f"daemon closed the connection on {op!r}")
+        return self._check(json.loads(line))
+
+    @staticmethod
+    def _check(response: dict[str, Any]) -> dict[str, Any]:
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "daemon reported an error"))
+        return response
+
+    # ----------------------------------------------------------------- operations
+    def ping(self) -> dict[str, Any]:
+        return self._request("ping")
+
+    def submit(
+        self,
+        mode: str,
+        config: dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+        attach_trace: bool = False,
+    ) -> dict[str, Any]:
+        """Submit an experiment; returns the daemon's submit outcome
+        (``job_id``, ``state``, ``cached``, ``deduplicated``, ``key``)."""
+        return self._request(
+            "submit",
+            mode=mode,
+            config=config,
+            tenant=tenant,
+            priority=priority,
+            attach_trace=attach_trace,
+        )
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("status", job_id=job_id)["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("result", job_id=job_id)["result"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("cancel", job_id=job_id)
+
+    def jobs(self, tenant: str | None = None) -> list[dict[str, Any]]:
+        return self._request("jobs", tenant=tenant)["jobs"]
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to shut down gracefully."""
+        return self._request("shutdown")
+
+    def watch(self, job_id: str, from_seq: int = 0) -> Iterator[dict[str, Any]]:
+        """Yield progress events as they happen; the final item has ``done``.
+
+        Each yielded dict is either ``{"event": {...}}`` (one progress event)
+        or ``{"done": True, "state": ...}`` terminating the stream.
+        """
+        with self._connect() as sock:
+            sock.sendall(
+                (json.dumps({"op": "watch", "job_id": job_id, "from_seq": from_seq}) + "\n").encode()
+            )
+            reader = sock.makefile("rb")
+            for line in reader:
+                response = self._check(json.loads(line))
+                yield response
+                if response.get("done"):
+                    return
+        raise ServiceError(f"watch stream for job {job_id} ended without a terminal state")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict[str, Any]:
+        """Poll ``status`` until the job is terminal; returns the final record."""
+        deadline = time.time() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.time() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

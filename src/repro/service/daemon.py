@@ -1,0 +1,590 @@
+"""The job daemon behind ``repro-sat serve``.
+
+One :class:`ServiceDaemon` owns four things:
+
+* a **priority queue** of :class:`~repro.service.jobs.JobRecord` drained by a
+  small worker pool (each worker runs one job at a time through the ordinary
+  :class:`~repro.api.Experiment` facade, so every execution backend and the
+  whole checkpoint/trace machinery work unchanged);
+* the **journal** (``state_dir/jobs.json``): every state transition is
+  rewritten atomically, so a killed daemon restarts knowing exactly which
+  jobs were in flight — those are re-queued and resume from their scheduler
+  checkpoints (``state_dir/checkpoints/<content-key>.ckpt``, forced into
+  solve/run configs that did not bring their own);
+* the **content-addressed store** (``state_dir/results/``): a submission
+  whose key is already archived completes instantly as a cache hit, and a
+  submission whose key is already queued/running coalesces onto that job;
+* a **socket server** speaking newline-delimited JSON (one request line, one
+  response line; ``watch`` streams) over a unix socket — or TCP when the
+  config names a host/port — serving submit/status/result/cancel/watch/
+  jobs/stats/shutdown.
+
+Quotas are per tenant and count *active* (queued + running) jobs: a tenant
+at its quota gets a clean rejection instead of unbounded queue growth.
+Graceful shutdown interrupts running jobs (their checkpoints are already on
+disk), re-queues them in the journal and stops the pool, so restart resumes
+rather than recomputes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.experiment import Experiment, ProgressEvent
+from repro.api.specs import ExperimentConfig
+from repro.service.jobs import JobRecord, JobState, new_job_id
+from repro.service.store import ResultStore, content_key
+
+#: Experiment modes a job may run (the facade methods the worker dispatches to).
+MODES = ("estimate", "solve", "run")
+
+
+class _JobCancelled(Exception):
+    """Raised inside a worker when the job's cancel flag is set."""
+
+
+class _JobInterrupted(Exception):
+    """Raised inside a worker during graceful shutdown (job is re-queued)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon configuration: where state lives and how much runs at once."""
+
+    #: Journal, checkpoints, traces and the result store live under here.
+    state_dir: str = "repro-service"
+    #: Unix socket path (``None``: ``<state_dir>/daemon.sock``).  Ignored
+    #: when ``host`` is set.
+    socket_path: str | None = None
+    #: Bind a TCP socket instead of the unix socket (e.g. ``"127.0.0.1"``).
+    host: str | None = None
+    port: int = 0
+    #: Worker threads — concurrently running jobs.
+    workers: int = 2
+    #: Max queued+running jobs per tenant (``None``: unlimited).
+    max_active_per_tenant: int | None = None
+    #: Sweep leaked ``repro-arena-*`` shm segments at startup (crash residue).
+    sweep_shared_memory: bool = True
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+class ServiceError(Exception):
+    """A request the daemon refused (bad job id, quota, malformed config...)."""
+
+
+class ServiceDaemon:
+    """The long-running job service (in-process API; ``serve`` wraps it)."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.state_dir = Path(self.config.state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(self.state_dir / "results")
+        self._journal_path = self.state_dir / "jobs.json"
+        self._jobs: dict[str, JobRecord] = {}
+        self._heap: list[tuple[int, int, str]] = []  # (-priority, seq, job_id)
+        self._heap_seq = 0
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stopping = False
+        self._hard_stopped = False
+        self._workers: list[threading.Thread] = []
+        self._server: socketserver.BaseServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self.started = False
+
+    # ----------------------------------------------------------------- lifecycle
+    @property
+    def socket_path(self) -> str:
+        return self.config.socket_path or str(self.state_dir / "daemon.sock")
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Where clients connect: ``(host, port)`` for TCP, else the socket path."""
+        if self.config.host is not None:
+            assert self._server is not None, "TCP port is assigned by start()"
+            return self._server.server_address[:2]
+        return self.socket_path
+
+    def start(self) -> "ServiceDaemon":
+        """Recover the journal, start the worker pool and the socket server."""
+        if self.started:
+            raise RuntimeError("daemon already started")
+        if self.config.sweep_shared_memory:
+            from repro.sat.cdcl.image import sweep_segments
+
+            sweep_segments()  # crash residue from a previous daemon's workers
+        self._load_journal()
+        self._stopping = False
+        self.started = True
+        for index in range(max(1, self.config.workers)):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"repro-service-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._start_server()
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: interrupt running jobs, re-queue them, stop serving.
+
+        Running jobs already streamed their checkpoints, so interrupting
+        loses at most the sub-problems since the last checkpoint write; the
+        journal re-marks them ``QUEUED`` and the next :meth:`start` on this
+        ``state_dir`` resumes them.
+        """
+        with self._lock:
+            if not self.started:
+                return
+            self._stopping = True
+            for job in self._jobs.values():
+                if job.state is JobState.RUNNING:
+                    job.interrupt_requested = True
+            self._wakeup.notify_all()
+        self._stop_server()
+        deadline = time.time() + timeout
+        for worker in self._workers:
+            worker.join(max(0.0, deadline - time.time()))
+        self._workers.clear()
+        with self._lock:
+            self._save_journal()
+            self.started = False
+
+    def stop_hard_for_tests(self) -> None:
+        """Simulate ``kill -9`` mid-job: stop everything WITHOUT journaling.
+
+        Running jobs stay ``RUNNING`` in the on-disk journal — exactly the
+        state a crashed daemon leaves behind — so tests can assert that a
+        fresh daemon on the same ``state_dir`` resumes them from their
+        checkpoints.  (Threads cannot be killed, so in-flight jobs are
+        interrupted through the progress callback; their terminal journal
+        write is suppressed via ``_hard_stopped``.)
+        """
+        with self._lock:
+            self._stopping = True
+            self._hard_stopped = True
+            for job in self._jobs.values():
+                if job.state is JobState.RUNNING:
+                    job.interrupt_requested = True
+            self._wakeup.notify_all()
+        self._stop_server()
+        for worker in self._workers:
+            worker.join(30.0)
+        self._workers.clear()
+        self.started = False
+
+    # ------------------------------------------------------------------- journal
+    def _load_journal(self) -> None:
+        try:
+            data = json.loads(self._journal_path.read_text())
+        except FileNotFoundError:
+            return
+        with self._lock:
+            for record in data.get("jobs", []):
+                job = JobRecord.from_dict(record)
+                if job.state is JobState.RUNNING:
+                    # In flight when the previous daemon died: resume it.
+                    job.state = JobState.QUEUED
+                self._jobs[job.job_id] = job
+                if job.state is JobState.QUEUED:
+                    self._push(job)
+            self._save_journal()
+
+    def _save_journal(self) -> None:
+        payload = {"jobs": [job.to_dict() for job in self._jobs.values()]}
+        scratch = self._journal_path.with_suffix(f".{os.getpid():x}.tmp")
+        scratch.write_text(json.dumps(payload, indent=2))
+        scratch.replace(self._journal_path)
+
+    def _push(self, job: JobRecord) -> None:
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (-job.priority, self._heap_seq, job.job_id))
+        self._wakeup.notify_all()
+
+    # -------------------------------------------------------------------- submit
+    def submit(
+        self,
+        mode: str,
+        config: dict[str, Any] | ExperimentConfig,
+        tenant: str = "default",
+        priority: int = 0,
+        attach_trace: bool = False,
+    ) -> dict[str, Any]:
+        """Queue an experiment; returns ``{"job_id", "state", "cached", ...}``.
+
+        Deduplication happens here, in key order: a key already archived in
+        the store completes instantly (``cached`` true, no solve); a key
+        already queued/running coalesces onto the existing job
+        (``deduplicated`` true); otherwise the job is queued — unless the
+        tenant is at its active-job quota, which raises :class:`ServiceError`.
+        """
+        if mode not in MODES:
+            raise ServiceError(f"unknown mode {mode!r} (expected one of {MODES})")
+        try:
+            cfg = (
+                config
+                if isinstance(config, ExperimentConfig)
+                else ExperimentConfig.from_dict(dict(config))
+            )
+        except (ValueError, KeyError, TypeError) as error:
+            raise ServiceError(f"invalid experiment config: {error}") from None
+        key = content_key(mode, cfg)
+        with self._lock:
+            if self._stopping:
+                raise ServiceError("daemon is shutting down")
+            cached = self.store.get(key)
+            if cached is not None:
+                job = JobRecord(
+                    job_id=new_job_id(),
+                    mode=mode,
+                    config=cfg.to_dict(),
+                    key=key,
+                    tenant=tenant,
+                    priority=priority,
+                    state=JobState.DONE,
+                    cached=True,
+                )
+                job.finished_at = job.submitted_at
+                self._jobs[job.job_id] = job
+                self._save_journal()
+                return {
+                    "job_id": job.job_id,
+                    "state": job.state.value,
+                    "cached": True,
+                    "deduplicated": False,
+                    "key": key,
+                }
+            for existing in self._jobs.values():
+                if existing.key == key and not existing.state.terminal:
+                    return {
+                        "job_id": existing.job_id,
+                        "state": existing.state.value,
+                        "cached": False,
+                        "deduplicated": True,
+                        "key": key,
+                    }
+            quota = self.config.max_active_per_tenant
+            if quota is not None:
+                active = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.tenant == tenant and not job.state.terminal
+                )
+                if active >= quota:
+                    raise ServiceError(
+                        f"tenant {tenant!r} is at its quota "
+                        f"({active} active jobs, limit {quota})"
+                    )
+            job = JobRecord(
+                job_id=new_job_id(),
+                mode=mode,
+                config=cfg.to_dict(),
+                key=key,
+                tenant=tenant,
+                priority=priority,
+            )
+            if attach_trace and not job.config.get("trace"):
+                traces = self.state_dir / "traces"
+                traces.mkdir(exist_ok=True)
+                job.config["trace"] = str(traces / f"{job.job_id}.trc")
+            self._jobs[job.job_id] = job
+            self._push(job)
+            self._save_journal()
+            return {
+                "job_id": job.job_id,
+                "state": job.state.value,
+                "cached": False,
+                "deduplicated": False,
+                "key": key,
+            }
+
+    # ----------------------------------------------------------------- inspection
+    def _job(self, job_id: str) -> JobRecord:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        with self._lock:
+            return self._job(job_id).to_dict(with_events=True)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The archived result of a DONE job (raises for every other state)."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.state is not JobState.DONE:
+                raise ServiceError(
+                    f"job {job_id} is {job.state.value}, not done"
+                    + (f": {job.error}" if job.error else "")
+                )
+            result = self.store.get(job.key)
+        if result is None:
+            raise ServiceError(f"result for job {job_id} missing from the store")
+        return result
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a queued job immediately, or flag a running one to stop."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.state is JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self._save_journal()
+            elif job.state is JobState.RUNNING:
+                job.cancel_requested = True
+            return {"job_id": job_id, "state": job.state.value}
+
+    def jobs(self, tenant: str | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            records = [
+                job.to_dict()
+                for job in self._jobs.values()
+                if tenant is None or job.tenant == tenant
+            ]
+        return sorted(records, key=lambda r: r["submitted_at"])
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            counts: dict[str, int] = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        return {
+            "jobs": counts,
+            "store_entries": len(self.store),
+            "workers": len(self._workers),
+            "pid": os.getpid(),
+        }
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> dict[str, Any]:
+        """Block until ``job_id`` reaches a terminal state (in-process helper)."""
+        deadline = time.time() + timeout
+        while True:
+            with self._lock:
+                job = self._job(job_id)
+                if job.state.terminal:
+                    return job.to_dict(with_events=True)
+            if time.time() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job.state.value} after {timeout}s")
+            time.sleep(0.01)
+
+    # ------------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._stopping and not self._heap:
+                    self._wakeup.wait(0.5)
+                if self._stopping:
+                    return
+                _, _, job_id = heapq.heappop(self._heap)
+                job = self._jobs.get(job_id)
+                if job is None or job.state is not JobState.QUEUED:
+                    continue  # cancelled while queued, or re-queued duplicate
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                job.attempts += 1
+                job.cancel_requested = False
+                job.interrupt_requested = False
+                self._save_journal()
+            self._execute(job)
+
+    def _job_config(self, job: JobRecord) -> ExperimentConfig:
+        cfg = ExperimentConfig.from_dict(dict(job.config))
+        if job.mode in ("solve", "run") and cfg.checkpoint_path is None:
+            # Content-keyed, not job-keyed: a re-submission after a crash (a
+            # fresh job with the same key) resumes the same file.
+            checkpoints = self.state_dir / "checkpoints"
+            checkpoints.mkdir(exist_ok=True)
+            cfg = cfg.replace(checkpoint_path=str(checkpoints / f"{job.key}.ckpt"))
+        return cfg
+
+    def _execute(self, job: JobRecord) -> None:
+        def on_progress(event: ProgressEvent) -> None:
+            with self._lock:
+                job.add_event(
+                    event.phase, event.completed, event.total, event.message
+                )
+                if job.cancel_requested:
+                    raise _JobCancelled()
+                if job.interrupt_requested:
+                    raise _JobInterrupted()
+
+        try:
+            cfg = self._job_config(job)
+            experiment = Experiment.from_config(cfg, progress=on_progress)
+            result = getattr(experiment, job.mode)()
+            with self._lock:
+                job.state = JobState.DONE
+                job.finished_at = time.time()
+                self.store.put(job.key, result.to_dict())
+                if not self._hard_stopped:
+                    self._save_journal()
+        except _JobCancelled:
+            with self._lock:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self._save_journal()
+        except _JobInterrupted:
+            with self._lock:
+                # Graceful shutdown: back to the queue so restart resumes it.
+                # After a hard stop the journal is left untouched — it still
+                # says RUNNING, which is what a real kill leaves behind.
+                job.state = JobState.QUEUED
+                if not self._hard_stopped:
+                    self._save_journal()
+        except Exception as error:  # noqa: BLE001 — a job must not kill its worker
+            with self._lock:
+                job.state = JobState.FAILED
+                job.finished_at = time.time()
+                job.error = f"{type(error).__name__}: {error}"
+                job.events.append(
+                    {
+                        "seq": job.last_seq + 1,
+                        "phase": "error",
+                        "completed": 0,
+                        "total": None,
+                        "message": traceback.format_exc(limit=8),
+                    }
+                )
+                job.last_seq += 1
+                if not self._hard_stopped:
+                    self._save_journal()
+
+    # -------------------------------------------------------------------- server
+    def _start_server(self) -> None:
+        daemon = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                line = self.rfile.readline()
+                if not line:
+                    return
+                try:
+                    request = json.loads(line)
+                    daemon._handle_request(request, self.wfile)
+                except Exception as error:  # noqa: BLE001 — protocol errors -> client
+                    _write_line(self.wfile, {"ok": False, "error": str(error)})
+
+        if self.config.host is not None:
+
+            class TCPServer(socketserver.ThreadingTCPServer):
+                allow_reuse_address = True
+                daemon_threads = True
+
+            self._server = TCPServer((self.config.host, self.config.port), Handler)
+        else:
+
+            class UnixServer(socketserver.ThreadingUnixStreamServer):
+                daemon_threads = True
+
+            path = Path(self.socket_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                path.unlink()  # stale socket from a killed daemon
+            self._server = UnixServer(str(path), Handler)
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-service-server",
+            daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        self._server_thread.start()
+
+    def _stop_server(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(10.0)
+            self._server_thread = None
+        if self.config.host is None:
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+
+    def _handle_request(self, request: dict[str, Any], wfile) -> None:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                _write_line(wfile, {"ok": True, "pid": os.getpid()})
+            elif op == "submit":
+                outcome = self.submit(
+                    request.get("mode", "run"),
+                    request.get("config") or {},
+                    tenant=request.get("tenant", "default"),
+                    priority=int(request.get("priority", 0)),
+                    attach_trace=bool(request.get("attach_trace", False)),
+                )
+                _write_line(wfile, {"ok": True, **outcome})
+            elif op == "status":
+                _write_line(wfile, {"ok": True, "job": self.status(request["job_id"])})
+            elif op == "result":
+                _write_line(wfile, {"ok": True, "result": self.result(request["job_id"])})
+            elif op == "cancel":
+                _write_line(wfile, {"ok": True, **self.cancel(request["job_id"])})
+            elif op == "jobs":
+                _write_line(wfile, {"ok": True, "jobs": self.jobs(request.get("tenant"))})
+            elif op == "stats":
+                _write_line(wfile, {"ok": True, **self.stats()})
+            elif op == "watch":
+                self._stream_watch(
+                    request["job_id"], int(request.get("from_seq", 0)), wfile
+                )
+            elif op == "shutdown":
+                _write_line(wfile, {"ok": True, "message": "shutting down"})
+                # From a thread: shutdown() joins the server thread, which
+                # must not be this handler's own serve_forever loop.
+                threading.Thread(target=self.shutdown, daemon=True).start()
+            else:
+                _write_line(wfile, {"ok": False, "error": f"unknown op {op!r}"})
+        except ServiceError as error:
+            _write_line(wfile, {"ok": False, "error": str(error)})
+
+    def _stream_watch(self, job_id: str, from_seq: int, wfile) -> None:
+        """Stream progress events (one JSON line each) until the job ends."""
+        last = from_seq
+        while True:
+            with self._lock:
+                job = self._job(job_id)
+                fresh = [event for event in job.events if event["seq"] > last]
+                state = job.state
+            for event in fresh:
+                _write_line(wfile, {"ok": True, "event": event})
+                last = event["seq"]
+            if state.terminal:
+                _write_line(
+                    wfile,
+                    {"ok": True, "done": True, "state": state.value, "last_seq": last},
+                )
+                return
+            if self._stopping:
+                _write_line(
+                    wfile,
+                    {"ok": True, "done": True, "state": state.value, "last_seq": last},
+                )
+                return
+            time.sleep(0.02)
+
+
+def _write_line(wfile, payload: dict[str, Any]) -> None:
+    try:
+        wfile.write((json.dumps(payload) + "\n").encode())
+        wfile.flush()
+    except (BrokenPipeError, ConnectionResetError, socket.error):
+        pass  # client went away mid-stream; nothing to salvage
+
+
+__all__ = ["MODES", "ServiceConfig", "ServiceDaemon", "ServiceError"]

@@ -1,0 +1,139 @@
+"""Job records and states for the service daemon.
+
+A :class:`JobRecord` is the unit of work the daemon tracks: one experiment
+mode applied to one :class:`~repro.api.ExperimentConfig`, owned by a tenant,
+with a priority and a full state history.  Records are plain-dict
+serialisable because the daemon journals every transition to
+``state_dir/jobs.json`` — that journal is what makes a killed daemon
+resumable (see :meth:`repro.service.daemon.ServiceDaemon.start`).
+
+State machine::
+
+    QUEUED ──> RUNNING ──> DONE
+      │           │  ├───> FAILED
+      │           │  └───> CANCELLED
+      └───────────┴──(shutdown/kill)──> QUEUED   (re-queued on restart)
+
+``DONE``/``FAILED``/``CANCELLED`` are terminal.  A job found ``RUNNING`` in
+the journal at startup was interrupted by a crash or kill: it is re-queued
+and resumes from its scheduler checkpoint (solve/run modes write one under
+``state_dir/checkpoints/`` keyed by the job's content address).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Progress events kept per job (a ring buffer: ``watch`` clients replay the
+#: tail; full trajectories belong in traces, not the job table).
+MAX_EVENTS_PER_JOB = 512
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a service job (see the module diagram)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class JobRecord:
+    """One submitted experiment: identity, ownership, state and progress."""
+
+    job_id: str
+    mode: str
+    config: dict[str, Any]
+    key: str
+    tenant: str = "default"
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    #: True when the job never ran because its key was already in the store.
+    cached: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    #: Times this job entered RUNNING (> 1 after a resume).
+    attempts: int = 0
+    #: Monotonic per-job sequence number of the last progress event.
+    last_seq: int = 0
+    #: Recent progress events (``{"seq", "phase", "completed", "total",
+    #: "message"}``); in-memory only — not journaled, they are derivable by
+    #: re-running and the journal must stay cheap to rewrite per transition.
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: Set by ``cancel`` while RUNNING; the progress callback raises on it.
+    cancel_requested: bool = False
+    #: Set by graceful shutdown; the job is re-queued instead of cancelled.
+    interrupt_requested: bool = False
+
+    def add_event(self, phase: str, completed: int, total: int | None, message: str) -> None:
+        self.last_seq += 1
+        self.events.append(
+            {
+                "seq": self.last_seq,
+                "phase": phase,
+                "completed": completed,
+                "total": total,
+                "message": message,
+            }
+        )
+        if len(self.events) > MAX_EVENTS_PER_JOB:
+            del self.events[: len(self.events) - MAX_EVENTS_PER_JOB]
+
+    def to_dict(self, with_events: bool = False) -> dict[str, Any]:
+        """Journal/wire representation (events only when asked: they are big)."""
+        data = {
+            "job_id": self.job_id,
+            "mode": self.mode,
+            "config": self.config,
+            "key": self.key,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state.value,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+        if with_events:
+            data["events"] = list(self.events)
+            data["last_seq"] = self.last_seq
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=data["job_id"],
+            mode=data["mode"],
+            config=dict(data["config"]),
+            key=data["key"],
+            tenant=data.get("tenant", "default"),
+            priority=int(data.get("priority", 0)),
+            state=JobState(data.get("state", "queued")),
+            cached=bool(data.get("cached", False)),
+            submitted_at=data.get("submitted_at", 0.0),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            error=data.get("error"),
+            attempts=int(data.get("attempts", 0)),
+        )
+
+
+__all__ = ["JobRecord", "JobState", "MAX_EVENTS_PER_JOB", "new_job_id"]

@@ -1,0 +1,86 @@
+"""The content-addressed result store.
+
+Two tenants submitting the same experiment must cost one solve: the store
+keys every archived :class:`~repro.api.ExperimentResult` by a digest of what
+the run *computes* — the experiment fingerprint that already guards
+checkpoint resume (:func:`repro.api.experiment.experiment_fingerprint`, so
+cache identity and checkpoint identity can never drift apart) plus the mode
+and the remaining orchestration knobs that shape the output (seed, minimizer,
+estimator, ...).  Deliberately excluded: ``checkpoint_path`` and ``trace``
+(where progress is journaled does not change what is computed) and the
+backend spec (every backend computes the same outcomes — that is the
+scheduler's determinism contract, enforced by the differential suites).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.api.experiment import experiment_fingerprint
+from repro.api.specs import ExperimentConfig
+
+#: Config fields that do not affect the computed result (see module docstring).
+_NON_SEMANTIC_FIELDS = ("checkpoint_path", "trace", "backend")
+
+
+def content_key(mode: str, config: ExperimentConfig) -> str:
+    """The content address of running ``mode`` on ``config`` (sha256 hex).
+
+    Canonical JSON (sorted keys) over the checkpoint fingerprint plus every
+    semantic config field, so key equality is exactly "same bits out".
+    """
+    semantic = config.to_dict()
+    for fields in _NON_SEMANTIC_FIELDS:
+        semantic.pop(fields, None)
+    identity = {
+        "mode": mode,
+        "experiment": experiment_fingerprint(config, config.decomposition),
+        "config": semantic,
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultStore:
+    """Results on disk, one JSON file per content key (atomic writes)."""
+
+    def __init__(self, root: str | os.PathLike[str]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise ValueError(f"malformed content key: {key!r}")
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored result for ``key``, or ``None``."""
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, result: dict[str, Any]) -> Path:
+        """Archive ``result`` under ``key`` (last writer wins, atomically)."""
+        path = self._path(key)
+        scratch = path.with_name(f"{path.name}.{os.getpid():x}.tmp")
+        scratch.write_text(json.dumps(result, indent=2, sort_keys=True))
+        scratch.replace(path)
+        return path
+
+    def keys(self) -> list[str]:
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+__all__ = ["ResultStore", "content_key"]

@@ -426,6 +426,50 @@ class TestCheckpointResumeFlow:
         cfg = ExperimentConfig(checkpoint_path="solve.ckpt")
         assert ExperimentConfig.from_json(cfg.to_json()) == cfg
 
+    def test_checkpoint_from_other_solver_spec_is_rejected(self, tmp_path):
+        """A checkpoint written under ``cdcl-legacy`` must not silently resume
+        under the arena engine: their per-sub-problem costs are incomparable."""
+        path = tmp_path / "legacy.ckpt"
+        legacy_cfg = self._config(
+            tmp_path,
+            checkpoint_path=str(path),
+            solver=SolverSpec(name="cdcl-legacy"),
+        )
+        Experiment.from_config(legacy_cfg).solve()
+        assert path.exists()
+
+        arena_cfg = self._config(tmp_path, checkpoint_path=str(path))
+        with pytest.raises(ValueError, match="belongs to a different experiment"):
+            Experiment.from_config(arena_cfg).solve()
+
+    def test_default_solver_checkpoint_has_no_solver_key(self, tmp_path):
+        """Backward compatibility: default-spec runs omit the ``solver`` key,
+        so checkpoints from before the key existed keep resuming (the same
+        conditional pattern as ``preprocessor``)."""
+        from repro.api import experiment_fingerprint
+        from repro.runner.scheduler import SchedulerCheckpoint
+
+        path = tmp_path / "default.ckpt"
+        cfg = self._config(tmp_path, checkpoint_path=str(path))
+        Experiment.from_config(cfg).solve()
+        stamp = SchedulerCheckpoint.load(path).metadata["experiment"]
+        assert "solver" not in stamp
+        assert stamp == experiment_fingerprint(cfg, cfg.decomposition)
+
+        # A pre-solver-key checkpoint (identical stamp) resumes cleanly.
+        resumed = Experiment.from_config(cfg).solve()
+        assert resumed.data["resumed_subproblems"] > 0
+
+    def test_fingerprint_records_non_default_solver_spec(self):
+        from repro.api import experiment_fingerprint
+
+        base = self._config(None)
+        legacy = self._config(None, solver=SolverSpec(name="cdcl-legacy"))
+        assert "solver" not in experiment_fingerprint(base, base.decomposition)
+        stamp = experiment_fingerprint(legacy, legacy.decomposition)
+        assert stamp["solver"] == SolverSpec(name="cdcl-legacy").to_dict()
+        assert stamp["decomposition"] == sorted(legacy.decomposition)
+
     def test_run_cli_resume_flag(self, tmp_path, capsys):
         from repro.cli import main
 

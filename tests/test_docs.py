@@ -43,6 +43,7 @@ EXECUTABLE_FILES = {
     "api-reference.md": _cleanup_api_reference,
     "performance.md": None,
     "preprocessing.md": None,
+    "service.md": None,
     "tracing.md": None,
     "tutorial.md": None,
 }
@@ -53,6 +54,7 @@ MIN_SNIPPETS = {
     "api-reference.md": 10,
     "performance.md": 5,
     "preprocessing.md": 8,
+    "service.md": 8,
     "tracing.md": 8,
     "tutorial.md": 5,
 }
@@ -83,6 +85,7 @@ class TestDocsTreeExists:
             "paper-mapping.md",
             "performance.md",
             "preprocessing.md",
+            "service.md",
             "tracing.md",
             "tutorial.md",
             "api-reference.md",

@@ -232,6 +232,40 @@ class TestEstimatorSpec:
         budget = EstimatorSpec(max_conflicts_per_sample=100).budget()
         assert budget is not None and budget.max_conflicts == 100
 
+    def test_batch_downgrade_warns_and_is_recorded(self, geffe_instance):
+        # A solver without solve_batch cannot honour batch_size > 1: the
+        # downgrade must be loud (warning) and visible (requested vs actual).
+        spec = EstimatorSpec(sample_size=5, batch_size=8)
+        with pytest.warns(RuntimeWarning, match="no solve_batch"):
+            evaluator = spec.build(geffe_instance.cnf, solver=DPLLSolver(), seed=1)
+        assert evaluator.batch_size == 1
+        assert evaluator.requested_batch_size == 8
+
+    def test_batch_honoured_without_warning_for_capable_solver(
+        self, geffe_instance, recwarn
+    ):
+        spec = EstimatorSpec(sample_size=5, batch_size=8)
+        evaluator = spec.build(geffe_instance.cnf, solver=CDCLSolver(), seed=1)
+        assert evaluator.batch_size == evaluator.requested_batch_size == 8
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+    def test_downgrade_surfaces_in_run_metadata(self):
+        from repro.api import Experiment, InstanceSpec, MinimizerSpec, SolverSpec
+
+        cfg = ExperimentConfig(
+            instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+            solver=SolverSpec(name="dpll"),
+            minimizer=MinimizerSpec(max_evaluations=2),
+            estimator=EstimatorSpec(
+                sample_size=3, batch_size=4, incremental=False
+            ),
+        )
+        with pytest.warns(RuntimeWarning, match="no solve_batch"):
+            result = Experiment.from_config(cfg).estimate()
+        assert result.data["batching_downgraded"] is True
+        assert result.data["requested_batch_size"] == 4
+        assert result.data["batch_size"] == 1
+
 
 class TestBatchKeystream:
     @pytest.mark.parametrize("size", ["tiny", "small"])

@@ -1,0 +1,374 @@
+"""Tests for the estimation-as-a-service layer (:mod:`repro.service`).
+
+The suite drives real daemons over real unix sockets — the same code path as
+``repro-sat serve`` — and covers the contracts the service makes:
+
+* submit/status/result/cancel lifecycle, with progress streaming (``watch``);
+* content-addressed caching: identical configs cost one solve, concurrent
+  identical submissions coalesce onto one job;
+* per-tenant quotas reject, priorities reorder;
+* concurrent clients hammering one daemon stay consistent;
+* a daemon killed mid-job (``stop_hard_for_tests``: the journal is left
+  exactly as ``kill -9`` would leave it) restarts, resumes from the
+  scheduler checkpoint and produces results bit-identical to an
+  uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import Experiment, ExperimentConfig, InstanceSpec, MinimizerSpec
+from repro.service import (
+    JobState,
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    ServiceError,
+    content_key,
+)
+
+
+def _estimate_config(seed: int = 1, evaluations: int = 3) -> dict:
+    return ExperimentConfig(
+        instance=InstanceSpec(cipher="bivium-tiny", seed=1),
+        minimizer=MinimizerSpec(max_evaluations=evaluations),
+        sample_size=5,
+        seed=seed,
+    ).to_dict()
+
+
+def _solve_config(decomposition_bits: int = 8, seed: int = 1) -> dict:
+    return ExperimentConfig(
+        instance=InstanceSpec(cipher="geffe-tiny", seed=1),
+        decomposition=tuple(range(1, decomposition_bits + 1)),
+        seed=seed,
+    ).to_dict()
+
+
+@pytest.fixture()
+def daemon_factory(tmp_path):
+    """Build daemons on throwaway state dirs; always shut them down."""
+    daemons: list[ServiceDaemon] = []
+
+    def factory(state_dir="state", **config_kwargs) -> ServiceDaemon:
+        config = ServiceConfig(
+            state_dir=str(tmp_path / state_dir),
+            sweep_shared_memory=False,  # don't race the shared-image suite
+            **config_kwargs,
+        )
+        daemon = ServiceDaemon(config).start()
+        daemons.append(daemon)
+        return daemon
+
+    yield factory
+    for daemon in daemons:
+        if daemon.started:
+            daemon.shutdown()
+
+
+class TestSubmitLifecycle:
+    def test_submit_runs_and_result_matches_direct_facade_run(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        assert client.ping()["ok"]
+
+        outcome = client.submit("estimate", _estimate_config())
+        assert outcome["state"] == "queued"
+        assert not outcome["cached"] and not outcome["deduplicated"]
+
+        job = client.wait(outcome["job_id"])
+        assert job["state"] == "done"
+        assert job["attempts"] == 1
+        served = client.result(outcome["job_id"])
+
+        direct = Experiment.from_config(
+            ExperimentConfig.from_dict(_estimate_config())
+        ).estimate()
+        assert served["data"] == direct.to_dict()["data"]
+        assert served["kind"] == "estimate"
+
+    def test_watch_streams_progress_then_done(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        outcome = client.submit("estimate", _estimate_config())
+        messages = list(client.watch(outcome["job_id"]))
+        assert messages[-1]["done"] and messages[-1]["state"] == "done"
+        phases = [m["event"]["phase"] for m in messages if "event" in m]
+        assert "estimate" in phases
+
+    def test_result_of_unfinished_job_is_a_clean_error(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        # Occupy the single worker so the probe job stays queued.
+        client.submit("solve", _solve_config())
+        probe = client.submit("estimate", _estimate_config(seed=99))
+        with pytest.raises(ServiceError, match="not done"):
+            client.result(probe["job_id"])
+        with pytest.raises(ServiceError, match="unknown job id"):
+            client.status("no-such-job")
+
+    def test_failed_job_reports_its_error(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        bad = dict(_estimate_config())
+        bad["decomposition"] = [10_000]  # outside the formula -> ValueError
+        outcome = client.submit("solve", bad)
+        job = client.wait(outcome["job_id"])
+        assert job["state"] == "failed"
+        assert "outside" in job["error"]
+        with pytest.raises(ServiceError, match="failed"):
+            client.result(outcome["job_id"])
+
+
+class TestContentAddressedCache:
+    def test_identical_configs_cost_one_solve(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        first = client.submit("estimate", _estimate_config())
+        client.wait(first["job_id"])
+
+        second = client.submit("estimate", _estimate_config())
+        assert second["cached"] is True
+        assert second["state"] == "done"
+        assert second["key"] == first["key"]
+        # The cached job never entered RUNNING: nothing was recomputed.
+        assert client.status(second["job_id"])["attempts"] == 0
+        assert client.result(second["job_id"]) == client.result(first["job_id"])
+        assert daemon.stats()["store_entries"] == 1
+
+    def test_active_duplicate_coalesces_onto_the_running_job(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        first = client.submit("solve", _solve_config())
+        duplicate = client.submit("solve", _solve_config())
+        assert duplicate["deduplicated"] is True
+        assert duplicate["job_id"] == first["job_id"]
+        assert client.wait(first["job_id"])["state"] == "done"
+
+    def test_key_ignores_journal_fields_but_not_semantics(self):
+        base = ExperimentConfig.from_dict(_estimate_config())
+        assert content_key("estimate", base) == content_key(
+            "estimate", base.replace(checkpoint_path="x.ckpt", trace="x.trc")
+        )
+        assert content_key("estimate", base) != content_key("run", base)
+        assert content_key("estimate", base) != content_key(
+            "estimate", base.replace(seed=base.seed + 1)
+        )
+
+
+class TestQuotasAndPriorities:
+    def test_tenant_quota_rejects_and_is_per_tenant(self, daemon_factory):
+        daemon = daemon_factory(workers=1, max_active_per_tenant=2)
+        client = ServiceClient(daemon.socket_path)
+        client.submit("estimate", _estimate_config(seed=1), tenant="alice")
+        client.submit("estimate", _estimate_config(seed=2), tenant="alice")
+        with pytest.raises(ServiceError, match="quota"):
+            client.submit("estimate", _estimate_config(seed=3), tenant="alice")
+        # Another tenant is unaffected; terminal jobs free the quota.
+        bob = client.submit("estimate", _estimate_config(seed=3), tenant="bob")
+        client.wait(bob["job_id"])
+        for job in client.jobs(tenant="alice"):
+            client.wait(job["job_id"])
+        assert client.submit("estimate", _estimate_config(seed=4), tenant="alice")
+
+    def test_higher_priority_jobs_run_first(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        blocker = client.submit("solve", _solve_config())  # occupies the worker
+        low = client.submit("estimate", _estimate_config(seed=10), priority=0)
+        high = client.submit("estimate", _estimate_config(seed=11), priority=5)
+        for job_id in (blocker["job_id"], low["job_id"], high["job_id"]):
+            client.wait(job_id)
+        assert (
+            client.status(high["job_id"])["started_at"]
+            < client.status(low["job_id"])["started_at"]
+        )
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        client.submit("solve", _solve_config())  # occupies the worker
+        queued = client.submit("estimate", _estimate_config(seed=7))
+        outcome = client.cancel(queued["job_id"])
+        assert outcome["state"] == "cancelled"
+        assert client.status(queued["job_id"])["state"] == "cancelled"
+
+    def test_cancel_running_job_stops_it_mid_family(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        running = client.submit("solve", _solve_config(decomposition_bits=10))
+        _wait_for_progress(client, running["job_id"])
+        client.cancel(running["job_id"])
+        job = client.wait(running["job_id"])
+        assert job["state"] == "cancelled"
+        assert daemon.stats()["store_entries"] == 0
+
+
+class TestConcurrentClients:
+    def test_many_clients_one_daemon(self, daemon_factory):
+        daemon = daemon_factory(workers=2)
+        outcomes: list[dict] = []
+        errors: list[Exception] = []
+
+        def one_client(seed: int) -> None:
+            try:
+                client = ServiceClient(daemon.socket_path)
+                submitted = client.submit("estimate", _estimate_config(seed=seed % 3))
+                outcomes.append(client.wait(submitted["job_id"], timeout=120.0))
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=one_client, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(150.0)
+        assert not errors
+        assert len(outcomes) == 8
+        assert all(job["state"] == "done" for job in outcomes)
+        # 8 submissions over 3 distinct configs -> exactly 3 solves archived.
+        assert daemon.stats()["store_entries"] == 3
+
+
+def _wait_for_progress(
+    client: ServiceClient, job_id: str, timeout: float = 60.0, min_completed: int = 1
+) -> None:
+    """Block until the job completed ``min_completed`` sub-problems (not all)."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        job = client.status(job_id)
+        events = job.get("events", [])
+        solve_events = [
+            e
+            for e in events
+            if e["phase"] == "solve"
+            and e["total"]
+            and min_completed <= e["completed"] < e["total"]
+        ]
+        if solve_events:
+            return
+        if job["state"] in ("done", "failed", "cancelled"):
+            raise AssertionError(f"job finished ({job['state']}) before it could be interrupted")
+        time.sleep(0.005)
+    raise AssertionError("job never reported mid-family progress")
+
+
+class TestKillAndResume:
+    def test_killed_daemon_resumes_job_from_checkpoint(self, daemon_factory, tmp_path):
+        config = _solve_config(decomposition_bits=10)  # 1024 sub-problems
+        reference = Experiment.from_config(ExperimentConfig.from_dict(config)).solve()
+
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        submitted = client.submit("solve", config)
+        # The facade checkpoints every len(vectors)//256 = 4 sub-problems:
+        # waiting for 32 guarantees a checkpoint is on disk before the kill.
+        _wait_for_progress(client, submitted["job_id"], min_completed=32)
+        daemon.stop_hard_for_tests()
+
+        # The on-disk journal still says RUNNING — what a kill leaves behind.
+        journal = json.loads((daemon.state_dir / "jobs.json").read_text())
+        states = {job["job_id"]: job["state"] for job in journal["jobs"]}
+        assert states[submitted["job_id"]] == "running"
+
+        revived = daemon_factory(workers=1)  # same tmp_path -> same state dir
+        client = ServiceClient(revived.socket_path)
+        job = client.wait(submitted["job_id"], timeout=120.0)
+        assert job["state"] == "done"
+        assert job["attempts"] >= 2  # once before the kill, once after
+
+        resumed = client.result(submitted["job_id"])
+        assert resumed["data"]["resumed_subproblems"] > 0
+        # Bit-identical to the uninterrupted reference run.
+        assert resumed["data"]["statuses"] == reference.data["statuses"]
+        assert resumed["data"]["costs"] == reference.data["costs"]
+        assert resumed["status"] == reference.status
+
+    def test_graceful_shutdown_requeues_in_flight_jobs(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        submitted = client.submit("solve", _solve_config(decomposition_bits=10))
+        _wait_for_progress(client, submitted["job_id"], min_completed=32)
+        daemon.shutdown()
+
+        journal = json.loads((daemon.state_dir / "jobs.json").read_text())
+        states = {job["job_id"]: job["state"] for job in journal["jobs"]}
+        assert states[submitted["job_id"]] == "queued"
+
+        revived = daemon_factory(workers=1)
+        client = ServiceClient(revived.socket_path)
+        job = client.wait(submitted["job_id"], timeout=120.0)
+        assert job["state"] == "done"
+        assert client.result(submitted["job_id"])["data"]["resumed_subproblems"] > 0
+
+
+class TestTraceAttachment:
+    def test_attach_trace_records_a_readable_trace(self, daemon_factory):
+        from repro.trace import read_trace
+
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        submitted = client.submit("solve", _solve_config(), attach_trace=True)
+        job = client.wait(submitted["job_id"])
+        assert job["state"] == "done"
+        trace_path = job["config"]["trace"]
+        assert trace_path is not None
+        header, events = read_trace(trace_path)
+        assert header.kind == "experiment-solve"
+        assert events
+
+    def test_cached_hit_does_not_retrace(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        first = client.submit("solve", _solve_config(seed=5))
+        client.wait(first["job_id"])
+        # Trace attachment does not change the content key: the re-submission
+        # is a cache hit and honestly reports no fresh trace was recorded.
+        second = client.submit("solve", _solve_config(seed=5), attach_trace=True)
+        assert second["cached"] is True
+        assert client.status(second["job_id"])["config"]["trace"] is None
+
+
+class TestServeCLI:
+    def test_serve_submit_status_result_cancel_round_trip(self, tmp_path):
+        """The daemon the CLI starts is the daemon the CLI clients talk to."""
+        from repro.cli import main
+
+        state = tmp_path / "state"
+        daemon = ServiceDaemon(
+            ServiceConfig(state_dir=str(state), workers=1, sweep_shared_memory=False)
+        ).start()
+        try:
+            config_path = tmp_path / "exp.json"
+            config_path.write_text(json.dumps(_estimate_config()))
+            socket = ["--socket", daemon.socket_path]
+            assert main(["submit", "--config", str(config_path), "--mode", "estimate", *socket]) == 0
+            job_id = daemon.jobs()[0]["job_id"]
+            daemon.wait(job_id)
+            assert main(["status", job_id, *socket]) == 0
+            out = tmp_path / "result.json"
+            assert main(["result", job_id, "--output", str(out), *socket]) == 0
+            assert json.loads(out.read_text())["kind"] == "estimate"
+            assert main(["cancel", job_id, *socket]) == 0  # terminal: no-op
+            # Cached resubmission through the CLI.
+            assert main(["submit", "--config", str(config_path), "--mode", "estimate", *socket]) == 0
+            cached = [job for job in daemon.jobs() if job["cached"]]
+            assert len(cached) == 1
+        finally:
+            daemon.shutdown()
+
+    def test_journal_round_trips_job_records(self, tmp_path):
+        from repro.service.jobs import JobRecord
+
+        record = JobRecord(
+            job_id="abc123", mode="estimate", config=_estimate_config(), key="00ff",
+            tenant="alice", priority=3, state=JobState.QUEUED, attempts=1,
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record

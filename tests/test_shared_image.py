@@ -180,6 +180,53 @@ class TestImageLifecycle:
         assert name not in list_segments()
 
 
+class TestRegistryFallback:
+    """Enumeration without a listable ``/dev/shm`` (macOS/BSD portability).
+
+    POSIX shared memory has no portable enumeration API, so off Linux the
+    sweepers fall back to the per-user registry sidecar that ``share()``
+    maintains.  These tests force that path by pointing ``_SHM_DIR`` at a
+    nonexistent directory and the registry at a throwaway file.
+    """
+
+    @pytest.fixture()
+    def registry_only(self, tmp_path, monkeypatch):
+        from repro.sat.cdcl import image as image_module
+
+        registry = tmp_path / "registry"
+        monkeypatch.setattr(image_module, "_SHM_DIR", str(tmp_path / "no-such-dir"))
+        monkeypatch.setattr(image_module, "_registry_path", lambda: registry)
+        return registry
+
+    def test_share_registers_and_unlink_unregisters(self, registry_only):
+        owner = ArenaImage.freeze(_cnf()).share()
+        name = owner.name
+        try:
+            assert name in registry_only.read_text().split()
+            assert name in list_segments()
+        finally:
+            owner.unlink()
+        assert name not in registry_only.read_text().split()
+        assert name not in list_segments()
+
+    def test_sweep_reaps_orphans_via_registry(self, registry_only):
+        orphan = ArenaImage.freeze(_cnf()).share()
+        name = orphan.name
+        orphan.close()  # mapping gone, segment deliberately left behind
+        assert list_segments() == [name]
+        assert sweep_segments() == [name]
+        assert list_segments() == []
+        # The registry no longer mentions the reaped segment either.
+        assert name not in registry_only.read_text().split()
+
+    def test_dead_registry_entries_are_pruned_by_probing(self, registry_only):
+        # A stale entry (owner crashed after unlink, or a reboot cleared the
+        # segments) must not make list_segments() report a phantom leak.
+        registry_only.write_text(f"{SEGMENT_PREFIX}deadbeef-000000000000\n")
+        assert list_segments() == []
+        assert registry_only.read_text().split() == []
+
+
 class TestNoLeaksUnderTheScheduler:
     """The leader's try/finally owns the segment however the run ends."""
 

@@ -12,9 +12,11 @@ Four layers are covered, mirroring the package structure:
 * **determinism and diffing** — identically-seeded runs produce byte-identical
   trace files and a zero-divergence diff, while a config-knob change is
   pinpointed at its first divergent event;
-* the **zero-overhead contract** — running the arena propagation core with
-  tracing disabled must cost at most 5 % against a build with the trace hooks
-  physically stripped from the hot loop.
+* the **zero-overhead contract** — the arena hot loop carries exactly three
+  strippable ``# trace-hook`` lines and a hook-stripped build propagates
+  bit-identical closures; the companion wall-clock budget (disabled tracing
+  costs ≤ 5 %) is timing-sensitive and therefore lives in the perf-smoke
+  lane (``benchmarks/bench_tracing_overhead.py``), not in tier-1.
 """
 
 from __future__ import annotations
@@ -24,7 +26,6 @@ import io
 import json
 import random
 import textwrap
-import time
 
 import pytest
 
@@ -719,61 +720,88 @@ class TestBenchExplain:
 
 
 # ------------------------------------------------------------ overhead budget
+def make_stripped_solver_class():
+    """A ``CDCLSolver`` subclass whose ``_propagate`` has the trace hooks
+    physically removed (the ``# trace-hook`` tagged lines).
+
+    Shared by the structural tier-1 checks below and by the wall-clock
+    overhead gate in ``benchmarks/bench_tracing_overhead.py``.
+    """
+    from repro.sat.cdcl import solver as solver_module
+
+    source = textwrap.dedent(inspect.getsource(solver_module.CDCLSolver._propagate))
+    stripped_lines = [
+        line for line in source.splitlines() if "# trace-hook" not in line
+    ]
+    assert len(stripped_lines) == len(source.splitlines()) - 3, (
+        "the arena hot loop must carry exactly 3 tagged trace-hook lines"
+    )
+    namespace = dict(vars(solver_module))
+    exec(compile("\n".join(stripped_lines), "<stripped>", "exec"), namespace)
+    stripped_propagate = namespace["_propagate"]
+
+    class StrippedSolver(solver_module.CDCLSolver):
+        pass
+
+    StrippedSolver._propagate = stripped_propagate
+    return StrippedSolver
+
+
 class TestDisabledTracingOverhead:
-    def test_disabled_tracing_costs_at_most_five_percent(self):
-        """BENCH_4-shaped propagation with hooks present-but-disabled vs
-        a build with the ``# trace-hook`` lines physically removed."""
+    """Structural half of the zero-overhead contract (deterministic, tier-1).
+
+    The wall-clock budget — disabled tracing must cost ≤5% propagation
+    throughput against a hook-stripped build — asserts a timing *ratio* and
+    therefore flakes under CI machine load.  That assertion lives in the
+    perf-smoke lane (``benchmarks/bench_tracing_overhead.py``, run next to
+    the BENCH gates); tier-1 keeps only what is bit-reproducible: the hook
+    lines are present, taggable and strippable, and a stripped build
+    propagates the exact same closures.
+    """
+
+    def test_hot_loop_carries_exactly_three_tagged_hook_lines(self):
+        from repro.sat.cdcl import solver as solver_module
+
+        source = textwrap.dedent(
+            inspect.getsource(solver_module.CDCLSolver._propagate)
+        )
+        tagged = [line for line in source.splitlines() if "# trace-hook" in line]
+        assert len(tagged) == 3
+        # Every tagged line must concern the trace sink only — stripping it
+        # may not change the untraced semantics.
+        assert all("trace" in line.split("#")[0] for line in tagged)
+
+    def test_stripped_build_propagates_identical_closures(self):
+        """Hook-stripped and instrumented builds must agree propagation by
+        propagation on identical assumption vectors (counts, not timings)."""
         from repro.api.registry import get_cipher
         from repro.perf.workloads import assumption_vectors
         from repro.problems import make_inversion_instance
         from repro.sat.cdcl import solver as solver_module
         from repro.sat.cdcl.solver import _ilit
 
-        source = textwrap.dedent(inspect.getsource(solver_module.CDCLSolver._propagate))
-        stripped_lines = [
-            line for line in source.splitlines() if "# trace-hook" not in line
-        ]
-        assert len(stripped_lines) == len(source.splitlines()) - 3
-        namespace = dict(vars(solver_module))
-        exec(compile("\n".join(stripped_lines), "<stripped>", "exec"), namespace)
-        stripped_propagate = namespace["_propagate"]
-
-        class StrippedSolver(solver_module.CDCLSolver):
-            pass
-
-        StrippedSolver._propagate = stripped_propagate
-
+        StrippedSolver = make_stripped_solver_class()
         instance = make_inversion_instance(get_cipher("a51-tiny")(), seed=3)
-        vectors = assumption_vectors(list(instance.start_set), 8, 250, seed=42)
+        vectors = assumption_vectors(list(instance.start_set), 8, 50, seed=42)
         cnf = instance.cnf
 
-        def round_rate(solver_cls) -> float:
+        def propagation_counts(solver_cls) -> list[int]:
             solver = solver_cls().load(cnf)
             solver._stats = SolverStats()
             solver._budget = SolverBudget()
             solver._propagate()
-            solver._stats = SolverStats()
-            clock = time.perf_counter
-            elapsed = 0.0
+            counts = []
             for vector in vectors:
+                before = solver._stats.propagations
                 solver._trail_lim.append(len(solver._trail))
                 for lit in vector:
                     solver._enqueue(_ilit(lit), -1)
-                start = clock()
                 solver._propagate()
-                elapsed += clock() - start
+                counts.append(solver._stats.propagations - before)
                 solver._cancel_until(0)
-            assert solver._stats.propagations > 0
-            return solver._stats.propagations / elapsed
+            return counts
 
-        # Interleaved best-of rounds: noise is one-sided (interference only
-        # slows a run down), so the per-side best is the clean figure.
-        best_instrumented = best_stripped = 0.0
-        for _ in range(5):
-            best_instrumented = max(best_instrumented, round_rate(solver_module.CDCLSolver))
-            best_stripped = max(best_stripped, round_rate(StrippedSolver))
-        overhead = 1.0 - best_instrumented / best_stripped
-        assert overhead <= 0.05, (
-            f"disabled tracing costs {overhead:.1%} on the propagation core "
-            f"(instrumented {best_instrumented:,.0f}/s vs stripped {best_stripped:,.0f}/s)"
-        )
+        instrumented = propagation_counts(solver_module.CDCLSolver)
+        stripped = propagation_counts(StrippedSolver)
+        assert sum(instrumented) > 0
+        assert instrumented == stripped

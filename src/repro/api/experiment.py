@@ -71,6 +71,16 @@ def experiment_fingerprint(
         # Same conditional pattern: the engines' cost scales differ, so a
         # non-default solver spec is part of the experiment's identity.
         fingerprint["solver"] = config.solver.to_dict()
+    estimator = config.effective_estimator()
+    if estimator.budget() is not None:
+        # A per-sub-problem solver budget changes outcomes (capped solves
+        # may return UNKNOWN), so a capped run's checkpoint must never
+        # resume an uncapped one or vice versa.  Conditional like the keys
+        # above, so historical unbudgeted checkpoints stay resumable.
+        fingerprint["subproblem_budget"] = {
+            "max_conflicts": estimator.max_conflicts_per_sample,
+            "max_seconds": estimator.max_seconds_per_sample,
+        }
     return fingerprint
 
 
@@ -214,9 +224,25 @@ class Experiment:
 
     def _estimate_report(self) -> EstimationReport:
         cfg = self.config
+        probe = None
+        if self.progress is not None:
+            total = cfg.minimizer.max_evaluations
+
+            def probe(evaluations: int, subproblem_solves: int) -> None:
+                # One event per minimiser iteration: this is what makes a
+                # long estimate cancellable/interruptible mid-run (the
+                # service daemon's control flags are raised from here).
+                self._emit(
+                    "estimate",
+                    completed=evaluations,
+                    total=total,
+                    message=f"{subproblem_solves} sub-problem solves",
+                )
+
         stopping = StoppingCriteria(
             max_evaluations=cfg.minimizer.max_evaluations,
             max_seconds=cfg.minimizer.max_seconds,
+            probe=probe,
         )
         return self.pdsat.estimate(
             method=cfg.minimizer.name, stopping=stopping, **cfg.minimizer.options
@@ -350,21 +376,32 @@ class Experiment:
             fingerprint = experiment_fingerprint(cfg, dec.variables)
             path = Path(cfg.checkpoint_path)
             if path.exists():
-                checkpoint = SchedulerCheckpoint.load(path)
-                stored = checkpoint.metadata.get("experiment")
-                if stored is not None and stored != fingerprint:
-                    raise ValueError(
-                        f"checkpoint {path} belongs to a different experiment "
-                        f"({stored}); delete it or point --resume elsewhere"
+                # A truncated/garbled file (the writer was killed mid-write)
+                # reads as "no checkpoint": it is quarantined to
+                # <name>.corrupt and the solve starts fresh.  A *valid* file
+                # from a different experiment still fails loudly below.
+                checkpoint = SchedulerCheckpoint.load_or_quarantine(path)
+                if checkpoint is None:
+                    self._emit(
+                        "solve",
+                        total=len(vectors),
+                        message=f"checkpoint {path} was corrupt; quarantined, starting fresh",
                     )
-                resumed = len(checkpoint)
-                checkpoint_kwargs["checkpoint"] = checkpoint
-                self._emit(
-                    "solve",
-                    completed=resumed,
-                    total=len(vectors),
-                    message=f"resumed {resumed} sub-problems from {path}",
-                )
+                else:
+                    stored = checkpoint.metadata.get("experiment")
+                    if stored is not None and stored != fingerprint:
+                        raise ValueError(
+                            f"checkpoint {path} belongs to a different experiment "
+                            f"({stored}); delete it or point --resume elsewhere"
+                        )
+                    resumed = len(checkpoint)
+                    checkpoint_kwargs["checkpoint"] = checkpoint
+                    self._emit(
+                        "solve",
+                        completed=resumed,
+                        total=len(vectors),
+                        message=f"resumed {resumed} sub-problems from {path}",
+                    )
 
             def save_checkpoint(chk, _path=path, _stamp=fingerprint):
                 chk.metadata["experiment"] = _stamp
@@ -400,6 +437,21 @@ class Experiment:
                 },
             )
             checkpoint_kwargs["trace"] = trace_writer
+        subproblem_budget = cfg.effective_estimator().budget()
+        if subproblem_budget is not None:
+            import inspect
+
+            run_params = inspect.signature(backend.run).parameters
+            if "budget" not in run_params and not any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in run_params.values()
+            ):
+                # Silently dropping the cap would let the job run away —
+                # exactly what the budget exists to prevent.
+                raise ValueError(
+                    f"backend {cfg.backend.name!r} does not accept a budget "
+                    f"keyword; remove the per-sample budget or use a built-in backend"
+                )
+            checkpoint_kwargs["budget"] = subproblem_budget
         try:
             run = backend.run(
                 # The orchestrator's working CNF: the instance encoding, or its

@@ -41,8 +41,14 @@ Sub-commands:
   restart/resume (see ``docs/service.md``);
 * ``submit`` / ``status`` / ``result`` / ``cancel`` — the matching client:
   submit an ``ExperimentConfig`` JSON as a job (``--watch`` streams progress,
-  ``--attach-trace`` records a binary event trace), inspect jobs, fetch
-  archived results, cancel queued/running work.
+  ``--attach-trace`` records a binary event trace, ``--max-seconds`` /
+  ``--max-conflicts`` / ``--max-rss-mb`` attach a resource budget,
+  ``--retries`` retries retriable errors with backoff), inspect jobs, fetch
+  archived results, cancel queued/running work;
+* ``chaos``     — run the seeded fault-injection scenarios from
+  :mod:`repro.service.chaos` (worker crashes, hung jobs, corrupt journals,
+  truncated checkpoints, dropped connections, kill -9 restarts) and check the
+  service converges to bit-identical results (see ``docs/robustness.md``).
 
 Examples::
 
@@ -951,6 +957,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         max_active_per_tenant=args.max_active_per_tenant,
+        max_queue_depth=args.max_queue_depth,
     )
     daemon = ServiceDaemon(config).start()
     print(f"repro-sat service: state in {daemon.state_dir}, listening on {daemon.address}")
@@ -978,6 +985,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         config = ExperimentConfig.from_json(path.read_text()).to_dict()
     except (ValueError, KeyError) as error:
         raise SystemExit(f"invalid experiment config {path}: {error}") from None
+    budget = {
+        key: value
+        for key, value in (
+            ("wall_seconds", args.max_seconds),
+            ("max_conflicts", args.max_conflicts),
+            ("rss_mb", args.max_rss_mb),
+        )
+        if value is not None
+    }
     client = _service_client(args)
     try:
         outcome = client.submit(
@@ -986,6 +1002,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             tenant=args.tenant,
             priority=args.priority,
             attach_trace=args.attach_trace,
+            budget=budget or None,
+            retries=args.retries,
         )
     except (ServiceError, OSError) as error:
         raise SystemExit(f"submit failed: {error}") from None
@@ -1060,6 +1078,47 @@ def _cmd_job_cancel(args: argparse.Namespace) -> int:
         raise SystemExit(f"cancel failed: {error}") from None
     print(f"job {outcome['job_id']}: {outcome['state']}")
     return 0
+
+
+#: Mirrors :data:`repro.service.chaos.SCENARIOS`; kept as a literal so that
+#: building the argument parser never imports the service stack.
+_CHAOS_SCENARIOS = (
+    "worker-crash",
+    "hung-job",
+    "corrupt-journal",
+    "truncated-checkpoint",
+    "client-disconnect",
+    "kill-restart",
+)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded fault-injection scenarios (docs/robustness.md)."""
+    import tempfile
+
+    if args.state_dir is not None:
+        state_root = Path(args.state_dir)
+        state_root.mkdir(parents=True, exist_ok=True)
+        reports = _run_chaos(args, state_root)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+            reports = _run_chaos(args, Path(scratch))
+    failed = [report for report in reports if not report.passed]
+    for report in reports:
+        marker = "PASS" if report.passed else "FAIL"
+        print(f"{marker}  {report.name} (seed {report.seed})")
+        for failure in report.failures:
+            print(f"      - {failure}")
+    print(f"{len(reports) - len(failed)}/{len(reports)} scenarios passed")
+    return 1 if failed else 0
+
+
+def _run_chaos(args: argparse.Namespace, state_root: Path):
+    from repro.service.chaos import run_all, run_scenario
+
+    if args.scenario == "all":
+        return run_all(state_root, seed=args.seed)
+    return [run_scenario(args.scenario, state_root, seed=args.seed)]
 
 
 def _add_service_address_args(parser: argparse.ArgumentParser) -> None:
@@ -1488,6 +1547,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-tenant quota on queued+running jobs (default: unlimited)",
     )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on queued jobs; further submits get a retriable "
+        "backpressure error (default: unbounded)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -1509,6 +1576,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--watch", action="store_true", help="stream progress until the job ends"
+    )
+    submit.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; over-budget jobs end in the timed-out state",
+    )
+    submit.add_argument(
+        "--max-conflicts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-sub-problem solver conflict budget (changes the result "
+        "identity: capped solves may return unknown)",
+    )
+    submit.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="daemon RSS budget in MiB enforced by the watchdog",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry retriable submit errors (backpressure, unreachable) "
+        "with jittered exponential backoff",
     )
     _add_service_address_args(submit)
     submit.set_defaults(func=_cmd_submit)
@@ -1533,6 +1630,30 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job_id", help="job id")
     _add_service_address_args(cancel)
     cancel.set_defaults(func=_cmd_job_cancel)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection scenarios against a live daemon",
+    )
+    chaos.add_argument(
+        "--scenario",
+        # mirrors repro.service.chaos.SCENARIOS (kept literal so building the
+        # parser never imports the service stack; tests assert they match)
+        choices=_CHAOS_SCENARIOS + ("all",),
+        default="all",
+        help="which failure scenario to run (default: all of them)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=1, help="chaos-policy seed (default 1)"
+    )
+    chaos.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="root for per-scenario daemon state (default: a temp dir, "
+        "removed afterwards; pass a path to keep artifacts for inspection)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -10,6 +10,7 @@ the search space and the stopping conditions together.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.predictive import PredictionResult, PredictiveFunction
@@ -72,6 +73,14 @@ class StoppingCriteria:
     max_evaluations: int | None = 200
     max_seconds: float | None = None
     max_subproblem_solves: int | None = None
+    #: Called once per minimiser iteration with ``(evaluations,
+    #: subproblem_solves)`` — a side-channel for progress reporting and
+    #: external control (the service daemon raises its cancel/interrupt/
+    #: timeout exceptions from here, which is what makes a long estimate
+    #: stoppable mid-run).  Never part of equality/repr.
+    probe: Callable[[int, int], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def exceeded(self, evaluations: int, subproblem_solves: int, started_at: float) -> str | None:
         """Return the name of the exceeded limit, or ``None``.
@@ -80,6 +89,8 @@ class StoppingCriteria:
         *current* minimisation run (not the evaluator's lifetime totals, which
         may include earlier runs sharing the same memoised evaluator).
         """
+        if self.probe is not None:
+            self.probe(evaluations, subproblem_solves)
         if self.max_evaluations is not None and evaluations >= self.max_evaluations:
             return "max_evaluations"
         if (

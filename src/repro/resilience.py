@@ -1,0 +1,104 @@
+"""Corrupt-state quarantine helpers shared across layers.
+
+The service daemon, the scheduler checkpoint machinery and the experiment
+facade all read state files another process may have been killed while
+writing.  The recovery policy is uniform and deliberately boring: a file
+that does not decode is **quarantined** (renamed to ``<name>.corrupt`` so a
+human can inspect it), a structured warning is logged, and the caller
+degrades to the no-state path — re-queue the job, miss the cache, start the
+solve fresh — instead of crashing.  This module is the single home of that
+policy; it sits below both ``repro.api`` and ``repro.service`` so neither
+has to import the other.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Any
+
+logger = logging.getLogger("repro.resilience")
+
+
+def quarantine(path: Path) -> Path | None:
+    """Move ``path`` aside as ``<name>.corrupt`` (then ``.corrupt.1``, ...).
+
+    Returns the quarantine destination, or ``None`` when the file vanished
+    or could not be moved (another process may have quarantined it first —
+    either way the original name no longer holds the bad bytes, which is
+    all callers rely on).
+    """
+    destination = path.with_name(path.name + ".corrupt")
+    counter = 0
+    while destination.exists():
+        counter += 1
+        destination = path.with_name(f"{path.name}.corrupt.{counter}")
+    try:
+        path.replace(destination)
+    except OSError:
+        return None
+    return destination
+
+
+def load_json_or_quarantine(path: Path, *, kind: str) -> Any | None:
+    """Read+decode ``path``; quarantine and return ``None`` when it is bad.
+
+    ``None`` means "no usable state": the file is missing, or it was
+    truncated/garbled (in which case it has been renamed to ``.corrupt``
+    and a warning logged under the ``repro.resilience`` logger).  ``kind``
+    names the artifact ("journal", "result-store entry", ...) in the log
+    line so operators can tell which subsystem degraded.
+    """
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as error:
+        logger.warning(
+            "unreadable %s at %s (%s); treating as absent", kind, path, error
+        )
+        return None
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as error:
+        moved = quarantine(path)
+        logger.warning(
+            "corrupt %s at %s (%s); quarantined to %s and degrading to the "
+            "no-state path",
+            kind,
+            path,
+            error,
+            moved,
+        )
+        return None
+
+
+def sweep_scratch(root: Path, pattern: str = "*.tmp") -> list[Path]:
+    """Delete atomic-write scratch files a killed process left under ``root``.
+
+    Every writer in this codebase stages atomic replaces through ``*.tmp``
+    names; a ``kill -9`` mid-write leaves the scratch file behind.  They are
+    never valid state (the replace never happened), so startup sweeps them.
+    Returns the paths removed.
+    """
+    removed: list[Path] = []
+    if not root.exists():
+        return removed
+    for scratch in sorted(root.rglob(pattern)):
+        try:
+            scratch.unlink()
+        except OSError:
+            continue
+        removed.append(scratch)
+    if removed:
+        logger.warning(
+            "swept %d atomic-write scratch file(s) under %s: %s",
+            len(removed),
+            root,
+            ", ".join(p.name for p in removed),
+        )
+    return removed
+
+
+__all__ = ["load_json_or_quarantine", "quarantine", "sweep_scratch"]

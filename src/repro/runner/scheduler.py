@@ -339,9 +339,20 @@ class ProcessExecutor:
     blobs via :func:`_run_pickled_payload`; the blob cache is dropped as soon
     as a task completes for good (success or fatal error), so memory tracks
     the in-flight set, not the whole graph.
+
+    **Degradation:** when the process pool cannot be created at all (no
+    ``fork``/semaphores in the environment) or keeps breaking
+    (``MAX_POOL_BREAKS`` consecutive rebuild-worthy crashes), the executor
+    falls back to an in-process thread pool: slower (the GIL) but it keeps
+    serving.  The fallback emits a ``RuntimeWarning`` and is recorded in
+    ``degraded_reason``, which :meth:`Scheduler.run` copies into
+    ``run.metadata["executor_fallback"]`` so callers can see the run did not
+    get real process isolation.
     """
 
     name = "process-pool"
+    #: Pool breaks tolerated before degrading to the thread fallback.
+    MAX_POOL_BREAKS = 3
 
     def __init__(
         self,
@@ -360,16 +371,43 @@ class ProcessExecutor:
         self._futures: dict[Any, tuple[str, int, float]] = {}
         self._payload_blobs: dict[str, bytes] = {}
         self._started = time.perf_counter()
+        self._pool_breaks = 0
+        #: Why the executor degraded to threads (``None``: real processes).
+        self.degraded_reason: str | None = None
+
+    def _degrade(self, reason: str):
+        """Swap in a thread pool after the process pool proved unusable."""
+        import warnings
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.degraded_reason = reason
+        warnings.warn(
+            f"process pool unusable ({reason}); degrading to a thread executor "
+            "— results are identical but run without process isolation",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self._initializer is not None:
+            # Thread workers share this process: install the per-worker
+            # state (CNF, solver) exactly once, in-process.
+            self._initializer(*self._initargs)
+        self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+        return self._pool
 
     def _ensure_pool(self):
         if self._pool is None:
+            if self.degraded_reason is not None:
+                return self._degrade(self.degraded_reason)
             from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.num_workers,
-                initializer=self._initializer,
-                initargs=self._initargs,
-            )
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+            except (OSError, ValueError, ImportError, NotImplementedError) as exc:
+                return self._degrade(f"cannot create process pool: {exc}")
         return self._pool
 
     def start(self, task: Task, worker: int, timeout: float | None = None) -> None:
@@ -421,6 +459,13 @@ class ProcessExecutor:
                     )
                 self._pool.shutdown(wait=False)
                 self._pool = None
+                self._pool_breaks += 1
+                if self._pool_breaks >= self.MAX_POOL_BREAKS:
+                    # The pool keeps dying (fork bombs out, shm exhausted...):
+                    # stop rebuilding and finish the run on threads.
+                    self._degrade(
+                        f"{self._pool_breaks} consecutive pool breaks, last: {exc}"
+                    )
             except Exception as exc:  # noqa: BLE001 - retryable task error
                 value, outcome, error = None, OUTCOME_ERROR, f"{type(exc).__name__}: {exc}"
                 fatal = isinstance(exc, (ValueError, TypeError))
@@ -682,6 +727,34 @@ class SchedulerCheckpoint:
     def load(cls, path: str | Path) -> "SchedulerCheckpoint":
         """Read a checkpoint written by :meth:`save`."""
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def load_or_quarantine(cls, path: str | Path) -> "SchedulerCheckpoint | None":
+        """Like :meth:`load`, but a bad file reads as "no checkpoint".
+
+        ``None`` means the file is missing, truncated, garbled, or not a
+        checkpoint document at all — in the latter cases it is renamed to
+        ``<name>.corrupt`` (see :mod:`repro.resilience`) and a warning
+        logged, so the caller starts fresh instead of crashing on state a
+        killed process left half-written.
+        """
+        from repro.resilience import load_json_or_quarantine, logger, quarantine
+
+        target = Path(path)
+        data = load_json_or_quarantine(target, kind="scheduler checkpoint")
+        if data is None:
+            return None
+        try:
+            return cls.from_dict(data)
+        except (ValueError, TypeError, AttributeError) as error:
+            moved = quarantine(target)
+            logger.warning(
+                "invalid scheduler checkpoint at %s (%s); quarantined to %s",
+                target,
+                error,
+                moved,
+            )
+            return None
 
 
 # ------------------------------------------------------------------- results
@@ -1062,6 +1135,9 @@ class Scheduler:
         stats["injected_crashes"] = getattr(executor, "injected_crashes", 0)
         stats["injected_stragglers"] = getattr(executor, "injected_stragglers", 0)
         stats["injected_duplicates"] = getattr(executor, "injected_duplicates", 0)
+        degraded = getattr(executor, "degraded_reason", None)
+        if degraded:
+            stats["executor_fallback"] = degraded
         run.metadata = stats
         if self.checkpoint_sink is not None and fresh_results % self.checkpoint_every:
             self.checkpoint_sink(run.checkpoint(self.result_encoder))

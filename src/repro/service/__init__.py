@@ -10,10 +10,16 @@ once.  The pieces:
 * :mod:`repro.service.store`  — the content-addressed result store (keys
   derive from :func:`repro.api.experiment.experiment_fingerprint`, the same
   identity that guards checkpoint resume);
+* :mod:`repro.service.budget` — per-job resource budgets (wall clock,
+  solver conflicts, RSS) enforced by the daemon's watchdog thread;
 * :mod:`repro.service.daemon` — the daemon: worker pool, per-tenant quotas,
+  queue backpressure, budget watchdog, corrupt-state quarantine,
   journal-backed restart/resume, graceful shutdown, socket protocol;
-* :mod:`repro.service.client` — the blocking JSONL client used by the
-  ``repro-sat submit``/``status``/``result``/``cancel`` commands.
+* :mod:`repro.service.client` — the blocking JSONL client (connect/submit
+  backoff with jitter, retriable-error handling) used by the
+  ``repro-sat submit``/``status``/``result``/``cancel`` commands;
+* :mod:`repro.service.chaos`  — the seeded fault-injection policy and the
+  scenario harness behind ``repro-sat chaos``.
 
 Quickstart (in-process; ``repro-sat serve`` wraps the same objects)::
 
@@ -29,18 +35,26 @@ Quickstart (in-process; ``repro-sat serve`` wraps the same objects)::
 
 from __future__ import annotations
 
+from repro.service.budget import ResourceBudget
 from repro.service.client import ServiceClient
-from repro.service.daemon import ServiceConfig, ServiceDaemon, ServiceError
+from repro.service.daemon import (
+    ServiceConfig,
+    ServiceDaemon,
+    ServiceError,
+    TransientJobError,
+)
 from repro.service.jobs import JobRecord, JobState
 from repro.service.store import ResultStore, content_key
 
 __all__ = [
     "JobRecord",
     "JobState",
+    "ResourceBudget",
     "ResultStore",
     "ServiceClient",
     "ServiceConfig",
     "ServiceDaemon",
     "ServiceError",
+    "TransientJobError",
     "content_key",
 ]

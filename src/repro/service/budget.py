@@ -1,0 +1,112 @@
+"""Per-job resource budgets for the service daemon.
+
+A :class:`ResourceBudget` bounds what one job may consume: wall-clock
+seconds (enforced by the daemon's watchdog thread — an over-budget job is
+interrupted at its next progress event and lands in the terminal
+``TIMED_OUT`` state), solver conflicts (wired into the *existing* per-call
+:class:`~repro.sat.solver.SolverBudget` machinery — every sample/sub-problem
+solve is capped, so the job degrades to UNKNOWN statuses instead of running
+away), and optionally resident-set size.
+
+Conflict caps change what the job computes (capped solves may return
+UNKNOWN), so they participate in the content key — see
+:func:`repro.service.store.content_key`.  Wall/RSS budgets never do: a job
+that trips them is killed before archiving, so nothing capped ever reaches
+the store.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+#: ``/proc/self/statm`` field 1 is resident pages; fall back to ru_maxrss.
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_mb() -> float | None:
+    """This process's resident set size in MiB, or ``None`` when unknowable."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            fields = [int(field) for field in handle.read().split()]
+        return fields[1] * _PAGE_SIZE / (1024 * 1024)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # Linux reports ru_maxrss in KiB (peak, not current — still a usable
+        # ceiling signal when /proc is unavailable).
+        return usage.ru_maxrss / 1024
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """What one job may consume; ``None`` fields are unlimited."""
+
+    #: Wall-clock deadline measured from the job's ``started_at``.
+    wall_seconds: float | None = None
+    #: Per-sample/sub-problem solver conflict cap (semantic: capped solves
+    #: may return UNKNOWN, so this field is part of the content key).
+    max_conflicts: int | None = None
+    #: Daemon-wide resident-set ceiling in MiB (advisory: threads share one
+    #: address space, so the *process* RSS is the enforced quantity).
+    rss_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise ValueError(f"wall_seconds must be positive, got {self.wall_seconds}")
+        if self.max_conflicts is not None and self.max_conflicts <= 0:
+            raise ValueError(f"max_conflicts must be positive, got {self.max_conflicts}")
+        if self.rss_mb is not None and self.rss_mb <= 0:
+            raise ValueError(f"rss_mb must be positive, got {self.rss_mb}")
+
+    def is_empty(self) -> bool:
+        return self.wall_seconds is None and self.max_conflicts is None and self.rss_mb is None
+
+    def verdict(self, elapsed: float, rss_mb_now: float | None = None) -> str | None:
+        """Why this budget is exceeded right now, or ``None`` if within it.
+
+        The returned string is the ``budget_verdict`` recorded on the job —
+        human-readable, stable enough for tests to match on its prefix.
+        """
+        if self.wall_seconds is not None and elapsed >= self.wall_seconds:
+            return (
+                f"wall-clock budget exceeded: {elapsed:.2f}s elapsed, "
+                f"limit {self.wall_seconds:g}s"
+            )
+        if self.rss_mb is not None and rss_mb_now is not None and rss_mb_now >= self.rss_mb:
+            return (
+                f"rss budget exceeded: {rss_mb_now:.1f} MiB resident, "
+                f"limit {self.rss_mb:g} MiB"
+            )
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Only the set limits — unlimited axes are omitted, not ``None``."""
+        limits = {
+            "wall_seconds": self.wall_seconds,
+            "max_conflicts": self.max_conflicts,
+            "rss_mb": self.rss_mb,
+        }
+        return {name: value for name, value in limits.items() if value is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceBudget":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        known = {"wall_seconds", "max_conflicts", "rss_mb"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ResourceBudget fields: {sorted(unknown)}")
+        return cls(
+            wall_seconds=data.get("wall_seconds"),
+            max_conflicts=data.get("max_conflicts"),
+            rss_mb=data.get("rss_mb"),
+        )
+
+
+__all__ = ["ResourceBudget", "current_rss_mb"]

@@ -6,6 +6,12 @@ after either side restarts.  ``watch`` is the one streaming op: the server
 keeps the connection open and writes one line per progress event until the
 job reaches a terminal state.
 
+The client is built for an unreliable daemon: connects retry with
+exponential backoff plus jitter (the daemon may be restarting), ``submit``
+retries errors the daemon marks *retriable* (``backpressure`` from a full
+queue), and ``wait`` polls with exponential backoff instead of a fixed-rate
+spin.
+
 The address is either a unix-socket path (the default deployment) or a
 ``(host, port)`` tuple for the TCP listener.
 """
@@ -13,6 +19,7 @@ The address is either a unix-socket path (the default deployment) or a
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from collections.abc import Iterator
@@ -20,23 +27,58 @@ from typing import Any
 
 from repro.service.daemon import ServiceError
 
+#: Terminal job states ``wait`` stops on (mirrors ``JobState.terminal``).
+TERMINAL_STATES = ("done", "failed", "cancelled", "timed-out")
+
 
 class ServiceClient:
     """Talk to a :class:`~repro.service.daemon.ServiceDaemon`."""
 
-    def __init__(self, address: str | tuple[str, int], timeout: float = 60.0):
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        timeout: float = 60.0,
+        connect_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        rng: random.Random | None = None,
+    ):
         self.address = address
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------ plumbing
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with full jitter: ``U(0, base * 2^attempt)``."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2**attempt))
+        return self._rng.uniform(0, ceiling)
+
     def _connect(self) -> socket.socket:
-        if isinstance(self.address, str):
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        else:
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
-        sock.connect(self.address)
-        return sock
+        """Connect, retrying with backoff — the daemon may be restarting."""
+        last_error: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(self._backoff(attempt - 1))
+            if isinstance(self.address, str):
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            else:
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.address)
+                return sock
+            except (ConnectionRefusedError, FileNotFoundError, ConnectionResetError) as error:
+                sock.close()
+                last_error = error
+        raise ServiceError(
+            f"cannot reach daemon at {self.address!r} "
+            f"after {self.connect_retries + 1} attempts: {last_error}",
+            code="unreachable",
+            retriable=True,
+        )
 
     def _request(self, op: str, **params: Any) -> dict[str, Any]:
         with self._connect() as sock:
@@ -44,13 +86,19 @@ class ServiceClient:
             reader = sock.makefile("rb")
             line = reader.readline()
         if not line:
-            raise ServiceError(f"daemon closed the connection on {op!r}")
+            raise ServiceError(
+                f"daemon closed the connection on {op!r}", code="disconnect", retriable=True
+            )
         return self._check(json.loads(line))
 
     @staticmethod
     def _check(response: dict[str, Any]) -> dict[str, Any]:
         if not response.get("ok", False):
-            raise ServiceError(response.get("error", "daemon reported an error"))
+            raise ServiceError(
+                response.get("error", "daemon reported an error"),
+                code=response.get("code", "error"),
+                retriable=bool(response.get("retriable", False)),
+            )
         return response
 
     # ----------------------------------------------------------------- operations
@@ -64,17 +112,35 @@ class ServiceClient:
         tenant: str = "default",
         priority: int = 0,
         attach_trace: bool = False,
+        budget: dict[str, Any] | None = None,
+        retries: int = 0,
     ) -> dict[str, Any]:
         """Submit an experiment; returns the daemon's submit outcome
-        (``job_id``, ``state``, ``cached``, ``deduplicated``, ``key``)."""
-        return self._request(
-            "submit",
-            mode=mode,
-            config=config,
-            tenant=tenant,
-            priority=priority,
-            attach_trace=attach_trace,
-        )
+        (``job_id``, ``state``, ``cached``, ``deduplicated``, ``key``).
+
+        ``budget`` is a :class:`~repro.service.budget.ResourceBudget` dict
+        (``wall_seconds``/``max_conflicts``/``rss_mb``).  ``retries`` > 0
+        re-submits after backoff when the daemon answers with a *retriable*
+        error code (``backpressure``); non-retriable rejections (quota, a
+        malformed config) raise immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request(
+                    "submit",
+                    mode=mode,
+                    config=config,
+                    tenant=tenant,
+                    priority=priority,
+                    attach_trace=attach_trace,
+                    budget=budget,
+                )
+            except ServiceError as error:
+                if not error.retriable or attempt >= retries:
+                    raise
+                time.sleep(self._backoff(attempt))
+                attempt += 1
 
     def status(self, job_id: str) -> dict[str, Any]:
         return self._request("status", job_id=job_id)["job"]
@@ -113,16 +179,29 @@ class ServiceClient:
                     return
         raise ServiceError(f"watch stream for job {job_id} ended without a terminal state")
 
-    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict[str, Any]:
-        """Poll ``status`` until the job is terminal; returns the final record."""
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+        poll_cap: float = 1.0,
+    ) -> dict[str, Any]:
+        """Poll ``status`` until the job is terminal; returns the final record.
+
+        The poll interval starts at ``poll`` and doubles up to ``poll_cap``
+        — a long-running job is checked once a second, not spun on at 20 Hz
+        for its whole lifetime.
+        """
         deadline = time.time() + timeout
+        interval = poll
         while True:
             job = self.status(job_id)
-            if job["state"] in ("done", "failed", "cancelled"):
+            if job["state"] in TERMINAL_STATES:
                 return job
             if time.time() >= deadline:
                 raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
-            time.sleep(poll)
+            time.sleep(min(interval, max(0.0, deadline - time.time())))
+            interval = min(interval * 2, poll_cap)
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "TERMINAL_STATES"]

@@ -2,22 +2,26 @@
 
 A :class:`JobRecord` is the unit of work the daemon tracks: one experiment
 mode applied to one :class:`~repro.api.ExperimentConfig`, owned by a tenant,
-with a priority and a full state history.  Records are plain-dict
-serialisable because the daemon journals every transition to
-``state_dir/jobs.json`` — that journal is what makes a killed daemon
-resumable (see :meth:`repro.service.daemon.ServiceDaemon.start`).
+with a priority, an optional :class:`~repro.service.budget.ResourceBudget`
+and a full state history.  Records are plain-dict serialisable because the
+daemon journals every transition to ``state_dir/jobs.json`` — that journal
+is what makes a killed daemon resumable (see
+:meth:`repro.service.daemon.ServiceDaemon.start`).
 
 State machine::
 
     QUEUED ──> RUNNING ──> DONE
       │           │  ├───> FAILED
-      │           │  └───> CANCELLED
+      │           │  ├───> CANCELLED
+      │           │  ├───> TIMED_OUT      (resource budget exceeded)
+      │           │  └──(transient fault)──> QUEUED   (bounded requeues)
       └───────────┴──(shutdown/kill)──> QUEUED   (re-queued on restart)
 
-``DONE``/``FAILED``/``CANCELLED`` are terminal.  A job found ``RUNNING`` in
-the journal at startup was interrupted by a crash or kill: it is re-queued
-and resumes from its scheduler checkpoint (solve/run modes write one under
-``state_dir/checkpoints/`` keyed by the job's content address).
+``DONE``/``FAILED``/``CANCELLED``/``TIMED_OUT`` are terminal.  A job found
+``RUNNING`` in the journal at startup was interrupted by a crash or kill: it
+is re-queued and resumes from its scheduler checkpoint (solve/run modes
+write one under ``state_dir/checkpoints/`` keyed by the job's content
+address).
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.service.budget import ResourceBudget
 
 #: Progress events kept per job (a ring buffer: ``watch`` clients replay the
 #: tail; full trajectories belong in traces, not the job table).
@@ -41,10 +47,16 @@ class JobState(str, enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    TIMED_OUT = "timed-out"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMED_OUT,
+        )
 
 
 def new_job_id() -> str:
@@ -70,6 +82,13 @@ class JobRecord:
     error: str | None = None
     #: Times this job entered RUNNING (> 1 after a resume).
     attempts: int = 0
+    #: Resource budget as a plain dict (``None``: unlimited) — journaled so a
+    #: restarted daemon keeps enforcing it.
+    budget: dict[str, Any] | None = None
+    #: Why the budget tripped (set exactly when ``state`` is TIMED_OUT).
+    budget_verdict: str | None = None
+    #: Times a transient infrastructure fault sent this job back to the queue.
+    requeues: int = 0
     #: Monotonic per-job sequence number of the last progress event.
     last_seq: int = 0
     #: Recent progress events (``{"seq", "phase", "completed", "total",
@@ -80,6 +99,18 @@ class JobRecord:
     cancel_requested: bool = False
     #: Set by graceful shutdown; the job is re-queued instead of cancelled.
     interrupt_requested: bool = False
+    #: Set by the watchdog when the budget trips; the progress callback
+    #: raises ``_JobTimedOut`` on it.  Volatile, like the flags above.
+    timeout_requested: bool = False
+    #: When the watchdog flagged this job (volatile) — after
+    #: ``hang_grace`` seconds with no reaction the job is force-abandoned.
+    flagged_at: float | None = None
+
+    def resource_budget(self) -> ResourceBudget | None:
+        """The typed budget, or ``None`` when the job is unbudgeted."""
+        if not self.budget:
+            return None
+        return ResourceBudget.from_dict(self.budget)
 
     def add_event(self, phase: str, completed: int, total: int | None, message: str) -> None:
         self.last_seq += 1
@@ -111,6 +142,9 @@ class JobRecord:
             "finished_at": self.finished_at,
             "error": self.error,
             "attempts": self.attempts,
+            "budget": self.budget,
+            "budget_verdict": self.budget_verdict,
+            "requeues": self.requeues,
         }
         if with_events:
             data["events"] = list(self.events)
@@ -133,6 +167,9 @@ class JobRecord:
             finished_at=data.get("finished_at"),
             error=data.get("error"),
             attempts=int(data.get("attempts", 0)),
+            budget=data.get("budget"),
+            budget_verdict=data.get("budget_verdict"),
+            requeues=int(data.get("requeues", 0)),
         )
 
 

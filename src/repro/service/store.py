@@ -22,16 +22,28 @@ from typing import Any
 
 from repro.api.experiment import experiment_fingerprint
 from repro.api.specs import ExperimentConfig
+from repro.resilience import load_json_or_quarantine
+from repro.service.budget import ResourceBudget
 
 #: Config fields that do not affect the computed result (see module docstring).
 _NON_SEMANTIC_FIELDS = ("checkpoint_path", "trace", "backend")
 
 
-def content_key(mode: str, config: ExperimentConfig) -> str:
+def content_key(
+    mode: str, config: ExperimentConfig, budget: ResourceBudget | None = None
+) -> str:
     """The content address of running ``mode`` on ``config`` (sha256 hex).
 
     Canonical JSON (sorted keys) over the checkpoint fingerprint plus every
     semantic config field, so key equality is exactly "same bits out".
+
+    Of a :class:`~repro.service.budget.ResourceBudget` only ``max_conflicts``
+    participates: a conflict-capped solve may return UNKNOWN statuses, so it
+    computes *different bits* than an uncapped run and must not share its
+    cache entry.  Wall-clock and RSS budgets never archive anything (a job
+    that trips them lands in TIMED_OUT before ``put``), so they are free to
+    share the unbudgeted key — a budgeted submission that finishes in time
+    is exactly the unbudgeted result.
     """
     semantic = config.to_dict()
     for fields in _NON_SEMANTIC_FIELDS:
@@ -41,6 +53,8 @@ def content_key(mode: str, config: ExperimentConfig) -> str:
         "experiment": experiment_fingerprint(config, config.decomposition),
         "config": semantic,
     }
+    if budget is not None and budget.max_conflicts is not None:
+        identity["max_conflicts"] = budget.max_conflicts
     blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -61,12 +75,15 @@ class ResultStore:
         return self._path(key).exists()
 
     def get(self, key: str) -> dict[str, Any] | None:
-        """The stored result for ``key``, or ``None``."""
-        path = self._path(key)
-        try:
-            return json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
+        """The stored result for ``key``, or ``None``.
+
+        A truncated/garbled entry (a writer was killed mid-write on a
+        filesystem without atomic replace, or the disk corrupted it) reads
+        as a **cache miss**: the file is quarantined to ``<key>.json.corrupt``
+        and the job recomputes — never a ``JSONDecodeError`` into the submit
+        path.
+        """
+        return load_json_or_quarantine(self._path(key), kind="result-store entry")
 
     def put(self, key: str, result: dict[str, Any]) -> Path:
         """Archive ``result`` under ``key`` (last writer wins, atomically)."""

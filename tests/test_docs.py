@@ -43,6 +43,7 @@ EXECUTABLE_FILES = {
     "api-reference.md": _cleanup_api_reference,
     "performance.md": None,
     "preprocessing.md": None,
+    "robustness.md": None,
     "service.md": None,
     "tracing.md": None,
     "tutorial.md": None,
@@ -54,6 +55,7 @@ MIN_SNIPPETS = {
     "api-reference.md": 10,
     "performance.md": 5,
     "preprocessing.md": 8,
+    "robustness.md": 5,
     "service.md": 8,
     "tracing.md": 8,
     "tutorial.md": 5,
@@ -85,6 +87,7 @@ class TestDocsTreeExists:
             "paper-mapping.md",
             "performance.md",
             "preprocessing.md",
+            "robustness.md",
             "service.md",
             "tracing.md",
             "tutorial.md",

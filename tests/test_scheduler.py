@@ -648,3 +648,123 @@ class TestProcessExecutorSerialization:
         assert run.metadata["retries"] == 0
         assert _CountingPayload.pickles == len(tasks)
         assert executor._payload_blobs == {}
+
+
+# --------------------------------------------------------------------------
+# PR 9: corrupt-state recovery and executor degradation.
+
+class TestCheckpointQuarantine:
+    """``load_or_quarantine``: bad checkpoint files read as "no checkpoint"."""
+
+    def test_missing_file_is_none_and_nothing_is_quarantined(self, tmp_path):
+        assert SchedulerCheckpoint.load_or_quarantine(tmp_path / "none.ckpt") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text('{"kind": "scheduler-checkpoint", "results": {"t0"')
+        assert SchedulerCheckpoint.load_or_quarantine(path) is None
+        assert not path.exists()
+        assert (tmp_path / "run.ckpt.corrupt").exists()
+
+    def test_valid_json_wrong_document_kind_is_quarantined(self, tmp_path):
+        import json
+
+        path = tmp_path / "run.ckpt"
+        path.write_text(json.dumps({"kind": "not-a-checkpoint"}))
+        assert SchedulerCheckpoint.load_or_quarantine(path) is None
+        assert (tmp_path / "run.ckpt.corrupt").exists()
+
+    def test_valid_checkpoint_round_trips(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        checkpoint = SchedulerCheckpoint(
+            results={"t0": 1.0}, metadata={"fingerprint": "abc"}
+        )
+        checkpoint.save(path)
+        loaded = SchedulerCheckpoint.load_or_quarantine(path)
+        assert loaded is not None
+        assert loaded.to_dict() == checkpoint.to_dict()
+        assert path.exists()  # a good file is never quarantined
+
+    def test_quarantine_keeps_distinct_corpses(self, tmp_path):
+        """Repeated corruption never overwrites earlier quarantined evidence."""
+        from repro.resilience import quarantine
+
+        path = tmp_path / "run.ckpt"
+        corpses = []
+        for _ in range(3):
+            path.write_text("garbage")
+            corpses.append(quarantine(path))
+        assert len({c.name for c in corpses}) == 3
+        assert not path.exists()
+
+
+def _double(payload):
+    return payload * 2
+
+
+class TestExecutorDegradation:
+    """The process executor falls back to threads instead of failing the run."""
+
+    def test_unbuildable_pool_degrades_to_threads(self, monkeypatch):
+        import concurrent.futures
+
+        from repro.runner.scheduler import ProcessExecutor
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork unavailable in this environment")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", no_pool)
+        tasks = [Task(task_id=f"t{i}", payload=i) for i in range(4)]
+        executor = ProcessExecutor(task_fn=_double, num_workers=2)
+        try:
+            with pytest.warns(RuntimeWarning, match="degrading to a thread executor"):
+                run = Scheduler(TaskGraph(tasks), executor).run()
+        finally:
+            executor.close()
+        assert not run.failed
+        assert run.values_in_order() == [0, 2, 4, 6]
+        assert "cannot create process pool" in executor.degraded_reason
+        # The run advertises that it did not get real process isolation.
+        assert run.metadata["executor_fallback"] == executor.degraded_reason
+
+    def test_degradation_runs_the_initializer_once_in_process(self, monkeypatch):
+        import concurrent.futures
+
+        from repro.runner.scheduler import ProcessExecutor
+
+        monkeypatch.setattr(
+            concurrent.futures,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no fork")),
+        )
+        calls = []
+        executor = ProcessExecutor(
+            task_fn=_double,
+            num_workers=2,
+            initializer=calls.append,
+            initargs=("worker-state",),
+        )
+        try:
+            with pytest.warns(RuntimeWarning):
+                run = Scheduler(
+                    TaskGraph([Task(task_id="t", payload=21)]), executor
+                ).run()
+        finally:
+            executor.close()
+        assert run.results["t"].value == 42
+        # Thread workers share the process: the per-worker setup ran exactly
+        # once, not once per worker.
+        assert calls == ["worker-state"]
+
+    def test_metadata_untouched_when_pool_is_healthy(self):
+        from repro.runner.scheduler import ProcessExecutor
+
+        tasks = [Task(task_id=f"t{i}", payload=i) for i in range(2)]
+        executor = ProcessExecutor(task_fn=_double, num_workers=2)
+        try:
+            run = Scheduler(TaskGraph(tasks), executor).run()
+        finally:
+            executor.close()
+        assert executor.degraded_reason is None
+        assert "executor_fallback" not in run.metadata

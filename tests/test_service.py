@@ -165,7 +165,9 @@ class TestQuotasAndPriorities:
     def test_tenant_quota_rejects_and_is_per_tenant(self, daemon_factory):
         daemon = daemon_factory(workers=1, max_active_per_tenant=2)
         client = ServiceClient(daemon.socket_path)
-        client.submit("estimate", _estimate_config(seed=1), tenant="alice")
+        # A long solve pins the single worker, so alice's two jobs stay
+        # *active* (running + queued) no matter how fast the machine is.
+        client.submit("solve", _solve_config(decomposition_bits=10), tenant="alice")
         client.submit("estimate", _estimate_config(seed=2), tenant="alice")
         with pytest.raises(ServiceError, match="quota"):
             client.submit("estimate", _estimate_config(seed=3), tenant="alice")
@@ -372,3 +374,194 @@ class TestServeCLI:
             tenant="alice", priority=3, state=JobState.QUEUED, attempts=1,
         )
         assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_journal_round_trips_budget_and_requeue_fields(self):
+        from repro.service.jobs import JobRecord
+
+        record = JobRecord(
+            job_id="def456", mode="solve", config=_solve_config(), key="ab01",
+            tenant="alice", priority=0, state=JobState.TIMED_OUT, attempts=2,
+            budget={"wall_seconds": 1.5, "max_conflicts": 100},
+            budget_verdict="wall-clock budget exceeded: 2.0s elapsed > 1.5s",
+            requeues=1,
+        )
+        revived = JobRecord.from_dict(record.to_dict())
+        assert revived == record
+        typed = revived.resource_budget()
+        assert typed is not None
+        assert typed.wall_seconds == 1.5 and typed.max_conflicts == 100
+
+
+class TestCorruptStateRecovery:
+    def test_corrupt_journal_quarantined_daemon_starts_empty(self, tmp_path):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "jobs.json").write_text('{"jobs": [{"job_id": "trunca')  # kill -9 artifact
+        daemon = ServiceDaemon(
+            ServiceConfig(state_dir=str(state), workers=1, sweep_shared_memory=False)
+        ).start()
+        try:
+            assert daemon.jobs() == []
+            assert (state / "jobs.json.corrupt").exists()
+            # The daemon degraded to the no-state path but is fully functional.
+            client = ServiceClient(daemon.socket_path)
+            outcome = client.submit("estimate", _estimate_config())
+            assert client.wait(outcome["job_id"])["state"] == "done"
+        finally:
+            daemon.shutdown()
+
+    def test_undecodable_journal_record_is_skipped_valid_ones_kept(self, tmp_path):
+        from repro.service.jobs import JobRecord
+
+        keep = JobRecord(
+            job_id="keepme", mode="estimate", config=_estimate_config(), key="00ff",
+            tenant="t", priority=0, state=JobState.DONE,
+        )
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "jobs.json").write_text(
+            json.dumps({"jobs": [keep.to_dict(), {"job_id": "no-mode-field"}]})
+        )
+        daemon = ServiceDaemon(
+            ServiceConfig(state_dir=str(state), workers=1, sweep_shared_memory=False)
+        ).start()
+        try:
+            ids = [job["job_id"] for job in daemon.jobs()]
+            assert ids == ["keepme"]
+        finally:
+            daemon.shutdown()
+
+    def test_corrupt_store_entry_reads_as_cache_miss(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        first = client.submit("estimate", _estimate_config())
+        client.wait(first["job_id"])
+        reference = client.result(first["job_id"])
+
+        entry = daemon.store._path(first["key"])
+        entry.write_text(entry.read_text()[:40])  # torn write
+        assert daemon.store.get(first["key"]) is None
+        assert entry.with_name(entry.name + ".corrupt").exists()
+
+        # The next identical submission recomputes instead of crashing, and
+        # lands on the same bits.
+        second = client.submit("estimate", _estimate_config())
+        assert second["cached"] is False
+        job = client.wait(second["job_id"])
+        assert job["state"] == "done"
+        assert client.result(second["job_id"])["data"] == reference["data"]
+
+    def test_startup_sweeps_atomic_write_scratch_files(self, tmp_path):
+        state = tmp_path / "state"
+        (state / "results").mkdir(parents=True)
+        residue = [
+            state / "jobs.abc1.tmp",  # journal writer killed mid-replace
+            state / "results" / f"{'0' * 64}.json.abc1.tmp",
+        ]
+        for path in residue:
+            path.write_text("{half a json object")
+        daemon = ServiceDaemon(
+            ServiceConfig(state_dir=str(state), workers=1, sweep_shared_memory=False)
+        ).start()
+        try:
+            assert not any(path.exists() for path in residue)
+        finally:
+            daemon.shutdown()
+
+
+class TestResourceBudgets:
+    def test_wall_budget_lands_in_timed_out_and_worker_survives(self, daemon_factory):
+        daemon = daemon_factory(workers=1, watchdog_interval=0.05)
+        client = ServiceClient(daemon.socket_path)
+        doomed = client.submit(
+            "solve",
+            _solve_config(decomposition_bits=10),  # 1024 sub-problems: slow
+            budget={"wall_seconds": 0.2},
+        )
+        job = client.wait(doomed["job_id"], timeout=60.0)
+        assert job["state"] == "timed-out"
+        assert "wall-clock" in job["budget_verdict"]
+        assert "resource budget exceeded" in job["error"]
+        # Nothing half-finished was archived under the job's key.
+        assert daemon.store.get(doomed["key"]) is None
+
+        # The worker survived the interrupt: a clean job still completes, and
+        # no worker was written off.
+        clean = client.submit("estimate", _estimate_config())
+        assert client.wait(clean["job_id"])["state"] == "done"
+        assert daemon.stats()["abandoned_workers"] == 0
+
+    def test_invalid_budget_is_a_bad_request(self, daemon_factory):
+        daemon = daemon_factory(workers=1)
+        client = ServiceClient(daemon.socket_path)
+        with pytest.raises(ServiceError, match="budget"):
+            client.submit("estimate", _estimate_config(), budget={"wall_seconds": -1})
+        with pytest.raises(ServiceError, match="budget"):
+            client.submit("estimate", _estimate_config(), budget={"wall_years": 1})
+
+    def test_conflict_budget_changes_the_content_key(self):
+        from repro.service import ResourceBudget
+
+        base = ExperimentConfig.from_dict(_estimate_config())
+        unbudgeted = content_key("estimate", base)
+        # Wall/RSS budgets never archive -> same key as unbudgeted.
+        assert content_key("estimate", base, ResourceBudget(wall_seconds=5)) == unbudgeted
+        # A conflict cap changes what the solver computes -> distinct key.
+        assert content_key("estimate", base, ResourceBudget(max_conflicts=50)) != unbudgeted
+
+    def test_default_budget_applies_to_unbudgeted_submissions(self, daemon_factory):
+        from repro.service import ResourceBudget
+
+        daemon = daemon_factory(
+            workers=1,
+            watchdog_interval=0.05,
+            default_budget=ResourceBudget(wall_seconds=0.2),
+        )
+        client = ServiceClient(daemon.socket_path)
+        outcome = client.submit("solve", _solve_config(decomposition_bits=10))
+        job = client.wait(outcome["job_id"], timeout=60.0)
+        assert job["state"] == "timed-out"
+        assert job["budget"] == {"wall_seconds": 0.2}
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retriable_backpressure(self, daemon_factory):
+        daemon = daemon_factory(workers=1, max_queue_depth=1)
+        client = ServiceClient(daemon.socket_path)
+        blocker = client.submit("solve", _solve_config(decomposition_bits=10))
+        _wait_for_progress(client, blocker["job_id"])  # occupies the worker
+        queued = client.submit("estimate", _estimate_config(seed=21))
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("estimate", _estimate_config(seed=22))
+        assert excinfo.value.code == "backpressure"
+        assert excinfo.value.retriable is True
+        # Queued work was not lost.
+        assert client.status(queued["job_id"])["state"] == "queued"
+        for job_id in (blocker["job_id"], queued["job_id"]):
+            assert client.wait(job_id, timeout=120.0)["state"] == "done"
+
+    def test_client_submit_retries_through_backpressure(self, daemon_factory):
+        daemon = daemon_factory(workers=1, max_queue_depth=1)
+        client = ServiceClient(
+            daemon.socket_path, backoff_base=0.05, backoff_cap=0.5
+        )
+        blocker = client.submit("solve", _solve_config(decomposition_bits=8))
+        client.submit("estimate", _estimate_config(seed=31))  # fills the queue
+        # Retries with jittered backoff until the queue drains, then lands.
+        outcome = client.submit(
+            "estimate", _estimate_config(seed=32), retries=100
+        )
+        assert client.wait(outcome["job_id"], timeout=120.0)["state"] == "done"
+        assert client.wait(blocker["job_id"], timeout=120.0)["state"] == "done"
+
+    def test_error_codes_round_trip_the_socket(self, daemon_factory):
+        daemon = daemon_factory(workers=1, max_active_per_tenant=1)
+        client = ServiceClient(daemon.socket_path)
+        client.submit("solve", _solve_config(), tenant="carol")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("estimate", _estimate_config(seed=41), tenant="carol")
+        assert excinfo.value.code == "quota"
+        assert excinfo.value.retriable is False
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("transmogrify", _estimate_config())
+        assert excinfo.value.code == "bad-request"

@@ -45,14 +45,17 @@ from repro.perf import (  # noqa: F401  (re-exported timing protocol)
     preprocessing_estimation_workload,
     preprocessing_family_differential,
     propagation_core_workload,
+    sharing_executor_differential,
+    sharing_portfolio_workload,
     sweep_decompositions,
 )
 
 #: The committed perf baselines next to this module (see bench_propagation.py,
-#: bench_preprocessing.py and bench_batching.py).
+#: bench_preprocessing.py, bench_batching.py and bench_portfolio_sharing.py).
 BENCH4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
 BENCH5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
 BENCH6_PATH = Path(__file__).resolve().parent / "BENCH_6.json"
+BENCH7_PATH = Path(__file__).resolve().parent / "BENCH_7.json"
 
 
 def load_bench4_baseline() -> dict | None:
@@ -74,6 +77,13 @@ def load_bench6_baseline() -> dict | None:
     if not BENCH6_PATH.exists():
         return None
     return load_baseline(BENCH6_PATH, suite="batching")
+
+
+def load_bench7_baseline() -> dict | None:
+    """The committed ``BENCH_7.json`` record, or ``None`` before the first commit."""
+    if not BENCH7_PATH.exists():
+        return None
+    return load_baseline(BENCH7_PATH, suite="portfolio")
 
 
 # Benchmarks run the whole pipeline once; repeating it would only slow CI down.

@@ -44,12 +44,14 @@ _EXPORTS = {
     "register_partitioner": "repro.api.registry",
     "register_backend": "repro.api.registry",
     "register_preprocessor": "repro.api.registry",
+    "register_portfolio": "repro.api.registry",
     "get_cipher": "repro.api.registry",
     "get_solver": "repro.api.registry",
     "get_minimizer": "repro.api.registry",
     "get_partitioner": "repro.api.registry",
     "get_backend": "repro.api.registry",
     "get_preprocessor": "repro.api.registry",
+    "get_portfolio": "repro.api.registry",
     "get_cost_measure": "repro.api.registry",
     "list_ciphers": "repro.api.registry",
     "list_solvers": "repro.api.registry",
@@ -57,6 +59,7 @@ _EXPORTS = {
     "list_partitioners": "repro.api.registry",
     "list_backends": "repro.api.registry",
     "list_preprocessors": "repro.api.registry",
+    "list_portfolios": "repro.api.registry",
     "list_cost_measures": "repro.api.registry",
     # measures
     "CostMeasure": "repro.api.measures",
@@ -69,6 +72,7 @@ _EXPORTS = {
     "BackendSpec": "repro.api.specs",
     "EstimatorSpec": "repro.api.specs",
     "PreprocessorSpec": "repro.api.specs",
+    "SharingSpec": "repro.api.specs",
     "ExperimentConfig": "repro.api.specs",
     # backends
     "ExecutionBackend": "repro.api.backends",

@@ -555,11 +555,73 @@ class Experiment:
         )
 
     def portfolio(self) -> ExperimentResult:
-        """Race the diversified CDCL portfolio on the instance."""
+        """Race the diversified CDCL portfolio on the instance.
+
+        With ``config.sharing`` set, the race runs the deterministic
+        clause-sharing portfolio (:mod:`repro.portfolio.sharing`) instead of
+        isolated members: the result metadata then carries the per-member
+        export/import counters, the decision round and the exchange log size,
+        and ``config.trace`` records the driver's TASK-level events (virtual
+        times, counter-encoded outcomes) for byte-identical replay.
+        """
         from repro.portfolio import PortfolioSolver, default_portfolio
 
         cfg = self.config
         started = time.perf_counter()
+        if cfg.sharing is not None:
+            solver = cfg.sharing.build(cost_measure=cfg.cost_measure, members=cfg.members)
+            self._emit("portfolio", total=len(solver.configurations))
+            trace_writer = None
+            if cfg.trace is not None:
+                from repro.trace import TraceWriter, cnf_fingerprint
+
+                trace_writer = TraceWriter(
+                    cfg.trace,
+                    kind="portfolio-sharing",
+                    fingerprint=cnf_fingerprint(self.instance.cnf),
+                    config=cfg.sharing.to_dict(),
+                )
+            try:
+                result = solver.solve(
+                    self.instance.cnf, replay=cfg.sharing.replay, trace=trace_writer
+                )
+            finally:
+                if trace_writer is not None:
+                    trace_writer.close()
+            data = {
+                "members": [
+                    {
+                        "name": run.configuration.name,
+                        "status": run.result.status.value,
+                        "cost": run.cost,
+                        "rounds": run.rounds,
+                        "decided_round": run.decided_round,
+                        "exported": run.exported,
+                        "imported": run.imported,
+                        "imported_added": run.imported_added,
+                        "inprocessings": run.inprocessings,
+                    }
+                    for run in result.runs
+                ],
+                "virtual_parallel_cost": result.virtual_parallel_cost,
+                "total_work": result.total_work,
+                "winner": result.winner.configuration.name if result.winner else None,
+                "rounds_executed": result.rounds_executed,
+                "decided_round": result.decided_round,
+                "exported": result.total_exported,
+                "imported": result.total_imported,
+                "exchange_log_entries": len(result.exchange_log),
+                "executor": result.executor,
+                "trace_path": cfg.trace,
+            }
+            return ExperimentResult(
+                kind="portfolio-sharing",
+                config=cfg.to_dict(),
+                status=result.status.value,
+                summary=result.summary(),
+                data=data,
+                wall_time=time.perf_counter() - started,
+            )
         members = default_portfolio()[: cfg.members]
         self._emit("portfolio", total=len(members))
         result = PortfolioSolver(members, cost_measure=cfg.cost_measure).solve(

@@ -14,6 +14,8 @@ in new ones:
   ``"simulated-cluster"``, ``"volunteer-grid"``);
 * ``@register_preprocessor`` — CNF preprocessing pipelines (``"satelite"``,
   ``"units-only"``, …);
+* ``@register_portfolio`` — diversified portfolio member sets (``"default-8"``,
+  ``"tiny-4"``, …) for the isolated and clause-sharing portfolio solvers;
 
 plus the matching ``get_*()`` / ``list_*()`` lookups.  The cost-measure
 registry is populated by :mod:`repro.api.measures`.
@@ -71,6 +73,7 @@ _BUILTIN_MODULES = (
     "repro.partitioning.lookahead_partition",
     "repro.api.backends",
     "repro.sat.simplify",
+    "repro.portfolio.portfolio",
 )
 
 _builtins_loaded = False
@@ -190,6 +193,7 @@ MINIMIZERS = Registry("minimizer", ensure=_ensure_builtins)
 PARTITIONERS = Registry("partitioner", ensure=_ensure_builtins)
 BACKENDS = Registry("backend", ensure=_ensure_builtins)
 PREPROCESSORS = Registry("preprocessor", ensure=_ensure_builtins)
+PORTFOLIOS = Registry("portfolio", ensure=_ensure_builtins)
 COST_MEASURES = Registry("cost measure", ensure=_ensure_measures)
 
 
@@ -226,6 +230,17 @@ def register_backend(name: str, *, description: str = "", replace: bool = False)
 def register_preprocessor(name: str, *, description: str = "", replace: bool = False):
     """Register a preprocessor factory ``fn(**options) -> Preprocessor`` under ``name``."""
     return PREPROCESSORS.register(name, description=description, replace=replace)
+
+
+def register_portfolio(name: str, *, description: str = "", replace: bool = False):
+    """Register a portfolio-member factory under ``name``.
+
+    The factory signature is ``fn() -> list[SolverConfiguration]``: a fresh
+    list of diversified member configurations, consumed by both the isolated
+    :class:`~repro.portfolio.portfolio.PortfolioSolver` and the
+    clause-sharing :class:`~repro.portfolio.sharing.SharingPortfolioSolver`.
+    """
+    return PORTFOLIOS.register(name, description=description, replace=replace)
 
 
 # -------------------------------------------------------------------- lookups
@@ -287,6 +302,16 @@ def get_preprocessor(name: str):
 def list_preprocessors() -> list[str]:
     """Sorted names of the registered CNF preprocessors."""
     return PREPROCESSORS.names()
+
+
+def get_portfolio(name: str):
+    """The portfolio-member factory registered under ``name``."""
+    return PORTFOLIOS.get(name)
+
+
+def list_portfolios() -> list[str]:
+    """Sorted names of the registered portfolio presets."""
+    return PORTFOLIOS.names()
 
 
 def get_cost_measure(name: str):

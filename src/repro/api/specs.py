@@ -281,6 +281,78 @@ class PreprocessorSpec:
 
 
 @dataclass(frozen=True)
+class SharingSpec:
+    """Clause-sharing knobs for :meth:`repro.api.Experiment.portfolio`.
+
+    When an :class:`ExperimentConfig` carries a ``sharing`` spec, the
+    portfolio mode runs the deterministic clause-sharing race
+    (:class:`~repro.portfolio.sharing.SharingPortfolioSolver`) instead of the
+    isolated one: members are drawn from the ``portfolio`` registry preset,
+    sliced in ``slice_budget`` cost-measure units per virtual round, and
+    exchange learned clauses through the seeded bus under the
+    ``max_lbd``/``max_size``/``per_round`` quality filters.  Every knob is
+    JSON-round-trippable, so a sharing run replays bit for bit from its
+    archived config.
+    """
+
+    #: Portfolio-registry preset naming the member configurations.
+    portfolio: str = "default-8"
+    #: Cost-measure units per member per virtual round.
+    slice_budget: int = 4096
+    #: Hard virtual-round cap (undecided races report UNKNOWN).
+    max_rounds: int = 32
+    #: Exchange quality filters (see :class:`~repro.portfolio.exchange.SharingPolicy`).
+    max_lbd: int = 4
+    max_size: int = 8
+    per_round: int = 32
+    #: Inprocess every member's database after this many rounds (0: never).
+    inprocess_every: int = 0
+    #: Seed of the exchange's deterministic import-order rotation.
+    seed: int = 0
+    #: Scheduler executor: ``"inline"``, ``"threads"`` or ``"simulated-grid"``.
+    executor: str = "inline"
+    #: Run through :func:`~repro.runner.scheduler.replay_serial` instead.
+    replay: bool = False
+
+    def build(self, cost_measure: str = "propagations", members: int | None = None):
+        """Materialise the :class:`~repro.portfolio.sharing.SharingPortfolioSolver`.
+
+        ``members`` truncates the registry preset's configuration list (the
+        ``ExperimentConfig.members`` knob); ``cost_measure`` comes from the
+        surrounding config so slices charge the experiment's measure.
+        """
+        from repro.api.registry import get_portfolio
+        from repro.portfolio.exchange import SharingPolicy
+        from repro.portfolio.sharing import SharingPortfolioSolver
+
+        configurations = get_portfolio(self.portfolio)()
+        if members is not None:
+            configurations = configurations[:members] or configurations
+        return SharingPortfolioSolver(
+            configurations,
+            cost_measure=cost_measure,
+            slice_budget=self.slice_budget,
+            max_rounds=self.max_rounds,
+            policy=SharingPolicy(
+                max_lbd=self.max_lbd, max_size=self.max_size, per_round=self.per_round
+            ),
+            inprocess_every=self.inprocess_every,
+            seed=self.seed,
+            executor=self.executor,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SharingSpec":
+        """Inverse of :meth:`to_dict` (unknown keys raise ``ValueError``)."""
+        _check_known_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class BackendSpec:
     """Which execution backend processes sub-problem families, and its options."""
 
@@ -354,6 +426,9 @@ class ExperimentConfig:
     parts: int = 8
     #: Member count for :meth:`repro.api.Experiment.portfolio`.
     members: int = 8
+    #: Clause-sharing knobs for the portfolio mode (``None``: race isolated
+    #: members, the historical behaviour).
+    sharing: SharingSpec | None = None
 
     def __post_init__(self) -> None:
         if self.decomposition is not None and not isinstance(self.decomposition, tuple):
@@ -399,6 +474,7 @@ class ExperimentConfig:
             "technique": self.technique,
             "parts": self.parts,
             "members": self.members,
+            "sharing": self.sharing.to_dict() if self.sharing is not None else None,
         }
 
     @classmethod
@@ -408,6 +484,7 @@ class ExperimentConfig:
         decomposition = data.get("decomposition")
         estimator = data.get("estimator")
         preprocessor = data.get("preprocessor")
+        sharing = data.get("sharing")
         return cls(
             instance=InstanceSpec.from_dict(dict(data.get("instance", {}))),
             solver=SolverSpec.from_dict(dict(data.get("solver", {}))),
@@ -435,6 +512,7 @@ class ExperimentConfig:
             technique=data.get("technique", "guiding-path"),
             parts=data.get("parts", 8),
             members=data.get("members", 8),
+            sharing=SharingSpec.from_dict(dict(sharing)) if sharing is not None else None,
         )
 
     def to_json(self, indent: int = 2) -> str:

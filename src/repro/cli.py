@@ -23,7 +23,9 @@ Sub-commands:
   ``benchmarks/BENCH_4.json``, ``--suite preprocessing`` gates the
   simplified-vs-raw estimation speedup against ``benchmarks/BENCH_5.json``,
   ``--suite batching`` gates the word-parallel ``solve_batch`` engine and the
-  zero-copy shared-memory worker protocol against ``benchmarks/BENCH_6.json``
+  zero-copy shared-memory worker protocol against ``benchmarks/BENCH_6.json``,
+  ``--suite portfolio`` gates the clause-sharing portfolio's deterministic
+  virtual wall-clock against ``benchmarks/BENCH_7.json``
   (``--update-baseline`` refreshes the selected file);
 * ``simplify``  — apply the SatELite-style preprocessor to a cipher instance
   or to any DIMACS file (``--input``), with per-rule reduction stats and
@@ -62,7 +64,9 @@ Examples::
     repro-sat bench --compare-baseline
     repro-sat bench --suite preprocessing --compare-baseline
     repro-sat bench --suite batching --compare-baseline
+    repro-sat bench --suite portfolio --compare-baseline
     repro-sat bench --perf-profile full --update-baseline
+    repro-sat portfolio --cipher bivium-tiny --seed 1 --sharing --portfolio tiny-4
     repro-sat simplify --cipher bivium-tiny --seed 1
     repro-sat simplify --input hard.cnf --frozen 1,2,3 --output hard.simplified.cnf
     repro-sat partition --cipher bivium-tiny --technique scattering --parts 8
@@ -95,6 +99,7 @@ from repro.api import (
     ExperimentConfig,
     InstanceSpec,
     MinimizerSpec,
+    SharingSpec,
     UnknownNameError,
 )
 from repro.api.registry import (
@@ -103,6 +108,7 @@ from repro.api.registry import (
     COST_MEASURES,
     MINIMIZERS,
     PARTITIONERS,
+    PORTFOLIOS,
     PREPROCESSORS,
     SOLVERS,
     get_cipher,
@@ -200,6 +206,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "partitioners": PARTITIONERS,
         "backends": BACKENDS,
         "preprocessors": PREPROCESSORS,
+        "portfolios": PORTFOLIOS,
         "cost-measures": COST_MEASURES,
     }
     selected = registries if args.kind == "all" else {args.kind: registries[args.kind]}
@@ -335,12 +342,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["backend"] = BackendSpec(name=name, options=options)
     if args.resume is not None:
         overrides["checkpoint_path"] = args.resume
+    if args.portfolio_sharing and experiment.config.sharing is None:
+        # Opt into clause sharing with every knob at its default when the
+        # config file carries no sharing block of its own.
+        overrides["sharing"] = SharingSpec()
     if overrides:
         experiment = Experiment.from_config(
             experiment.config.replace(**overrides),
             progress=print if args.verbose else None,
         )
     print(experiment.instance.summary())
+    if args.portfolio_sharing:
+        # Race the clause-sharing portfolio instead of the estimate+solve
+        # pipeline; export/import counters land in the result metadata.
+        try:
+            result = experiment.portfolio()
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        print(result.summary)
+        print(
+            f"rounds {result.data['rounds_executed']}, "
+            f"decided in round {result.data['decided_round']}, "
+            f"{result.data['exported']} exported / {result.data['imported']} imported"
+        )
+        if args.output:
+            Path(args.output).write_text(result.to_json())
+            print(f"wrote result JSON to {args.output}")
+        return 0
     try:
         result = experiment.run()
     except ValueError as error:  # bad component names, family-size guard, ...
@@ -813,12 +841,40 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_portfolio(args: argparse.Namespace) -> int:
-    experiment = _experiment(args, members=args.members)
+    overrides = {"members": args.members}
+    if args.sharing:
+        overrides["sharing"] = SharingSpec(
+            portfolio=args.portfolio,
+            slice_budget=args.slice_budget,
+            max_rounds=args.sharing_rounds,
+            max_lbd=args.sharing_lbd,
+            max_size=args.sharing_size,
+            inprocess_every=args.inprocess_every,
+            seed=args.sharing_seed,
+            executor=args.sharing_executor,
+            replay=args.replay,
+        )
+    experiment = _experiment(args, **overrides)
     print(experiment.instance.summary())
-    result = experiment.portfolio()
+    try:
+        result = experiment.portfolio()
+    except (UnknownNameError, ValueError) as error:
+        raise SystemExit(str(error)) from None
     print(result.summary)
     for member in sorted(result.data["members"], key=lambda m: m["cost"]):
-        print(f"  {member['name']:18s} {member['status']:7s} {member['cost']:.4g}")
+        line = f"  {member['name']:18s} {member['status']:7s} {member['cost']:.4g}"
+        if args.sharing:
+            line += (
+                f"  exported {member['exported']}, imported {member['imported']}"
+                f" ({member['imported_added']} added)"
+            )
+        print(line)
+    if args.sharing:
+        print(
+            f"rounds {result.data['rounds_executed']}, decided in round "
+            f"{result.data['decided_round']}, {result.data['exported']} exported / "
+            f"{result.data['imported']} imported"
+        )
     return 0
 
 
@@ -1150,6 +1206,7 @@ def build_parser() -> argparse.ArgumentParser:
             "partitioners",
             "backends",
             "preprocessors",
+            "portfolios",
             "cost-measures",
         ),
         default="all",
@@ -1255,6 +1312,15 @@ def build_parser() -> argparse.ArgumentParser:
             "re-solved)"
         ),
     )
+    run.add_argument(
+        "--portfolio-sharing",
+        action="store_true",
+        help=(
+            "run the clause-sharing portfolio on the instance instead of the "
+            "estimate-and-solve pipeline (uses the config's `sharing` block, "
+            "or defaults when absent)"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(
@@ -1317,7 +1383,9 @@ def build_parser() -> argparse.ArgumentParser:
             "the arena-vs-legacy core against BENCH_4.json, 'preprocessing' "
             "gates the CNF preprocessing subsystem against BENCH_5.json, "
             "'batching' gates the word-parallel solve_batch engine and the "
-            "zero-copy shared-memory worker protocol against BENCH_6.json; an "
+            "zero-copy shared-memory worker protocol against BENCH_6.json, "
+            "'portfolio' gates the clause-sharing portfolio's virtual "
+            "wall-clock against BENCH_7.json; an "
             "unknown name fails listing the available suites"
         ),
     )
@@ -1438,6 +1506,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_arguments(portfolio)
     portfolio.add_argument("--members", type=int, default=8, help="number of portfolio members")
     portfolio.add_argument("--cost-measure", default="propagations")
+    portfolio.add_argument(
+        "--sharing",
+        action="store_true",
+        help="exchange learned clauses between members at deterministic round barriers",
+    )
+    portfolio.add_argument(
+        "--portfolio",
+        default="default-8",
+        help="portfolio preset from the registry (see `repro-sat list --kind portfolios`)",
+    )
+    portfolio.add_argument(
+        "--slice-budget",
+        type=int,
+        default=4096,
+        help="cost-measure units per member round slice (sharing mode)",
+    )
+    portfolio.add_argument(
+        "--sharing-rounds",
+        type=int,
+        default=32,
+        help="maximum number of exchange rounds (sharing mode)",
+    )
+    portfolio.add_argument(
+        "--sharing-lbd", type=int, default=4, help="export clauses with LBD at most this"
+    )
+    portfolio.add_argument(
+        "--sharing-size", type=int, default=8, help="export clauses with at most this many literals"
+    )
+    portfolio.add_argument(
+        "--inprocess-every",
+        type=int,
+        default=0,
+        help="re-simplify live clause databases every N rounds (0 disables)",
+    )
+    portfolio.add_argument(
+        "--sharing-seed", type=int, default=0, help="seed of the exchange schedule"
+    )
+    portfolio.add_argument(
+        "--sharing-executor",
+        choices=("inline", "threads", "simulated-grid"),
+        default="inline",
+        help="executor the sharing round barriers are scheduled on",
+    )
+    portfolio.add_argument(
+        "--replay",
+        action="store_true",
+        help="deterministic serial replay of the sharing schedule (bit-identical)",
+    )
     portfolio.set_defaults(func=_cmd_portfolio)
 
     trace = sub.add_parser(

@@ -35,6 +35,16 @@ evidence (statuses and per-sample costs identical, folded ξ bit-identical)
 carried alongside the timings.  Gate: ``repro-sat bench --suite batching
 --compare-baseline``.
 
+Since PR 10 there is a fourth suite behind the committed ``BENCH_7.json``:
+:func:`run_bench7` measures the deterministic clause-sharing portfolio
+(:class:`~repro.portfolio.sharing.SharingPortfolioSolver`) against its
+isolated sliced twin as summed *virtual wall-clock* over a bivium-tiny
+instance suite — deterministic cost-measure counts throughout, so the
+committed ratio reproduces exactly on any machine — with differential
+evidence (answers identical, models verified, serial replay reproducing the
+exchange fingerprint, thread executor identical to inline) gated alongside.
+Gate: ``repro-sat bench --suite portfolio --compare-baseline``.
+
 Entry points: ``repro-sat bench --compare-baseline`` (local + CI gate),
 ``repro-sat bench --update-baseline`` (refresh the committed numbers) and
 ``benchmarks/bench_propagation.py`` / ``benchmarks/bench_preprocessing.py``
@@ -67,6 +77,9 @@ from repro.perf.workloads import (
     run_bench4,
     run_bench5,
     run_bench6,
+    run_bench7,
+    sharing_executor_differential,
+    sharing_portfolio_workload,
     sweep_decompositions,
 )
 
@@ -93,6 +106,9 @@ __all__ = [
     "run_bench4",
     "run_bench5",
     "run_bench6",
+    "run_bench7",
+    "sharing_executor_differential",
+    "sharing_portfolio_workload",
     "sweep_decompositions",
     "write_baseline",
 ]

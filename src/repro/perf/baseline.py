@@ -24,6 +24,7 @@ SUITES = {
     "propagation": ("propagation-core-bench", Path("benchmarks") / "BENCH_4.json"),
     "preprocessing": ("preprocessing-bench", Path("benchmarks") / "BENCH_5.json"),
     "batching": ("batching-bench", Path("benchmarks") / "BENCH_6.json"),
+    "portfolio": ("portfolio-bench", Path("benchmarks") / "BENCH_7.json"),
 }
 
 

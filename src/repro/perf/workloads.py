@@ -48,6 +48,18 @@ segment (the zero-copy worker protocol).  Every workload carries differential
 evidence: per-sample statuses must agree between the batched and the scalar
 side, and the folded ξ statistics must be bit-identical.
 
+Since PR 10 the module also hosts the **portfolio** suite behind
+``BENCH_7.json`` (:func:`run_bench7`): the deterministic clause-sharing
+portfolio (:mod:`repro.portfolio.sharing`) measured as *sharing vs isolated* —
+both sides run the same member configurations under the same round-robin
+slicing charged in deterministic cost-measure units, and the committed speedup
+is the ratio of summed virtual wall-clocks over a ten-instance bivium-tiny
+suite.  Unlike every other suite, nothing here is a wall-clock measurement:
+the record reproduces bit-for-bit on any machine, and the differential
+evidence (answers identical, SAT models verified, serial replay reproducing
+the exchange fingerprint, thread executor indistinguishable from inline) is
+gated alongside the ratio.
+
 Measurement protocol (shared with :mod:`benchmarks._common`): every workload
 runs ``rounds`` interleaved legacy/arena (or raw/simplified, or
 scalar/batched) rounds (so CPU-frequency drift and cache effects hit both
@@ -107,6 +119,15 @@ class BenchProfile:
     batching_samples: int = 200
     batching_batch_size: int = 64
     batching_cores: tuple[int, ...] = (1, 4, 16)
+    #: BENCH_7 clause-sharing portfolio suite shape, pinned across profiles
+    #: for a stronger reason than amortisation: every number in that suite is
+    #: a deterministic cost-measure count (no wall clock anywhere), so the
+    #: committed speedup reproduces *exactly* — but only on exactly this
+    #: instance set and slicing.  A smaller smoke seed set would change the
+    #: ratio itself, not merely its noise.
+    sharing_seeds: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+    sharing_slice_budget: int = 512
+    sharing_max_rounds: int = 64
 
     @classmethod
     def full(cls) -> "BenchProfile":
@@ -726,6 +747,227 @@ def run_bench6(
     }
 
 
+# ----------------------------------------------------------- BENCH_7 workloads
+def sharing_portfolio_workload(
+    instances,
+    configurations,
+    slice_budget: int,
+    max_rounds: int,
+    policy=None,
+    inprocess_every: int = 0,
+    cost_measure: str = "propagations",
+    exchange_seed: int = 3,
+) -> dict[str, object]:
+    """Clause-sharing portfolio vs its isolated sliced twin on an instance suite.
+
+    ``instances`` is a list of ``(label, cnf)`` pairs.  Both sides run the
+    same member configurations under the same round-robin slicing charged in
+    deterministic ``cost_measure`` units; the only difference is the exchange
+    (and, when ``inprocess_every`` is set, periodic inprocessing).  The
+    headline ``speedup`` is the ratio of the *summed* virtual wall-clocks over
+    the suite — per-instance sharing can win or lose (imports perturb the
+    search trajectory), the suite aggregate is what the paper-style claim and
+    the gate are about.  Every quantity here is a solver work counter, so the
+    record reproduces bit-for-bit on any machine.
+
+    Differential evidence carried alongside: ``statuses_agree`` (isolated and
+    sharing answers identical per instance), ``models_verified`` (every SAT
+    model of the sharing side satisfies the original formula) and
+    ``replay_identical`` (a serial ``replay=True`` re-run reproduces the
+    winner, the virtual cost and the full exchange fingerprint).
+    """
+    from repro.portfolio import PortfolioSolver, SharingPortfolioSolver
+
+    per_instance: dict[str, dict[str, object]] = {}
+    totals = {"isolated": 0.0, "sharing": 0.0}
+    statuses_agree = models_verified = replay_identical = True
+    exported = imported = 0
+    for label, cnf in instances:
+        isolated = PortfolioSolver(
+            list(configurations), cost_measure=cost_measure,
+            slice_budget=slice_budget, max_rounds=max_rounds,
+        ).solve(cnf)
+
+        def race():
+            return SharingPortfolioSolver(
+                list(configurations), cost_measure=cost_measure,
+                slice_budget=slice_budget, max_rounds=max_rounds,
+                policy=policy, inprocess_every=inprocess_every, seed=exchange_seed,
+            )
+
+        sharing = race().solve(cnf)
+        replay = race().solve(cnf, replay=True)
+        replay_identical = replay_identical and (
+            replay.exchange_fingerprint == sharing.exchange_fingerprint
+            and replay.virtual_parallel_cost == sharing.virtual_parallel_cost
+            and (replay.winner.configuration.name if replay.winner else None)
+            == (sharing.winner.configuration.name if sharing.winner else None)
+        )
+        statuses_agree = statuses_agree and isolated.status is sharing.status
+        if sharing.status is SolverStatus.SAT and sharing.model is not None:
+            full = {v: sharing.model.get(v, False) for v in range(1, cnf.num_vars + 1)}
+            models_verified = models_verified and cnf.is_satisfied_by(full)
+        totals["isolated"] += isolated.virtual_parallel_cost
+        totals["sharing"] += sharing.virtual_parallel_cost
+        exported += sharing.total_exported
+        imported += sharing.total_imported
+        per_instance[label] = {
+            "status": sharing.status.value,
+            "isolated_cost": isolated.virtual_parallel_cost,
+            "sharing_cost": sharing.virtual_parallel_cost,
+            "rounds": sharing.rounds_executed,
+            "exported": sharing.total_exported,
+            "imported": sharing.total_imported,
+        }
+    return {
+        "metric": "virtual_parallel_cost",
+        "cost_measure": cost_measure,
+        "instances": len(per_instance),
+        "slice_budget": slice_budget,
+        "max_rounds": max_rounds,
+        "inprocess_every": inprocess_every,
+        "isolated": {"virtual_parallel_cost": totals["isolated"]},
+        "sharing": {
+            "virtual_parallel_cost": totals["sharing"],
+            "exported": exported,
+            "imported": imported,
+        },
+        "speedup": (
+            totals["isolated"] / totals["sharing"] if totals["sharing"] > 0 else None
+        ),
+        "per_instance": per_instance,
+        "statuses_agree": statuses_agree,
+        "models_verified": models_verified,
+        "replay_identical": replay_identical,
+    }
+
+
+def sharing_executor_differential(
+    cnf: CNF,
+    configurations,
+    slice_budget: int,
+    max_rounds: int,
+    policy=None,
+    exchange_seed: int = 3,
+) -> bool:
+    """Inline vs thread-pool execution of the sharing race — must be identical.
+
+    All cross-member state mutation happens inside the barrier tasks of the
+    round DAG, so the exchange fingerprint (schedule, log, records), the
+    winner and the virtual cost must not depend on which executor interleaves
+    the slice tasks.  This is the "deterministic parallelism" leg of the
+    BENCH_7 differential check.
+    """
+    from repro.portfolio import SharingPortfolioSolver
+
+    def race(executor: str):
+        return SharingPortfolioSolver(
+            list(configurations), cost_measure="propagations",
+            slice_budget=slice_budget, max_rounds=max_rounds,
+            policy=policy, seed=exchange_seed, executor=executor,
+        ).solve(cnf)
+
+    inline, threaded = race("inline"), race("threads")
+    return (
+        inline.exchange_fingerprint == threaded.exchange_fingerprint
+        and inline.virtual_parallel_cost == threaded.virtual_parallel_cost
+        and inline.status is threaded.status
+        and [run.cost for run in inline.runs] == [run.cost for run in threaded.runs]
+    )
+
+
+def run_bench7(
+    profile: BenchProfile | None = None,
+    seed: int = 3,
+    progress=None,
+) -> dict[str, object]:
+    """Run the clause-sharing portfolio suite and return the ``BENCH_7.json`` record."""
+    from repro.portfolio import SharingPolicy
+    from repro.portfolio.portfolio import tiny_portfolio
+
+    profile = profile or BenchProfile.full()
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    workloads: dict[str, dict[str, object]] = {}
+    differential: dict[str, object] = {}
+    configurations = tiny_portfolio()
+    cipher = get_cipher("bivium-tiny")
+
+    note(f"generating {len(profile.sharing_seeds)} bivium-tiny instances ...")
+    instances = [
+        (
+            f"bivium-tiny-s{instance_seed}",
+            make_inversion_instance(cipher(), seed=instance_seed).cnf,
+        )
+        for instance_seed in profile.sharing_seeds
+    ]
+
+    # The headline suite: a generous exchange budget (LBD<=6, size<=12, 64
+    # clauses per member round) against the isolated sliced baseline, summed
+    # over the ten-instance bivium-tiny suite.  Individual instances swing in
+    # both directions — imports reshape the search trajectory — which is
+    # exactly why the committed claim is the suite aggregate.
+    policy = SharingPolicy(max_lbd=6, max_size=12, per_round=64)
+    note("sharing vs isolated sliced portfolio on the bivium-tiny suite ...")
+    suite = sharing_portfolio_workload(
+        instances, configurations,
+        slice_budget=profile.sharing_slice_budget,
+        max_rounds=profile.sharing_max_rounds,
+        policy=policy, exchange_seed=seed,
+    )
+    workloads["sharing-vs-isolated/bivium-tiny-suite"] = suite
+
+    # Periodic inprocessing on top of sharing, on the two instances where the
+    # live-database re-simplification has room to work (the suite's hardest
+    # SAT-at-depth seeds).  Gates the inprocess path end to end: frozen
+    # contract, chained reconstruction, exchange soundness across simplified
+    # databases.
+    inprocess_instances = [
+        entry for entry in instances if entry[0] in ("bivium-tiny-s1", "bivium-tiny-s5")
+    ]
+    note("sharing + inprocessing on bivium-tiny s1/s5 ...")
+    inprocessing = sharing_portfolio_workload(
+        inprocess_instances, configurations,
+        slice_budget=profile.sharing_slice_budget,
+        max_rounds=profile.sharing_max_rounds,
+        policy=SharingPolicy(), inprocess_every=8, exchange_seed=seed,
+    )
+    workloads["sharing-inprocessing/bivium-tiny-hard"] = inprocessing
+
+    for name, workload in workloads.items():
+        differential[f"answers-and-models/{name.split('/', 1)[1]}"] = {
+            "answers_identical": workload["statuses_agree"],
+            "models_verified": workload["models_verified"],
+        }
+        differential[f"replay-identical/{name.split('/', 1)[1]}"] = workload[
+            "replay_identical"
+        ]
+    note("inline vs threads executor differential on bivium-tiny s1 ...")
+    differential["threads-vs-inline-identical/bivium-tiny-s1"] = (
+        sharing_executor_differential(
+            instances[0][1], configurations,
+            slice_budget=profile.sharing_slice_budget,
+            max_rounds=profile.sharing_max_rounds,
+            policy=policy, exchange_seed=seed,
+        )
+    )
+
+    return {
+        "kind": "portfolio-bench",
+        "bench_id": 7,
+        "schema": 1,
+        "profile": profile.name,
+        "seed": seed,
+        "portfolio": "tiny-4",
+        "cost_measure": "propagations",
+        "workloads": workloads,
+        "differential": differential,
+    }
+
+
 def run_bench4(
     profile: BenchProfile | None = None,
     seed: int = 3,
@@ -792,4 +1034,5 @@ SUITE_RUNNERS = {
     "propagation": run_bench4,
     "preprocessing": run_bench5,
     "batching": run_bench6,
+    "portfolio": run_bench7,
 }

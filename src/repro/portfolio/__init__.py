@@ -11,21 +11,33 @@ instances:
   solver configuration (restart policy, decision phase, decay, branching
   order);
 * :class:`repro.portfolio.portfolio.PortfolioSolver` — runs every configuration
-  on the whole instance (round-robin time-slicing of deterministic solvers, the
-  sequential simulation of a parallel portfolio) and reports which
-  configuration finishes first;
+  on the whole instance (optionally with round-robin time-slicing charged in
+  deterministic cost-measure units, the sequential simulation of a parallel
+  portfolio) and reports which configuration finishes first;
+* :class:`repro.portfolio.sharing.SharingPortfolioSolver` — the clause-sharing
+  half of the paper's contrast (HordeSat-style): members export/import learned
+  clauses through the seeded, virtual-round-stamped
+  :class:`repro.portfolio.exchange.ClauseExchange` bus and periodically
+  inprocess their databases, all bit-for-bit replayable;
 * :func:`repro.portfolio.portfolio.compare_with_partitioning` — the head-to-head
   experiment used by ``bench_portfolio_vs_partitioning.py``: wall-clock of the
   virtual portfolio versus the makespan of a decomposition family on the same
   number of cores.
 """
 
+from repro.portfolio.exchange import ClauseExchange, SharingPolicy
 from repro.portfolio.portfolio import (
     PortfolioResult,
     PortfolioSolver,
     SolverConfiguration,
     compare_with_partitioning,
     default_portfolio,
+    slice_budget_for,
+)
+from repro.portfolio.sharing import (
+    SharingMemberRun,
+    SharingPortfolioResult,
+    SharingPortfolioSolver,
 )
 
 __all__ = [
@@ -34,4 +46,10 @@ __all__ = [
     "PortfolioResult",
     "default_portfolio",
     "compare_with_partitioning",
+    "slice_budget_for",
+    "ClauseExchange",
+    "SharingPolicy",
+    "SharingPortfolioSolver",
+    "SharingPortfolioResult",
+    "SharingMemberRun",
 ]

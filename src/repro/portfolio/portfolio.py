@@ -20,11 +20,43 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.api.registry import register_portfolio
 from repro.core.decomposition import DecompositionSet
 from repro.runner.cluster import simulate_makespan
 from repro.sat.cdcl import CDCLConfig, CDCLSolver
 from repro.sat.formula import CNF
 from repro.sat.solver import SolveResult, SolverBudget, SolverStatus
+
+
+#: Cost measure -> the :class:`SolverBudget` field that charges it.  Only
+#: deterministic work counters appear here: slicing by ``max_seconds`` would
+#: make the virtual-portfolio simulation machine-dependent (the latent flake
+#: the BENCH_7 gate must not inherit), so wall-clock measures are rejected.
+_SLICEABLE_MEASURES = {
+    "conflicts": "max_conflicts",
+    "decisions": "max_decisions",
+    "propagations": "max_propagations",
+}
+
+
+def slice_budget_for(cost_measure: str, units: int) -> SolverBudget:
+    """A per-slice :class:`SolverBudget` of ``units`` cost-measure units.
+
+    The round-robin time-slicing of the (sharing) portfolio charges each
+    member's virtual round in the *cost measure* — deterministic solver work
+    counters — never in wall-clock seconds, so a sliced run is bit-identical
+    across machines.  Measures without a matching deterministic budget field
+    (``wall_time``, ``weighted``) raise :class:`ValueError`.
+    """
+    budget_field = _SLICEABLE_MEASURES.get(cost_measure)
+    if budget_field is None:
+        raise ValueError(
+            f"cost measure {cost_measure!r} cannot budget a deterministic "
+            f"slice; use one of {sorted(_SLICEABLE_MEASURES)}"
+        )
+    if units < 1:
+        raise ValueError("a slice budget must be at least 1 unit")
+    return SolverBudget(**{budget_field: units})
 
 
 @dataclass(frozen=True)
@@ -39,6 +71,7 @@ class SolverConfiguration:
         return CDCLSolver(config=self.config)
 
 
+@register_portfolio("default-8", description="restart/phase/decay-diversified 8 members")
 def default_portfolio() -> list[SolverConfiguration]:
     """A standard 8-member portfolio diversified on restarts, phase and decay."""
     return [
@@ -55,6 +88,12 @@ def default_portfolio() -> list[SolverConfiguration]:
         SolverConfiguration("rapid-restarts", CDCLConfig(restart_base=16)),
         SolverConfiguration("no-minimization", CDCLConfig(clause_minimization=False)),
     ]
+
+
+@register_portfolio("tiny-4", description="first four default members (tests, fuzzing)")
+def tiny_portfolio() -> list[SolverConfiguration]:
+    """The first four default members — the cheap preset tests and fuzz lanes use."""
+    return default_portfolio()[:4]
 
 
 @dataclass
@@ -120,6 +159,14 @@ class PortfolioSolver:
     the historical sequential loop bit for bit, while ``threads`` runs the
     members on a thread pool — results are folded in member order either way,
     so the reported portfolio is independent of the execution interleaving.
+
+    With ``slice_budget`` set, each member runs *round-robin time-slicing*
+    instead of one uninterrupted call: repeated incremental ``solve`` slices,
+    each charged ``slice_budget`` **cost-measure units** (never wall-clock —
+    see :func:`slice_budget_for`), up to ``max_rounds`` slices.  This is the
+    isolated twin of the sliced simulation in
+    :mod:`repro.portfolio.sharing`, and the fair baseline the BENCH_7 suite
+    compares clause sharing against: identical slicing, no exchange.
     """
 
     def __init__(
@@ -127,6 +174,8 @@ class PortfolioSolver:
         configurations: Sequence[SolverConfiguration] | None = None,
         cost_measure: str = "propagations",
         threads: int | None = None,
+        slice_budget: int | None = None,
+        max_rounds: int = 32,
     ):
         self.configurations = (
             default_portfolio() if configurations is None else list(configurations)
@@ -135,8 +184,16 @@ class PortfolioSolver:
             raise ValueError("a portfolio needs at least one configuration")
         if threads is not None and threads < 1:
             raise ValueError("threads must be at least 1")
+        if slice_budget is not None:
+            # Validate both the amount and that the measure is sliceable in
+            # deterministic units before any solver work starts.
+            slice_budget_for(cost_measure, slice_budget)
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
         self.cost_measure = cost_measure
         self.threads = threads
+        self.slice_budget = slice_budget
+        self.max_rounds = max_rounds
 
     def solve(
         self,
@@ -164,12 +221,29 @@ class PortfolioSolver:
         def race_member(member_id: str) -> PortfolioMemberRun:
             configuration = members[member_id]
             solver = configuration.build_solver()
-            result = solver.solve(cnf, assumptions=literals, budget=budget)
-            return PortfolioMemberRun(
-                configuration=configuration,
-                result=result,
-                cost=result.stats.cost(self.cost_measure),
-            )
+            if self.slice_budget is None:
+                result = solver.solve(cnf, assumptions=literals, budget=budget)
+                return PortfolioMemberRun(
+                    configuration=configuration,
+                    result=result,
+                    cost=result.stats.cost(self.cost_measure),
+                )
+            # Round-robin time-slicing, charged in deterministic cost-measure
+            # units (never wall-clock): the sequential simulation of a
+            # preempted parallel member, bit-identical across machines.
+            solver.load(cnf, frozen=frozenset(abs(lit) for lit in literals))
+            cost = 0.0
+            result = None
+            for _ in range(self.max_rounds):
+                result = solver.solve(
+                    None,
+                    assumptions=literals,
+                    budget=slice_budget_for(self.cost_measure, self.slice_budget),
+                )
+                cost += result.stats.cost(self.cost_measure)
+                if result.is_decided:
+                    break
+            return PortfolioMemberRun(configuration=configuration, result=result, cost=cost)
 
         graph = TaskGraph(Task(task_id=member_id, payload=member_id) for member_id in members)
         executor = (

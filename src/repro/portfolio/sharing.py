@@ -1,0 +1,483 @@
+"""Deterministic clause-sharing parallel portfolio with inprocessing.
+
+The paper's introduction contrasts partitioning with portfolios in which
+solver copies "share conflict clauses".  :class:`SharingPortfolioSolver` is
+that second half, HordeSat-style (Balyo et al.): diversified CDCL members
+race on the *same* instance, periodically export their best learned clauses
+through the :class:`~repro.portfolio.exchange.ClauseExchange` bus, import
+everyone else's at restart boundaries via
+:meth:`~repro.sat.cdcl.CDCLSolver.import_clauses`, and every few rounds
+re-simplify their live clause databases with the SatELite-style rules as
+*inprocessing* (:meth:`~repro.sat.cdcl.CDCLSolver.inprocess`) under the
+frozen-variable contract, so assumption literals stay assumable throughout.
+
+Sharing is sound even across inprocessed members: a learned clause is a
+resolvent of database clauses only, hence implied by the input formula ``F``
+regardless of the assumptions in force when it was derived; and a member's
+simplified database contains only ``F``-implied clauses (originals,
+resolvents, strengthenings), so adding any ``F``-implied clause to it
+preserves equisatisfiability and model reconstruction.
+
+Determinism contract
+--------------------
+
+The run is a synchronous-round simulation driven by one scheduler task
+graph: round ``r`` holds one *slice* task per member (an incremental
+``solve`` call budgeted in **cost-measure units** — conflicts, decisions or
+propagations, never wall-clock) plus one *exchange barrier* task depending
+on all of them; round ``r + 1`` slices depend on the barrier.  All state
+mutation outside a member's own solver happens inside barrier tasks, which
+the dependency edges serialise, and inside a barrier everything is folded in
+member order.  Consequently the winner, the per-member costs, the exchange
+schedule, every counter and every trace byte are a pure function of
+``(cnf, assumptions, configurations, knobs, seed)`` — identical across the
+inline, thread and simulated-grid executors and across repeated runs, and
+:func:`~repro.runner.scheduler.replay_serial` reproduces any parallel run
+bit for bit (``replay=True``).  The determinism tests in
+``tests/test_sharing.py`` and the differential-fuzz lane pin this down.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.portfolio.exchange import ClauseExchange, SharingPolicy
+from repro.portfolio.portfolio import (
+    PortfolioMemberRun,
+    SolverConfiguration,
+    default_portfolio,
+    slice_budget_for,
+)
+from repro.sat.formula import CNF
+from repro.sat.solver import SolveResult, SolverStatus
+
+#: Virtual seconds per cost-measure unit in the emitted trace events (the
+#: trace format stamps times in microseconds, so one unit of work is 1 µs).
+_VIRTUAL_SECONDS_PER_UNIT = 1e-6
+
+
+@dataclass
+class SharingMemberRun(PortfolioMemberRun):
+    """One member's journey through the sliced, sharing race."""
+
+    #: Solver slices this member executed (rounds before the decision).
+    rounds: int = 0
+    #: Round in which this member decided the instance (``None``: never).
+    decided_round: int | None = None
+    #: Clauses the exchange accepted from / delivered to this member.
+    exported: int = 0
+    imported: int = 0
+    #: Imported clauses actually added to the database (not root-satisfied).
+    imported_added: int = 0
+    #: Inprocessing passes applied to this member's database.
+    inprocessings: int = 0
+
+
+@dataclass
+class SharingPortfolioResult:
+    """Outcome of a sharing-portfolio run, exchange audit trail included."""
+
+    runs: list[SharingMemberRun] = field(default_factory=list)
+    cost_measure: str = "propagations"
+    #: Virtual rounds actually executed (decision round + 1, or the cap).
+    rounds_executed: int = 0
+    #: Round whose barrier observed the first decision (``None``: none did).
+    decided_round: int | None = None
+    #: The exchange audit log as ``(round, member, direction, count)`` tuples.
+    exchange_log: list[tuple[int, str, str, int]] = field(default_factory=list)
+    #: Per-member exchange counters (also on the individual runs).
+    exported: dict[str, int] = field(default_factory=dict)
+    imported: dict[str, int] = field(default_factory=dict)
+    #: Every clause that crossed the bus, in acceptance order — the audit
+    #: surface of the redundancy checks (each must be implied by the input).
+    shared_clauses: tuple[tuple[int, ...], ...] = ()
+    #: Hashable digest of the full exchange schedule (see
+    #: :meth:`~repro.portfolio.exchange.ClauseExchange.schedule_fingerprint`).
+    exchange_fingerprint: tuple = ()
+    executor: str = "inline"
+    replay: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def status(self) -> SolverStatus:
+        """The portfolio's answer: the answer of any decided member."""
+        for run in self.runs:
+            if run.result is not None and run.result.is_decided:
+                return run.result.status
+        return SolverStatus.UNKNOWN
+
+    @property
+    def winner(self) -> SharingMemberRun | None:
+        """The member that decided first (earliest round, then cost, then name)."""
+        decided = [run for run in self.runs if run.decided_round is not None]
+        if not decided:
+            return None
+        return min(decided, key=lambda run: (run.decided_round, run.cost, run.configuration.name))
+
+    @property
+    def model(self) -> dict[int, bool] | None:
+        """The winner's model when the instance is SAT (original variables)."""
+        winner = self.winner
+        if winner is None or winner.result is None:
+            return None
+        return winner.result.model
+
+    @property
+    def virtual_parallel_cost(self) -> float:
+        """Cost until the winner finishes when all members run in parallel."""
+        winner = self.winner
+        return winner.cost if winner is not None else float("inf")
+
+    @property
+    def total_work(self) -> float:
+        """Work burned by all members across the executed rounds."""
+        return sum(run.cost for run in self.runs)
+
+    @property
+    def total_exported(self) -> int:
+        return sum(self.exported.values())
+
+    @property
+    def total_imported(self) -> int:
+        return sum(self.imported.values())
+
+    def summary(self) -> str:
+        """One-line report used by benchmarks and examples."""
+        winner = self.winner
+        name = winner.configuration.name if winner else "none"
+        return (
+            f"sharing portfolio of {len(self.runs)}: {self.status.value} by {name} "
+            f"in round {self.decided_round if self.decided_round is not None else '-'}, "
+            f"virtual parallel cost {self.virtual_parallel_cost:.4g} "
+            f"({self.cost_measure}), {self.total_exported} exported / "
+            f"{self.total_imported} imported"
+        )
+
+
+@dataclass
+class _MemberState:
+    """Private per-member mutable state (touched by exactly one task at a time)."""
+
+    configuration: SolverConfiguration
+    solver: object = None
+    cost: float = 0.0
+    rounds: int = 0
+    decided_round: int | None = None
+    last: SolveResult | None = None
+    #: ``(round, status string, slice cost, cumulative cost)`` per slice —
+    #: what the barrier replays into the trace, in member order.
+    slices: list[tuple[int, str, float, float]] = field(default_factory=list)
+    imported_added: int = 0
+    inprocessings: int = 0
+
+
+class _RunState:
+    """Cross-member run state; written only inside barrier tasks."""
+
+    __slots__ = ("decided_round", "trace_seq", "rounds_executed")
+
+    def __init__(self) -> None:
+        self.decided_round: int | None = None
+        self.trace_seq = 0
+        self.rounds_executed = 0
+
+
+class SharingPortfolioSolver:
+    """Races diversified CDCL members that share clauses through a seeded bus.
+
+    Parameters
+    ----------
+    configurations:
+        The portfolio members (defaults to :func:`default_portfolio`).  Names
+        must be unique — they key the exchange.
+    cost_measure:
+        The deterministic work measure slices are budgeted and costs are
+        reported in (``"conflicts"``, ``"decisions"`` or ``"propagations"``;
+        wall-clock measures are rejected — see :func:`slice_budget_for`).
+    slice_budget:
+        Cost-measure units each member may spend per virtual round.
+    max_rounds:
+        Hard round cap; an undecided race reports UNKNOWN at the cap.
+    policy:
+        The :class:`~repro.portfolio.exchange.SharingPolicy` quality/volume
+        filters of the exchange.
+    inprocess_every:
+        Run the PR 5 preprocessor rules over every member's live database
+        after this many rounds (0 disables inprocessing).  Assumption
+        variables are frozen, so they are never eliminated mid-run.
+    seed:
+        Seeds the exchange's deterministic import-order rotation.
+    executor:
+        ``"inline"`` (serial), ``"threads"`` (a thread pool) or
+        ``"simulated-grid"`` (virtual-clock cluster).  All three produce
+        bit-identical results; see the module determinism contract.
+    threads:
+        Worker count for the thread / simulated-grid executors (defaults to
+        the member count).
+    """
+
+    def __init__(
+        self,
+        configurations: Sequence[SolverConfiguration] | None = None,
+        cost_measure: str = "propagations",
+        slice_budget: int = 4096,
+        max_rounds: int = 32,
+        policy: SharingPolicy | None = None,
+        inprocess_every: int = 0,
+        seed: int = 0,
+        executor: str = "inline",
+        threads: int | None = None,
+    ):
+        self.configurations = (
+            default_portfolio() if configurations is None else list(configurations)
+        )
+        if not self.configurations:
+            raise ValueError("a portfolio needs at least one configuration")
+        names = [configuration.name for configuration in self.configurations]
+        if len(set(names)) != len(names):
+            raise ValueError("portfolio member names must be unique")
+        # Validates the measure is sliceable before any solver work starts.
+        slice_budget_for(cost_measure, slice_budget)
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if inprocess_every < 0:
+            raise ValueError("inprocess_every must be non-negative")
+        if executor not in ("inline", "threads", "simulated-grid"):
+            raise ValueError("executor must be 'inline', 'threads' or 'simulated-grid'")
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be at least 1")
+        self.cost_measure = cost_measure
+        self.slice_budget = slice_budget
+        self.max_rounds = max_rounds
+        self.policy = policy or SharingPolicy()
+        self.inprocess_every = inprocess_every
+        self.seed = seed
+        self.executor = executor
+        self.threads = threads
+
+    # ------------------------------------------------------------------- solve
+    def solve(
+        self,
+        cnf: CNF,
+        assumptions: Sequence[int] = (),
+        replay: bool = False,
+        trace=None,
+    ) -> SharingPortfolioResult:
+        """Run the sharing race on ``cnf`` through the scheduler.
+
+        ``replay=True`` reruns the exact task graph serially via
+        :func:`~repro.runner.scheduler.replay_serial` — every task in
+        topological order, no early stop — and still reports bit-identical
+        results, because post-decision tasks are no-ops by construction.
+        ``trace`` attaches a :class:`~repro.trace.format.TraceWriter`: the
+        driver itself emits TASK-level events at every barrier, in member
+        order, stamped with *virtual* times (cumulative cost-measure units),
+        so trace bytes are deterministic too — the scheduler's own wall-clock
+        trace hook is deliberately not used.
+        """
+        from repro.runner.scheduler import (
+            InlineExecutor,
+            RetryPolicy,
+            Scheduler,
+            SimulatedGridExecutor,
+            Task,
+            TaskGraph,
+            ThreadExecutor,
+        )
+        from repro.sat.simplify import Preprocessor
+
+        started = time.perf_counter()
+        literals = list(assumptions)
+        frozen = frozenset(abs(literal) for literal in literals)
+        names = [configuration.name for configuration in self.configurations]
+        exchange = ClauseExchange(members=list(names), policy=self.policy, seed=self.seed)
+        states: dict[str, _MemberState] = {}
+        for configuration in self.configurations:
+            solver = configuration.build_solver()
+            solver.load(cnf, frozen=frozen)
+            states[configuration.name] = _MemberState(configuration=configuration, solver=solver)
+        shared = _RunState()
+        preprocessor = Preprocessor()
+        policy = self.policy
+
+        def run_slice(round_index: int, name: str) -> dict:
+            state = states[name]
+            if shared.decided_round is not None:
+                return {"kind": "slice", "round": round_index, "member": name,
+                        "status": "skipped", "cost": 0.0}
+            budget = slice_budget_for(self.cost_measure, self.slice_budget)
+            result = state.solver.solve(None, literals, budget=budget)
+            cost = result.stats.cost(self.cost_measure)
+            state.cost += cost
+            state.rounds += 1
+            state.last = result
+            status = result.status.value.lower()
+            state.slices.append((round_index, status, cost, state.cost))
+            if result.is_decided and state.decided_round is None:
+                state.decided_round = round_index
+            return {"kind": "slice", "round": round_index, "member": name,
+                    "status": status, "cost": cost}
+
+        def run_exchange(round_index: int) -> dict:
+            if shared.decided_round is not None:
+                # A barrier after the decision round: replay mode still visits
+                # it, but it must leave no mark (no log, no trace, no state).
+                return {"kind": "exchange", "round": round_index,
+                        "decided": True, "active": False, "cost": 0.0}
+            shared.rounds_executed = round_index + 1
+            if trace is not None:
+                for name in names:
+                    state = states[name]
+                    _, status, cost, cumulative = state.slices[-1]
+                    shared.trace_seq += 1
+                    task_id = f"slice/{round_index}/{name}"
+                    trace.task_dispatch(task_id, shared.trace_seq)
+                    trace.task_complete(
+                        task_id,
+                        status,
+                        cumulative * _VIRTUAL_SECONDS_PER_UNIT,
+                        cost * _VIRTUAL_SECONDS_PER_UNIT,
+                    )
+            barrier_time = max(states[name].cost for name in names)
+            decided = [name for name in names if states[name].decided_round == round_index]
+            if decided:
+                answers = {states[name].last.status for name in decided}
+                if len(answers) > 1:
+                    raise RuntimeError(
+                        f"sharing portfolio members disagree in round {round_index}: "
+                        + ", ".join(
+                            f"{name}={states[name].last.status.value}" for name in decided
+                        )
+                    )
+                shared.decided_round = round_index
+                if trace is not None:
+                    shared.trace_seq += 1
+                    task_id = f"exchange/{round_index}"
+                    trace.task_dispatch(task_id, shared.trace_seq)
+                    trace.task_complete(
+                        task_id,
+                        f"decided:{states[decided[0]].last.status.value.lower()}",
+                        barrier_time * _VIRTUAL_SECONDS_PER_UNIT,
+                        0.0,
+                    )
+                return {"kind": "exchange", "round": round_index,
+                        "decided": True, "active": True, "cost": 0.0}
+            # Fold exports onto the bus in member order, then deliver the
+            # accumulated imports (everything exported in rounds <= this one
+            # by other members) at each member's restart boundary.
+            exported_now = 0
+            for name in names:
+                candidates = states[name].solver.exportable_clauses(
+                    max_lbd=policy.max_lbd, max_size=policy.max_size
+                )
+                exported_now += exchange.export(name, round_index, candidates)
+            imported_now = 0
+            for name in names:
+                state = states[name]
+                clauses = exchange.imports_for(name, round_index + 1)
+                if clauses:
+                    state.imported_added += state.solver.import_clauses(clauses)
+                imported_now += len(clauses)
+            if self.inprocess_every and (round_index + 1) % self.inprocess_every == 0:
+                for name in names:
+                    state = states[name]
+                    state.solver.inprocess(preprocessor)
+                    state.inprocessings += 1
+            if trace is not None:
+                shared.trace_seq += 1
+                task_id = f"exchange/{round_index}"
+                trace.task_dispatch(task_id, shared.trace_seq)
+                trace.task_complete(
+                    task_id,
+                    f"exp={exported_now}:imp={imported_now}",
+                    barrier_time * _VIRTUAL_SECONDS_PER_UNIT,
+                    0.0,
+                )
+            return {"kind": "exchange", "round": round_index, "decided": False,
+                    "active": True, "exported": exported_now,
+                    "imported": imported_now, "cost": 0.0}
+
+        def task_fn(payload) -> dict:
+            kind, round_index, name = payload
+            if kind == "slice":
+                return run_slice(round_index, name)
+            return run_exchange(round_index)
+
+        tasks = []
+        for round_index in range(self.max_rounds):
+            slice_deps = (f"exchange/{round_index - 1}",) if round_index else ()
+            for name in names:
+                tasks.append(
+                    Task(
+                        task_id=f"slice/{round_index}/{name}",
+                        payload=("slice", round_index, name),
+                        dependencies=slice_deps,
+                    )
+                )
+            tasks.append(
+                Task(
+                    task_id=f"exchange/{round_index}",
+                    payload=("exchange", round_index, None),
+                    dependencies=tuple(f"slice/{round_index}/{name}" for name in names),
+                )
+            )
+        graph = TaskGraph(tasks)
+
+        if replay:
+            from repro.runner.scheduler import replay_serial
+
+            run = replay_serial(graph, task_fn)
+        else:
+            workers = self.threads if self.threads is not None else len(names)
+            if self.executor == "threads":
+                scheduler_executor = ThreadExecutor(task_fn=task_fn, num_workers=workers)
+            elif self.executor == "simulated-grid":
+                scheduler_executor = SimulatedGridExecutor(
+                    task_fn=task_fn,
+                    workers=workers,
+                    duration_of=lambda value: float(value.get("cost", 0.0)),
+                )
+            else:
+                scheduler_executor = InlineExecutor(task_fn=task_fn)
+            run = Scheduler(
+                graph,
+                scheduler_executor,
+                # Slice tasks mutate their member's solver: an attempt must
+                # never be re-run, so retries are disabled outright.
+                retry=RetryPolicy(max_attempts=1),
+                stop_on=lambda task_id, value: bool(value.get("decided")),
+            ).run()
+        if run.failed:
+            task_id, error = next(iter(run.failed.items()))
+            raise RuntimeError(f"sharing portfolio task {task_id} failed: {error}")
+
+        outcome = SharingPortfolioResult(
+            runs=[
+                SharingMemberRun(
+                    configuration=states[name].configuration,
+                    result=states[name].last,
+                    cost=states[name].cost,
+                    rounds=states[name].rounds,
+                    decided_round=states[name].decided_round,
+                    exported=exchange.exported[name],
+                    imported=exchange.imported[name],
+                    imported_added=states[name].imported_added,
+                    inprocessings=states[name].inprocessings,
+                )
+                for name in names
+            ],
+            cost_measure=self.cost_measure,
+            rounds_executed=shared.rounds_executed,
+            decided_round=shared.decided_round,
+            exchange_log=exchange.log_tuples(),
+            shared_clauses=tuple(record.clause for record in exchange.records),
+            exported=dict(exchange.exported),
+            imported=dict(exchange.imported),
+            exchange_fingerprint=exchange.schedule_fingerprint(),
+            executor="replay" if replay else self.executor,
+            replay=replay,
+        )
+        outcome.wall_time = time.perf_counter() - started
+        return outcome

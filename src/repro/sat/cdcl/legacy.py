@@ -20,12 +20,19 @@ It implements the exact same public contract as the arena engine (one-shot
 learned-clause retention, per-call stats/budgets, per-call conflict activity)
 and is registered as the ``"cdcl-legacy"`` solver.  Do not extend it with new
 features; it is a frozen reference implementation.  The only sanctioned
-exceptions are cross-engine *observability* contracts, which must stay in
-lock-step with the arena engine so differential runs remain comparable:
-``stats.propagations`` counts literals **assigned** by unit propagation (a
-property of the propagation closure, identical across engines whenever their
-trails agree), and the same ``trace=None`` event hooks exist so a regressed
-benchmark pair can be recorded and diffed with :mod:`repro.trace`.
+exceptions are cross-engine contracts that must stay in lock-step with the
+arena engine so differential runs remain comparable:
+
+* **observability** — ``stats.propagations`` counts literals **assigned** by
+  unit propagation (a property of the propagation closure, identical across
+  engines whenever their trails agree), and the same ``trace=None`` event
+  hooks exist so a regressed benchmark pair can be recorded and diffed with
+  :mod:`repro.trace`;
+* **clause exchange** — the ``import_clauses()`` / ``exportable_clauses()``
+  pair of the clause-sharing portfolio (:mod:`repro.portfolio.sharing`),
+  mirrored here so the differential-fuzz lane can drive both engines through
+  the same sharing schedule (the legacy engine stores no LBD, so it exports
+  clause *length* as the LBD stand-in — the classical over-approximation).
 """
 
 from __future__ import annotations
@@ -177,6 +184,85 @@ class LegacyCDCLSolver:
             stats=self._stats,
             conflict_activity=activity,
         )
+
+    # ------------------------------------------------------------ clause sharing
+    def import_clauses(self, clauses: Sequence[Sequence[int]]) -> int:
+        """Add externally learned clauses at a restart boundary.
+
+        Mirror of :meth:`repro.sat.cdcl.CDCLSolver.import_clauses` (same
+        caller contract: every clause must be implied by the loaded formula).
+        Returns the number of clauses added; literals outside the loaded
+        formula's variables raise :class:`ValueError`.
+        """
+        if self.loaded_cnf is None:
+            raise ValueError("no formula loaded: call load() before import_clauses()")
+        self._cancel_until(0)
+        imported = 0
+        for clause in clauses:
+            norm = normalize_clause(clause)
+            if norm is None:
+                continue  # tautology
+            lits: list[int] = []
+            satisfied = False
+            for lit in norm:
+                if abs(lit) > self._num_vars:
+                    raise ValueError(
+                        f"imported literal {lit} is outside the loaded "
+                        f"formula's variables 1..{self._num_vars}"
+                    )
+                val = self._lit_value(lit)
+                if val is True:
+                    satisfied = True
+                    break
+                if val is _UNASSIGNED:
+                    lits.append(lit)
+            if satisfied or not self._ok:
+                continue
+            imported += 1
+            if not lits:
+                self._ok = False  # implied empty clause: the formula is UNSAT
+            elif len(lits) == 1:
+                if not self._enqueue(lits[0], None):
+                    self._ok = False
+            else:
+                wc = WatchedClause(lits, learnt=True, lbd=len(lits))
+                self._learnts.append(wc)
+                self._attach(wc)
+        return imported
+
+    def exportable_clauses(
+        self,
+        max_lbd: int | None = None,
+        max_size: int | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[tuple[int, ...], int]]:
+        """Learned clauses worth sharing, as ``(clause, lbd)`` pairs.
+
+        Mirror of :meth:`repro.sat.cdcl.CDCLSolver.exportable_clauses` with
+        clause length standing in for the LBD the legacy engine never stores
+        (``WatchedClause.lbd`` is 0 for clauses this engine learned itself).
+        """
+        if self.loaded_cnf is None:
+            return []
+        out: list[tuple[tuple[int, ...], int]] = []
+        root_end = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        for lit in self._trail[:root_end]:
+            out.append(((lit,), 1))
+        for wc in self._learnts:
+            size = len(wc.lits)
+            lbd = wc.lbd if wc.lbd else size
+            if max_lbd is not None and lbd > max_lbd:
+                continue
+            if max_size is not None and size > max_size:
+                continue
+            external = normalize_clause(wc.lits)
+            if external is None:
+                continue
+            out.append((external, lbd))
+        out.sort(key=lambda pair: (pair[1], len(pair[0]), pair[0]))
+        if limit is not None:
+            out = out[:limit]
+        return out
 
     # -------------------------------------------------------------- initialise
     def _init(self, cnf: CNF) -> None:

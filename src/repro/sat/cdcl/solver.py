@@ -129,6 +129,9 @@ class CDCLSolver:
         #: True while the internal state is exactly the post-load state (no
         #: solve has mutated it since); guards snapshot capture.
         self._pristine = False
+        #: The frozen-variable set of the last :meth:`load` (the incremental
+        #: contract's assumption candidates); :meth:`inprocess` re-freezes it.
+        self._frozen: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------ public
     @property
@@ -179,6 +182,7 @@ class CDCLSolver:
         from repro.sat.simplify import Preprocessor, validate_frozen
 
         frozen_set = validate_frozen(frozen, cnf.num_vars)
+        self._frozen = frozen_set
         if self.config.simplify:
             preprocessor = self.preprocessor if self.preprocessor is not None else Preprocessor()
             self._presolve = preprocessor.preprocess(cnf, frozen=frozen_set)
@@ -209,6 +213,7 @@ class CDCLSolver:
             )
         n = image.num_vars
         self._presolve = None
+        self._frozen = frozenset()
         self._num_vars = n
         self._values = [_UNDEF] * ((n + 1) << 1)
         self._level = [0] * (n + 1)
@@ -429,6 +434,190 @@ class CDCLSolver:
         elif self.loaded_cnf is None:
             raise ValueError("no formula loaded: pass a CNF or call load() first")
         return solve_batch_rows(self, assumption_rows, budget=budget, trace=trace)
+
+    # ------------------------------------------------------------ clause sharing
+    def import_clauses(self, clauses: Sequence[Sequence[int]]) -> int:
+        """Add externally learned clauses to the database at a restart boundary.
+
+        The clause-sharing entry point of the parallel portfolio
+        (:mod:`repro.portfolio.sharing`): every clause **must be implied by
+        the loaded formula** — the caller's contract, typically satisfied
+        because the clauses are learned clauses exported by another solver
+        working on the same formula (learned clauses are resolvents of
+        database clauses only, so they are formula consequences independent
+        of any assumptions in force when they were derived).
+
+        The trail is first cancelled to decision level 0 (the restart
+        boundary).  Each clause is normalised, clauses satisfied at the root
+        are skipped, root-falsified literals are removed, units are enqueued
+        at the root, and everything longer is attached as a *learnt* clause
+        (LBD = clause length) so the reduction heuristic may age it out
+        again.  Returns the number of clauses actually added (units
+        included); skipped duplicates of root-satisfied clauses do not count.
+        Literals outside the loaded formula's variables raise
+        :class:`ValueError`.
+        """
+        if self.loaded_cnf is None:
+            raise ValueError("no formula loaded: call load() before import_clauses()")
+        self._cancel_until(0)
+        values = self._values
+        imported = 0
+        for clause in clauses:
+            norm = normalize_clause(clause)
+            if norm is None:
+                continue  # tautology
+            lits: list[int] = []
+            satisfied = False
+            for lit in norm:
+                if abs(lit) > self._num_vars:
+                    raise ValueError(
+                        f"imported literal {lit} is outside the loaded "
+                        f"formula's variables 1..{self._num_vars}"
+                    )
+                idx = _ilit(lit)
+                val = values[idx]
+                if val == _TRUE:
+                    satisfied = True
+                    break
+                if val == _UNDEF:
+                    lits.append(idx)
+            if satisfied or not self._ok:
+                continue
+            imported += 1
+            if not lits:
+                self._ok = False  # implied empty clause: the formula is UNSAT
+            elif len(lits) == 1:
+                if not self._enqueue(lits[0], _NO_REASON):
+                    self._ok = False
+            else:
+                cref = self._alloc(lits)
+                self._learnts.append(cref)
+                self._cla_activity[cref] = 0.0
+                self._cla_lbd[cref] = len(lits)
+                self._attach(cref)
+        if imported:
+            self._pristine = False
+        return imported
+
+    def exportable_clauses(
+        self,
+        max_lbd: int | None = None,
+        max_size: int | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[tuple[int, ...], int]]:
+        """Learned clauses worth sharing, as ``(clause, lbd)`` pairs.
+
+        Returns root-level unit consequences (LBD 1) plus the current learnt
+        clauses passing the ``max_lbd`` / ``max_size`` quality filters, in a
+        canonical deterministic order — sorted by ``(lbd, size, literals)``
+        — truncated to ``limit``.  Clauses are tuples of external signed
+        literals in :func:`normalize_clause` order, so identical clauses
+        exported by different members compare equal in the exchange.  Every
+        returned clause is implied by the loaded formula (root units and
+        learned clauses are formula consequences), which is exactly the
+        soundness contract :meth:`import_clauses` requires.
+        """
+        if self.loaded_cnf is None:
+            return []
+        arena = self._arena
+        out: list[tuple[tuple[int, ...], int]] = []
+        root_end = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        for lit in self._trail[:root_end]:
+            out.append(((_elit(lit),), 1))
+        for cref in self._learnts:
+            size = arena[cref]
+            lbd = self._cla_lbd.get(cref, size)
+            if max_lbd is not None and lbd > max_lbd:
+                continue
+            if max_size is not None and size > max_size:
+                continue
+            external = normalize_clause(
+                _elit(arena[cref + 1 + off]) for off in range(size)
+            )
+            if external is None:
+                continue
+            out.append((external, lbd))
+        out.sort(key=lambda pair: (pair[1], len(pair[0]), pair[0]))
+        if limit is not None:
+            out = out[:limit]
+        return out
+
+    def inprocess(self, preprocessor=None, frozen=()):
+        """Re-simplify the live clause database (inprocessing).
+
+        Runs the PR 5 :class:`~repro.sat.simplify.Preprocessor` rules against
+        the *current* database — root-fixed literals, problem clauses and
+        learned clauses alike — at a restart boundary, then rebuilds the
+        internal structures from the simplified formula.  The frozen-variable
+        contract of :meth:`load` carries over: variables frozen at load time
+        (plus any extra ``frozen`` ids given here) are never eliminated, so
+        incremental ``solve(assumptions=...)`` calls stay valid afterwards.
+        Saved phases and VSIDS activities survive the rebuild (variable
+        numbering is stable), learned clauses that survive simplification
+        become permanent clauses of the rebuilt database, and the
+        preprocessing stage is chained onto any earlier stages so SAT models
+        keep reconstructing over the *original* formula
+        (:class:`~repro.sat.simplify.ChainedPreprocessResult`).
+
+        Returns the stage's :class:`~repro.sat.simplify.PreprocessResult`,
+        or ``None`` when the database is already known UNSAT (nothing to
+        simplify).  :attr:`unassumable_variables` reflects the union over all
+        stages after the call.
+        """
+        from repro.sat.simplify import (
+            Preprocessor,
+            chain_preprocess_results,
+            validate_frozen,
+        )
+
+        if self.loaded_cnf is None:
+            raise ValueError("no formula loaded: call load() before inprocess()")
+        if not self._ok:
+            return None
+        self._cancel_until(0)
+        frozen_set = self._frozen | validate_frozen(frozen, self._num_vars)
+
+        # The live database in external literal form: root consequences as
+        # units, then problem clauses, then learnt clauses (age order — the
+        # ordering only affects the simplifier's deterministic tie-breaks).
+        arena = self._arena
+        clauses: list[tuple[int, ...]] = [(_elit(lit),) for lit in self._trail]
+        for group in (self._clauses, self._learnts):
+            for cref in group:
+                size = arena[cref]
+                clauses.append(tuple(_elit(arena[cref + 1 + off]) for off in range(size)))
+        db_cnf = CNF(clauses, self._num_vars)
+
+        if preprocessor is None:
+            preprocessor = Preprocessor()
+        result = preprocessor.preprocess(db_cnf, frozen=frozen_set, trace=self.trace)
+        self._presolve = chain_preprocess_results(self._presolve, result)
+        if result.unsat:
+            self._ok = False
+            return result
+
+        # Rebuild the engine from the simplified formula, preserving the
+        # branching heuristics (stable variable numbering makes the arrays
+        # carry over verbatim; the heap is re-pushed so its invariant holds
+        # under the restored activities).
+        saved_phase = self._saved_phase
+        activity = self._activity
+        var_inc, cla_inc = self._var_inc, self._cla_inc
+        rescales = self._activity_rescales
+        self._init(result.cnf)
+        self._saved_phase = saved_phase
+        self._activity = activity
+        self._var_inc, self._cla_inc = var_inc, cla_inc
+        self._activity_rescales = rescales
+        heap = ActivityHeap(self._activity)
+        for v in range(1, self._num_vars + 1):
+            heap.push(v)
+        self._heap = heap
+        self._frozen = frozen_set
+        self._image = None
+        self._root_snapshot = None
+        self._pristine = False
+        return result
 
     # --------------------------------------------------------- root snapshotting
     _SNAPSHOT_FIELDS = (

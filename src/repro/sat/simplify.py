@@ -607,6 +607,90 @@ class PreprocessResult:
         return self.stats.summary()
 
 
+@dataclass
+class ChainedPreprocessResult:
+    """Several :class:`PreprocessResult` stages applied in sequence.
+
+    Inprocessing (re-running the simplifier against a solver's *live* clause
+    database mid-run, see :meth:`repro.sat.cdcl.CDCLSolver.inprocess`) stacks
+    a new preprocessing stage on top of whatever the original ``load``
+    already applied.  This wrapper presents the stack through the exact
+    interface solvers consume from a single result:
+
+    * :meth:`reconstruct` replays the stages backwards — a model of the
+      newest (most simplified) formula is extended stage by stage until it
+      satisfies the original formula;
+    * :attr:`unassumable_variables` / :attr:`eliminated_variables` are the
+      unions over all stages (a variable eliminated by *any* stage is gone
+      from the live database);
+    * :attr:`unsat` is true when any stage refuted the formula.
+    """
+
+    results: list[PreprocessResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a chained preprocess result needs at least one stage")
+
+    @property
+    def original(self) -> CNF:
+        """The formula the *first* stage started from."""
+        return self.results[0].original
+
+    @property
+    def cnf(self) -> CNF:
+        """The formula the *last* stage produced (the live database's source)."""
+        return self.results[-1].cnf
+
+    @property
+    def frozen(self) -> frozenset[int]:
+        """Union of the frozen sets of every stage."""
+        out: frozenset[int] = frozenset()
+        for result in self.results:
+            out |= result.frozen
+        return out
+
+    @property
+    def unsat(self) -> bool:
+        return any(result.unsat for result in self.results)
+
+    @property
+    def eliminated_variables(self) -> frozenset[int]:
+        out: frozenset[int] = frozenset()
+        for result in self.results:
+            out |= result.eliminated_variables
+        return out
+
+    @property
+    def unassumable_variables(self) -> frozenset[int]:
+        out: frozenset[int] = frozenset()
+        for result in self.results:
+            out |= result.unassumable_variables
+        return out
+
+    def reconstruct(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Extend a model of the newest formula to one of the original formula."""
+        extended = model
+        for result in reversed(self.results):
+            extended = result.reconstruct(extended)
+        return extended
+
+    def summary(self) -> str:
+        """One-line report naming the stage count."""
+        if self.unsat:
+            return "formula refuted during preprocessing"
+        return f"{len(self.results)} preprocessing stages: " + self.results[-1].summary()
+
+
+def chain_preprocess_results(previous, latest: PreprocessResult) -> ChainedPreprocessResult:
+    """Stack ``latest`` on top of ``previous`` (``None``, single, or chained)."""
+    if previous is None:
+        return ChainedPreprocessResult([latest])
+    if isinstance(previous, ChainedPreprocessResult):
+        return ChainedPreprocessResult([*previous.results, latest])
+    return ChainedPreprocessResult([previous, latest])
+
+
 class _OccurrenceDatabase:
     """Mutable clause store with occurrence lists and a pending-unit queue.
 

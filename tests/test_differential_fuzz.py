@@ -11,6 +11,17 @@ pre-arena implementation survives as ``LegacyCDCLSolver``; the
 ``TestArenaVsLegacyEngines`` class runs both engines over the same corpus
 (one-shot and under incremental assumption sequences) and requires
 bit-identical SAT/UNSAT verdicts.
+
+PR 10 adds the ``TestSharingPortfolio`` lane: the deterministic clause-sharing
+portfolio (:mod:`repro.portfolio.sharing`) runs over the same 200+ instance
+corpus with aggressively small slices — forcing many exchange rounds even on
+tiny formulas — and must agree with fresh CDCL, reference DPLL and the
+isolated (non-sharing) sliced portfolio everywhere, with and without
+inprocessing.  On top of answer agreement, every clause that crossed the
+exchange bus is independently checked *redundant*: solving the original
+formula under the clause's negated literals must come back UNSAT, which is
+exactly the "implied by the input formula" soundness contract of
+:meth:`~repro.sat.cdcl.CDCLSolver.import_clauses`.
 """
 
 from __future__ import annotations
@@ -19,6 +30,12 @@ import random
 
 import pytest
 
+from repro.portfolio import (
+    PortfolioSolver,
+    SharingPolicy,
+    SharingPortfolioSolver,
+    default_portfolio,
+)
 from repro.sat.cdcl import CDCLSolver, LegacyCDCLSolver
 from repro.sat.dpll import DPLLSolver
 from repro.sat.formula import CNF
@@ -552,3 +569,109 @@ class TestPreprocessorDifferential:
         constructed = 10 + 10
         incremental_sequences = len(UNIFORM_GRID) * 10
         assert uniform + constructed + incremental_sequences >= 200
+
+
+# The sharing-fuzz knobs deliberately differ from anything the benchmarks use:
+# slices of 8 propagations force multiple exchange rounds even on 8-variable
+# formulas, and the tight policy (LBD <= 3, size <= 6, 8 clauses per member
+# per round) keeps the bus busy without flooding the tiny databases.
+SHARING_FUZZ_KNOBS = dict(
+    cost_measure="propagations",
+    slice_budget=8,
+    max_rounds=64,
+    policy=SharingPolicy(max_lbd=3, max_size=6, per_round=8),
+    seed=11,
+)
+
+
+def _sharing_solver(**overrides) -> SharingPortfolioSolver:
+    knobs = dict(SHARING_FUZZ_KNOBS)
+    knobs.update(overrides)
+    return SharingPortfolioSolver(default_portfolio()[:3], **knobs)
+
+
+def _assert_shared_clauses_redundant(cnf: CNF, shared, limit: int = 5) -> None:
+    """Solve-under-negation: each bus clause must be implied by ``cnf``."""
+    checker = CDCLSolver().load(cnf)
+    for clause in shared[:limit]:
+        negation = [-literal for literal in clause]
+        assert checker.solve(assumptions=negation).status is SolverStatus.UNSAT, (
+            f"the exchange carried a clause the formula does not imply: {clause}"
+        )
+
+
+class TestSharingPortfolio:
+    """The clause-sharing portfolio differential-fuzz lane (PR 10)."""
+
+    def test_sharing_agrees_with_cdcl_and_dpll_on_180_instances(self):
+        total_exported = 0
+        for cnf in _uniform_instances():
+            sharing = _sharing_solver().solve(cnf)
+            results = {
+                "sharing": sharing,
+                "cdcl": CDCLSolver().solve(cnf),
+                "dpll": DPLLSolver().solve(cnf),
+            }
+            _assert_agreement(cnf, [], results)
+            total_exported += sharing.total_exported
+        # The tiny slices must actually force clause traffic somewhere in the
+        # corpus — otherwise this lane silently degrades to the isolated race.
+        assert total_exported > 100
+
+    def test_sharing_agrees_with_the_isolated_portfolio_under_assumptions(self):
+        for num_vars, ratio in UNIFORM_GRID:
+            for seed in range(10):
+                cnf = random_ksat(num_vars, round(ratio * num_vars), k=3, seed=6100 + seed)
+                rng = random.Random(7100 + seed)
+                variables = rng.sample(range(1, num_vars + 1), 2)
+                assumptions = [v if rng.random() < 0.5 else -v for v in variables]
+                isolated = PortfolioSolver(
+                    default_portfolio()[:3],
+                    cost_measure="propagations",
+                    slice_budget=8,
+                    max_rounds=64,
+                )
+                isolated_result = isolated.solve(cnf, assumptions=assumptions)
+                results = {
+                    "sharing": _sharing_solver().solve(cnf, assumptions=assumptions),
+                    # PortfolioResult has no model property: check the
+                    # winning member's SolveResult, which carries one.
+                    "isolated": isolated_result.winner.result,
+                    "cdcl": CDCLSolver().solve(cnf, assumptions=assumptions),
+                }
+                _assert_agreement(cnf, assumptions, results)
+
+    def test_every_shared_clause_is_implied_by_the_formula(self):
+        # Every 6th uniform instance: re-derive each bus clause independently
+        # by refuting its negation on the original formula.
+        checked_clauses = 0
+        for index, cnf in enumerate(_uniform_instances()):
+            if index % 6:
+                continue
+            sharing = _sharing_solver().solve(cnf)
+            _assert_shared_clauses_redundant(cnf, sharing.shared_clauses)
+            checked_clauses += min(len(sharing.shared_clauses), 5)
+        assert checked_clauses > 30
+
+    def test_sharing_with_inprocessing_agrees_on_constructed_instances(self):
+        # Planted-SAT and constructed-UNSAT instances, with the preprocessor
+        # running as inprocessing every 4 rounds mid-race: answers, models and
+        # the redundancy of every shared clause must all survive.
+        for seed in range(10):
+            cnf, _planted = planted_ksat(10, 38, k=3, seed=seed)
+            sharing = _sharing_solver(inprocess_every=4).solve(cnf)
+            results = {"sharing": sharing, "dpll": DPLLSolver().solve(cnf)}
+            assert sharing.status is SolverStatus.SAT
+            _assert_agreement(cnf, [], results)
+            _assert_shared_clauses_redundant(cnf, sharing.shared_clauses)
+        for seed in range(10):
+            cnf = random_unsat_core(6 + seed, seed=seed)
+            sharing = _sharing_solver(inprocess_every=4).solve(cnf)
+            assert sharing.status is SolverStatus.UNSAT
+            _assert_shared_clauses_redundant(cnf, sharing.shared_clauses)
+
+    def test_sharing_corpus_reaches_two_hundred_instances(self):
+        uniform = len(UNIFORM_GRID) * SEEDS_PER_SHAPE
+        assumption_runs = len(UNIFORM_GRID) * 10
+        inprocessing_runs = 10 + 10
+        assert uniform + assumption_runs + inprocessing_runs >= 200

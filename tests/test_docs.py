@@ -42,6 +42,7 @@ def _cleanup_api_reference() -> None:
 EXECUTABLE_FILES = {
     "api-reference.md": _cleanup_api_reference,
     "performance.md": None,
+    "portfolio.md": None,
     "preprocessing.md": None,
     "robustness.md": None,
     "service.md": None,
@@ -54,6 +55,7 @@ EXECUTABLE_FILES = {
 MIN_SNIPPETS = {
     "api-reference.md": 10,
     "performance.md": 5,
+    "portfolio.md": 8,
     "preprocessing.md": 8,
     "robustness.md": 5,
     "service.md": 8,
